@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Ablation — the NI lockstep (NOP) coordination of §IV-A.
+ *
+ * MultiTree's schedule is contention-free only if steps stay
+ * aligned. Without the lockstep down-counter, nodes issue as soon as
+ * dependencies allow, steps skew, and transfers from different steps
+ * overlap on shared channels — the degradation the paper motivates
+ * the mechanism with, most visible where trees are imbalanced
+ * (Mesh). Counter `nolockstep_penalty` is time(no-lockstep) /
+ * time(lockstep).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hh"
+
+using namespace multitree;
+using namespace multitree::bench;
+
+namespace {
+
+void
+registerAll()
+{
+    // Cycle-level runs: sizes kept modest so the whole ablation
+    // finishes in minutes on one core; the skew effect is already
+    // fully expressed once serialization dominates latency.
+    const std::vector<std::string> topologies = {
+        "torus-4x4", "mesh-4x4", "mesh-8x8", "bigraph-4x8"};
+    for (const auto &topo : topologies) {
+        for (std::uint64_t bytes : {128 * KiB, 512 * KiB}) {
+            std::string name = "ablation_lockstep/" + topo + "/"
+                               + std::to_string(bytes / KiB) + "KiB";
+            benchmark::RegisterBenchmark(
+                name.c_str(),
+                [topo, bytes](benchmark::State &state) {
+                    auto on = simulate(topo, "multitree", bytes,
+                                       runtime::Backend::Flit);
+                    auto off =
+                        simulate(topo, "multitree-nolockstep", bytes,
+                                 runtime::Backend::Flit);
+                    for (auto _ : state) {
+                        state.SetIterationTime(
+                            static_cast<double>(on.time) * 1e-9);
+                        state.counters["lockstep_us"] =
+                            static_cast<double>(on.time) / 1e3;
+                        state.counters["nolockstep_us"] =
+                            static_cast<double>(off.time) / 1e3;
+                        state.counters["nolockstep_penalty"] =
+                            static_cast<double>(off.time)
+                            / static_cast<double>(on.time);
+                        state.counters["nop_windows"] =
+                            static_cast<double>(on.nop_windows);
+                    }
+                })
+                ->UseManualTime()
+                ->Iterations(1)
+                ->Unit(benchmark::kMicrosecond);
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerAll();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Ablation — tree count versus bandwidth and latency (§VII-C).
+ *
+ * The paper points at Blink's tree-count reduction as a future
+ * bandwidth/latency trade-off. With k < N trees, each chunk is
+ * larger and the schedule shorter, but fewer channels work
+ * concurrently. Series report per-k bandwidth at a small and a large
+ * payload on the 8x8 torus.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hh"
+#include "core/multitree.hh"
+
+using namespace multitree;
+using namespace multitree::bench;
+
+namespace {
+
+void
+registerAll()
+{
+    for (int k : {1, 2, 4, 8, 16, 32, 64}) {
+        for (std::uint64_t bytes : {4 * KiB, 64 * KiB, 16 * MiB}) {
+            std::string name = "ablation_treecount/torus-8x8/k"
+                               + std::to_string(k) + "/"
+                               + std::to_string(bytes / KiB) + "KiB";
+            benchmark::RegisterBenchmark(
+                name.c_str(),
+                [k, bytes](benchmark::State &state) {
+                    auto topo = topo::makeTopology("torus-8x8");
+                    core::MultiTreeOptions opts;
+                    opts.num_trees = k;
+                    core::MultiTreeAllReduce mt(opts);
+                    auto sched = mt.build(*topo, bytes);
+                    auto res = runtime::runAllReduce(*topo, sched);
+                    for (auto _ : state) {
+                        state.SetIterationTime(
+                            static_cast<double>(res.time) * 1e-9);
+                        state.counters["GB/s"] = res.bandwidth;
+                        state.counters["trees"] = k;
+                        state.counters["steps"] =
+                            static_cast<double>(sched.totalSteps());
+                        state.counters["transfers"] =
+                            static_cast<double>(res.messages);
+                    }
+                })
+                ->UseManualTime()
+                ->Iterations(1)
+                ->Unit(benchmark::kMicrosecond);
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerAll();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harness.
+ *
+ * Every figure/table benchmark reports the *simulated* time of the
+ * modeled system as the benchmark time (google-benchmark manual
+ * time), so the reported rows read exactly like the paper's series:
+ * time per all-reduce, algorithm bandwidth in GB/s, speedups over
+ * ring, and so on. Wall-clock spent running the simulator is not the
+ * quantity of interest and is excluded.
+ */
+
+#ifndef MULTITREE_BENCH_BENCH_COMMON_HH
+#define MULTITREE_BENCH_BENCH_COMMON_HH
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "coll/algorithm.hh"
+#include "runtime/allreduce_runtime.hh"
+#include "topo/factory.hh"
+
+namespace multitree::bench {
+
+/** The Fig. 9 payload sweep: 32 KiB to 64 MiB. */
+inline std::vector<std::uint64_t>
+fig9Sizes()
+{
+    return {32 * KiB,       128 * KiB, 512 * KiB, 2 * MiB,
+            8 * MiB,        32 * MiB,  64 * MiB};
+}
+
+/** Simulate one all-reduce on the fast backend. */
+inline runtime::RunResult
+simulate(const std::string &topo_spec, const std::string &algo,
+         std::uint64_t bytes,
+         runtime::Backend backend = runtime::Backend::Flow)
+{
+    auto topo = topo::makeTopology(topo_spec);
+    runtime::RunOptions opts;
+    opts.backend = backend;
+    return runtime::runAllReduce(*topo, algo, bytes, opts);
+}
+
+/** Whether @p algo supports @p topo_spec. */
+inline bool
+supported(const std::string &topo_spec, const std::string &algo)
+{
+    auto topo = topo::makeTopology(topo_spec);
+    auto a = coll::makeAlgorithm(
+        algo == "multitree-msg" ? "multitree" : algo);
+    return a->supports(*topo);
+}
+
+/**
+ * Register one all-reduce point: the benchmark's manual time is the
+ * simulated completion time; counters carry bandwidth.
+ */
+inline void
+registerAllReducePoint(const std::string &name,
+                       const std::string &topo_spec,
+                       const std::string &algo, std::uint64_t bytes)
+{
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [=](benchmark::State &state) {
+            for (auto _ : state) {
+                auto res = simulate(topo_spec, algo, bytes);
+                state.SetIterationTime(
+                    static_cast<double>(res.time) * 1e-9);
+                state.counters["GB/s"] = res.bandwidth;
+                state.counters["sim_us"] =
+                    static_cast<double>(res.time) / 1e3;
+                state.counters["msgs"] =
+                    static_cast<double>(res.messages);
+            }
+        })
+        ->UseManualTime()
+        ->Iterations(1)
+        ->Unit(benchmark::kMicrosecond);
+}
+
+} // namespace multitree::bench
+
+#endif // MULTITREE_BENCH_BENCH_COMMON_HH

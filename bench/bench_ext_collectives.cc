@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Extension — standalone collective primitives (§VII-B).
+ *
+ * Reduce-scatter and all-gather (hybrid parallelism) and the DLRM
+ * all-to-all, comparing the MultiTree-derived schedules against the
+ * ring-derived / linear-shift baselines on the 8x8 torus.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hh"
+#include "coll/primitives.hh"
+#include "core/multitree.hh"
+
+using namespace multitree;
+using namespace multitree::bench;
+
+namespace {
+
+void
+registerPoint(const std::string &name, coll::Schedule sched,
+              const std::string &topo_spec)
+{
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [sched = std::move(sched),
+         topo_spec](benchmark::State &state) {
+            auto topo = topo::makeTopology(topo_spec);
+            auto res = runtime::runAllReduce(*topo, sched);
+            for (auto _ : state) {
+                state.SetIterationTime(
+                    static_cast<double>(res.time) * 1e-9);
+                state.counters["GB/s"] = res.bandwidth;
+                state.counters["sim_us"] =
+                    static_cast<double>(res.time) / 1e3;
+            }
+        })
+        ->UseManualTime()
+        ->Iterations(1)
+        ->Unit(benchmark::kMicrosecond);
+}
+
+void
+registerAll()
+{
+    const std::string spec = "torus-8x8";
+    auto topo = topo::makeTopology(spec);
+    core::MultiTreeAllReduce mt;
+    auto ring = coll::makeAlgorithm("ring");
+
+    for (std::uint64_t bytes : {256 * KiB, 16 * MiB}) {
+        std::string suffix = std::to_string(bytes / KiB) + "KiB";
+        registerPoint("collectives/reduce-scatter/ring/" + suffix,
+                      coll::buildReduceScatter(*ring, *topo, bytes),
+                      spec);
+        registerPoint("collectives/reduce-scatter/multitree/"
+                          + suffix,
+                      coll::buildReduceScatter(mt, *topo, bytes),
+                      spec);
+        registerPoint("collectives/all-gather/ring/" + suffix,
+                      coll::buildAllGather(*ring, *topo, bytes),
+                      spec);
+        registerPoint("collectives/all-gather/multitree/" + suffix,
+                      coll::buildAllGather(mt, *topo, bytes), spec);
+    }
+    // All-to-all sized per pair: 1 KiB and 16 KiB per ordered pair.
+    const int n = topo->numNodes();
+    auto trees = mt.build(*topo, 4096);
+    for (std::uint64_t per_pair : {1 * KiB, 16 * KiB}) {
+        std::uint64_t bytes =
+            per_pair * static_cast<std::uint64_t>(n) * (n - 1);
+        std::string suffix =
+            std::to_string(per_pair / KiB) + "KiBpp";
+        registerPoint("collectives/all-to-all/shift/" + suffix,
+                      coll::buildAllToAllShift(*topo, bytes), spec);
+        registerPoint("collectives/all-to-all/multitree/" + suffix,
+                      coll::buildAllToAllFromTrees(trees, bytes),
+                      spec);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerAll();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Fig. 10 — weak scalability on Torus, 16 to 256 accelerators.
+ *
+ * All-reduce size 375*N KiB for N nodes; the series report each
+ * algorithm's communication time normalized to Ring's 16-node time
+ * (counter `norm_vs_ring16`, higher is worse) and the speedup of the
+ * algorithm over Ring at the same scale. The paper's summary: every
+ * algorithm scales linearly, MultiTreeMsg with the smallest factor —
+ * about 3x over Ring and 1.4x over 2D-Ring at scale.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hh"
+
+using namespace multitree;
+using namespace multitree::bench;
+
+namespace {
+
+const std::vector<std::pair<std::string, int>> kScales = {
+    {"torus-4x4", 16},
+    {"torus-8x4", 32},
+    {"torus-8x8", 64},
+    {"torus-16x8", 128},
+    {"torus-16x16", 256},
+};
+
+double g_ring16_time = 0; ///< Ring time on 16 nodes (norm base)
+
+void
+registerAll()
+{
+    // Normalization base: Ring at 16 nodes, computed once up front.
+    g_ring16_time = static_cast<double>(
+        simulate("torus-4x4", "ring", 375 * KiB * 16).time);
+
+    for (const auto &[topo, n] : kScales) {
+        std::uint64_t bytes = 375 * KiB * static_cast<std::uint64_t>(n);
+        for (const char *algo : {"ring", "ring2d", "multitree-msg"}) {
+            std::string name = std::string("fig10/") + topo + "/"
+                               + algo + "/N" + std::to_string(n);
+            std::string topo_spec = topo;
+            std::string algo_name = algo;
+            benchmark::RegisterBenchmark(
+                name.c_str(),
+                [topo_spec, algo_name,
+                 bytes](benchmark::State &state) {
+                    auto res = simulate(topo_spec, algo_name, bytes);
+                    auto ring =
+                        algo_name == "ring"
+                            ? res
+                            : simulate(topo_spec, "ring", bytes);
+                    for (auto _ : state) {
+                        state.SetIterationTime(
+                            static_cast<double>(res.time) * 1e-9);
+                        state.counters["GB/s"] = res.bandwidth;
+                        state.counters["norm_vs_ring16"] =
+                            static_cast<double>(res.time)
+                            / g_ring16_time;
+                        state.counters["speedup_vs_ring"] =
+                            static_cast<double>(ring.time)
+                            / static_cast<double>(res.time);
+                    }
+                })
+                ->UseManualTime()
+                ->Iterations(1)
+                ->Unit(benchmark::kMicrosecond);
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerAll();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Fig. 11 — DNN training time on an 8x8 Torus (64 accelerators,
+ * mini-batch 16 per accelerator).
+ *
+ * One binary per sub-figure via a compile definition:
+ *  (a) non-overlapped training: compute + one full-gradient
+ *      all-reduce; counters report the compute/communication split,
+ *      the communication fraction and the all-reduce speedup over
+ *      Ring — the paper's headline 2.2x/2.3x (plain/msg) average.
+ *  (b) overlapped training with layer-wise all-reduce: counters add
+ *      the hidden vs exposed communication split; CNNs hide most of
+ *      their communication while NCF/Transformer stay comm-bound.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "accel/model_zoo.hh"
+#include "bench_common.hh"
+#include "train/trainer.hh"
+
+using namespace multitree;
+
+namespace {
+
+constexpr const char *kTopo = "torus-8x8";
+
+const std::vector<std::string> kAlgos = {
+    "ring", "dbtree", "ring2d", "multitree", "multitree-msg"};
+
+/** Cache: evaluating an iteration simulates many all-reduces. */
+std::map<std::pair<std::string, std::string>, train::IterationTiming>
+    g_cache;
+
+const train::IterationTiming &
+timing(const std::string &model_name, const std::string &algo)
+{
+    auto key = std::make_pair(model_name, algo);
+    auto it = g_cache.find(key);
+    if (it != g_cache.end())
+        return it->second;
+    auto topo = topo::makeTopology(kTopo);
+    auto model = accel::makeModel(model_name);
+    train::TrainOptions opts;
+    auto t = train::evaluateIteration(model, *topo, algo, opts);
+    return g_cache.emplace(key, t).first->second;
+}
+
+void
+registerAll()
+{
+    for (const auto &model : accel::modelNames()) {
+        for (const auto &algo : kAlgos) {
+#if defined(FIG11_NONOVERLAP)
+            std::string name =
+                "fig11a/" + model + "/" + algo;
+            benchmark::RegisterBenchmark(
+                name.c_str(),
+                [model, algo](benchmark::State &state) {
+                    const auto &t = timing(model, algo);
+                    const auto &ring = timing(model, "ring");
+                    for (auto _ : state) {
+                        state.SetIterationTime(
+                            static_cast<double>(t.total_nonoverlap)
+                            * 1e-9);
+                        state.counters["compute_ms"] =
+                            static_cast<double>(t.fwd + t.bwd) / 1e6;
+                        state.counters["allreduce_ms"] =
+                            static_cast<double>(t.allreduce) / 1e6;
+                        state.counters["comm_frac"] =
+                            static_cast<double>(t.allreduce)
+                            / static_cast<double>(t.total_nonoverlap);
+                        state.counters["ar_speedup_vs_ring"] =
+                            static_cast<double>(ring.allreduce)
+                            / static_cast<double>(t.allreduce);
+                        state.counters["train_norm_vs_ring"] =
+                            static_cast<double>(t.total_nonoverlap)
+                            / static_cast<double>(
+                                ring.total_nonoverlap);
+                    }
+                })
+                ->UseManualTime()
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+#else
+            std::string name =
+                "fig11b/" + model + "/" + algo;
+            benchmark::RegisterBenchmark(
+                name.c_str(),
+                [model, algo](benchmark::State &state) {
+                    const auto &t = timing(model, algo);
+                    const auto &ring = timing(model, "ring");
+                    for (auto _ : state) {
+                        state.SetIterationTime(
+                            static_cast<double>(t.total_overlap)
+                            * 1e-9);
+                        state.counters["compute_ms"] =
+                            static_cast<double>(t.fwd + t.bwd) / 1e6;
+                        state.counters["hidden_comm_ms"] =
+                            static_cast<double>(t.overlap_hidden)
+                            / 1e6;
+                        state.counters["exposed_comm_ms"] =
+                            static_cast<double>(t.exposed_comm) / 1e6;
+                        state.counters["train_norm_vs_ring"] =
+                            static_cast<double>(t.total_overlap)
+                            / static_cast<double>(ring.total_overlap);
+                    }
+                })
+                ->UseManualTime()
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+#endif
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerAll();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

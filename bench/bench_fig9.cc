@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Fig. 9 — all-reduce bandwidth versus data size on every topology.
+ *
+ * One binary serves all four panels; a compile definition selects the
+ * panel so `build/bench/` carries one executable per sub-figure:
+ *   (a) 4x4 & 8x8 Torus    — Ring, DBTree, 2D-Ring, MT, MT-Msg
+ *   (b) 4x4 & 8x8 Mesh     — same set
+ *   (c) 16- & 64-node Fat-Tree — Ring, DBTree, HD, MT, MT-Msg
+ *   (d) 4x8 & 4x16 BiGraph — Ring, DBTree, HDRM, MT, MT-Msg
+ *
+ * Expected shapes (paper §VI-A): MultiTree on top at every size on
+ * Torus/Mesh; DBTree collapsing at large sizes there; 2D-Ring between
+ * Ring and MultiTree on Torus but below Ring on the 8x8 Mesh at
+ * scale; near-ties between MultiTree and Ring/HDRM at large sizes on
+ * the indirect networks with MultiTree ahead at small sizes; and a
+ * ~6% MultiTreeMsg bump.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hh"
+
+using namespace multitree;
+using namespace multitree::bench;
+
+namespace {
+
+struct Panel {
+    const char *name;
+    std::vector<std::string> topologies;
+    std::vector<std::string> algorithms;
+};
+
+Panel
+panel()
+{
+#if defined(FIG9_TORUS)
+    return {"fig9a_torus",
+            {"torus-4x4", "torus-8x8"},
+            {"ring", "dbtree", "ring2d", "multitree",
+             "multitree-msg"}};
+#elif defined(FIG9_MESH)
+    return {"fig9b_mesh",
+            {"mesh-4x4", "mesh-8x8"},
+            {"ring", "dbtree", "ring2d", "multitree",
+             "multitree-msg"}};
+#elif defined(FIG9_FATTREE)
+    return {"fig9c_fattree",
+            {"fattree-16", "fattree-64"},
+            {"ring", "dbtree", "hd", "multitree", "multitree-msg"}};
+#elif defined(FIG9_BIGRAPH)
+    return {"fig9d_bigraph",
+            {"bigraph-4x8", "bigraph-4x16"},
+            {"ring", "dbtree", "hdrm", "multitree", "multitree-msg"}};
+#else
+#error "define one FIG9_* panel"
+#endif
+}
+
+void
+registerPanel()
+{
+    Panel p = panel();
+    for (const auto &topo : p.topologies) {
+        for (const auto &algo : p.algorithms) {
+            if (!supported(topo, algo))
+                continue;
+            for (std::uint64_t bytes : fig9Sizes()) {
+                std::string name = std::string(p.name) + "/" + topo
+                                   + "/" + algo + "/"
+                                   + std::to_string(bytes / KiB)
+                                   + "KiB";
+                registerAllReducePoint(name, topo, algo, bytes);
+            }
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerPanel();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

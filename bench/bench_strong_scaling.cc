@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Strong scalability (§VI-B's closing remark): a fixed large
+ * all-reduce (96 MiB ≈ a 24M-parameter model) across growing torus
+ * sizes. The paper observes "only small variation for each
+ * algorithm since they are all contention-free and serialization
+ * latency is more dominant for large all-reduce size" — i.e. time
+ * stays roughly flat with node count for the bandwidth-optimal
+ * algorithms, because per-node data shrinks as fast as the step
+ * count grows.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hh"
+
+using namespace multitree;
+using namespace multitree::bench;
+
+namespace {
+
+void
+registerAll()
+{
+    const std::uint64_t bytes = 96 * MiB;
+    const std::vector<std::pair<std::string, int>> scales = {
+        {"torus-4x4", 16},
+        {"torus-8x4", 32},
+        {"torus-8x8", 64},
+        {"torus-16x8", 128},
+        {"torus-16x16", 256},
+    };
+    for (const auto &[topo, n] : scales) {
+        for (const char *algo : {"ring", "ring2d", "multitree-msg"}) {
+            std::string name = std::string("strong/") + topo + "/"
+                               + algo + "/N" + std::to_string(n);
+            std::string t = topo, a = algo;
+            benchmark::RegisterBenchmark(
+                name.c_str(),
+                [t, a](benchmark::State &state) {
+                    auto res = simulate(t, a, 96 * MiB);
+                    for (auto _ : state) {
+                        state.SetIterationTime(
+                            static_cast<double>(res.time) * 1e-9);
+                        state.counters["GB/s"] = res.bandwidth;
+                        state.counters["sim_ms"] =
+                            static_cast<double>(res.time) / 1e6;
+                    }
+                })
+                ->UseManualTime()
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+    (void)bytes;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerAll();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

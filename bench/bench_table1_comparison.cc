@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Table I — measured comparison of the all-reduce algorithms.
+ *
+ * The paper's qualitative table, regenerated from measurements:
+ *  - "Latency (small data)"  → simulated 32 KiB all-reduce time
+ *  - "Bandwidth (large data)" → simulated 32 MiB bandwidth, plus the
+ *    schedule's peak per-channel byte load (the serialization bound)
+ *  - "Contention"            → the structural contention-free check
+ *  - "Applies to various topologies" → the supports() matrix
+ *
+ * Rows are (algorithm, topology) pairs; the binary also prints the
+ * support matrix at startup.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "coll/validate.hh"
+#include "common/strings.hh"
+
+using namespace multitree;
+using namespace multitree::bench;
+
+namespace {
+
+const std::vector<std::string> kAlgos = {"ring",  "dbtree", "ring2d",
+                                         "hd",    "hdrm",
+                                         "multitree"};
+const std::vector<std::string> kTopos = {"torus-8x8", "mesh-8x8",
+                                         "fattree-64",
+                                         "bigraph-4x16"};
+
+void
+printSupportMatrix()
+{
+    TextTable table;
+    std::vector<std::string> header = {"algorithm"};
+    for (const auto &t : kTopos)
+        header.push_back(t);
+    table.header(header);
+    for (const auto &a : kAlgos) {
+        std::vector<std::string> row = {a};
+        for (const auto &t : kTopos)
+            row.push_back(supported(t, a) ? "yes" : "no");
+        table.row(row);
+    }
+    std::printf("Table I support matrix (applies to topology?):\n%s\n",
+                table.render().c_str());
+}
+
+void
+registerAll()
+{
+    for (const auto &topo_spec : kTopos) {
+        for (const auto &algo : kAlgos) {
+            if (!supported(topo_spec, algo))
+                continue;
+            std::string name =
+                "table1/" + topo_spec + "/" + algo;
+            benchmark::RegisterBenchmark(
+                name.c_str(),
+                [topo_spec, algo](benchmark::State &state) {
+                    auto topo = topo::makeTopology(topo_spec);
+                    auto a = coll::makeAlgorithm(algo);
+                    auto small = simulate(topo_spec, algo, 32 * KiB);
+                    auto large = simulate(topo_spec, algo, 32 * MiB);
+                    auto sched = a->build(*topo, 32 * MiB);
+                    auto stats = sched.stats(*topo);
+                    bool cfree =
+                        coll::validateContentionFree(sched, *topo).ok;
+                    for (auto _ : state) {
+                        state.SetIterationTime(
+                            static_cast<double>(small.time) * 1e-9);
+                        state.counters["small_us"] =
+                            static_cast<double>(small.time) / 1e3;
+                        state.counters["large_GBps"] =
+                            large.bandwidth;
+                        state.counters["steps"] =
+                            static_cast<double>(stats.total_steps);
+                        state.counters["peak_chan_MiB"] =
+                            stats.max_channel_bytes
+                            / static_cast<double>(MiB);
+                        state.counters["contention_free"] =
+                            cfree ? 1 : 0;
+                    }
+                })
+                ->UseManualTime()
+                ->Iterations(1)
+                ->Unit(benchmark::kMicrosecond);
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printSupportMatrix();
+    registerAll();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

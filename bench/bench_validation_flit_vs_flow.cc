@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Methodology validation — cycle-level flit simulator versus the
+ * fast flow model.
+ *
+ * The figure sweeps run on the flow model for wall-clock reasons
+ * (DESIGN.md documents the substitution); this bench quantifies the
+ * agreement on all-reduce completion time across algorithms,
+ * topologies and sizes. Counter `flit_over_flow` is the time ratio;
+ * values near 1 justify using the fast model for the full sweeps.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hh"
+
+using namespace multitree;
+using namespace multitree::bench;
+
+namespace {
+
+void
+registerAll()
+{
+    const std::vector<std::pair<std::string, std::string>> configs = {
+        {"ring", "torus-4x4"},      {"multitree", "torus-4x4"},
+        {"ring2d", "torus-4x4"},    {"dbtree", "torus-4x4"},
+        {"multitree", "mesh-4x4"},  {"ring", "fattree-16"},
+        {"multitree", "fattree-16"},{"hdrm", "bigraph-4x8"},
+        {"multitree", "bigraph-4x8"},
+    };
+    for (const auto &[algo, topo] : configs) {
+        for (std::uint64_t bytes : {128 * KiB, 512 * KiB}) {
+            std::string name = "validation/" + algo + "/" + topo + "/"
+                               + std::to_string(bytes / KiB) + "KiB";
+            std::string a = algo, t = topo;
+            benchmark::RegisterBenchmark(
+                name.c_str(),
+                [a, t, bytes](benchmark::State &state) {
+                    auto flow = simulate(t, a, bytes,
+                                         runtime::Backend::Flow);
+                    auto flit = simulate(t, a, bytes,
+                                         runtime::Backend::Flit);
+                    for (auto _ : state) {
+                        state.SetIterationTime(
+                            static_cast<double>(flit.time) * 1e-9);
+                        state.counters["flit_us"] =
+                            static_cast<double>(flit.time) / 1e3;
+                        state.counters["flow_us"] =
+                            static_cast<double>(flow.time) / 1e3;
+                        state.counters["flit_over_flow"] =
+                            static_cast<double>(flit.time)
+                            / static_cast<double>(flow.time);
+                    }
+                })
+                ->UseManualTime()
+                ->Iterations(1)
+                ->Unit(benchmark::kMicrosecond);
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerAll();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

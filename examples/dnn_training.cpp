@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Distributed DNN training example (the Fig. 11 scenario): evaluate
+ * one training iteration of a model on an accelerator pod and compare
+ * all-reduce algorithms, with and without compute-communication
+ * overlap.
+ *
+ *   ./dnn_training [model] [topology]
+ *   ./dnn_training resnet50 torus-8x8
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "coll/algorithm.hh"
+#include "common/strings.hh"
+#include "topo/factory.hh"
+#include "train/trainer.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace multitree;
+
+    std::string model_name = argc > 1 ? argv[1] : "resnet50";
+    std::string spec = argc > 2 ? argv[2] : "torus-8x8";
+
+    auto topo = topo::makeTopology(spec);
+    auto model = accel::makeModel(model_name);
+    train::TrainOptions opts;
+    opts.accel.batch = 16; // 16 samples per accelerator (§V-B)
+
+    std::printf("%s on %s (%d accelerators, mini-batch %d)\n",
+                model.name.c_str(), topo->name().c_str(),
+                topo->numNodes(),
+                opts.accel.batch * topo->numNodes());
+    std::printf("parameters: %.1f M -> gradients: %s per iteration\n\n",
+                model.totalParams() / 1e6,
+                formatBytes(model.gradientBytes()).c_str());
+
+    TextTable table;
+    table.header({"algorithm", "fwd+bwd (ms)", "all-reduce (ms)",
+                  "iter non-overlap (ms)", "iter overlap (ms)",
+                  "exposed comm (ms)"});
+    Tick ring_nonoverlap = 0, ring_ar = 0;
+    for (const char *algo : {"ring", "dbtree", "ring2d", "multitree",
+                             "multitree-msg"}) {
+        auto a = coll::makeAlgorithm(
+            std::string(algo) == "multitree-msg" ? "multitree"
+                                                 : algo);
+        if (!a->supports(*topo))
+            continue;
+        auto t = train::evaluateIteration(model, *topo, algo, opts);
+        if (std::string(algo) == "ring") {
+            ring_nonoverlap = t.total_nonoverlap;
+            ring_ar = t.allreduce;
+        }
+        table.row({algo, formatDouble((t.fwd + t.bwd) / 1e6, 2),
+                   formatDouble(t.allreduce / 1e6, 2),
+                   formatDouble(t.total_nonoverlap / 1e6, 2),
+                   formatDouble(t.total_overlap / 1e6, 2),
+                   formatDouble(t.exposed_comm / 1e6, 2)});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    auto mt = train::evaluateIteration(model, *topo, "multitree-msg",
+                                       opts);
+    std::printf("all-reduce speedup vs ring: %.2fx, training time "
+                "reduction: %.0f%%\n",
+                static_cast<double>(ring_ar)
+                    / static_cast<double>(mt.allreduce),
+                100.0
+                    * (1.0
+                       - static_cast<double>(mt.total_nonoverlap)
+                             / static_cast<double>(ring_nonoverlap)));
+    return 0;
+}

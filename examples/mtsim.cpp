@@ -1,0 +1,179 @@
+/**
+ * @file
+ * mtsim — the command-line front end to the simulator.
+ *
+ * Runs one collective on one topology and prints a full report:
+ * timing, bandwidth, wire/energy accounting, schedule shape, and
+ * optionally the schedule itself as DOT or CSV.
+ *
+ *   ./mtsim --topo torus-8x8 --algo multitree --bytes 4194304
+ *           [--collective allreduce|reducescatter|allgather|alltoall]
+ *           [--backend flow|flit] [--msg] [--reduction-bw N]
+ *           [--dump dot|csv]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "coll/export.hh"
+#include "coll/primitives.hh"
+#include "coll/validate.hh"
+#include "common/strings.hh"
+#include "core/multitree.hh"
+#include "net/energy.hh"
+#include "runtime/allreduce_runtime.hh"
+#include "topo/factory.hh"
+
+namespace {
+
+using namespace multitree;
+
+struct Args {
+    std::string topo = "torus-8x8";
+    std::string algo = "multitree";
+    std::string collective = "allreduce";
+    std::string backend = "flow";
+    std::string dump;
+    std::uint64_t bytes = 4 * MiB;
+    std::uint32_t reduction_bw = 0;
+    bool msg = false;
+};
+
+void
+usage()
+{
+    std::printf(
+        "usage: mtsim [--topo SPEC] [--algo NAME] [--bytes N]\n"
+        "             [--collective allreduce|reducescatter|"
+        "allgather|alltoall]\n"
+        "             [--backend flow|flit] [--msg]\n"
+        "             [--reduction-bw BYTES_PER_CYCLE] "
+        "[--dump dot|csv]\n"
+        "topologies: torus-WxH mesh-WxH fattree-{16,64,L:P:S} "
+        "bigraph-UxL\n"
+        "algorithms: ring dbtree ring2d hd hdrm multitree "
+        "multitree-nolockstep\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (a == "--topo")
+            args.topo = next();
+        else if (a == "--algo")
+            args.algo = next();
+        else if (a == "--bytes")
+            args.bytes = std::strtoull(next(), nullptr, 10);
+        else if (a == "--collective")
+            args.collective = next();
+        else if (a == "--backend")
+            args.backend = next();
+        else if (a == "--dump")
+            args.dump = next();
+        else if (a == "--reduction-bw")
+            args.reduction_bw = static_cast<std::uint32_t>(
+                std::strtoul(next(), nullptr, 10));
+        else if (a == "--msg")
+            args.msg = true;
+        else {
+            usage();
+            return a == "--help" || a == "-h" ? 0 : 1;
+        }
+    }
+
+    if (args.bytes == 0 || args.bytes % 4 != 0) {
+        std::fprintf(stderr, "--bytes must be a positive multiple "
+                             "of 4 (float32 gradients)\n");
+        return 1;
+    }
+    auto topo = topo::makeTopology(args.topo);
+    auto algo = coll::makeAlgorithm(args.algo);
+    if (!algo->supports(*topo)) {
+        std::fprintf(stderr, "%s does not support %s\n",
+                     args.algo.c_str(), topo->name().c_str());
+        return 1;
+    }
+
+    coll::Schedule sched;
+    if (args.collective == "allreduce") {
+        sched = algo->build(*topo, args.bytes);
+    } else if (args.collective == "reducescatter") {
+        sched = coll::buildReduceScatter(*algo, *topo, args.bytes);
+    } else if (args.collective == "allgather") {
+        sched = coll::buildAllGather(*algo, *topo, args.bytes);
+    } else if (args.collective == "alltoall") {
+        if (args.algo == "multitree") {
+            sched = coll::buildAllToAllFromTrees(
+                algo->build(*topo, 4096), args.bytes);
+        } else {
+            sched = coll::buildAllToAllShift(*topo, args.bytes);
+        }
+    } else {
+        usage();
+        return 1;
+    }
+
+    auto valid = coll::validateSchedule(sched, *topo);
+    if (!valid.ok) {
+        std::fprintf(stderr, "schedule invalid: %s\n",
+                     valid.error.c_str());
+        return 1;
+    }
+
+    if (!args.dump.empty()) {
+        if (args.dump == "dot")
+            std::fputs(coll::toDot(sched, 8).c_str(), stdout);
+        else
+            std::fputs(coll::toCsv(sched, *topo).c_str(), stdout);
+        return 0;
+    }
+
+    runtime::RunOptions opts;
+    if (args.backend == "flit")
+        opts.backend = runtime::Backend::Flit;
+    if (args.msg)
+        opts.net.mode = net::FlowControlMode::MessageBased;
+    opts.ni_reduction_bw = args.reduction_bw;
+
+    auto res = runtime::runAllReduce(*topo, sched, opts);
+    auto energy = net::computeEnergy(res.flit_hops, res.head_hops);
+    auto stats = sched.stats(*topo);
+
+    std::printf("%s of %s on %s (%d nodes), %s backend%s\n",
+                coll::kindName(sched.kind),
+                formatBytes(args.bytes).c_str(), topo->name().c_str(),
+                topo->numNodes(), args.backend.c_str(),
+                args.msg ? ", message-based flow control" : "");
+    std::printf("  algorithm        %s\n", sched.algorithm.c_str());
+    std::printf("  completion       %.3f us\n", res.time / 1e3);
+    std::printf("  bandwidth        %.2f GB/s\n", res.bandwidth);
+    std::printf("  schedule         %zu flows, %d steps, %llu "
+                "transfers\n",
+                sched.flows.size(), stats.total_steps,
+                static_cast<unsigned long long>(stats.edge_count));
+    std::printf("  messages         %llu (%.0f payload + %.0f head "
+                "flits)\n",
+                static_cast<unsigned long long>(res.messages),
+                res.payload_flits, res.head_flits);
+    std::printf("  energy           %.2f uJ datapath + %.2f uJ "
+                "control\n",
+                energy.datapath_nj / 1e3, energy.control_nj / 1e3);
+    if (sched.lockstep)
+        std::printf("  lockstep NOPs    %llu windows\n",
+                    static_cast<unsigned long long>(res.nop_windows));
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Quickstart: build a topology, run one MultiTree all-reduce, and
+ * compare it against ring all-reduce.
+ *
+ *   ./quickstart [topology] [bytes]
+ *   ./quickstart torus-8x8 4194304
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/strings.hh"
+#include "runtime/allreduce_runtime.hh"
+#include "topo/factory.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace multitree;
+
+    std::string spec = argc > 1 ? argv[1] : "torus-8x8";
+    std::uint64_t bytes =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 4 * MiB;
+
+    auto topo = topo::makeTopology(spec);
+    std::printf("All-reduce of %s over %d accelerators on %s\n\n",
+                formatBytes(bytes).c_str(), topo->numNodes(),
+                topo->name().c_str());
+
+    TextTable table;
+    table.header({"algorithm", "time (us)", "bandwidth (GB/s)",
+                  "messages"});
+    for (const char *algo :
+         {"ring", "dbtree", "multitree", "multitree-msg"}) {
+        auto res = runtime::runAllReduce(*topo, algo, bytes);
+        table.row({algo, formatDouble(res.time / 1e3, 1),
+                   formatDouble(res.bandwidth, 2),
+                   std::to_string(res.messages)});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    auto ring = runtime::runAllReduce(*topo, "ring", bytes);
+    auto mt = runtime::runAllReduce(*topo, "multitree-msg", bytes);
+    std::printf("MultiTree(+msg flow control) speedup over ring: "
+                "%.2fx\n",
+                static_cast<double>(ring.time)
+                    / static_cast<double>(mt.time));
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Topology explorer: sweep an all-reduce size across every evaluated
+ * topology and print per-algorithm bandwidth — a miniature of the
+ * paper's Fig. 9 study, useful for eyeballing who wins where.
+ *
+ *   ./topology_explorer [bytes]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "coll/algorithm.hh"
+#include "common/strings.hh"
+#include "runtime/allreduce_runtime.hh"
+#include "topo/factory.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace multitree;
+
+    std::uint64_t bytes =
+        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1 * MiB;
+
+    const std::vector<std::string> topologies = {
+        "torus-4x4",   "torus-8x8", "mesh-4x4",     "mesh-8x8",
+        "fattree-16",  "fattree-64", "bigraph-4x8", "bigraph-4x16"};
+    const std::vector<std::string> algos = {
+        "ring", "dbtree", "ring2d", "hd", "hdrm", "multitree",
+        "multitree-msg"};
+
+    std::printf("All-reduce bandwidth (GB/s) for %s payloads\n\n",
+                formatBytes(bytes).c_str());
+
+    TextTable table;
+    std::vector<std::string> header = {"topology"};
+    for (const auto &a : algos)
+        header.push_back(a);
+    table.header(header);
+
+    for (const auto &spec : topologies) {
+        auto topo = topo::makeTopology(spec);
+        std::vector<std::string> row = {spec};
+        for (const auto &algo : algos) {
+            auto check = coll::makeAlgorithm(
+                algo == "multitree-msg" ? "multitree" : algo);
+            if (!check->supports(*topo)) {
+                row.push_back("-");
+                continue;
+            }
+            auto res = runtime::runAllReduce(*topo, algo, bytes);
+            row.push_back(formatDouble(res.bandwidth, 2));
+        }
+        table.row(row);
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("('-' = algorithm does not support that topology; "
+                "MultiTree supports everything)\n");
+    return 0;
+}

@@ -1,0 +1,82 @@
+#include "accel/layer.hh"
+
+#include "common/logging.hh"
+
+namespace multitree::accel {
+
+Layer
+convLayer(const std::string &name, int out_h, int out_w, int c_in,
+          int k_h, int k_w, int c_out)
+{
+    MT_ASSERT(out_h > 0 && out_w > 0 && c_in > 0 && c_out > 0,
+              "bad conv shape for ", name);
+    Layer l;
+    l.name = name;
+    l.kind = LayerKind::Conv;
+    l.m = static_cast<std::uint64_t>(out_h) * out_w;
+    l.n = static_cast<std::uint64_t>(c_out);
+    l.k = static_cast<std::uint64_t>(k_h) * k_w * c_in;
+    l.params = l.k * l.n;
+    return l;
+}
+
+Layer
+fcLayer(const std::string &name, int in_features, int out_features)
+{
+    Layer l;
+    l.name = name;
+    l.kind = LayerKind::FullyConnected;
+    l.m = 1;
+    l.n = static_cast<std::uint64_t>(out_features);
+    l.k = static_cast<std::uint64_t>(in_features);
+    l.params = l.k * l.n;
+    return l;
+}
+
+Layer
+embeddingLayer(const std::string &name, std::int64_t rows, int dim)
+{
+    Layer l;
+    l.name = name;
+    l.kind = LayerKind::Embedding;
+    // A lookup touches one row: negligible GEMM work.
+    l.m = 1;
+    l.n = static_cast<std::uint64_t>(dim);
+    l.k = 1;
+    l.params = static_cast<std::uint64_t>(rows) * dim;
+    return l;
+}
+
+Layer
+attentionLayer(const std::string &name, int seq, int head_dim,
+               int heads)
+{
+    Layer l;
+    l.name = name;
+    l.kind = LayerKind::Attention;
+    l.m = static_cast<std::uint64_t>(seq) * heads;
+    l.n = static_cast<std::uint64_t>(seq);
+    l.k = static_cast<std::uint64_t>(head_dim);
+    l.params = 0; // scores/context carry no trainable weights
+    return l;
+}
+
+std::uint64_t
+DnnModel::totalParams() const
+{
+    std::uint64_t total = 0;
+    for (const auto &l : layers)
+        total += l.params;
+    return total;
+}
+
+std::uint64_t
+DnnModel::forwardMacs() const
+{
+    std::uint64_t total = 0;
+    for (const auto &l : layers)
+        total += l.forwardMacs();
+    return total;
+}
+
+} // namespace multitree::accel

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * DNN layer descriptions in the GEMM view SCALE-Sim uses.
+ *
+ * Every layer is characterized by its per-sample forward GEMM after
+ * im2col lowering — (M x K) activations times (K x N) weights — plus
+ * its weight count, which fixes the gradient bytes the all-reduce
+ * must move. The two backward GEMMs follow from the forward shape:
+ * the weight gradient dW = X^T dY is (K x N) with inner dimension M,
+ * and the input gradient dX = dY W^T (the transposed convolution for
+ * conv layers) is (M x K) with inner dimension N.
+ */
+
+#ifndef MULTITREE_ACCEL_LAYER_HH
+#define MULTITREE_ACCEL_LAYER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace multitree::accel {
+
+/** Broad layer families (reported in model summaries). */
+enum class LayerKind {
+    Conv,      ///< convolution (im2col GEMM)
+    FullyConnected,
+    Embedding, ///< table lookup: huge weights, negligible compute
+    Attention, ///< attention score/context GEMMs (no weights)
+};
+
+/** One layer in the GEMM view. */
+struct Layer {
+    std::string name;
+    LayerKind kind = LayerKind::Conv;
+    std::uint64_t m = 0; ///< per-sample GEMM rows (output pixels)
+    std::uint64_t n = 0; ///< GEMM cols (filters / output features)
+    std::uint64_t k = 0; ///< reduction dim (window x channels)
+    std::uint64_t params = 0; ///< trainable weights (elements)
+
+    /** Gradient bytes this layer contributes to the all-reduce. */
+    std::uint64_t gradientBytes() const { return params * 4; }
+
+    /** Per-sample forward multiply-accumulate count. */
+    std::uint64_t forwardMacs() const { return m * n * k; }
+};
+
+/** Convolution layer from spatial dimensions. */
+Layer convLayer(const std::string &name, int out_h, int out_w,
+                int c_in, int k_h, int k_w, int c_out);
+
+/** Fully connected layer. */
+Layer fcLayer(const std::string &name, int in_features,
+              int out_features);
+
+/** Embedding table: @p rows x @p dim weights, lookup-only compute. */
+Layer embeddingLayer(const std::string &name, std::int64_t rows,
+                     int dim);
+
+/** Attention score/context GEMM: seq x seq x head_dim, no weights. */
+Layer attentionLayer(const std::string &name, int seq, int head_dim,
+                     int heads);
+
+/** A whole network: ordered layers, first backs the input. */
+struct DnnModel {
+    std::string name;
+    std::vector<Layer> layers;
+
+    /** Total trainable parameters. */
+    std::uint64_t totalParams() const;
+
+    /** Total gradient bytes per iteration (float32). */
+    std::uint64_t gradientBytes() const { return totalParams() * 4; }
+
+    /** Total per-sample forward MACs. */
+    std::uint64_t forwardMacs() const;
+};
+
+} // namespace multitree::accel
+
+#endif // MULTITREE_ACCEL_LAYER_HH

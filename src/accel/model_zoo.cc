@@ -1,0 +1,299 @@
+#include "accel/model_zoo.hh"
+
+#include "common/logging.hh"
+
+namespace multitree::accel {
+
+namespace {
+
+/** General GEMM layer for sequence models. */
+Layer
+gemmLayer(const std::string &name, std::uint64_t m, std::uint64_t n,
+          std::uint64_t k, std::uint64_t params, LayerKind kind)
+{
+    Layer l;
+    l.name = name;
+    l.kind = kind;
+    l.m = m;
+    l.n = n;
+    l.k = k;
+    l.params = params;
+    return l;
+}
+
+/** One ResNet bottleneck: 1x1 down, 3x3, 1x1 up (+ optional proj). */
+void
+bottleneck(DnnModel &model, const std::string &name, int hw, int c_in,
+           int c_mid, int c_out, bool project)
+{
+    model.layers.push_back(
+        convLayer(name + ".conv1", hw, hw, c_in, 1, 1, c_mid));
+    model.layers.push_back(
+        convLayer(name + ".conv2", hw, hw, c_mid, 3, 3, c_mid));
+    model.layers.push_back(
+        convLayer(name + ".conv3", hw, hw, c_mid, 1, 1, c_out));
+    if (project) {
+        model.layers.push_back(convLayer(name + ".proj", hw, hw, c_in,
+                                         1, 1, c_out));
+    }
+}
+
+/** One GoogLeNet inception module from its branch channel spec. */
+void
+inception(DnnModel &model, const std::string &name, int hw, int c_in,
+          int c1, int c3r, int c3, int c5r, int c5, int cp)
+{
+    model.layers.push_back(
+        convLayer(name + ".1x1", hw, hw, c_in, 1, 1, c1));
+    model.layers.push_back(
+        convLayer(name + ".3x3r", hw, hw, c_in, 1, 1, c3r));
+    model.layers.push_back(
+        convLayer(name + ".3x3", hw, hw, c3r, 3, 3, c3));
+    model.layers.push_back(
+        convLayer(name + ".5x5r", hw, hw, c_in, 1, 1, c5r));
+    model.layers.push_back(
+        convLayer(name + ".5x5", hw, hw, c5r, 5, 5, c5));
+    model.layers.push_back(
+        convLayer(name + ".pool_proj", hw, hw, c_in, 1, 1, cp));
+}
+
+} // namespace
+
+DnnModel
+makeAlexNet()
+{
+    DnnModel m;
+    m.name = "AlexNet";
+    m.layers = {
+        convLayer("conv1", 55, 55, 3, 11, 11, 96),
+        convLayer("conv2", 27, 27, 96, 5, 5, 256),
+        convLayer("conv3", 13, 13, 256, 3, 3, 384),
+        convLayer("conv4", 13, 13, 384, 3, 3, 384),
+        convLayer("conv5", 13, 13, 384, 3, 3, 256),
+    };
+    return m;
+}
+
+DnnModel
+makeAlphaGoZero()
+{
+    DnnModel m;
+    m.name = "AlphaGoZero";
+    m.layers.push_back(convLayer("stem", 19, 19, 17, 3, 3, 256));
+    for (int b = 0; b < 20; ++b) {
+        std::string name = "res" + std::to_string(b);
+        m.layers.push_back(
+            convLayer(name + ".conv1", 19, 19, 256, 3, 3, 256));
+        m.layers.push_back(
+            convLayer(name + ".conv2", 19, 19, 256, 3, 3, 256));
+    }
+    m.layers.push_back(convLayer("policy.conv", 19, 19, 256, 1, 1, 2));
+    m.layers.push_back(fcLayer("policy.fc", 19 * 19 * 2, 362));
+    m.layers.push_back(convLayer("value.conv", 19, 19, 256, 1, 1, 1));
+    m.layers.push_back(fcLayer("value.fc1", 19 * 19, 256));
+    m.layers.push_back(fcLayer("value.fc2", 256, 1));
+    return m;
+}
+
+DnnModel
+makeFasterRCNN()
+{
+    // VGG-16 trunk at 224x224 plus the region proposal network.
+    DnnModel m;
+    m.name = "FasterRCNN";
+    struct Block {
+        int hw, c_in, c_out, repeat;
+    };
+    const Block blocks[] = {
+        {224, 3, 64, 1},   {224, 64, 64, 1},  {112, 64, 128, 1},
+        {112, 128, 128, 1}, {56, 128, 256, 1}, {56, 256, 256, 2},
+        {28, 256, 512, 1},  {28, 512, 512, 2}, {14, 512, 512, 3},
+    };
+    int idx = 0;
+    for (const auto &b : blocks) {
+        for (int r = 0; r < b.repeat; ++r) {
+            m.layers.push_back(convLayer(
+                "vgg.conv" + std::to_string(idx++), b.hw, b.hw,
+                b.c_in, 3, 3, b.c_out));
+        }
+    }
+    m.layers.push_back(convLayer("rpn.conv", 14, 14, 512, 3, 3, 512));
+    m.layers.push_back(convLayer("rpn.cls", 14, 14, 512, 1, 1, 18));
+    m.layers.push_back(convLayer("rpn.reg", 14, 14, 512, 1, 1, 36));
+    return m;
+}
+
+DnnModel
+makeGoogLeNet()
+{
+    DnnModel m;
+    m.name = "GoogLeNet";
+    m.layers.push_back(convLayer("stem.7x7", 112, 112, 3, 7, 7, 64));
+    m.layers.push_back(convLayer("stem.1x1", 56, 56, 64, 1, 1, 64));
+    m.layers.push_back(convLayer("stem.3x3", 56, 56, 64, 3, 3, 192));
+    inception(m, "3a", 28, 192, 64, 96, 128, 16, 32, 32);
+    inception(m, "3b", 28, 256, 128, 128, 192, 32, 96, 64);
+    inception(m, "4a", 14, 480, 192, 96, 208, 16, 48, 64);
+    inception(m, "4b", 14, 512, 160, 112, 224, 24, 64, 64);
+    inception(m, "4c", 14, 512, 128, 128, 256, 24, 64, 64);
+    inception(m, "4d", 14, 512, 112, 144, 288, 32, 64, 64);
+    inception(m, "4e", 14, 528, 256, 160, 320, 32, 128, 128);
+    inception(m, "5a", 7, 832, 256, 160, 320, 32, 128, 128);
+    inception(m, "5b", 7, 832, 384, 192, 384, 48, 128, 128);
+    m.layers.push_back(fcLayer("classifier", 1024, 1000));
+    return m;
+}
+
+DnnModel
+makeNCF()
+{
+    // MovieLens-20M scale NCF (NeuMF): GMF + MLP embedding pairs and
+    // a small MLP tower — tiny compute atop large embedding tables.
+    DnnModel m;
+    m.name = "NCF";
+    m.layers.push_back(embeddingLayer("gmf.user", 138493, 64));
+    m.layers.push_back(embeddingLayer("gmf.item", 26744, 64));
+    m.layers.push_back(embeddingLayer("mlp.user", 138493, 128));
+    m.layers.push_back(embeddingLayer("mlp.item", 26744, 128));
+    m.layers.push_back(fcLayer("mlp.fc1", 256, 256));
+    m.layers.push_back(fcLayer("mlp.fc2", 256, 128));
+    m.layers.push_back(fcLayer("mlp.fc3", 128, 64));
+    m.layers.push_back(fcLayer("neumf", 128, 1));
+    return m;
+}
+
+DnnModel
+makeResNet50()
+{
+    DnnModel m;
+    m.name = "ResNet50";
+    m.layers.push_back(convLayer("conv1", 112, 112, 3, 7, 7, 64));
+    struct Stage {
+        int hw, c_in, c_mid, c_out, blocks;
+    };
+    const Stage stages[] = {
+        {56, 64, 64, 256, 3},
+        {28, 256, 128, 512, 4},
+        {14, 512, 256, 1024, 6},
+        {7, 1024, 512, 2048, 3},
+    };
+    for (int s = 0; s < 4; ++s) {
+        const auto &st = stages[s];
+        for (int b = 0; b < st.blocks; ++b) {
+            int c_in = b == 0 ? st.c_in : st.c_out;
+            bottleneck(m,
+                       "stage" + std::to_string(s + 2) + ".block"
+                           + std::to_string(b),
+                       st.hw, c_in, st.c_mid, st.c_out, b == 0);
+        }
+    }
+    m.layers.push_back(fcLayer("classifier", 2048, 1000));
+    return m;
+}
+
+DnnModel
+makeTransformer()
+{
+    // Transformer base (Vaswani et al.): d=512, ff=2048, 8 heads,
+    // 6 encoder + 6 decoder layers, shared 37k-token embedding,
+    // modeled at sequence length 64 per sample.
+    DnnModel m;
+    m.name = "Transformer";
+    const int seq = 64, d = 512, ff = 2048, heads = 8, vocab = 37000;
+    m.layers.push_back(embeddingLayer("embedding", vocab, d));
+    auto addBlock = [&](const std::string &base, bool cross) {
+        // Self-attention projections Q,K,V,O.
+        for (const char *p : {"q", "k", "v", "o"}) {
+            m.layers.push_back(gemmLayer(
+                base + ".attn." + p, seq, d, d,
+                static_cast<std::uint64_t>(d) * d,
+                LayerKind::FullyConnected));
+        }
+        m.layers.push_back(
+            attentionLayer(base + ".attn.score", seq, d / heads,
+                           heads));
+        m.layers.push_back(
+            attentionLayer(base + ".attn.ctx", seq, d / heads,
+                           heads));
+        if (cross) {
+            for (const char *p : {"q", "k", "v", "o"}) {
+                m.layers.push_back(gemmLayer(
+                    base + ".xattn." + p, seq, d, d,
+                    static_cast<std::uint64_t>(d) * d,
+                    LayerKind::FullyConnected));
+            }
+            m.layers.push_back(attentionLayer(base + ".xattn.score",
+                                              seq, d / heads, heads));
+            m.layers.push_back(attentionLayer(base + ".xattn.ctx",
+                                              seq, d / heads, heads));
+        }
+        m.layers.push_back(gemmLayer(
+            base + ".ff1", seq, ff, d,
+            static_cast<std::uint64_t>(d) * ff,
+            LayerKind::FullyConnected));
+        m.layers.push_back(gemmLayer(
+            base + ".ff2", seq, d, ff,
+            static_cast<std::uint64_t>(ff) * d,
+            LayerKind::FullyConnected));
+    };
+    for (int i = 0; i < 6; ++i)
+        addBlock("enc" + std::to_string(i), false);
+    for (int i = 0; i < 6; ++i)
+        addBlock("dec" + std::to_string(i), true);
+    m.layers.push_back(gemmLayer("generator", seq, vocab, d,
+                                 0, // weights shared with embedding
+                                 LayerKind::FullyConnected));
+    return m;
+}
+
+DnnModel
+makeDLRM()
+{
+    // DLRM-small scale: 8 sparse features of 1M rows x 64, bottom
+    // MLP 13-512-256-64, top MLP 512-256-1 over pairwise feature
+    // interactions.
+    DnnModel m;
+    m.name = "DLRM";
+    for (int f = 0; f < 8; ++f) {
+        m.layers.push_back(embeddingLayer(
+            "emb" + std::to_string(f), 1'000'000, 64));
+    }
+    m.layers.push_back(fcLayer("bot.fc1", 13, 512));
+    m.layers.push_back(fcLayer("bot.fc2", 512, 256));
+    m.layers.push_back(fcLayer("bot.fc3", 256, 64));
+    m.layers.push_back(fcLayer("top.fc1", 512, 256));
+    m.layers.push_back(fcLayer("top.fc2", 256, 128));
+    m.layers.push_back(fcLayer("top.fc3", 128, 1));
+    return m;
+}
+
+DnnModel
+makeModel(const std::string &name)
+{
+    if (name == "alexnet")
+        return makeAlexNet();
+    if (name == "alphagozero")
+        return makeAlphaGoZero();
+    if (name == "fasterrcnn")
+        return makeFasterRCNN();
+    if (name == "googlenet")
+        return makeGoogLeNet();
+    if (name == "ncf")
+        return makeNCF();
+    if (name == "resnet50")
+        return makeResNet50();
+    if (name == "transformer")
+        return makeTransformer();
+    if (name == "dlrm")
+        return makeDLRM();
+    MT_FATAL("unknown model '", name, "'");
+}
+
+std::vector<std::string>
+modelNames()
+{
+    return {"alexnet",   "alphagozero", "fasterrcnn", "googlenet",
+            "ncf",       "resnet50",    "transformer"};
+}
+
+} // namespace multitree::accel

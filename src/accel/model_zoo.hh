@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The seven DNN workloads of the paper's §V-B (the SCALE-Sim model
+ * set): AlexNet, AlphaGoZero, FasterRCNN, GoogLeNet, NCF, ResNet50
+ * and Transformer.
+ *
+ * Layer tables are reconstructed from the published architectures in
+ * the GEMM view (DESIGN.md documents this substitution for
+ * SCALE-Sim's CSV files). What matters for the paper's communication
+ * study is preserved: each model's parameter count — hence gradient
+ * volume — and its compute-versus-communication balance, which makes
+ * the CNNs compute-heavy and NCF/Transformer communication-dominant.
+ */
+
+#ifndef MULTITREE_ACCEL_MODEL_ZOO_HH
+#define MULTITREE_ACCEL_MODEL_ZOO_HH
+
+#include <vector>
+
+#include "accel/layer.hh"
+
+namespace multitree::accel {
+
+/** AlexNet convolutional trunk (SCALE-Sim's conv workload). */
+DnnModel makeAlexNet();
+
+/** AlphaGoZero: 20 residual blocks of 3x3x256 on a 19x19 board. */
+DnnModel makeAlphaGoZero();
+
+/** FasterRCNN: VGG-16 trunk + region proposal network. */
+DnnModel makeFasterRCNN();
+
+/** GoogLeNet (Inception v1), stem + 9 inception modules + classifier. */
+DnnModel makeGoogLeNet();
+
+/** Neural collaborative filtering: embeddings + MLP tower. */
+DnnModel makeNCF();
+
+/** ResNet-50 with the standard (3,4,6,3) bottleneck stages. */
+DnnModel makeResNet50();
+
+/** Transformer base: 6 encoder + 6 decoder layers, d=512. */
+DnnModel makeTransformer();
+
+/**
+ * DLRM (Facebook's recommendation model [51]): sparse embedding
+ * tables plus bottom/top MLPs. An extension workload — its hybrid
+ * data/model parallelism pairs the all-reduce with the §VII-B
+ * all-to-all (see examples/dlrm_hybrid.cpp).
+ */
+DnnModel makeDLRM();
+
+/** Build a model by its lowercase name ("resnet50", "ncf", ...). */
+DnnModel makeModel(const std::string &name);
+
+/** All model names in the paper's Fig. 11 order. */
+std::vector<std::string> modelNames();
+
+} // namespace multitree::accel
+
+#endif // MULTITREE_ACCEL_MODEL_ZOO_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Output-stationary systolic array timing model (SCALE-Sim [35],
+ * extended for back-propagation as §V-A describes).
+ *
+ * A GEMM of M x N x K maps onto an R x C MAC array in
+ * ceil(M/R) * ceil(N/C) folds; with the output-stationary dataflow a
+ * fold streams its K-deep inputs through the array in
+ * 2R + C + K - 2 cycles (fill, K multiply-accumulate beats, drain).
+ * The paper's accelerator is 16 such PEs of 32x32 per node, double
+ * buffered with enough memory bandwidth to keep the arrays busy, so
+ * a mini-batch of B samples spreads over the PEs at ceil(B/PEs)
+ * sequential sample slots.
+ *
+ * Backward pass per layer = dW GEMM (K x N, inner M) + dX GEMM
+ * (M x K, inner N, the transposed convolution); the first layer
+ * skips dX.
+ */
+
+#ifndef MULTITREE_ACCEL_SYSTOLIC_HH
+#define MULTITREE_ACCEL_SYSTOLIC_HH
+
+#include "accel/layer.hh"
+#include "common/units.hh"
+
+namespace multitree::accel {
+
+/**
+ * Systolic dataflow (SCALE-Sim's three mappings). The paper uses
+ * output stationary; the other two are provided for dataflow
+ * sensitivity studies.
+ */
+enum class Dataflow {
+    OutputStationary, ///< outputs pinned; K streams through (paper)
+    WeightStationary, ///< weights pinned per fold; M rows stream
+    InputStationary,  ///< inputs pinned per fold; N columns stream
+};
+
+/** Accelerator configuration (Table III). */
+struct AcceleratorConfig {
+    int rows = 32;       ///< MAC array rows
+    int cols = 32;       ///< MAC array columns
+    int pes = 16;        ///< systolic PEs per accelerator
+    int batch = 16;      ///< samples per accelerator per iteration
+    Dataflow dataflow = Dataflow::OutputStationary;
+};
+
+/** Cycles for one M x N x K GEMM fold set on one PE. */
+Tick gemmCycles(std::uint64_t m, std::uint64_t n, std::uint64_t k,
+                const AcceleratorConfig &cfg);
+
+/** Forward cycles of @p layer for the configured mini-batch. */
+Tick forwardCycles(const Layer &layer, const AcceleratorConfig &cfg);
+
+/**
+ * Backward cycles of @p layer (dW + dX) for the mini-batch.
+ * @param first_layer Skip the input-gradient GEMM for the first
+ *        layer, which has no upstream to propagate to.
+ */
+Tick backwardCycles(const Layer &layer, const AcceleratorConfig &cfg,
+                    bool first_layer = false);
+
+/** Whole-model per-iteration compute split. */
+struct ComputeBreakdown {
+    Tick fwd = 0;
+    Tick bwd = 0;
+    /** Backward completion offset of each layer, front to back:
+     *  bwd_finish[i] = cycles after backward starts until layer i's
+     *  gradient is ready (backward runs last layer first). */
+    std::vector<Tick> bwd_finish;
+};
+
+/** Compute the per-iteration timing of @p model on one accelerator. */
+ComputeBreakdown modelCompute(const DnnModel &model,
+                              const AcceleratorConfig &cfg);
+
+} // namespace multitree::accel
+
+#endif // MULTITREE_ACCEL_SYSTOLIC_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Base interface and registry for all-reduce algorithms.
+ */
+
+#ifndef MULTITREE_COLL_ALGORITHM_HH
+#define MULTITREE_COLL_ALGORITHM_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "coll/schedule.hh"
+
+namespace multitree::topo {
+class Topology;
+} // namespace multitree::topo
+
+namespace multitree::coll {
+
+/**
+ * An all-reduce algorithm: given a topology and a payload size, emit a
+ * Schedule. Algorithms are stateless; options live in subclasses.
+ */
+class Algorithm
+{
+  public:
+    virtual ~Algorithm() = default;
+
+    /** Short identifier, e.g. "ring", "dbtree", "multitree". */
+    virtual std::string name() const = 0;
+
+    /** Whether this algorithm can run on @p topo. */
+    virtual bool supports(const topo::Topology &topo) const = 0;
+
+    /**
+     * Build the schedule for an all-reduce of @p total_bytes over all
+     * nodes of @p topo. The returned schedule has bytes assigned.
+     */
+    virtual Schedule build(const topo::Topology &topo,
+                           std::uint64_t total_bytes) const = 0;
+};
+
+/**
+ * Construct a registered algorithm by name. Known names: "ring",
+ * "dbtree", "ring2d", "hd", "hdrm", "multitree". Fatal on unknown
+ * names.
+ */
+std::unique_ptr<Algorithm> makeAlgorithm(const std::string &name);
+
+/** Names of all registered algorithms. */
+std::vector<std::string> algorithmNames();
+
+} // namespace multitree::coll
+
+#endif // MULTITREE_COLL_ALGORITHM_HH

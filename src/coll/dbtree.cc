@@ -1,0 +1,164 @@
+#include "coll/dbtree.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+#include "topo/topology.hh"
+
+namespace multitree::coll {
+
+namespace {
+
+/**
+ * Build the in-order binary tree over labels [lo, hi] (1-based). The
+ * subtree root is lo - 1 + 2^floor(log2(size)), which keeps every odd
+ * label a leaf and every even label internal. Fills parent_of_label.
+ */
+void
+buildInOrder(int lo, int hi, int parent_label,
+             std::vector<int> &parent_of_label)
+{
+    if (lo > hi)
+        return;
+    int size = hi - lo + 1;
+    int pow2 = 1;
+    while (pow2 * 2 <= size)
+        pow2 *= 2;
+    int root = lo - 1 + pow2;
+    parent_of_label[static_cast<std::size_t>(root)] = parent_label;
+    buildInOrder(lo, root - 1, root, parent_of_label);
+    buildInOrder(root + 1, hi, root, parent_of_label);
+}
+
+/** Parent array by rank for one of the two trees. */
+std::vector<int>
+treeParents(int n, int which)
+{
+    // Tree 0 is the in-order tree over labels 1..n. Tree 1 mirrors it
+    // (label -> n + 1 - label), which for even n swaps the odd-label
+    // leaves with the even-label internal nodes. For odd n the
+    // classic shift-by-one (label -> label % n + 1) is used instead.
+    std::vector<int> parent_of_label(static_cast<std::size_t>(n) + 1,
+                                     -1);
+    buildInOrder(1, n, 0, parent_of_label); // 0 marks the root's parent
+    std::vector<int> parent(static_cast<std::size_t>(n), -1);
+    auto to_rank = [&](int label) -> int {
+        if (which == 0)
+            return label - 1;
+        if (n % 2 == 0)
+            return n - label; // mirror
+        return label % n;     // shift
+    };
+    for (int label = 1; label <= n; ++label) {
+        int p_label = parent_of_label[static_cast<std::size_t>(label)];
+        parent[static_cast<std::size_t>(to_rank(label))] =
+            p_label == 0 ? -1 : to_rank(p_label);
+    }
+    return parent;
+}
+
+} // namespace
+
+int
+DBTreeAllReduce::parentOf(int rank, int which, int n)
+{
+    auto parents = treeParents(n, which);
+    return parents[static_cast<std::size_t>(rank)];
+}
+
+Schedule
+DBTreeAllReduce::build(const topo::Topology &topo,
+                       std::uint64_t total_bytes) const
+{
+    const int n = topo.numNodes();
+    MT_ASSERT(n >= 2, "dbtree needs at least two nodes");
+
+    Schedule sched;
+    sched.algorithm = name();
+    sched.num_nodes = n;
+
+    const std::uint64_t half = total_bytes / 2;
+    int segments = static_cast<int>(
+        std::min<std::uint64_t>(
+            static_cast<std::uint64_t>(opts_.max_segments),
+            std::max<std::uint64_t>(
+                1, ceilDiv(half, opts_.segment_bytes))));
+
+    for (int which = 0; which < 2; ++which) {
+        auto parent = treeParents(n, which);
+        int root = -1;
+        std::vector<std::vector<int>> children(
+            static_cast<std::size_t>(n));
+        for (int r = 0; r < n; ++r) {
+            if (parent[static_cast<std::size_t>(r)] < 0)
+                root = r;
+            else
+                children[static_cast<std::size_t>(
+                             parent[static_cast<std::size_t>(r)])]
+                    .push_back(r);
+        }
+        MT_ASSERT(root >= 0, "tree ", which, " has no root");
+
+        // height: distance to the deepest leaf below; depth: distance
+        // from the root. Computed iteratively over the parent links.
+        std::vector<int> height(static_cast<std::size_t>(n), 0);
+        std::vector<int> order(static_cast<std::size_t>(n));
+        for (int r = 0; r < n; ++r)
+            order[static_cast<std::size_t>(r)] = r;
+        // Repeated relaxation is O(n * depth); fine at this scale.
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (int r = 0; r < n; ++r) {
+                int p = parent[static_cast<std::size_t>(r)];
+                if (p < 0)
+                    continue;
+                int want = height[static_cast<std::size_t>(r)] + 1;
+                if (height[static_cast<std::size_t>(p)] < want) {
+                    height[static_cast<std::size_t>(p)] = want;
+                    changed = true;
+                }
+            }
+        }
+        std::vector<int> depth(static_cast<std::size_t>(n), 0);
+        for (int r = 0; r < n; ++r) {
+            int d = 0;
+            for (int v = r; parent[static_cast<std::size_t>(v)] >= 0;
+                 v = parent[static_cast<std::size_t>(v)]) {
+                ++d;
+            }
+            depth[static_cast<std::size_t>(r)] = d;
+        }
+        int root_height = height[static_cast<std::size_t>(root)];
+
+        // Segment q of this tree is one flow; steps interleave the
+        // two trees on even/odd parity (Fig. 4b).
+        int reduce_slots = (segments - 1) + root_height;
+        for (int q = 0; q < segments; ++q) {
+            ChunkFlow flow;
+            flow.flow_id = which * segments + q;
+            flow.root = root;
+            flow.fraction = 0.5 / segments;
+            for (int r = 0; r < n; ++r) {
+                int p = parent[static_cast<std::size_t>(r)];
+                if (p < 0)
+                    continue;
+                int up_slot = q + height[static_cast<std::size_t>(r)];
+                flow.reduce.push_back(ScheduledEdge{
+                    r, p, 2 * up_slot + which + 1, {}});
+                int down_slot = reduce_slots + 1 + q
+                                + depth[static_cast<std::size_t>(r)];
+                flow.gather.push_back(ScheduledEdge{
+                    p, r, 2 * down_slot + which + 1, {}});
+            }
+            sched.flows.push_back(std::move(flow));
+        }
+    }
+    sched.assignBytes(total_bytes);
+    sched.checkBasicShape();
+    return sched;
+}
+
+} // namespace multitree::coll

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Double binary tree all-reduce (Sanders et al. [10], NCCL [16]).
+ *
+ * Two complementary binary trees over the ranks: the leaves of one
+ * tree are internal nodes of the other, so each tree carries half the
+ * payload and every node both sends and receives at full rate.
+ * Segments pipeline through each tree (reduce to the root, then
+ * broadcast back down), with the two trees interleaved on even/odd
+ * steps as in Fig. 4b of the paper, so a node never serves both trees
+ * in the same step.
+ *
+ * The algorithm is topology-oblivious: ranks map to node ids
+ * directly, and tree edges may span multiple physical hops — exactly
+ * the mismatch that makes DBTree collapse on Torus/Mesh for large
+ * messages in the paper's evaluation.
+ */
+
+#ifndef MULTITREE_COLL_DBTREE_HH
+#define MULTITREE_COLL_DBTREE_HH
+
+#include "coll/algorithm.hh"
+
+namespace multitree::coll {
+
+/** Pipelining knobs for the double binary tree. */
+struct DBTreeOptions {
+    /** Target bytes per pipelined segment (half-payload is split). */
+    std::uint64_t segment_bytes = 256 * 1024;
+    /** Upper bound on segments per tree, to cap schedule size. */
+    int max_segments = 64;
+};
+
+/** Double binary tree all-reduce. */
+class DBTreeAllReduce : public Algorithm
+{
+  public:
+    explicit DBTreeAllReduce(DBTreeOptions opts = {}) : opts_(opts) {}
+
+    std::string name() const override { return "dbtree"; }
+
+    /** Topology-oblivious: runs anywhere with >= 2 nodes. */
+    bool supports(const topo::Topology &) const override { return true; }
+
+    Schedule build(const topo::Topology &topo,
+                   std::uint64_t total_bytes) const override;
+
+    /**
+     * Parent of @p rank in tree @p which (0 or 1) for @p n ranks, or
+     * -1 for the root. Exposed for structural tests.
+     */
+    static int parentOf(int rank, int which, int n);
+
+  private:
+    DBTreeOptions opts_;
+};
+
+} // namespace multitree::coll
+
+#endif // MULTITREE_COLL_DBTREE_HH

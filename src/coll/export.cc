@@ -1,0 +1,81 @@
+#include "coll/export.hh"
+
+#include <set>
+#include <sstream>
+
+#include "topo/topology.hh"
+
+namespace multitree::coll {
+
+std::string
+toDot(const Schedule &sched, int max_flows)
+{
+    std::ostringstream oss;
+    oss << "digraph \"" << sched.algorithm << "\" {\n";
+    oss << "  rankdir=TB;\n  node [shape=circle];\n";
+    int drawn = 0;
+    for (const auto &f : sched.flows) {
+        if (max_flows >= 0 && drawn >= max_flows)
+            break;
+        ++drawn;
+        oss << "  subgraph cluster_flow" << f.flow_id << " {\n";
+        oss << "    label=\"flow " << f.flow_id << " (root "
+            << f.root << ")\";\n";
+        auto node_id = [&](int v) {
+            std::ostringstream id;
+            id << "f" << f.flow_id << "n" << v;
+            return id.str();
+        };
+        std::set<int> nodes;
+        auto emit = [&](const ScheduledEdge &e, bool dashed) {
+            oss << "    " << node_id(e.src) << " -> "
+                << node_id(e.dst) << " [label=\"" << e.step << "\"";
+            if (dashed)
+                oss << ", style=dashed";
+            oss << "];\n";
+            nodes.insert(e.src);
+            nodes.insert(e.dst);
+        };
+        for (const auto &e : f.gather)
+            emit(e, false);
+        // Gather-less schedules (reduce-scatter) show their reduce
+        // tree instead, dashed to mark the direction toward the root.
+        if (f.gather.empty()) {
+            for (const auto &e : f.reduce)
+                emit(e, true);
+        }
+        for (int v : nodes) {
+            oss << "    " << node_id(v) << " [label=\"" << v
+                << "\"];\n";
+        }
+        oss << "  }\n";
+    }
+    oss << "}\n";
+    return oss.str();
+}
+
+std::string
+toCsv(const Schedule &sched, const topo::Topology &topo)
+{
+    std::ostringstream oss;
+    oss << "phase,flow,src,dst,step,bytes,hops\n";
+    auto hops = [&](const ScheduledEdge &e) {
+        return e.route.empty() ? topo.route(e.src, e.dst).size()
+                               : e.route.size();
+    };
+    for (const auto &f : sched.flows) {
+        for (const auto &e : f.reduce) {
+            oss << "reduce," << f.flow_id << "," << e.src << ","
+                << e.dst << "," << e.step << "," << f.bytes << ","
+                << hops(e) << "\n";
+        }
+        for (const auto &e : f.gather) {
+            oss << "gather," << f.flow_id << "," << e.src << ","
+                << e.dst << "," << e.step << "," << f.bytes << ","
+                << hops(e) << "\n";
+        }
+    }
+    return oss.str();
+}
+
+} // namespace multitree::coll

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Schedule export for visualization and external tooling.
+ *
+ * Two formats:
+ *  - Graphviz DOT of the gather trees (edges labeled with their time
+ *    step), the view the paper draws in Fig. 3d/3e;
+ *  - a line-oriented CSV of every scheduled transfer, convenient for
+ *    plotting per-step link activity.
+ */
+
+#ifndef MULTITREE_COLL_EXPORT_HH
+#define MULTITREE_COLL_EXPORT_HH
+
+#include <string>
+
+#include "coll/schedule.hh"
+
+namespace multitree::topo {
+class Topology;
+} // namespace multitree::topo
+
+namespace multitree::coll {
+
+/**
+ * Render the trees of @p sched as a Graphviz digraph: gather edges
+ * solid, and — for schedules without a gather phase (reduce-scatter)
+ * — the reduce edges dashed. With @p max_flows >= 0 only the first
+ * flows are drawn (big schedules are unreadable otherwise).
+ */
+std::string toDot(const Schedule &sched, int max_flows = -1);
+
+/**
+ * Render every transfer as CSV rows:
+ * `phase,flow,src,dst,step,bytes,hops`, resolving implicit routes
+ * through @p topo so hop counts match Schedule::stats().
+ */
+std::string toCsv(const Schedule &sched, const topo::Topology &topo);
+
+} // namespace multitree::coll
+
+#endif // MULTITREE_COLL_EXPORT_HH

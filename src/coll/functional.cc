@@ -1,0 +1,236 @@
+#include "coll/functional.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace multitree::coll {
+
+std::vector<std::vector<float>>
+runFunctional(const Schedule &sched,
+              const std::vector<std::vector<float>> &inputs)
+{
+    const int n = sched.num_nodes;
+    MT_ASSERT(static_cast<int>(inputs.size()) == n,
+              "need one input vector per node");
+    const std::size_t elems = inputs[0].size();
+    for (const auto &v : inputs)
+        MT_ASSERT(v.size() == elems, "ragged input vectors");
+    MT_ASSERT(elems * 4 == sched.total_bytes,
+              "inputs carry ", elems * 4, " bytes, schedule sized for ",
+              sched.total_bytes);
+
+    std::vector<std::vector<float>> out = inputs;
+
+    // Assign each flow a contiguous element range, in flow order —
+    // the same convention assignBytes() uses for sizing.
+    struct Range {
+        std::size_t off;
+        std::size_t len;
+    };
+    std::vector<Range> ranges(sched.flows.size());
+    std::size_t cursor = 0;
+    for (std::size_t i = 0; i < sched.flows.size(); ++i) {
+        std::size_t len = sched.flows[i].bytes / 4;
+        ranges[i] = Range{cursor, len};
+        cursor += len;
+    }
+    MT_ASSERT(cursor == elems, "flow ranges do not tile the payload");
+
+    // Execute flow by flow. Flows touch disjoint ranges, so inter-flow
+    // order is irrelevant; within a flow, edges run in step order.
+    for (std::size_t i = 0; i < sched.flows.size(); ++i) {
+        const auto &flow = sched.flows[i];
+        const auto [off, len] = ranges[i];
+        if (len == 0)
+            continue;
+
+        // partial[v] = v's running partial sum for this chunk.
+        std::vector<std::vector<float>> partial(
+            static_cast<std::size_t>(n));
+        for (int v = 0; v < n; ++v) {
+            partial[v].assign(inputs[v].begin() + off,
+                              inputs[v].begin() + off + len);
+        }
+        auto reduce_edges = flow.reduce;
+        std::stable_sort(reduce_edges.begin(), reduce_edges.end(),
+                         [](const auto &a, const auto &b) {
+                             return a.step < b.step;
+                         });
+        // Execute step by step with snapshot semantics: every send in
+        // a step reads the sender's state from before the step, so a
+        // same-step relay cannot leak data that only arrives now.
+        std::size_t i_edge = 0;
+        while (i_edge < reduce_edges.size()) {
+            std::size_t j = i_edge;
+            int step = reduce_edges[i_edge].step;
+            while (j < reduce_edges.size()
+                   && reduce_edges[j].step == step) {
+                ++j;
+            }
+            std::vector<std::vector<float>> sent(j - i_edge);
+            for (std::size_t k = i_edge; k < j; ++k)
+                sent[k - i_edge] = partial[reduce_edges[k].src];
+            for (std::size_t k = i_edge; k < j; ++k) {
+                auto &dst = partial[reduce_edges[k].dst];
+                const auto &src = sent[k - i_edge];
+                for (std::size_t x = 0; x < len; ++x)
+                    dst[x] += src[x];
+            }
+            i_edge = j;
+        }
+        // Root's partial is the reduced chunk; broadcast it.
+        const auto &result = partial[flow.root];
+        std::copy(result.begin(), result.end(),
+                  out[flow.root].begin() + off);
+        auto gather_edges = flow.gather;
+        std::stable_sort(gather_edges.begin(), gather_edges.end(),
+                         [](const auto &a, const auto &b) {
+                             return a.step < b.step;
+                         });
+        // Track possession so a forward-before-receive bug surfaces
+        // as a wrong result instead of being silently papered over.
+        // The root only "has" the reduced chunk after its last
+        // reduce arrival: a gather scheduled at or before that step
+        // would ship an unreduced partial, so the copy is withheld
+        // and the mismatch surfaces downstream.
+        int root_ready = 0;
+        for (const auto &e : flow.reduce) {
+            if (e.dst == flow.root)
+                root_ready = std::max(root_ready, e.step);
+        }
+        std::vector<char> has(static_cast<std::size_t>(n), 0);
+        std::size_t g = 0;
+        while (g < gather_edges.size()) {
+            std::size_t j = g;
+            int step = gather_edges[g].step;
+            while (j < gather_edges.size()
+                   && gather_edges[j].step == step) {
+                ++j;
+            }
+            if (step > root_ready)
+                has[static_cast<std::size_t>(flow.root)] = 1;
+            std::vector<char> had = has;
+            for (std::size_t k = g; k < j; ++k) {
+                const auto &e = gather_edges[k];
+                if (!had[static_cast<std::size_t>(e.src)])
+                    continue; // nothing to forward yet: schedule bug
+                // All-to-all relays forward the chunk but do not own
+                // the destination's output range; only the terminal
+                // node's buffer is written.
+                if (sched.kind != CollectiveKind::AllToAll
+                    || e.dst == flow.dst) {
+                    std::copy(result.begin(), result.end(),
+                              out[e.dst].begin() + off);
+                }
+                has[static_cast<std::size_t>(e.dst)] = 1;
+            }
+            g = j;
+        }
+    }
+    return out;
+}
+
+bool
+checkCollectiveCorrect(const Schedule &sched, std::size_t elems,
+                       std::uint64_t seed)
+{
+    if (sched.kind == CollectiveKind::AllReduce)
+        return checkAllReduceCorrect(sched, elems, seed);
+
+    const int n = sched.num_nodes;
+    Rng rng(seed);
+    std::vector<std::vector<float>> inputs;
+    inputs.reserve(static_cast<std::size_t>(n));
+    for (int v = 0; v < n; ++v)
+        inputs.push_back(rng.floatVector(elems));
+    auto out = runFunctional(sched, inputs);
+
+    // Recompute each flow's element range (same tiling convention as
+    // the executor).
+    std::size_t off = 0;
+    for (const auto &f : sched.flows) {
+        std::size_t len = f.bytes / 4;
+        auto close = [](float a, float b) {
+            float tol = 1e-4f * std::max(1.0f, std::fabs(b));
+            return std::fabs(a - b) <= tol;
+        };
+        switch (sched.kind) {
+          case CollectiveKind::ReduceScatter:
+            for (std::size_t k = 0; k < len; ++k) {
+                float want = 0;
+                for (int v = 0; v < n; ++v)
+                    want += inputs[static_cast<std::size_t>(v)]
+                                  [off + k];
+                if (!close(out[static_cast<std::size_t>(f.root)]
+                              [off + k],
+                           want))
+                    return false;
+            }
+            break;
+          case CollectiveKind::AllGather:
+            for (int v = 0; v < n; ++v) {
+                for (std::size_t k = 0; k < len; ++k) {
+                    float want =
+                        inputs[static_cast<std::size_t>(f.root)]
+                              [off + k];
+                    if (!close(out[static_cast<std::size_t>(v)]
+                                  [off + k],
+                               want))
+                        return false;
+                }
+            }
+            break;
+          case CollectiveKind::AllToAll:
+            for (std::size_t k = 0; k < len; ++k) {
+                float want = inputs[static_cast<std::size_t>(f.root)]
+                                   [off + k];
+                if (!close(out[static_cast<std::size_t>(f.dst)]
+                              [off + k],
+                           want))
+                    return false;
+            }
+            break;
+          case CollectiveKind::AllReduce:
+            break; // handled above
+        }
+        off += len;
+    }
+    return true;
+}
+
+bool
+checkAllReduceCorrect(const Schedule &sched, std::size_t elems,
+                      std::uint64_t seed)
+{
+    const int n = sched.num_nodes;
+    Rng rng(seed);
+    std::vector<std::vector<float>> inputs;
+    inputs.reserve(static_cast<std::size_t>(n));
+    for (int v = 0; v < n; ++v)
+        inputs.push_back(rng.floatVector(elems));
+
+    std::vector<float> expect(elems, 0.0f);
+    for (const auto &v : inputs) {
+        for (std::size_t k = 0; k < elems; ++k)
+            expect[k] += v[k];
+    }
+    auto out = runFunctional(sched, inputs);
+    // Floating sums may associate differently per node; allow a small
+    // relative tolerance.
+    for (int v = 0; v < n; ++v) {
+        for (std::size_t k = 0; k < elems; ++k) {
+            float got = out[static_cast<std::size_t>(v)][k];
+            float want = expect[k];
+            float tol = 1e-4f * std::max(1.0f, std::fabs(want));
+            if (std::fabs(got - want) > tol)
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace multitree::coll

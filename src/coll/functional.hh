@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Functional (data-carrying) execution of collective schedules.
+ *
+ * Runs a schedule on real float vectors — every node starts with its
+ * own gradient vector and the executor moves/reduces actual data along
+ * the scheduled edges in step order. Afterwards every node must hold
+ * the exact element-wise sum of all inputs. This is the strongest
+ * correctness oracle in the test suite: it catches wrong trees, wrong
+ * step ordering, wrong chunk ranges and double counting for every
+ * algorithm on every topology.
+ */
+
+#ifndef MULTITREE_COLL_FUNCTIONAL_HH
+#define MULTITREE_COLL_FUNCTIONAL_HH
+
+#include <vector>
+
+#include "coll/schedule.hh"
+
+namespace multitree::coll {
+
+/**
+ * Execute @p sched over per-node input vectors.
+ *
+ * @param sched A sized schedule (assignBytes() already called).
+ * @param inputs One gradient vector per node, all the same length,
+ *               with length * 4 == sched.total_bytes.
+ * @return One output vector per node.
+ */
+std::vector<std::vector<float>>
+runFunctional(const Schedule &sched,
+              const std::vector<std::vector<float>> &inputs);
+
+/**
+ * Convenience oracle: run @p sched on deterministic pseudo-random
+ * inputs of @p elems elements and compare every node's output with the
+ * true sum.
+ * @return true when every element of every node matches.
+ */
+bool checkAllReduceCorrect(const Schedule &sched, std::size_t elems,
+                           std::uint64_t seed = 1);
+
+/**
+ * Kind-aware oracle: verifies the semantics the schedule's kind
+ * promises —
+ *  - AllReduce: every node holds the element-wise sum;
+ *  - ReduceScatter: each flow root holds the sum over its slice;
+ *  - AllGather: every node holds every root's original slice;
+ *  - AllToAll: node d holds s's personalized slice for every (s, d).
+ */
+bool checkCollectiveCorrect(const Schedule &sched, std::size_t elems,
+                            std::uint64_t seed = 1);
+
+} // namespace multitree::coll
+
+#endif // MULTITREE_COLL_FUNCTIONAL_HH

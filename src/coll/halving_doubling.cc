@@ -1,0 +1,81 @@
+#include "coll/halving_doubling.hh"
+
+#include "common/logging.hh"
+#include "topo/topology.hh"
+
+namespace multitree::coll {
+
+namespace {
+
+bool
+isPow2(int x)
+{
+    return x > 0 && (x & (x - 1)) == 0;
+}
+
+} // namespace
+
+Schedule
+buildHalvingDoubling(int n, std::uint64_t total_bytes,
+                     const std::function<int(int)> &map,
+                     const std::string &algo_name)
+{
+    MT_ASSERT(isPow2(n), "halving-doubling needs a power-of-two rank "
+                         "count, got ", n);
+    int m = 0;
+    while ((1 << m) < n)
+        ++m;
+
+    Schedule sched;
+    sched.algorithm = algo_name;
+    sched.num_nodes = n;
+
+    // Chunk c lives at rank c after reduce-scatter. At step s
+    // (1-based) the exchange distance is n >> s; the ranks still
+    // holding a partial of chunk c are those agreeing with c on bits
+    // m-1 .. m-s+1, and the half of them that differs from c at bit
+    // m-s ships its partial across.
+    for (int c = 0; c < n; ++c) {
+        ChunkFlow flow;
+        flow.flow_id = c;
+        flow.root = map(c);
+        flow.fraction = 1.0 / n;
+        for (int s = 1; s <= m; ++s) {
+            int bit = m - s;
+            int dist = 1 << bit;
+            int high_mask = ~((dist << 1) - 1); // bits above 'bit'
+            for (int r = 0; r < n; ++r) {
+                bool live_before =
+                    ((r ^ c) & high_mask & (n - 1)) == 0;
+                bool loses = ((r >> bit) & 1) != ((c >> bit) & 1);
+                if (live_before && loses) {
+                    flow.reduce.push_back(ScheduledEdge{
+                        map(r), map(r ^ dist), s, {}});
+                    // Mirrored all-gather edge (distance doubling).
+                    flow.gather.push_back(ScheduledEdge{
+                        map(r ^ dist), map(r), 2 * m - s + 1, {}});
+                }
+            }
+        }
+        sched.flows.push_back(std::move(flow));
+    }
+    sched.assignBytes(total_bytes);
+    sched.checkBasicShape();
+    return sched;
+}
+
+bool
+HalvingDoublingAllReduce::supports(const topo::Topology &topo) const
+{
+    return isPow2(topo.numNodes()) && topo.numNodes() >= 2;
+}
+
+Schedule
+HalvingDoublingAllReduce::build(const topo::Topology &topo,
+                                std::uint64_t total_bytes) const
+{
+    return buildHalvingDoubling(topo.numNodes(), total_bytes,
+                                [](int r) { return r; }, name());
+}
+
+} // namespace multitree::coll

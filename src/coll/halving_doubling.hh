@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Recursive halving-doubling all-reduce (Thakur et al. [11]) and the
+ * shared machinery for EFLOPS' rank-mapped variant (HDRM [29]).
+ *
+ * Reduce-scatter by recursive distance halving: log2(N) steps; at
+ * step s every rank exchanges with rank ^ (N >> s), sending the half
+ * of its live data owned by the partner's side. All-gather mirrors
+ * the exchanges in reverse (distance doubling). Decomposed per final
+ * chunk, each chunk follows a binomial tree rooted at its owner,
+ * which is how the schedule IR expresses it.
+ */
+
+#ifndef MULTITREE_COLL_HALVING_DOUBLING_HH
+#define MULTITREE_COLL_HALVING_DOUBLING_HH
+
+#include <functional>
+
+#include "coll/algorithm.hh"
+
+namespace multitree::coll {
+
+/**
+ * Build the halving-doubling schedule over @p n ranks (n must be a
+ * power of two), mapping logical rank r to physical node map(r).
+ */
+Schedule buildHalvingDoubling(int n, std::uint64_t total_bytes,
+                              const std::function<int(int)> &map,
+                              const std::string &algo_name);
+
+/** Plain halving-doubling with the identity rank mapping. */
+class HalvingDoublingAllReduce : public Algorithm
+{
+  public:
+    std::string name() const override { return "hd"; }
+
+    /** Needs a power-of-two node count; otherwise topology-oblivious. */
+    bool supports(const topo::Topology &topo) const override;
+
+    Schedule build(const topo::Topology &topo,
+                   std::uint64_t total_bytes) const override;
+};
+
+} // namespace multitree::coll
+
+#endif // MULTITREE_COLL_HALVING_DOUBLING_HH

@@ -1,0 +1,95 @@
+#include "coll/hdrm.hh"
+
+#include <bit>
+#include <vector>
+
+#include "coll/halving_doubling.hh"
+#include "common/logging.hh"
+#include "topo/bigraph.hh"
+
+namespace multitree::coll {
+
+namespace {
+
+bool
+isPow2(int x)
+{
+    return x > 0 && (x & (x - 1)) == 0;
+}
+
+int
+log2i(int x)
+{
+    int k = 0;
+    while ((1 << k) < x)
+        ++k;
+    return k;
+}
+
+} // namespace
+
+int
+HDRMAllReduce::nodeOfRank(const topo::BiGraph &bg, int r)
+{
+    const int n = bg.numNodes();
+    const int lg_l = log2i(bg.numLower());
+    const bool even_parity =
+        (std::popcount(static_cast<unsigned>(r)) % 2) == 0;
+    if (even_parity) {
+        // Upper stage: switch = high bits; port = the index of r
+        // among same-prefix even-parity ranks (their low bits are
+        // every other value, so dividing the low bits by two ranks
+        // them densely).
+        int upper = r >> lg_l;
+        int low = r & ((1 << lg_l) - 1);
+        int port = low / 2;
+        return upper * bg.nodesPerUpper() + port;
+    }
+    // Lower stage: switch = low bits; port indexes the odd-parity
+    // ranks sharing them (every other prefix value).
+    int lower = r & ((1 << lg_l) - 1);
+    int high = r >> lg_l;
+    int port = high / 2;
+    return n / 2 + lower * bg.nodesPerLower() + port;
+}
+
+bool
+HDRMAllReduce::supports(const topo::Topology &topo) const
+{
+    auto *bg = dynamic_cast<const topo::BiGraph *>(&topo);
+    if (bg == nullptr)
+        return false;
+    return isPow2(bg->numNodes()) && isPow2(bg->numUpper())
+           && isPow2(bg->numLower()) && bg->numNodes() >= 4;
+}
+
+Schedule
+HDRMAllReduce::build(const topo::Topology &topo,
+                     std::uint64_t total_bytes) const
+{
+    auto *bg = dynamic_cast<const topo::BiGraph *>(&topo);
+    MT_ASSERT(bg != nullptr, "hdrm requires a BiGraph topology");
+    const int n = bg->numNodes();
+
+    // Precompute and sanity-check the rank map: it must be a
+    // bijection onto the nodes.
+    std::vector<int> node_of(static_cast<std::size_t>(n));
+    std::vector<char> used(static_cast<std::size_t>(n), 0);
+    for (int r = 0; r < n; ++r) {
+        int v = nodeOfRank(*bg, r);
+        MT_ASSERT(v >= 0 && v < n, "rank ", r, " maps off-range to ",
+                  v);
+        MT_ASSERT(!used[static_cast<std::size_t>(v)],
+                  "rank map collides at node ", v);
+        used[static_cast<std::size_t>(v)] = 1;
+        node_of[static_cast<std::size_t>(r)] = v;
+    }
+    return buildHalvingDoubling(
+        n, total_bytes,
+        [&node_of](int r) {
+            return node_of[static_cast<std::size_t>(r)];
+        },
+        name());
+}
+
+} // namespace multitree::coll

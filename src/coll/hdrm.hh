@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Halving-Doubling with Rank Mapping (HDRM) from Alibaba's EFLOPS
+ * platform [29], co-designed with the BiGraph topology.
+ *
+ * Two observations make halving-doubling contention-free on BiGraph:
+ *
+ *  1. Every halving-doubling exchange pairs ranks that differ in
+ *     exactly one bit, so the two ranks of any pair always differ in
+ *     popcount parity. Placing even-parity ranks on upper-stage nodes
+ *     and odd-parity ranks on lower-stage nodes guarantees every pair
+ *     crosses exactly one upper-lower switch link (and, as the paper
+ *     notes, never exploits same-switch one-hop locality — HDRM's
+ *     small-message weakness versus MultiTree).
+ *
+ *  2. With the upper switch chosen by the high log2(U) bits of the
+ *     rank and the lower switch by the low log2(L) bits, the map
+ *     r -> (upper(r), lower(r ^ 2^k)) is injective for every bit k,
+ *     because (high bits, low bits) is the identity up to a constant
+ *     xor per step. Hence no two concurrent exchanges of a step share
+ *     a switch-to-switch channel in the same direction: the schedule
+ *     is contention-free, which the test suite asserts.
+ */
+
+#ifndef MULTITREE_COLL_HDRM_HH
+#define MULTITREE_COLL_HDRM_HH
+
+#include "coll/algorithm.hh"
+
+namespace multitree::topo {
+class BiGraph;
+} // namespace multitree::topo
+
+namespace multitree::coll {
+
+/** HDRM all-reduce; BiGraph-only, power-of-two node counts. */
+class HDRMAllReduce : public Algorithm
+{
+  public:
+    std::string name() const override { return "hdrm"; }
+
+    /** Requires a BiGraph with power-of-two stage and node counts. */
+    bool supports(const topo::Topology &topo) const override;
+
+    Schedule build(const topo::Topology &topo,
+                   std::uint64_t total_bytes) const override;
+
+    /**
+     * The physical node hosting logical rank @p r on @p bg. Exposed
+     * for the contention-freedom and parity property tests.
+     */
+    static int nodeOfRank(const topo::BiGraph &bg, int r);
+};
+
+} // namespace multitree::coll
+
+#endif // MULTITREE_COLL_HDRM_HH

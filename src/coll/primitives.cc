@@ -1,0 +1,124 @@
+#include "coll/primitives.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.hh"
+#include "topo/topology.hh"
+
+namespace multitree::coll {
+
+Schedule
+buildReduceScatter(const Algorithm &algo, const topo::Topology &topo,
+                   std::uint64_t total_bytes)
+{
+    Schedule sched = algo.build(topo, total_bytes);
+    sched.kind = CollectiveKind::ReduceScatter;
+    sched.algorithm = algo.name() + "-rs";
+    for (auto &f : sched.flows)
+        f.gather.clear();
+    return sched;
+}
+
+Schedule
+buildAllGather(const Algorithm &algo, const topo::Topology &topo,
+               std::uint64_t total_bytes)
+{
+    Schedule sched = algo.build(topo, total_bytes);
+    int base = sched.reduceSteps();
+    sched.kind = CollectiveKind::AllGather;
+    sched.algorithm = algo.name() + "-ag";
+    for (auto &f : sched.flows) {
+        f.reduce.clear();
+        for (auto &e : f.gather) {
+            e.step -= base;
+            MT_ASSERT(e.step >= 1, "gather step underflow in ",
+                      sched.algorithm);
+        }
+    }
+    return sched;
+}
+
+Schedule
+buildAllToAllShift(const topo::Topology &topo,
+                   std::uint64_t total_bytes)
+{
+    const int n = topo.numNodes();
+    MT_ASSERT(n >= 2, "all-to-all needs at least two nodes");
+    const auto order = topo.ringOrder();
+
+    Schedule sched;
+    sched.kind = CollectiveKind::AllToAll;
+    sched.algorithm = "shift";
+    sched.num_nodes = n;
+    int flow_id = 0;
+    for (int k = 1; k < n; ++k) {
+        for (int p = 0; p < n; ++p) {
+            ChunkFlow f;
+            f.flow_id = flow_id++;
+            f.root = order[static_cast<std::size_t>(p)];
+            f.dst = order[static_cast<std::size_t>((p + k) % n)];
+            f.fraction = 1.0 / (static_cast<double>(n) * (n - 1));
+            f.gather.push_back(ScheduledEdge{f.root, f.dst, k, {}});
+            sched.flows.push_back(std::move(f));
+        }
+    }
+    sched.assignBytes(total_bytes);
+    sched.checkBasicShape();
+    return sched;
+}
+
+Schedule
+buildAllToAllFromTrees(const Schedule &tree_schedule,
+                       std::uint64_t total_bytes)
+{
+    const int n = tree_schedule.num_nodes;
+    MT_ASSERT(tree_schedule.kind == CollectiveKind::AllReduce,
+              "tree-path all-to-all derives from an all-reduce "
+              "schedule");
+    const int base = tree_schedule.reduceSteps();
+
+    Schedule sched;
+    sched.kind = CollectiveKind::AllToAll;
+    sched.algorithm = tree_schedule.algorithm + "-a2a";
+    sched.num_nodes = n;
+    sched.lockstep = tree_schedule.lockstep;
+
+    int flow_id = 0;
+    for (const auto &tree : tree_schedule.flows) {
+        // Parent pointers of the gather tree rooted at tree.root.
+        std::vector<const ScheduledEdge *> up(
+            static_cast<std::size_t>(n), nullptr);
+        for (const auto &e : tree.gather) {
+            MT_ASSERT(up[static_cast<std::size_t>(e.dst)] == nullptr,
+                      "flow ", tree.flow_id, " is not a tree");
+            up[static_cast<std::size_t>(e.dst)] = &e;
+        }
+        for (int d = 0; d < n; ++d) {
+            if (d == tree.root)
+                continue;
+            ChunkFlow f;
+            f.flow_id = flow_id++;
+            f.root = tree.root;
+            f.dst = d;
+            f.fraction = 1.0 / (static_cast<double>(n) * (n - 1));
+            // Walk d -> root, then reverse into the forward path.
+            for (int cur = d; cur != tree.root;) {
+                const ScheduledEdge *e =
+                    up[static_cast<std::size_t>(cur)];
+                MT_ASSERT(e != nullptr, "node ", cur,
+                          " unreachable in tree ", tree.flow_id);
+                f.gather.push_back(ScheduledEdge{
+                    e->src, e->dst, e->step - base, e->route});
+                cur = e->src;
+            }
+            std::reverse(f.gather.begin(), f.gather.end());
+            sched.flows.push_back(std::move(f));
+        }
+    }
+    sched.assignBytes(total_bytes);
+    sched.checkBasicShape();
+    return sched;
+}
+
+} // namespace multitree::coll

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Standalone collective primitives beyond all-reduce (§VII-B).
+ *
+ * Hybrid-parallel training needs reduce-scatter and all-gather on
+ * their own, and DLRM-style models exchange embeddings with
+ * all-to-all. All of them reuse the all-reduce machinery:
+ *
+ *  - reduce-scatter / all-gather are the two halves of any all-reduce
+ *    schedule, so they derive from the chosen algorithm's schedule by
+ *    dropping the other phase (all-gather steps re-based to 1).
+ *  - all-to-all rides the MultiTree gather trees: the personalized
+ *    chunk s→d follows tree s's unique path to d, inheriting each
+ *    tree edge's time step — the paper's observation that "the
+ *    all-gather trees can also easily support all-to-all". A
+ *    ring-based linear-shift baseline is provided for comparison.
+ */
+
+#ifndef MULTITREE_COLL_PRIMITIVES_HH
+#define MULTITREE_COLL_PRIMITIVES_HH
+
+#include "coll/algorithm.hh"
+
+namespace multitree::coll {
+
+/**
+ * Reduce-scatter of @p total_bytes: node i ends with flow i's slice
+ * of the sum. Derived from @p algo's all-reduce schedule.
+ */
+Schedule buildReduceScatter(const Algorithm &algo,
+                            const topo::Topology &topo,
+                            std::uint64_t total_bytes);
+
+/**
+ * All-gather: flow i's slice starts at its root and ends everywhere.
+ * Derived from @p algo's all-reduce schedule with gather steps
+ * re-based to start at 1.
+ */
+Schedule buildAllGather(const Algorithm &algo,
+                        const topo::Topology &topo,
+                        std::uint64_t total_bytes);
+
+/**
+ * All-to-all of @p total_bytes total payload per node pair set:
+ * every ordered pair (s, d) exchanges a personalized chunk of
+ * total_bytes / (N * (N-1)).
+ *
+ * Linear-shift baseline: N-1 rounds over the embedded ring order; in
+ * round k node at position p sends to position p + k.
+ */
+Schedule buildAllToAllShift(const topo::Topology &topo,
+                            std::uint64_t total_bytes);
+
+/**
+ * Tree-path all-to-all: chunk (s, d) follows the path from s to d
+ * inside @p tree_schedule's gather tree rooted at s, inheriting each
+ * tree edge's (re-based) time step — so a MultiTree schedule yields a
+ * per-step contention-free exchange in which same-edge chunks
+ * aggregate. @p tree_schedule must be an all-reduce schedule with one
+ * gather tree per node (MultiTree always qualifies).
+ */
+Schedule buildAllToAllFromTrees(const Schedule &tree_schedule,
+                                std::uint64_t total_bytes);
+
+} // namespace multitree::coll
+
+#endif // MULTITREE_COLL_PRIMITIVES_HH

@@ -1,0 +1,49 @@
+#include "coll/ring.hh"
+
+#include "common/logging.hh"
+#include "topo/topology.hh"
+
+namespace multitree::coll {
+
+Schedule
+RingAllReduce::build(const topo::Topology &topo,
+                     std::uint64_t total_bytes) const
+{
+    const int n = topo.numNodes();
+    MT_ASSERT(n >= 2, "ring all-reduce needs at least two nodes");
+    const std::vector<int> order = topo.ringOrder();
+    MT_ASSERT(static_cast<int>(order.size()) == n,
+              "ring order does not cover all nodes");
+
+    Schedule sched;
+    sched.algorithm = name();
+    sched.num_nodes = n;
+
+    // Chunk c is injected at ring position (c + 1) and, moving one
+    // position forward per step, arrives fully reduced at position c
+    // after n - 1 steps (§II-B walks this exact pattern). The gather
+    // phase then pushes it forward another n - 1 steps.
+    for (int c = 0; c < n; ++c) {
+        ChunkFlow flow;
+        flow.flow_id = c;
+        flow.root = order[static_cast<std::size_t>(c)];
+        flow.fraction = 1.0 / n;
+        for (int s = 1; s < n; ++s) {
+            int from = order[static_cast<std::size_t>((c + s) % n)];
+            int to = order[static_cast<std::size_t>((c + s + 1) % n)];
+            flow.reduce.push_back(ScheduledEdge{from, to, s, {}});
+        }
+        for (int s = 1; s < n; ++s) {
+            int from = order[static_cast<std::size_t>((c + s - 1) % n)];
+            int to = order[static_cast<std::size_t>((c + s) % n)];
+            flow.gather.push_back(
+                ScheduledEdge{from, to, (n - 1) + s, {}});
+        }
+        sched.flows.push_back(std::move(flow));
+    }
+    sched.assignBytes(total_bytes);
+    sched.checkBasicShape();
+    return sched;
+}
+
+} // namespace multitree::coll

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Ring all-reduce (Baidu [9], [12]): bandwidth-optimal reduce-scatter
+ * followed by all-gather around a single embedded ring.
+ */
+
+#ifndef MULTITREE_COLL_RING_HH
+#define MULTITREE_COLL_RING_HH
+
+#include "coll/algorithm.hh"
+
+namespace multitree::coll {
+
+/**
+ * Classic unidirectional ring all-reduce. The payload splits into N
+ * chunks; chunk c is reduced around the ring into the node at ring
+ * position c (N-1 steps) and then gathered back around (N-1 more
+ * steps), all chunks pipelined so every ring hop is busy every step.
+ *
+ * The ring embedding comes from Topology::ringOrder(): serpentine on
+ * grids (every hop one physical link on a torus with even height) and
+ * switch-grouped id order on indirect networks.
+ */
+class RingAllReduce : public Algorithm
+{
+  public:
+    std::string name() const override { return "ring"; }
+
+    /** Rings embed in any connected topology. */
+    bool supports(const topo::Topology &) const override { return true; }
+
+    Schedule build(const topo::Topology &topo,
+                   std::uint64_t total_bytes) const override;
+};
+
+} // namespace multitree::coll
+
+#endif // MULTITREE_COLL_RING_HH

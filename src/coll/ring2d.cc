@@ -1,0 +1,95 @@
+#include "coll/ring2d.hh"
+
+#include "common/logging.hh"
+#include "topo/grid.hh"
+
+namespace multitree::coll {
+
+bool
+Ring2DAllReduce::supports(const topo::Topology &topo) const
+{
+    auto *grid = dynamic_cast<const topo::Grid2D *>(&topo);
+    return grid != nullptr && grid->width() >= 2 && grid->height() >= 2;
+}
+
+Schedule
+Ring2DAllReduce::build(const topo::Topology &topo,
+                       std::uint64_t total_bytes) const
+{
+    auto *grid = dynamic_cast<const topo::Grid2D *>(&topo);
+    MT_ASSERT(grid != nullptr, "ring2d requires a 2D grid topology");
+    const int w = grid->width();
+    const int h = grid->height();
+
+    Schedule sched;
+    sched.algorithm = name();
+    sched.num_nodes = grid->numNodes();
+
+    // Flow (cx, j, dir): column chunk cx, column sub-chunk j, ring
+    // direction dir (0 = forward, 1 = backward). dir reverses every
+    // ring index so both channel directions carry half the data.
+    const int steps_p1 = w - 1;           // row reduce-scatter
+    const int steps_p2r = h - 1;          // column reduce-scatter
+    const int steps_p2g = h - 1;          // column all-gather
+    auto rowNode = [&](int x, int y) {
+        return grid->nodeAt(((x % w) + w) % w, y);
+    };
+    auto colNode = [&](int x, int y) {
+        return grid->nodeAt(x, ((y % h) + h) % h);
+    };
+
+    for (int dir = 0; dir < 2; ++dir) {
+        // Ring position -> coordinate, reversed for the backward ring.
+        auto xpos = [&](int p) { return dir == 0 ? p : -p; };
+        auto ypos = [&](int p) { return dir == 0 ? p : -p; };
+        for (int cx = 0; cx < w; ++cx) {
+            // The forward ring of chunk cx collects into column cx;
+            // the backward ring (every index negated) collects into
+            // the mirrored column.
+            const int col = dir == 0 ? cx : (w - cx) % w;
+            for (int j = 0; j < h; ++j) {
+                ChunkFlow flow;
+                flow.flow_id = (dir * w + cx) * h + j;
+                flow.fraction = 1.0 / (2.0 * w * h);
+                // Phase 1: chunk cx circles every row into `col`.
+                for (int y = 0; y < h; ++y) {
+                    for (int s = 1; s <= steps_p1; ++s) {
+                        flow.reduce.push_back(ScheduledEdge{
+                            rowNode(xpos(cx + s), y),
+                            rowNode(xpos(cx + s + 1), y), s, {}});
+                    }
+                }
+                // Phase 2 reduce: sub-chunk j circles the column.
+                for (int s = 1; s <= steps_p2r; ++s) {
+                    flow.reduce.push_back(ScheduledEdge{
+                        colNode(col, ypos(j + s)),
+                        colNode(col, ypos(j + s + 1)), steps_p1 + s,
+                        {}});
+                }
+                flow.root = colNode(col, ypos(j));
+                // Phase 2 gather: spread back down the column.
+                int base = steps_p1 + steps_p2r;
+                for (int s = 1; s <= steps_p2g; ++s) {
+                    flow.gather.push_back(ScheduledEdge{
+                        colNode(col, ypos(j + s - 1)),
+                        colNode(col, ypos(j + s)), base + s, {}});
+                }
+                // Phase 3: all-gather along every row from column cx.
+                base = steps_p1 + steps_p2r + steps_p2g;
+                for (int y = 0; y < h; ++y) {
+                    for (int s = 1; s <= steps_p1; ++s) {
+                        flow.gather.push_back(ScheduledEdge{
+                            rowNode(xpos(cx + s - 1), y),
+                            rowNode(xpos(cx + s), y), base + s, {}});
+                    }
+                }
+                sched.flows.push_back(std::move(flow));
+            }
+        }
+    }
+    sched.assignBytes(total_bytes);
+    sched.checkBasicShape();
+    return sched;
+}
+
+} // namespace multitree::coll

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * 2D-Ring all-reduce (Ying et al. [28]), the TPU-pod algorithm for 2D
+ * Torus/Mesh networks.
+ *
+ * Three phases over bidirectional row/column rings:
+ *  1. reduce-scatter along every row (X rings) at chunk granularity
+ *     D / width,
+ *  2. all-reduce along every column (Y rings) of the row partials at
+ *     sub-chunk granularity D / (width * height),
+ *  3. all-gather along every row.
+ *
+ * Each ring runs bidirectionally — half of each chunk travels
+ * clockwise and half counter-clockwise — so phases 1 and 3 keep every
+ * X channel busy and phase 2 every Y channel. The algorithm uses all
+ * the links (unlike flat ring) and needs only O(width + height)
+ * steps, but it moves roughly 2x the bandwidth-optimal data volume:
+ * the row phases each push ~D/2 per link versus MultiTree's ~D/4
+ * full-network spread — the factor the paper quantifies as 2N(N-1)
+ * versus N^2 - 1 transmitted units.
+ */
+
+#ifndef MULTITREE_COLL_RING2D_HH
+#define MULTITREE_COLL_RING2D_HH
+
+#include "coll/algorithm.hh"
+
+namespace multitree::coll {
+
+/** 2D-Ring all-reduce, supported on Grid2D topologies only. */
+class Ring2DAllReduce : public Algorithm
+{
+  public:
+    std::string name() const override { return "ring2d"; }
+
+    /** Requires a 2D grid (Torus or Mesh) with >= 2 rows and cols. */
+    bool supports(const topo::Topology &topo) const override;
+
+    Schedule build(const topo::Topology &topo,
+                   std::uint64_t total_bytes) const override;
+};
+
+} // namespace multitree::coll
+
+#endif // MULTITREE_COLL_RING2D_HH

@@ -1,0 +1,148 @@
+#include "coll/schedule.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+#include "topo/topology.hh"
+
+namespace multitree::coll {
+
+const char *
+kindName(CollectiveKind kind)
+{
+    switch (kind) {
+      case CollectiveKind::AllReduce:     return "all-reduce";
+      case CollectiveKind::ReduceScatter: return "reduce-scatter";
+      case CollectiveKind::AllGather:     return "all-gather";
+      case CollectiveKind::AllToAll:      return "all-to-all";
+    }
+    return "?";
+}
+
+void
+Schedule::assignBytes(std::uint64_t total)
+{
+    total_bytes = total;
+    constexpr std::uint64_t elem = 4; // float32 gradients
+    std::uint64_t elems = total / elem;
+    if (total % elem != 0) {
+        // A user-supplied size, not an internal invariant: exit
+        // cleanly instead of panicking.
+        MT_FATAL("all-reduce payload must be a multiple of 4 bytes "
+                 "(whole float32 gradients), got ", total);
+    }
+
+    // First pass: floor share per flow in elements.
+    std::uint64_t assigned = 0;
+    for (auto &f : flows) {
+        auto share = static_cast<std::uint64_t>(
+            std::floor(f.fraction * static_cast<double>(elems)));
+        f.bytes = share * elem;
+        assigned += share;
+    }
+    // Spread the remainder one element at a time.
+    std::uint64_t rem = elems - assigned;
+    for (std::size_t i = 0; rem > 0 && !flows.empty(); ++i, --rem)
+        flows[i % flows.size()].bytes += elem;
+}
+
+int
+Schedule::totalSteps() const
+{
+    int t = 0;
+    for (const auto &f : flows) {
+        for (const auto &e : f.reduce)
+            t = std::max(t, e.step);
+        for (const auto &e : f.gather)
+            t = std::max(t, e.step);
+    }
+    return t;
+}
+
+int
+Schedule::reduceSteps() const
+{
+    int t = 0;
+    for (const auto &f : flows) {
+        for (const auto &e : f.reduce)
+            t = std::max(t, e.step);
+    }
+    return t;
+}
+
+ScheduleStats
+Schedule::stats(const topo::Topology &topo) const
+{
+    ScheduleStats s;
+    s.total_steps = totalSteps();
+    s.reduce_steps = reduceSteps();
+    // Distinct flows sharing a (channel, step), keyed densely.
+    std::map<std::pair<int, std::uint64_t>, int> channel_step_flows;
+    std::vector<double> channel_bytes(
+        static_cast<std::size_t>(topo.numChannels()), 0.0);
+
+    auto account = [&](const ChunkFlow &f, const ScheduledEdge &e) {
+        ++s.edge_count;
+        auto bytes = static_cast<double>(f.bytes);
+        s.bytes_transferred += bytes;
+        std::size_t hops = e.route.empty()
+                               ? topo.route(e.src, e.dst).size()
+                               : e.route.size();
+        s.byte_hops += bytes * static_cast<double>(hops);
+        const std::vector<int> &route =
+            e.route.empty() ? topo.route(e.src, e.dst) : e.route;
+        for (int cid : route) {
+            auto key = std::make_pair(
+                cid, static_cast<std::uint64_t>(e.step));
+            int n = ++channel_step_flows[key];
+            s.max_channel_flows = std::max(s.max_channel_flows, n);
+            channel_bytes[static_cast<std::size_t>(cid)] += bytes;
+        }
+    };
+    for (const auto &f : flows) {
+        for (const auto &e : f.reduce)
+            account(f, e);
+        for (const auto &e : f.gather)
+            account(f, e);
+    }
+    for (double b : channel_bytes)
+        s.max_channel_bytes = std::max(s.max_channel_bytes, b);
+    return s;
+}
+
+std::vector<std::uint64_t>
+Schedule::stepFlitEstimates() const
+{
+    std::vector<std::uint64_t> est(
+        static_cast<std::size_t>(totalSteps()), 0);
+    auto accumulate = [&](const ChunkFlow &f, const ScheduledEdge &e) {
+        auto &slot = est[static_cast<std::size_t>(e.step - 1)];
+        slot = std::max(slot, bytesToFlits(f.bytes));
+    };
+    for (const auto &f : flows) {
+        for (const auto &e : f.reduce)
+            accumulate(f, e);
+        for (const auto &e : f.gather)
+            accumulate(f, e);
+    }
+    return est;
+}
+
+void
+Schedule::checkBasicShape() const
+{
+    MT_ASSERT(num_nodes > 0, "schedule without nodes");
+    double total_fraction = 0;
+    for (const auto &f : flows) {
+        MT_ASSERT(f.root >= 0 && f.root < num_nodes,
+                  "flow ", f.flow_id, " has bad root ", f.root);
+        total_fraction += f.fraction;
+    }
+    MT_ASSERT(std::abs(total_fraction - 1.0) < 1e-6,
+              "flow fractions sum to ", total_fraction, " not 1");
+}
+
+} // namespace multitree::coll

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * The collective-schedule intermediate representation.
+ *
+ * Every all-reduce algorithm in this library — MultiTree and all the
+ * baselines — compiles to the same IR: a set of per-chunk *flows*. A
+ * flow owns one contiguous slice of the all-reduce payload and carries
+ * it through a reduce tree (edges pointing child → parent toward the
+ * flow's root, the reduce-scatter phase) and a gather tree (edges
+ * parent → child away from the root, the all-gather phase). Every edge
+ * is annotated with a logical time step; the co-designed network
+ * interface paces issue by these steps (§IV-A of the paper), and the
+ * per-node schedule tables of Fig. 5 are a direct projection of this
+ * structure.
+ *
+ * Using one IR for every algorithm mirrors the paper's methodology
+ * note that the hardware scheduling mechanism is applied to all the
+ * baselines for a fair comparison, and lets one validator, one
+ * functional executor and one NI engine serve everything.
+ */
+
+#ifndef MULTITREE_COLL_SCHEDULE_HH
+#define MULTITREE_COLL_SCHEDULE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace multitree::topo {
+class Topology;
+} // namespace multitree::topo
+
+namespace multitree::coll {
+
+/**
+ * What a schedule computes. All-reduce is the paper's headline, but
+ * the same IR carries its two halves as standalone primitives (for
+ * hybrid parallelism, §VII-B) and the all-to-all personalization
+ * exchange of DLRM-style models, which rides the gather-tree paths.
+ */
+enum class CollectiveKind {
+    AllReduce,
+    ReduceScatter,
+    AllGather,
+    AllToAll,
+};
+
+/** Human-readable collective name. */
+const char *kindName(CollectiveKind kind);
+
+/**
+ * One scheduled transfer of a flow's chunk between two end nodes.
+ * When @ref route is empty the transfer follows the topology's
+ * deterministic routing; MultiTree fills it with the explicitly
+ * allocated channel path (source routing, §IV-B).
+ */
+struct ScheduledEdge {
+    int src = -1;           ///< sending node
+    int dst = -1;           ///< receiving node
+    int step = 0;           ///< 1-based logical time step
+    std::vector<int> route; ///< explicit channel path (may be empty)
+};
+
+/**
+ * The life of one payload chunk: reduced along a tree into @ref root,
+ * then broadcast back out along a gather tree.
+ */
+struct ChunkFlow {
+    int flow_id = -1;    ///< tree / chunk identifier (Fig. 5 FlowID)
+    int root = -1;       ///< node holding the reduced chunk after RS
+    /** All-to-all only: the single destination of this flow. */
+    int dst = -1;
+    double fraction = 0; ///< share of the total all-reduce payload
+    std::uint64_t bytes = 0; ///< chunk size; set by assignBytes()
+
+    std::vector<ScheduledEdge> reduce; ///< child → parent edges
+    std::vector<ScheduledEdge> gather; ///< parent → child edges
+};
+
+/** Aggregate statistics of a schedule, used by tests and Table I. */
+struct ScheduleStats {
+    int total_steps = 0;          ///< largest step label used
+    int reduce_steps = 0;         ///< largest step in any reduce edge
+    std::uint64_t edge_count = 0; ///< scheduled transfers
+    double bytes_transferred = 0; ///< sum of edge bytes (both phases)
+    double byte_hops = 0;         ///< bytes weighted by route length
+    int max_channel_flows = 0;    ///< peak distinct flows sharing one
+                                  ///< (channel, step); >1 hints at
+                                  ///< aggregated or contended use
+    double max_channel_bytes = 0; ///< heaviest per-channel byte load
+                                  ///< over the whole schedule — the
+                                  ///< serialization-time proxy that
+                                  ///< separates Ring (~2D), 2D-Ring
+                                  ///< (~D) and MultiTree (~D/2)
+};
+
+/**
+ * A complete all-reduce schedule for one (algorithm, topology, size)
+ * triple.
+ */
+class Schedule
+{
+  public:
+    /** Algorithm that produced this schedule (e.g. "multitree"). */
+    std::string algorithm;
+
+    /** Which collective this schedule realizes. */
+    CollectiveKind kind = CollectiveKind::AllReduce;
+
+    /** Participating end nodes. */
+    int num_nodes = 0;
+
+    /** Total all-reduce payload in bytes. */
+    std::uint64_t total_bytes = 0;
+
+    /**
+     * Whether the NI should insert lockstep NOPs to pace steps
+     * (enabled for MultiTree's contention-free guarantee, §IV-A).
+     */
+    bool lockstep = false;
+
+    /** All flows. */
+    std::vector<ChunkFlow> flows;
+
+    /**
+     * Distribute @p total over the flows proportionally to their
+     * fractions, rounding to whole 4-byte elements with the remainder
+     * spread over the first flows. Also records total_bytes.
+     */
+    void assignBytes(std::uint64_t total);
+
+    /** Largest step label across both phases. */
+    int totalSteps() const;
+
+    /** Largest step label used by any reduce edge. */
+    int reduceSteps() const;
+
+    /**
+     * Compute summary statistics. Route lengths come from each edge's
+     * explicit route when present, otherwise from @p topo's routing.
+     */
+    ScheduleStats stats(const topo::Topology &topo) const;
+
+    /**
+     * Per-step upper bound of the serialized flit count any single
+     * channel must carry, used by the NI lockstep estimation
+     * (footnote 4 of the paper). Index 0 corresponds to step 1.
+     */
+    std::vector<std::uint64_t> stepFlitEstimates() const;
+
+    /** Sanity-check flow ids are dense and fractions sum to ~1. */
+    void checkBasicShape() const;
+};
+
+} // namespace multitree::coll
+
+#endif // MULTITREE_COLL_SCHEDULE_HH

@@ -1,0 +1,281 @@
+#include "coll/validate.hh"
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "topo/topology.hh"
+
+namespace multitree::coll {
+
+namespace {
+
+/** Build a failure result with a formatted message. */
+template <typename... Args>
+ValidationResult
+fail(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return ValidationResult{false, oss.str()};
+}
+
+/** Check an explicit route connects an edge's endpoints. */
+ValidationResult
+checkRoute(const ChunkFlow &f, const ScheduledEdge &e,
+           const topo::Topology &topo)
+{
+    if (e.route.empty())
+        return {};
+    int cur = e.src;
+    for (int cid : e.route) {
+        if (cid < 0 || cid >= topo.numChannels())
+            return fail("flow ", f.flow_id, ": bad channel id ", cid);
+        const auto &ch = topo.channel(cid);
+        if (ch.src != cur)
+            return fail("flow ", f.flow_id,
+                        ": route discontinuity at vertex ", cur);
+        cur = ch.dst;
+    }
+    if (cur != e.dst)
+        return fail("flow ", f.flow_id, ": route ends at vertex ",
+                    cur, " not ", e.dst);
+    return {};
+}
+
+/**
+ * Validate an all-to-all flow: the gather edges form a simple path
+ * from the flow root to flow.dst with strictly increasing steps.
+ */
+ValidationResult
+validatePathFlow(const ChunkFlow &f, int n, const topo::Topology &topo)
+{
+    if (!f.reduce.empty())
+        return fail("flow ", f.flow_id,
+                    ": all-to-all flows carry no reduction");
+    if (f.dst < 0 || f.dst >= n || f.dst == f.root)
+        return fail("flow ", f.flow_id, ": bad all-to-all dst ",
+                    f.dst);
+    // next[v] = the edge leaving v, if any.
+    std::vector<const ScheduledEdge *> next(
+        static_cast<std::size_t>(n), nullptr);
+    for (const auto &e : f.gather) {
+        if (e.src < 0 || e.src >= n || e.dst < 0 || e.dst >= n)
+            return fail("flow ", f.flow_id, ": edge off range");
+        if (next[static_cast<std::size_t>(e.src)] != nullptr)
+            return fail("flow ", f.flow_id, ": node ", e.src,
+                        " forwards twice");
+        next[static_cast<std::size_t>(e.src)] = &e;
+        if (auto r = checkRoute(f, e, topo); !r.ok)
+            return r;
+    }
+    int cur = f.root;
+    int last_step = 0;
+    std::size_t hops = 0;
+    while (cur != f.dst) {
+        const ScheduledEdge *e = next[static_cast<std::size_t>(cur)];
+        if (e == nullptr)
+            return fail("flow ", f.flow_id, ": path stops at ", cur);
+        if (e->step <= last_step)
+            return fail("flow ", f.flow_id,
+                        ": non-increasing step at ", cur);
+        last_step = e->step;
+        cur = e->dst;
+        if (++hops > f.gather.size())
+            return fail("flow ", f.flow_id, ": path cycles");
+    }
+    if (hops != f.gather.size())
+        return fail("flow ", f.flow_id, ": stray edges off the path");
+    return {};
+}
+
+/** Validate one flow; returns ok or the first violation. */
+ValidationResult
+validateFlow(const ChunkFlow &f, int n, const topo::Topology &topo,
+             CollectiveKind kind)
+{
+    if (kind == CollectiveKind::AllToAll)
+        return validatePathFlow(f, n, topo);
+    if (kind == CollectiveKind::ReduceScatter && !f.gather.empty())
+        return fail("flow ", f.flow_id,
+                    ": reduce-scatter must not gather");
+    if (kind == CollectiveKind::AllGather && !f.reduce.empty())
+        return fail("flow ", f.flow_id,
+                    ": all-gather must not reduce");
+
+    // --- invariant 1: reduce in-tree ---
+    std::vector<int> send_step(static_cast<std::size_t>(n), -1);
+    std::vector<int> parent(static_cast<std::size_t>(n), -1);
+    std::vector<int> last_recv(static_cast<std::size_t>(n), 0);
+    for (const auto &e : f.reduce) {
+        if (e.src < 0 || e.src >= n || e.dst < 0 || e.dst >= n)
+            return fail("flow ", f.flow_id, ": edge outside node range");
+        if (send_step[e.src] != -1)
+            return fail("flow ", f.flow_id, ": node ", e.src,
+                        " sends reduce twice");
+        if (e.step < 1)
+            return fail("flow ", f.flow_id, ": non-positive step");
+        send_step[e.src] = e.step;
+        parent[e.src] = e.dst;
+        last_recv[e.dst] = std::max(last_recv[e.dst], e.step);
+    }
+    if (send_step[f.root] != -1)
+        return fail("flow ", f.flow_id, ": root ", f.root,
+                    " sends in reduce phase");
+    if (kind != CollectiveKind::AllGather) {
+        for (int v = 0; v < n; ++v) {
+            if (v != f.root && send_step[v] == -1)
+                return fail("flow ", f.flow_id, ": node ", v,
+                            " never contributes to the reduction");
+        }
+        // Parent chains must reach the root without cycles.
+        for (int v = 0; v < n; ++v) {
+            int cur = v;
+            int hops = 0;
+            while (cur != f.root) {
+                cur = parent[cur];
+                if (cur < 0 || ++hops > n)
+                    return fail("flow ", f.flow_id,
+                                ": reduce parents of node ", v,
+                                " do not reach root");
+            }
+        }
+    }
+    // --- invariant 3a: reduce causality ---
+    for (const auto &e : f.reduce) {
+        if (last_recv[e.src] >= e.step)
+            return fail("flow ", f.flow_id, ": node ", e.src,
+                        " sends at step ", e.step,
+                        " before its last child arrives at step ",
+                        last_recv[e.src]);
+    }
+    int root_ready = last_recv[f.root];
+
+    // --- invariant 2: gather out-tree ---
+    std::vector<int> recv_step(static_cast<std::size_t>(n), -1);
+    for (const auto &e : f.gather) {
+        if (e.src < 0 || e.src >= n || e.dst < 0 || e.dst >= n)
+            return fail("flow ", f.flow_id,
+                        ": gather edge outside node range");
+        if (recv_step[e.dst] != -1)
+            return fail("flow ", f.flow_id, ": node ", e.dst,
+                        " receives gather twice");
+        recv_step[e.dst] = e.step;
+    }
+    if (recv_step[f.root] != -1)
+        return fail("flow ", f.flow_id, ": root receives own gather");
+    if (kind != CollectiveKind::ReduceScatter) {
+        for (int v = 0; v < n; ++v) {
+            if (v != f.root && recv_step[v] == -1)
+                return fail("flow ", f.flow_id, ": node ", v,
+                            " never receives the gathered chunk");
+        }
+    }
+    // --- invariant 3b: gather causality ---
+    for (const auto &e : f.gather) {
+        int have = e.src == f.root ? root_ready : recv_step[e.src];
+        if (e.src != f.root && have == -1)
+            return fail("flow ", f.flow_id, ": node ", e.src,
+                        " forwards gather it never received");
+        if (have >= e.step)
+            return fail("flow ", f.flow_id, ": node ", e.src,
+                        " forwards at step ", e.step,
+                        " before holding data (ready at ", have, ")");
+    }
+    // --- invariant 4: explicit routes connect src to dst ---
+    for (const auto &e : f.reduce) {
+        if (auto r = checkRoute(f, e, topo); !r.ok)
+            return r;
+    }
+    for (const auto &e : f.gather) {
+        if (auto r = checkRoute(f, e, topo); !r.ok)
+            return r;
+    }
+    return {};
+}
+
+} // namespace
+
+ValidationResult
+validateSchedule(const Schedule &sched, const topo::Topology &topo)
+{
+    const int n = sched.num_nodes;
+    if (n != topo.numNodes())
+        return fail("schedule nodes ", n, " != topology nodes ",
+                    topo.numNodes());
+    double fraction = 0;
+    std::uint64_t bytes = 0;
+    for (const auto &f : sched.flows) {
+        fraction += f.fraction;
+        bytes += f.bytes;
+        if (auto r = validateFlow(f, n, topo, sched.kind); !r.ok)
+            return r;
+    }
+    if (sched.kind == CollectiveKind::AllToAll) {
+        // Exactly one flow per ordered (src, dst) pair.
+        std::set<std::pair<int, int>> pairs;
+        for (const auto &f : sched.flows) {
+            if (!pairs.insert({f.root, f.dst}).second)
+                return fail("duplicate all-to-all pair ", f.root,
+                            "->", f.dst);
+        }
+        if (pairs.size()
+            != static_cast<std::size_t>(n) * (n - 1)) {
+            return fail("all-to-all covers ", pairs.size(), " of ",
+                        n * (n - 1), " pairs");
+        }
+    }
+    if (fraction < 1.0 - 1e-6 || fraction > 1.0 + 1e-6)
+        return fail("flow fractions sum to ", fraction);
+    if (bytes != sched.total_bytes)
+        return fail("flow bytes sum to ", bytes, " not ",
+                    sched.total_bytes);
+    return {};
+}
+
+ValidationResult
+validateContentionFree(const Schedule &sched, const topo::Topology &topo)
+{
+    // (channel, step) → flow id of first claim; a second claim by a
+    // different flow is contention unless both transfers are sibling
+    // sub-flows traveling the identical (src, dst) hop, which the
+    // network serializes as one aggregate without conflict.
+    std::map<std::pair<int, int>, std::pair<int, std::pair<int, int>>>
+        claims;
+    auto visit = [&](const ChunkFlow &f,
+                     const ScheduledEdge &e) -> ValidationResult {
+        const std::vector<int> route =
+            e.route.empty() ? topo.route(e.src, e.dst) : e.route;
+        for (int cid : route) {
+            auto key = std::make_pair(cid, e.step);
+            auto val = std::make_pair(f.flow_id,
+                                      std::make_pair(e.src, e.dst));
+            auto [it, inserted] = claims.emplace(key, val);
+            // A second claim is contention whenever the transfers
+            // have different endpoints — same-flow edges included
+            // (two edges of one flow colliding on a channel is just
+            // as physical). Identical endpoints aggregate safely.
+            if (!inserted && it->second.second != val.second) {
+                return fail("channel ", cid, " claimed at step ",
+                            e.step, " by flows ", it->second.first,
+                            " and ", f.flow_id,
+                            " with different endpoints");
+            }
+        }
+        return {};
+    };
+    for (const auto &f : sched.flows) {
+        for (const auto &e : f.reduce) {
+            if (auto r = visit(f, e); !r.ok)
+                return r;
+        }
+        for (const auto &e : f.gather) {
+            if (auto r = visit(f, e); !r.ok)
+                return r;
+        }
+    }
+    return {};
+}
+
+} // namespace multitree::coll

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Structural validation of collective schedules.
+ *
+ * Checked invariants, per flow:
+ *  1. The reduce edges form an in-tree spanning all nodes: every node
+ *     except the root sends exactly once, the root never sends, and
+ *     following parents from any node reaches the root.
+ *  2. The gather edges form an out-tree spanning all nodes rooted at
+ *     the flow root: every node except the root receives exactly once.
+ *  3. Causality: a node sends its reduce contribution strictly after
+ *     every reduce edge into it; a node forwards gather data strictly
+ *     after receiving it; the root's first gather send is strictly
+ *     after its last reduce receive.
+ *  4. Explicit routes, when present, connect src to dst hop by hop.
+ *
+ * And per schedule:
+ *  5. Flow fractions sum to 1 and bytes sum to total_bytes.
+ *  6. (optional) Contention-freedom: no physical channel is claimed by
+ *     transfers of different flows at the same step, except sibling
+ *     sub-flows that share every byte of the hop (2D-Ring's row phases
+ *     aggregate sub-chunks). MultiTree asserts strict freedom.
+ */
+
+#ifndef MULTITREE_COLL_VALIDATE_HH
+#define MULTITREE_COLL_VALIDATE_HH
+
+#include <string>
+
+#include "coll/schedule.hh"
+
+namespace multitree::topo {
+class Topology;
+} // namespace multitree::topo
+
+namespace multitree::coll {
+
+/** Result of a validation pass. */
+struct ValidationResult {
+    bool ok = true;
+    std::string error; ///< first violated invariant, human readable
+
+    /** Implicit conversion for terse test assertions. */
+    explicit operator bool() const { return ok; }
+};
+
+/** Validate invariants 1-5 above. */
+ValidationResult validateSchedule(const Schedule &sched,
+                                  const topo::Topology &topo);
+
+/**
+ * Validate invariant 6: strict per-(channel, step) exclusivity across
+ * flows. Used for algorithms that claim contention-free operation
+ * (MultiTree, HDRM, Ring on friendly topologies).
+ */
+ValidationResult validateContentionFree(const Schedule &sched,
+                                        const topo::Topology &topo);
+
+} // namespace multitree::coll
+
+#endif // MULTITREE_COLL_VALIDATE_HH

@@ -1,0 +1,75 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+#include <mutex>
+
+namespace multitree {
+
+namespace {
+
+LogLevel g_threshold = LogLevel::Info;
+std::mutex g_log_mutex;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Info:  return "info";
+      case LogLevel::Warn:  return "warn";
+      case LogLevel::Error: return "error";
+    }
+    return "?";
+}
+
+} // namespace
+
+LogLevel
+logThreshold()
+{
+    return g_threshold;
+}
+
+void
+setLogThreshold(LogLevel level)
+{
+    g_threshold = level;
+}
+
+namespace detail {
+
+void
+emitLog(LogLevel level, const std::string &tag, const std::string &message,
+        const char *file, int line)
+{
+    if (level < g_threshold)
+        return;
+    std::lock_guard<std::mutex> lock(g_log_mutex);
+    if (level >= LogLevel::Warn) {
+        std::fprintf(stderr, "[%s] %s (%s:%d)\n", tag.c_str(),
+                     message.c_str(), file, line);
+    } else {
+        std::fprintf(stderr, "[%s] %s\n", tag.c_str(), message.c_str());
+    }
+    (void)levelName(level);
+}
+
+void
+panicImpl(const std::string &message, const char *file, int line)
+{
+    std::fprintf(stderr, "[panic] %s (%s:%d)\n", message.c_str(),
+                 file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const std::string &message, const char *file, int line)
+{
+    std::fprintf(stderr, "[fatal] %s (%s:%d)\n", message.c_str(),
+                 file, line);
+    std::exit(1);
+}
+
+} // namespace detail
+
+} // namespace multitree

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Severity-split logging utilities in the gem5 tradition.
+ *
+ * panic()  — an internal invariant was violated: a simulator bug.
+ *            Aborts so a debugger/core dump can capture state.
+ * fatal()  — the simulation cannot continue because of a user error
+ *            (bad configuration, invalid argument). Exits cleanly.
+ * warn()   — something is suspicious but the run can continue.
+ * inform() — plain status for the user.
+ */
+
+#ifndef MULTITREE_COMMON_LOGGING_HH
+#define MULTITREE_COMMON_LOGGING_HH
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace multitree {
+
+/** Log severity levels, ordered from chattiest to most severe. */
+enum class LogLevel {
+    Debug,
+    Info,
+    Warn,
+    Error,
+};
+
+/**
+ * Global log threshold. Messages below this level are suppressed.
+ * Defaults to Info; tests may lower it to Debug.
+ */
+LogLevel logThreshold();
+
+/** Set the global log threshold. */
+void setLogThreshold(LogLevel level);
+
+namespace detail {
+
+/** Emit a formatted log record to stderr. */
+void emitLog(LogLevel level, const std::string &tag,
+             const std::string &message, const char *file, int line);
+
+/** Terminate after an internal invariant violation (simulator bug). */
+[[noreturn]] void panicImpl(const std::string &message,
+                            const char *file, int line);
+
+/** Terminate after a user-caused unrecoverable error. */
+[[noreturn]] void fatalImpl(const std::string &message,
+                            const char *file, int line);
+
+/** Build a string from a stream expression. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace detail
+
+} // namespace multitree
+
+/** Report an internal invariant violation and abort. */
+#define MT_PANIC(...)                                                       \
+    ::multitree::detail::panicImpl(                                        \
+        ::multitree::detail::concat(__VA_ARGS__), __FILE__, __LINE__)
+
+/** Report an unrecoverable user error and exit. */
+#define MT_FATAL(...)                                                       \
+    ::multitree::detail::fatalImpl(                                        \
+        ::multitree::detail::concat(__VA_ARGS__), __FILE__, __LINE__)
+
+/** Warn about a suspicious but survivable condition. */
+#define MT_WARN(...)                                                        \
+    ::multitree::detail::emitLog(                                          \
+        ::multitree::LogLevel::Warn, "warn",                               \
+        ::multitree::detail::concat(__VA_ARGS__), __FILE__, __LINE__)
+
+/** Inform the user of normal progress. */
+#define MT_INFORM(...)                                                      \
+    ::multitree::detail::emitLog(                                          \
+        ::multitree::LogLevel::Info, "info",                               \
+        ::multitree::detail::concat(__VA_ARGS__), __FILE__, __LINE__)
+
+/** Debug-level trace, usually suppressed. */
+#define MT_DEBUG(...)                                                       \
+    ::multitree::detail::emitLog(                                          \
+        ::multitree::LogLevel::Debug, "debug",                             \
+        ::multitree::detail::concat(__VA_ARGS__), __FILE__, __LINE__)
+
+/** Check an invariant; panics with the condition text on failure. */
+#define MT_ASSERT(cond, ...)                                                \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::multitree::detail::panicImpl(                                \
+                ::multitree::detail::concat(                               \
+                    "assertion failed: " #cond " ", __VA_ARGS__),          \
+                __FILE__, __LINE__);                                        \
+        }                                                                   \
+    } while (0)
+
+#endif // MULTITREE_COMMON_LOGGING_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for reproducible
+ * simulations and tests.
+ */
+
+#ifndef MULTITREE_COMMON_RANDOM_HH
+#define MULTITREE_COMMON_RANDOM_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace multitree {
+
+/**
+ * A small, fast, deterministic RNG (xoshiro256**). Every simulation
+ * component that needs randomness owns its own Rng seeded explicitly so
+ * runs are reproducible regardless of module interleaving.
+ */
+class Rng
+{
+  public:
+    /** Construct with an explicit seed; equal seeds → equal streams. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound). @pre bound > 0. */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Uniform float vector of @p n elements in [-1, 1). */
+    std::vector<float> floatVector(std::size_t n);
+
+    /** Fisher-Yates shuffle of a vector in place. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            std::size_t j = nextBounded(i);
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+  private:
+    std::uint64_t state_[4];
+};
+
+} // namespace multitree
+
+#endif // MULTITREE_COMMON_RANDOM_HH

@@ -1,0 +1,105 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace multitree {
+
+void
+Summary::add(double x)
+{
+    ++count_;
+    sum_ += x;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+double
+Summary::mean() const
+{
+    return count_ == 0 ? 0.0 : mean_;
+}
+
+double
+Summary::variance() const
+{
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_);
+}
+
+void
+Summary::reset()
+{
+    *this = Summary();
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0)
+{
+    MT_ASSERT(buckets > 0 && hi > lo, "bad histogram shape");
+}
+
+void
+Histogram::add(double x)
+{
+    double idx = (x - lo_) / width_;
+    auto i = static_cast<std::int64_t>(std::floor(idx));
+    i = std::clamp<std::int64_t>(i, 0,
+                                 static_cast<std::int64_t>(counts_.size())
+                                     - 1);
+    ++counts_[static_cast<std::size_t>(i)];
+    ++total_;
+}
+
+double
+Histogram::quantile(double p) const
+{
+    if (total_ == 0)
+        return lo_;
+    p = std::clamp(p, 0.0, 1.0);
+    auto target = static_cast<std::uint64_t>(
+        p * static_cast<double>(total_ - 1));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        seen += counts_[i];
+        if (seen > target)
+            return lo_ + (static_cast<double>(i) + 0.5) * width_;
+    }
+    return hi_;
+}
+
+void
+StatRegistry::inc(const std::string &name, double delta)
+{
+    values_[name] += delta;
+}
+
+void
+StatRegistry::set(const std::string &name, double value)
+{
+    values_[name] = value;
+}
+
+double
+StatRegistry::get(const std::string &name) const
+{
+    auto it = values_.find(name);
+    return it == values_.end() ? 0.0 : it->second;
+}
+
+std::string
+StatRegistry::render() const
+{
+    std::ostringstream oss;
+    for (const auto &[name, value] : values_)
+        oss << name << " = " << value << "\n";
+    return oss.str();
+}
+
+} // namespace multitree

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Lightweight statistics collection: scalar counters, running summaries,
+ * and histograms. Used by the network simulator and benchmark harness to
+ * report utilization, latency distributions and bandwidth.
+ */
+
+#ifndef MULTITREE_COMMON_STATS_HH
+#define MULTITREE_COMMON_STATS_HH
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace multitree {
+
+/**
+ * Running summary of a stream of samples: count, mean, min, max and
+ * variance via Welford's algorithm.
+ */
+class Summary
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Number of samples so far. */
+    std::uint64_t count() const { return count_; }
+
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+
+    /** Mean, or 0 when empty. */
+    double mean() const;
+
+    /** Population variance, or 0 when fewer than two samples. */
+    double variance() const;
+
+    /** Smallest sample, or +inf when empty. */
+    double min() const { return min_; }
+
+    /** Largest sample, or -inf when empty. */
+    double max() const { return max_; }
+
+    /** Reset to the empty state. */
+    void reset();
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Fixed-width histogram over [lo, hi) with out-of-range samples clamped
+ * into the first/last buckets.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo Lower bound of the first bucket.
+     * @param hi Upper bound of the last bucket.
+     * @param buckets Number of buckets. @pre buckets > 0 and hi > lo.
+     */
+    Histogram(double lo, double hi, std::size_t buckets);
+
+    /** Add one sample. */
+    void add(double x);
+
+    /** Samples collected so far. */
+    std::uint64_t count() const { return total_; }
+
+    /** Bucket population. */
+    const std::vector<std::uint64_t> &buckets() const { return counts_; }
+
+    /** Approximate p-quantile (0 ≤ p ≤ 1) from bucket midpoints. */
+    double quantile(double p) const;
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::uint64_t total_ = 0;
+    std::vector<std::uint64_t> counts_;
+};
+
+/**
+ * A named bag of scalar counters, keyed by string. Cheap enough for
+ * per-run bookkeeping; not intended for per-cycle hot paths.
+ */
+class StatRegistry
+{
+  public:
+    /** Add @p delta to counter @p name (creating it at zero). */
+    void inc(const std::string &name, double delta = 1.0);
+
+    /** Set counter @p name to @p value. */
+    void set(const std::string &name, double value);
+
+    /** Read a counter; absent counters read as zero. */
+    double get(const std::string &name) const;
+
+    /** All counters, sorted by name. */
+    const std::map<std::string, double> &all() const { return values_; }
+
+    /** Render a one-line-per-counter dump. */
+    std::string render() const;
+
+  private:
+    std::map<std::string, double> values_;
+};
+
+} // namespace multitree
+
+#endif // MULTITREE_COMMON_STATS_HH

@@ -1,0 +1,132 @@
+#include "common/strings.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <iomanip>
+#include <sstream>
+
+namespace multitree {
+
+std::vector<std::string>
+split(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : s) {
+        if (c == sep) {
+            out.push_back(cur);
+            cur.clear();
+        } else {
+            cur.push_back(c);
+        }
+    }
+    out.push_back(cur);
+    return out;
+}
+
+std::string
+trim(const std::string &s)
+{
+    auto begin = s.begin();
+    auto end = s.end();
+    while (begin != end && std::isspace(static_cast<unsigned char>(*begin)))
+        ++begin;
+    while (end != begin
+           && std::isspace(static_cast<unsigned char>(*(end - 1))))
+        --end;
+    return std::string(begin, end);
+}
+
+std::string
+formatBytes(std::uint64_t bytes)
+{
+    static const char *suffixes[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+    double value = static_cast<double>(bytes);
+    std::size_t idx = 0;
+    while (value >= 1024.0 && idx + 1 < std::size(suffixes)) {
+        value /= 1024.0;
+        ++idx;
+    }
+    std::ostringstream oss;
+    if (value == static_cast<std::uint64_t>(value))
+        oss << static_cast<std::uint64_t>(value);
+    else
+        oss << std::fixed << std::setprecision(1) << value;
+    oss << " " << suffixes[idx];
+    return oss.str();
+}
+
+std::string
+formatDouble(double value, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << value;
+    return oss.str();
+}
+
+std::string
+padLeft(const std::string &s, std::size_t w)
+{
+    if (s.size() >= w)
+        return s;
+    return std::string(w - s.size(), ' ') + s;
+}
+
+std::string
+padRight(const std::string &s, std::size_t w)
+{
+    if (s.size() >= w)
+        return s;
+    return s + std::string(w - s.size(), ' ');
+}
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(header_.size());
+    auto grow = [&](const std::vector<std::string> &cells) {
+        if (cells.size() > widths.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    grow(header_);
+    for (const auto &r : rows_)
+        grow(r);
+
+    std::ostringstream oss;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            std::string cell = i < cells.size() ? cells[i] : "";
+            oss << padRight(cell, widths[i]);
+            if (i + 1 < widths.size())
+                oss << "  ";
+        }
+        oss << "\n";
+    };
+    if (!header_.empty()) {
+        emit(header_);
+        std::size_t total = 0;
+        for (std::size_t w : widths)
+            total += w;
+        total += widths.empty() ? 0 : 2 * (widths.size() - 1);
+        oss << std::string(total, '-') << "\n";
+    }
+    for (const auto &r : rows_)
+        emit(r);
+    return oss.str();
+}
+
+} // namespace multitree

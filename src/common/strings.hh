@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Small string helpers used for report formatting and config parsing.
+ */
+
+#ifndef MULTITREE_COMMON_STRINGS_HH
+#define MULTITREE_COMMON_STRINGS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace multitree {
+
+/** Split @p s on @p sep, keeping empty fields. */
+std::vector<std::string> split(const std::string &s, char sep);
+
+/** Strip ASCII whitespace from both ends. */
+std::string trim(const std::string &s);
+
+/** Render a byte count as a human-friendly string ("4 MiB", "512 B"). */
+std::string formatBytes(std::uint64_t bytes);
+
+/** Render a double with @p precision significant fraction digits. */
+std::string formatDouble(double value, int precision = 3);
+
+/** Left-pad @p s with spaces to width @p w. */
+std::string padLeft(const std::string &s, std::size_t w);
+
+/** Right-pad @p s with spaces to width @p w. */
+std::string padRight(const std::string &s, std::size_t w);
+
+/**
+ * Minimal fixed-column text table builder for bench/report output that
+ * mirrors the rows of the paper's tables and figure series.
+ */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Render with aligned columns. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace multitree
+
+#endif // MULTITREE_COMMON_STRINGS_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Common unit types and conversion helpers shared across the simulator.
+ *
+ * The simulator runs at a 1 GHz reference clock: one Tick is one cycle is
+ * one nanosecond. Link bandwidth is expressed in bytes per cycle; a
+ * 16-byte flit per cycle equals the paper's 16 GB/s links.
+ */
+
+#ifndef MULTITREE_COMMON_UNITS_HH
+#define MULTITREE_COMMON_UNITS_HH
+
+#include <cstdint>
+
+namespace multitree {
+
+/** Simulation time in cycles of the 1 GHz reference clock (== ns). */
+using Tick = std::uint64_t;
+
+/** A node (accelerator) identifier. */
+using NodeId = std::int32_t;
+
+/** An invalid / absent node id. */
+constexpr NodeId kInvalidNode = -1;
+
+/** Byte-size literals. */
+constexpr std::uint64_t KiB = 1024ull;
+constexpr std::uint64_t MiB = 1024ull * KiB;
+constexpr std::uint64_t GiB = 1024ull * MiB;
+
+/** Default flit payload width on every link, in bytes (Table III). */
+constexpr std::uint32_t kFlitBytes = 16;
+
+/** Default data-packet payload for baseline flow control (Table III). */
+constexpr std::uint32_t kPacketPayloadBytes = 256;
+
+/** Link traversal latency in cycles (150 ns at 1 GHz, Table III). */
+constexpr std::uint32_t kLinkLatency = 150;
+
+/** Number of virtual channels per physical link (Table III). */
+constexpr std::uint32_t kNumVCs = 4;
+
+/** Per-VC buffer depth in flits; covers the credit round trip. */
+constexpr std::uint32_t kVCBufferDepth = 318;
+
+/** Ceiling division for unsigned quantities. */
+constexpr std::uint64_t
+ceilDiv(std::uint64_t num, std::uint64_t den)
+{
+    return (num + den - 1) / den;
+}
+
+/** Number of flits needed to carry @p bytes of payload. */
+constexpr std::uint64_t
+bytesToFlits(std::uint64_t bytes)
+{
+    return ceilDiv(bytes, kFlitBytes);
+}
+
+/** Convert a tick count (ns) to seconds. */
+constexpr double
+ticksToSeconds(Tick t)
+{
+    return static_cast<double>(t) * 1e-9;
+}
+
+/** Bandwidth in GB/s delivered when @p bytes complete in @p ticks. */
+inline double
+bandwidthGBps(std::uint64_t bytes, Tick ticks)
+{
+    if (ticks == 0)
+        return 0.0;
+    return static_cast<double>(bytes) / static_cast<double>(ticks);
+}
+
+} // namespace multitree
+
+#endif // MULTITREE_COMMON_UNITS_HH

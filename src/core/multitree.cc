@@ -1,0 +1,276 @@
+#include "core/multitree.hh"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+#include <optional>
+#include <vector>
+
+#include "common/logging.hh"
+#include "topo/topology.hh"
+
+namespace multitree::core {
+
+namespace {
+
+using topo::Topology;
+using topo::VertexKind;
+
+/** One tree under construction. */
+struct Tree {
+    int root = -1;
+    /** Members in the order they joined (breadth-first examination). */
+    std::vector<int> order;
+    /** Time step at which each member joined (root joins at step 0). */
+    std::vector<int> joined_step;
+    /** Membership bitmap over nodes. */
+    std::vector<char> member;
+    /** Gather edges: parent → child with step and allocated route. */
+    std::vector<coll::ScheduledEdge> edges;
+    /** Height: max joined_step (proxy for remaining depth need). */
+    int height = 0;
+
+    bool complete(int n) const
+    {
+        return static_cast<int>(order.size()) == n;
+    }
+};
+
+/** A located child: node id plus the allocated channel path. */
+struct Placement {
+    int child;
+    std::vector<int> route;
+};
+
+/**
+ * Find a child for parent @p p of tree @p tree: the nearest pending
+ * node reachable from p through still-available channels whose
+ * intermediate vertices are all switches. On direct networks this
+ * degenerates to scanning p's free one-hop neighbors in the
+ * topology's preferred (Y-then-X) order; on indirect networks it is
+ * the breadth-first switch walk of §III-C3.
+ *
+ * When several pending nodes sit at the same (minimal) distance on an
+ * indirect network, the one missing from the most trees wins
+ * (@p deficit). This is the algorithm's global-utilization awareness
+ * applied to the "pick a node" freedom of §III-C3 step 2: every node
+ * must receive once per step for the schedule to stay fully packed,
+ * so nodes lagging in tree membership must not be starved — without
+ * this, stage-asymmetric networks like BiGraph accumulate a backlog
+ * on one stage and stretch the schedule tail.
+ */
+std::optional<Placement>
+findChild(const Topology &topo, const Tree &tree, int p,
+          const std::vector<char> &avail,
+          const std::vector<int> &deficit)
+{
+    // Order p's outgoing channels by the preferred-neighbor ranking,
+    // keeping every parallel channel of a multigraph link so wider
+    // links (§VII-B) contribute their full per-step capacity.
+    std::vector<int> first_hops;
+    for (int nb : topo.preferredNeighbors(p)) {
+        for (int cid : topo.outChannels(p)) {
+            if (topo.channel(cid).dst == nb)
+                first_hops.push_back(cid);
+        }
+    }
+
+    struct Item {
+        int vertex;
+        std::vector<int> route;
+    };
+    std::deque<Item> frontier;
+    std::vector<char> seen(
+        static_cast<std::size_t>(topo.numVertices()), 0);
+    seen[static_cast<std::size_t>(p)] = 1;
+
+    std::optional<Placement> best;
+    std::vector<char> candidate_seen(
+        static_cast<std::size_t>(topo.numVertices()), 0);
+    auto consider = [&](int cid,
+                        const std::vector<int> &route_so_far) {
+        if (!avail[static_cast<std::size_t>(cid)])
+            return;
+        const auto &ch = topo.channel(cid);
+        int w = ch.dst;
+        if (seen[static_cast<std::size_t>(w)])
+            return;
+        if (topo.isNode(w)) {
+            // Nodes never relay traffic: they are candidate children
+            // only. Prefer the largest deficit; BFS order means the
+            // first (nearest) candidate wins ties, preserving the
+            // same-switch / Y-before-X preference.
+            if (tree.member[static_cast<std::size_t>(w)])
+                return;
+            if (candidate_seen[static_cast<std::size_t>(w)])
+                return;
+            candidate_seen[static_cast<std::size_t>(w)] = 1;
+            if (!best
+                || deficit[static_cast<std::size_t>(w)]
+                       > deficit[static_cast<std::size_t>(
+                           best->child)]) {
+                std::vector<int> route = route_so_far;
+                route.push_back(cid);
+                best = Placement{w, std::move(route)};
+            }
+            return;
+        }
+        seen[static_cast<std::size_t>(w)] = 1;
+        std::vector<int> route = route_so_far;
+        route.push_back(cid);
+        frontier.push_back(Item{w, std::move(route)});
+    };
+
+    // Breadth-first over the still-available channels through switch
+    // vertices, scanning every reachable candidate: a deeper pending
+    // node only beats a nearer one when it is strictly more starved.
+    for (int cid : first_hops)
+        consider(cid, {});
+    while (!frontier.empty()) {
+        Item item = std::move(frontier.front());
+        frontier.pop_front();
+        for (int cid : topo.outChannels(item.vertex))
+            consider(cid, item.route);
+    }
+    return best;
+}
+
+/**
+ * Reverse an allocated route: child → parent channel path. Uses the
+ * paired reverse channel of each hop so parallel links (multigraph
+ * bandwidth modeling) reverse onto their own partners and stay
+ * contention-free in the reduce phase.
+ */
+std::vector<int>
+reverseRoute(const Topology &topo, const std::vector<int> &route)
+{
+    std::vector<int> rev;
+    rev.reserve(route.size());
+    for (auto it = route.rbegin(); it != route.rend(); ++it)
+        rev.push_back(topo.reverseChannel(*it));
+    return rev;
+}
+
+} // namespace
+
+coll::Schedule
+MultiTreeAllReduce::build(const topo::Topology &topo,
+                          std::uint64_t total_bytes) const
+{
+    const int n = topo.numNodes();
+    MT_ASSERT(n >= 2, "multitree needs at least two nodes");
+    const int k = opts_.num_trees > 0 && opts_.num_trees < n
+                      ? opts_.num_trees
+                      : n;
+
+    // --- initialization (Algorithm 1, lines 1-3) ---
+    // One tree per node by default; with a reduced tree count the
+    // roots spread evenly over the node ids (§VII-C trade-off).
+    std::vector<Tree> trees(static_cast<std::size_t>(k));
+    for (int i = 0; i < k; ++i) {
+        Tree &t = trees[static_cast<std::size_t>(i)];
+        t.root = static_cast<int>(
+            (static_cast<std::int64_t>(i) * n) / k);
+        t.order.push_back(t.root);
+        t.joined_step.push_back(0);
+        t.member.assign(static_cast<std::size_t>(n), 0);
+        t.member[static_cast<std::size_t>(t.root)] = 1;
+    }
+    auto all_complete = [&] {
+        return std::all_of(trees.begin(), trees.end(),
+                           [&](const Tree &t) { return t.complete(n); });
+    };
+    // Trees a node still has to join; feeds the child-selection
+    // tie-break (see findChild).
+    std::vector<int> deficit(static_cast<std::size_t>(n), k);
+    for (const Tree &t : trees)
+        --deficit[static_cast<std::size_t>(t.root)];
+
+    // --- all-gather tree construction (lines 4-14) ---
+    int t_step = 0;
+    std::vector<char> avail;
+    while (!all_complete()) {
+        ++t_step;
+        MT_ASSERT(t_step <= 4 * n,
+                  "multitree failed to converge on ", topo.name());
+        // A fresh topology graph G' for this time step (line 6).
+        avail.assign(static_cast<std::size_t>(topo.numChannels()), 1);
+
+        // Turn order for this step: ascending root id, or deepest-
+        // remaining trees first for asymmetric networks.
+        std::vector<int> turn(static_cast<std::size_t>(k));
+        std::iota(turn.begin(), turn.end(), 0);
+        if (opts_.prioritize_deep_trees) {
+            std::stable_sort(
+                turn.begin(), turn.end(), [&](int a, int b) {
+                    auto missing = [&](int r) {
+                        return n - static_cast<int>(
+                                   trees[static_cast<std::size_t>(r)]
+                                       .order.size());
+                    };
+                    return missing(a) > missing(b);
+                });
+        }
+
+        // Trees take turns adding one node each until a full pass
+        // makes no progress (line 7's "free edges" condition).
+        bool progress = true;
+        while (progress) {
+            progress = false;
+            for (int r : turn) {
+                Tree &tree = trees[static_cast<std::size_t>(r)];
+                if (tree.complete(n))
+                    continue;
+                // Parents in join order, previous steps only (line 9).
+                for (std::size_t pi = 0; pi < tree.order.size(); ++pi) {
+                    if (tree.joined_step[pi] >= t_step)
+                        break; // later entries joined this step too
+                    int p = tree.order[pi];
+                    auto hit =
+                        findChild(topo, tree, p, avail, deficit);
+                    if (!hit)
+                        continue;
+                    // Allocate the path's channels (lines 11-13).
+                    for (int cid : hit->route)
+                        avail[static_cast<std::size_t>(cid)] = 0;
+                    --deficit[static_cast<std::size_t>(hit->child)];
+                    tree.order.push_back(hit->child);
+                    tree.joined_step.push_back(t_step);
+                    tree.member[static_cast<std::size_t>(hit->child)] =
+                        1;
+                    tree.edges.push_back(coll::ScheduledEdge{
+                        p, hit->child, t_step, std::move(hit->route)});
+                    tree.height = t_step;
+                    progress = true;
+                    break; // line 14: one node per turn
+                }
+            }
+        }
+    }
+    const int tot_t = t_step; // line 15
+
+    // --- derive reduce-scatter + adjusted all-gather (lines 16-18) ---
+    coll::Schedule sched;
+    sched.algorithm = name();
+    sched.num_nodes = n;
+    sched.lockstep = opts_.lockstep;
+    for (const Tree &tree : trees) {
+        coll::ChunkFlow flow;
+        flow.flow_id = tree.root;
+        flow.root = tree.root;
+        flow.fraction = 1.0 / k;
+        for (const auto &e : tree.edges) {
+            flow.reduce.push_back(coll::ScheduledEdge{
+                e.dst, e.src, tot_t - e.step + 1,
+                reverseRoute(topo, e.route)});
+            flow.gather.push_back(coll::ScheduledEdge{
+                e.src, e.dst, tot_t + e.step, e.route});
+        }
+        sched.flows.push_back(std::move(flow));
+    }
+    sched.assignBytes(total_bytes);
+    sched.checkBasicShape();
+    return sched;
+}
+
+} // namespace multitree::core

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The MultiTree all-reduce algorithm — the paper's core contribution
+ * (§III, Algorithm 1).
+ *
+ * MultiTree builds one spanning tree per node (that node is the root)
+ * top-down, level by level, coupling tree construction with message
+ * scheduling: every logical time step works on a fresh copy of the
+ * topology graph and allocates each physical channel to at most one
+ * tree edge, so the resulting schedule is contention-free by
+ * construction. Trees take turns adding one node at a time, which
+ * keeps them balanced, and parents are examined in the order they
+ * joined (breadth-first), which makes levels near the roots denser —
+ * the paper's key insight for balancing communication across levels.
+ *
+ * The same allocator covers both network classes:
+ *  - Direct networks (Torus/Mesh): every vertex is a node; a child
+ *    must be a free one-hop neighbor, examined Y-dimension first.
+ *  - Indirect networks (Fat-Tree/BiGraph): a child is found by
+ *    breadth-first search from the parent through switch vertices
+ *    over still-available channels (§III-C3), consuming the
+ *    node-to-switch, switch-to-switch and switch-to-node links of the
+ *    discovered path. The allocated path is recorded as the edge's
+ *    explicit source route (§IV-B).
+ */
+
+#ifndef MULTITREE_CORE_MULTITREE_HH
+#define MULTITREE_CORE_MULTITREE_HH
+
+#include "coll/algorithm.hh"
+
+namespace multitree::core {
+
+/** Tunables for MultiTree construction. */
+struct MultiTreeOptions {
+    /**
+     * Insert lockstep NOP pacing in the network interface (§IV-A).
+     * On by default; the ablation bench switches it off.
+     */
+    bool lockstep = true;
+
+    /**
+     * Prioritize trees with the most missing nodes (the larger
+     * remaining height) instead of plain ascending root id when
+     * taking turns — the refinement the paper suggests for
+     * asymmetric/irregular networks (§III-C1). A stable sort keeps
+     * ascending-root order whenever trees are balanced (all direct
+     * symmetric networks, and the paper's worked example), while on
+     * stage-asymmetric networks like BiGraph it prevents one stage's
+     * trees from being starved of links and stretching the schedule
+     * tail: BiGraph-4x8 builds in 32 steps with this on versus 43
+     * with it off (31 is the NIC-bandwidth lower bound).
+     */
+    bool prioritize_deep_trees = true;
+
+    /**
+     * Number of trees (chunks) to build; 0 means one per node, the
+     * paper's default. Fewer trees trade aggregate bandwidth for
+     * schedule size and small-message latency — the direction §VII-C
+     * points at (Blink's tree-count reduction). Roots are spread
+     * evenly over the node ids.
+     */
+    int num_trees = 0;
+};
+
+/** MultiTree all-reduce (Algorithm 1 + indirect-network extension). */
+class MultiTreeAllReduce : public coll::Algorithm
+{
+  public:
+    explicit MultiTreeAllReduce(MultiTreeOptions opts = {})
+        : opts_(opts)
+    {}
+
+    std::string name() const override { return "multitree"; }
+
+    /** MultiTree generalizes to every connected topology. */
+    bool supports(const topo::Topology &) const override { return true; }
+
+    coll::Schedule build(const topo::Topology &topo,
+                         std::uint64_t total_bytes) const override;
+
+    /** Options in effect. */
+    const MultiTreeOptions &options() const { return opts_; }
+
+  private:
+    MultiTreeOptions opts_;
+};
+
+} // namespace multitree::core
+
+#endif // MULTITREE_CORE_MULTITREE_HH

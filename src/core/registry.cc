@@ -1,0 +1,42 @@
+#include "coll/algorithm.hh"
+
+#include "coll/dbtree.hh"
+#include "coll/halving_doubling.hh"
+#include "coll/hdrm.hh"
+#include "coll/ring.hh"
+#include "coll/ring2d.hh"
+#include "common/logging.hh"
+#include "core/multitree.hh"
+
+namespace multitree::coll {
+
+std::unique_ptr<Algorithm>
+makeAlgorithm(const std::string &name)
+{
+    if (name == "ring")
+        return std::make_unique<RingAllReduce>();
+    if (name == "dbtree")
+        return std::make_unique<DBTreeAllReduce>();
+    if (name == "ring2d")
+        return std::make_unique<Ring2DAllReduce>();
+    if (name == "hd")
+        return std::make_unique<HalvingDoublingAllReduce>();
+    if (name == "hdrm")
+        return std::make_unique<HDRMAllReduce>();
+    if (name == "multitree")
+        return std::make_unique<core::MultiTreeAllReduce>();
+    if (name == "multitree-nolockstep") {
+        core::MultiTreeOptions opts;
+        opts.lockstep = false;
+        return std::make_unique<core::MultiTreeAllReduce>(opts);
+    }
+    MT_FATAL("unknown all-reduce algorithm '", name, "'");
+}
+
+std::vector<std::string>
+algorithmNames()
+{
+    return {"ring", "dbtree", "ring2d", "hd", "hdrm", "multitree"};
+}
+
+} // namespace multitree::coll

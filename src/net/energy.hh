@@ -1,0 +1,61 @@
+/**
+ * @file
+ * First-order interconnect energy model.
+ *
+ * The paper motivates message-based flow control not only with
+ * bandwidth but with control energy: every packet head pays routing
+ * and arbitration logic at each hop, so collapsing a gradient stream
+ * to a single head flit removes almost all of that work (§II-C,
+ * §IV-B). This model charges
+ *
+ *   E = flit_hops * (link + buffer) + head_hops * route_arbitration
+ *
+ * with per-event constants representative of a 32 nm off-chip-class
+ * router (absolute values are indicative; the benches report the
+ * packet-vs-message *ratio*, which is constant-insensitive for the
+ * head term).
+ */
+
+#ifndef MULTITREE_NET_ENERGY_HH
+#define MULTITREE_NET_ENERGY_HH
+
+#include <cstdint>
+
+namespace multitree::net {
+
+/** Per-event energy constants in picojoules. */
+struct EnergyModel {
+    double pj_link_per_flit = 2.0;   ///< wire traversal, 16 B flit
+    double pj_buffer_per_flit = 1.2; ///< write+read of a VC buffer
+    double pj_route_arb_per_head = 1.6; ///< route compute + VC/SW
+                                        ///< arbitration per head hop
+};
+
+/** Energy of one simulated run, from transport hop counters. */
+struct EnergyBreakdown {
+    double datapath_nj = 0; ///< link + buffer energy (nJ)
+    double control_nj = 0;  ///< head routing/arbitration energy (nJ)
+
+    double total_nj() const { return datapath_nj + control_nj; }
+};
+
+/**
+ * Charge @p flit_hops total flit-hops (payload + heads) and
+ * @p head_hops head-flit hops under @p model.
+ */
+inline EnergyBreakdown
+computeEnergy(double flit_hops, double head_hops,
+              const EnergyModel &model = {})
+{
+    EnergyBreakdown e;
+    e.datapath_nj = flit_hops
+                    * (model.pj_link_per_flit
+                       + model.pj_buffer_per_flit)
+                    * 1e-3;
+    e.control_nj = head_hops * model.pj_route_arb_per_head * 1e-3;
+    return e;
+}
+
+} // namespace multitree::net
+
+#endif // MULTITREE_NET_ENERGY_HH

@@ -1,0 +1,390 @@
+#include "net/flit_network.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "net/flow_control.hh"
+#include "sim/event_queue.hh"
+#include "topo/grid.hh"
+#include "topo/topology.hh"
+
+namespace multitree::net {
+
+FlitNetwork::FlitNetwork(sim::EventQueue &eq,
+                         const topo::Topology &topo, NetworkConfig cfg)
+    : Network(eq, cfg), topo_(topo),
+      wrap_channel_(static_cast<std::size_t>(topo.numChannels()), 0),
+      channel_flits_(static_cast<std::size_t>(topo.numChannels()), 0),
+      pending_(static_cast<std::size_t>(topo.numVertices())),
+      inj_pkt_(static_cast<std::size_t>(topo.numVertices()))
+{
+    MT_ASSERT(cfg_.num_vcs >= 2, "need >= 2 VCs for dateline classes");
+
+    // Flag torus wraparound channels for the dateline VC policy.
+    if (auto *grid = dynamic_cast<const topo::Grid2D *>(&topo)) {
+        if (grid->isTorus()) {
+            for (const auto &ch : topo.channels()) {
+                int dx = std::abs(grid->xOf(ch.src) - grid->xOf(ch.dst));
+                int dy = std::abs(grid->yOf(ch.src) - grid->yOf(ch.dst));
+                if (dx > 1 || dy > 1)
+                    wrap_channel_[static_cast<std::size_t>(ch.id)] = 1;
+            }
+        }
+    }
+
+    routers_.resize(static_cast<std::size_t>(topo.numVertices()));
+    for (int v = 0; v < topo.numVertices(); ++v) {
+        Router &r = routers_[static_cast<std::size_t>(v)];
+        for (int cid : topo.inChannels(v)) {
+            InputUnit iu;
+            iu.channel = cid;
+            iu.vcs.resize(cfg_.num_vcs);
+            r.in_of_channel[cid] = static_cast<int>(r.inputs.size());
+            r.inputs.push_back(std::move(iu));
+        }
+        // Injection units: the paper assumes NI bandwidth matches the
+        // router's aggregate link bandwidth on direct networks, so a
+        // node gets one injection port per output channel (switches
+        // get one idle unit for uniformity).
+        int n_inj = topo.isNode(v)
+                        ? std::max<std::size_t>(
+                              1, topo.outChannels(v).size())
+                        : 1;
+        r.first_injection = static_cast<int>(r.inputs.size());
+        for (int k = 0; k < n_inj; ++k) {
+            InputUnit inj;
+            inj.channel = -1;
+            inj.vcs.resize(cfg_.num_vcs);
+            r.inputs.push_back(std::move(inj));
+        }
+        inj_pkt_[static_cast<std::size_t>(v)].assign(
+            static_cast<std::size_t>(n_inj) * cfg_.num_vcs, nullptr);
+
+        for (int cid : topo.outChannels(v)) {
+            OutputUnit ou;
+            ou.channel = cid;
+            ou.vcs.resize(cfg_.num_vcs);
+            for (auto &ovc : ou.vcs)
+                ovc.credits = cfg_.vc_buffer_depth;
+            r.out_of_channel[cid] = static_cast<int>(r.outputs.size());
+            r.outputs.push_back(std::move(ou));
+        }
+    }
+}
+
+FlitNetwork::~FlitNetwork() = default;
+
+void
+FlitNetwork::inject(Message msg)
+{
+    MT_ASSERT(!msg.route.empty(), "flit network needs a route for ",
+              msg.src, "->", msg.dst);
+    auto pkt = std::make_unique<Packet>();
+    pkt->msg = std::move(msg);
+    const auto wb = wireBreakdown(pkt->msg.bytes, cfg_.mode, cfg_);
+    pkt->wire_flits = wb.total_flits;
+    stats_.inc("messages");
+    stats_.inc("payload_flits", static_cast<double>(wb.payload_flits));
+    stats_.inc("head_flits", static_cast<double>(wb.head_flits));
+    stats_.inc("flit_hops", static_cast<double>(wb.total_flits)
+                                * static_cast<double>(
+                                    pkt->msg.route.size()));
+    stats_.inc("head_hops", static_cast<double>(wb.head_flits)
+                                * static_cast<double>(
+                                    pkt->msg.route.size()));
+
+    pkt->wrap_before.resize(pkt->msg.route.size(), 0);
+    char crossed = 0;
+    for (std::size_t i = 0; i < pkt->msg.route.size(); ++i) {
+        pkt->wrap_before[i] = crossed;
+        if (wrap_channel_[static_cast<std::size_t>(pkt->msg.route[i])])
+            crossed = 1;
+    }
+
+    // Ownership stays in the source's pending queue until the packet
+    // wins an injection VC, then moves into live_.
+    pkt->injected_at = eq_.now();
+    pending_[static_cast<std::size_t>(pkt->msg.src)].push_back(
+        std::move(pkt));
+    ensureRunning();
+}
+
+void
+FlitNetwork::ensureRunning()
+{
+    if (cycle_armed_)
+        return;
+    cycle_armed_ = true;
+    eq_.scheduleAfter(1, [this] { cycle(); },
+                      sim::Priority::Low);
+}
+
+bool
+FlitNetwork::vcClassAllowed(const Packet &pkt, std::uint32_t hop,
+                            int vc) const
+{
+    if (pkt.wrap_before.empty())
+        return true;
+    bool upper = pkt.wrap_before[std::min<std::size_t>(
+                     hop, pkt.wrap_before.size() - 1)]
+                 != 0;
+    std::uint32_t half = cfg_.num_vcs / 2;
+    if (upper)
+        return static_cast<std::uint32_t>(vc) >= half;
+    return static_cast<std::uint32_t>(vc) < half;
+}
+
+void
+FlitNetwork::refillInjection(int vertex)
+{
+    auto vi = static_cast<std::size_t>(vertex);
+    Router &r = routers_[vi];
+    const std::size_t n_slots = inj_pkt_[vi].size();
+    // Start pending packets on free injection VCs.
+    for (std::size_t slot = 0; slot < n_slots; ++slot) {
+        if (pending_[vi].empty())
+            break;
+        if (inj_pkt_[vi][slot] != nullptr)
+            continue;
+        int vc = static_cast<int>(slot % cfg_.num_vcs);
+        Packet *pkt = pending_[vi].front().get();
+        if (!vcClassAllowed(*pkt, 0, vc))
+            continue;
+        inj_pkt_[vi][slot] = pkt;
+        live_.emplace(pkt, std::move(pending_[vi].front()));
+        pending_[vi].pop_front();
+    }
+    // Synthesize flits lazily, keeping a small FIFO headroom.
+    for (std::size_t slot = 0; slot < n_slots; ++slot) {
+        Packet *pkt = inj_pkt_[vi][slot];
+        if (pkt == nullptr)
+            continue;
+        auto unit = static_cast<std::size_t>(r.first_injection)
+                    + slot / cfg_.num_vcs;
+        auto &fifo =
+            r.inputs[unit].vcs[slot % cfg_.num_vcs].fifo;
+        while (fifo.size() < 4 && pkt->emitted < pkt->wire_flits) {
+            Flit f;
+            f.pkt = pkt;
+            f.hop = 0;
+            f.head = pkt->emitted == 0;
+            f.tail = pkt->emitted + 1 == pkt->wire_flits;
+            fifo.push_back(f);
+            ++pkt->emitted;
+            ++in_flight_;
+        }
+        if (pkt->emitted == pkt->wire_flits && fifo.empty())
+            inj_pkt_[vi][slot] = nullptr; // drained into the network
+    }
+}
+
+void
+FlitNetwork::allocateVCs(int vertex)
+{
+    Router &r = routers_[static_cast<std::size_t>(vertex)];
+    for (auto &iu : r.inputs) {
+        for (auto &ivc : iu.vcs) {
+            if (ivc.fifo.empty() || ivc.out_channel >= 0)
+                continue;
+            const Flit &f = ivc.fifo.front();
+            if (!f.head)
+                continue; // mid-packet flits inherit the allocation
+            int cid = f.pkt->msg.route[f.hop];
+            auto oit = r.out_of_channel.find(cid);
+            MT_ASSERT(oit != r.out_of_channel.end(),
+                      "route uses channel ", cid,
+                      " absent at vertex ", vertex);
+            OutputUnit &ou = r.outputs[static_cast<std::size_t>(
+                oit->second)];
+            int input_idx = static_cast<int>(&iu - r.inputs.data());
+            int vc_idx = static_cast<int>(&ivc - iu.vcs.data());
+            for (std::uint32_t ovc = 0; ovc < cfg_.num_vcs; ++ovc) {
+                if (ou.vcs[ovc].owner_input >= 0)
+                    continue;
+                if (!vcClassAllowed(*f.pkt, f.hop,
+                                    static_cast<int>(ovc)))
+                    continue;
+                ou.vcs[ovc].owner_input = input_idx;
+                ou.vcs[ovc].owner_vc = vc_idx;
+                ivc.out_channel = cid;
+                ivc.out_vc = static_cast<int>(ovc);
+                break;
+            }
+        }
+    }
+}
+
+void
+FlitNetwork::traverse(int vertex)
+{
+    Router &r = routers_[static_cast<std::size_t>(vertex)];
+    for (auto &ou : r.outputs) {
+        // Gather requesters: input VCs allocated to this output whose
+        // front flit can move under the credit rules.
+        struct Req {
+            int input;
+            int vc;
+        };
+        std::vector<Req> reqs;
+        for (std::size_t ii = 0; ii < r.inputs.size(); ++ii) {
+            InputUnit &iu = r.inputs[ii];
+            for (std::uint32_t vc = 0; vc < cfg_.num_vcs; ++vc) {
+                InputVC &ivc = iu.vcs[vc];
+                if (ivc.out_channel != ou.channel || ivc.fifo.empty())
+                    continue;
+                const Flit &f = ivc.fifo.front();
+                const OutputVC &ovc = ou.vcs[static_cast<std::size_t>(
+                    ivc.out_vc)];
+                std::uint32_t need = 1;
+                if (f.head) {
+                    // Virtual cut-through launch check at packet
+                    // granularity: a head waits for enough credit to
+                    // cover one whole packet (not the whole gradient
+                    // message, which would insert a credit round-trip
+                    // bubble between every schedule step).
+                    std::uint64_t pkt_flits =
+                        cfg_.packet_payload / cfg_.flit_bytes + 1;
+                    need = static_cast<std::uint32_t>(
+                        std::min<std::uint64_t>(
+                            {f.pkt->wire_flits, pkt_flits,
+                             static_cast<std::uint64_t>(
+                                 cfg_.vc_buffer_depth)}));
+                }
+                if (ovc.credits < need)
+                    continue;
+                reqs.push_back(Req{static_cast<int>(ii),
+                                   static_cast<int>(vc)});
+            }
+        }
+        if (reqs.empty())
+            continue;
+        // Round-robin grant.
+        std::size_t pick = ou.rr % reqs.size();
+        ou.rr = (ou.rr + 1);
+        Req g = reqs[pick];
+        InputUnit &iu = r.inputs[static_cast<std::size_t>(g.input)];
+        InputVC &ivc = iu.vcs[static_cast<std::size_t>(g.vc)];
+        Flit f = ivc.fifo.front();
+        ivc.fifo.pop_front();
+        int out_vc = ivc.out_vc;
+        OutputVC &ovc = ou.vcs[static_cast<std::size_t>(out_vc)];
+        --ovc.credits;
+        ++channel_flits_[static_cast<std::size_t>(ou.channel)];
+
+        if (iu.channel >= 0)
+            returnCredit(iu.channel, g.vc);
+        if (f.tail) {
+            ivc.out_channel = -1;
+            ivc.out_vc = -1;
+            ovc.owner_input = -1;
+            ovc.owner_vc = -1;
+        }
+
+        // Ship across the wire.
+        Flit moved = f;
+        moved.hop = f.hop + 1;
+        int cid = ou.channel;
+        int dvc = out_vc;
+        eq_.scheduleAfter(
+            cfg_.router_pipeline + cfg_.link_latency,
+            [this, cid, dvc, moved]() mutable {
+                Router &down = routers_[static_cast<std::size_t>(
+                    topo_.channel(cid).dst)];
+                int ii = down.in_of_channel.at(cid);
+                down.inputs[static_cast<std::size_t>(ii)]
+                    .vcs[static_cast<std::size_t>(dvc)]
+                    .fifo.push_back(moved);
+            },
+            sim::Priority::High);
+    }
+}
+
+void
+FlitNetwork::eject(int vertex)
+{
+    Router &r = routers_[static_cast<std::size_t>(vertex)];
+    for (auto &iu : r.inputs) {
+        if (iu.channel < 0)
+            continue;
+        for (std::uint32_t vc = 0; vc < cfg_.num_vcs; ++vc) {
+            auto &ivc = iu.vcs[vc];
+            while (!ivc.fifo.empty()) {
+                const Flit &f = ivc.fifo.front();
+                if (f.hop < f.pkt->msg.route.size())
+                    break; // through traffic, not ours to sink
+                Packet *pkt = f.pkt;
+                bool tail = f.tail;
+                ivc.fifo.pop_front();
+                --in_flight_;
+                returnCredit(iu.channel, static_cast<int>(vc));
+                ++pkt->ejected;
+                ++ejected_total_;
+                last_progress_cycle_ = active_cycles_;
+                if (tail) {
+                    MT_ASSERT(pkt->ejected == pkt->wire_flits,
+                              "tail ejected before body: ",
+                              pkt->ejected, "/", pkt->wire_flits);
+                    pkt_latency_.add(static_cast<double>(
+                        eq_.now() - pkt->injected_at));
+                    Message msg = pkt->msg;
+                    live_.erase(pkt);
+                    eq_.scheduleAfter(0, [this, msg = std::move(msg)] {
+                        MT_ASSERT(deliver_, "no delivery sink");
+                        deliver_(msg);
+                    });
+                }
+            }
+        }
+    }
+}
+
+void
+FlitNetwork::returnCredit(int cid, int vc)
+{
+    eq_.scheduleAfter(
+        cfg_.link_latency,
+        [this, cid, vc] {
+            Router &up = routers_[static_cast<std::size_t>(
+                topo_.channel(cid).src)];
+            int oi = up.out_of_channel.at(cid);
+            ++up.outputs[static_cast<std::size_t>(oi)]
+                  .vcs[static_cast<std::size_t>(vc)]
+                  .credits;
+        },
+        sim::Priority::High);
+}
+
+void
+FlitNetwork::cycle()
+{
+    ++active_cycles_;
+    for (int v = 0; v < topo_.numVertices(); ++v)
+        eject(v);
+    for (int v = 0; v < topo_.numVertices(); ++v)
+        refillInjection(v);
+    for (int v = 0; v < topo_.numVertices(); ++v)
+        allocateVCs(v);
+    for (int v = 0; v < topo_.numVertices(); ++v)
+        traverse(v);
+
+    bool pending_work = !live_.empty() || in_flight_ > 0;
+    if (!pending_work) {
+        for (const auto &q : pending_)
+            pending_work |= !q.empty();
+    }
+    // Watchdog: with traffic in flight, some flit must eject within
+    // a generous bound or the network has deadlocked/livelocked —
+    // that is a simulator or routing bug, never a user error.
+    if (pending_work
+        && active_cycles_ - last_progress_cycle_ > 4'000'000) {
+        MT_PANIC("flit network made no ejection progress for 4M "
+                 "cycles with ", live_.size(), " live packets and ",
+                 in_flight_, " flits in flight — deadlock");
+    }
+    cycle_armed_ = false;
+    if (pending_work)
+        ensureRunning();
+}
+
+} // namespace multitree::net

@@ -1,0 +1,39 @@
+#include "net/flow_control.hh"
+
+#include "common/logging.hh"
+
+namespace multitree::net {
+
+WireBreakdown
+wireBreakdown(std::uint64_t bytes, FlowControlMode mode,
+              const NetworkConfig &cfg)
+{
+    WireBreakdown wb;
+    wb.payload_flits = ceilDiv(bytes, cfg.flit_bytes);
+    if (wb.payload_flits == 0)
+        wb.payload_flits = 1; // a zero-byte message still moves a flit
+    switch (mode) {
+      case FlowControlMode::PacketBased:
+        wb.head_flits = ceilDiv(bytes, cfg.packet_payload);
+        if (wb.head_flits == 0)
+            wb.head_flits = 1;
+        break;
+      case FlowControlMode::MessageBased:
+        wb.head_flits = 1;
+        break;
+    }
+    wb.total_flits = wb.payload_flits + wb.head_flits;
+    return wb;
+}
+
+double
+headFlitOverhead(std::uint32_t payload_bytes, std::uint32_t flit_bytes)
+{
+    MT_ASSERT(payload_bytes > 0 && flit_bytes > 0,
+              "degenerate packet shape");
+    double payload_flits =
+        static_cast<double>(ceilDiv(payload_bytes, flit_bytes));
+    return 1.0 / (payload_flits + 1.0);
+}
+
+} // namespace multitree::net

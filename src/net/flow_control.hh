@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Wire-level flow-control accounting (§II-C Fig. 2 and §IV-B).
+ *
+ * Conventional packet-based switching splits a gradient transfer into
+ * packets of `packet_payload` bytes, each led by a head flit that
+ * carries routing metadata: 64-256 B payloads with 16 B flits cost
+ * 6-25% of the link bandwidth in heads (Fig. 2). The co-designed
+ * message-based flow control sends the whole gradient as one message
+ * whose sub-packets reuse the flit Type field for framing, so only a
+ * single head flit is spent per message.
+ */
+
+#ifndef MULTITREE_NET_FLOW_CONTROL_HH
+#define MULTITREE_NET_FLOW_CONTROL_HH
+
+#include <cstdint>
+
+#include "net/network.hh"
+
+namespace multitree::net {
+
+/** Flit census of one transfer on the wire. */
+struct WireBreakdown {
+    std::uint64_t payload_flits = 0; ///< flits carrying gradient data
+    std::uint64_t head_flits = 0;    ///< flits spent on packet heads
+    std::uint64_t total_flits = 0;   ///< payload + heads
+};
+
+/**
+ * Compute the wire flit breakdown of a @p bytes transfer under
+ * @p mode with flit/packet sizes from @p cfg.
+ */
+WireBreakdown wireBreakdown(std::uint64_t bytes, FlowControlMode mode,
+                            const NetworkConfig &cfg);
+
+/**
+ * Head-flit bandwidth overhead fraction for a given packet payload
+ * size: head_flits / total_flits. Fig. 2 evaluates payloads of
+ * 64-256 bytes with 16-byte flits.
+ */
+double headFlitOverhead(std::uint32_t payload_bytes,
+                        std::uint32_t flit_bytes);
+
+} // namespace multitree::net
+
+#endif // MULTITREE_NET_FLOW_CONTROL_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Fast flow-level network model.
+ *
+ * Each message reserves the channels of its route in order: on every
+ * channel it starts no earlier than (a) its head's arrival from the
+ * previous hop and (b) the instant the channel finished its previous
+ * reservation. With virtual cut-through and equal link bandwidths the
+ * tail is delivered one serialization window after the last hop's
+ * start. Serialization includes the flow-control head-flit overhead,
+ * so the packet-based vs message-based difference (Fig. 2, §IV-B) is
+ * visible here too.
+ *
+ * This model preserves exactly the effects the paper's evaluation
+ * depends on — per-channel serialization, queueing under contention,
+ * per-hop latency, wire overhead — at a cost of O(hops) per message
+ * instead of O(flits x hops) cycles, which is what lets the full
+ * Fig. 9/10/11 sweeps finish on one core. Its agreement with the
+ * cycle-level FlitNetwork is checked by tests and by the validation
+ * bench.
+ */
+
+#ifndef MULTITREE_NET_FLOW_NETWORK_HH
+#define MULTITREE_NET_FLOW_NETWORK_HH
+
+#include <vector>
+
+#include "net/network.hh"
+
+namespace multitree::topo {
+class Topology;
+} // namespace multitree::topo
+
+namespace multitree::net {
+
+/** Event-driven per-channel serialization transport. */
+class FlowNetwork : public Network
+{
+  public:
+    FlowNetwork(sim::EventQueue &eq, const topo::Topology &topo,
+                NetworkConfig cfg = {});
+
+    void inject(Message msg) override;
+
+    /** Busy time accumulated on channel @p cid (for utilization). */
+    Tick channelBusy(int cid) const
+    {
+        return busy_time_[static_cast<std::size_t>(cid)];
+    }
+
+    /** Peak queueing delay any message saw waiting for a channel. */
+    Tick maxQueueing() const { return max_queueing_; }
+
+  private:
+    const topo::Topology &topo_;
+    /** Tick at which each channel becomes free. */
+    std::vector<Tick> free_at_;
+    /** Cumulative busy time per channel. */
+    std::vector<Tick> busy_time_;
+    Tick max_queueing_ = 0;
+};
+
+} // namespace multitree::net
+
+#endif // MULTITREE_NET_FLOW_NETWORK_HH

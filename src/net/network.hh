@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Abstract network interface shared by the two simulation backends.
+ *
+ * The co-designed NI engine (src/ni) injects Messages and receives
+ * delivery callbacks; it never cares whether the transport underneath
+ * is the cycle-level flit simulator or the fast flow-level model.
+ * Both backends are driven by the same sim::EventQueue.
+ */
+
+#ifndef MULTITREE_NET_NETWORK_HH
+#define MULTITREE_NET_NETWORK_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/units.hh"
+
+namespace multitree::sim {
+class EventQueue;
+} // namespace multitree::sim
+
+namespace multitree::net {
+
+/** Flow-control flavor on the wire (§IV-B, Fig. 7). */
+enum class FlowControlMode {
+    /** Conventional packets: a head flit per 256 B payload packet. */
+    PacketBased,
+    /**
+     * Message-based big-gradient flow control: one head flit for the
+     * whole gradient message, sub-packets delimited by type bits that
+     * ride existing flit framing (no extra flits).
+     */
+    MessageBased,
+};
+
+/** One end-to-end transfer between two nodes. */
+struct Message {
+    int src = -1;            ///< source node vertex
+    int dst = -1;            ///< destination node vertex
+    std::uint64_t bytes = 0; ///< payload bytes
+    std::vector<int> route;  ///< channel path src→dst (never empty
+                             ///< when handed to a backend)
+    int flow_id = -1;        ///< tree/chunk id (Fig. 8d Tree Info)
+    std::uint64_t tag = 0;   ///< opaque NI cookie
+};
+
+/** Delivery callback: invoked at the arrival tick of the tail flit. */
+using DeliverFn = std::function<void(const Message &)>;
+
+/** Parameters shared by both backends (Table III defaults). */
+struct NetworkConfig {
+    /** Flow control on every wire (MultiTreeMsg sets MessageBased). */
+    FlowControlMode mode = FlowControlMode::PacketBased;
+    std::uint32_t flit_bytes = kFlitBytes;
+    std::uint32_t packet_payload = kPacketPayloadBytes;
+    std::uint32_t link_latency = kLinkLatency;   ///< cycles
+    std::uint32_t router_pipeline = 3;           ///< cycles per hop
+    std::uint32_t num_vcs = kNumVCs;
+    std::uint32_t vc_buffer_depth = kVCBufferDepth;
+};
+
+/** Abstract transport. */
+class Network
+{
+  public:
+    explicit Network(sim::EventQueue &eq, NetworkConfig cfg)
+        : eq_(eq), cfg_(cfg)
+    {}
+    virtual ~Network() = default;
+
+    /** Queue @p msg for transmission starting at the current tick. */
+    virtual void inject(Message msg) = 0;
+
+    /** Register the delivery sink (one per simulation). */
+    void onDeliver(DeliverFn fn) { deliver_ = std::move(fn); }
+
+    /** The event queue driving this network. */
+    sim::EventQueue &eventQueue() { return eq_; }
+
+    /** Configuration in effect. */
+    const NetworkConfig &config() const { return cfg_; }
+
+    /** Aggregate transport statistics (flits, head flits, stalls…). */
+    const StatRegistry &stats() const { return stats_; }
+
+  protected:
+    sim::EventQueue &eq_;
+    NetworkConfig cfg_;
+    DeliverFn deliver_;
+    StatRegistry stats_;
+};
+
+} // namespace multitree::net
+
+#endif // MULTITREE_NET_NETWORK_HH

@@ -1,0 +1,138 @@
+#include "ni/nic_engine.hh"
+
+#include "common/logging.hh"
+#include "net/network.hh"
+#include "sim/event_queue.hh"
+
+namespace multitree::ni {
+
+NicEngine::NicEngine(ScheduleTable table, net::Network &network,
+                     bool lockstep,
+                     std::vector<std::uint64_t> step_estimates,
+                     std::uint32_t reduction_bytes_per_cycle)
+    : table_(std::move(table)), net_(network), lockstep_(lockstep),
+      est_(std::move(step_estimates)),
+      reduction_bw_(reduction_bytes_per_cycle)
+{
+    if (lockstep_) {
+        MT_ASSERT(!est_.empty(),
+                  "lockstep pacing needs step estimates");
+    }
+}
+
+void
+NicEngine::start()
+{
+    started_ = true;
+    cur_step_ = 1;
+    if (lockstep_)
+        window_end_ = net_.eventQueue().now() + est_[0];
+    pump();
+}
+
+bool
+NicEngine::depsSatisfied(const TableEntry &e) const
+{
+    if (e.dep_on_parent) {
+        auto it = got_gather_.find(e.flow);
+        return it != got_gather_.end() && it->second;
+    }
+    auto it = got_reduce_.find(e.flow);
+    for (int child : e.deps) {
+        if (it == got_reduce_.end() || !it->second.count(child))
+            return false;
+    }
+    return true;
+}
+
+bool
+NicEngine::stepGateOpen(const TableEntry &e)
+{
+    if (!lockstep_)
+        return true;
+    auto &eq = net_.eventQueue();
+    // Advance the timestep counter through elapsed windows — each
+    // skipped window is an implicit NOP stall (§IV-A).
+    while (cur_step_ < e.step && eq.now() >= window_end_) {
+        ++cur_step_;
+        ++nop_windows_;
+        auto idx = static_cast<std::size_t>(cur_step_ - 1);
+        std::uint64_t est = idx < est_.size() ? est_[idx] : 1;
+        window_end_ = std::max(window_end_, eq.now()) + est;
+    }
+    if (cur_step_ >= e.step)
+        return true;
+    // Gate closed: re-arm a timer at the window boundary.
+    if (!timer_armed_) {
+        timer_armed_ = true;
+        eq.scheduleAt(window_end_, [this] {
+            timer_armed_ = false;
+            pump();
+        });
+    }
+    return false;
+}
+
+void
+NicEngine::pump()
+{
+    if (!started_)
+        return;
+    while (next_ < table_.entries.size()) {
+        const TableEntry &e = table_.entries[next_];
+        if (!stepGateOpen(e))
+            return;
+        if (!depsSatisfied(e))
+            return; // head-of-table stall until a message arrives
+        // Issue: DMA the chunk and inject one message per target.
+        for (std::size_t i = 0; i < e.children.size() || i == 0; ++i) {
+            int dst;
+            std::uint64_t tag;
+            if (e.op == Op::Reduce) {
+                dst = e.parent;
+                tag = kTagReduce;
+            } else {
+                if (i >= e.children.size())
+                    break;
+                dst = e.children[i];
+                tag = kTagGather;
+            }
+            net::Message msg;
+            msg.src = table_.node;
+            msg.dst = dst;
+            msg.bytes = e.bytes;
+            msg.route = e.routes[i];
+            msg.flow_id = e.flow;
+            msg.tag = tag;
+            net_.inject(std::move(msg));
+            if (e.op == Op::Reduce)
+                break; // single parent target
+        }
+        ++next_;
+    }
+}
+
+void
+NicEngine::onMessage(const net::Message &msg)
+{
+    if (msg.tag == kTagReduce) {
+        if (reduction_bw_ > 0) {
+            // The reduction logic aggregates the arrived partial at
+            // a finite rate before the dependency bit clears.
+            Tick delay = ceilDiv(msg.bytes, reduction_bw_);
+            int flow = msg.flow_id;
+            int src = msg.src;
+            net_.eventQueue().scheduleAfter(delay, [this, flow, src] {
+                got_reduce_[flow].insert(src);
+                pump();
+            });
+            return;
+        }
+        got_reduce_[msg.flow_id].insert(msg.src);
+    } else {
+        got_gather_[msg.flow_id] = true;
+    }
+    pump();
+}
+
+} // namespace multitree::ni

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The co-designed network-interface engine (§IV-A, Fig. 6).
+ *
+ * One engine per node executes that node's schedule table in order:
+ * the head entry is inspected, its step is compared against the
+ * timestep counter, its Parent/Children dependencies are checked
+ * against arrived messages, and on success the DMA engine (modelled
+ * as an immediate injection into the network backend) ships the
+ * chunk. Arriving Reduce messages feed the reduction logic and clear
+ * dependency bits; arriving Gather messages clear the parent
+ * dependence.
+ *
+ * Lockstep pacing: when the schedule requests it (MultiTree), the
+ * timestep counter only advances after the lockstep down-counter —
+ * loaded with the estimated serialization time of the step's chunk
+ * (footnote 4) — expires, inserting implicit NOPs for steps in which
+ * this node has nothing to send. No global synchronization is used.
+ */
+
+#ifndef MULTITREE_NI_NIC_ENGINE_HH
+#define MULTITREE_NI_NIC_ENGINE_HH
+
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.hh"
+#include "ni/schedule_table.hh"
+
+namespace multitree::sim {
+class EventQueue;
+} // namespace multitree::sim
+
+namespace multitree::net {
+class Network;
+struct Message;
+} // namespace multitree::net
+
+namespace multitree::ni {
+
+/** Message tag values distinguishing the two phases on the wire. */
+enum : std::uint64_t {
+    kTagReduce = 0,
+    kTagGather = 1,
+};
+
+/** Per-node schedule execution engine. */
+class NicEngine
+{
+  public:
+    /**
+     * @param table This node's compiled schedule table.
+     * @param network Transport to inject into.
+     * @param lockstep Enable the NOP/down-counter step pacing.
+     * @param step_estimates Per-step serialization estimates in
+     *        cycles (index 0 = step 1); required when lockstep.
+     * @param reduction_bytes_per_cycle Aggregation throughput of the
+     *        attached accelerator's reduction logic (Fig. 6 step 4);
+     *        0 models the paper's assumption of sufficient compute
+     *        bandwidth (aggregation is free).
+     */
+    NicEngine(ScheduleTable table, net::Network &network,
+              bool lockstep,
+              std::vector<std::uint64_t> step_estimates,
+              std::uint32_t reduction_bytes_per_cycle = 0);
+
+    /** Begin issuing at the current simulation time. */
+    void start();
+
+    /** Deliver an arriving message to this node's reduction logic. */
+    void onMessage(const net::Message &msg);
+
+    /** Whether every table entry has been issued. */
+    bool done() const { return next_ == table_.entries.size(); }
+
+    /** Entries issued so far. */
+    std::size_t issued() const { return next_; }
+
+    /** Number of lockstep NOP windows this node sat through. */
+    std::uint64_t nopWindows() const { return nop_windows_; }
+
+  private:
+    /** Issue every ready entry at the table head; re-arms timers. */
+    void pump();
+
+    /** Whether @p e's dependencies are satisfied. */
+    bool depsSatisfied(const TableEntry &e) const;
+
+    /** Advance the timestep counter to cover @p step if allowed. */
+    bool stepGateOpen(const TableEntry &e);
+
+    ScheduleTable table_;
+    net::Network &net_;
+    bool lockstep_;
+    std::vector<std::uint64_t> est_;
+    std::uint32_t reduction_bw_;
+
+    std::size_t next_ = 0; ///< head-of-table pointer
+    int cur_step_ = 1;     ///< timestep counter
+    Tick window_end_ = 0;  ///< lockstep down-counter expiry
+    bool timer_armed_ = false;
+    bool started_ = false;
+    std::uint64_t nop_windows_ = 0;
+
+    /** flow → reduce children received so far. */
+    std::unordered_map<int, std::set<int>> got_reduce_;
+    /** flow → gather received flag. */
+    std::unordered_map<int, bool> got_gather_;
+};
+
+} // namespace multitree::ni
+
+#endif // MULTITREE_NI_NIC_ENGINE_HH

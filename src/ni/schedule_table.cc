@@ -1,0 +1,162 @@
+#include "ni/schedule_table.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "topo/topology.hh"
+
+namespace multitree::ni {
+
+std::size_t
+childrenFieldWidth(const topo::Topology &topo)
+{
+    std::size_t width = 1;
+    for (int v = 0; v < topo.numNodes(); ++v)
+        width = std::max(width, topo.outChannels(v).size());
+    return width;
+}
+
+std::vector<ScheduleTable>
+buildScheduleTables(const coll::Schedule &sched,
+                    const topo::Topology &topo)
+{
+    const int n = sched.num_nodes;
+    std::vector<ScheduleTable> tables(static_cast<std::size_t>(n));
+    for (int v = 0; v < n; ++v)
+        tables[static_cast<std::size_t>(v)].node = v;
+
+    auto resolved = [&](const coll::ScheduledEdge &e) {
+        return e.route.empty() ? topo.route(e.src, e.dst) : e.route;
+    };
+
+    for (const auto &f : sched.flows) {
+        // Reduce-tree children per node for dependency fields.
+        std::vector<std::vector<int>> kids(static_cast<std::size_t>(n));
+        for (const auto &e : f.reduce)
+            kids[static_cast<std::size_t>(e.dst)].push_back(e.src);
+
+        // One Reduce entry per non-root node.
+        for (const auto &e : f.reduce) {
+            TableEntry te;
+            te.op = Op::Reduce;
+            te.flow = f.flow_id;
+            te.parent = e.dst;
+            te.children = kids[static_cast<std::size_t>(e.src)];
+            te.deps = te.children;
+            te.step = e.step;
+            te.bytes = f.bytes;
+            te.routes.push_back(resolved(e));
+            tables[static_cast<std::size_t>(e.src)].entries.push_back(
+                std::move(te));
+        }
+
+        // Gather entries: group a node's same-step sends into one row
+        // (Fig. 5 packs up to the NI:link bandwidth ratio of children
+        // per entry).
+        std::vector<int> gather_parent(static_cast<std::size_t>(n),
+                                       -1);
+        for (const auto &e : f.gather)
+            gather_parent[static_cast<std::size_t>(e.dst)] = e.src;
+        std::map<std::pair<int, int>, TableEntry> grouped;
+        for (const auto &e : f.gather) {
+            auto key = std::make_pair(e.src, e.step);
+            auto &te = grouped[key];
+            if (te.children.empty()) {
+                te.op = Op::Gather;
+                te.flow = f.flow_id;
+                te.step = e.step;
+                te.bytes = f.bytes;
+                if (e.src == f.root) {
+                    te.parent = -1;
+                    te.deps = kids[static_cast<std::size_t>(f.root)];
+                    te.dep_on_parent = false;
+                } else {
+                    te.parent =
+                        gather_parent[static_cast<std::size_t>(e.src)];
+                    te.deps = {te.parent};
+                    te.dep_on_parent = true;
+                }
+            }
+            te.children.push_back(e.dst);
+            te.routes.push_back(resolved(e));
+        }
+        const std::size_t width = childrenFieldWidth(topo);
+        for (auto &[key, te] : grouped) {
+            auto &entries =
+                tables[static_cast<std::size_t>(key.first)].entries;
+            // Honor the hardware Children field width: split
+            // over-wide gather rows into consecutive entries. A
+            // contention-free schedule never needs this (same-step
+            // sends use distinct channels), but hand-built or
+            // imported schedules may.
+            while (te.children.size() > width) {
+                TableEntry head = te;
+                head.children.resize(width);
+                head.routes.resize(width);
+                entries.push_back(std::move(head));
+                te.children.erase(te.children.begin(),
+                                  te.children.begin()
+                                      + static_cast<std::ptrdiff_t>(
+                                          width));
+                te.routes.erase(te.routes.begin(),
+                                te.routes.begin()
+                                    + static_cast<std::ptrdiff_t>(
+                                        width));
+            }
+            entries.push_back(std::move(te));
+        }
+    }
+
+    for (auto &t : tables) {
+        std::stable_sort(t.entries.begin(), t.entries.end(),
+                         [](const TableEntry &a, const TableEntry &b) {
+                             return a.step < b.step;
+                         });
+    }
+    return tables;
+}
+
+std::string
+renderTable(const ScheduleTable &table)
+{
+    std::ostringstream oss;
+    oss << "Accelerator " << table.node << "\n";
+    oss << "Op      FlowID  Parent  Children      Step  Size\n";
+    for (const auto &e : table.entries) {
+        oss << (e.op == Op::Reduce ? "Reduce  " : "Gather  ");
+        oss << e.flow << "       ";
+        if (e.parent < 0)
+            oss << "nil     ";
+        else
+            oss << e.parent << "       ";
+        std::string children;
+        for (std::size_t i = 0; i < 4; ++i) {
+            if (i < e.children.size())
+                children += std::to_string(e.children[i]) + " ";
+            else
+                children += "nil ";
+        }
+        oss << children << "  " << e.step << "     " << e.bytes
+            << "\n";
+    }
+    return oss.str();
+}
+
+TableCost
+tableCost(int n)
+{
+    TableCost c;
+    c.entries = 2 * n;
+    // Fixed field widths as in §V-A: Op(2) + FlowID(16) + Parent(16)
+    // + 4 x Children(16) + Step(16) + Start Addr(56) + Size(32) =
+    // 202 bits ≈ the paper's 200-bit entry for a 64-node system.
+    c.bits_per_entry = 2 + 16 + 16 + 4 * 16 + 16 + 56 + 32;
+    c.kib = static_cast<double>(c.entries) * c.bits_per_entry
+            / (8.0 * 1024.0);
+    return c;
+}
+
+} // namespace multitree::ni

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Per-node all-reduce schedule tables — the hardware structure of the
+ * co-designed network interface (§IV-A, Figs. 5 and 6).
+ *
+ * A Schedule (the global view of all chunk flows) is compiled into one
+ * table per node. Each entry mirrors the fields of Fig. 5: an opcode
+ * (Reduce/Gather), the FlowID (tree id), the Parent and Children in
+ * that tree, the Step at which the NI may issue it, and the chunk
+ * Size (the Start Addr is implicit in the flow id here). Entries are
+ * ordered by step; the NI inspects the head of the table, checks the
+ * step gate and the dependency fields, and launches DMA transfers.
+ */
+
+#ifndef MULTITREE_NI_SCHEDULE_TABLE_HH
+#define MULTITREE_NI_SCHEDULE_TABLE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "coll/schedule.hh"
+
+namespace multitree::topo {
+class Topology;
+} // namespace multitree::topo
+
+namespace multitree::ni {
+
+/** Table opcodes (Fig. 5). NOPs are implicit in the step pacing. */
+enum class Op {
+    Reduce, ///< send this node's partial up the tree
+    Gather, ///< broadcast the reduced chunk down the tree
+};
+
+/**
+ * Width of the hardware Children field for @p topo: the NI-to-link
+ * bandwidth ratio (footnote 3 of the paper) — the largest node
+ * out-degree, e.g. 4 on a 2D torus (Fig. 5's four slots) and 6 on a
+ * 3D torus, floored at one. Gather rows with more same-step targets
+ * than the field holds split into consecutive entries.
+ */
+std::size_t childrenFieldWidth(const topo::Topology &topo);
+
+/** One schedule table row. */
+struct TableEntry {
+    Op op = Op::Reduce;
+    int flow = -1;   ///< FlowID / tree id
+    int parent = -1; ///< tree parent (-1 = nil, i.e. this is the root)
+    /** Reduce: dependency children. Gather: send targets this step. */
+    std::vector<int> children;
+    /**
+     * Dependencies that must be satisfied before issue: for Reduce
+     * and a root's first Gather these are the reduce-tree children
+     * whose partials must have arrived; for a non-root Gather it is
+     * the parent whose broadcast must have arrived (encoded as a
+     * single-element vector).
+     */
+    std::vector<int> deps;
+    bool dep_on_parent = false; ///< deps refer to a gather receive
+    int step = 0;               ///< issue step (lockstep gate)
+    std::uint64_t bytes = 0;    ///< Size field
+    /** Send routes: Reduce → one route to parent; Gather → one per
+     *  child, aligned with `children`. */
+    std::vector<std::vector<int>> routes;
+};
+
+/** The full table of one node. */
+struct ScheduleTable {
+    int node = -1;
+    std::vector<TableEntry> entries; ///< sorted by step
+};
+
+/**
+ * Compile @p sched into per-node tables, resolving empty edge routes
+ * through @p topo's deterministic routing function.
+ */
+std::vector<ScheduleTable>
+buildScheduleTables(const coll::Schedule &sched,
+                    const topo::Topology &topo);
+
+/** Render a table in the style of Fig. 5, for inspection tools. */
+std::string renderTable(const ScheduleTable &table);
+
+/**
+ * Hardware cost model of the schedule-table SRAM (§V-A): entries
+ * hold Op, FlowID, Parent, up to four Children, Step, Start Addr and
+ * Size in 200 bits for a 64-node system; 2N entries per node.
+ */
+struct TableCost {
+    int entries = 0;
+    int bits_per_entry = 0;
+    double kib = 0;
+};
+
+/** Estimate the schedule-table SRAM cost for an @p n node system. */
+TableCost tableCost(int n);
+
+} // namespace multitree::ni
+
+#endif // MULTITREE_NI_SCHEDULE_TABLE_HH

@@ -1,0 +1,58 @@
+#include "sim/event_queue.hh"
+
+#include "common/logging.hh"
+
+namespace multitree::sim {
+
+void
+EventQueue::scheduleAt(Tick when, Callback cb, Priority prio)
+{
+    MT_ASSERT(when >= now_, "scheduling into the past: when=", when,
+              " now=", now_);
+    heap_.push(Entry{when, static_cast<int>(prio), next_seq_++,
+                     std::move(cb)});
+}
+
+void
+EventQueue::scheduleAfter(Tick delay, Callback cb, Priority prio)
+{
+    scheduleAt(now_ + delay, std::move(cb), prio);
+}
+
+std::uint64_t
+EventQueue::run(std::uint64_t limit)
+{
+    std::uint64_t ran = 0;
+    while (ran < limit && step())
+        ++ran;
+    return ran;
+}
+
+std::uint64_t
+EventQueue::runUntil(Tick until)
+{
+    std::uint64_t ran = 0;
+    while (!heap_.empty() && heap_.top().when <= until) {
+        step();
+        ++ran;
+    }
+    if (now_ < until)
+        now_ = until;
+    return ran;
+}
+
+bool
+EventQueue::step()
+{
+    if (heap_.empty())
+        return false;
+    // Copy out before pop so the callback may schedule new events.
+    Entry e = heap_.top();
+    heap_.pop();
+    now_ = e.when;
+    ++executed_;
+    e.cb();
+    return true;
+}
+
+} // namespace multitree::sim

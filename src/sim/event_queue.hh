@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * The kernel is a priority queue of (tick, priority, sequence) ordered
+ * events. Ties at the same tick are broken first by an explicit priority
+ * (lower runs first) and then by insertion order, which keeps runs
+ * deterministic. Components schedule closures; there is no global
+ * singleton — every simulation owns its queue.
+ */
+
+#ifndef MULTITREE_SIM_EVENT_QUEUE_HH
+#define MULTITREE_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace multitree::sim {
+
+/** Scheduling priorities for same-tick ordering (lower runs first). */
+enum class Priority : int {
+    High = 0,
+    Default = 1,
+    Low = 2,
+};
+
+/**
+ * The event queue driving a simulation. Events are closures executed at
+ * their scheduled tick in deterministic order.
+ */
+class EventQueue
+{
+  public:
+    /** Callback type for scheduled events. */
+    using Callback = std::function<void()>;
+
+    /** Current simulation time. */
+    Tick now() const { return now_; }
+
+    /**
+     * Schedule @p cb to run at absolute time @p when.
+     * @pre when >= now().
+     */
+    void scheduleAt(Tick when, Callback cb,
+                    Priority prio = Priority::Default);
+
+    /** Schedule @p cb to run @p delay ticks from now. */
+    void scheduleAfter(Tick delay, Callback cb,
+                       Priority prio = Priority::Default);
+
+    /** Whether any events remain. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return heap_.size(); }
+
+    /**
+     * Run events until the queue drains or @p limit events have run.
+     * @return the number of events executed.
+     */
+    std::uint64_t run(std::uint64_t limit = UINT64_MAX);
+
+    /**
+     * Run events with timestamps <= @p until (inclusive).
+     * Afterwards now() == until unless the queue drained earlier, in
+     * which case now() is the last executed tick.
+     * @return the number of events executed.
+     */
+    std::uint64_t runUntil(Tick until);
+
+    /** Execute exactly one event if available. @return true if one ran. */
+    bool step();
+
+    /** Total events executed over the queue's lifetime. */
+    std::uint64_t executed() const { return executed_; }
+
+  private:
+    struct Entry {
+        Tick when;
+        int prio;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.prio != b.prio)
+                return a.prio > b.prio;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    Tick now_ = 0;
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace multitree::sim
+
+#endif // MULTITREE_SIM_EVENT_QUEUE_HH

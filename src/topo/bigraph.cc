@@ -1,0 +1,88 @@
+#include "topo/bigraph.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace multitree::topo {
+
+BiGraph::BiGraph(int num_upper, int num_lower)
+    : num_upper_(num_upper), num_lower_(num_lower)
+{
+    const int n = num_upper * num_lower;
+    MT_ASSERT(n >= 2 && n % 2 == 0, "BiGraph needs an even node count");
+    MT_ASSERT((n / 2) % num_upper == 0,
+              "upper stage cannot host nodes evenly");
+    MT_ASSERT((n / 2) % num_lower == 0,
+              "lower stage cannot host nodes evenly");
+    nodes_per_upper_ = (n / 2) / num_upper;
+    nodes_per_lower_ = (n / 2) / num_lower;
+
+    for (int i = 0; i < n; ++i)
+        addVertex(VertexKind::Node);
+    for (int u = 0; u < num_upper; ++u)
+        addVertex(VertexKind::Switch);
+    for (int l = 0; l < num_lower; ++l)
+        addVertex(VertexKind::Switch);
+
+    for (int i = 0; i < n; ++i)
+        addLink(i, switchOf(i));
+    for (int u = 0; u < num_upper; ++u) {
+        for (int l = 0; l < num_lower; ++l)
+            addLink(upperVertex(u), lowerVertex(l));
+    }
+}
+
+std::string
+BiGraph::name() const
+{
+    std::ostringstream oss;
+    oss << "bigraph-" << num_upper_ << "x" << num_lower_;
+    return oss.str();
+}
+
+int
+BiGraph::switchOf(int n) const
+{
+    if (isUpperNode(n))
+        return upperVertex(n / nodes_per_upper_);
+    int j = n - numNodes() / 2;
+    return lowerVertex(j / nodes_per_lower_);
+}
+
+std::vector<int>
+BiGraph::route(int src, int dst) const
+{
+    if (src == dst)
+        return {};
+    if (!isNode(src) || !isNode(dst))
+        return bfsRoute(src, dst);
+
+    std::vector<int> path;
+    auto hop = [&](int u, int v) {
+        int cid = channelBetween(u, v);
+        MT_ASSERT(cid >= 0, "missing bigraph channel ", u, "->", v);
+        path.push_back(cid);
+    };
+    int s_sw = switchOf(src);
+    int d_sw = switchOf(dst);
+    hop(src, s_sw);
+    if (s_sw != d_sw) {
+        bool s_up = isUpperNode(src);
+        bool d_up = isUpperNode(dst);
+        if (s_up == d_up) {
+            // Same stage: bounce through the opposite stage, switch
+            // selected deterministically by the destination id.
+            int mid = s_up ? lowerVertex(dst % num_lower_)
+                           : upperVertex(dst % num_upper_);
+            hop(s_sw, mid);
+            hop(mid, d_sw);
+        } else {
+            hop(s_sw, d_sw);
+        }
+    }
+    hop(d_sw, dst);
+    return path;
+}
+
+} // namespace multitree::topo

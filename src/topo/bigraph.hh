@@ -1,0 +1,80 @@
+/**
+ * @file
+ * BiGraph topology from Alibaba's EFLOPS training platform (HPCA 2020).
+ *
+ * Two stages of switches — `numUpper` upper and `numLower` lower — form
+ * a complete bipartite graph. End nodes attach to both stages: half of
+ * the nodes hang off upper switches and half off lower switches. Any
+ * upper-attached node reaches any lower-attached node through exactly
+ * one switch-to-switch link, which HDRM's rank mapping exploits to keep
+ * halving-doubling contention-free.
+ *
+ * The paper's 32-node instance is BiGraph(4, 8) and the 64-node one is
+ * BiGraph(4, 16): N = numUpper * numLower nodes in total, N/2 on each
+ * stage.
+ */
+
+#ifndef MULTITREE_TOPO_BIGRAPH_HH
+#define MULTITREE_TOPO_BIGRAPH_HH
+
+#include "topo/topology.hh"
+
+namespace multitree::topo {
+
+/** EFLOPS-style two-stage fully connected BiGraph. */
+class BiGraph : public Topology
+{
+  public:
+    /**
+     * @param num_upper Upper-stage switch count.
+     * @param num_lower Lower-stage switch count.
+     *
+     * Hosts numUpper*numLower nodes. N/2 must divide evenly across each
+     * stage's switches.
+     */
+    BiGraph(int num_upper, int num_lower);
+
+    std::string name() const override;
+
+    /** Upper-stage switch count. */
+    int numUpper() const { return num_upper_; }
+
+    /** Lower-stage switch count. */
+    int numLower() const { return num_lower_; }
+
+    /** Nodes attached to each upper switch. */
+    int nodesPerUpper() const { return nodes_per_upper_; }
+
+    /** Nodes attached to each lower switch. */
+    int nodesPerLower() const { return nodes_per_lower_; }
+
+    /** Whether node @p n hangs off an upper-stage switch. */
+    bool isUpperNode(int n) const { return n < numNodes() / 2; }
+
+    /** Vertex id of upper switch @p u. */
+    int upperVertex(int u) const { return numNodes() + u; }
+
+    /** Vertex id of lower switch @p l. */
+    int lowerVertex(int l) const { return numNodes() + num_upper_ + l; }
+
+    /** Switch vertex that node @p n attaches to. */
+    int switchOf(int n) const;
+
+    /**
+     * Deterministic routing: same-switch pairs take two hops; an
+     * upper-attached and a lower-attached node take the single
+     * switch-to-switch link between their switches; same-stage pairs
+     * bounce through the opposite stage (switch chosen by destination).
+     */
+    std::vector<int> route(int src, int dst) const override;
+
+  private:
+    int num_upper_;
+    int num_lower_;
+    int nodes_per_upper_;
+    int nodes_per_lower_;
+};
+
+} // namespace multitree::topo
+
+#endif // MULTITREE_TOPO_BIGRAPH_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * User-defined topologies.
+ *
+ * The paper positions MultiTree as the algorithm that generalizes to
+ * arbitrary interconnects ("general purpose cluster networks or
+ * public clouds if the network topology is provided or can be
+ * probed", §VII-B). CustomTopology is that entry point: build any
+ * direct or switch-based graph — including multigraphs whose
+ * parallel links model heterogeneous bandwidth — and every algorithm
+ * whose supports() passes will schedule on it.
+ */
+
+#ifndef MULTITREE_TOPO_CUSTOM_HH
+#define MULTITREE_TOPO_CUSTOM_HH
+
+#include "topo/topology.hh"
+
+namespace multitree::topo {
+
+/** An explicitly constructed topology with shortest-path routing. */
+class CustomTopology : public Topology
+{
+  public:
+    /** @param name Reported by name(). */
+    explicit CustomTopology(std::string name = "custom")
+        : name_(std::move(name))
+    {}
+
+    std::string name() const override { return name_; }
+
+    /** Add an end node. @return its vertex id. */
+    int addNode() { return addVertex(VertexKind::Node); }
+
+    /** Add a switch. @return its vertex id. Nodes must come first. */
+    int addSwitch() { return addVertex(VertexKind::Switch); }
+
+    /**
+     * Connect @p u and @p v with @p multiplicity parallel
+     * bidirectional links. A wider physical link is modeled as
+     * multiple unit-bandwidth links (§VII-B).
+     */
+    void
+    connect(int u, int v, int multiplicity = 1)
+    {
+        for (int i = 0; i < multiplicity; ++i)
+            addLink(u, v);
+    }
+
+    /** Deterministic routing: breadth-first shortest path. */
+    std::vector<int>
+    route(int src, int dst) const override
+    {
+        if (src == dst)
+            return {};
+        return bfsRoute(src, dst);
+    }
+
+  private:
+    std::string name_;
+};
+
+} // namespace multitree::topo
+
+#endif // MULTITREE_TOPO_CUSTOM_HH

@@ -1,0 +1,115 @@
+#include "topo/dragonfly.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace multitree::topo {
+
+Dragonfly::Dragonfly(int groups, int nodes_per_router)
+    : groups_(groups), nodes_per_router_(nodes_per_router)
+{
+    MT_ASSERT(groups >= 2 && nodes_per_router >= 1,
+              "degenerate dragonfly");
+    const int a = routersPerGroup();
+    const int n = groups * a * nodes_per_router;
+    for (int i = 0; i < n; ++i)
+        addVertex(VertexKind::Node);
+    for (int grp = 0; grp < groups; ++grp) {
+        for (int r = 0; r < a; ++r)
+            addVertex(VertexKind::Switch);
+    }
+
+    // Node attachments.
+    for (int i = 0; i < n; ++i)
+        addLink(i, routerOf(i));
+    // Local full mesh inside each group.
+    for (int grp = 0; grp < groups; ++grp) {
+        for (int r = 0; r < a; ++r) {
+            for (int s = r + 1; s < a; ++s)
+                addLink(routerVertex(grp, r), routerVertex(grp, s));
+        }
+    }
+    // One global link per unordered group pair.
+    for (int i = 0; i < groups; ++i) {
+        for (int j = i + 1; j < groups; ++j) {
+            addLink(routerVertex(i, gatewayIndex(i, j)),
+                    routerVertex(j, gatewayIndex(j, i)));
+        }
+    }
+}
+
+std::string
+Dragonfly::name() const
+{
+    std::ostringstream oss;
+    oss << "dragonfly-" << groups_ << "g" << nodes_per_router_ << "p";
+    return oss.str();
+}
+
+int
+Dragonfly::routerVertex(int grp, int r) const
+{
+    return numNodes() + grp * routersPerGroup() + r;
+}
+
+int
+Dragonfly::groupOf(int n) const
+{
+    return n / (routersPerGroup() * nodes_per_router_);
+}
+
+int
+Dragonfly::routerOf(int n) const
+{
+    int grp = groupOf(n);
+    int within = n - grp * routersPerGroup() * nodes_per_router_;
+    return routerVertex(grp, within / nodes_per_router_);
+}
+
+int
+Dragonfly::gatewayIndex(int grp, int to) const
+{
+    MT_ASSERT(grp != to, "no gateway to own group");
+    // (to - grp - 1) mod g lies in [0, g-2] for to != grp, which is
+    // exactly the router index range, and is distinct per target
+    // group — each router owns one global port.
+    return ((to - grp - 1) % groups_ + groups_) % groups_;
+}
+
+std::vector<int>
+Dragonfly::route(int src, int dst) const
+{
+    if (src == dst)
+        return {};
+    if (!isNode(src) || !isNode(dst))
+        return bfsRoute(src, dst);
+
+    std::vector<int> path;
+    auto hop = [&](int u, int v) {
+        int cid = channelBetween(u, v);
+        MT_ASSERT(cid >= 0, "missing dragonfly channel ", u, "->", v);
+        path.push_back(cid);
+    };
+    int sg = groupOf(src);
+    int dg = groupOf(dst);
+    int sr = routerOf(src);
+    int dr = routerOf(dst);
+    hop(src, sr);
+    if (sg == dg) {
+        if (sr != dr)
+            hop(sr, dr);
+    } else {
+        int out = routerVertex(sg, gatewayIndex(sg, dg));
+        int in = routerVertex(dg, gatewayIndex(dg, sg));
+        if (sr != out)
+            hop(sr, out);
+        hop(out, in);
+        if (in != dr)
+            hop(in, dr);
+    }
+    hop(dr, dst);
+    return path;
+}
+
+} // namespace multitree::topo

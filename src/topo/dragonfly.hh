@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Dragonfly indirect topology (canonical h=1 arrangement).
+ *
+ * `g` groups of `g - 1` routers each; routers within a group form a
+ * full mesh, and every unordered group pair is joined by exactly one
+ * global link (router (j-i-1) of group i to router (i-j-1 mod g) of
+ * group j), so each router owns one global port. `p` end nodes hang
+ * off every router.
+ *
+ * Dragonfly is a deliberately MultiTree-unfriendly stress test: no
+ * baseline in the paper targets it, but MultiTree's switch-based
+ * extension (§III-C3) schedules on it unchanged — the generality
+ * claim the fuzz and property suites exercise.
+ */
+
+#ifndef MULTITREE_TOPO_DRAGONFLY_HH
+#define MULTITREE_TOPO_DRAGONFLY_HH
+
+#include "topo/topology.hh"
+
+namespace multitree::topo {
+
+/** Canonical one-global-port-per-router dragonfly. */
+class Dragonfly : public Topology
+{
+  public:
+    /**
+     * @param groups Number of groups (>= 2). Routers per group is
+     *        groups - 1.
+     * @param nodes_per_router End nodes per router (>= 1).
+     */
+    Dragonfly(int groups, int nodes_per_router);
+
+    std::string name() const override;
+
+    int numGroups() const { return groups_; }
+    int routersPerGroup() const { return groups_ - 1; }
+    int nodesPerRouter() const { return nodes_per_router_; }
+
+    /** Vertex id of router @p r in group @p grp. */
+    int routerVertex(int grp, int r) const;
+
+    /** Group of node @p n. */
+    int groupOf(int n) const;
+
+    /** Router vertex hosting node @p n. */
+    int routerOf(int n) const;
+
+    /**
+     * Minimal routing: local hop to the group's gateway router for
+     * the destination group, the single global link, then a local
+     * hop inside the destination group.
+     */
+    std::vector<int> route(int src, int dst) const override;
+
+  private:
+    /** Router index inside @p grp owning the global link to @p to. */
+    int gatewayIndex(int grp, int to) const;
+
+    int groups_;
+    int nodes_per_router_;
+};
+
+} // namespace multitree::topo
+
+#endif // MULTITREE_TOPO_DRAGONFLY_HH

@@ -1,0 +1,93 @@
+#include "topo/factory.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+#include "topo/bigraph.hh"
+#include "topo/dragonfly.hh"
+#include "topo/fattree.hh"
+#include "topo/grid.hh"
+#include "topo/torus3d.hh"
+
+namespace multitree::topo {
+
+namespace {
+
+/** Parse "AxB" into two positive ints. */
+bool
+parsePair(const std::string &s, int &a, int &b)
+{
+    auto parts = split(s, 'x');
+    if (parts.size() != 2)
+        return false;
+    a = std::atoi(parts[0].c_str());
+    b = std::atoi(parts[1].c_str());
+    return a > 0 && b > 0;
+}
+
+} // namespace
+
+std::unique_ptr<Topology>
+makeTopology(const std::string &spec)
+{
+    auto dash = spec.find('-');
+    if (dash == std::string::npos)
+        MT_FATAL("malformed topology spec '", spec, "'");
+    std::string family = spec.substr(0, dash);
+    std::string arg = spec.substr(dash + 1);
+
+    if (family == "torus" || family == "mesh") {
+        int w = 0, h = 0;
+        if (!parsePair(arg, w, h))
+            MT_FATAL("bad grid spec '", spec, "'");
+        if (family == "torus")
+            return std::make_unique<Torus2D>(w, h);
+        return std::make_unique<Mesh2D>(w, h);
+    }
+    if (family == "fattree") {
+        if (arg == "16")
+            return std::make_unique<FatTree2L>(4, 4, 4);
+        if (arg == "64")
+            return std::make_unique<FatTree2L>(8, 8, 8);
+        auto parts = split(arg, ':');
+        if (parts.size() == 3) {
+            int l = std::atoi(parts[0].c_str());
+            int p = std::atoi(parts[1].c_str());
+            int s = std::atoi(parts[2].c_str());
+            if (l > 0 && p > 0 && s > 0)
+                return std::make_unique<FatTree2L>(l, p, s);
+        }
+        MT_FATAL("bad fattree spec '", spec, "'");
+    }
+    if (family == "bigraph") {
+        int u = 0, l = 0;
+        if (!parsePair(arg, u, l))
+            MT_FATAL("bad bigraph spec '", spec, "'");
+        return std::make_unique<BiGraph>(u, l);
+    }
+    if (family == "torus3d") {
+        auto parts = split(arg, 'x');
+        if (parts.size() == 3) {
+            int x = std::atoi(parts[0].c_str());
+            int y = std::atoi(parts[1].c_str());
+            int z = std::atoi(parts[2].c_str());
+            if (x > 0 && y > 0 && z > 0)
+                return std::make_unique<Torus3D>(x, y, z);
+        }
+        MT_FATAL("bad torus3d spec '", spec, "'");
+    }
+    if (family == "dragonfly") {
+        auto parts = split(arg, ':');
+        if (parts.size() == 2) {
+            int g = std::atoi(parts[0].c_str());
+            int p = std::atoi(parts[1].c_str());
+            if (g >= 2 && p >= 1)
+                return std::make_unique<Dragonfly>(g, p);
+        }
+        MT_FATAL("bad dragonfly spec '", spec, "'");
+    }
+    MT_FATAL("unknown topology family '", family, "'");
+}
+
+} // namespace multitree::topo

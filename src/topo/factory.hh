@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Topology factory: build any evaluated topology from a spec string.
+ *
+ * Accepted specs:
+ *  - "torus-WxH"        e.g. "torus-4x4", "torus-8x8", "torus-16x16"
+ *  - "mesh-WxH"         e.g. "mesh-8x8"
+ *  - "fattree-L:P:S"    leaves, nodes per leaf, spines
+ *  - "fattree-16"       preset: DGX-2-like FatTree2L(4, 4, 4)
+ *  - "fattree-64"       preset: 8-ary 2-level FatTree2L(8, 8, 8)
+ *  - "bigraph-UxL"      e.g. "bigraph-4x8", "bigraph-4x16"
+ *  - "torus3d-XxYxZ"    e.g. "torus3d-4x4x4"
+ *  - "dragonfly-G:P"    G groups of G-1 routers, P nodes per router
+ */
+
+#ifndef MULTITREE_TOPO_FACTORY_HH
+#define MULTITREE_TOPO_FACTORY_HH
+
+#include <memory>
+#include <string>
+
+#include "topo/topology.hh"
+
+namespace multitree::topo {
+
+/** Build a topology from a spec string. Fatal on malformed specs. */
+std::unique_ptr<Topology> makeTopology(const std::string &spec);
+
+} // namespace multitree::topo
+
+#endif // MULTITREE_TOPO_FACTORY_HH

@@ -1,0 +1,74 @@
+#include "topo/fattree.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace multitree::topo {
+
+FatTree2L::FatTree2L(int num_leaves, int nodes_per_leaf, int num_spines)
+    : num_leaves_(num_leaves), nodes_per_leaf_(nodes_per_leaf),
+      num_spines_(num_spines)
+{
+    MT_ASSERT(num_leaves >= 1 && nodes_per_leaf >= 1 && num_spines >= 1,
+              "degenerate fat tree");
+    const int n = num_leaves * nodes_per_leaf;
+    for (int i = 0; i < n; ++i)
+        addVertex(VertexKind::Node);
+    for (int l = 0; l < num_leaves; ++l)
+        addVertex(VertexKind::Switch);
+    for (int s = 0; s < num_spines; ++s)
+        addVertex(VertexKind::Switch);
+
+    for (int i = 0; i < n; ++i)
+        addLink(i, leafVertex(leafOf(i)));
+    for (int l = 0; l < num_leaves; ++l) {
+        for (int s = 0; s < num_spines; ++s)
+            addLink(leafVertex(l), spineVertex(s));
+    }
+}
+
+std::string
+FatTree2L::name() const
+{
+    std::ostringstream oss;
+    oss << "fattree-" << numNodes() << " (" << num_leaves_ << "x"
+        << nodes_per_leaf_ << ", " << num_spines_ << " spines)";
+    return oss.str();
+}
+
+std::vector<int>
+FatTree2L::route(int src, int dst) const
+{
+    if (src == dst)
+        return {};
+    // Routes touching switch vertices fall back to shortest path; the
+    // deterministic function below is for node-to-node traffic.
+    if (!isNode(src) || !isNode(dst))
+        return bfsRoute(src, dst);
+
+    std::vector<int> path;
+    auto hop = [&](int u, int v) {
+        int cid = channelBetween(u, v);
+        MT_ASSERT(cid >= 0, "missing fat-tree channel ", u, "->", v);
+        path.push_back(cid);
+    };
+    int src_leaf = leafVertex(leafOf(src));
+    int dst_leaf = leafVertex(leafOf(dst));
+    hop(src, src_leaf);
+    if (src_leaf != dst_leaf) {
+        int spine = spineVertex(dst % num_spines_);
+        hop(src_leaf, spine);
+        hop(spine, dst_leaf);
+    }
+    hop(dst_leaf, dst);
+    return path;
+}
+
+std::vector<int>
+FatTree2L::ringOrder() const
+{
+    return Topology::ringOrder();
+}
+
+} // namespace multitree::topo

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Two-level Fat-Tree (leaf/spine) indirect topology.
+ *
+ * `numLeaves` leaf switches each host `nodesPerLeaf` end nodes and
+ * connect with one link to each of `numSpines` spine switches. With
+ * numSpines == nodesPerLeaf the network has full bisection bandwidth.
+ * The paper's 16-node configuration (similar to an NVIDIA DGX-2 with a
+ * single physical network) is FatTree2L(4, 4, 4); the 64-node 8-ary
+ * 2-level instance is FatTree2L(8, 8, 8).
+ */
+
+#ifndef MULTITREE_TOPO_FATTREE_HH
+#define MULTITREE_TOPO_FATTREE_HH
+
+#include "topo/topology.hh"
+
+namespace multitree::topo {
+
+/** Two-level leaf/spine fat tree. */
+class FatTree2L : public Topology
+{
+  public:
+    /**
+     * @param num_leaves Leaf switch count.
+     * @param nodes_per_leaf End nodes attached to each leaf.
+     * @param num_spines Spine switch count.
+     */
+    FatTree2L(int num_leaves, int nodes_per_leaf, int num_spines);
+
+    std::string name() const override;
+
+    /** Leaf switch count. */
+    int numLeaves() const { return num_leaves_; }
+
+    /** Nodes per leaf switch. */
+    int nodesPerLeaf() const { return nodes_per_leaf_; }
+
+    /** Spine switch count. */
+    int numSpines() const { return num_spines_; }
+
+    /** Vertex id of leaf switch @p l. */
+    int leafVertex(int l) const { return numNodes() + l; }
+
+    /** Vertex id of spine switch @p s. */
+    int spineVertex(int s) const
+    {
+        return numNodes() + num_leaves_ + s;
+    }
+
+    /** Leaf switch index hosting node @p n. */
+    int leafOf(int n) const { return n / nodes_per_leaf_; }
+
+    /**
+     * Deterministic up-down routing. Same-leaf pairs go node→leaf→node;
+     * cross-leaf pairs go up to the spine selected by the destination id
+     * (ECMP-by-destination) and back down.
+     */
+    std::vector<int> route(int src, int dst) const override;
+
+    /** Identity order: node ids already group nodes by leaf switch. */
+    std::vector<int> ringOrder() const override;
+
+  private:
+    int num_leaves_;
+    int nodes_per_leaf_;
+    int num_spines_;
+};
+
+} // namespace multitree::topo
+
+#endif // MULTITREE_TOPO_FATTREE_HH

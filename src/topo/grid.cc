@@ -1,0 +1,137 @@
+#include "topo/grid.hh"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace multitree::topo {
+
+Grid2D::Grid2D(int width, int height, bool wrap)
+    : width_(width), height_(height), wrap_(wrap)
+{
+    MT_ASSERT(width >= 1 && height >= 1, "degenerate grid ",
+              width, "x", height);
+    for (int i = 0; i < width * height; ++i)
+        addVertex(VertexKind::Node);
+
+    // +X links per row; a torus closes the row unless width == 2 (the
+    // wrap link would duplicate the mesh link) or width == 1.
+    for (int y = 0; y < height; ++y) {
+        for (int x = 0; x + 1 < width; ++x)
+            addLink(nodeAt(x, y), nodeAt(x + 1, y));
+        if (wrap && width > 2)
+            addLink(nodeAt(width - 1, y), nodeAt(0, y));
+    }
+    // +Y links per column, same wrap rule.
+    for (int x = 0; x < width; ++x) {
+        for (int y = 0; y + 1 < height; ++y)
+            addLink(nodeAt(x, y), nodeAt(x, y + 1));
+        if (wrap && height > 2)
+            addLink(nodeAt(x, height - 1), nodeAt(x, 0));
+    }
+}
+
+std::string
+Grid2D::name() const
+{
+    std::ostringstream oss;
+    oss << (wrap_ ? "torus-" : "mesh-") << width_ << "x" << height_;
+    return oss.str();
+}
+
+int
+Grid2D::stepX(int v, int dir) const
+{
+    int x = xOf(v) + dir;
+    if (wrap_)
+        x = (x + width_) % width_;
+    if (x < 0 || x >= width_)
+        return -1;
+    int n = nodeAt(x, yOf(v));
+    return n == v ? -1 : n;
+}
+
+int
+Grid2D::stepY(int v, int dir) const
+{
+    int y = yOf(v) + dir;
+    if (wrap_)
+        y = (y + height_) % height_;
+    if (y < 0 || y >= height_)
+        return -1;
+    int n = nodeAt(xOf(v), y);
+    return n == v ? -1 : n;
+}
+
+std::vector<int>
+Grid2D::preferredNeighbors(int v) const
+{
+    std::vector<int> out;
+    auto push = [&](int n) {
+        if (n < 0)
+            return;
+        for (int e : out) {
+            if (e == n)
+                return;
+        }
+        out.push_back(n);
+    };
+    push(stepY(v, +1));
+    push(stepY(v, -1));
+    push(stepX(v, +1));
+    push(stepX(v, -1));
+    return out;
+}
+
+std::vector<int>
+Grid2D::route(int src, int dst) const
+{
+    std::vector<int> path;
+    int cur = src;
+    // Dimension-order walk: X first, then Y.
+    auto advance = [&](bool x_dim) {
+        int cur_c = x_dim ? xOf(cur) : yOf(cur);
+        int dst_c = x_dim ? xOf(dst) : yOf(dst);
+        int size = x_dim ? width_ : height_;
+        while (cur_c != dst_c) {
+            int delta = dst_c - cur_c;
+            int dir;
+            if (!wrap_) {
+                dir = delta > 0 ? +1 : -1;
+            } else {
+                int fwd = (delta % size + size) % size;
+                dir = fwd <= size - fwd ? +1 : -1;
+            }
+            int nxt = x_dim ? stepX(cur, dir) : stepY(cur, dir);
+            MT_ASSERT(nxt >= 0, "fell off grid routing ", src, "->", dst);
+            int cid = channelBetween(cur, nxt);
+            MT_ASSERT(cid >= 0, "missing channel ", cur, "->", nxt);
+            path.push_back(cid);
+            cur = nxt;
+            cur_c = x_dim ? xOf(cur) : yOf(cur);
+        }
+    };
+    advance(true);
+    advance(false);
+    return path;
+}
+
+std::vector<int>
+Grid2D::ringOrder() const
+{
+    std::vector<int> order;
+    order.reserve(static_cast<std::size_t>(width_) * height_);
+    for (int y = 0; y < height_; ++y) {
+        if (y % 2 == 0) {
+            for (int x = 0; x < width_; ++x)
+                order.push_back(nodeAt(x, y));
+        } else {
+            for (int x = width_ - 1; x >= 0; --x)
+                order.push_back(nodeAt(x, y));
+        }
+    }
+    return order;
+}
+
+} // namespace multitree::topo

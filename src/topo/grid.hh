@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Direct 2D grid topologies: Torus2D (with wraparound) and Mesh2D.
+ *
+ * Every vertex is an end node with an integrated router, matching the
+ * Cloud-TPU-style direct networks the paper evaluates. Node ids are
+ * row-major: node(x, y) = y * width + x.
+ */
+
+#ifndef MULTITREE_TOPO_GRID_HH
+#define MULTITREE_TOPO_GRID_HH
+
+#include "topo/topology.hh"
+
+namespace multitree::topo {
+
+/** Common implementation for 2D Torus and Mesh. */
+class Grid2D : public Topology
+{
+  public:
+    /**
+     * @param width Nodes per row.
+     * @param height Nodes per column.
+     * @param wrap Whether wraparound (torus) links exist.
+     */
+    Grid2D(int width, int height, bool wrap);
+
+    std::string name() const override;
+
+    /** Grid width. */
+    int width() const { return width_; }
+
+    /** Grid height. */
+    int height() const { return height_; }
+
+    /** Whether this grid is a torus. */
+    bool isTorus() const { return wrap_; }
+
+    /** Node id at coordinates (@p x, @p y). */
+    int nodeAt(int x, int y) const { return y * width_ + x; }
+
+    /** X coordinate of node @p v. */
+    int xOf(int v) const { return v % width_; }
+
+    /** Y coordinate of node @p v. */
+    int yOf(int v) const { return v / width_; }
+
+    /**
+     * Neighbors in the paper's construction order: Y dimension before X
+     * (down, up, right, left), skipping absent mesh-edge neighbors.
+     */
+    std::vector<int> preferredNeighbors(int v) const override;
+
+    /**
+     * Dimension-order routing, X first then Y. On a torus each
+     * dimension takes the shorter wrap direction (ties go positive).
+     */
+    std::vector<int> route(int src, int dst) const override;
+
+    /**
+     * Serpentine ring: row 0 left-to-right, row 1 right-to-left, and so
+     * on. On a torus with even height the closing edge is the single
+     * Y-wrap hop, making every ring hop one physical link.
+     */
+    std::vector<int> ringOrder() const override;
+
+  private:
+    /** Step one hop in ±X or ±Y. @return neighbor id or -1 off-mesh. */
+    int stepX(int v, int dir) const;
+    int stepY(int v, int dir) const;
+
+    int width_;
+    int height_;
+    bool wrap_;
+};
+
+/** 2D Torus built from Grid2D with wraparound links. */
+class Torus2D : public Grid2D
+{
+  public:
+    Torus2D(int width, int height) : Grid2D(width, height, true) {}
+};
+
+/** 2D Mesh built from Grid2D without wraparound links. */
+class Mesh2D : public Grid2D
+{
+  public:
+    Mesh2D(int width, int height) : Grid2D(width, height, false) {}
+};
+
+} // namespace multitree::topo
+
+#endif // MULTITREE_TOPO_GRID_HH

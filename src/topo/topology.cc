@@ -1,0 +1,144 @@
+#include "topo/topology.hh"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/logging.hh"
+
+namespace multitree::topo {
+
+int
+Topology::channelBetween(int u, int v) const
+{
+    for (int cid : out_[u]) {
+        if (channels_[cid].dst == v)
+            return cid;
+    }
+    return -1;
+}
+
+int
+Topology::reverseChannel(int cid) const
+{
+    MT_ASSERT(cid >= 0 && cid < numChannels(), "bad channel ", cid);
+    int partner = cid ^ 1;
+    const auto &ch = channels_[static_cast<std::size_t>(cid)];
+    const auto &rev = channels_[static_cast<std::size_t>(partner)];
+    MT_ASSERT(rev.src == ch.dst && rev.dst == ch.src,
+              "channel ", cid, " has no paired reverse — was it "
+              "created outside addLink()?");
+    return partner;
+}
+
+std::vector<int>
+Topology::preferredNeighbors(int v) const
+{
+    std::vector<int> out;
+    out.reserve(out_[v].size());
+    for (int cid : out_[v]) {
+        int n = channels_[cid].dst;
+        if (std::find(out.begin(), out.end(), n) == out.end())
+            out.push_back(n);
+    }
+    return out;
+}
+
+int
+Topology::hopCount(int src, int dst) const
+{
+    return static_cast<int>(route(src, dst).size());
+}
+
+int
+Topology::diameter() const
+{
+    int d = 0;
+    for (int a = 0; a < numNodes(); ++a) {
+        for (int b = 0; b < numNodes(); ++b) {
+            if (a != b)
+                d = std::max(d, hopCount(a, b));
+        }
+    }
+    return d;
+}
+
+std::vector<int>
+Topology::ringOrder() const
+{
+    std::vector<int> order(numNodes());
+    for (int i = 0; i < numNodes(); ++i)
+        order[i] = i;
+    return order;
+}
+
+std::vector<int>
+Topology::bfsRoute(int src, int dst) const
+{
+    MT_ASSERT(src >= 0 && src < numVertices(), "bad src vertex ", src);
+    MT_ASSERT(dst >= 0 && dst < numVertices(), "bad dst vertex ", dst);
+    if (src == dst)
+        return {};
+    std::vector<int> via(numVertices(), -1); // channel used to reach v
+    std::queue<int> frontier;
+    frontier.push(src);
+    std::vector<bool> seen(numVertices(), false);
+    seen[src] = true;
+    while (!frontier.empty()) {
+        int u = frontier.front();
+        frontier.pop();
+        for (int cid : out_[u]) {
+            int v = channels_[cid].dst;
+            if (seen[v])
+                continue;
+            seen[v] = true;
+            via[v] = cid;
+            if (v == dst) {
+                std::vector<int> path;
+                for (int w = dst; w != src;
+                     w = channels_[via[w]].src) {
+                    path.push_back(via[w]);
+                }
+                std::reverse(path.begin(), path.end());
+                return path;
+            }
+            frontier.push(v);
+        }
+    }
+    MT_PANIC("no path from vertex ", src, " to ", dst,
+             " — topology is disconnected");
+}
+
+int
+Topology::addVertex(VertexKind k)
+{
+    int id = numVertices();
+    kinds_.push_back(k);
+    out_.emplace_back();
+    in_.emplace_back();
+    if (k == VertexKind::Node) {
+        MT_ASSERT(id == num_nodes_,
+                  "node vertices must be created before switches");
+        ++num_nodes_;
+    }
+    return id;
+}
+
+int
+Topology::addChannel(int u, int v)
+{
+    MT_ASSERT(u != v, "self-loop channel at vertex ", u);
+    int id = numChannels();
+    channels_.push_back(Channel{id, u, v});
+    out_[u].push_back(id);
+    in_[v].push_back(id);
+    return id;
+}
+
+void
+Topology::addLink(int u, int v)
+{
+    addChannel(u, v);
+    addChannel(v, u);
+}
+
+} // namespace multitree::topo

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Interconnection-network topology abstraction.
+ *
+ * A Topology is a directed multigraph. Vertices are either end nodes
+ * (accelerators with an integrated or attached network interface) or
+ * switches. A bidirectional physical link is modelled as two directed
+ * channels. By convention node vertices occupy ids [0, numNodes()) and
+ * switch vertices follow.
+ *
+ * Both the cycle-level network simulator and the collective-algorithm
+ * library operate on this representation: algorithms allocate channels
+ * (MultiTree's link allocation walks the very same channel lists) and
+ * the simulators move flits/flows across them.
+ */
+
+#ifndef MULTITREE_TOPO_TOPOLOGY_HH
+#define MULTITREE_TOPO_TOPOLOGY_HH
+
+#include <string>
+#include <vector>
+
+namespace multitree::topo {
+
+/** What a vertex of the topology graph represents. */
+enum class VertexKind {
+    Node,   ///< an end node: accelerator + network interface
+    Switch, ///< a switching element with no attached compute
+};
+
+/** One directed channel (half of a bidirectional link). */
+struct Channel {
+    int id;  ///< dense identifier, [0, numChannels())
+    int src; ///< source vertex
+    int dst; ///< destination vertex
+};
+
+/**
+ * Base class for all topologies. Construction happens in subclass
+ * constructors through addVertex()/addLink(); the graph is immutable
+ * afterwards.
+ */
+class Topology
+{
+  public:
+    virtual ~Topology() = default;
+
+    /** Human-readable name, e.g. "torus-4x4". */
+    virtual std::string name() const = 0;
+
+    /** Total vertices (nodes + switches). */
+    int numVertices() const { return static_cast<int>(kinds_.size()); }
+
+    /** Number of end nodes. */
+    int numNodes() const { return num_nodes_; }
+
+    /** Number of directed channels. */
+    int numChannels() const { return static_cast<int>(channels_.size()); }
+
+    /** Kind of vertex @p v. */
+    VertexKind kind(int v) const { return kinds_[v]; }
+
+    /** Whether vertex @p v is an end node. */
+    bool isNode(int v) const { return kinds_[v] == VertexKind::Node; }
+
+    /** All directed channels. */
+    const std::vector<Channel> &channels() const { return channels_; }
+
+    /** Channel @p id. */
+    const Channel &channel(int id) const { return channels_[id]; }
+
+    /** Ids of channels leaving vertex @p v, in insertion order. */
+    const std::vector<int> &outChannels(int v) const { return out_[v]; }
+
+    /** Ids of channels entering vertex @p v, in insertion order. */
+    const std::vector<int> &inChannels(int v) const { return in_[v]; }
+
+    /** First channel from @p u to @p v, or -1 when not adjacent. */
+    int channelBetween(int u, int v) const;
+
+    /**
+     * The paired opposite-direction channel of @p cid. Links are
+     * created as consecutive channel pairs, so this is exact even on
+     * multigraphs (parallel links modeling wider bandwidth, §VII-B
+     * of the paper, reverse to their own partner).
+     */
+    int reverseChannel(int cid) const;
+
+    /**
+     * Neighbor vertices of @p v in the order a tree-construction pass
+     * should consider them. The paper checks the Y dimension before the
+     * X dimension on Torus/Mesh; the default is adjacency order.
+     */
+    virtual std::vector<int> preferredNeighbors(int v) const;
+
+    /**
+     * Minimal route from vertex @p src to vertex @p dst as a channel-id
+     * sequence, using the topology's deterministic routing function.
+     * Empty when src == dst.
+     */
+    virtual std::vector<int> route(int src, int dst) const = 0;
+
+    /** Hop count of the deterministic route between two vertices. */
+    int hopCount(int src, int dst) const;
+
+    /** Maximum node-to-node hop count under deterministic routing. */
+    int diameter() const;
+
+    /**
+     * An ordering of all end nodes that a ring all-reduce should follow.
+     * Subclasses embed a ring with short hops (serpentine on grids,
+     * switch-grouped on indirect networks). Default: id order.
+     */
+    virtual std::vector<int> ringOrder() const;
+
+    /**
+     * Shortest path by breadth-first search, ignoring the deterministic
+     * routing function. Used by tests and topology-agnostic helpers.
+     */
+    std::vector<int> bfsRoute(int src, int dst) const;
+
+  protected:
+    /** Append a vertex of kind @p k. @return its id. */
+    int addVertex(VertexKind k);
+
+    /** Append one directed channel u → v. @return channel id. */
+    int addChannel(int u, int v);
+
+    /** Append a bidirectional link (two directed channels). */
+    void addLink(int u, int v);
+
+  private:
+    std::vector<VertexKind> kinds_;
+    std::vector<Channel> channels_;
+    std::vector<std::vector<int>> out_;
+    std::vector<std::vector<int>> in_;
+    int num_nodes_ = 0;
+};
+
+} // namespace multitree::topo
+
+#endif // MULTITREE_TOPO_TOPOLOGY_HH

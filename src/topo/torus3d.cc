@@ -1,0 +1,137 @@
+#include "topo/torus3d.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace multitree::topo {
+
+Torus3D::Torus3D(int width, int height, int depth)
+    : width_(width), height_(height), depth_(depth)
+{
+    MT_ASSERT(width >= 1 && height >= 1 && depth >= 1,
+              "degenerate 3D torus");
+    const int n = width * height * depth;
+    for (int i = 0; i < n; ++i)
+        addVertex(VertexKind::Node);
+
+    auto ring_links = [&](int size, auto node_of) {
+        for (int i = 0; i + 1 < size; ++i)
+            addLink(node_of(i), node_of(i + 1));
+        if (size > 2)
+            addLink(node_of(size - 1), node_of(0));
+    };
+    for (int z = 0; z < depth; ++z) {
+        for (int y = 0; y < height; ++y) {
+            ring_links(width,
+                       [&](int x) { return nodeAt(x, y, z); });
+        }
+    }
+    for (int z = 0; z < depth; ++z) {
+        for (int x = 0; x < width; ++x) {
+            ring_links(height,
+                       [&](int y) { return nodeAt(x, y, z); });
+        }
+    }
+    for (int y = 0; y < height; ++y) {
+        for (int x = 0; x < width; ++x) {
+            ring_links(depth,
+                       [&](int z) { return nodeAt(x, y, z); });
+        }
+    }
+}
+
+std::string
+Torus3D::name() const
+{
+    std::ostringstream oss;
+    oss << "torus3d-" << width_ << "x" << height_ << "x" << depth_;
+    return oss.str();
+}
+
+int
+Torus3D::step(int v, int dim, int dir) const
+{
+    int x = xOf(v), y = yOf(v), z = zOf(v);
+    switch (dim) {
+      case 0:
+        x = (x + dir + width_) % width_;
+        break;
+      case 1:
+        y = (y + dir + height_) % height_;
+        break;
+      default:
+        z = (z + dir + depth_) % depth_;
+        break;
+    }
+    int n = nodeAt(x, y, z);
+    return n == v ? -1 : n;
+}
+
+std::vector<int>
+Torus3D::preferredNeighbors(int v) const
+{
+    std::vector<int> out;
+    auto push = [&](int n) {
+        if (n < 0)
+            return;
+        if (std::find(out.begin(), out.end(), n) == out.end())
+            out.push_back(n);
+    };
+    for (int dim : {2, 1, 0}) {
+        push(step(v, dim, +1));
+        push(step(v, dim, -1));
+    }
+    return out;
+}
+
+std::vector<int>
+Torus3D::route(int src, int dst) const
+{
+    std::vector<int> path;
+    int cur = src;
+    auto advance = [&](int dim, int size, auto coord) {
+        while (coord(cur) != coord(dst)) {
+            int delta = coord(dst) - coord(cur);
+            int fwd = (delta % size + size) % size;
+            int dir = fwd <= size - fwd ? +1 : -1;
+            int nxt = step(cur, dim, dir);
+            MT_ASSERT(nxt >= 0, "3D torus routing fell off");
+            int cid = channelBetween(cur, nxt);
+            MT_ASSERT(cid >= 0, "missing 3D torus channel");
+            path.push_back(cid);
+            cur = nxt;
+        }
+    };
+    advance(0, width_, [&](int v) { return xOf(v); });
+    advance(1, height_, [&](int v) { return yOf(v); });
+    advance(2, depth_, [&](int v) { return zOf(v); });
+    return path;
+}
+
+std::vector<int>
+Torus3D::ringOrder() const
+{
+    std::vector<int> order;
+    order.reserve(
+        static_cast<std::size_t>(width_) * height_ * depth_);
+    for (int z = 0; z < depth_; ++z) {
+        std::vector<int> plane;
+        for (int y = 0; y < height_; ++y) {
+            if (y % 2 == 0) {
+                for (int x = 0; x < width_; ++x)
+                    plane.push_back(nodeAt(x, y, z));
+            } else {
+                for (int x = width_ - 1; x >= 0; --x)
+                    plane.push_back(nodeAt(x, y, z));
+            }
+        }
+        if (z % 2 == 1)
+            std::reverse(plane.begin(), plane.end());
+        order.insert(order.end(), plane.begin(), plane.end());
+    }
+    return order;
+}
+
+} // namespace multitree::topo

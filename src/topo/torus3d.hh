@@ -1,0 +1,64 @@
+/**
+ * @file
+ * 3D Torus direct network (TPU-v4-pod-like).
+ *
+ * Generalizes the paper's 2D study to the third dimension: every
+ * vertex is a node with an integrated six-ported router. Node ids
+ * are x-major: node(x, y, z) = (z * height + y) * width + x.
+ */
+
+#ifndef MULTITREE_TOPO_TORUS3D_HH
+#define MULTITREE_TOPO_TORUS3D_HH
+
+#include "topo/topology.hh"
+
+namespace multitree::topo {
+
+/** 3D torus with full wraparound. */
+class Torus3D : public Topology
+{
+  public:
+    Torus3D(int width, int height, int depth);
+
+    std::string name() const override;
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+    int depth() const { return depth_; }
+
+    /** Node id at (@p x, @p y, @p z). */
+    int
+    nodeAt(int x, int y, int z) const
+    {
+        return (z * height_ + y) * width_ + x;
+    }
+
+    int xOf(int v) const { return v % width_; }
+    int yOf(int v) const { return (v / width_) % height_; }
+    int zOf(int v) const { return v / (width_ * height_); }
+
+    /** Z dimension first, then Y, then X (extends the 2D rule). */
+    std::vector<int> preferredNeighbors(int v) const override;
+
+    /** Dimension-order routing X → Y → Z with shortest wrap. */
+    std::vector<int> route(int src, int dst) const override;
+
+    /**
+     * Plane-serpentine Hamiltonian ring: the 2D serpentine of each
+     * XY plane, with odd planes traversed in reverse so plane
+     * transitions stay one Z hop.
+     */
+    std::vector<int> ringOrder() const override;
+
+  private:
+    /** Neighbor one hop away in dimension @p dim (0=x,1=y,2=z). */
+    int step(int v, int dim, int dir) const;
+
+    int width_;
+    int height_;
+    int depth_;
+};
+
+} // namespace multitree::topo
+
+#endif // MULTITREE_TOPO_TORUS3D_HH

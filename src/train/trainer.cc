@@ -1,0 +1,103 @@
+#include "train/trainer.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.hh"
+#include "topo/topology.hh"
+
+namespace multitree::train {
+
+namespace {
+
+/**
+ * All-reduce simulation memoized by payload size — layer sizes repeat
+ * heavily (ResNet stages, Transformer blocks), and each distinct size
+ * only needs one simulation per (topology, algorithm).
+ */
+class AllReduceOracle
+{
+  public:
+    AllReduceOracle(const topo::Topology &topo, std::string algo,
+                    const runtime::RunOptions &run)
+        : topo_(topo), algo_(std::move(algo)), run_(run)
+    {}
+
+    Tick
+    time(std::uint64_t bytes)
+    {
+        if (bytes == 0)
+            return 0;
+        // Round up to whole elements; tiny layers still pay latency.
+        bytes = std::max<std::uint64_t>(4, (bytes + 3) / 4 * 4);
+        auto it = cache_.find(bytes);
+        if (it != cache_.end())
+            return it->second;
+        Tick t = runtime::runAllReduce(topo_, algo_, bytes, run_).time;
+        cache_.emplace(bytes, t);
+        return t;
+    }
+
+  private:
+    const topo::Topology &topo_;
+    std::string algo_;
+    runtime::RunOptions run_;
+    std::map<std::uint64_t, Tick> cache_;
+};
+
+} // namespace
+
+IterationTiming
+evaluateIteration(const accel::DnnModel &model,
+                  const topo::Topology &topo, const std::string &algo,
+                  const TrainOptions &opts)
+{
+    IterationTiming t;
+    auto compute = accel::modelCompute(model, opts.accel);
+    t.fwd = compute.fwd;
+    t.bwd = compute.bwd;
+    AllReduceOracle oracle(topo, algo, opts.run);
+
+    // Non-overlapped: one all-reduce of the full gradient.
+    t.allreduce = oracle.time(model.gradientBytes());
+    t.total_nonoverlap = t.fwd + t.bwd + t.allreduce;
+
+    // Overlapped: layers enter the all-reduce queue as their backward
+    // finishes (last layer first); the network runs them in order.
+    // With bucketing, consecutive layers fuse until the bucket fills;
+    // a bucket is ready when its *last-finishing* (front-most) layer
+    // finishes backward.
+    Tick comm_end = 0;
+    Tick bwd_total = compute.bwd;
+    std::uint64_t bucket = 0;
+    Tick bucket_ready = 0;
+    auto flush = [&](std::uint64_t bytes, Tick ready) {
+        if (bytes == 0)
+            return;
+        Tick ar = oracle.time(bytes);
+        t.comm_layerwise += ar;
+        comm_end = std::max(comm_end, ready) + ar;
+    };
+    for (std::size_t i = model.layers.size(); i-- > 0;) {
+        const auto &layer = model.layers[i];
+        if (layer.params == 0)
+            continue;
+        // bwd_finish[i] is the offset from backward start.
+        Tick ready = t.fwd + compute.bwd_finish[i];
+        bucket += layer.gradientBytes();
+        bucket_ready = std::max(bucket_ready, ready);
+        if (opts.bucket_bytes == 0 || bucket >= opts.bucket_bytes) {
+            flush(bucket, bucket_ready);
+            bucket = 0;
+            bucket_ready = 0;
+        }
+    }
+    flush(bucket, bucket_ready);
+    Tick compute_end = t.fwd + bwd_total;
+    t.total_overlap = std::max(compute_end, comm_end);
+    t.exposed_comm = t.total_overlap - compute_end;
+    t.overlap_hidden = t.comm_layerwise - t.exposed_comm;
+    return t;
+}
+
+} // namespace multitree::train

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Distributed training iteration timing (§V-B, Fig. 11).
+ *
+ * Combines the systolic compute model with simulated all-reduces:
+ *
+ *  - Non-overlapped training: forward + backward compute, then one
+ *    all-reduce of the full gradient (Fig. 11a).
+ *  - Overlapped training with layer-wise all-reduce: each layer is
+ *    queued for all-reduce the moment its backward pass finishes, so
+ *    communication hides under the remaining back-propagation
+ *    (Fig. 11b). The network serializes the queued collectives.
+ */
+
+#ifndef MULTITREE_TRAIN_TRAINER_HH
+#define MULTITREE_TRAIN_TRAINER_HH
+
+#include <string>
+
+#include "accel/model_zoo.hh"
+#include "accel/systolic.hh"
+#include "runtime/allreduce_runtime.hh"
+
+namespace multitree::topo {
+class Topology;
+} // namespace multitree::topo
+
+namespace multitree::train {
+
+/** Per-iteration timing of one (model, topology, algorithm) triple. */
+struct IterationTiming {
+    Tick fwd = 0;          ///< forward compute
+    Tick bwd = 0;          ///< backward compute
+    Tick allreduce = 0;    ///< single full-gradient all-reduce
+    Tick total_nonoverlap = 0; ///< fwd + bwd + allreduce
+
+    Tick comm_layerwise = 0;   ///< sum of per-layer all-reduce times
+    Tick overlap_hidden = 0;   ///< comm time hidden under backward
+    Tick exposed_comm = 0;     ///< comm left after backward finishes
+    Tick total_overlap = 0;    ///< fwd + bwd + exposed_comm
+};
+
+/** Knobs for a training-time evaluation. */
+struct TrainOptions {
+    accel::AcceleratorConfig accel; ///< batch = 16 per node (§V-B)
+    runtime::RunOptions run;        ///< network backend + flow control
+    /**
+     * Gradient bucketing for the overlapped mode (Horovod-style
+     * tensor fusion): consecutive backward layers coalesce until a
+     * bucket reaches this size, then the bucket is queued as one
+     * all-reduce. 0 = one all-reduce per layer (the paper's
+     * layer-wise scheme). Bucketing trades overlap granularity for
+     * fewer latency-bound small collectives.
+     */
+    std::uint64_t bucket_bytes = 0;
+};
+
+/**
+ * Evaluate one training iteration of @p model over all nodes of
+ * @p topo using all-reduce algorithm @p algo ("multitree-msg"
+ * selects MultiTree with message-based flow control).
+ */
+IterationTiming evaluateIteration(const accel::DnnModel &model,
+                                  const topo::Topology &topo,
+                                  const std::string &algo,
+                                  const TrainOptions &opts = {});
+
+} // namespace multitree::train
+
+#endif // MULTITREE_TRAIN_TRAINER_HH

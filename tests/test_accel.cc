@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Unit tests for the systolic compute model and the DNN model zoo.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/model_zoo.hh"
+#include "accel/systolic.hh"
+
+namespace multitree::accel {
+namespace {
+
+TEST(Systolic, FoldFormula)
+{
+    AcceleratorConfig cfg;
+    // One fold: M,N <= 32: 2*32 + 32 + K - 2 cycles.
+    EXPECT_EQ(gemmCycles(32, 32, 100, cfg), 64u + 32 + 100 - 2);
+    // Four folds when M doubles and N doubles.
+    EXPECT_EQ(gemmCycles(64, 64, 100, cfg),
+              4 * (64u + 32 + 100 - 2));
+    EXPECT_EQ(gemmCycles(0, 32, 32, cfg), 0u);
+}
+
+TEST(Systolic, BatchSpreadsOverPEs)
+{
+    Layer l = fcLayer("fc", 1024, 1024);
+    AcceleratorConfig cfg;
+    cfg.batch = 16;
+    cfg.pes = 16;
+    Tick one = forwardCycles(l, cfg);
+    cfg.batch = 32;
+    EXPECT_EQ(forwardCycles(l, cfg), 2 * one);
+}
+
+TEST(Systolic, BackwardCostsAboutTwiceForward)
+{
+    Layer l = convLayer("c", 14, 14, 256, 3, 3, 256);
+    AcceleratorConfig cfg;
+    Tick fwd = forwardCycles(l, cfg);
+    Tick bwd = backwardCycles(l, cfg, false);
+    EXPECT_GT(bwd, fwd);              // dW + dX
+    EXPECT_LT(bwd, 3 * fwd);          // but no worse than ~2x-ish
+    EXPECT_LT(backwardCycles(l, cfg, true), bwd); // first layer: no dX
+}
+
+TEST(Systolic, EmbeddingBackwardIsCheap)
+{
+    Layer e = embeddingLayer("emb", 100000, 64);
+    AcceleratorConfig cfg;
+    EXPECT_LE(backwardCycles(e, cfg, false), 2u);
+}
+
+TEST(ModelZoo, ParameterCountsMatchPublishedModels)
+{
+    // Gradient volume is the quantity the communication study needs;
+    // check each model lands near its published parameter count.
+    EXPECT_NEAR(makeAlexNet().totalParams() / 1e6, 3.7, 0.4);
+    EXPECT_NEAR(makeResNet50().totalParams() / 1e6, 25.5, 1.5);
+    EXPECT_NEAR(makeGoogLeNet().totalParams() / 1e6, 6.0, 1.5);
+    EXPECT_NEAR(makeAlphaGoZero().totalParams() / 1e6, 24.0, 2.5);
+    EXPECT_NEAR(makeFasterRCNN().totalParams() / 1e6, 17.0, 3.0);
+    EXPECT_NEAR(makeNCF().totalParams() / 1e6, 31.9, 2.0);
+    EXPECT_NEAR(makeTransformer().totalParams() / 1e6, 63.0, 8.0);
+}
+
+TEST(ModelZoo, CNNsAreComputeHeavyNCFAndTransformerAreNot)
+{
+    // The §VI-C dichotomy: per-sample MACs per gradient byte is high
+    // for CNNs and tiny for embedding/attention models.
+    auto intensity = [](const DnnModel &m) {
+        return static_cast<double>(m.forwardMacs())
+               / static_cast<double>(m.gradientBytes());
+    };
+    for (const char *cnn :
+         {"alexnet", "alphagozero", "fasterrcnn", "googlenet",
+          "resnet50"}) {
+        EXPECT_GT(intensity(makeModel(cnn)), 5.0) << cnn;
+    }
+    EXPECT_LT(intensity(makeModel("ncf")), 0.1);
+    // The vocabulary generator GEMM gives Transformer some compute,
+    // but it stays well under the CNN range.
+    EXPECT_LT(intensity(makeModel("transformer")), 20.0);
+}
+
+TEST(ModelZoo, MakeModelRoundTrips)
+{
+    for (const auto &name : modelNames()) {
+        auto m = makeModel(name);
+        EXPECT_FALSE(m.layers.empty()) << name;
+        EXPECT_GT(m.totalParams(), 0u) << name;
+    }
+}
+
+TEST(ModelZoo, BackwardFinishOffsetsAreMonotone)
+{
+    auto m = makeResNet50();
+    AcceleratorConfig cfg;
+    auto c = modelCompute(m, cfg);
+    ASSERT_EQ(c.bwd_finish.size(), m.layers.size());
+    // Earlier layers finish backward later.
+    for (std::size_t i = 1; i < c.bwd_finish.size(); ++i)
+        EXPECT_GE(c.bwd_finish[i - 1], c.bwd_finish[i]);
+    EXPECT_EQ(c.bwd_finish[0], c.bwd);
+}
+
+} // namespace
+} // namespace multitree::accel

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Cross-algorithm property suite: for every (algorithm, topology,
+ * size) combination that the algorithm supports, the schedule must
+ * validate structurally and produce the exact all-reduce sum through
+ * the functional executor. This is the library's strongest invariant
+ * sweep, run as a parameterized gtest.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "coll/algorithm.hh"
+#include "coll/functional.hh"
+#include "coll/validate.hh"
+#include "topo/factory.hh"
+
+namespace multitree {
+namespace {
+
+using Param = std::tuple<std::string, std::string, std::uint64_t>;
+
+/** Make a topology spec safe for a gtest test name. */
+std::string
+sanitize(std::string s)
+{
+    for (auto &c : s) {
+        if (c == '-' || c == ':')
+            c = '_';
+    }
+    return s;
+}
+
+std::string
+sweepName(const testing::TestParamInfo<Param> &info)
+{
+    const auto &[a, t, b] = info.param;
+    return a + "_" + sanitize(t) + "_" + std::to_string(b);
+}
+
+std::string
+claimName(
+    const testing::TestParamInfo<std::tuple<std::string, std::string>>
+        &info)
+{
+    const auto &[a, t] = info.param;
+    return a + "_" + sanitize(t);
+}
+
+class AllReduceProperty : public testing::TestWithParam<Param>
+{
+};
+
+TEST_P(AllReduceProperty, ValidatesAndSums)
+{
+    const auto &[algo_name, topo_spec, bytes] = GetParam();
+    auto topo = topo::makeTopology(topo_spec);
+    auto algo = coll::makeAlgorithm(algo_name);
+    if (!algo->supports(*topo))
+        GTEST_SKIP() << algo_name << " does not support " << topo_spec;
+
+    auto sched = algo->build(*topo, bytes);
+    EXPECT_EQ(sched.num_nodes, topo->numNodes());
+    EXPECT_EQ(sched.total_bytes, bytes);
+
+    auto r = coll::validateSchedule(sched, *topo);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_TRUE(coll::checkAllReduceCorrect(sched, bytes / 4));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AllReduceProperty,
+    testing::Combine(
+        testing::Values("ring", "dbtree", "ring2d", "hd", "hdrm",
+                        "multitree"),
+        testing::Values("torus-4x4", "torus-8x8", "mesh-4x4",
+                        "mesh-8x8", "mesh-5x3", "fattree-16",
+                        "fattree-64", "bigraph-4x8", "bigraph-4x16",
+                        "torus3d-4x4x4", "dragonfly-5:2"),
+        testing::Values<std::uint64_t>(1024, 64 * 1024)),
+    sweepName);
+
+/** Contention-freedom holds where the paper claims it (Table I). */
+class ContentionFree
+    : public testing::TestWithParam<std::tuple<std::string, std::string>>
+{
+};
+
+TEST_P(ContentionFree, NoChannelClashes)
+{
+    const auto &[algo_name, topo_spec] = GetParam();
+    auto topo = topo::makeTopology(topo_spec);
+    auto algo = coll::makeAlgorithm(algo_name);
+    if (!algo->supports(*topo))
+        GTEST_SKIP();
+    auto sched = algo->build(*topo, 64 * 1024);
+    auto r = coll::validateContentionFree(sched, *topo);
+    EXPECT_TRUE(r.ok) << r.error;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Claims, ContentionFree,
+    testing::Values(
+        // Ring is contention-free on tori (perfect embedded ring).
+        std::tuple{"ring", "torus-4x4"},
+        std::tuple{"ring", "torus-8x8"},
+        // 2D-Ring is contention-free on tori.
+        std::tuple{"ring2d", "torus-4x4"},
+        std::tuple{"ring2d", "torus-8x8"},
+        // HDRM's rank mapping keeps BiGraph clash-free.
+        std::tuple{"hdrm", "bigraph-4x8"},
+        std::tuple{"hdrm", "bigraph-4x16"},
+        // MultiTree is contention-free everywhere by construction.
+        std::tuple{"multitree", "torus-4x4"},
+        std::tuple{"multitree", "torus-8x8"},
+        std::tuple{"multitree", "mesh-4x4"},
+        std::tuple{"multitree", "mesh-8x8"},
+        std::tuple{"multitree", "fattree-16"},
+        std::tuple{"multitree", "fattree-64"},
+        std::tuple{"multitree", "bigraph-4x8"},
+        std::tuple{"multitree", "bigraph-4x16"}),
+    claimName);
+
+} // namespace
+} // namespace multitree

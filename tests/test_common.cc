@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Unit tests for src/common: units, RNG, stats, strings.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "common/strings.hh"
+#include "common/units.hh"
+
+namespace multitree {
+namespace {
+
+TEST(Units, CeilDiv)
+{
+    EXPECT_EQ(ceilDiv(0, 4), 0u);
+    EXPECT_EQ(ceilDiv(1, 4), 1u);
+    EXPECT_EQ(ceilDiv(4, 4), 1u);
+    EXPECT_EQ(ceilDiv(5, 4), 2u);
+    EXPECT_EQ(ceilDiv(8, 4), 2u);
+}
+
+TEST(Units, BytesToFlits)
+{
+    EXPECT_EQ(bytesToFlits(0), 0u);
+    EXPECT_EQ(bytesToFlits(1), 1u);
+    EXPECT_EQ(bytesToFlits(16), 1u);
+    EXPECT_EQ(bytesToFlits(17), 2u);
+    EXPECT_EQ(bytesToFlits(256), 16u);
+}
+
+TEST(Units, BandwidthGBps)
+{
+    // 16 bytes per cycle at 1 GHz is the paper's 16 GB/s link.
+    EXPECT_DOUBLE_EQ(bandwidthGBps(16, 1), 16.0);
+    EXPECT_DOUBLE_EQ(bandwidthGBps(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(bandwidthGBps(1600, 100), 16.0);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42), c(43);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+    bool any_diff = false;
+    Rng a2(42);
+    for (int i = 0; i < 100; ++i)
+        any_diff |= a2.next() != c.next();
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.nextBounded(17), 17u);
+}
+
+TEST(Rng, BoundedCoversRange)
+{
+    Rng rng(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 500; ++i)
+        seen.insert(rng.nextBounded(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng rng(5);
+    std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7};
+    auto orig = v;
+    rng.shuffle(v);
+    std::multiset<int> a(v.begin(), v.end());
+    std::multiset<int> b(orig.begin(), orig.end());
+    EXPECT_EQ(a, b);
+}
+
+TEST(Summary, Moments)
+{
+    Summary s;
+    for (double x : {1.0, 2.0, 3.0, 4.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+    EXPECT_NEAR(s.variance(), 1.25, 1e-12);
+}
+
+TEST(Summary, EmptyIsSafe)
+{
+    Summary s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Histogram, BucketsAndQuantiles)
+{
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 10; ++i)
+        h.add(i + 0.5);
+    EXPECT_EQ(h.count(), 10u);
+    EXPECT_NEAR(h.quantile(0.0), 0.5, 1e-9);
+    EXPECT_NEAR(h.quantile(1.0), 9.5, 1e-9);
+}
+
+TEST(Histogram, ClampsOutOfRange)
+{
+    Histogram h(0.0, 1.0, 2);
+    h.add(-5.0);
+    h.add(5.0);
+    EXPECT_EQ(h.buckets()[0], 1u);
+    EXPECT_EQ(h.buckets()[1], 1u);
+}
+
+TEST(StatRegistry, IncSetGet)
+{
+    StatRegistry reg;
+    EXPECT_DOUBLE_EQ(reg.get("x"), 0.0);
+    reg.inc("x");
+    reg.inc("x", 2.0);
+    EXPECT_DOUBLE_EQ(reg.get("x"), 3.0);
+    reg.set("x", 7.0);
+    EXPECT_DOUBLE_EQ(reg.get("x"), 7.0);
+    EXPECT_NE(reg.render().find("x = 7"), std::string::npos);
+}
+
+TEST(Strings, SplitAndTrim)
+{
+    auto parts = split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(trim("  hello\t "), "hello");
+    EXPECT_EQ(trim(""), "");
+}
+
+TEST(Strings, FormatBytes)
+{
+    EXPECT_EQ(formatBytes(512), "512 B");
+    EXPECT_EQ(formatBytes(32 * KiB), "32 KiB");
+    EXPECT_EQ(formatBytes(64 * MiB), "64 MiB");
+    EXPECT_EQ(formatBytes(1536), "1.5 KiB");
+}
+
+TEST(Strings, TextTableAligns)
+{
+    TextTable t;
+    t.header({"name", "value"});
+    t.row({"a", "1"});
+    t.row({"longer", "22"});
+    auto s = t.render();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("longer"), std::string::npos);
+}
+
+} // namespace
+} // namespace multitree

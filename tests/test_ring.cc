@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Unit tests for ring all-reduce schedules.
+ */
+
+#include <gtest/gtest.h>
+
+#include "coll/functional.hh"
+#include "coll/ring.hh"
+#include "coll/validate.hh"
+#include "topo/bigraph.hh"
+#include "topo/fattree.hh"
+#include "topo/grid.hh"
+
+namespace multitree::coll {
+namespace {
+
+TEST(Ring, StepCountIsTwoNMinusTwo)
+{
+    topo::Torus2D t(4, 4);
+    RingAllReduce ring;
+    auto s = ring.build(t, 64 * 1024);
+    EXPECT_EQ(s.totalSteps(), 2 * (16 - 1));
+    EXPECT_EQ(s.reduceSteps(), 15);
+    EXPECT_EQ(s.flows.size(), 16u);
+    auto r = validateSchedule(s, t);
+    EXPECT_TRUE(r.ok) << r.error;
+}
+
+TEST(Ring, MatchesPaperWalkthrough)
+{
+    // §II-B: on 4 nodes, segment 0 goes 1->2, 2->3, 3->0 in reduce-
+    // scatter and 0->1, 1->2, 2->3 in all-gather.
+    topo::Mesh2D line(4, 1);
+    RingAllReduce ring;
+    auto s = ring.build(line, 1024);
+    const auto &f0 = s.flows[0];
+    EXPECT_EQ(f0.root, 0);
+    ASSERT_EQ(f0.reduce.size(), 3u);
+    EXPECT_EQ(f0.reduce[0].src, 1);
+    EXPECT_EQ(f0.reduce[0].dst, 2);
+    EXPECT_EQ(f0.reduce[1].src, 2);
+    EXPECT_EQ(f0.reduce[1].dst, 3);
+    EXPECT_EQ(f0.reduce[2].src, 3);
+    EXPECT_EQ(f0.reduce[2].dst, 0);
+    ASSERT_EQ(f0.gather.size(), 3u);
+    EXPECT_EQ(f0.gather[0].src, 0);
+    EXPECT_EQ(f0.gather[0].dst, 1);
+}
+
+TEST(Ring, ContentionFreeOnTorus)
+{
+    topo::Torus2D t(4, 4);
+    RingAllReduce ring;
+    auto s = ring.build(t, 64 * 1024);
+    auto r = validateContentionFree(s, t);
+    EXPECT_TRUE(r.ok) << r.error;
+}
+
+TEST(Ring, Uses25PercentOfTorusChannels)
+{
+    topo::Torus2D t(4, 4);
+    RingAllReduce ring;
+    auto s = ring.build(t, 16 * 1024);
+    // Collect distinct channels touched by any edge.
+    std::set<int> used;
+    for (const auto &f : s.flows) {
+        for (const auto &e : f.reduce) {
+            for (int cid : t.route(e.src, e.dst))
+                used.insert(cid);
+        }
+    }
+    // The paper's motivating number: a unidirectional Hamiltonian
+    // ring touches 16 of the 64 directed channels of a 4x4 torus.
+    EXPECT_EQ(used.size(), 16u);
+    EXPECT_EQ(t.numChannels(), 64);
+}
+
+TEST(Ring, FunctionallyCorrectEverywhere)
+{
+    RingAllReduce ring;
+    topo::Torus2D t(4, 4);
+    topo::Mesh2D m(3, 3);
+    topo::FatTree2L ft(4, 4, 4);
+    topo::BiGraph bg(4, 8);
+    for (const topo::Topology *topo :
+         {static_cast<const topo::Topology *>(&t),
+          static_cast<const topo::Topology *>(&m),
+          static_cast<const topo::Topology *>(&ft),
+          static_cast<const topo::Topology *>(&bg)}) {
+        auto s = ring.build(*topo, 4096);
+        auto r = validateSchedule(s, *topo);
+        EXPECT_TRUE(r.ok) << topo->name() << ": " << r.error;
+        EXPECT_TRUE(checkAllReduceCorrect(s, 1024)) << topo->name();
+    }
+}
+
+TEST(Ring, BytesBalancedAcrossFlows)
+{
+    topo::Torus2D t(4, 4);
+    RingAllReduce ring;
+    auto s = ring.build(t, 1 * 1024 * 1024);
+    std::uint64_t lo = UINT64_MAX, hi = 0, sum = 0;
+    for (const auto &f : s.flows) {
+        lo = std::min(lo, f.bytes);
+        hi = std::max(hi, f.bytes);
+        sum += f.bytes;
+    }
+    EXPECT_EQ(sum, 1024u * 1024u);
+    EXPECT_LE(hi - lo, 4u);
+}
+
+} // namespace
+} // namespace multitree::coll

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Integration tests: full all-reduce simulations through the runtime
+ * on both network backends, and the flit-vs-flow agreement property.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "runtime/allreduce_runtime.hh"
+#include "topo/factory.hh"
+
+namespace multitree::runtime {
+namespace {
+
+TEST(Runtime, RingCompletesAndMatchesHandTiming)
+{
+    auto t = topo::makeTopology("torus-4x4");
+    RunOptions opts;
+    auto res = runAllReduce(*t, "ring", 64 * 1024, opts);
+    EXPECT_GT(res.time, 0u);
+    // 30 steps, each one chunk of 4 KiB = 272 wire flits plus a hop:
+    // dependency-chained, so roughly 30 * (272 + 153).
+    Tick per_step = 272 + 153;
+    EXPECT_GE(res.time, 30 * per_step);
+    EXPECT_LE(res.time, 30 * per_step + 30 * 16);
+    EXPECT_EQ(res.messages, 2u * 16 * 15);
+}
+
+TEST(Runtime, MultiTreeBeatsRingEverywhere)
+{
+    for (const char *spec : {"torus-4x4", "torus-8x8", "mesh-8x8",
+                             "fattree-16", "bigraph-4x8"}) {
+        auto t = topo::makeTopology(spec);
+        for (std::uint64_t bytes : {64ull * 1024, 4ull * 1024 * 1024}) {
+            auto ring = runAllReduce(*t, "ring", bytes);
+            auto mt = runAllReduce(*t, "multitree", bytes);
+            EXPECT_LT(mt.time, ring.time)
+                << spec << " @ " << bytes << " bytes";
+        }
+    }
+}
+
+TEST(Runtime, MessageFlowControlAddsBandwidth)
+{
+    auto t = topo::makeTopology("torus-8x8");
+    auto plain = runAllReduce(*t, "multitree", 8 * 1024 * 1024);
+    auto msg = runAllReduce(*t, "multitree-msg", 8 * 1024 * 1024);
+    EXPECT_LT(msg.time, plain.time);
+    // ~6% serialization saving (§VI-A): allow a broad window since
+    // latency dilutes it.
+    double gain = static_cast<double>(plain.time)
+                  / static_cast<double>(msg.time);
+    EXPECT_GT(gain, 1.02);
+    EXPECT_LT(gain, 1.09);
+}
+
+TEST(Runtime, DBTreeLosesToMultiTreeOnTorusLargeData)
+{
+    auto t = topo::makeTopology("torus-8x8");
+    auto db = runAllReduce(*t, "dbtree", 16 * 1024 * 1024);
+    auto mt = runAllReduce(*t, "multitree", 16 * 1024 * 1024);
+    EXPECT_GT(db.time, 2 * mt.time);
+}
+
+TEST(Runtime, LockstepRunsAndReportsNops)
+{
+    auto t = topo::makeTopology("mesh-8x8");
+    auto res = runAllReduce(*t, "multitree", 1 * 1024 * 1024);
+    // Mesh trees are imbalanced: some nodes must idle through NOP
+    // windows (§IV-A observes this for irregular networks).
+    EXPECT_GT(res.nop_windows, 0u);
+}
+
+TEST(Runtime, FlitBackendCompletesSmallRuns)
+{
+    auto t = topo::makeTopology("torus-4x4");
+    RunOptions opts;
+    opts.backend = Backend::Flit;
+    for (const char *algo : {"ring", "multitree", "dbtree", "hd"}) {
+        auto res = runAllReduce(*t, algo, 32 * 1024, opts);
+        EXPECT_GT(res.time, 0u) << algo;
+        EXPECT_GT(res.bandwidth, 0.0) << algo;
+    }
+}
+
+/**
+ * The methodology defence: the fast flow model must agree with the
+ * cycle-level flit model on all-reduce completion time within a
+ * modest tolerance across algorithms and topologies.
+ */
+class FlitVsFlow
+    : public testing::TestWithParam<std::tuple<std::string, std::string>>
+{
+};
+
+TEST_P(FlitVsFlow, AgreeWithinTolerance)
+{
+    const auto &[algo, spec] = GetParam();
+    auto t = topo::makeTopology(spec);
+    const std::uint64_t bytes = 256 * 1024;
+    RunOptions flow;
+    RunOptions flit;
+    flit.backend = Backend::Flit;
+    auto a = runAllReduce(*t, algo, bytes, flow);
+    auto b = runAllReduce(*t, algo, bytes, flit);
+    double ratio = static_cast<double>(b.time)
+                   / static_cast<double>(a.time);
+    EXPECT_GT(ratio, 0.85) << "flit=" << b.time << " flow=" << a.time;
+    // The documented worst case is MultiTree on small meshes (~1.4,
+    // see EXPERIMENTS.md); most configs agree within ~15%.
+    EXPECT_LT(ratio, 1.45) << "flit=" << b.time << " flow=" << a.time;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Agreement, FlitVsFlow,
+    testing::Values(std::tuple{"ring", "torus-4x4"},
+                    std::tuple{"multitree", "torus-4x4"},
+                    std::tuple{"ring2d", "torus-4x4"},
+                    std::tuple{"multitree", "mesh-4x4"},
+                    std::tuple{"ring", "fattree-16"},
+                    std::tuple{"multitree", "fattree-16"},
+                    std::tuple{"hdrm", "bigraph-4x8"},
+                    std::tuple{"multitree", "bigraph-4x8"}),
+    [](const auto &info) {
+        std::string s = std::get<0>(info.param) + "_"
+                        + std::get<1>(info.param);
+        for (auto &c : s) {
+            if (c == '-' || c == ':')
+                c = '_';
+        }
+        return s;
+    });
+
+} // namespace
+} // namespace multitree::runtime

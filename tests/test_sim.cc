@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace multitree::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> seen;
+    eq.scheduleAt(30, [&] { seen.push_back(3); });
+    eq.scheduleAt(10, [&] { seen.push_back(1); });
+    eq.scheduleAt(20, [&] { seen.push_back(2); });
+    eq.run();
+    EXPECT_EQ(seen, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameTickFifoWithinPriority)
+{
+    EventQueue eq;
+    std::vector<int> seen;
+    for (int i = 0; i < 5; ++i)
+        eq.scheduleAt(5, [&, i] { seen.push_back(i); });
+    eq.run();
+    EXPECT_EQ(seen, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, PriorityBreaksTies)
+{
+    EventQueue eq;
+    std::vector<int> seen;
+    eq.scheduleAt(5, [&] { seen.push_back(2); }, Priority::Low);
+    eq.scheduleAt(5, [&] { seen.push_back(0); }, Priority::High);
+    eq.scheduleAt(5, [&] { seen.push_back(1); }, Priority::Default);
+    eq.run();
+    EXPECT_EQ(seen, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueue, CallbackMaySchedule)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.scheduleAt(1, [&] {
+        ++fired;
+        eq.scheduleAfter(9, [&] { ++fired; });
+    });
+    eq.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.now(), 10u);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.scheduleAt(5, [&] { ++fired; });
+    eq.scheduleAt(15, [&] { ++fired; });
+    eq.runUntil(10);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, RunLimitCounts)
+{
+    EventQueue eq;
+    for (int i = 0; i < 10; ++i)
+        eq.scheduleAt(static_cast<Tick>(i + 1), [] {});
+    EXPECT_EQ(eq.run(4), 4u);
+    EXPECT_EQ(eq.pending(), 6u);
+    EXPECT_EQ(eq.run(), 6u);
+    EXPECT_EQ(eq.executed(), 10u);
+}
+
+TEST(EventQueueDeath, PastSchedulingPanics)
+{
+    EventQueue eq;
+    eq.scheduleAt(10, [] {});
+    eq.run();
+    EXPECT_DEATH(eq.scheduleAt(5, [] {}), "past");
+}
+
+} // namespace
+} // namespace multitree::sim

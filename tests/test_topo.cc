@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Unit tests for the topology library: grids, fat tree, bigraph,
+ * routing and ring embeddings.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topo/bigraph.hh"
+#include "topo/factory.hh"
+#include "topo/fattree.hh"
+#include "topo/grid.hh"
+
+namespace multitree::topo {
+namespace {
+
+/** Follow a channel route and return the endpoint vertex. */
+int
+walkRoute(const Topology &t, int src, const std::vector<int> &route)
+{
+    int cur = src;
+    for (int cid : route) {
+        EXPECT_EQ(t.channel(cid).src, cur) << "route discontinuity";
+        cur = t.channel(cid).dst;
+    }
+    return cur;
+}
+
+TEST(Torus, CountsAndDegree)
+{
+    Torus2D t(4, 4);
+    EXPECT_EQ(t.numNodes(), 16);
+    EXPECT_EQ(t.numVertices(), 16);
+    // 2 dims x 16 nodes bidirectional = 64 directed channels; the
+    // paper's 25%-utilization example counts exactly these.
+    EXPECT_EQ(t.numChannels(), 64);
+    for (int v = 0; v < 16; ++v)
+        EXPECT_EQ(t.outChannels(v).size(), 4u);
+}
+
+TEST(Mesh, CountsAndDegree)
+{
+    Mesh2D m(4, 4);
+    EXPECT_EQ(m.numChannels(), 2 * 24); // 24 bidirectional links
+    EXPECT_EQ(m.outChannels(m.nodeAt(0, 0)).size(), 2u);
+    EXPECT_EQ(m.outChannels(m.nodeAt(1, 0)).size(), 3u);
+    EXPECT_EQ(m.outChannels(m.nodeAt(1, 1)).size(), 4u);
+}
+
+TEST(Torus, Width2HasNoDuplicateLinks)
+{
+    Torus2D t(2, 2);
+    // A 2x2 torus degenerates to a 2x2 mesh: 4 links, 8 channels.
+    EXPECT_EQ(t.numChannels(), 8);
+}
+
+TEST(Grid, PreferredNeighborsYFirst)
+{
+    Mesh2D m(2, 2);
+    // Node 0 at (0,0): Y+ neighbor is node 2, then X+ neighbor 1.
+    auto nb = m.preferredNeighbors(0);
+    ASSERT_EQ(nb.size(), 2u);
+    EXPECT_EQ(nb[0], 2);
+    EXPECT_EQ(nb[1], 1);
+    // Node 3 at (1,1): Y- is 1, X- is 2.
+    nb = m.preferredNeighbors(3);
+    ASSERT_EQ(nb.size(), 2u);
+    EXPECT_EQ(nb[0], 1);
+    EXPECT_EQ(nb[1], 2);
+}
+
+TEST(Grid, RouteReachesDestination)
+{
+    Torus2D t(4, 4);
+    Mesh2D m(5, 3);
+    for (int a = 0; a < t.numNodes(); ++a) {
+        for (int b = 0; b < t.numNodes(); ++b)
+            EXPECT_EQ(walkRoute(t, a, t.route(a, b)), b);
+    }
+    for (int a = 0; a < m.numNodes(); ++a) {
+        for (int b = 0; b < m.numNodes(); ++b)
+            EXPECT_EQ(walkRoute(m, a, m.route(a, b)), b);
+    }
+}
+
+TEST(Grid, TorusRouteTakesShortWrap)
+{
+    Torus2D t(8, 8);
+    // (0,0) to (7,0): one hop through the wrap link.
+    EXPECT_EQ(t.route(t.nodeAt(0, 0), t.nodeAt(7, 0)).size(), 1u);
+    EXPECT_EQ(t.route(t.nodeAt(0, 0), t.nodeAt(4, 0)).size(), 4u);
+    EXPECT_EQ(t.diameter(), 8);
+}
+
+TEST(Grid, MeshDiameter)
+{
+    Mesh2D m(4, 4);
+    EXPECT_EQ(m.diameter(), 6);
+}
+
+TEST(Grid, SerpentineRingIsHamiltonianOneHopOnTorus)
+{
+    Torus2D t(4, 4);
+    auto order = t.ringOrder();
+    ASSERT_EQ(order.size(), 16u);
+    std::set<int> uniq(order.begin(), order.end());
+    EXPECT_EQ(uniq.size(), 16u);
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        int a = order[i];
+        int b = order[(i + 1) % order.size()];
+        EXPECT_EQ(t.route(a, b).size(), 1u)
+            << "ring hop " << a << "->" << b << " is not one link";
+    }
+}
+
+TEST(Grid, SerpentineRingOnMeshHasOneLongHop)
+{
+    Mesh2D m(4, 4);
+    auto order = m.ringOrder();
+    int long_hops = 0;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        int a = order[i];
+        int b = order[(i + 1) % order.size()];
+        if (m.route(a, b).size() > 1)
+            ++long_hops;
+    }
+    EXPECT_EQ(long_hops, 1); // only the closing edge
+}
+
+TEST(FatTree, Shape)
+{
+    FatTree2L ft(4, 4, 4);
+    EXPECT_EQ(ft.numNodes(), 16);
+    EXPECT_EQ(ft.numVertices(), 16 + 4 + 4);
+    // 16 node links + 16 leaf-spine links, doubled for direction.
+    EXPECT_EQ(ft.numChannels(), 2 * (16 + 16));
+    EXPECT_EQ(ft.leafOf(0), 0);
+    EXPECT_EQ(ft.leafOf(15), 3);
+}
+
+TEST(FatTree, RoutesUpDown)
+{
+    FatTree2L ft(4, 4, 4);
+    // Same leaf: 2 hops through the shared switch.
+    EXPECT_EQ(ft.route(0, 1).size(), 2u);
+    // Cross leaf: 4 hops, up to a spine and back down.
+    EXPECT_EQ(ft.route(0, 15).size(), 4u);
+    for (int a = 0; a < ft.numNodes(); ++a) {
+        for (int b = 0; b < ft.numNodes(); ++b) {
+            if (a != b) {
+                EXPECT_EQ(walkRoute(ft, a, ft.route(a, b)), b);
+            }
+        }
+    }
+}
+
+TEST(BiGraph, Shape)
+{
+    BiGraph bg(4, 8);
+    EXPECT_EQ(bg.numNodes(), 32);
+    EXPECT_EQ(bg.nodesPerUpper(), 4);
+    EXPECT_EQ(bg.nodesPerLower(), 2);
+    EXPECT_EQ(bg.numVertices(), 32 + 12);
+    // 32 node links + 32 switch-switch links.
+    EXPECT_EQ(bg.numChannels(), 2 * (32 + 32));
+    EXPECT_TRUE(bg.isUpperNode(0));
+    EXPECT_FALSE(bg.isUpperNode(16));
+}
+
+TEST(BiGraph, CrossStagePairsTakeThreeHops)
+{
+    BiGraph bg(4, 8);
+    // Upper node 0 to lower node 16: node-up-low-node.
+    EXPECT_EQ(bg.route(0, 16).size(), 3u);
+    // Same-switch pair: two hops.
+    EXPECT_EQ(bg.route(0, 1).size(), 2u);
+    // Same-stage different-switch: four hops via the other stage.
+    EXPECT_EQ(bg.route(0, 4).size(), 4u);
+    for (int a = 0; a < bg.numNodes(); ++a) {
+        for (int b = 0; b < bg.numNodes(); ++b) {
+            if (a != b) {
+                EXPECT_EQ(walkRoute(bg, a, bg.route(a, b)), b);
+            }
+        }
+    }
+}
+
+TEST(Topology, BfsRouteMatchesShortestOnGrid)
+{
+    Mesh2D m(4, 4);
+    for (int a = 0; a < m.numNodes(); ++a) {
+        for (int b = 0; b < m.numNodes(); ++b) {
+            EXPECT_EQ(m.bfsRoute(a, b).size(), m.route(a, b).size());
+        }
+    }
+}
+
+TEST(Factory, BuildsAllSpecs)
+{
+    EXPECT_EQ(makeTopology("torus-4x4")->numNodes(), 16);
+    EXPECT_EQ(makeTopology("mesh-8x8")->numNodes(), 64);
+    EXPECT_EQ(makeTopology("fattree-16")->numNodes(), 16);
+    EXPECT_EQ(makeTopology("fattree-64")->numNodes(), 64);
+    EXPECT_EQ(makeTopology("fattree-2:3:2")->numNodes(), 6);
+    EXPECT_EQ(makeTopology("bigraph-4x8")->numNodes(), 32);
+    EXPECT_EQ(makeTopology("bigraph-4x16")->numNodes(), 64);
+}
+
+TEST(FactoryDeath, RejectsGarbage)
+{
+    EXPECT_EXIT(makeTopology("nonsense"), testing::ExitedWithCode(1),
+                "");
+    EXPECT_EXIT(makeTopology("torus-0x4"), testing::ExitedWithCode(1),
+                "");
+}
+
+} // namespace
+} // namespace multitree::topo

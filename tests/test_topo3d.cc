@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Tests for the extension topologies: 3D Torus and Dragonfly,
+ * including MultiTree generality on both.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "coll/functional.hh"
+#include "coll/validate.hh"
+#include "core/multitree.hh"
+#include "runtime/allreduce_runtime.hh"
+#include "topo/dragonfly.hh"
+#include "topo/factory.hh"
+#include "topo/torus3d.hh"
+
+namespace multitree::topo {
+namespace {
+
+int
+walk(const Topology &t, int src, const std::vector<int> &route)
+{
+    int cur = src;
+    for (int cid : route) {
+        EXPECT_EQ(t.channel(cid).src, cur);
+        cur = t.channel(cid).dst;
+    }
+    return cur;
+}
+
+TEST(Torus3D, ShapeAndDegree)
+{
+    Torus3D t(4, 4, 4);
+    EXPECT_EQ(t.numNodes(), 64);
+    // 3 dims x 64 nodes x 2 directions.
+    EXPECT_EQ(t.numChannels(), 3 * 64 * 2);
+    for (int v = 0; v < 64; ++v)
+        EXPECT_EQ(t.outChannels(v).size(), 6u);
+}
+
+TEST(Torus3D, RoutesAreMinimalAndCorrect)
+{
+    Torus3D t(4, 3, 2);
+    for (int a = 0; a < t.numNodes(); ++a) {
+        for (int b = 0; b < t.numNodes(); ++b) {
+            auto r = t.route(a, b);
+            EXPECT_EQ(walk(t, a, r), b);
+            EXPECT_EQ(r.size(), t.bfsRoute(a, b).size())
+                << a << "->" << b;
+        }
+    }
+}
+
+TEST(Torus3D, PreferredNeighborsZFirst)
+{
+    Torus3D t(4, 4, 4);
+    auto nb = t.preferredNeighbors(0);
+    ASSERT_EQ(nb.size(), 6u);
+    EXPECT_EQ(nb[0], t.nodeAt(0, 0, 1)); // Z+
+    EXPECT_EQ(nb[2], t.nodeAt(0, 1, 0)); // Y+
+    EXPECT_EQ(nb[4], t.nodeAt(1, 0, 0)); // X+
+}
+
+TEST(Torus3D, SerpentineRingIsHamiltonian)
+{
+    Torus3D t(4, 4, 2);
+    auto order = t.ringOrder();
+    std::set<int> uniq(order.begin(), order.end());
+    EXPECT_EQ(static_cast<int>(uniq.size()), t.numNodes());
+    // Every forward hop within and between planes is one link.
+    for (std::size_t i = 0; i + 1 < order.size(); ++i)
+        EXPECT_EQ(t.route(order[i], order[i + 1]).size(), 1u);
+}
+
+TEST(Torus3D, MultiTreeExploitsSixPorts)
+{
+    auto t = makeTopology("torus3d-4x4x4");
+    auto ring = runtime::runAllReduce(*t, "ring", 4 * MiB);
+    auto mt = runtime::runAllReduce(*t, "multitree", 4 * MiB);
+    // Six links per node versus the ring's one: large speedup.
+    EXPECT_GT(static_cast<double>(ring.time) / mt.time, 3.0);
+}
+
+TEST(Dragonfly, ShapeAndGlobalLinks)
+{
+    Dragonfly d(5, 2);
+    EXPECT_EQ(d.numGroups(), 5);
+    EXPECT_EQ(d.routersPerGroup(), 4);
+    EXPECT_EQ(d.numNodes(), 40);
+    // 40 node links + 5 groups x C(4,2)=6 local + C(5,2)=10 global.
+    EXPECT_EQ(d.numChannels(), 2 * (40 + 30 + 10));
+}
+
+TEST(Dragonfly, RoutesReachAndStayShort)
+{
+    Dragonfly d(5, 2);
+    int max_hops = 0;
+    for (int a = 0; a < d.numNodes(); ++a) {
+        for (int b = 0; b < d.numNodes(); ++b) {
+            if (a == b)
+                continue;
+            auto r = d.route(a, b);
+            EXPECT_EQ(walk(d, a, r), b);
+            max_hops = std::max(max_hops,
+                                static_cast<int>(r.size()));
+        }
+    }
+    // node, <=2 local, 1 global, node: at most 5 hops minimal.
+    EXPECT_LE(max_hops, 5);
+}
+
+TEST(Dragonfly, MultiTreeSchedulesValidCorrectContentionFree)
+{
+    for (auto [g, p] : {std::pair{4, 2}, std::pair{5, 2}}) {
+        Dragonfly d(g, p);
+        core::MultiTreeAllReduce mt;
+        auto s = mt.build(d, static_cast<std::uint64_t>(
+                                 d.numNodes())
+                                 * 512);
+        auto r = coll::validateSchedule(s, d);
+        ASSERT_TRUE(r.ok) << d.name() << ": " << r.error;
+        auto c = coll::validateContentionFree(s, d);
+        EXPECT_TRUE(c.ok) << d.name() << ": " << c.error;
+        EXPECT_TRUE(coll::checkAllReduceCorrect(
+            s, static_cast<std::size_t>(d.numNodes()) * 128));
+    }
+}
+
+TEST(Dragonfly, MultiTreeBeatsRing)
+{
+    auto d = makeTopology("dragonfly-5:2");
+    auto ring = runtime::runAllReduce(*d, "ring", 1 * MiB);
+    auto mt = runtime::runAllReduce(*d, "multitree", 1 * MiB);
+    EXPECT_LT(mt.time, ring.time);
+}
+
+TEST(Factory, NewSpecsParse)
+{
+    EXPECT_EQ(makeTopology("torus3d-4x4x4")->numNodes(), 64);
+    EXPECT_EQ(makeTopology("torus3d-2x3x4")->numNodes(), 24);
+    EXPECT_EQ(makeTopology("dragonfly-5:2")->numNodes(), 40);
+    EXPECT_EXIT(makeTopology("torus3d-4x4"),
+                testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(makeTopology("dragonfly-1:2"),
+                testing::ExitedWithCode(1), "");
+}
+
+} // namespace
+} // namespace multitree::topo
