@@ -22,10 +22,13 @@ runtime::RunResult
 simulateMode(const std::string &topo_spec, const std::string &algo,
              std::uint64_t bytes, net::FlowControlMode mode)
 {
-    auto topo = topo::makeTopology(topo_spec);
-    runtime::RunOptions opts;
-    opts.net.mode = mode;
-    return runtime::runAllReduce(*topo, algo, bytes, opts);
+    // Both flow-control flavors run back-to-back on the same cached
+    // fabric; the per-run override swaps the wire protocol between
+    // collectives.
+    runtime::RunOverrides ov;
+    ov.flow_control = mode;
+    return machineFor(topo_spec, runtime::Backend::Flow)
+        .run(algo, bytes, ov);
 }
 
 void

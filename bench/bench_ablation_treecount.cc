@@ -30,12 +30,14 @@ registerAll()
             benchmark::RegisterBenchmark(
                 name.c_str(),
                 [k, bytes](benchmark::State &state) {
-                    auto topo = topo::makeTopology("torus-8x8");
+                    auto &machine = machineFor(
+                        "torus-8x8", runtime::Backend::Flow);
                     core::MultiTreeOptions opts;
                     opts.num_trees = k;
                     core::MultiTreeAllReduce mt(opts);
-                    auto sched = mt.build(*topo, bytes);
-                    auto res = runtime::runAllReduce(*topo, sched);
+                    auto sched =
+                        mt.build(machine.topology(), bytes);
+                    auto res = machine.run(sched);
                     for (auto _ : state) {
                         state.SetIterationTime(
                             static_cast<double>(res.time) * 1e-9);

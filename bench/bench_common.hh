@@ -15,10 +15,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <map>
+#include <memory>
 #include <string>
+#include <utility>
 
 #include "coll/algorithm.hh"
-#include "runtime/allreduce_runtime.hh"
+#include "runtime/machine.hh"
 #include "topo/factory.hh"
 
 namespace multitree::bench {
@@ -31,16 +34,42 @@ fig9Sizes()
             8 * MiB,        32 * MiB,  64 * MiB};
 }
 
-/** Simulate one all-reduce on the fast backend. */
+/**
+ * The persistent fabric for one (topology, backend) pair. A sweep of
+ * algorithm/size points reuses one Machine — routers and NI engines
+ * are built once — instead of rebuilding the fabric per point;
+ * per-run results are identical to single-shot simulations either way.
+ */
+inline runtime::Machine &
+machineFor(const std::string &topo_spec, runtime::Backend backend)
+{
+    struct Fabric {
+        std::unique_ptr<topo::Topology> topo;
+        std::unique_ptr<runtime::Machine> machine;
+    };
+    static std::map<std::pair<std::string, runtime::Backend>, Fabric>
+        cache;
+    auto key = std::make_pair(topo_spec, backend);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        Fabric f;
+        f.topo = topo::makeTopology(topo_spec);
+        runtime::RunOptions opts;
+        opts.backend = backend;
+        f.machine =
+            std::make_unique<runtime::Machine>(*f.topo, opts);
+        it = cache.emplace(key, std::move(f)).first;
+    }
+    return *it->second.machine;
+}
+
+/** Simulate one all-reduce on the cached persistent fabric. */
 inline runtime::RunResult
 simulate(const std::string &topo_spec, const std::string &algo,
          std::uint64_t bytes,
          runtime::Backend backend = runtime::Backend::Flow)
 {
-    auto topo = topo::makeTopology(topo_spec);
-    runtime::RunOptions opts;
-    opts.backend = backend;
-    return runtime::runAllReduce(*topo, algo, bytes, opts);
+    return machineFor(topo_spec, backend).run(algo, bytes);
 }
 
 /** Whether @p algo supports @p topo_spec. */
@@ -48,8 +77,8 @@ inline bool
 supported(const std::string &topo_spec, const std::string &algo)
 {
     auto topo = topo::makeTopology(topo_spec);
-    auto a = coll::makeAlgorithm(
-        algo == "multitree-msg" ? "multitree" : algo);
+    auto a =
+        coll::makeAlgorithm(coll::findAlgorithmVariant(algo).base);
     return a->supports(*topo);
 }
 

@@ -26,8 +26,9 @@ registerPoint(const std::string &name, coll::Schedule sched,
         name.c_str(),
         [sched = std::move(sched),
          topo_spec](benchmark::State &state) {
-            auto topo = topo::makeTopology(topo_spec);
-            auto res = runtime::runAllReduce(*topo, sched);
+            auto res =
+                machineFor(topo_spec, runtime::Backend::Flow)
+                    .run(sched);
             for (auto _ : state) {
                 state.SetIterationTime(
                     static_cast<double>(res.time) * 1e-9);

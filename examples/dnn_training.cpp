@@ -46,8 +46,7 @@ main(int argc, char **argv)
     for (const char *algo : {"ring", "dbtree", "ring2d", "multitree",
                              "multitree-msg"}) {
         auto a = coll::makeAlgorithm(
-            std::string(algo) == "multitree-msg" ? "multitree"
-                                                 : algo);
+            coll::findAlgorithmVariant(algo).base);
         if (!a->supports(*topo))
             continue;
         auto t = train::evaluateIteration(model, *topo, algo, opts);

@@ -23,7 +23,7 @@
 #include "common/strings.hh"
 #include "core/multitree.hh"
 #include "net/energy.hh"
-#include "runtime/allreduce_runtime.hh"
+#include "runtime/machine.hh"
 #include "topo/factory.hh"
 
 namespace {
@@ -54,7 +54,7 @@ usage()
         "topologies: torus-WxH mesh-WxH fattree-{16,64,L:P:S} "
         "bigraph-UxL\n"
         "algorithms: ring dbtree ring2d hd hdrm multitree "
-        "multitree-nolockstep\n");
+        "multitree-nolockstep multitree-msg\n");
 }
 
 } // namespace
@@ -101,7 +101,10 @@ main(int argc, char **argv)
         return 1;
     }
     auto topo = topo::makeTopology(args.topo);
-    auto algo = coll::makeAlgorithm(args.algo);
+    // Variants like multitree-msg resolve to their schedule builder
+    // plus a flow-control override in one registry lookup.
+    const auto &variant = coll::findAlgorithmVariant(args.algo);
+    auto algo = coll::makeAlgorithm(variant.base);
     if (!algo->supports(*topo)) {
         std::fprintf(stderr, "%s does not support %s\n",
                      args.algo.c_str(), topo->name().c_str());
@@ -149,15 +152,21 @@ main(int argc, char **argv)
         opts.net.mode = net::FlowControlMode::MessageBased;
     opts.ni_reduction_bw = args.reduction_bw;
 
-    auto res = runtime::runAllReduce(*topo, sched, opts);
+    runtime::Machine machine(*topo, opts);
+    runtime::RunOverrides ov;
+    ov.flow_control = variant.flow_control;
+    auto res = machine.run(sched, ov);
     auto energy = net::computeEnergy(res.flit_hops, res.head_hops);
     auto stats = sched.stats(*topo);
 
+    bool msg_mode =
+        args.msg
+        || variant.flow_control == net::FlowControlMode::MessageBased;
     std::printf("%s of %s on %s (%d nodes), %s backend%s\n",
                 coll::kindName(sched.kind),
                 formatBytes(args.bytes).c_str(), topo->name().c_str(),
                 topo->numNodes(), args.backend.c_str(),
-                args.msg ? ", message-based flow control" : "");
+                msg_mode ? ", message-based flow control" : "");
     std::printf("  algorithm        %s\n", sched.algorithm.c_str());
     std::printf("  completion       %.3f us\n", res.time / 1e3);
     std::printf("  bandwidth        %.2f GB/s\n", res.bandwidth);

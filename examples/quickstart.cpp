@@ -12,7 +12,7 @@
 #include <string>
 
 #include "common/strings.hh"
-#include "runtime/allreduce_runtime.hh"
+#include "runtime/machine.hh"
 #include "topo/factory.hh"
 
 int
@@ -29,20 +29,25 @@ main(int argc, char **argv)
                 formatBytes(bytes).c_str(), topo->numNodes(),
                 topo->name().c_str());
 
+    // One persistent machine runs every algorithm back-to-back; the
+    // fabric (network + NI engines) is built once and each run's
+    // statistics are scoped to that run.
+    runtime::Machine machine(*topo);
+
     TextTable table;
     table.header({"algorithm", "time (us)", "bandwidth (GB/s)",
                   "messages"});
     for (const char *algo :
          {"ring", "dbtree", "multitree", "multitree-msg"}) {
-        auto res = runtime::runAllReduce(*topo, algo, bytes);
+        auto res = machine.run(algo, bytes);
         table.row({algo, formatDouble(res.time / 1e3, 1),
                    formatDouble(res.bandwidth, 2),
                    std::to_string(res.messages)});
     }
     std::printf("%s\n", table.render().c_str());
 
-    auto ring = runtime::runAllReduce(*topo, "ring", bytes);
-    auto mt = runtime::runAllReduce(*topo, "multitree-msg", bytes);
+    auto ring = machine.run("ring", bytes);
+    auto mt = machine.run("multitree-msg", bytes);
     std::printf("MultiTree(+msg flow control) speedup over ring: "
                 "%.2fx\n",
                 static_cast<double>(ring.time)

@@ -14,7 +14,7 @@
 
 #include "coll/algorithm.hh"
 #include "common/strings.hh"
-#include "runtime/allreduce_runtime.hh"
+#include "runtime/machine.hh"
 #include "topo/factory.hh"
 
 int
@@ -43,15 +43,17 @@ main(int argc, char **argv)
 
     for (const auto &spec : topologies) {
         auto topo = topo::makeTopology(spec);
+        // One machine per topology; every algorithm reuses it.
+        runtime::Machine machine(*topo);
         std::vector<std::string> row = {spec};
         for (const auto &algo : algos) {
             auto check = coll::makeAlgorithm(
-                algo == "multitree-msg" ? "multitree" : algo);
+                coll::findAlgorithmVariant(algo).base);
             if (!check->supports(*topo)) {
                 row.push_back("-");
                 continue;
             }
-            auto res = runtime::runAllReduce(*topo, algo, bytes);
+            auto res = machine.run(algo, bytes);
             row.push_back(formatDouble(res.bandwidth, 2));
         }
         table.row(row);

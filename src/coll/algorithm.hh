@@ -8,10 +8,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "coll/schedule.hh"
+#include "net/network.hh"
 
 namespace multitree::topo {
 class Topology;
@@ -51,6 +53,32 @@ std::unique_ptr<Algorithm> makeAlgorithm(const std::string &name);
 
 /** Names of all registered algorithms. */
 std::vector<std::string> algorithmNames();
+
+/**
+ * One runnable registry entry: a public name, the Algorithm that
+ * builds its schedules, and the transport tweak (if any) it carries.
+ * Variants like "multitree-msg" (MultiTree + message-based flow
+ * control, §IV-B) resolve here instead of via string special-cases
+ * scattered through runtimes and harnesses.
+ */
+struct AlgorithmVariant {
+    /** Public name, e.g. "multitree-msg". */
+    std::string name;
+    /** Registry algorithm that builds the schedule ("multitree"). */
+    std::string base;
+    /** Flow-control override this variant runs under, if any. */
+    std::optional<net::FlowControlMode> flow_control;
+};
+
+/**
+ * Every runnable registry entry, base algorithms and variants alike,
+ * in a stable presentation order — what examples and benches iterate
+ * to enumerate "all algorithms".
+ */
+const std::vector<AlgorithmVariant> &algorithmVariants();
+
+/** Resolve @p name (base or variant). Fatal on unknown names. */
+const AlgorithmVariant &findAlgorithmVariant(const std::string &name);
 
 } // namespace multitree::coll
 

@@ -93,6 +93,12 @@ StatRegistry::get(const std::string &name) const
     return it == values_.end() ? 0.0 : it->second;
 }
 
+void
+StatRegistry::clear()
+{
+    values_.clear();
+}
+
 std::string
 StatRegistry::render() const
 {

@@ -106,6 +106,9 @@ class StatRegistry
     /** Read a counter; absent counters read as zero. */
     double get(const std::string &name) const;
 
+    /** Drop every counter (per-run stat scoping). */
+    void clear();
+
     /** All counters, sorted by name. */
     const std::map<std::string, double> &all() const { return values_; }
 

@@ -39,4 +39,36 @@ algorithmNames()
     return {"ring", "dbtree", "ring2d", "hd", "hdrm", "multitree"};
 }
 
+const std::vector<AlgorithmVariant> &
+algorithmVariants()
+{
+    // The one place a public algorithm name maps to (schedule
+    // builder, flow-control override). "multitree-msg" is the
+    // paper's co-designed pairing: MultiTree schedules over
+    // message-based flow control.
+    static const std::vector<AlgorithmVariant> variants = {
+        {"ring", "ring", std::nullopt},
+        {"dbtree", "dbtree", std::nullopt},
+        {"ring2d", "ring2d", std::nullopt},
+        {"hd", "hd", std::nullopt},
+        {"hdrm", "hdrm", std::nullopt},
+        {"multitree", "multitree", std::nullopt},
+        {"multitree-nolockstep", "multitree-nolockstep",
+         std::nullopt},
+        {"multitree-msg", "multitree",
+         net::FlowControlMode::MessageBased},
+    };
+    return variants;
+}
+
+const AlgorithmVariant &
+findAlgorithmVariant(const std::string &name)
+{
+    for (const auto &v : algorithmVariants()) {
+        if (v.name == name)
+            return v;
+    }
+    MT_FATAL("unknown all-reduce algorithm '", name, "'");
+}
+
 } // namespace multitree::coll

@@ -76,7 +76,42 @@ FlitNetwork::FlitNetwork(sim::EventQueue &eq,
 FlitNetwork::~FlitNetwork() = default;
 
 void
-FlitNetwork::inject(Message msg)
+FlitNetwork::reset()
+{
+    MT_ASSERT(live_.empty() && in_flight_ == 0 && !cycle_armed_,
+              "flit network reset mid-run: ", live_.size(),
+              " live packets, ", in_flight_, " flits in flight");
+    Network::reset();
+    for (Router &r : routers_) {
+        for (auto &iu : r.inputs) {
+            for (auto &ivc : iu.vcs) {
+                ivc.fifo.clear();
+                ivc.out_channel = -1;
+                ivc.out_vc = -1;
+            }
+        }
+        for (auto &ou : r.outputs) {
+            for (auto &ovc : ou.vcs) {
+                ovc.owner_input = -1;
+                ovc.owner_vc = -1;
+                ovc.credits = cfg_.vc_buffer_depth;
+            }
+            ou.rr = 0;
+        }
+    }
+    std::fill(channel_flits_.begin(), channel_flits_.end(), 0);
+    for (auto &q : pending_)
+        q.clear();
+    for (auto &slots : inj_pkt_)
+        std::fill(slots.begin(), slots.end(), nullptr);
+    active_cycles_ = 0;
+    ejected_total_ = 0;
+    last_progress_cycle_ = 0;
+    pkt_latency_.reset();
+}
+
+void
+FlitNetwork::injectImpl(Message msg)
 {
     MT_ASSERT(!msg.route.empty(), "flit network needs a route for ",
               msg.src, "->", msg.dst);
@@ -330,8 +365,7 @@ FlitNetwork::eject(int vertex)
                     Message msg = pkt->msg;
                     live_.erase(pkt);
                     eq_.scheduleAfter(0, [this, msg = std::move(msg)] {
-                        MT_ASSERT(deliver_, "no delivery sink");
-                        deliver_(msg);
+                        deliverMsg(msg);
                     });
                 }
             }

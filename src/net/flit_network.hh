@@ -51,7 +51,7 @@ class FlitNetwork : public Network
                 NetworkConfig cfg = {});
     ~FlitNetwork() override;
 
-    void inject(Message msg) override;
+    void reset() override;
 
     /** Flits forwarded over channel @p cid so far (utilization). */
     std::uint64_t channelFlits(int cid) const
@@ -75,6 +75,9 @@ class FlitNetwork : public Network
 
     /** Inject-to-tail-eject latency distribution over all packets. */
     const Summary &packetLatency() const { return pkt_latency_; }
+
+  protected:
+    void injectImpl(Message msg) override;
 
   private:
     struct Packet;

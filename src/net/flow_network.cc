@@ -18,7 +18,16 @@ FlowNetwork::FlowNetwork(sim::EventQueue &eq,
 }
 
 void
-FlowNetwork::inject(Message msg)
+FlowNetwork::reset()
+{
+    Network::reset();
+    std::fill(free_at_.begin(), free_at_.end(), 0);
+    std::fill(busy_time_.begin(), busy_time_.end(), 0);
+    max_queueing_ = 0;
+}
+
+void
+FlowNetwork::injectImpl(Message msg)
 {
     MT_ASSERT(!msg.route.empty(), "flow network needs an explicit "
                                   "route for ", msg.src, "->", msg.dst);
@@ -47,10 +56,8 @@ FlowNetwork::inject(Message msg)
     stats_.inc("head_hops", static_cast<double>(wb.head_flits)
                                 * static_cast<double>(msg.route.size()));
 
-    eq_.scheduleAt(delivery, [this, msg = std::move(msg)] {
-        MT_ASSERT(deliver_, "no delivery sink registered");
-        deliver_(msg);
-    });
+    eq_.scheduleAt(delivery,
+                   [this, msg = std::move(msg)] { deliverMsg(msg); });
 }
 
 } // namespace multitree::net

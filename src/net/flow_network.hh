@@ -40,7 +40,7 @@ class FlowNetwork : public Network
     FlowNetwork(sim::EventQueue &eq, const topo::Topology &topo,
                 NetworkConfig cfg = {});
 
-    void inject(Message msg) override;
+    void reset() override;
 
     /** Busy time accumulated on channel @p cid (for utilization). */
     Tick channelBusy(int cid) const
@@ -50,6 +50,9 @@ class FlowNetwork : public Network
 
     /** Peak queueing delay any message saw waiting for a channel. */
     Tick maxQueueing() const { return max_queueing_; }
+
+  protected:
+    void injectImpl(Message msg) override;
 
   private:
     const topo::Topology &topo_;

@@ -1,0 +1,40 @@
+#include "net/network.hh"
+
+#include "common/logging.hh"
+#include "net/flit_network.hh"
+#include "net/flow_network.hh"
+
+namespace multitree::net {
+
+void
+Network::reset()
+{
+    MT_ASSERT(quiescent(), "network reset with ",
+              injected_ - delivered_, " messages in flight");
+    stats_.clear();
+    injected_ = 0;
+    delivered_ = 0;
+}
+
+void
+Network::deliverMsg(const Message &msg)
+{
+    MT_ASSERT(deliver_, "no delivery sink registered");
+    ++delivered_;
+    deliver_(msg);
+}
+
+std::unique_ptr<Network>
+makeNetwork(BackendKind kind, sim::EventQueue &eq,
+            const topo::Topology &topo, const NetworkConfig &cfg)
+{
+    switch (kind) {
+      case BackendKind::Flow:
+        return std::make_unique<FlowNetwork>(eq, topo, cfg);
+      case BackendKind::Flit:
+        return std::make_unique<FlitNetwork>(eq, topo, cfg);
+    }
+    MT_FATAL("unknown network backend kind");
+}
+
+} // namespace multitree::net

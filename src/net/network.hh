@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/stats.hh"
@@ -21,6 +22,10 @@
 namespace multitree::sim {
 class EventQueue;
 } // namespace multitree::sim
+
+namespace multitree::topo {
+class Topology;
+} // namespace multitree::topo
 
 namespace multitree::net {
 
@@ -62,7 +67,19 @@ struct NetworkConfig {
     std::uint32_t vc_buffer_depth = kVCBufferDepth;
 };
 
-/** Abstract transport. */
+/** Which transport model executes a schedule. */
+enum class BackendKind {
+    Flow, ///< fast per-channel serialization model
+    Flit, ///< cycle-level VC router simulation
+};
+
+/**
+ * Abstract transport. A backend is constructed once per fabric and
+ * reused across collectives: reset() returns it to its
+ * just-constructed state (empty buffers, full credits, zeroed
+ * statistics) so a persistent runtime::Machine can replay runs
+ * bit-identically.
+ */
 class Network
 {
   public:
@@ -72,7 +89,12 @@ class Network
     virtual ~Network() = default;
 
     /** Queue @p msg for transmission starting at the current tick. */
-    virtual void inject(Message msg) = 0;
+    void
+    inject(Message msg)
+    {
+        ++injected_;
+        injectImpl(std::move(msg));
+    }
 
     /** Register the delivery sink (one per simulation). */
     void onDeliver(DeliverFn fn) { deliver_ = std::move(fn); }
@@ -83,15 +105,57 @@ class Network
     /** Configuration in effect. */
     const NetworkConfig &config() const { return cfg_; }
 
+    /**
+     * Switch the wire flow-control flavor for subsequent injections.
+     * Safe only while the fabric is quiescent(); lets one fabric
+     * serve both packet- and message-based collectives.
+     */
+    void setFlowControlMode(FlowControlMode mode) { cfg_.mode = mode; }
+
     /** Aggregate transport statistics (flits, head flits, stalls…). */
     const StatRegistry &stats() const { return stats_; }
 
+    /** Messages injected over the current epoch. */
+    std::uint64_t injected() const { return injected_; }
+
+    /** Messages delivered over the current epoch. */
+    std::uint64_t delivered() const { return delivered_; }
+
+    /** Whether every injected message has been delivered. */
+    bool quiescent() const { return injected_ == delivered_; }
+
+    /**
+     * Return the fabric to its just-constructed state: clear all
+     * statistics and transient transport state. @pre quiescent() and
+     * no transport events pending in the event queue — i.e. call only
+     * between runs, after the queue has drained.
+     */
+    virtual void reset();
+
   protected:
+    /** Backend transmission entry point. */
+    virtual void injectImpl(Message msg) = 0;
+
+    /** Deliver @p msg to the registered sink, counting it. */
+    void deliverMsg(const Message &msg);
+
     sim::EventQueue &eq_;
     NetworkConfig cfg_;
     DeliverFn deliver_;
     StatRegistry stats_;
+    std::uint64_t injected_ = 0;
+    std::uint64_t delivered_ = 0;
 };
+
+/**
+ * Construct the @p kind transport over @p topo, driven by @p eq.
+ * The single place backend selection happens; the runtime's Machine
+ * and any bespoke harness share it.
+ */
+std::unique_ptr<Network> makeNetwork(BackendKind kind,
+                                     sim::EventQueue &eq,
+                                     const topo::Topology &topo,
+                                     const NetworkConfig &cfg = {});
 
 } // namespace multitree::net
 

@@ -6,23 +6,53 @@
 
 namespace multitree::ni {
 
-NicEngine::NicEngine(ScheduleTable table, net::Network &network,
-                     bool lockstep,
-                     std::vector<std::uint64_t> step_estimates,
+NicEngine::NicEngine(int node, net::Network &network,
                      std::uint32_t reduction_bytes_per_cycle)
-    : table_(std::move(table)), net_(network), lockstep_(lockstep),
-      est_(std::move(step_estimates)),
+    : node_(node), net_(network),
       reduction_bw_(reduction_bytes_per_cycle)
 {
+}
+
+void
+NicEngine::loadTable(ScheduleTable table, bool lockstep,
+                     std::vector<std::uint64_t> step_estimates)
+{
+    MT_ASSERT(!started_ || done(), "reprogramming a busy engine: node ",
+              node_, " has issued only ", next_, "/",
+              table_.entries.size(), " entries");
+    MT_ASSERT(table.node == node_, "table for node ", table.node,
+              " loaded into engine ", node_);
+    // Invalidate timers/reduction completions still in flight from
+    // the previous run; they fire as no-ops.
+    ++gen_;
+    timer_armed_ = false;
+    table_ = std::move(table);
+    lockstep_ = lockstep;
+    est_ = std::move(step_estimates);
     if (lockstep_) {
         MT_ASSERT(!est_.empty(),
                   "lockstep pacing needs step estimates");
     }
+    next_ = 0;
+    cur_step_ = 1;
+    window_end_ = 0;
+    started_ = false;
+    nop_windows_ = 0;
+    got_reduce_.clear();
+    got_gather_.clear();
+}
+
+void
+NicEngine::reset()
+{
+    loadTable(ScheduleTable{node_, {}}, false, {});
 }
 
 void
 NicEngine::start()
 {
+    MT_ASSERT(!started_, "engine ", node_, " started twice; "
+              "loadTable() a fresh schedule first");
     started_ = true;
     cur_step_ = 1;
     if (lockstep_)
@@ -65,7 +95,9 @@ NicEngine::stepGateOpen(const TableEntry &e)
     // Gate closed: re-arm a timer at the window boundary.
     if (!timer_armed_) {
         timer_armed_ = true;
-        eq.scheduleAt(window_end_, [this] {
+        eq.scheduleAt(window_end_, [this, g = gen_] {
+            if (g != gen_)
+                return; // stale timer from a reprogrammed run
             timer_armed_ = false;
             pump();
         });
@@ -122,10 +154,13 @@ NicEngine::onMessage(const net::Message &msg)
             Tick delay = ceilDiv(msg.bytes, reduction_bw_);
             int flow = msg.flow_id;
             int src = msg.src;
-            net_.eventQueue().scheduleAfter(delay, [this, flow, src] {
-                got_reduce_[flow].insert(src);
-                pump();
-            });
+            net_.eventQueue().scheduleAfter(
+                delay, [this, flow, src, g = gen_] {
+                    if (g != gen_)
+                        return; // reduction for a reprogrammed run
+                    got_reduce_[flow].insert(src);
+                    pump();
+                });
             return;
         }
         got_reduce_[msg.flow_id].insert(msg.src);

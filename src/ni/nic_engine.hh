@@ -45,25 +45,45 @@ enum : std::uint64_t {
     kTagGather = 1,
 };
 
-/** Per-node schedule execution engine. */
+/**
+ * Per-node schedule execution engine.
+ *
+ * Engines are persistent hardware: one is built per node when the
+ * fabric comes up and reused for every collective. loadTable() swaps
+ * in a fresh compiled table (the software reprogramming the NI SRAM)
+ * and rewinds all per-run state, so back-to-back collectives replay
+ * from identical initial conditions.
+ */
 class NicEngine
 {
   public:
     /**
-     * @param table This node's compiled schedule table.
+     * @param node The node this engine serves (message dispatch id).
      * @param network Transport to inject into.
-     * @param lockstep Enable the NOP/down-counter step pacing.
-     * @param step_estimates Per-step serialization estimates in
-     *        cycles (index 0 = step 1); required when lockstep.
      * @param reduction_bytes_per_cycle Aggregation throughput of the
      *        attached accelerator's reduction logic (Fig. 6 step 4);
      *        0 models the paper's assumption of sufficient compute
      *        bandwidth (aggregation is free).
      */
-    NicEngine(ScheduleTable table, net::Network &network,
-              bool lockstep,
-              std::vector<std::uint64_t> step_estimates,
+    NicEngine(int node, net::Network &network,
               std::uint32_t reduction_bytes_per_cycle = 0);
+
+    /**
+     * Program this node's schedule table for the next run and rewind
+     * all per-run state (timestep counter, dependency scoreboard,
+     * NOP statistics). @pre the engine is idle: never started, or
+     * done() with no pending lockstep timer.
+     *
+     * @param table This node's compiled schedule table.
+     * @param lockstep Enable the NOP/down-counter step pacing.
+     * @param step_estimates Per-step serialization estimates in
+     *        cycles (index 0 = step 1); required when lockstep.
+     */
+    void loadTable(ScheduleTable table, bool lockstep,
+                   std::vector<std::uint64_t> step_estimates);
+
+    /** Drop the loaded table and rewind per-run state. */
+    void reset();
 
     /** Begin issuing at the current simulation time. */
     void start();
@@ -80,6 +100,9 @@ class NicEngine
     /** Number of lockstep NOP windows this node sat through. */
     std::uint64_t nopWindows() const { return nop_windows_; }
 
+    /** The node this engine serves. */
+    int node() const { return node_; }
+
   private:
     /** Issue every ready entry at the table head; re-arms timers. */
     void pump();
@@ -90,11 +113,12 @@ class NicEngine
     /** Advance the timestep counter to cover @p step if allowed. */
     bool stepGateOpen(const TableEntry &e);
 
-    ScheduleTable table_;
+    int node_;
     net::Network &net_;
-    bool lockstep_;
-    std::vector<std::uint64_t> est_;
     std::uint32_t reduction_bw_;
+    ScheduleTable table_;
+    bool lockstep_ = false;
+    std::vector<std::uint64_t> est_;
 
     std::size_t next_ = 0; ///< head-of-table pointer
     int cur_step_ = 1;     ///< timestep counter
@@ -102,6 +126,9 @@ class NicEngine
     bool timer_armed_ = false;
     bool started_ = false;
     std::uint64_t nop_windows_ = 0;
+    /** Run generation; pending timer/reduction events from a
+     *  finished run carry the old value and turn into no-ops. */
+    std::uint64_t gen_ = 0;
 
     /** flow → reduce children received so far. */
     std::unordered_map<int, std::set<int>> got_reduce_;

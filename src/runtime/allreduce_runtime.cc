@@ -1,106 +1,21 @@
 #include "runtime/allreduce_runtime.hh"
 
-#include <memory>
-#include <vector>
-
-#include "coll/algorithm.hh"
-#include "coll/schedule.hh"
-#include "common/logging.hh"
-#include "net/flit_network.hh"
-#include "net/flow_network.hh"
-#include "ni/nic_engine.hh"
-#include "ni/schedule_table.hh"
-#include "sim/event_queue.hh"
-#include "topo/topology.hh"
-
 namespace multitree::runtime {
 
 RunResult
 runAllReduce(const topo::Topology &topo, const coll::Schedule &sched,
              const RunOptions &opts)
 {
-    MT_ASSERT(sched.num_nodes == topo.numNodes(),
-              "schedule/topology node mismatch");
-    sim::EventQueue eq;
-    std::unique_ptr<net::Network> network;
-    switch (opts.backend) {
-      case Backend::Flow:
-        network = std::make_unique<net::FlowNetwork>(eq, topo,
-                                                     opts.net);
-        break;
-      case Backend::Flit:
-        network = std::make_unique<net::FlitNetwork>(eq, topo,
-                                                     opts.net);
-        break;
-    }
-
-    auto tables = ni::buildScheduleTables(sched, topo);
-    // Footnote 4: the lockstep window is the chunk's serialization
-    // latency. The buffer-adjusted variant (est -= NI buffer depth
-    // when the chunk does not fit) lets consecutive steps overlap by
-    // the buffered prefix; it is opt-in because only the cycle-level
-    // backend models the buffers that make that overlap free.
-    auto estimates = sched.stepFlitEstimates();
-    if (opts.buffer_adjusted_estimates) {
-        for (auto &est : estimates) {
-            if (est > opts.net.vc_buffer_depth)
-                est -= opts.net.vc_buffer_depth;
-        }
-    }
-    std::vector<std::unique_ptr<ni::NicEngine>> engines;
-    engines.reserve(tables.size());
-    for (auto &t : tables) {
-        engines.push_back(std::make_unique<ni::NicEngine>(
-            std::move(t), *network, sched.lockstep, estimates,
-            opts.ni_reduction_bw));
-    }
-
-    Tick last_delivery = 0;
-    network->onDeliver([&](const net::Message &msg) {
-        last_delivery = std::max(last_delivery, eq.now());
-        if (opts.trace != nullptr) {
-            opts.trace->push_back(TraceRecord{
-                msg.flow_id, msg.src, msg.dst, msg.bytes,
-                msg.tag == ni::kTagGather, eq.now()});
-        }
-        engines[static_cast<std::size_t>(msg.dst)]->onMessage(msg);
-    });
-
-    for (auto &e : engines)
-        e->start();
-    eq.run();
-
-    RunResult res;
-    for (const auto &e : engines) {
-        MT_ASSERT(e->done(), "NIC engine stalled with ", e->issued(),
-                  " entries issued — schedule deadlock");
-        res.nop_windows += e->nopWindows();
-    }
-    res.time = last_delivery;
-    res.bandwidth = bandwidthGBps(sched.total_bytes, res.time);
-    const auto &st = network->stats();
-    res.messages = static_cast<std::uint64_t>(st.get("messages"));
-    res.payload_flits = st.get("payload_flits");
-    res.head_flits = st.get("head_flits");
-    res.flit_hops = st.get("flit_hops");
-    res.head_hops = st.get("head_hops");
-    return res;
+    Machine machine(topo, opts);
+    return machine.run(sched);
 }
 
 RunResult
 runAllReduce(const topo::Topology &topo, const std::string &algo,
              std::uint64_t bytes, RunOptions opts)
 {
-    std::string name = algo;
-    if (name == "multitree-msg") {
-        name = "multitree";
-        opts.net.mode = net::FlowControlMode::MessageBased;
-    }
-    auto algorithm = coll::makeAlgorithm(name);
-    MT_ASSERT(algorithm->supports(topo), name,
-              " does not support topology ", topo.name());
-    auto sched = algorithm->build(topo, bytes);
-    return runAllReduce(topo, sched, opts);
+    Machine machine(topo, opts);
+    return machine.run(algo, bytes);
 }
 
 } // namespace multitree::runtime

@@ -1,12 +1,11 @@
 /**
  * @file
- * The all-reduce runtime: compiles a Schedule into per-node tables,
- * instantiates a network backend and one NIC engine per node, runs
- * the discrete-event simulation to completion and reports timing.
- *
- * This is the programmatic entry point used by the examples and every
- * benchmark: one call simulates one all-reduce on one topology under
- * one algorithm and flow-control mode.
+ * Single-shot all-reduce entry points, kept for convenience: each
+ * call builds a throwaway runtime::Machine, runs one collective and
+ * tears the fabric down. Anything running more than one collective —
+ * benchmarks sweeping sizes, the trainer iterating layers — should
+ * hold a Machine and reuse it (see runtime/machine.hh); results are
+ * bit-identical either way.
  */
 
 #ifndef MULTITREE_RUNTIME_ALLREDUCE_RUNTIME_HH
@@ -14,75 +13,21 @@
 
 #include <cstdint>
 #include <string>
-#include <vector>
 
-#include "common/units.hh"
-#include "net/network.hh"
-
-namespace multitree::topo {
-class Topology;
-} // namespace multitree::topo
-
-namespace multitree::coll {
-class Schedule;
-} // namespace multitree::coll
+#include "runtime/machine.hh"
 
 namespace multitree::runtime {
 
-/** Which transport model executes the schedule. */
-enum class Backend {
-    Flow, ///< fast per-channel serialization model
-    Flit, ///< cycle-level VC router simulation
-};
-
-/** One delivered transfer, for offline analysis/plotting. */
-struct TraceRecord {
-    int flow = -1;
-    int src = -1;
-    int dst = -1;
-    std::uint64_t bytes = 0;
-    bool gather = false; ///< false = reduce-phase message
-    Tick delivered = 0;
-};
-
-/** Knobs for one simulated all-reduce. */
-struct RunOptions {
-    Backend backend = Backend::Flow;
-    net::NetworkConfig net; ///< includes the flow-control mode
-    /** NI reduction throughput in bytes/cycle; 0 = unlimited. */
-    std::uint32_t ni_reduction_bw = 0;
-    /**
-     * Footnote-4 buffer-adjusted lockstep estimates: shrink each
-     * step window by the NI buffer depth when the chunk exceeds it.
-     * Meaningful with the Flit backend, whose buffers absorb the
-     * resulting inter-step overlap.
-     */
-    bool buffer_adjusted_estimates = false;
-    /** When non-null, every delivery is appended here. */
-    std::vector<TraceRecord> *trace = nullptr;
-};
-
-/** Timing and transport statistics of one all-reduce. */
-struct RunResult {
-    Tick time = 0;           ///< completion (last gather delivery), ns
-    double bandwidth = 0;    ///< algorithm bandwidth: bytes/time, GB/s
-    std::uint64_t messages = 0;
-    double payload_flits = 0;
-    double head_flits = 0;
-    double flit_hops = 0;    ///< total flit-hops (energy datapath)
-    double head_hops = 0;    ///< head-flit hops (energy control)
-    std::uint64_t nop_windows = 0; ///< lockstep NOP stalls across NIs
-};
-
-/** Simulate @p sched over @p topo. */
+/** Simulate @p sched over @p topo on a fresh single-use fabric. */
 RunResult runAllReduce(const topo::Topology &topo,
                        const coll::Schedule &sched,
                        const RunOptions &opts = {});
 
 /**
  * Convenience wrapper: build the named algorithm's schedule for
- * @p bytes and simulate it. `algo` accepts the registry names plus
- * "multitree-msg" (MultiTree with message-based flow control).
+ * @p bytes and simulate it. `algo` resolves through the variant
+ * registry, so names like "multitree-msg" carry their flow-control
+ * override automatically.
  */
 RunResult runAllReduce(const topo::Topology &topo,
                        const std::string &algo, std::uint64_t bytes,

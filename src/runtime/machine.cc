@@ -1,0 +1,237 @@
+#include "runtime/machine.hh"
+
+#include <utility>
+
+#include "coll/algorithm.hh"
+#include "coll/schedule.hh"
+#include "common/logging.hh"
+#include "ni/schedule_table.hh"
+#include "topo/topology.hh"
+
+namespace multitree::runtime {
+
+Machine::Machine(const topo::Topology &topo, const RunOptions &opts)
+    : topo_(topo), opts_(opts)
+{
+    // Fail at bring-up, not mid-run: a bad parameter combination
+    // would otherwise surface as a mysterious stall or divide fault
+    // deep inside a backend.
+    MT_ASSERT(opts_.net.vc_buffer_depth > 0,
+              "vc_buffer_depth must be positive (credit flow control "
+              "deadlocks with zero-depth buffers)");
+    MT_ASSERT(opts_.net.flit_bytes > 0
+                  && opts_.net.packet_payload % opts_.net.flit_bytes
+                         == 0,
+              "flit_bytes (", opts_.net.flit_bytes,
+              ") must divide packet_payload (",
+              opts_.net.packet_payload,
+              ") so packets fragment into whole flits");
+    MT_ASSERT(!(opts_.buffer_adjusted_estimates
+                && opts_.backend == Backend::Flow),
+              "buffer_adjusted_estimates models NI buffering that "
+              "only the Flit backend simulates; use Backend::Flit");
+
+    network_ = net::makeNetwork(opts_.backend, eq_, topo_, opts_.net);
+    network_->onDeliver(
+        [this](const net::Message &msg) { onDelivery(msg); });
+
+    const int n = topo_.numNodes();
+    engines_.reserve(static_cast<std::size_t>(n));
+    for (int v = 0; v < n; ++v) {
+        engines_.push_back(std::make_unique<ni::NicEngine>(
+            v, *network_, opts_.ni_reduction_bw));
+    }
+}
+
+Machine::~Machine() = default;
+
+RunResult
+Machine::run(const coll::Schedule &sched, const RunOverrides &ov)
+{
+    beginEpoch();
+    RunResult out;
+    bool completed = false;
+    post(
+        sched,
+        [&](const RunResult &r) {
+            out = r;
+            completed = true;
+        },
+        ov);
+    drain();
+    MT_ASSERT(completed, "collective did not complete");
+    return out;
+}
+
+RunResult
+Machine::run(const std::string &algo, std::uint64_t bytes,
+             RunOverrides ov)
+{
+    const auto &variant = coll::findAlgorithmVariant(algo);
+    if (!ov.flow_control)
+        ov.flow_control = variant.flow_control;
+    auto algorithm = coll::makeAlgorithm(variant.base);
+    MT_ASSERT(algorithm->supports(topo_), algo,
+              " does not support topology ", topo_.name());
+    return run(algorithm->build(topo_, bytes), ov);
+}
+
+void
+Machine::beginEpoch()
+{
+    MT_ASSERT(idle(), "beginEpoch with a collective still ",
+              active_ ? "running" : "queued");
+    for (auto &e : engines_)
+        e->reset();
+    network_->reset();
+    network_->setFlowControlMode(opts_.net.mode);
+    eq_.reset();
+}
+
+void
+Machine::post(const coll::Schedule &sched, CompletionFn on_complete,
+              RunOverrides ov)
+{
+    MT_ASSERT(sched.num_nodes == topo_.numNodes(),
+              "schedule/topology node mismatch");
+    PendingRun pr;
+    pr.tables = ni::buildScheduleTables(sched, topo_);
+    // Footnote 4: the lockstep window is the chunk's serialization
+    // latency. The buffer-adjusted variant (est -= NI buffer depth
+    // when the chunk does not fit) lets consecutive steps overlap by
+    // the buffered prefix; it is opt-in because only the cycle-level
+    // backend models the buffers that make that overlap free.
+    pr.estimates = sched.stepFlitEstimates();
+    if (opts_.buffer_adjusted_estimates) {
+        for (auto &est : pr.estimates) {
+            if (est > opts_.net.vc_buffer_depth)
+                est -= opts_.net.vc_buffer_depth;
+        }
+    }
+    pr.lockstep = sched.lockstep;
+    pr.total_bytes = sched.total_bytes;
+    pr.mode = ov.flow_control.value_or(opts_.net.mode);
+    pr.done = std::move(on_complete);
+    queue_.push_back(std::move(pr));
+    if (!active_)
+        startNext();
+}
+
+void
+Machine::scheduleAt(Tick when, std::function<void()> fn)
+{
+    eq_.scheduleAt(when, std::move(fn));
+}
+
+Tick
+Machine::drain()
+{
+    eq_.run();
+    if (!idle()) {
+        for (const auto &e : engines_) {
+            MT_ASSERT(e->done(), "NIC engine stalled with ",
+                      e->issued(),
+                      " entries issued — schedule deadlock");
+        }
+        MT_FATAL("collective stalled: fabric not quiescent at drain "
+                 "(injected ", network_->injected(), ", delivered ",
+                 network_->delivered(), ")");
+    }
+    return eq_.now();
+}
+
+void
+Machine::startNext()
+{
+    MT_ASSERT(!active_ && !queue_.empty(), "startNext while ",
+              active_ ? "active" : "empty");
+    PendingRun pr = std::move(queue_.front());
+    queue_.pop_front();
+
+    active_ = true;
+    active_start_ = eq_.now();
+    active_bytes_ = pr.total_bytes;
+    active_done_ = std::move(pr.done);
+    stat_base_ = network_->stats().all();
+
+    MT_ASSERT(network_->quiescent(),
+              "starting a collective on a non-quiescent fabric");
+    network_->setFlowControlMode(pr.mode);
+
+    MT_ASSERT(pr.tables.size() == engines_.size(),
+              "table/engine count mismatch");
+    for (std::size_t i = 0; i < pr.tables.size(); ++i) {
+        engines_[i]->loadTable(std::move(pr.tables[i]), pr.lockstep,
+                               pr.estimates);
+    }
+    for (auto &e : engines_)
+        e->start();
+    // Degenerate schedules (no flows) complete without a single
+    // delivery; everything else finishes inside onDelivery().
+    maybeComplete();
+}
+
+void
+Machine::onDelivery(const net::Message &msg)
+{
+    if (opts_.trace != nullptr) {
+        opts_.trace->push_back(TraceRecord{
+            msg.flow_id, msg.src, msg.dst, msg.bytes,
+            msg.tag == ni::kTagGather, eq_.now()});
+    }
+    engines_[static_cast<std::size_t>(msg.dst)]->onMessage(msg);
+    maybeComplete();
+}
+
+void
+Machine::maybeComplete()
+{
+    if (!active_ || !network_->quiescent())
+        return;
+    for (const auto &e : engines_) {
+        if (!e->done())
+            return;
+    }
+    completeActive();
+}
+
+void
+Machine::completeActive()
+{
+    RunResult res;
+    res.time = eq_.now() - active_start_;
+    res.bandwidth = bandwidthGBps(active_bytes_, res.time);
+    // Per-run stat scoping: report this run's delta over the
+    // snapshot taken at its start, not the fabric's lifetime totals.
+    const auto &st = network_->stats();
+    auto delta = [&](const char *name) {
+        auto it = stat_base_.find(name);
+        double base = it == stat_base_.end() ? 0.0 : it->second;
+        return st.get(name) - base;
+    };
+    res.messages = static_cast<std::uint64_t>(delta("messages"));
+    res.payload_flits = delta("payload_flits");
+    res.head_flits = delta("head_flits");
+    res.flit_hops = delta("flit_hops");
+    res.head_hops = delta("head_hops");
+    for (const auto &e : engines_)
+        res.nop_windows += e->nopWindows();
+
+    ++runs_completed_;
+    lifetime_.inc("runs");
+    lifetime_.inc("time", static_cast<double>(res.time));
+    lifetime_.inc("bytes", static_cast<double>(active_bytes_));
+    lifetime_.inc("messages", static_cast<double>(res.messages));
+    lifetime_.inc("nop_windows",
+                  static_cast<double>(res.nop_windows));
+
+    active_ = false;
+    CompletionFn done = std::move(active_done_);
+    active_done_ = nullptr;
+    if (done)
+        done(res);
+    if (!queue_.empty())
+        startNext();
+}
+
+} // namespace multitree::runtime

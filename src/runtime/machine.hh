@@ -1,0 +1,212 @@
+/**
+ * @file
+ * The persistent machine model: one fabric, many collectives.
+ *
+ * A Machine binds a topology to a simulation kernel, a network
+ * backend (through net::makeNetwork) and one ni::NicEngine per node —
+ * constructed once and reused for every collective, the way real
+ * hardware stays up between training iterations. Each run loads
+ * fresh schedule tables into the existing engines and scopes its
+ * statistics, so per-run flit/hop counters are deltas rather than
+ * lifetime aggregates.
+ *
+ * Two entry points:
+ *  - run(): the session API for one collective at a time — resets
+ *    the fabric to logical time zero, executes, and returns a
+ *    RunResult bit-identical to a fresh single-shot simulation.
+ *  - post()/scheduleAt()/drain(): the asynchronous API for workloads
+ *    that interleave compute and communication on one shared time
+ *    axis (the trainer's compute/communication overlap, Fig. 11b).
+ *    Posted collectives execute back-to-back in FIFO order; compute
+ *    events ride the same event queue.
+ */
+
+#ifndef MULTITREE_RUNTIME_MACHINE_HH
+#define MULTITREE_RUNTIME_MACHINE_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/units.hh"
+#include "net/network.hh"
+#include "ni/nic_engine.hh"
+#include "sim/event_queue.hh"
+
+namespace multitree::topo {
+class Topology;
+} // namespace multitree::topo
+
+namespace multitree::coll {
+class Schedule;
+} // namespace multitree::coll
+
+namespace multitree::runtime {
+
+/** Which transport model executes the schedule. */
+using Backend = net::BackendKind;
+
+/** One delivered transfer, for offline analysis/plotting. */
+struct TraceRecord {
+    int flow = -1;
+    int src = -1;
+    int dst = -1;
+    std::uint64_t bytes = 0;
+    bool gather = false; ///< false = reduce-phase message
+    Tick delivered = 0;
+};
+
+/** Knobs fixed for the lifetime of a Machine. */
+struct RunOptions {
+    Backend backend = Backend::Flow;
+    net::NetworkConfig net; ///< includes the flow-control mode
+    /** NI reduction throughput in bytes/cycle; 0 = unlimited. */
+    std::uint32_t ni_reduction_bw = 0;
+    /**
+     * Footnote-4 buffer-adjusted lockstep estimates: shrink each
+     * step window by the NI buffer depth when the chunk exceeds it.
+     * Requires the Flit backend, whose buffers absorb the resulting
+     * inter-step overlap.
+     */
+    bool buffer_adjusted_estimates = false;
+    /** When non-null, every delivery is appended here. */
+    std::vector<TraceRecord> *trace = nullptr;
+};
+
+/** Per-collective tweaks layered over the Machine's RunOptions. */
+struct RunOverrides {
+    /** Flow control for this run (algorithm variants set this). */
+    std::optional<net::FlowControlMode> flow_control;
+};
+
+/** Timing and transport statistics of one collective run. */
+struct RunResult {
+    Tick time = 0;           ///< completion (last gather delivery), ns
+    double bandwidth = 0;    ///< algorithm bandwidth: bytes/time, GB/s
+    std::uint64_t messages = 0;
+    double payload_flits = 0;
+    double head_flits = 0;
+    double flit_hops = 0;    ///< total flit-hops (energy datapath)
+    double head_hops = 0;    ///< head-flit hops (energy control)
+    std::uint64_t nop_windows = 0; ///< lockstep NOP stalls across NIs
+};
+
+/** Invoked at a posted collective's completion tick. */
+using CompletionFn = std::function<void(const RunResult &)>;
+
+/**
+ * A topology bound to a reusable simulation fabric. Construction
+ * validates the RunOptions/NetworkConfig combination and builds the
+ * event queue, backend and NIC engines exactly once.
+ */
+class Machine
+{
+  public:
+    Machine(const topo::Topology &topo, const RunOptions &opts = {});
+    ~Machine();
+
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
+
+    /**
+     * Simulate @p sched from a fresh logical time zero and return
+     * its scoped result. Equivalent to (and bit-identical with) a
+     * single-shot runAllReduce on a newly built fabric.
+     * @pre idle() — no epoch in progress.
+     */
+    RunResult run(const coll::Schedule &sched,
+                  const RunOverrides &ov = {});
+
+    /**
+     * Build the named algorithm's schedule for @p bytes and run it.
+     * @p algo resolves through coll::findAlgorithmVariant, so
+     * variants like "multitree-msg" carry their flow-control
+     * override automatically.
+     */
+    RunResult run(const std::string &algo, std::uint64_t bytes,
+                  RunOverrides ov = {});
+
+    /**
+     * Start a new epoch for the asynchronous API: rewind the event
+     * queue to logical time zero and return the fabric (network
+     * state, engine scoreboards, statistics) to its
+     * just-constructed state. @pre idle() and the queue has drained.
+     */
+    void beginEpoch();
+
+    /**
+     * Enqueue @p sched on the shared time axis. Starts immediately
+     * if the fabric is idle, otherwise when the preceding posted
+     * collective completes; @p on_complete (if any) fires at its
+     * completion tick with the scoped result.
+     */
+    void post(const coll::Schedule &sched,
+              CompletionFn on_complete = nullptr,
+              RunOverrides ov = {});
+
+    /** Schedule a compute-side event at absolute tick @p when. */
+    void scheduleAt(Tick when, std::function<void()> fn);
+
+    /**
+     * Run the event queue to completion and return the final tick.
+     * Fatal if a posted collective cannot finish (schedule
+     * deadlock).
+     */
+    Tick drain();
+
+    /** Whether no collective is running or queued. */
+    bool idle() const { return !active_ && queue_.empty(); }
+
+    const topo::Topology &topology() const { return topo_; }
+    const RunOptions &options() const { return opts_; }
+    sim::EventQueue &eventQueue() { return eq_; }
+    net::Network &network() { return *network_; }
+
+    /** Collectives completed over this machine's lifetime. */
+    std::uint64_t runsCompleted() const { return runs_completed_; }
+
+    /** Lifetime aggregates across runs (runs, time, messages…). */
+    const StatRegistry &lifetimeStats() const { return lifetime_; }
+
+  private:
+    struct PendingRun {
+        std::vector<ni::ScheduleTable> tables;
+        std::vector<std::uint64_t> estimates;
+        bool lockstep = false;
+        std::uint64_t total_bytes = 0;
+        net::FlowControlMode mode = net::FlowControlMode::PacketBased;
+        CompletionFn done;
+    };
+
+    void onDelivery(const net::Message &msg);
+    void startNext();
+    void maybeComplete();
+    void completeActive();
+
+    const topo::Topology &topo_;
+    RunOptions opts_;
+    sim::EventQueue eq_;
+    std::unique_ptr<net::Network> network_;
+    std::vector<std::unique_ptr<ni::NicEngine>> engines_;
+
+    std::deque<PendingRun> queue_;
+    bool active_ = false;
+    Tick active_start_ = 0;
+    std::uint64_t active_bytes_ = 0;
+    CompletionFn active_done_;
+    /** Network stats at the active run's start (per-run scoping). */
+    std::map<std::string, double> stat_base_;
+
+    std::uint64_t runs_completed_ = 0;
+    StatRegistry lifetime_;
+};
+
+} // namespace multitree::runtime
+
+#endif // MULTITREE_RUNTIME_MACHINE_HH

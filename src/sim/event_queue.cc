@@ -41,6 +41,15 @@ EventQueue::runUntil(Tick until)
     return ran;
 }
 
+void
+EventQueue::reset()
+{
+    MT_ASSERT(heap_.empty(), "epoch reset with ", heap_.size(),
+              " events still pending");
+    now_ = 0;
+    ++epoch_;
+}
+
 bool
 EventQueue::step()
 {

@@ -7,6 +7,11 @@
  * (lower runs first) and then by insertion order, which keeps runs
  * deterministic. Components schedule closures; there is no global
  * singleton — every simulation owns its queue.
+ *
+ * Queues are reusable across simulation runs: once drained, reset()
+ * begins a new epoch with now() back at logical time zero, so a
+ * persistent runtime::Machine replays collectives from identical
+ * initial conditions without rebuilding the kernel.
  */
 
 #ifndef MULTITREE_SIM_EVENT_QUEUE_HH
@@ -78,6 +83,18 @@ class EventQueue
     /** Total events executed over the queue's lifetime. */
     std::uint64_t executed() const { return executed_; }
 
+    /**
+     * Begin a new epoch: rewind now() to logical time zero so the
+     * next run schedules from the same origin as a fresh queue.
+     * @pre empty() — an epoch may only start once the previous run
+     * has drained. Lifetime counters (executed(), epoch()) advance
+     * monotonically across epochs.
+     */
+    void reset();
+
+    /** Epochs started so far (0 until the first reset()). */
+    std::uint64_t epoch() const { return epoch_; }
+
   private:
     struct Entry {
         Tick when;
@@ -102,6 +119,7 @@ class EventQueue
     Tick now_ = 0;
     std::uint64_t next_seq_ = 0;
     std::uint64_t executed_ = 0;
+    std::uint64_t epoch_ = 0;
 };
 
 } // namespace multitree::sim

@@ -2,8 +2,13 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
+#include <vector>
 
+#include "coll/algorithm.hh"
+#include "coll/schedule.hh"
 #include "common/logging.hh"
+#include "runtime/machine.hh"
 #include "topo/topology.hh"
 
 namespace multitree::train {
@@ -11,38 +16,78 @@ namespace multitree::train {
 namespace {
 
 /**
- * All-reduce simulation memoized by payload size — layer sizes repeat
- * heavily (ResNet stages, Transformer blocks), and each distinct size
- * only needs one simulation per (topology, algorithm).
+ * One persistent fabric serving every all-reduce of an iteration
+ * evaluation. Schedules are compiled once per distinct payload size —
+ * layer sizes repeat heavily (ResNet stages, Transformer blocks) —
+ * and isolated single-shot timings are memoized; the same compiled
+ * schedules then feed the event-driven overlap session.
  */
-class AllReduceOracle
+class AllReduceSession
 {
   public:
-    AllReduceOracle(const topo::Topology &topo, std::string algo,
-                    const runtime::RunOptions &run)
-        : topo_(topo), algo_(std::move(algo)), run_(run)
-    {}
+    AllReduceSession(const topo::Topology &topo,
+                     const std::string &algo,
+                     const runtime::RunOptions &run)
+        : machine_(topo, run),
+          variant_(coll::findAlgorithmVariant(algo)),
+          algorithm_(coll::makeAlgorithm(variant_.base))
+    {
+        MT_ASSERT(algorithm_->supports(topo), algo,
+                  " does not support topology ", topo.name());
+    }
 
+    /** Round up to whole elements; tiny layers still pay latency. */
+    static std::uint64_t
+    roundBytes(std::uint64_t bytes)
+    {
+        return std::max<std::uint64_t>(4, (bytes + 3) / 4 * 4);
+    }
+
+    /** The compiled schedule for a @p bytes all-reduce (cached). */
+    const coll::Schedule &
+    schedule(std::uint64_t bytes)
+    {
+        bytes = roundBytes(bytes);
+        auto it = schedules_.find(bytes);
+        if (it == schedules_.end()) {
+            it = schedules_
+                     .emplace(bytes, algorithm_->build(
+                                         machine_.topology(), bytes))
+                     .first;
+        }
+        return it->second;
+    }
+
+    /** Isolated (fresh-epoch) completion time of one all-reduce. */
     Tick
     time(std::uint64_t bytes)
     {
         if (bytes == 0)
             return 0;
-        // Round up to whole elements; tiny layers still pay latency.
-        bytes = std::max<std::uint64_t>(4, (bytes + 3) / 4 * 4);
-        auto it = cache_.find(bytes);
-        if (it != cache_.end())
+        auto it = times_.find(roundBytes(bytes));
+        if (it != times_.end())
             return it->second;
-        Tick t = runtime::runAllReduce(topo_, algo_, bytes, run_).time;
-        cache_.emplace(bytes, t);
+        Tick t = machine_.run(schedule(bytes), overrides()).time;
+        times_.emplace(roundBytes(bytes), t);
         return t;
     }
 
+    runtime::RunOverrides
+    overrides() const
+    {
+        runtime::RunOverrides ov;
+        ov.flow_control = variant_.flow_control;
+        return ov;
+    }
+
+    runtime::Machine &machine() { return machine_; }
+
   private:
-    const topo::Topology &topo_;
-    std::string algo_;
-    runtime::RunOptions run_;
-    std::map<std::uint64_t, Tick> cache_;
+    runtime::Machine machine_;
+    coll::AlgorithmVariant variant_;
+    std::unique_ptr<coll::Algorithm> algorithm_;
+    std::map<std::uint64_t, coll::Schedule> schedules_;
+    std::map<std::uint64_t, Tick> times_;
 };
 
 } // namespace
@@ -56,44 +101,68 @@ evaluateIteration(const accel::DnnModel &model,
     auto compute = accel::modelCompute(model, opts.accel);
     t.fwd = compute.fwd;
     t.bwd = compute.bwd;
-    AllReduceOracle oracle(topo, algo, opts.run);
+    AllReduceSession session(topo, algo, opts.run);
 
     // Non-overlapped: one all-reduce of the full gradient.
-    t.allreduce = oracle.time(model.gradientBytes());
+    t.allreduce = session.time(model.gradientBytes());
     t.total_nonoverlap = t.fwd + t.bwd + t.allreduce;
 
     // Overlapped: layers enter the all-reduce queue as their backward
-    // finishes (last layer first); the network runs them in order.
-    // With bucketing, consecutive layers fuse until the bucket fills;
-    // a bucket is ready when its *last-finishing* (front-most) layer
-    // finishes backward.
-    Tick comm_end = 0;
-    Tick bwd_total = compute.bwd;
-    std::uint64_t bucket = 0;
-    Tick bucket_ready = 0;
-    auto flush = [&](std::uint64_t bytes, Tick ready) {
-        if (bytes == 0)
-            return;
-        Tick ar = oracle.time(bytes);
-        t.comm_layerwise += ar;
-        comm_end = std::max(comm_end, ready) + ar;
+    // finishes (last layer first). With bucketing, consecutive layers
+    // fuse until the bucket fills; a bucket is ready when its
+    // *last-finishing* (front-most) layer finishes backward.
+    struct Bucket {
+        std::uint64_t bytes = 0;
+        Tick ready = 0;
     };
+    std::vector<Bucket> buckets;
+    Bucket cur;
     for (std::size_t i = model.layers.size(); i-- > 0;) {
         const auto &layer = model.layers[i];
         if (layer.params == 0)
             continue;
         // bwd_finish[i] is the offset from backward start.
-        Tick ready = t.fwd + compute.bwd_finish[i];
-        bucket += layer.gradientBytes();
-        bucket_ready = std::max(bucket_ready, ready);
-        if (opts.bucket_bytes == 0 || bucket >= opts.bucket_bytes) {
-            flush(bucket, bucket_ready);
-            bucket = 0;
-            bucket_ready = 0;
+        cur.bytes += layer.gradientBytes();
+        cur.ready =
+            std::max(cur.ready, t.fwd + compute.bwd_finish[i]);
+        if (opts.bucket_bytes == 0 || cur.bytes >= opts.bucket_bytes) {
+            buckets.push_back(cur);
+            cur = Bucket{};
         }
     }
-    flush(bucket, bucket_ready);
-    Tick compute_end = t.fwd + bwd_total;
+    if (cur.bytes > 0)
+        buckets.push_back(cur);
+
+    // The layer-wise sum uses isolated timings (this also compiles
+    // and caches every distinct bucket schedule up front).
+    for (const auto &b : buckets)
+        t.comm_layerwise += session.time(b.bytes);
+
+    // Event-driven overlap on one shared time axis: each bucket's
+    // collective is posted at its gradient-ready tick and the fabric
+    // serializes them back-to-back, exactly the behaviour of a
+    // persistent NI under a training framework's comm thread.
+    Tick comm_end = 0;
+    if (!buckets.empty()) {
+        auto &m = session.machine();
+        m.beginEpoch();
+        for (const auto &b : buckets) {
+            const coll::Schedule &sched = session.schedule(b.bytes);
+            m.scheduleAt(
+                b.ready, [&m, &sched, &comm_end,
+                          ov = session.overrides()] {
+                    m.post(
+                        sched,
+                        [&m, &comm_end](const runtime::RunResult &) {
+                            comm_end = m.eventQueue().now();
+                        },
+                        ov);
+                });
+        }
+        m.drain();
+    }
+
+    Tick compute_end = t.fwd + compute.bwd;
     t.total_overlap = std::max(compute_end, comm_end);
     t.exposed_comm = t.total_overlap - compute_end;
     t.overlap_hidden = t.comm_layerwise - t.exposed_comm;

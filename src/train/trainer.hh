@@ -10,6 +10,13 @@
  *    queued for all-reduce the moment its backward pass finishes, so
  *    communication hides under the remaining back-propagation
  *    (Fig. 11b). The network serializes the queued collectives.
+ *
+ * Both modes share one persistent runtime::Machine per evaluation.
+ * Isolated per-layer timings come from fresh-epoch session runs
+ * (memoized by payload size); the overlapped mode then replays the
+ * cached schedules event-driven on the shared time axis — gradient-
+ * ready compute events post collectives onto the live fabric, which
+ * executes them back-to-back.
  */
 
 #ifndef MULTITREE_TRAIN_TRAINER_HH

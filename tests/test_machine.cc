@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Tests for the persistent Machine runtime: fabric reuse across
+ * back-to-back collectives, per-run stat scoping, the asynchronous
+ * post()/drain() session API, construction-time option validation,
+ * and the algorithm-variant registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "coll/algorithm.hh"
+#include "runtime/allreduce_runtime.hh"
+#include "runtime/machine.hh"
+#include "topo/factory.hh"
+
+namespace multitree {
+namespace {
+
+void
+expectSameResult(const runtime::RunResult &a,
+                 const runtime::RunResult &b)
+{
+    EXPECT_EQ(a.time, b.time);
+    EXPECT_DOUBLE_EQ(a.bandwidth, b.bandwidth);
+    EXPECT_EQ(a.messages, b.messages);
+    EXPECT_DOUBLE_EQ(a.payload_flits, b.payload_flits);
+    EXPECT_DOUBLE_EQ(a.head_flits, b.head_flits);
+    EXPECT_DOUBLE_EQ(a.flit_hops, b.flit_hops);
+    EXPECT_DOUBLE_EQ(a.head_hops, b.head_hops);
+    EXPECT_EQ(a.nop_windows, b.nop_windows);
+}
+
+class MachineReuse
+    : public ::testing::TestWithParam<runtime::Backend>
+{};
+
+// The headline reuse guarantee: a Machine running N consecutive
+// collectives yields per-run results bit-identical to N fresh
+// single-shot simulations — for every registered variant, under both
+// backends, including a repeat after the whole sweep (no state leaks
+// across runs).
+TEST_P(MachineReuse, BackToBackMatchesFreshForEveryVariant)
+{
+    auto topo = topo::makeTopology("torus-4x4");
+    runtime::RunOptions opts;
+    opts.backend = GetParam();
+    const std::uint64_t bytes =
+        GetParam() == runtime::Backend::Flit ? 32 * KiB : 256 * KiB;
+
+    runtime::Machine machine(*topo, opts);
+    for (const auto &v : coll::algorithmVariants()) {
+        if (!coll::makeAlgorithm(v.base)->supports(*topo))
+            continue;
+        SCOPED_TRACE(v.name);
+        auto fresh =
+            runtime::runAllReduce(*topo, v.name, bytes, opts);
+        expectSameResult(machine.run(v.name, bytes), fresh);
+    }
+    // Rerunning the first algorithm after the sweep (including the
+    // message-based variant in between) still matches fresh.
+    auto fresh = runtime::runAllReduce(*topo, "ring", bytes, opts);
+    expectSameResult(machine.run("ring", bytes), fresh);
+    EXPECT_TRUE(machine.idle());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, MachineReuse,
+    ::testing::Values(runtime::Backend::Flow,
+                      runtime::Backend::Flit),
+    [](const ::testing::TestParamInfo<runtime::Backend> &info) {
+        return info.param == runtime::Backend::Flow ? "Flow"
+                                                    : "Flit";
+    });
+
+TEST(Machine, FlowControlOverrideDoesNotStick)
+{
+    auto topo = topo::makeTopology("torus-4x4");
+    runtime::Machine machine(*topo);
+    auto pkt = machine.run("multitree", 256 * KiB);
+    auto msg = machine.run("multitree-msg", 256 * KiB);
+    // One head flit per message instead of one per 256 B packet.
+    EXPECT_LT(msg.head_flits, pkt.head_flits);
+    // The per-run override is gone on the next run.
+    auto pkt2 = machine.run("multitree", 256 * KiB);
+    expectSameResult(pkt2, pkt);
+}
+
+TEST(Machine, LifetimeStatsAccumulateAcrossScopedRuns)
+{
+    auto topo = topo::makeTopology("torus-4x4");
+    runtime::Machine machine(*topo);
+    auto a = machine.run("ring", 64 * KiB);
+    auto b = machine.run("dbtree", 64 * KiB);
+    EXPECT_EQ(machine.runsCompleted(), 2u);
+    EXPECT_DOUBLE_EQ(machine.lifetimeStats().get("runs"), 2.0);
+    EXPECT_DOUBLE_EQ(machine.lifetimeStats().get("messages"),
+                     static_cast<double>(a.messages + b.messages));
+    // run() opens a fresh epoch, so the fabric-level counters hold
+    // only the latest run; cross-run accumulation lives in the
+    // machine's lifetime registry above.
+    EXPECT_DOUBLE_EQ(machine.network().stats().get("messages"),
+                     static_cast<double>(b.messages));
+}
+
+TEST(Machine, TraceCollectsAcrossReuse)
+{
+    auto topo = topo::makeTopology("torus-4x4");
+    std::vector<runtime::TraceRecord> trace;
+    runtime::RunOptions opts;
+    opts.trace = &trace;
+    runtime::Machine machine(*topo, opts);
+    auto a = machine.run("ring", 64 * KiB);
+    EXPECT_EQ(trace.size(), a.messages);
+    EXPECT_EQ(trace.back().delivered, a.time);
+    auto b = machine.run("ring", 64 * KiB);
+    EXPECT_EQ(trace.size(), a.messages + b.messages);
+}
+
+TEST(MachineSession, PostedCollectivesRunBackToBack)
+{
+    auto topo = topo::makeTopology("torus-4x4");
+    runtime::Machine machine(*topo);
+    auto algo = coll::makeAlgorithm("multitree");
+    auto sched = algo->build(*topo, 64 * KiB);
+    auto solo = machine.run(sched);
+
+    machine.beginEpoch();
+    std::vector<runtime::RunResult> results;
+    std::vector<Tick> ends;
+    auto record = [&](const runtime::RunResult &r) {
+        results.push_back(r);
+        ends.push_back(machine.eventQueue().now());
+    };
+    machine.post(sched, record);
+    machine.post(sched, record);
+    EXPECT_FALSE(machine.idle());
+    Tick final = machine.drain();
+
+    ASSERT_EQ(results.size(), 2u);
+    // First collective: identical timing to a solo run; second:
+    // starts the moment the first completes, and the warm-but-idle
+    // fabric gives it the same duration.
+    EXPECT_EQ(results[0].time, solo.time);
+    EXPECT_EQ(ends[0], solo.time);
+    EXPECT_EQ(results[1].time, solo.time);
+    EXPECT_EQ(ends[1], 2 * solo.time);
+    EXPECT_EQ(final, ends[1]);
+    expectSameResult(results[0], solo);
+    expectSameResult(results[1], solo);
+    EXPECT_TRUE(machine.idle());
+    EXPECT_EQ(machine.runsCompleted(), 3u);
+}
+
+TEST(MachineSession, ComputeEventsShareTheTimeAxis)
+{
+    auto topo = topo::makeTopology("torus-4x4");
+    runtime::Machine machine(*topo);
+    auto algo = coll::makeAlgorithm("multitree");
+    auto sched = algo->build(*topo, 64 * KiB);
+    auto solo = machine.run(sched);
+
+    // A "gradient ready" compute event at tick 1000 posts the
+    // collective; it completes 1000 + solo.time later.
+    machine.beginEpoch();
+    Tick comm_end = 0;
+    machine.scheduleAt(1000, [&] {
+        machine.post(sched, [&](const runtime::RunResult &) {
+            comm_end = machine.eventQueue().now();
+        });
+    });
+    machine.drain();
+    EXPECT_EQ(comm_end, 1000 + solo.time);
+}
+
+TEST(MachineSession, DegenerateEmptyScheduleCompletes)
+{
+    auto topo = topo::makeTopology("torus-4x4");
+    runtime::Machine machine(*topo);
+    coll::Schedule sched;
+    sched.num_nodes = topo->numNodes();
+    auto res = machine.run(sched);
+    EXPECT_EQ(res.time, 0u);
+    EXPECT_EQ(res.messages, 0u);
+    EXPECT_TRUE(machine.idle());
+}
+
+TEST(MachineDeath, RejectsZeroBufferDepth)
+{
+    auto topo = topo::makeTopology("torus-4x4");
+    runtime::RunOptions opts;
+    opts.net.vc_buffer_depth = 0;
+    EXPECT_DEATH(runtime::Machine(*topo, opts), "vc_buffer_depth");
+}
+
+TEST(MachineDeath, RejectsFlitNotDividingPacket)
+{
+    auto topo = topo::makeTopology("torus-4x4");
+    runtime::RunOptions opts;
+    opts.net.flit_bytes = 48; // 256 % 48 != 0
+    EXPECT_DEATH(runtime::Machine(*topo, opts),
+                 "divide packet_payload");
+}
+
+TEST(MachineDeath, RejectsBufferAdjustedOnFlowBackend)
+{
+    auto topo = topo::makeTopology("torus-4x4");
+    runtime::RunOptions opts;
+    opts.backend = runtime::Backend::Flow;
+    opts.buffer_adjusted_estimates = true;
+    EXPECT_DEATH(runtime::Machine(*topo, opts), "Flit backend");
+}
+
+TEST(AlgorithmRegistry, VariantResolvesBaseAndFlowControl)
+{
+    const auto &v = coll::findAlgorithmVariant("multitree-msg");
+    EXPECT_EQ(v.base, "multitree");
+    ASSERT_TRUE(v.flow_control.has_value());
+    EXPECT_EQ(*v.flow_control, net::FlowControlMode::MessageBased);
+    // Every base algorithm resolves to itself with no override.
+    for (const auto &name : coll::algorithmNames()) {
+        const auto &b = coll::findAlgorithmVariant(name);
+        EXPECT_EQ(b.base, name);
+        EXPECT_FALSE(b.flow_control.has_value());
+    }
+}
+
+TEST(AlgorithmRegistryDeath, UnknownNamePanics)
+{
+    EXPECT_DEATH(coll::findAlgorithmVariant("nccl"),
+                 "unknown all-reduce algorithm");
+}
+
+} // namespace
+} // namespace multitree

@@ -82,12 +82,68 @@ TEST(EventQueue, RunLimitCounts)
     EXPECT_EQ(eq.executed(), 10u);
 }
 
+TEST(EventQueue, SameTickPriorityThenInsertionOrder)
+{
+    // Priority is the primary same-tick key; insertion order breaks
+    // ties within each priority class.
+    EventQueue eq;
+    std::vector<int> seen;
+    eq.scheduleAt(5, [&] { seen.push_back(3); }, Priority::Low);
+    eq.scheduleAt(5, [&] { seen.push_back(1); }, Priority::Default);
+    eq.scheduleAt(5, [&] { seen.push_back(0); }, Priority::High);
+    eq.scheduleAt(5, [&] { seen.push_back(2); }, Priority::Default);
+    eq.scheduleAt(5, [&] { seen.push_back(4); }, Priority::Low);
+    eq.run();
+    EXPECT_EQ(seen, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, ResetRewindsClockAndOpensNewEpoch)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.scheduleAt(25, [&] { ++fired; });
+    eq.run();
+    EXPECT_EQ(eq.now(), 25u);
+    EXPECT_EQ(eq.epoch(), 0u);
+    eq.reset();
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_EQ(eq.epoch(), 1u);
+    // A tick that was "the past" in the previous epoch is schedulable
+    // again.
+    eq.scheduleAt(5, [&] { ++fired; });
+    eq.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.now(), 5u);
+}
+
+TEST(EventQueue, LifetimeCountersSurviveReset)
+{
+    EventQueue eq;
+    for (int i = 0; i < 3; ++i)
+        eq.scheduleAt(static_cast<Tick>(i + 1), [] {});
+    eq.run();
+    eq.reset();
+    eq.scheduleAt(1, [] {});
+    eq.run();
+    EXPECT_EQ(eq.executed(), 4u); // monotonic across epochs
+    EXPECT_EQ(eq.epoch(), 1u);
+    eq.reset();
+    EXPECT_EQ(eq.epoch(), 2u);
+}
+
 TEST(EventQueueDeath, PastSchedulingPanics)
 {
     EventQueue eq;
     eq.scheduleAt(10, [] {});
     eq.run();
     EXPECT_DEATH(eq.scheduleAt(5, [] {}), "past");
+}
+
+TEST(EventQueueDeath, ResetWithPendingEventsPanics)
+{
+    EventQueue eq;
+    eq.scheduleAt(10, [] {});
+    EXPECT_DEATH(eq.reset(), "pending");
 }
 
 } // namespace
