@@ -15,6 +15,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <string>
@@ -25,6 +27,35 @@
 #include "topo/factory.hh"
 
 namespace multitree::bench {
+
+/**
+ * Extract a `--seed=N` (or `--seed N`) flag from argv before
+ * google-benchmark parses it (unknown flags are fatal there), and
+ * compact argv in place. Seeds feed deterministic fault plans so a
+ * faulted sweep is reproducible: same seed, same drops.
+ * @return the parsed seed, or @p fallback when the flag is absent.
+ */
+inline std::uint64_t
+extractSeedFlag(int *argc, char **argv,
+                std::uint64_t fallback = 1)
+{
+    std::uint64_t seed = fallback;
+    int out = 1;
+    for (int i = 1; i < *argc; ++i) {
+        const char *a = argv[i];
+        if (std::strncmp(a, "--seed=", 7) == 0) {
+            seed = std::strtoull(a + 7, nullptr, 10);
+            continue;
+        }
+        if (std::strcmp(a, "--seed") == 0 && i + 1 < *argc) {
+            seed = std::strtoull(argv[++i], nullptr, 10);
+            continue;
+        }
+        argv[out++] = argv[i];
+    }
+    *argc = out;
+    return seed;
+}
 
 /** The Fig. 9 payload sweep: 32 KiB to 64 MiB. */
 inline std::vector<std::uint64_t>

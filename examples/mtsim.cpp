@@ -10,6 +10,14 @@
  *           [--collective allreduce|reducescatter|allgather|alltoall]
  *           [--backend flow|flit] [--msg] [--reduction-bw N]
  *           [--dump dot|csv]
+ *           [--seed N] [--drop P] [--corrupt P] [--degrade CH:CYC]
+ *           [--reliable]
+ *
+ * The fault flags attach a deterministic fault plan (seeded by
+ * --seed) to the fabric; --reliable arms the end-to-end
+ * retransmission layer so lossy runs still complete with intact
+ * data. Faulted runs print the fault/reliability accounting and, if
+ * the collective wedges, the watchdog diagnostic.
  */
 
 #include <cstdio>
@@ -39,6 +47,12 @@ struct Args {
     std::uint64_t bytes = 4 * MiB;
     std::uint32_t reduction_bw = 0;
     bool msg = false;
+    std::uint64_t seed = 1;
+    double drop = 0;
+    double corrupt = 0;
+    int degrade_channel = -1;
+    Tick degrade_cycles = 0;
+    bool reliable = false;
 };
 
 void
@@ -51,6 +65,8 @@ usage()
         "             [--backend flow|flit] [--msg]\n"
         "             [--reduction-bw BYTES_PER_CYCLE] "
         "[--dump dot|csv]\n"
+        "             [--seed N] [--drop PROB] [--corrupt PROB]\n"
+        "             [--degrade CHANNEL:CYCLES] [--reliable]\n"
         "topologies: torus-WxH mesh-WxH fattree-{16,64,L:P:S} "
         "bigraph-UxL\n"
         "algorithms: ring dbtree ring2d hd hdrm multitree "
@@ -89,6 +105,25 @@ main(int argc, char **argv)
                 std::strtoul(next(), nullptr, 10));
         else if (a == "--msg")
             args.msg = true;
+        else if (a == "--seed")
+            args.seed = std::strtoull(next(), nullptr, 10);
+        else if (a == "--drop")
+            args.drop = std::strtod(next(), nullptr);
+        else if (a == "--corrupt")
+            args.corrupt = std::strtod(next(), nullptr);
+        else if (a == "--degrade") {
+            const char *spec = next();
+            const char *colon = std::strchr(spec, ':');
+            if (colon == nullptr) {
+                usage();
+                return 1;
+            }
+            args.degrade_channel =
+                static_cast<int>(std::strtol(spec, nullptr, 10));
+            args.degrade_cycles = std::strtoull(colon + 1, nullptr,
+                                                10);
+        } else if (a == "--reliable")
+            args.reliable = true;
         else {
             usage();
             return a == "--help" || a == "-h" ? 0 : 1;
@@ -152,10 +187,40 @@ main(int argc, char **argv)
         opts.net.mode = net::FlowControlMode::MessageBased;
     opts.ni_reduction_bw = args.reduction_bw;
 
+    const bool faulty = args.drop > 0 || args.corrupt > 0
+                        || args.degrade_channel >= 0;
+    if (faulty) {
+        fault::FaultConfig fc;
+        fc.seed = args.seed;
+        fc.drop_prob = args.drop;
+        fc.corrupt_prob = args.corrupt;
+        if (args.degrade_channel >= 0) {
+            fault::LinkFault lf;
+            lf.channel = args.degrade_channel;
+            lf.extra_latency = args.degrade_cycles;
+            fc.links.push_back(lf);
+        }
+        opts.fault = fc;
+    }
+    opts.reliability.enabled = args.reliable;
+
     runtime::Machine machine(*topo, opts);
     runtime::RunOverrides ov;
     ov.flow_control = variant.flow_control;
-    auto res = machine.run(sched, ov);
+
+    runtime::RunResult res;
+    runtime::RunReport rep;
+    if (faulty || args.reliable) {
+        rep = machine.tryRun(sched, ov);
+        if (!rep.ok) {
+            std::fprintf(stderr, "collective wedged:\n%s",
+                         rep.diagnostic.c_str());
+            return 1;
+        }
+        res = rep.result;
+    } else {
+        res = machine.run(sched, ov);
+    }
     auto energy = net::computeEnergy(res.flit_hops, res.head_hops);
     auto stats = sched.stats(*topo);
 
@@ -184,5 +249,24 @@ main(int argc, char **argv)
     if (sched.lockstep)
         std::printf("  lockstep NOPs    %llu windows\n",
                     static_cast<unsigned long long>(res.nop_windows));
+    if (faulty || args.reliable) {
+        std::printf("  faults           %llu dropped, %llu "
+                    "corrupted, %llu degraded (seed %llu)\n",
+                    static_cast<unsigned long long>(rep.dropped),
+                    static_cast<unsigned long long>(rep.corrupted),
+                    static_cast<unsigned long long>(rep.degraded),
+                    static_cast<unsigned long long>(args.seed));
+        if (args.reliable)
+            std::printf("  reliability      %llu retransmits, %llu "
+                        "acks, %llu duplicates, %llu corrupt "
+                        "discarded\n",
+                        static_cast<unsigned long long>(
+                            rep.retransmits),
+                        static_cast<unsigned long long>(rep.acks),
+                        static_cast<unsigned long long>(
+                            rep.duplicates),
+                        static_cast<unsigned long long>(
+                            rep.corrupt_discarded));
+    }
     return 0;
 }

@@ -1,0 +1,170 @@
+#include "coll/data_plane.hh"
+
+#include <sstream>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace multitree::coll {
+
+namespace {
+
+/** 32-bit finalizer (murmur3 fmix32): spreads (node, flow) pairs so
+ *  accidental zero/collision contributions are vanishingly rare. */
+std::uint32_t
+mix32(std::uint32_t x)
+{
+    x ^= x >> 16;
+    x *= 0x85EBCA6Bu;
+    x ^= x >> 13;
+    x *= 0xC2B2AE35u;
+    x ^= x >> 16;
+    return x;
+}
+
+} // namespace
+
+std::uint32_t
+DataPlane::initValue(int node, int flow)
+{
+    return mix32(static_cast<std::uint32_t>(node) * 0x9E3779B9u
+                 ^ (static_cast<std::uint32_t>(flow) + 0x7F4A7C15u));
+}
+
+std::uint32_t
+DataPlane::gatherToken(int flow)
+{
+    return mix32(0x94D049BBu ^ static_cast<std::uint32_t>(flow));
+}
+
+DataPlane::DataPlane(const Schedule &sched)
+{
+    for (const auto &f : sched.flows) {
+        // Reduce phase: each edge src→dst ships src's running partial,
+        // i.e. the wraparound sum over src's reduce subtree. Compute
+        // subtree sums bottom-up with an explicit stack (ring-shaped
+        // reduce "trees" are n deep — no recursion).
+        std::map<int, std::vector<int>> children; // dst → srcs
+        for (const auto &e : f.reduce)
+            children[e.dst].push_back(e.src);
+        auto subtreeOf = [&](int v) -> std::uint32_t {
+            auto key = Key{f.flow_id, v};
+            auto it = subtree_.find(key);
+            if (it != subtree_.end())
+                return it->second;
+            std::vector<int> stack{v};
+            while (!stack.empty()) {
+                int u = stack.back();
+                auto uk = Key{f.flow_id, u};
+                if (subtree_.count(uk)) {
+                    stack.pop_back();
+                    continue;
+                }
+                bool ready = true;
+                auto cit = children.find(u);
+                if (cit != children.end()) {
+                    for (int c : cit->second) {
+                        if (!subtree_.count(Key{f.flow_id, c})) {
+                            stack.push_back(c);
+                            ready = false;
+                        }
+                    }
+                }
+                if (!ready)
+                    continue;
+                std::uint32_t sum = initValue(u, f.flow_id);
+                if (cit != children.end()) {
+                    for (int c : cit->second)
+                        sum += subtree_.at(Key{f.flow_id, c});
+                }
+                subtree_[uk] = sum;
+                stack.pop_back();
+            }
+            return subtree_.at(key);
+        };
+        for (const auto &e : f.reduce)
+            expect_reduce_[Key{e.dst, f.flow_id}] += subtreeOf(e.src);
+        // Gather phase: every edge carries the reduced chunk (one
+        // fixed token per flow); relays and terminals alike receive
+        // exactly one copy per inbound edge.
+        for (const auto &e : f.gather)
+            expect_gather_[Key{e.dst, f.flow_id}] += gatherToken(
+                f.flow_id);
+    }
+}
+
+void
+DataPlane::onAccept(int src, int dst, int flow, bool gather,
+                    bool corrupted)
+{
+    std::uint32_t contrib;
+    if (gather) {
+        contrib = gatherToken(flow);
+    } else {
+        auto it = subtree_.find(Key{flow, src});
+        // An unscheduled sender still must not vanish silently: use
+        // its init value so the mismatch surfaces.
+        contrib = it != subtree_.end() ? it->second
+                                       : initValue(src, flow);
+    }
+    if (corrupted)
+        contrib ^= kCorruptionTaint;
+    auto &slot = gather ? got_gather_[Key{dst, flow}]
+                        : got_reduce_[Key{dst, flow}];
+    slot += contrib;
+}
+
+void
+DataPlane::reset()
+{
+    got_reduce_.clear();
+    got_gather_.clear();
+}
+
+bool
+DataPlane::consistent() const
+{
+    return got_reduce_ == expect_reduce_
+           && got_gather_ == expect_gather_;
+}
+
+std::string
+DataPlane::describeMismatch(std::size_t max_items) const
+{
+    std::ostringstream oss;
+    std::size_t shown = 0;
+    auto compare = [&](const char *phase, const auto &expect,
+                       const auto &got) {
+        for (const auto &[key, want] : expect) {
+            auto it = got.find(key);
+            std::uint32_t have = it == got.end() ? 0u : it->second;
+            if (have == want)
+                continue;
+            if (shown++ < max_items) {
+                oss << "  node " << key.first << " flow "
+                    << key.second << " " << phase << ": got 0x"
+                    << std::hex << have << ", want 0x" << want
+                    << std::dec << "\n";
+            }
+        }
+        for (const auto &[key, have] : got) {
+            if (expect.count(key))
+                continue;
+            if (shown++ < max_items) {
+                oss << "  node " << key.first << " flow "
+                    << key.second << " " << phase
+                    << ": unexpected traffic (0x" << std::hex << have
+                    << std::dec << ")\n";
+            }
+        }
+    };
+    compare("reduce", expect_reduce_, got_reduce_);
+    compare("gather", expect_gather_, got_gather_);
+    if (shown > max_items)
+        oss << "  ... " << shown - max_items << " more\n";
+    if (shown == 0)
+        return {};
+    return "data-plane mismatches:\n" + oss.str();
+}
+
+} // namespace multitree::coll

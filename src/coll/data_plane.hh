@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Exact-arithmetic data-plane oracle for protocol-level correctness.
+ *
+ * The simulator moves message *headers*, not tensor payloads, so
+ * "every algorithm produces bit-identical reduced tensors under
+ * faults" needs a stand-in for the data. A DataPlane models each
+ * flow's chunk as a 32-bit value per node and uses wraparound
+ * (mod 2^32) addition, which is associative and commutative: the
+ * accumulated result is independent of arrival order and therefore
+ * *exact* — no float-tolerance noise. What the oracle then certifies
+ * is exactly-once delivery semantics:
+ *
+ *  - a lost message contributes nothing (observed < expected),
+ *  - a duplicated (e.g. spuriously retransmitted but not deduped)
+ *    message contributes twice (observed > expected),
+ *  - a corrupted message accepted by an unreliable receiver taints
+ *    its contribution with a fixed XOR mask (observed != expected).
+ *
+ * Feed it every message a NIC engine *accepts* (after reliability
+ * dedup/checksum filtering); at the end of a run consistent() holds
+ * iff the reduced tensor every node reconstructs is bit-identical to
+ * the fault-free run's.
+ */
+
+#ifndef MULTITREE_COLL_DATA_PLANE_HH
+#define MULTITREE_COLL_DATA_PLANE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "coll/schedule.hh"
+
+namespace multitree::coll {
+
+/**
+ * Accumulates per-(receiver, flow) contributions of accepted
+ * messages and compares them against the schedule's expectation.
+ */
+class DataPlane
+{
+  public:
+    /** XOR mask applied to a corrupted message's contribution. */
+    static constexpr std::uint32_t kCorruptionTaint = 0xDEADBEEFu;
+
+    /** Precompute expected contributions from @p sched. */
+    explicit DataPlane(const Schedule &sched);
+
+    /**
+     * Record one accepted message. @p gather selects the phase
+     * (false = reduce). Reliability acks must not be fed here —
+     * they carry no chunk data.
+     */
+    void onAccept(int src, int dst, int flow, bool gather,
+                  bool corrupted);
+
+    /** Forget all observed traffic (new run, same schedule). */
+    void reset();
+
+    /** Whether observed contributions match the schedule exactly. */
+    bool consistent() const;
+
+    /** First few (receiver, flow, phase) mismatches, or empty. */
+    std::string describeMismatch(std::size_t max_items = 8) const;
+
+  private:
+    using Key = std::pair<int, int>; ///< (receiver node, flow id)
+
+    /** Deterministic initial chunk value of @p node in @p flow. */
+    static std::uint32_t initValue(int node, int flow);
+
+    /** Token standing in for @p flow's fully-reduced chunk. */
+    static std::uint32_t gatherToken(int flow);
+
+    std::map<Key, std::uint32_t> expect_reduce_;
+    std::map<Key, std::uint32_t> expect_gather_;
+    std::map<Key, std::uint32_t> got_reduce_;
+    std::map<Key, std::uint32_t> got_gather_;
+    /** (flow, node) → wraparound sum over the node's reduce subtree
+     *  (its own init value plus everything reduced into it). */
+    std::map<Key, std::uint32_t> subtree_;
+};
+
+} // namespace multitree::coll
+
+#endif // MULTITREE_COLL_DATA_PLANE_HH

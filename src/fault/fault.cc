@@ -1,0 +1,130 @@
+#include "fault/fault.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace multitree::fault {
+
+FaultPlan::FaultPlan(FaultConfig cfg, int num_channels)
+    : cfg_(std::move(cfg)), rng_(cfg_.seed)
+{
+    MT_ASSERT(cfg_.drop_prob >= 0.0 && cfg_.drop_prob <= 1.0,
+              "drop_prob must be a probability, got ",
+              cfg_.drop_prob);
+    MT_ASSERT(cfg_.corrupt_prob >= 0.0 && cfg_.corrupt_prob <= 1.0,
+              "corrupt_prob must be a probability, got ",
+              cfg_.corrupt_prob);
+    for (const auto &lf : cfg_.links) {
+        MT_ASSERT(lf.channel >= 0 && lf.channel < num_channels,
+                  "link fault pinned to channel ", lf.channel,
+                  " outside [0, ", num_channels, ")");
+        MT_ASSERT(lf.until > lf.from, "empty link-fault interval on "
+                  "channel ", lf.channel);
+        MT_ASSERT(!(lf.down && lf.extra_latency > 0),
+                  "channel ", lf.channel, ": a link fault is either "
+                  "down or degraded, not both");
+        MT_ASSERT(lf.down || lf.extra_latency > 0,
+                  "channel ", lf.channel, ": link fault with no "
+                  "effect (neither down nor degraded)");
+    }
+}
+
+net::FaultFate
+FaultPlan::onInject(const net::Message &msg, Tick now)
+{
+    if (!enabled_)
+        return {};
+    net::FaultFate fate;
+    // Scheduled link faults first: deterministic in the route and
+    // the injection tick, no randomness consumed.
+    for (const auto &lf : cfg_.links) {
+        if (now < lf.from || now >= lf.until)
+            continue;
+        bool crossed = false;
+        for (int cid : msg.route) {
+            if (cid == lf.channel) {
+                crossed = true;
+                break;
+            }
+        }
+        if (!crossed)
+            continue;
+        if (lf.down) {
+            stats_.inc("link_down_drops");
+            fate.drop = true;
+            return fate;
+        }
+        fate.extra_latency += lf.extra_latency;
+        stats_.inc("degraded_traversals");
+    }
+    // Probabilistic loss, then corruption. A dropped message never
+    // draws its corruption fate; determinism is unaffected because
+    // the decision sequence itself is deterministic.
+    if (cfg_.drop_prob > 0 && rng_.nextDouble() < cfg_.drop_prob) {
+        stats_.inc("random_drops");
+        fate.drop = true;
+        return fate;
+    }
+    if (cfg_.corrupt_prob > 0
+        && rng_.nextDouble() < cfg_.corrupt_prob) {
+        stats_.inc("corruptions");
+        fate.corrupt = true;
+    }
+    return fate;
+}
+
+void
+FaultPlan::reset()
+{
+    rng_ = Rng(cfg_.seed);
+    stats_.clear();
+}
+
+int
+FaultPlan::downedChannelOn(const std::vector<int> &route,
+                           Tick now) const
+{
+    for (const auto &lf : cfg_.links) {
+        if (!lf.down || now < lf.from || now >= lf.until)
+            continue;
+        for (int cid : route) {
+            if (cid == lf.channel)
+                return cid;
+        }
+    }
+    return -1;
+}
+
+std::vector<int>
+FaultPlan::downedChannels(Tick now) const
+{
+    std::vector<int> out;
+    for (const auto &lf : cfg_.links) {
+        if (lf.down && now >= lf.from && now < lf.until)
+            out.push_back(lf.channel);
+    }
+    return out;
+}
+
+std::string
+FaultPlan::describe() const
+{
+    std::ostringstream oss;
+    oss << "fault plan seed " << cfg_.seed << ": drop_prob "
+        << cfg_.drop_prob << ", corrupt_prob " << cfg_.corrupt_prob;
+    for (const auto &lf : cfg_.links) {
+        oss << ", channel " << lf.channel
+            << (lf.down ? " down" : " degraded") << " [" << lf.from
+            << ", ";
+        if (lf.until == std::numeric_limits<Tick>::max())
+            oss << "forever)";
+        else
+            oss << lf.until << ")";
+        if (!lf.down)
+            oss << " +" << lf.extra_latency << " cycles";
+    }
+    return oss.str();
+}
+
+} // namespace multitree::fault

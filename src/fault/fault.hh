@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Deterministic fault injection for the simulated fabric.
+ *
+ * A FaultPlan is the single interposition point (net::FaultInterposer)
+ * through which every message of both backends passes at injection
+ * time. It models three fault classes real distributed-training
+ * fabrics exhibit:
+ *
+ *  - link-down intervals: every message whose route crosses a downed
+ *    channel during its active window is lost;
+ *  - per-link latency degradation: messages crossing a degraded
+ *    channel are delivered late by the configured extra cycles per
+ *    affected traversal;
+ *  - probabilistic loss/corruption: each message independently drops
+ *    or arrives with a failed checksum with the configured
+ *    probabilities.
+ *
+ * All randomness comes from one common::Rng seeded explicitly, and
+ * injections execute in deterministic event order, so a (seed, plan,
+ * schedule) triple always produces the same fault pattern — the
+ * property tests and the CI smoke job depend on this. reset() rewinds
+ * the RNG stream so a persistent runtime::Machine replays identical
+ * faults every epoch.
+ */
+
+#ifndef MULTITREE_FAULT_FAULT_HH
+#define MULTITREE_FAULT_FAULT_HH
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "common/units.hh"
+#include "net/network.hh"
+
+namespace multitree::fault {
+
+/** A fault pinned to one physical channel for a time interval. */
+struct LinkFault {
+    int channel = -1; ///< channel id the fault applies to
+    /** First tick the fault is active (inclusive). */
+    Tick from = 0;
+    /** First tick it is no longer active; default = forever. */
+    Tick until = std::numeric_limits<Tick>::max();
+    /** Down link: every message routed across it while active is
+     *  lost. Mutually exclusive with degradation on one entry. */
+    bool down = false;
+    /** Degraded link: extra delivery latency in cycles charged per
+     *  active traversal (0 = none). */
+    Tick extra_latency = 0;
+};
+
+/** Everything a FaultPlan needs to decide message fates. */
+struct FaultConfig {
+    std::uint64_t seed = 1;  ///< RNG seed; equal seeds, equal faults
+    double drop_prob = 0;    ///< per-message loss probability
+    double corrupt_prob = 0; ///< per-message corruption probability
+    std::vector<LinkFault> links; ///< scheduled link faults
+};
+
+/**
+ * The deterministic fault oracle. One per Machine; consulted by the
+ * network for every injection (data, acks and retransmissions alike —
+ * a retransmitted copy redraws its fate, which is what makes
+ * end-to-end reliability worth testing).
+ */
+class FaultPlan final : public net::FaultInterposer
+{
+  public:
+    /**
+     * @param cfg The plan. @pre probabilities in [0, 1] and every
+     *        link fault pinned to a channel in [0, num_channels).
+     * @param num_channels Channel-id bound for validation.
+     */
+    FaultPlan(FaultConfig cfg, int num_channels);
+
+    /** Rule on one injection (net::FaultInterposer). */
+    net::FaultFate onInject(const net::Message &msg,
+                            Tick now) override;
+
+    /** Rewind the RNG stream and fault statistics for a new epoch. */
+    void reset() override;
+
+    /** Enable/disable injection; disabled plans rule "no fault"
+     *  without consuming randomness. */
+    void setEnabled(bool enabled) { enabled_ = enabled; }
+
+    /** Whether injection is active. */
+    bool enabled() const { return enabled_; }
+
+    /** The configuration in effect. */
+    const FaultConfig &config() const { return cfg_; }
+
+    /** Fault decisions made this epoch (drops, corruptions…). */
+    const StatRegistry &stats() const { return stats_; }
+
+    /**
+     * The first downed channel of @p route active at @p now, or -1.
+     * Used by the watchdog to name the link that wedged a message.
+     */
+    int downedChannelOn(const std::vector<int> &route, Tick now) const;
+
+    /** Channels with a down interval active at @p now. */
+    std::vector<int> downedChannels(Tick now) const;
+
+    /** One-line description of the plan for diagnostic dumps. */
+    std::string describe() const;
+
+  private:
+    FaultConfig cfg_;
+    Rng rng_;
+    bool enabled_ = true;
+    StatRegistry stats_;
+};
+
+} // namespace multitree::fault
+
+#endif // MULTITREE_FAULT_FAULT_HH

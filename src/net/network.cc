@@ -1,27 +1,101 @@
 #include "net/network.hh"
 
+#include <sstream>
+
 #include "common/logging.hh"
 #include "net/flit_network.hh"
 #include "net/flow_network.hh"
+#include "sim/event_queue.hh"
 
 namespace multitree::net {
+
+void
+Network::inject(Message msg)
+{
+    ++injected_;
+    if (fault_ != nullptr) {
+        const FaultFate fate = fault_->onInject(msg, eq_.now());
+        if (fate.drop) {
+            // Lost in transit: never reaches the backend. The
+            // reliability layer's retransmission timer (if any) is
+            // the only thing that will resurrect it.
+            ++dropped_;
+            ++drops_by_src_[msg.src];
+            stats_.inc("dropped_messages");
+            return;
+        }
+        if (fate.corrupt) {
+            msg.corrupted = true;
+            ++corruptions_by_src_[msg.src];
+            stats_.inc("corrupted_messages");
+        }
+        msg.fault_delay = fate.extra_latency;
+        if (fate.extra_latency > 0)
+            stats_.inc("degraded_messages");
+    }
+    msg.track_id = ++next_track_id_;
+    in_flight_msgs_.emplace(msg.track_id,
+                            InFlightRecord{msg, eq_.now()});
+    injectImpl(std::move(msg));
+}
 
 void
 Network::reset()
 {
     MT_ASSERT(quiescent(), "network reset with ",
-              injected_ - delivered_, " messages in flight");
+              injected_ - delivered_ - dropped_,
+              " messages in flight");
     stats_.clear();
     injected_ = 0;
     delivered_ = 0;
+    dropped_ = 0;
+    drops_by_src_.clear();
+    corruptions_by_src_.clear();
+    in_flight_msgs_.clear();
 }
 
 void
 Network::deliverMsg(const Message &msg)
 {
     MT_ASSERT(deliver_, "no delivery sink registered");
+    if (msg.fault_delay > 0) {
+        // Degraded links charge their extra latency end to end: the
+        // backend finished the healthy-wire simulation, the residual
+        // shows up as a later delivery tick.
+        Message delayed = msg;
+        delayed.fault_delay = 0;
+        eq_.scheduleAfter(msg.fault_delay,
+                          [this, delayed = std::move(delayed)] {
+                              deliverMsg(delayed);
+                          });
+        return;
+    }
     ++delivered_;
+    in_flight_msgs_.erase(msg.track_id);
     deliver_(msg);
+}
+
+std::string
+Network::describeInFlight(std::size_t max_items) const
+{
+    if (in_flight_msgs_.empty())
+        return {};
+    std::ostringstream oss;
+    oss << in_flight_msgs_.size() << " message(s) in flight:\n";
+    std::size_t shown = 0;
+    for (const auto &[id, rec] : in_flight_msgs_) {
+        if (shown++ == max_items) {
+            oss << "  ... " << (in_flight_msgs_.size() - max_items)
+                << " more\n";
+            break;
+        }
+        const Message &m = rec.msg;
+        oss << "  msg " << m.src << "->" << m.dst << " flow "
+            << m.flow_id << " tag " << m.tag << " seq " << m.seq
+            << " attempt " << m.attempt << " bytes " << m.bytes
+            << " injected at tick " << rec.injected_at << "\n";
+    }
+    return oss.str();
 }
 
 std::unique_ptr<Network>

@@ -13,7 +13,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/stats.hh"
@@ -50,6 +52,45 @@ struct Message {
                              ///< when handed to a backend)
     int flow_id = -1;        ///< tree/chunk id (Fig. 8d Tree Info)
     std::uint64_t tag = 0;   ///< opaque NI cookie
+
+    /** Reliability sequence number, unique per sender (0 = none). */
+    std::uint64_t seq = 0;
+    /** Retransmission attempt; 0 is the original transmission. */
+    std::uint32_t attempt = 0;
+    /** Payload integrity lost in transit (set by fault injection;
+     *  a reliable receiver detects it via checksum and discards). */
+    bool corrupted = false;
+    /** Residual degraded-link latency applied at delivery time. */
+    Tick fault_delay = 0;
+    /** Network-assigned in-flight tracking id (watchdog census). */
+    std::uint64_t track_id = 0;
+};
+
+/**
+ * Per-message fate decided by a fault interposer at injection time.
+ * The default-constructed fate is "no fault".
+ */
+struct FaultFate {
+    bool drop = false;    ///< message is lost in transit
+    bool corrupt = false; ///< message arrives with a bad checksum
+    Tick extra_latency = 0; ///< added delivery delay (degraded links)
+};
+
+/**
+ * Interposition interface consulted by Network::inject for every
+ * message (data, acks and retransmissions alike). Implemented by
+ * fault::FaultPlan; the network itself stays fault-agnostic.
+ */
+class FaultInterposer
+{
+  public:
+    virtual ~FaultInterposer() = default;
+
+    /** Decide the fate of @p msg injected at @p now. */
+    virtual FaultFate onInject(const Message &msg, Tick now) = 0;
+
+    /** Rewind internal state (RNG stream) for a replayable epoch. */
+    virtual void reset() = 0;
 };
 
 /** Delivery callback: invoked at the arrival tick of the tail flit. */
@@ -88,16 +129,24 @@ class Network
     {}
     virtual ~Network() = default;
 
-    /** Queue @p msg for transmission starting at the current tick. */
-    void
-    inject(Message msg)
-    {
-        ++injected_;
-        injectImpl(std::move(msg));
-    }
+    /**
+     * Queue @p msg for transmission starting at the current tick.
+     * When a fault interposer is attached it rules on the message
+     * first: dropped messages never reach the backend (they count
+     * toward dropped(), keeping quiescent() meaningful), corrupted
+     * ones traverse the wire with their integrity flag set, and
+     * degraded-link latency is charged at delivery time.
+     */
+    void inject(Message msg);
 
     /** Register the delivery sink (one per simulation). */
     void onDeliver(DeliverFn fn) { deliver_ = std::move(fn); }
+
+    /**
+     * Attach (or detach, with nullptr) the fault interposer consulted
+     * on every injection. The network does not own it.
+     */
+    void setFaultInterposer(FaultInterposer *fi) { fault_ = fi; }
 
     /** The event queue driving this network. */
     sim::EventQueue &eventQueue() { return eq_; }
@@ -121,8 +170,36 @@ class Network
     /** Messages delivered over the current epoch. */
     std::uint64_t delivered() const { return delivered_; }
 
-    /** Whether every injected message has been delivered. */
-    bool quiescent() const { return injected_ == delivered_; }
+    /** Messages lost to injected faults over the current epoch. */
+    std::uint64_t dropped() const { return dropped_; }
+
+    /** Per-source-node drop counts this epoch (fault attribution). */
+    const std::map<int, std::uint64_t> &dropsBySource() const
+    {
+        return drops_by_src_;
+    }
+
+    /** Per-source-node corruption counts this epoch. */
+    const std::map<int, std::uint64_t> &corruptionsBySource() const
+    {
+        return corruptions_by_src_;
+    }
+
+    /**
+     * Whether every injected message has left the fabric — delivered
+     * to the sink or accounted as lost to an injected fault.
+     */
+    bool quiescent() const { return injected_ == delivered_ + dropped_; }
+
+    /** Messages currently in flight (injected, not yet delivered). */
+    std::size_t inFlightCount() const { return in_flight_msgs_.size(); }
+
+    /**
+     * Human-readable census of up to @p max_items in-flight messages,
+     * oldest first — the watchdog's diagnostic dump of a wedged
+     * fabric. Empty string when the fabric is quiescent.
+     */
+    std::string describeInFlight(std::size_t max_items = 8) const;
 
     /**
      * Return the fabric to its just-constructed state: clear all
@@ -142,9 +219,22 @@ class Network
     sim::EventQueue &eq_;
     NetworkConfig cfg_;
     DeliverFn deliver_;
+    FaultInterposer *fault_ = nullptr;
     StatRegistry stats_;
     std::uint64_t injected_ = 0;
     std::uint64_t delivered_ = 0;
+    std::uint64_t dropped_ = 0;
+    std::map<int, std::uint64_t> drops_by_src_;
+    std::map<int, std::uint64_t> corruptions_by_src_;
+
+    /** In-flight census for the watchdog: track_id → (msg, tick).
+     *  Ordered by id, so begin() is the oldest in-flight message. */
+    struct InFlightRecord {
+        Message msg;
+        Tick injected_at = 0;
+    };
+    std::uint64_t next_track_id_ = 0;
+    std::map<std::uint64_t, InFlightRecord> in_flight_msgs_;
 };
 
 /**

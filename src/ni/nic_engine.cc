@@ -1,5 +1,7 @@
 #include "ni/nic_engine.hh"
 
+#include <sstream>
+
 #include "common/logging.hh"
 #include "net/network.hh"
 #include "sim/event_queue.hh"
@@ -14,12 +16,31 @@ NicEngine::NicEngine(int node, net::Network &network,
 }
 
 void
+NicEngine::setReliability(const ReliabilityOptions &opts,
+                          RouteFn route_fn)
+{
+    MT_ASSERT(!started_, "arming reliability on a running engine");
+    MT_ASSERT(!opts.enabled || route_fn,
+              "reliability needs an ack route provider");
+    MT_ASSERT(!opts.enabled || opts.max_attempts >= 1,
+              "reliability needs at least one transmission attempt");
+    MT_ASSERT(!opts.enabled || opts.rto_backoff >= 1.0,
+              "rto_backoff < 1 would shrink timeouts across retries");
+    MT_ASSERT(!opts.enabled || opts.ack_bytes > 0,
+              "acks must occupy wire bytes");
+    rel_ = opts;
+    route_fn_ = std::move(route_fn);
+}
+
+void
 NicEngine::loadTable(ScheduleTable table, bool lockstep,
                      std::vector<std::uint64_t> step_estimates)
 {
     MT_ASSERT(!started_ || done(), "reprogramming a busy engine: node ",
               node_, " has issued only ", next_, "/",
-              table_.entries.size(), " entries");
+              table_.entries.size(), " entries with ",
+              outstanding_.size(), " sends unacked and ",
+              failures_.size(), " failed transfers");
     MT_ASSERT(table.node == node_, "table for node ", table.node,
               " loaded into engine ", node_);
     // Invalidate timers/reduction completions still in flight from
@@ -40,11 +61,22 @@ NicEngine::loadTable(ScheduleTable table, bool lockstep,
     nop_windows_ = 0;
     got_reduce_.clear();
     got_gather_.clear();
+    next_seq_ = 0;
+    outstanding_.clear();
+    seen_.clear();
+    failures_.clear();
+    rc_ = ReliabilityCounters{};
 }
 
 void
 NicEngine::reset()
 {
+    // Unconditional rewind: this is the bring-up and post-abort
+    // recovery path, so clear the in-flight reliability window first
+    // — loadTable() would refuse an engine wedged mid-run.
+    outstanding_.clear();
+    failures_.clear();
+    started_ = false;
     loadTable(ScheduleTable{node_, {}}, false, {});
 }
 
@@ -136,7 +168,7 @@ NicEngine::pump()
             msg.route = e.routes[i];
             msg.flow_id = e.flow;
             msg.tag = tag;
-            net_.inject(std::move(msg));
+            sendData(std::move(msg));
             if (e.op == Op::Reduce)
                 break; // single parent target
         }
@@ -144,9 +176,124 @@ NicEngine::pump()
     }
 }
 
+Tick
+NicEngine::rtoFor(const net::Message &msg) const
+{
+    // 2 x a contention-free round-trip estimate: data serialization
+    // plus hop latency out, ack serialization plus hop latency back.
+    // Congested fabrics exceed it; spurious retransmits are safe
+    // (receiver dedup) and the backoff converges.
+    const auto &cfg = net_.config();
+    const Tick hop = cfg.link_latency + cfg.router_pipeline;
+    const Tick hops = static_cast<Tick>(msg.route.size());
+    const Tick ser_data = ceilDiv(msg.bytes, cfg.flit_bytes) + 1;
+    const Tick ser_ack = ceilDiv(rel_.ack_bytes, cfg.flit_bytes) + 1;
+    const Tick rtt = ser_data + ser_ack + 2 * hops * hop;
+    return std::max<Tick>(rel_.rto_min, 2 * rtt);
+}
+
+void
+NicEngine::sendData(net::Message msg)
+{
+    if (!rel_.enabled) {
+        net_.inject(std::move(msg));
+        return;
+    }
+    msg.seq = ++next_seq_;
+    const std::uint64_t seq = msg.seq;
+    const Tick rto = rtoFor(msg);
+    outstanding_.emplace(seq, Outstanding{msg, 1});
+    net_.inject(std::move(msg));
+    armTimer(seq, rto);
+}
+
+void
+NicEngine::armTimer(std::uint64_t seq, Tick rto)
+{
+    net_.eventQueue().scheduleAfter(rto, [this, seq, rto, g = gen_] {
+        if (g != gen_)
+            return; // timer from a reprogrammed run
+        onTimeout(seq, rto);
+    });
+}
+
+void
+NicEngine::onTimeout(std::uint64_t seq, Tick prev_rto)
+{
+    auto it = outstanding_.find(seq);
+    if (it == outstanding_.end())
+        return; // acked before the timer fired
+    ++rc_.timeouts;
+    Outstanding &o = it->second;
+    if (o.attempts >= rel_.max_attempts) {
+        // Retries exhausted: record the failure and stop. done()
+        // stays false, which the runtime watchdog turns into a
+        // structured abort with this evidence.
+        FailedTransfer ft;
+        ft.src = o.msg.src;
+        ft.dst = o.msg.dst;
+        ft.flow = o.msg.flow_id;
+        ft.tag = o.msg.tag;
+        ft.seq = o.msg.seq;
+        ft.bytes = o.msg.bytes;
+        ft.attempts = o.attempts;
+        ft.route = o.msg.route;
+        failures_.push_back(std::move(ft));
+        outstanding_.erase(it);
+        return;
+    }
+    ++o.attempts;
+    ++rc_.retransmits;
+    net::Message copy = o.msg;
+    copy.attempt = o.attempts - 1;
+    net_.inject(std::move(copy));
+    const auto backed =
+        static_cast<Tick>(static_cast<double>(prev_rto)
+                          * rel_.rto_backoff);
+    armTimer(seq, std::max<Tick>(backed, prev_rto + 1));
+}
+
+void
+NicEngine::sendAck(const net::Message &msg)
+{
+    net::Message ack;
+    ack.src = node_;
+    ack.dst = msg.src;
+    ack.bytes = rel_.ack_bytes;
+    ack.route = route_fn_(node_, msg.src);
+    ack.flow_id = msg.flow_id;
+    ack.tag = kTagAck;
+    ack.seq = msg.seq;
+    ++rc_.acks_sent;
+    net_.inject(std::move(ack));
+}
+
 void
 NicEngine::onMessage(const net::Message &msg)
 {
+    if (rel_.enabled) {
+        if (msg.tag == kTagAck) {
+            if (msg.corrupted)
+                return; // bad checksum: sender will retransmit
+            outstanding_.erase(msg.seq);
+            return;
+        }
+        if (msg.corrupted) {
+            // Checksum failure: discard silently; no ack means the
+            // sender's timer retransmits the pristine copy.
+            ++rc_.corrupt_discarded;
+            return;
+        }
+        // Ack first (even duplicates — the original ack may have
+        // been lost), then dedup retransmitted copies.
+        sendAck(msg);
+        if (!seen_.emplace(msg.src, msg.seq).second) {
+            ++rc_.duplicates;
+            return;
+        }
+    }
+    if (accept_)
+        accept_(msg);
     if (msg.tag == kTagReduce) {
         if (reduction_bw_ > 0) {
             // The reduction logic aggregates the arrived partial at
@@ -168,6 +315,52 @@ NicEngine::onMessage(const net::Message &msg)
         got_gather_[msg.flow_id] = true;
     }
     pump();
+}
+
+std::string
+NicEngine::describeStall() const
+{
+    if (done())
+        return {};
+    std::ostringstream oss;
+    oss << "node " << node_ << ": issued " << next_ << "/"
+        << table_.entries.size();
+    if (next_ < table_.entries.size()) {
+        const TableEntry &e = table_.entries[next_];
+        oss << ", blocked on "
+            << (e.op == Op::Reduce ? "Reduce" : "Gather") << " flow "
+            << e.flow << " step " << e.step;
+        if (e.dep_on_parent) {
+            auto it = got_gather_.find(e.flow);
+            if (it == got_gather_.end() || !it->second)
+                oss << " awaiting gather from parent " << e.parent;
+        } else {
+            auto it = got_reduce_.find(e.flow);
+            std::vector<int> missing;
+            for (int child : e.deps) {
+                if (it == got_reduce_.end()
+                    || !it->second.count(child))
+                    missing.push_back(child);
+            }
+            if (!missing.empty()) {
+                oss << " awaiting reduce from child(ren)";
+                for (int c : missing)
+                    oss << " " << c;
+            }
+        }
+    }
+    if (!outstanding_.empty()) {
+        oss << ", " << outstanding_.size() << " send(s) unacked";
+        const auto &[seq, o] = *outstanding_.begin();
+        oss << " (oldest: seq " << seq << " to node " << o.msg.dst
+            << ", attempt " << o.attempts << ")";
+    }
+    for (const auto &f : failures_) {
+        oss << ", FAILED seq " << f.seq << " " << f.src << "->"
+            << f.dst << " flow " << f.flow << " after " << f.attempts
+            << " attempts";
+    }
+    return oss.str();
 }
 
 } // namespace multitree::ni

@@ -16,33 +16,84 @@
  * loaded with the estimated serialization time of the step's chunk
  * (footnote 4) — expires, inserting implicit NOPs for steps in which
  * this node has nothing to send. No global synchronization is used.
+ *
+ * Reliability (opt-in, off by default): when enabled, every data
+ * message carries a per-sender sequence number and is held in an
+ * outstanding window until the receiver's ack returns. Retransmission
+ * timers live on the shared sim::EventQueue (the queue is the timing
+ * wheel); a timeout retransmits with exponential backoff up to a
+ * bounded attempt count, after which the transfer is recorded as
+ * failed and surfaces through the runtime's watchdog. Receivers
+ * discard corrupted arrivals (modelled checksum failure — no ack, so
+ * the sender retries) and deduplicate retransmitted copies, re-acking
+ * them in case the original ack was lost. With the knob off, the
+ * issue path is bit-identical to the lossless engine.
  */
 
 #ifndef MULTITREE_NI_NIC_ENGINE_HH
 #define MULTITREE_NI_NIC_ENGINE_HH
 
+#include <functional>
+#include <map>
 #include <set>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/units.hh"
+#include "net/network.hh"
 #include "ni/schedule_table.hh"
 
 namespace multitree::sim {
 class EventQueue;
 } // namespace multitree::sim
 
-namespace multitree::net {
-class Network;
-struct Message;
-} // namespace multitree::net
-
 namespace multitree::ni {
 
-/** Message tag values distinguishing the two phases on the wire. */
+/** Message tag values distinguishing the phases on the wire. */
 enum : std::uint64_t {
     kTagReduce = 0,
     kTagGather = 1,
+    kTagAck = 2, ///< reliability acknowledgement (not schedule data)
+};
+
+/** End-to-end reliability knobs (runtime::RunOptions::reliability). */
+struct ReliabilityOptions {
+    /** Master switch; when false every other field is ignored and
+     *  the engine behaves bit-identically to the lossless design. */
+    bool enabled = false;
+    /** Floor for the retransmission timeout in cycles; the per-
+     *  message timeout is max(rto_min, 2 x estimated RTT). */
+    Tick rto_min = 4096;
+    /** Exponential backoff factor applied per retry. */
+    double rto_backoff = 2.0;
+    /** Transmission attempt bound (original + retries). Exhausting
+     *  it records a failed transfer and wedges the run — surfaced
+     *  structurally by the runtime watchdog. */
+    std::uint32_t max_attempts = 8;
+    /** Ack wire size in bytes (one flit by default). */
+    std::uint32_t ack_bytes = 16;
+};
+
+/** One transfer whose retries were exhausted (watchdog evidence). */
+struct FailedTransfer {
+    int src = -1;
+    int dst = -1;
+    int flow = -1;
+    std::uint64_t tag = 0;
+    std::uint64_t seq = 0;
+    std::uint64_t bytes = 0;
+    std::uint32_t attempts = 0;
+    std::vector<int> route;
+};
+
+/** Per-engine reliability counters (zeroed by loadTable/reset). */
+struct ReliabilityCounters {
+    std::uint64_t retransmits = 0;       ///< copies re-injected
+    std::uint64_t timeouts = 0;          ///< timer expiries observed
+    std::uint64_t acks_sent = 0;         ///< data arrivals acked
+    std::uint64_t duplicates = 0;        ///< retransmit copies deduped
+    std::uint64_t corrupt_discarded = 0; ///< checksum failures dropped
 };
 
 /**
@@ -57,6 +108,12 @@ enum : std::uint64_t {
 class NicEngine
 {
   public:
+    /** Deterministic route provider for ack return paths. */
+    using RouteFn = std::function<std::vector<int>(int src, int dst)>;
+    /** Invoked once per accepted data message (post dedup/checksum);
+     *  the runtime's data plane and trace hang off this. */
+    using AcceptFn = std::function<void(const net::Message &)>;
+
     /**
      * @param node The node this engine serves (message dispatch id).
      * @param network Transport to inject into.
@@ -69,10 +126,21 @@ class NicEngine
               std::uint32_t reduction_bytes_per_cycle = 0);
 
     /**
+     * Arm the end-to-end reliability layer. @p route_fn supplies the
+     * ack return route (the engine is topology-agnostic). Call once
+     * at fabric bring-up, before the first loadTable().
+     */
+    void setReliability(const ReliabilityOptions &opts,
+                        RouteFn route_fn);
+
+    /** Register the accepted-data sink (may be null). */
+    void onAccept(AcceptFn fn) { accept_ = std::move(fn); }
+
+    /**
      * Program this node's schedule table for the next run and rewind
      * all per-run state (timestep counter, dependency scoreboard,
-     * NOP statistics). @pre the engine is idle: never started, or
-     * done() with no pending lockstep timer.
+     * NOP statistics, reliability window). @pre the engine is idle:
+     * never started, or done() with no pending lockstep timer.
      *
      * @param table This node's compiled schedule table.
      * @param lockstep Enable the NOP/down-counter step pacing.
@@ -82,7 +150,12 @@ class NicEngine
     void loadTable(ScheduleTable table, bool lockstep,
                    std::vector<std::uint64_t> step_estimates);
 
-    /** Drop the loaded table and rewind per-run state. */
+    /**
+     * Drop the loaded table and rewind per-run state. Unlike
+     * loadTable() this is unconditional — it is the bring-up and
+     * post-abort recovery path, legal even when a failed or wedged
+     * run left the engine mid-flight.
+     */
     void reset();
 
     /** Begin issuing at the current simulation time. */
@@ -91,8 +164,17 @@ class NicEngine
     /** Deliver an arriving message to this node's reduction logic. */
     void onMessage(const net::Message &msg);
 
-    /** Whether every table entry has been issued. */
-    bool done() const { return next_ == table_.entries.size(); }
+    /**
+     * Whether this engine has finished its part of the collective:
+     * every table entry issued and, under reliability, every data
+     * message acked with no failed transfers.
+     */
+    bool
+    done() const
+    {
+        return next_ == table_.entries.size() && outstanding_.empty()
+               && failures_.empty();
+    }
 
     /** Entries issued so far. */
     std::size_t issued() const { return next_; }
@@ -103,6 +185,25 @@ class NicEngine
     /** The node this engine serves. */
     int node() const { return node_; }
 
+    /** Reliability counters for the current run. */
+    const ReliabilityCounters &reliability() const { return rc_; }
+
+    /** Transfers whose retries were exhausted this run. */
+    const std::vector<FailedTransfer> &failures() const
+    {
+        return failures_;
+    }
+
+    /** Data messages awaiting acks (reliability only). */
+    std::size_t outstandingCount() const { return outstanding_.size(); }
+
+    /**
+     * Human-readable account of why this engine is not done —
+     * the blocked head-of-table entry with its missing dependencies,
+     * unacked sends, and exhausted transfers. Empty when done().
+     */
+    std::string describeStall() const;
+
   private:
     /** Issue every ready entry at the table head; re-arms timers. */
     void pump();
@@ -112,6 +213,21 @@ class NicEngine
 
     /** Advance the timestep counter to cover @p step if allowed. */
     bool stepGateOpen(const TableEntry &e);
+
+    /** Ship one data message, tracking it when reliability is on. */
+    void sendData(net::Message msg);
+
+    /** Per-message retransmission timeout (2 x RTT estimate). */
+    Tick rtoFor(const net::Message &msg) const;
+
+    /** Arm the retransmission timer for sequence @p seq. */
+    void armTimer(std::uint64_t seq, Tick rto);
+
+    /** Timer expiry: retransmit with backoff or record failure. */
+    void onTimeout(std::uint64_t seq, Tick prev_rto);
+
+    /** Return an ack for an arrived data message. */
+    void sendAck(const net::Message &msg);
 
     int node_;
     net::Network &net_;
@@ -134,6 +250,22 @@ class NicEngine
     std::unordered_map<int, std::set<int>> got_reduce_;
     /** flow → gather received flag. */
     std::unordered_map<int, bool> got_gather_;
+
+    // --- reliability state ---
+    ReliabilityOptions rel_;
+    RouteFn route_fn_;
+    AcceptFn accept_;
+    std::uint64_t next_seq_ = 0;
+    struct Outstanding {
+        net::Message msg;        ///< pristine copy for retransmission
+        std::uint32_t attempts = 0;
+    };
+    /** seq → unacked send; ordered so begin() is the oldest. */
+    std::map<std::uint64_t, Outstanding> outstanding_;
+    /** (src, seq) pairs already accepted (receiver-side dedup). */
+    std::set<std::pair<int, std::uint64_t>> seen_;
+    std::vector<FailedTransfer> failures_;
+    ReliabilityCounters rc_;
 };
 
 } // namespace multitree::ni

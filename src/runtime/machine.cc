@@ -1,5 +1,6 @@
 #include "runtime/machine.hh"
 
+#include <sstream>
 #include <utility>
 
 #include "coll/algorithm.hh"
@@ -35,11 +36,25 @@ Machine::Machine(const topo::Topology &topo, const RunOptions &opts)
     network_->onDeliver(
         [this](const net::Message &msg) { onDelivery(msg); });
 
+    if (opts_.fault) {
+        // The plan validates itself against the channel-id space at
+        // bring-up; the network consults it on every injection.
+        plan_ = std::make_unique<fault::FaultPlan>(
+            *opts_.fault, topo_.numChannels());
+        network_->setFaultInterposer(plan_.get());
+    }
+
     const int n = topo_.numNodes();
     engines_.reserve(static_cast<std::size_t>(n));
     for (int v = 0; v < n; ++v) {
         engines_.push_back(std::make_unique<ni::NicEngine>(
             v, *network_, opts_.ni_reduction_bw));
+        if (opts_.reliability.enabled) {
+            engines_.back()->setReliability(
+                opts_.reliability, [this](int src, int dst) {
+                    return topo_.route(src, dst);
+                });
+        }
     }
 }
 
@@ -76,6 +91,44 @@ Machine::run(const std::string &algo, std::uint64_t bytes,
     return run(algorithm->build(topo_, bytes), ov);
 }
 
+RunReport
+Machine::tryRun(const coll::Schedule &sched, const RunOverrides &ov)
+{
+    beginEpoch();
+    RunReport rep;
+    bool completed = false;
+    post(
+        sched,
+        [&](const RunResult &r) {
+            rep.result = r;
+            completed = true;
+        },
+        ov);
+    drainLoop();
+    fillReportCounters(rep);
+    if (completed && idle()) {
+        rep.ok = true;
+    } else {
+        rep.ok = false;
+        rep.diagnostic = stallDiagnostic();
+        abortActive();
+    }
+    return rep;
+}
+
+RunReport
+Machine::tryRun(const std::string &algo, std::uint64_t bytes,
+                RunOverrides ov)
+{
+    const auto &variant = coll::findAlgorithmVariant(algo);
+    if (!ov.flow_control)
+        ov.flow_control = variant.flow_control;
+    auto algorithm = coll::makeAlgorithm(variant.base);
+    MT_ASSERT(algorithm->supports(topo_), algo,
+              " does not support topology ", topo_.name());
+    return tryRun(algorithm->build(topo_, bytes), ov);
+}
+
 void
 Machine::beginEpoch()
 {
@@ -85,6 +138,11 @@ Machine::beginEpoch()
         e->reset();
     network_->reset();
     network_->setFlowControlMode(opts_.net.mode);
+    // Rewind the fault RNG stream too: every epoch replays the
+    // identical fault pattern, which is what makes faulted runs
+    // reproducible and comparable.
+    if (plan_)
+        plan_->reset();
     eq_.reset();
 }
 
@@ -111,6 +169,7 @@ Machine::post(const coll::Schedule &sched, CompletionFn on_complete,
     pr.lockstep = sched.lockstep;
     pr.total_bytes = sched.total_bytes;
     pr.mode = ov.flow_control.value_or(opts_.net.mode);
+    pr.inject_faults = ov.inject_faults.value_or(true);
     pr.done = std::move(on_complete);
     queue_.push_back(std::move(pr));
     if (!active_)
@@ -123,20 +182,25 @@ Machine::scheduleAt(Tick when, std::function<void()> fn)
     eq_.scheduleAt(when, std::move(fn));
 }
 
+void
+Machine::drainLoop()
+{
+    for (;;) {
+        eq_.run();
+        const std::uint64_t before = runs_completed_;
+        maybeComplete();
+        if (eq_.empty() && runs_completed_ == before)
+            return;
+    }
+}
+
 Tick
 Machine::drain()
 {
-    eq_.run();
-    if (!idle()) {
-        for (const auto &e : engines_) {
-            MT_ASSERT(e->done(), "NIC engine stalled with ",
-                      e->issued(),
-                      " entries issued — schedule deadlock");
-        }
-        MT_FATAL("collective stalled: fabric not quiescent at drain "
-                 "(injected ", network_->injected(), ", delivered ",
-                 network_->delivered(), ")");
-    }
+    drainLoop();
+    if (!idle())
+        MT_FATAL("collective stalled — watchdog report:\n",
+                 stallDiagnostic());
     return eq_.now();
 }
 
@@ -157,6 +221,8 @@ Machine::startNext()
     MT_ASSERT(network_->quiescent(),
               "starting a collective on a non-quiescent fabric");
     network_->setFlowControlMode(pr.mode);
+    if (plan_)
+        plan_->setEnabled(pr.inject_faults);
 
     MT_ASSERT(pr.tables.size() == engines_.size(),
               "table/engine count mismatch");
@@ -174,7 +240,7 @@ Machine::startNext()
 void
 Machine::onDelivery(const net::Message &msg)
 {
-    if (opts_.trace != nullptr) {
+    if (opts_.trace != nullptr && msg.tag != ni::kTagAck) {
         opts_.trace->push_back(TraceRecord{
             msg.flow_id, msg.src, msg.dst, msg.bytes,
             msg.tag == ni::kTagGather, eq_.now()});
@@ -232,6 +298,92 @@ Machine::completeActive()
         done(res);
     if (!queue_.empty())
         startNext();
+}
+
+void
+Machine::setAcceptSink(ni::NicEngine::AcceptFn fn)
+{
+    for (auto &e : engines_)
+        e->onAccept(fn);
+}
+
+void
+Machine::fillReportCounters(RunReport &rep) const
+{
+    const auto &st = network_->stats();
+    rep.dropped = network_->dropped();
+    rep.corrupted =
+        static_cast<std::uint64_t>(st.get("corrupted_messages"));
+    rep.degraded =
+        static_cast<std::uint64_t>(st.get("degraded_messages"));
+    const auto &drops = network_->dropsBySource();
+    const auto &corruptions = network_->corruptionsBySource();
+    rep.nodes.reserve(engines_.size());
+    for (const auto &e : engines_) {
+        NodeReport nr;
+        nr.node = e->node();
+        nr.reliability = e->reliability();
+        auto dit = drops.find(nr.node);
+        if (dit != drops.end())
+            nr.drops_as_source = dit->second;
+        auto cit = corruptions.find(nr.node);
+        if (cit != corruptions.end())
+            nr.corruptions_as_source = cit->second;
+        rep.retransmits += nr.reliability.retransmits;
+        rep.timeouts += nr.reliability.timeouts;
+        rep.acks += nr.reliability.acks_sent;
+        rep.duplicates += nr.reliability.duplicates;
+        rep.corrupt_discarded += nr.reliability.corrupt_discarded;
+        rep.nodes.push_back(std::move(nr));
+        for (const auto &f : e->failures())
+            rep.failures.push_back(f);
+    }
+}
+
+std::string
+Machine::stallDiagnostic() const
+{
+    std::ostringstream oss;
+    oss << "collective wedged at tick " << eq_.now() << " (started "
+        << active_start_ << "): injected " << network_->injected()
+        << ", delivered " << network_->delivered() << ", dropped "
+        << network_->dropped() << ", in flight "
+        << network_->inFlightCount() << "\n";
+    bool any_stall = false;
+    for (const auto &e : engines_) {
+        if (e->done())
+            continue;
+        any_stall = true;
+        oss << "  " << e->describeStall() << "\n";
+    }
+    if (!any_stall)
+        oss << "  (all engines done; fabric not quiescent)\n";
+    const std::string in_flight = network_->describeInFlight();
+    if (!in_flight.empty())
+        oss << in_flight;
+    if (plan_) {
+        oss << "  " << plan_->describe() << "\n";
+        auto down = plan_->downedChannels(eq_.now());
+        if (!down.empty()) {
+            oss << "  downed channel(s) now:";
+            for (int cid : down)
+                oss << " " << cid;
+            oss << "\n";
+        }
+    }
+    return oss.str();
+}
+
+void
+Machine::abortActive()
+{
+    active_ = false;
+    active_done_ = nullptr;
+    queue_.clear();
+    lifetime_.inc("aborted_runs");
+    // Engines may be wedged mid-table and the event queue is empty;
+    // the next beginEpoch()'s unconditional resets recover both, so
+    // the machine stays usable after a watchdog abort.
 }
 
 } // namespace multitree::runtime

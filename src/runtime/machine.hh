@@ -35,6 +35,7 @@
 
 #include "common/stats.hh"
 #include "common/units.hh"
+#include "fault/fault.hh"
 #include "net/network.hh"
 #include "ni/nic_engine.hh"
 #include "sim/event_queue.hh"
@@ -77,12 +78,28 @@ struct RunOptions {
     bool buffer_adjusted_estimates = false;
     /** When non-null, every delivery is appended here. */
     std::vector<TraceRecord> *trace = nullptr;
+    /**
+     * End-to-end reliability layer (acks, retransmission timers,
+     * receiver dedup) armed on every NIC engine. Off by default; a
+     * lossless run with the knob off is bit-identical to a machine
+     * built without it.
+     */
+    ni::ReliabilityOptions reliability;
+    /**
+     * Deterministic fault plan injected into the transport. When
+     * unset no interposer is attached and the fabric is pristine.
+     */
+    std::optional<fault::FaultConfig> fault;
 };
 
 /** Per-collective tweaks layered over the Machine's RunOptions. */
 struct RunOverrides {
     /** Flow control for this run (algorithm variants set this). */
     std::optional<net::FlowControlMode> flow_control;
+    /** Whether the machine's fault plan is live for this run
+     *  (default true when a plan exists). Disabling it yields a
+     *  fault-free reference run on the very same fabric. */
+    std::optional<bool> inject_faults;
 };
 
 /** Timing and transport statistics of one collective run. */
@@ -95,6 +112,47 @@ struct RunResult {
     double flit_hops = 0;    ///< total flit-hops (energy datapath)
     double head_hops = 0;    ///< head-flit hops (energy control)
     std::uint64_t nop_windows = 0; ///< lockstep NOP stalls across NIs
+};
+
+/** One node's reliability/fault activity during a run. */
+struct NodeReport {
+    int node = -1;
+    ni::ReliabilityCounters reliability;
+    /** Messages this node injected that a fault dropped. */
+    std::uint64_t drops_as_source = 0;
+    /** Messages this node injected that a fault corrupted. */
+    std::uint64_t corruptions_as_source = 0;
+};
+
+/**
+ * Structured outcome of a fault-tolerant run. Unlike run(), which is
+ * fatal on a wedged collective, tryRun() always returns: either the
+ * timing result plus the reliability work it took, or a watchdog
+ * diagnostic naming what stalled.
+ */
+struct RunReport {
+    bool ok = false;
+    /** Timing/transport result; meaningful only when ok. */
+    RunResult result;
+    /** Watchdog dump (non-quiescent nodes, in-flight census, failed
+     *  transfers, downed links); non-empty only when !ok. */
+    std::string diagnostic;
+
+    // Fault-plan activity over the run.
+    std::uint64_t dropped = 0;   ///< messages lost in transit
+    std::uint64_t corrupted = 0; ///< messages delivered tainted
+    std::uint64_t degraded = 0;  ///< messages delivered late
+
+    // Reliability work, aggregated over all nodes.
+    std::uint64_t retransmits = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t acks = 0;
+    std::uint64_t duplicates = 0;
+    std::uint64_t corrupt_discarded = 0;
+
+    std::vector<NodeReport> nodes; ///< per-node breakdown
+    /** Transfers whose retries were exhausted (wedge evidence). */
+    std::vector<ni::FailedTransfer> failures;
 };
 
 /** Invoked at a posted collective's completion tick. */
@@ -133,6 +191,22 @@ class Machine
                   RunOverrides ov = {});
 
     /**
+     * Fault-tolerant variant of run(): executes @p sched and always
+     * returns a RunReport. A run that completes (all engines done,
+     * fabric quiescent) reports ok with its result and reliability
+     * counters; a wedged run — lost dependency with reliability off,
+     * or retries exhausted against a downed link — is aborted by the
+     * progress watchdog with a structured diagnostic instead of
+     * MT_FATAL, and the machine stays reusable.
+     */
+    RunReport tryRun(const coll::Schedule &sched,
+                     const RunOverrides &ov = {});
+
+    /** Name-resolving overload of tryRun (see run(algo, bytes)). */
+    RunReport tryRun(const std::string &algo, std::uint64_t bytes,
+                     RunOverrides ov = {});
+
+    /**
      * Start a new epoch for the asynchronous API: rewind the event
      * queue to logical time zero and return the fabric (network
      * state, engine scoreboards, statistics) to its
@@ -163,6 +237,24 @@ class Machine
     /** Whether no collective is running or queued. */
     bool idle() const { return !active_ && queue_.empty(); }
 
+    /**
+     * Register a sink invoked for every data message a NIC engine
+     * accepts (post reliability dedup/checksum filtering). The
+     * data-plane oracle and custom traces hang off this.
+     */
+    void setAcceptSink(ni::NicEngine::AcceptFn fn);
+
+    /** The machine's fault plan, or nullptr when none configured. */
+    fault::FaultPlan *faultPlan() { return plan_.get(); }
+
+    /**
+     * Watchdog diagnostic of the current (wedged) state: stalled
+     * engines with their missing dependencies, injected/delivered/
+     * dropped accounting, the oldest in-flight messages, exhausted
+     * transfers and currently downed links.
+     */
+    std::string stallDiagnostic() const;
+
     const topo::Topology &topology() const { return topo_; }
     const RunOptions &options() const { return opts_; }
     sim::EventQueue &eventQueue() { return eq_; }
@@ -181,6 +273,7 @@ class Machine
         bool lockstep = false;
         std::uint64_t total_bytes = 0;
         net::FlowControlMode mode = net::FlowControlMode::PacketBased;
+        bool inject_faults = true;
         CompletionFn done;
     };
 
@@ -189,11 +282,27 @@ class Machine
     void maybeComplete();
     void completeActive();
 
+    /**
+     * Run the event queue dry, sweeping completion after every
+     * drain: fault drops end a message's lifetime at injection time,
+     * so a run's final issue can happen inside a timer callback with
+     * no delivery (and hence no completion check) after it.
+     */
+    void drainLoop();
+
+    /** Fill @p rep's fault/reliability counters from the fabric. */
+    void fillReportCounters(RunReport &rep) const;
+
+    /** Watchdog abort: discard the wedged run and queued work so the
+     *  next beginEpoch() finds an idle machine. */
+    void abortActive();
+
     const topo::Topology &topo_;
     RunOptions opts_;
     sim::EventQueue eq_;
     std::unique_ptr<net::Network> network_;
     std::vector<std::unique_ptr<ni::NicEngine>> engines_;
+    std::unique_ptr<fault::FaultPlan> plan_;
 
     std::deque<PendingRun> queue_;
     bool active_ = false;

@@ -1,0 +1,511 @@
+/**
+ * @file
+ * Fault-injection and end-to-end reliability tests.
+ *
+ * Headline property: every registered all-reduce algorithm, on both
+ * network backends, completes with bit-identical reduced data under
+ * injected message drops and corruptions once retransmission is
+ * enabled — certified by the exact-arithmetic coll::DataPlane
+ * oracle. Around it: FaultPlan determinism, degraded-link latency
+ * accounting, corruption detection with the reliability layer off,
+ * the progress watchdog's structured abort on a permanently downed
+ * link, and machine reusability after an abort.
+ *
+ * The probabilistic tests honor MT_FAULT_SEED (default 1) so the CI
+ * smoke job can replay the suite under several fixed seeds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "coll/algorithm.hh"
+#include "coll/data_plane.hh"
+#include "fault/fault.hh"
+#include "ni/nic_engine.hh"
+#include "runtime/machine.hh"
+#include "topo/factory.hh"
+
+namespace multitree {
+namespace {
+
+/** Seed for the probabilistic tests; CI replays several values. */
+std::uint64_t
+faultSeed()
+{
+    const char *env = std::getenv("MT_FAULT_SEED");
+    return env != nullptr ? std::strtoull(env, nullptr, 10) : 1;
+}
+
+void
+expectSameResult(const runtime::RunResult &a,
+                 const runtime::RunResult &b)
+{
+    EXPECT_EQ(a.time, b.time);
+    EXPECT_DOUBLE_EQ(a.bandwidth, b.bandwidth);
+    EXPECT_EQ(a.messages, b.messages);
+    EXPECT_DOUBLE_EQ(a.payload_flits, b.payload_flits);
+    EXPECT_DOUBLE_EQ(a.head_flits, b.head_flits);
+    EXPECT_DOUBLE_EQ(a.flit_hops, b.flit_hops);
+    EXPECT_DOUBLE_EQ(a.head_hops, b.head_hops);
+    EXPECT_EQ(a.nop_windows, b.nop_windows);
+}
+
+/** Wire a DataPlane oracle into @p machine's accept stream. */
+void
+attachOracle(runtime::Machine &machine, coll::DataPlane &plane)
+{
+    machine.setAcceptSink([&plane](const net::Message &msg) {
+        if (msg.tag == ni::kTagAck)
+            return;
+        plane.onAccept(msg.src, msg.dst, msg.flow_id,
+                       msg.tag == ni::kTagGather, msg.corrupted);
+    });
+}
+
+// --- FaultPlan unit behaviour -------------------------------------
+
+TEST(FaultPlan, SameSeedSameFates)
+{
+    fault::FaultConfig cfg;
+    cfg.seed = faultSeed();
+    cfg.drop_prob = 0.1;
+    cfg.corrupt_prob = 0.1;
+    fault::FaultPlan a(cfg, 8);
+    fault::FaultPlan b(cfg, 8);
+    net::Message msg;
+    msg.route = {0, 1};
+    for (int i = 0; i < 1000; ++i) {
+        auto fa = a.onInject(msg, i);
+        auto fb = b.onInject(msg, i);
+        EXPECT_EQ(fa.drop, fb.drop);
+        EXPECT_EQ(fa.corrupt, fb.corrupt);
+    }
+}
+
+TEST(FaultPlan, ResetReplaysTheStream)
+{
+    fault::FaultConfig cfg;
+    cfg.seed = faultSeed();
+    cfg.drop_prob = 0.2;
+    fault::FaultPlan plan(cfg, 4);
+    net::Message msg;
+    msg.route = {2};
+    std::vector<bool> first;
+    for (int i = 0; i < 500; ++i)
+        first.push_back(plan.onInject(msg, i).drop);
+    plan.reset();
+    for (int i = 0; i < 500; ++i)
+        EXPECT_EQ(plan.onInject(msg, i).drop, first[i]);
+    // Some fate must have differed within the stream, or the test
+    // proves nothing.
+    EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+    EXPECT_NE(std::count(first.begin(), first.end(), false), 0);
+}
+
+TEST(FaultPlan, LinkDownDropsOnlyCrossingWindowedTraffic)
+{
+    fault::FaultConfig cfg;
+    fault::LinkFault lf;
+    lf.channel = 3;
+    lf.from = 100;
+    lf.until = 200;
+    lf.down = true;
+    cfg.links.push_back(lf);
+    fault::FaultPlan plan(cfg, 8);
+    net::Message crossing;
+    crossing.route = {1, 3, 5};
+    net::Message clear;
+    clear.route = {1, 5};
+    EXPECT_FALSE(plan.onInject(crossing, 99).drop);  // before window
+    EXPECT_TRUE(plan.onInject(crossing, 100).drop);  // inclusive from
+    EXPECT_TRUE(plan.onInject(crossing, 199).drop);
+    EXPECT_FALSE(plan.onInject(crossing, 200).drop); // exclusive until
+    EXPECT_FALSE(plan.onInject(clear, 150).drop);    // other route
+    EXPECT_EQ(plan.downedChannelOn(crossing.route, 150), 3);
+    EXPECT_EQ(plan.downedChannelOn(crossing.route, 250), -1);
+}
+
+TEST(FaultPlan, DisabledPlanRulesNoFault)
+{
+    fault::FaultConfig cfg;
+    cfg.drop_prob = 1.0;
+    fault::FaultPlan plan(cfg, 2);
+    plan.setEnabled(false);
+    net::Message msg;
+    msg.route = {0};
+    EXPECT_FALSE(plan.onInject(msg, 0).drop);
+    plan.setEnabled(true);
+    EXPECT_TRUE(plan.onInject(msg, 0).drop);
+}
+
+TEST(FaultPlanDeath, RejectsMalformedConfigs)
+{
+    fault::FaultConfig bad_prob;
+    bad_prob.drop_prob = 1.5;
+    EXPECT_DEATH(fault::FaultPlan(bad_prob, 4), "probability");
+
+    fault::FaultConfig bad_channel;
+    bad_channel.links.push_back(
+        fault::LinkFault{9, 0, 10, true, 0});
+    EXPECT_DEATH(fault::FaultPlan(bad_channel, 4), "outside");
+
+    fault::FaultConfig empty_window;
+    empty_window.links.push_back(
+        fault::LinkFault{1, 10, 10, true, 0});
+    EXPECT_DEATH(fault::FaultPlan(empty_window, 4), "interval");
+
+    fault::FaultConfig both;
+    both.links.push_back(fault::LinkFault{1, 0, 10, true, 5});
+    EXPECT_DEATH(fault::FaultPlan(both, 4), "not both");
+}
+
+// --- The headline property ----------------------------------------
+
+class FaultedAllReduce
+    : public ::testing::TestWithParam<runtime::Backend>
+{};
+
+// Every registered algorithm completes under drop/corrupt faults
+// once retransmission is on, with the data plane bit-identical to a
+// fault-free execution, on both backends. Retransmission work must
+// actually happen somewhere across the sweep (the faults are real).
+TEST_P(FaultedAllReduce, EveryAlgorithmBitIdenticalUnderFaults)
+{
+    auto topo = topo::makeTopology("torus-4x4");
+    const std::uint64_t bytes =
+        GetParam() == runtime::Backend::Flit ? 16 * KiB : 256 * KiB;
+
+    std::uint64_t total_retransmits = 0;
+    std::uint64_t total_faults = 0;
+    std::uint64_t idx = 0;
+    for (const auto &v : coll::algorithmVariants()) {
+        auto algo = coll::makeAlgorithm(v.base);
+        if (!algo->supports(*topo))
+            continue;
+        SCOPED_TRACE(v.name);
+        // One machine (and fault plan) per variant: beginEpoch()
+        // replays a machine's fault stream identically every run, so
+        // independent fault draws need per-variant seeds.
+        runtime::RunOptions opts;
+        opts.backend = GetParam();
+        opts.reliability.enabled = true;
+        fault::FaultConfig fc;
+        fc.seed = faultSeed() + 1000 * idx++;
+        fc.drop_prob = 1e-3;
+        fc.corrupt_prob = 1e-4;
+        opts.fault = fc;
+        runtime::Machine machine(*topo, opts);
+        auto sched = algo->build(*topo, bytes);
+        coll::DataPlane plane(sched);
+        attachOracle(machine, plane);
+        runtime::RunOverrides ov;
+        ov.flow_control = v.flow_control;
+        auto rep = machine.tryRun(sched, ov);
+        ASSERT_TRUE(rep.ok) << rep.diagnostic;
+        EXPECT_TRUE(plane.consistent()) << plane.describeMismatch();
+        total_retransmits += rep.retransmits;
+        total_faults += rep.dropped + rep.corrupted;
+        // Every drop/corruption must be answered by a timeout.
+        if (rep.dropped + rep.corrupt_discarded > 0)
+            EXPECT_GT(rep.timeouts, 0u);
+    }
+    // At drop 1e-3 over thousands of injections, a faultless sweep
+    // would mean the interposer is not wired at all.
+    EXPECT_GT(total_faults, 0u);
+    EXPECT_GT(total_retransmits, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, FaultedAllReduce,
+    ::testing::Values(runtime::Backend::Flow,
+                      runtime::Backend::Flit),
+    [](const ::testing::TestParamInfo<runtime::Backend> &info) {
+        return info.param == runtime::Backend::Flow ? "Flow"
+                                                    : "Flit";
+    });
+
+// --- Bit-identity of the lossless paths ---------------------------
+
+class LosslessIdentity
+    : public ::testing::TestWithParam<runtime::Backend>
+{};
+
+// A machine carrying a (disabled) fault plan and no reliability is
+// bit-identical to one built without either — the new code paths are
+// inert until switched on.
+TEST_P(LosslessIdentity, DisabledFaultPlanChangesNothing)
+{
+    auto topo = topo::makeTopology("torus-4x4");
+    runtime::RunOptions plain;
+    plain.backend = GetParam();
+    runtime::Machine base(*topo, plain);
+
+    runtime::RunOptions faulted = plain;
+    fault::FaultConfig fc;
+    fc.seed = faultSeed();
+    fc.drop_prob = 0.5;
+    faulted.fault = fc;
+    runtime::Machine carrier(*topo, faulted);
+
+    const std::uint64_t bytes = 64 * KiB;
+    for (const std::string algo : {"ring", "multitree"}) {
+        SCOPED_TRACE(algo);
+        runtime::RunOverrides ov;
+        ov.inject_faults = false;
+        expectSameResult(carrier.run(algo, bytes, ov),
+                         base.run(algo, bytes));
+    }
+}
+
+// Reliability without faults completes with zero retransmission work
+// and strictly later than the lossless run — the ack settle is real,
+// honestly accounted overhead.
+TEST_P(LosslessIdentity, ReliabilityOverheadIsAcksOnly)
+{
+    auto topo = topo::makeTopology("torus-4x4");
+    runtime::RunOptions plain;
+    plain.backend = GetParam();
+    runtime::Machine base(*topo, plain);
+
+    runtime::RunOptions rel = plain;
+    rel.reliability.enabled = true;
+    runtime::Machine reliable(*topo, rel);
+
+    const std::uint64_t bytes = 64 * KiB;
+    auto loss_free = base.run("ring", bytes);
+    auto rep = reliable.tryRun("ring", bytes);
+    ASSERT_TRUE(rep.ok) << rep.diagnostic;
+    EXPECT_EQ(rep.retransmits, 0u);
+    EXPECT_EQ(rep.duplicates, 0u);
+    EXPECT_GT(rep.acks, 0u);
+    // Completion now includes delivering the final ack.
+    EXPECT_GT(rep.result.time, loss_free.time);
+    // One ack per data message rides the wire.
+    EXPECT_EQ(rep.result.messages, 2 * loss_free.messages);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, LosslessIdentity,
+    ::testing::Values(runtime::Backend::Flow,
+                      runtime::Backend::Flit),
+    [](const ::testing::TestParamInfo<runtime::Backend> &info) {
+        return info.param == runtime::Backend::Flow ? "Flow"
+                                                    : "Flit";
+    });
+
+// --- Degraded links -----------------------------------------------
+
+TEST(DegradedLink, ExtraLatencyStretchesCompletion)
+{
+    auto topo = topo::makeTopology("torus-4x4");
+    runtime::RunOptions plain;
+    runtime::Machine base(*topo, plain);
+    auto healthy = base.run("ring", 64 * KiB);
+
+    runtime::RunOptions opts;
+    fault::FaultConfig fc;
+    fault::LinkFault lf;
+    lf.channel = 0;
+    lf.extra_latency = 50000;
+    fc.links.push_back(lf);
+    opts.fault = fc;
+    runtime::Machine machine(*topo, opts);
+    auto rep = machine.tryRun("ring", 64 * KiB);
+    ASSERT_TRUE(rep.ok) << rep.diagnostic;
+    EXPECT_GT(rep.degraded, 0u);
+    EXPECT_EQ(rep.dropped, 0u);
+    EXPECT_GT(rep.result.time, healthy.time);
+    // Degradation delays, it does not destroy: same wire traffic.
+    EXPECT_EQ(rep.result.messages, healthy.messages);
+}
+
+// --- Corruption without reliability -------------------------------
+
+TEST(Corruption, UnreliableReceiverAcceptsTaintedData)
+{
+    auto topo = topo::makeTopology("torus-4x4");
+    runtime::RunOptions opts;
+    fault::FaultConfig fc;
+    fc.seed = faultSeed();
+    fc.corrupt_prob = 0.05;
+    opts.fault = fc;
+    runtime::Machine machine(*topo, opts);
+
+    auto sched =
+        coll::makeAlgorithm("ring")->build(*topo, 64 * KiB);
+    coll::DataPlane plane(sched);
+    attachOracle(machine, plane);
+    auto rep = machine.tryRun(sched);
+    // Corrupted messages still traverse and clear dependencies, so
+    // the run completes — with silently wrong data, which only the
+    // oracle notices. This is exactly the failure mode the
+    // reliability layer exists to close.
+    ASSERT_TRUE(rep.ok) << rep.diagnostic;
+    EXPECT_GT(rep.corrupted, 0u);
+    EXPECT_FALSE(plane.consistent());
+    machine.setAcceptSink(nullptr);
+}
+
+TEST(Corruption, ReliableReceiverDiscardsAndRecovers)
+{
+    auto topo = topo::makeTopology("torus-4x4");
+    runtime::RunOptions opts;
+    opts.reliability.enabled = true;
+    fault::FaultConfig fc;
+    fc.seed = faultSeed();
+    fc.corrupt_prob = 0.05;
+    opts.fault = fc;
+    runtime::Machine machine(*topo, opts);
+
+    auto sched =
+        coll::makeAlgorithm("ring")->build(*topo, 64 * KiB);
+    coll::DataPlane plane(sched);
+    attachOracle(machine, plane);
+    auto rep = machine.tryRun(sched);
+    ASSERT_TRUE(rep.ok) << rep.diagnostic;
+    EXPECT_GT(rep.corrupted, 0u);
+    EXPECT_GT(rep.corrupt_discarded, 0u);
+    EXPECT_TRUE(plane.consistent()) << plane.describeMismatch();
+    machine.setAcceptSink(nullptr);
+}
+
+// --- The progress watchdog ----------------------------------------
+
+class Watchdog : public ::testing::TestWithParam<runtime::Backend>
+{};
+
+// A permanently downed link exhausts the bounded retransmissions;
+// the watchdog must surface a structured failure naming the link and
+// the dead transfers — no crash, no hang — and leave the machine
+// reusable.
+TEST_P(Watchdog, DownedLinkAbortsStructurallyAndMachineRecovers)
+{
+    auto topo = topo::makeTopology("torus-4x4");
+    auto sched =
+        coll::makeAlgorithm("ring")->build(*topo, 16 * KiB);
+    // Down a channel the schedule provably crosses: the first reduce
+    // edge's first hop.
+    const auto &edge = sched.flows[0].reduce[0];
+    auto route = edge.route.empty()
+                     ? topo->route(edge.src, edge.dst)
+                     : edge.route;
+    ASSERT_FALSE(route.empty());
+    const int downed = route[0];
+
+    runtime::RunOptions opts;
+    opts.backend = GetParam();
+    opts.reliability.enabled = true;
+    opts.reliability.max_attempts = 3;
+    fault::FaultConfig fc;
+    fault::LinkFault lf;
+    lf.channel = downed;
+    lf.down = true;
+    fc.links.push_back(lf);
+    opts.fault = fc;
+    runtime::Machine machine(*topo, opts);
+
+    auto rep = machine.tryRun(sched);
+    EXPECT_FALSE(rep.ok);
+    ASSERT_FALSE(rep.failures.empty());
+    for (const auto &f : rep.failures)
+        EXPECT_EQ(f.attempts, 3u);
+    EXPECT_GT(rep.dropped, 0u);
+    // The diagnostic names the downed channel, the dead transfers
+    // and the stalled engines.
+    EXPECT_NE(rep.diagnostic.find("downed channel"),
+              std::string::npos)
+        << rep.diagnostic;
+    EXPECT_NE(rep.diagnostic.find(std::to_string(downed)),
+              std::string::npos);
+    EXPECT_NE(rep.diagnostic.find("FAILED"), std::string::npos);
+    EXPECT_NE(rep.diagnostic.find("awaiting"), std::string::npos);
+    EXPECT_TRUE(machine.idle());
+
+    // The watchdog abort leaves the fabric recoverable: a clean run
+    // on the same machine matches a fresh machine bit-for-bit.
+    runtime::RunOptions clean_opts;
+    clean_opts.backend = GetParam();
+    clean_opts.reliability.enabled = true;
+    clean_opts.reliability.max_attempts = 3;
+    runtime::Machine fresh(*topo, clean_opts);
+    auto fresh_rep = fresh.tryRun(sched);
+    ASSERT_TRUE(fresh_rep.ok) << fresh_rep.diagnostic;
+    runtime::RunOverrides ov;
+    ov.inject_faults = false;
+    auto retry = machine.tryRun(sched, ov);
+    ASSERT_TRUE(retry.ok) << retry.diagnostic;
+    expectSameResult(retry.result, fresh_rep.result);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, Watchdog,
+    ::testing::Values(runtime::Backend::Flow,
+                      runtime::Backend::Flit),
+    [](const ::testing::TestParamInfo<runtime::Backend> &info) {
+        return info.param == runtime::Backend::Flow ? "Flow"
+                                                    : "Flit";
+    });
+
+// With reliability off, losing a message a later send depends on
+// wedges the collective; tryRun must abort with a diagnostic instead
+// of hanging or dying, and name the lost progress.
+TEST(Watchdog, UnreliableLossWedgesWithDiagnostic)
+{
+    auto topo = topo::makeTopology("torus-4x4");
+    auto sched =
+        coll::makeAlgorithm("ring")->build(*topo, 16 * KiB);
+    const auto &edge = sched.flows[0].reduce[0];
+    auto route = edge.route.empty()
+                     ? topo->route(edge.src, edge.dst)
+                     : edge.route;
+    const int downed = route[0];
+
+    runtime::RunOptions opts;
+    fault::FaultConfig fc;
+    fault::LinkFault lf;
+    lf.channel = downed;
+    lf.down = true;
+    fc.links.push_back(lf);
+    opts.fault = fc;
+    runtime::Machine machine(*topo, opts);
+    auto rep = machine.tryRun(sched);
+    EXPECT_FALSE(rep.ok);
+    EXPECT_GT(rep.dropped, 0u);
+    EXPECT_NE(rep.diagnostic.find("issued"), std::string::npos)
+        << rep.diagnostic;
+    EXPECT_TRUE(machine.idle());
+}
+
+// Per-node attribution: the RunReport names which senders lost
+// messages and which engines did the retransmission work.
+TEST(RunReport, PerNodeCountersAttributeTheWork)
+{
+    auto topo = topo::makeTopology("torus-4x4");
+    runtime::RunOptions opts;
+    opts.reliability.enabled = true;
+    fault::FaultConfig fc;
+    fc.seed = faultSeed();
+    fc.drop_prob = 5e-3;
+    opts.fault = fc;
+    runtime::Machine machine(*topo, opts);
+    auto rep = machine.tryRun("ring", 256 * KiB);
+    ASSERT_TRUE(rep.ok) << rep.diagnostic;
+    ASSERT_EQ(rep.nodes.size(),
+              static_cast<std::size_t>(topo->numNodes()));
+    std::uint64_t node_retransmits = 0;
+    std::uint64_t node_drops = 0;
+    for (const auto &nr : rep.nodes) {
+        node_retransmits += nr.reliability.retransmits;
+        node_drops += nr.drops_as_source;
+    }
+    EXPECT_EQ(node_retransmits, rep.retransmits);
+    EXPECT_EQ(node_drops, rep.dropped);
+    EXPECT_GT(rep.dropped, 0u);
+}
+
+} // namespace
+} // namespace multitree

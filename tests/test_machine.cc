@@ -66,6 +66,58 @@ TEST_P(MachineReuse, BackToBackMatchesFreshForEveryVariant)
     EXPECT_TRUE(machine.idle());
 }
 
+// Network::reset() fully recovers the fabric from fault activity: a
+// clean (injection-disabled) run after a faulted-but-completed run,
+// and after a watchdog-aborted run, is bit-identical to a clean run
+// on a freshly built fabric.
+TEST_P(MachineReuse, CleanRunAfterFaultedAndAbortedRunsMatchesFresh)
+{
+    auto topo = topo::makeTopology("torus-4x4");
+    const std::uint64_t bytes =
+        GetParam() == runtime::Backend::Flit ? 16 * KiB : 256 * KiB;
+
+    runtime::RunOptions opts;
+    opts.backend = GetParam();
+    opts.reliability.enabled = true;
+    opts.reliability.max_attempts = 3;
+    runtime::RunOverrides clean;
+    clean.inject_faults = false;
+    runtime::Machine reference(*topo, opts);
+    auto baseline = reference.run("ring", bytes, clean);
+
+    // After a faulted-but-completed run (probabilistic loss,
+    // retransmission recovers) the next clean run matches fresh.
+    runtime::RunOptions lossy = opts;
+    fault::FaultConfig fc;
+    fc.seed = 7;
+    fc.drop_prob = 1e-3;
+    lossy.fault = fc;
+    runtime::Machine survivor(*topo, lossy);
+    auto faulted = survivor.tryRun("ring", bytes);
+    ASSERT_TRUE(faulted.ok) << faulted.diagnostic;
+    expectSameResult(survivor.run("ring", bytes, clean), baseline);
+
+    // After a watchdog abort (permanently downed link, retries
+    // exhausted) the same machine still recovers to bit-identical.
+    auto sched = coll::makeAlgorithm("ring")->build(*topo, bytes);
+    const auto &edge = sched.flows[0].reduce[0];
+    auto route = edge.route.empty() ? topo->route(edge.src, edge.dst)
+                                    : edge.route;
+    ASSERT_FALSE(route.empty());
+    runtime::RunOptions downed = opts;
+    fault::FaultConfig down_fc;
+    fault::LinkFault lf;
+    lf.channel = route[0];
+    lf.down = true;
+    down_fc.links.push_back(lf);
+    downed.fault = down_fc;
+    runtime::Machine aborted(*topo, downed);
+    auto wedged = aborted.tryRun("ring", bytes);
+    ASSERT_FALSE(wedged.ok);
+    ASSERT_TRUE(aborted.idle());
+    expectSameResult(aborted.run("ring", bytes, clean), baseline);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Backends, MachineReuse,
     ::testing::Values(runtime::Backend::Flow,
