@@ -17,12 +17,15 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <string>
 #include <utility>
 
 #include "coll/algorithm.hh"
+#include "obs/perfetto.hh"
+#include "obs/trace.hh"
 #include "runtime/machine.hh"
 #include "topo/factory.hh"
 
@@ -65,6 +68,96 @@ fig9Sizes()
             8 * MiB,        32 * MiB,  64 * MiB};
 }
 
+/** One cached persistent fabric, with its optional trace recorder. */
+struct Fabric {
+    std::unique_ptr<topo::Topology> topo;
+    /** Non-null when --trace-out armed tracing for this process. */
+    std::unique_ptr<obs::Trace> trace;
+    std::unique_ptr<runtime::Machine> machine;
+};
+
+/**
+ * Cache of persistent fabrics, keyed by (topology, backend).
+ * Deliberately leaked: the trace writer runs from std::atexit, which
+ * interleaves with static destruction in LIFO order, and the cache is
+ * first touched (hence constructed) *after* the handler registers —
+ * a function-local static would already be destroyed when the
+ * handler walks it.
+ */
+inline std::map<std::pair<std::string, runtime::Backend>, Fabric> &
+fabricCache()
+{
+    static auto *cache = new std::map<
+        std::pair<std::string, runtime::Backend>, Fabric>;
+    return *cache;
+}
+
+/** Output base path set by --trace-out; empty = tracing off. */
+inline std::string &
+traceOutBase()
+{
+    static std::string base;
+    return base;
+}
+
+/**
+ * Write one Perfetto trace file per traced fabric, suffixed
+ * "<base>.<topo>.<backend>.json". Registered via std::atexit by
+ * extractTraceOutFlag so every fabric's recording — all runs of the
+ * whole sweep, back to back on its shared time axis — lands on disk
+ * when the benchmark process exits.
+ */
+inline void
+writeFabricTraces()
+{
+    const std::string &base = traceOutBase();
+    if (base.empty())
+        return;
+    for (const auto &[key, f] : fabricCache()) {
+        if (!f.trace || f.trace->events().empty())
+            continue;
+        const std::string path =
+            base + "." + key.first
+            + (key.second == runtime::Backend::Flow ? ".flow"
+                                                    : ".flit")
+            + ".json";
+        std::ofstream out(path);
+        if (!out)
+            continue;
+        obs::writePerfettoTrace(out, f.machine->fabricInfo(),
+                                f.trace->events());
+    }
+}
+
+/**
+ * Extract `--trace-out=BASE` (or `--trace-out BASE`) from argv the
+ * same way extractSeedFlag does, arming per-fabric lifecycle tracing
+ * for the whole benchmark process. Traces are flushed at exit.
+ * @return whether tracing was armed.
+ */
+inline bool
+extractTraceOutFlag(int *argc, char **argv)
+{
+    int out = 1;
+    for (int i = 1; i < *argc; ++i) {
+        const char *a = argv[i];
+        if (std::strncmp(a, "--trace-out=", 12) == 0) {
+            traceOutBase() = a + 12;
+            continue;
+        }
+        if (std::strcmp(a, "--trace-out") == 0 && i + 1 < *argc) {
+            traceOutBase() = argv[++i];
+            continue;
+        }
+        argv[out++] = argv[i];
+    }
+    *argc = out;
+    if (traceOutBase().empty())
+        return false;
+    std::atexit(&writeFabricTraces);
+    return true;
+}
+
 /**
  * The persistent fabric for one (topology, backend) pair. A sweep of
  * algorithm/size points reuses one Machine — routers and NI engines
@@ -74,12 +167,7 @@ fig9Sizes()
 inline runtime::Machine &
 machineFor(const std::string &topo_spec, runtime::Backend backend)
 {
-    struct Fabric {
-        std::unique_ptr<topo::Topology> topo;
-        std::unique_ptr<runtime::Machine> machine;
-    };
-    static std::map<std::pair<std::string, runtime::Backend>, Fabric>
-        cache;
+    auto &cache = fabricCache();
     auto key = std::make_pair(topo_spec, backend);
     auto it = cache.find(key);
     if (it == cache.end()) {
@@ -87,6 +175,10 @@ machineFor(const std::string &topo_spec, runtime::Backend backend)
         f.topo = topo::makeTopology(topo_spec);
         runtime::RunOptions opts;
         opts.backend = backend;
+        if (!traceOutBase().empty()) {
+            f.trace = std::make_unique<obs::Trace>();
+            opts.sink = f.trace.get();
+        }
         f.machine =
             std::make_unique<runtime::Machine>(*f.topo, opts);
         it = cache.emplace(key, std::move(f)).first;

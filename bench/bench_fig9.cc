@@ -83,6 +83,9 @@ int
 main(int argc, char **argv)
 {
     registerPanel();
+    // --trace-out=BASE records every fabric's lifecycle events and
+    // writes one Perfetto JSON per (topology, backend) at exit.
+    multitree::bench::extractTraceOutFlag(&argc, argv);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();

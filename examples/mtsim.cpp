@@ -12,17 +12,27 @@
  *           [--dump dot|csv]
  *           [--seed N] [--drop P] [--corrupt P] [--degrade CH:CYC]
  *           [--reliable]
+ *           [--trace-out FILE] [--metrics-out FILE]
+ *           [--timeline] [--timeline-window TICKS]
  *
  * The fault flags attach a deterministic fault plan (seeded by
  * --seed) to the fabric; --reliable arms the end-to-end
  * retransmission layer so lossy runs still complete with intact
  * data. Faulted runs print the fault/reliability accounting and, if
  * the collective wedges, the watchdog diagnostic.
+ *
+ * Observability: --trace-out records the run's lifecycle events and
+ * writes Chrome/Perfetto trace-event JSON (open in ui.perfetto.dev);
+ * --metrics-out writes the JSON metrics snapshot; --timeline prints
+ * per-link busy-fraction rows to stdout.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "coll/export.hh"
@@ -31,7 +41,11 @@
 #include "common/strings.hh"
 #include "core/multitree.hh"
 #include "net/energy.hh"
+#include "obs/perfetto.hh"
+#include "obs/timeline.hh"
+#include "obs/trace.hh"
 #include "runtime/machine.hh"
+#include "runtime/metrics.hh"
 #include "topo/factory.hh"
 
 namespace {
@@ -53,6 +67,10 @@ struct Args {
     int degrade_channel = -1;
     Tick degrade_cycles = 0;
     bool reliable = false;
+    std::string trace_out;
+    std::string metrics_out;
+    bool timeline = false;
+    Tick timeline_window = 0; ///< 0 = auto (~64 buckets)
 };
 
 void
@@ -67,6 +85,8 @@ usage()
         "[--dump dot|csv]\n"
         "             [--seed N] [--drop PROB] [--corrupt PROB]\n"
         "             [--degrade CHANNEL:CYCLES] [--reliable]\n"
+        "             [--trace-out FILE] [--metrics-out FILE]\n"
+        "             [--timeline] [--timeline-window TICKS]\n"
         "topologies: torus-WxH mesh-WxH fattree-{16,64,L:P:S} "
         "bigraph-UxL\n"
         "algorithms: ring dbtree ring2d hd hdrm multitree "
@@ -124,6 +144,14 @@ main(int argc, char **argv)
                                                 10);
         } else if (a == "--reliable")
             args.reliable = true;
+        else if (a == "--trace-out")
+            args.trace_out = next();
+        else if (a == "--metrics-out")
+            args.metrics_out = next();
+        else if (a == "--timeline")
+            args.timeline = true;
+        else if (a == "--timeline-window")
+            args.timeline_window = std::strtoull(next(), nullptr, 10);
         else {
             usage();
             return a == "--help" || a == "-h" ? 0 : 1;
@@ -204,6 +232,11 @@ main(int argc, char **argv)
     }
     opts.reliability.enabled = args.reliable;
 
+    obs::Trace trace;
+    const bool observing = !args.trace_out.empty() || args.timeline;
+    if (observing)
+        opts.sink = &trace;
+
     runtime::Machine machine(*topo, opts);
     runtime::RunOverrides ov;
     ov.flow_control = variant.flow_control;
@@ -267,6 +300,43 @@ main(int argc, char **argv)
                             rep.duplicates),
                         static_cast<unsigned long long>(
                             rep.corrupt_discarded));
+    }
+
+    const obs::FabricInfo fabric = machine.fabricInfo();
+    if (!args.trace_out.empty()) {
+        std::ofstream out(args.trace_out);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         args.trace_out.c_str());
+            return 1;
+        }
+        obs::writePerfettoTrace(out, fabric, trace.events());
+        std::printf("  trace            %s (%zu events; open in "
+                    "ui.perfetto.dev)\n",
+                    args.trace_out.c_str(), trace.events().size());
+    }
+    if (!args.metrics_out.empty()) {
+        std::ofstream out(args.metrics_out);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         args.metrics_out.c_str());
+            return 1;
+        }
+        runtime::writeMetricsJson(
+            out, machine, res,
+            faulty || args.reliable ? &rep : nullptr);
+        std::printf("  metrics          %s\n",
+                    args.metrics_out.c_str());
+    }
+    if (args.timeline) {
+        Tick window = args.timeline_window;
+        if (window == 0)
+            window = std::max<Tick>(1, res.time / 64);
+        const auto tl = obs::buildLinkTimeline(
+            fabric, trace.events(), window);
+        std::ostringstream oss;
+        obs::renderTimelineText(oss, fabric, tl);
+        std::fputs(oss.str().c_str(), stdout);
     }
     return 0;
 }

@@ -48,12 +48,19 @@ Histogram::Histogram(double lo, double hi, std::size_t buckets)
 void
 Histogram::add(double x)
 {
-    double idx = (x - lo_) / width_;
-    auto i = static_cast<std::int64_t>(std::floor(idx));
-    i = std::clamp<std::int64_t>(i, 0,
-                                 static_cast<std::int64_t>(counts_.size())
-                                     - 1);
-    ++counts_[static_cast<std::size_t>(i)];
+    // NaN has no meaningful bucket, and casting a non-finite (or huge
+    // finite) index to an integer is undefined; count NaN separately
+    // and clamp everything else while still in floating point.
+    if (std::isnan(x)) {
+        ++nonfinite_;
+        return;
+    }
+    double idx = std::floor((x - lo_) / width_);
+    if (!std::isfinite(idx))
+        ++nonfinite_;
+    idx = std::clamp(idx, 0.0,
+                     static_cast<double>(counts_.size() - 1));
+    ++counts_[static_cast<std::size_t>(idx)];
     ++total_;
 }
 

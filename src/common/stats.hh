@@ -73,8 +73,12 @@ class Histogram
     /** Add one sample. */
     void add(double x);
 
-    /** Samples collected so far. */
+    /** Samples collected so far (NaN samples excluded). */
     std::uint64_t count() const { return total_; }
+
+    /** Non-finite samples seen: NaN (uncounted) and ±inf (clamped
+     *  into the boundary buckets). */
+    std::uint64_t nonfinite() const { return nonfinite_; }
 
     /** Bucket population. */
     const std::vector<std::uint64_t> &buckets() const { return counts_; }
@@ -87,6 +91,7 @@ class Histogram
     double hi_;
     double width_;
     std::uint64_t total_ = 0;
+    std::uint64_t nonfinite_ = 0;
     std::vector<std::uint64_t> counts_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <iomanip>
 #include <sstream>
 
@@ -44,6 +45,14 @@ formatBytes(std::uint64_t bytes)
     double value = static_cast<double>(bytes);
     std::size_t idx = 0;
     while (value >= 1024.0 && idx + 1 < std::size(suffixes)) {
+        value /= 1024.0;
+        ++idx;
+    }
+    // 1048570 B is 1023.99 KiB, which the one-decimal print below
+    // would round to "1024.0 KiB"; promote once more when rounding
+    // reaches the next unit.
+    if (idx + 1 < std::size(suffixes)
+        && std::round(value * 10.0) / 10.0 >= 1024.0) {
         value /= 1024.0;
         ++idx;
     }

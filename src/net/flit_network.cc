@@ -16,6 +16,7 @@ FlitNetwork::FlitNetwork(sim::EventQueue &eq,
     : Network(eq, cfg), topo_(topo),
       wrap_channel_(static_cast<std::size_t>(topo.numChannels()), 0),
       channel_flits_(static_cast<std::size_t>(topo.numChannels()), 0),
+      trace_span_(static_cast<std::size_t>(topo.numChannels())),
       pending_(static_cast<std::size_t>(topo.numVertices())),
       inj_pkt_(static_cast<std::size_t>(topo.numVertices()))
 {
@@ -100,6 +101,7 @@ FlitNetwork::reset()
         }
     }
     std::fill(channel_flits_.begin(), channel_flits_.end(), 0);
+    std::fill(trace_span_.begin(), trace_span_.end(), BusySpan{});
     for (auto &q : pending_)
         q.clear();
     for (auto &slots : inj_pkt_)
@@ -187,6 +189,19 @@ FlitNetwork::refillInjection(int vertex)
         if (!vcClassAllowed(*pkt, 0, vc))
             continue;
         inj_pkt_[vi][slot] = pkt;
+        if (sink_ != nullptr && eq_.now() > pkt->injected_at) {
+            // The packet waited in the source's pending queue for a
+            // free injection VC: injection-side queueing.
+            obs::TraceEvent qe;
+            qe.kind = obs::EventKind::MsgQueue;
+            qe.tick = pkt->injected_at;
+            qe.duration = eq_.now() - pkt->injected_at;
+            qe.node = pkt->msg.src;
+            qe.peer = pkt->msg.dst;
+            qe.flow = pkt->msg.flow_id;
+            qe.bytes = pkt->msg.bytes;
+            sink_->onEvent(qe);
+        }
         live_.emplace(pkt, std::move(pending_[vi].front()));
         pending_[vi].pop_front();
     }
@@ -306,6 +321,8 @@ FlitNetwork::traverse(int vertex)
         OutputVC &ovc = ou.vcs[static_cast<std::size_t>(out_vc)];
         --ovc.credits;
         ++channel_flits_[static_cast<std::size_t>(ou.channel)];
+        if (sink_ != nullptr)
+            noteLinkFlit(ou.channel);
 
         if (iu.channel >= 0)
             returnCredit(iu.channel, g.vc);
@@ -387,6 +404,50 @@ FlitNetwork::returnCredit(int cid, int vc)
                   .credits;
         },
         sim::Priority::High);
+}
+
+void
+FlitNetwork::noteLinkFlit(int cid)
+{
+    BusySpan &span = trace_span_[static_cast<std::size_t>(cid)];
+    const Tick now = eq_.now();
+    if (span.len > 0 && now == span.start + span.len) {
+        ++span.len;
+        return;
+    }
+    if (span.len > 0) {
+        obs::TraceEvent ev;
+        ev.kind = obs::EventKind::LinkBusy;
+        ev.tick = span.start;
+        ev.duration = span.len;
+        ev.channel = cid;
+        ev.node = topo_.channel(cid).src;
+        ev.peer = topo_.channel(cid).dst;
+        sink_->onEvent(ev);
+    }
+    span.start = now;
+    span.len = 1;
+}
+
+void
+FlitNetwork::flushTrace()
+{
+    if (sink_ == nullptr)
+        return;
+    for (std::size_t cid = 0; cid < trace_span_.size(); ++cid) {
+        BusySpan &span = trace_span_[cid];
+        if (span.len == 0)
+            continue;
+        obs::TraceEvent ev;
+        ev.kind = obs::EventKind::LinkBusy;
+        ev.tick = span.start;
+        ev.duration = span.len;
+        ev.channel = static_cast<int>(cid);
+        ev.node = topo_.channel(static_cast<int>(cid)).src;
+        ev.peer = topo_.channel(static_cast<int>(cid)).dst;
+        sink_->onEvent(ev);
+        span = BusySpan{};
+    }
 }
 
 void

@@ -53,6 +53,8 @@ class FlitNetwork : public Network
 
     void reset() override;
 
+    void flushTrace() override;
+
     /** Flits forwarded over channel @p cid so far (utilization). */
     std::uint64_t channelFlits(int cid) const
     {
@@ -149,10 +151,22 @@ class FlitNetwork : public Network
     /** Return one credit for (channel, vc) after the wire delay. */
     void returnCredit(int cid, int vc);
 
+    /** Record one traversal cycle on @p cid for the trace sink,
+     *  coalescing back-to-back cycles into one LinkBusy span. */
+    void noteLinkFlit(int cid);
+
     const topo::Topology &topo_;
     std::vector<Router> routers_;
     std::vector<char> wrap_channel_; ///< torus dateline channels
     std::vector<std::uint64_t> channel_flits_;
+
+    /** Open per-channel busy span for the trace sink; len == 0 means
+     *  no span is open. Flushed by flushTrace(). */
+    struct BusySpan {
+        Tick start = 0;
+        Tick len = 0;
+    };
+    std::vector<BusySpan> trace_span_;
 
     /** Pending packets per node awaiting a free injection VC. */
     std::vector<std::deque<std::unique_ptr<Packet>>> pending_;

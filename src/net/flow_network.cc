@@ -44,6 +44,32 @@ FlowNetwork::injectImpl(Message msg)
         max_queueing_ = std::max(max_queueing_, start - head);
         free_at_[idx] = start + ser;
         busy_time_[idx] += ser;
+        if (sink_ != nullptr) {
+            // Reservations are computed analytically at inject time,
+            // so busy/queue spans carry their (future) start ticks.
+            if (start > head) {
+                obs::TraceEvent qe;
+                qe.kind = obs::EventKind::MsgQueue;
+                qe.tick = head;
+                qe.duration = start - head;
+                qe.node = msg.src;
+                qe.peer = msg.dst;
+                qe.channel = cid;
+                qe.flow = msg.flow_id;
+                qe.bytes = msg.bytes;
+                sink_->onEvent(qe);
+            }
+            obs::TraceEvent be;
+            be.kind = obs::EventKind::LinkBusy;
+            be.tick = start;
+            be.duration = ser;
+            be.node = msg.src;
+            be.peer = msg.dst;
+            be.channel = cid;
+            be.flow = msg.flow_id;
+            be.bytes = msg.bytes;
+            sink_->onEvent(be);
+        }
         head = start + hop;
     }
     const Tick delivery = head + ser;

@@ -10,9 +10,30 @@
 namespace multitree::net {
 
 void
+Network::emitMsgEvent(obs::EventKind kind, const Message &msg,
+                      Tick duration)
+{
+    obs::TraceEvent ev;
+    ev.kind = kind;
+    ev.tick = eq_.now();
+    ev.duration = duration;
+    ev.node = msg.src;
+    ev.peer = msg.dst;
+    ev.flow = msg.flow_id;
+    ev.bytes = msg.bytes;
+    ev.tag = msg.tag;
+    ev.seq = msg.seq;
+    ev.attempt = msg.attempt;
+    ev.corrupted = msg.corrupted;
+    sink_->onEvent(ev);
+}
+
+void
 Network::inject(Message msg)
 {
     ++injected_;
+    if (sink_ != nullptr)
+        emitMsgEvent(obs::EventKind::MsgInject, msg);
     if (fault_ != nullptr) {
         const FaultFate fate = fault_->onInject(msg, eq_.now());
         if (fate.drop) {
@@ -22,12 +43,16 @@ Network::inject(Message msg)
             ++dropped_;
             ++drops_by_src_[msg.src];
             stats_.inc("dropped_messages");
+            if (sink_ != nullptr)
+                emitMsgEvent(obs::EventKind::MsgDrop, msg);
             return;
         }
         if (fate.corrupt) {
             msg.corrupted = true;
             ++corruptions_by_src_[msg.src];
             stats_.inc("corrupted_messages");
+            if (sink_ != nullptr)
+                emitMsgEvent(obs::EventKind::MsgCorrupt, msg);
         }
         msg.fault_delay = fate.extra_latency;
         if (fate.extra_latency > 0)
@@ -72,6 +97,8 @@ Network::deliverMsg(const Message &msg)
     }
     ++delivered_;
     in_flight_msgs_.erase(msg.track_id);
+    if (sink_ != nullptr)
+        emitMsgEvent(obs::EventKind::MsgDeliver, msg);
     deliver_(msg);
 }
 

@@ -20,6 +20,7 @@
 
 #include "common/stats.hh"
 #include "common/units.hh"
+#include "obs/trace.hh"
 
 namespace multitree::sim {
 class EventQueue;
@@ -148,6 +149,24 @@ class Network
      */
     void setFaultInterposer(FaultInterposer *fi) { fault_ = fi; }
 
+    /**
+     * Attach (or detach, with nullptr) the lifecycle trace sink. The
+     * network does not own it; with no sink attached every emission
+     * site reduces to one pointer test, and sinks never schedule
+     * events, so tracing cannot perturb simulated time.
+     */
+    void setTraceSink(obs::TraceSink *sink) { sink_ = sink; }
+
+    /** The attached trace sink, or nullptr. */
+    obs::TraceSink *traceSink() const { return sink_; }
+
+    /**
+     * Flush any trace state the backend coalesces internally (e.g.
+     * per-channel busy spans still open in the flit backend). Called
+     * by the runtime when a run completes; a no-op by default.
+     */
+    virtual void flushTrace() {}
+
     /** The event queue driving this network. */
     sim::EventQueue &eventQueue() { return eq_; }
 
@@ -216,10 +235,15 @@ class Network
     /** Deliver @p msg to the registered sink, counting it. */
     void deliverMsg(const Message &msg);
 
+    /** Emit a message-lifecycle event for @p msg (sink attached). */
+    void emitMsgEvent(obs::EventKind kind, const Message &msg,
+                      Tick duration = 0);
+
     sim::EventQueue &eq_;
     NetworkConfig cfg_;
     DeliverFn deliver_;
     FaultInterposer *fault_ = nullptr;
+    obs::TraceSink *sink_ = nullptr;
     StatRegistry stats_;
     std::uint64_t injected_ = 0;
     std::uint64_t delivered_ = 0;

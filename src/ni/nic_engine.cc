@@ -120,7 +120,23 @@ NicEngine::stepGateOpen(const TableEntry &e)
         ++nop_windows_;
         auto idx = static_cast<std::size_t>(cur_step_ - 1);
         std::uint64_t est = idx < est_.size() ? est_[idx] : 1;
-        window_end_ = std::max(window_end_, eq.now()) + est;
+        const Tick win_start = std::max(window_end_, eq.now());
+        window_end_ = win_start + est;
+        if (sink_ != nullptr) {
+            obs::TraceEvent adv;
+            adv.kind = obs::EventKind::StepAdvance;
+            adv.tick = eq.now();
+            adv.node = node_;
+            adv.step = cur_step_;
+            sink_->onEvent(adv);
+            obs::TraceEvent nop;
+            nop.kind = obs::EventKind::LockstepStall;
+            nop.tick = win_start;
+            nop.duration = static_cast<Tick>(est);
+            nop.node = node_;
+            nop.step = cur_step_;
+            sink_->onEvent(nop);
+        }
     }
     if (cur_step_ >= e.step)
         return true;
@@ -246,6 +262,19 @@ NicEngine::onTimeout(std::uint64_t seq, Tick prev_rto)
     ++rc_.retransmits;
     net::Message copy = o.msg;
     copy.attempt = o.attempts - 1;
+    if (sink_ != nullptr) {
+        obs::TraceEvent ev;
+        ev.kind = obs::EventKind::MsgRetransmit;
+        ev.tick = net_.eventQueue().now();
+        ev.node = copy.src;
+        ev.peer = copy.dst;
+        ev.flow = copy.flow_id;
+        ev.bytes = copy.bytes;
+        ev.tag = copy.tag;
+        ev.seq = copy.seq;
+        ev.attempt = copy.attempt;
+        sink_->onEvent(ev);
+    }
     net_.inject(std::move(copy));
     const auto backed =
         static_cast<Tick>(static_cast<double>(prev_rto)
@@ -265,6 +294,18 @@ NicEngine::sendAck(const net::Message &msg)
     ack.tag = kTagAck;
     ack.seq = msg.seq;
     ++rc_.acks_sent;
+    if (sink_ != nullptr) {
+        obs::TraceEvent ev;
+        ev.kind = obs::EventKind::MsgAck;
+        ev.tick = net_.eventQueue().now();
+        ev.node = node_;
+        ev.peer = msg.src;
+        ev.flow = msg.flow_id;
+        ev.bytes = rel_.ack_bytes;
+        ev.tag = kTagAck;
+        ev.seq = msg.seq;
+        sink_->onEvent(ev);
+    }
     net_.inject(std::move(ack));
 }
 
@@ -299,6 +340,17 @@ NicEngine::onMessage(const net::Message &msg)
             // The reduction logic aggregates the arrived partial at
             // a finite rate before the dependency bit clears.
             Tick delay = ceilDiv(msg.bytes, reduction_bw_);
+            if (sink_ != nullptr) {
+                obs::TraceEvent ev;
+                ev.kind = obs::EventKind::ReductionBusy;
+                ev.tick = net_.eventQueue().now();
+                ev.duration = delay;
+                ev.node = node_;
+                ev.peer = msg.src;
+                ev.flow = msg.flow_id;
+                ev.bytes = msg.bytes;
+                sink_->onEvent(ev);
+            }
             int flow = msg.flow_id;
             int src = msg.src;
             net_.eventQueue().scheduleAfter(

@@ -137,6 +137,14 @@ class NicEngine
     void onAccept(AcceptFn fn) { accept_ = std::move(fn); }
 
     /**
+     * Attach (or detach, with nullptr) the lifecycle trace sink for
+     * NI-level events: timestep advances, lockstep NOP stalls,
+     * reduction-unit occupancy, retransmissions and acks. Same
+     * overhead contract as net::Network::setTraceSink.
+     */
+    void setTraceSink(obs::TraceSink *sink) { sink_ = sink; }
+
+    /**
      * Program this node's schedule table for the next run and rewind
      * all per-run state (timestep counter, dependency scoreboard,
      * NOP statistics, reliability window). @pre the engine is idle:
@@ -232,6 +240,7 @@ class NicEngine
     int node_;
     net::Network &net_;
     std::uint32_t reduction_bw_;
+    obs::TraceSink *sink_ = nullptr;
     ScheduleTable table_;
     bool lockstep_ = false;
     std::vector<std::uint64_t> est_;

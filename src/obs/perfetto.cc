@@ -1,0 +1,197 @@
+#include "obs/perfetto.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace multitree::obs {
+
+namespace {
+
+/** Process ids of the three track groups. */
+enum : int {
+    kRunPid = 1,
+    kNodePid = 2,
+    kLinkPid = 3,
+};
+
+/** Whether @p kind renders as a complete ("X") span. */
+bool
+isSpan(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::LinkBusy:
+      case EventKind::MsgQueue:
+      case EventKind::LockstepStall:
+      case EventKind::ReductionBusy:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Track assignment: (pid, tid) the event renders on. */
+std::pair<int, int>
+trackOf(const TraceEvent &ev)
+{
+    switch (ev.kind) {
+      case EventKind::RunBegin:
+      case EventKind::RunEnd:
+        return {kRunPid, 0};
+      case EventKind::LinkBusy:
+        return {kLinkPid, ev.channel};
+      case EventKind::MsgQueue:
+        // Queueing with a known channel renders on the link it
+        // waited for; injection-side queueing on the source node.
+        return ev.channel >= 0 ? std::make_pair(kLinkPid, ev.channel)
+                               : std::make_pair(kNodePid, ev.node);
+      case EventKind::MsgDeliver:
+        return {kNodePid, ev.peer};
+      default:
+        return {kNodePid, ev.node};
+    }
+}
+
+/** Format @p tick (ns) as a microsecond timestamp literal. */
+std::string
+usTs(Tick tick)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%llu.%03llu",
+                  static_cast<unsigned long long>(tick / 1000),
+                  static_cast<unsigned long long>(tick % 1000));
+    return buf;
+}
+
+/** One trace record, comma-joined by the caller. */
+class RecordList
+{
+  public:
+    explicit RecordList(std::ostream &os) : os_(os) {}
+
+    /** Open the next record; emits the separating comma. */
+    std::ostream &
+    next()
+    {
+        if (!first_)
+            os_ << ",\n";
+        first_ = false;
+        return os_;
+    }
+
+  private:
+    std::ostream &os_;
+    bool first_ = true;
+};
+
+void
+writeMeta(RecordList &out, int pid, int tid, const char *what,
+          const std::string &name)
+{
+    out.next() << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":"
+               << tid << ",\"name\":\"" << what
+               << "\",\"args\":{\"name\":" << jsonQuote(name)
+               << "}}";
+}
+
+void
+writeArgs(std::ostream &os, const TraceEvent &ev)
+{
+    os << "\"args\":{";
+    const char *sep = "";
+    auto field = [&](const char *key, auto value) {
+        os << sep << "\"" << key << "\":" << value;
+        sep = ",";
+    };
+    if (ev.flow >= 0)
+        field("flow", ev.flow);
+    if (ev.peer >= 0 && ev.kind != EventKind::LinkBusy)
+        field("dst", ev.peer);
+    if (ev.node >= 0
+        && (ev.kind == EventKind::MsgDeliver
+            || ev.kind == EventKind::LinkBusy
+            || ev.kind == EventKind::MsgQueue))
+        field("src", ev.node);
+    if (ev.bytes > 0)
+        field("bytes", ev.bytes);
+    if (ev.step >= 0)
+        field("step", ev.step);
+    if (ev.seq > 0)
+        field("seq", ev.seq);
+    if (ev.attempt > 0)
+        field("attempt", ev.attempt);
+    if (ev.corrupted)
+        field("corrupted", "true");
+    field("kind", std::string("\"") + kindName(ev.kind) + "\"");
+    os << "}";
+}
+
+} // namespace
+
+void
+writePerfettoTrace(std::ostream &os, const FabricInfo &fabric,
+                   const std::vector<TraceEvent> &events)
+{
+    os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+    RecordList out(os);
+
+    writeMeta(out, kRunPid, 0, "process_name",
+              "collectives (" + fabric.name + ")");
+    writeMeta(out, kRunPid, 0, "thread_name", "runs");
+    writeMeta(out, kNodePid, 0, "process_name", "nodes");
+    for (int v = 0; v < fabric.num_nodes; ++v)
+        writeMeta(out, kNodePid, v, "thread_name",
+                  "node " + std::to_string(v) + " (NIC)");
+    writeMeta(out, kLinkPid, 0, "process_name", "links");
+    for (const auto &link : fabric.links)
+        writeMeta(out, kLinkPid, link.id, "thread_name",
+                  "link " + std::to_string(link.id) + ": "
+                      + std::to_string(link.src) + "->"
+                      + std::to_string(link.dst));
+
+    // The flow backend records link reservations at inject time with
+    // their (future) start ticks, so a track's events can be
+    // recorded out of tick order; a stable per-track sort restores
+    // the monotone timestamps the format expects.
+    std::vector<const TraceEvent *> ordered;
+    ordered.reserve(events.size());
+    for (const auto &ev : events)
+        ordered.push_back(&ev);
+    std::stable_sort(ordered.begin(), ordered.end(),
+                     [](const TraceEvent *a, const TraceEvent *b) {
+                         auto ta = trackOf(*a);
+                         auto tb = trackOf(*b);
+                         if (ta != tb)
+                             return ta < tb;
+                         return a->tick < b->tick;
+                     });
+
+    for (const TraceEvent *evp : ordered) {
+        const TraceEvent &ev = *evp;
+        auto [pid, tid] = trackOf(ev);
+        std::ostream &ro = out.next();
+        ro << "{\"name\":\"" << kindName(ev.kind) << "\",";
+        if (isSpan(ev.kind))
+            ro << "\"ph\":\"X\",\"dur\":" << usTs(ev.duration)
+               << ",";
+        else
+            ro << "\"ph\":\"i\",\"s\":\"t\",";
+        ro << "\"pid\":" << pid << ",\"tid\":" << tid
+           << ",\"ts\":" << usTs(ev.tick) << ",";
+        writeArgs(ro, ev);
+        ro << "}";
+    }
+    os << "\n]}\n";
+}
+
+std::string
+perfettoTraceJson(const FabricInfo &fabric,
+                  const std::vector<TraceEvent> &events)
+{
+    std::ostringstream oss;
+    writePerfettoTrace(oss, fabric, events);
+    return oss.str();
+}
+
+} // namespace multitree::obs

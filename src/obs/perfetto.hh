@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Chrome/Perfetto trace-event JSON exporter.
+ *
+ * Renders a recorded obs::Trace as the JSON trace-event format that
+ * chrome://tracing and https://ui.perfetto.dev load directly. Track
+ * layout: one process for the collectives (run begin/end markers),
+ * one process with a thread per node/NIC (message lifecycle, NOP
+ * stalls, reduction occupancy), and one process with a thread per
+ * directed channel (busy spans, queueing). Span events use complete
+ * ("X") records; point events use instants ("i"). Timestamps are
+ * emitted in microseconds (1 tick = 1 ns), sorted per track.
+ */
+
+#ifndef MULTITREE_OBS_PERFETTO_HH
+#define MULTITREE_OBS_PERFETTO_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hh"
+
+namespace multitree::obs {
+
+/** Write @p events as trace-event JSON for the @p fabric layout. */
+void writePerfettoTrace(std::ostream &os, const FabricInfo &fabric,
+                        const std::vector<TraceEvent> &events);
+
+/** Convenience: the same JSON as a string. */
+std::string perfettoTraceJson(const FabricInfo &fabric,
+                              const std::vector<TraceEvent> &events);
+
+} // namespace multitree::obs
+
+#endif // MULTITREE_OBS_PERFETTO_HH

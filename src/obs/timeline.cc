@@ -1,0 +1,130 @@
+#include "obs/timeline.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "common/logging.hh"
+
+namespace multitree::obs {
+
+LinkTimeline
+buildLinkTimeline(const FabricInfo &fabric,
+                  const std::vector<TraceEvent> &events, Tick window)
+{
+    MT_ASSERT(window > 0, "timeline window must be positive");
+
+    LinkTimeline tl;
+    tl.window = window;
+
+    Tick end = 0;
+    for (const auto &ev : events) {
+        if (ev.kind != EventKind::LinkBusy)
+            continue;
+        end = std::max(end, ev.tick + ev.duration);
+    }
+    tl.num_windows =
+        end == 0 ? 0 : static_cast<int>((end + window - 1) / window);
+    tl.span = static_cast<Tick>(tl.num_windows) * window;
+    tl.busy.assign(fabric.links.size(),
+                   std::vector<double>(tl.num_windows, 0.0));
+
+    for (const auto &ev : events) {
+        if (ev.kind != EventKind::LinkBusy || ev.duration == 0)
+            continue;
+        if (ev.channel < 0
+            || ev.channel >= static_cast<int>(tl.busy.size())) {
+            continue;
+        }
+        auto &row = tl.busy[ev.channel];
+        Tick lo = ev.tick;
+        const Tick hi = ev.tick + ev.duration;
+        while (lo < hi) {
+            const int bucket = static_cast<int>(lo / window);
+            const Tick bucket_end =
+                static_cast<Tick>(bucket + 1) * window;
+            const Tick piece = std::min(hi, bucket_end) - lo;
+            row[bucket] += static_cast<double>(piece)
+                           / static_cast<double>(window);
+            lo += piece;
+        }
+    }
+
+    // Overlapping reservations cannot exceed a full window; clamp so
+    // rounding and double-booked spans never report > 1.
+    for (auto &row : tl.busy)
+        for (double &b : row)
+            b = std::min(b, 1.0);
+    return tl;
+}
+
+namespace {
+
+/** Glyph for a busy fraction: ' ' idle through '#' saturated. */
+char
+glyphFor(double busy)
+{
+    static const char ramp[] = " .:-=+*%#";
+    const int steps = static_cast<int>(sizeof(ramp)) - 2;
+    int idx = static_cast<int>(busy * steps + 0.5);
+    idx = std::clamp(idx, 0, steps);
+    return ramp[idx];
+}
+
+} // namespace
+
+void
+renderTimelineText(std::ostream &os, const FabricInfo &fabric,
+                   const LinkTimeline &tl)
+{
+    os << "link utilization (" << tl.num_windows << " windows x "
+       << tl.window << " ticks; ' '=idle '#'=saturated)\n";
+    for (const auto &link : fabric.links) {
+        if (link.id < 0
+            || link.id >= static_cast<int>(tl.busy.size())) {
+            continue;
+        }
+        const auto &row = tl.busy[link.id];
+        double total = 0.0;
+        for (double b : row)
+            total += b;
+        if (total == 0.0)
+            continue;
+        char head[48];
+        std::snprintf(head, sizeof head, "%4d %3d->%-3d |", link.id,
+                      link.src, link.dst);
+        os << head;
+        for (double b : row)
+            os << glyphFor(b);
+        char pct[16];
+        std::snprintf(pct, sizeof pct, "| %5.1f%%\n",
+                      100.0 * total
+                          / std::max(tl.num_windows, 1));
+        os << pct;
+    }
+}
+
+void
+renderTimelineCsv(std::ostream &os, const FabricInfo &fabric,
+                  const LinkTimeline &tl)
+{
+    os << "channel,src,dst,window_start,busy\n";
+    for (const auto &link : fabric.links) {
+        if (link.id < 0
+            || link.id >= static_cast<int>(tl.busy.size())) {
+            continue;
+        }
+        const auto &row = tl.busy[link.id];
+        for (int w = 0; w < static_cast<int>(row.size()); ++w) {
+            char line[96];
+            std::snprintf(line, sizeof line, "%d,%d,%d,%llu,%.6f\n",
+                          link.id, link.src, link.dst,
+                          static_cast<unsigned long long>(
+                              static_cast<Tick>(w) * tl.window),
+                          row[w]);
+            os << line;
+        }
+    }
+}
+
+} // namespace multitree::obs

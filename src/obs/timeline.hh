@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Per-link utilization timelines.
+ *
+ * Folds the LinkBusy spans of a recorded trace into fixed-width
+ * windows and reports, per directed channel, the fraction of each
+ * window the channel spent carrying flits. This is the tabular view
+ * of the paper's contention arguments (Table I): a hot link shows as
+ * a row of near-1.0 buckets while its neighbours idle.
+ */
+
+#ifndef MULTITREE_OBS_TIMELINE_HH
+#define MULTITREE_OBS_TIMELINE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hh"
+
+namespace multitree::obs {
+
+/** Busy fraction of every link over consecutive windows. */
+struct LinkTimeline {
+    Tick window = 0;      ///< bucket width in ticks
+    Tick span = 0;        ///< covered time [0, span)
+    int num_windows = 0;  ///< buckets per link
+    /** busy[link][bucket] in [0, 1]; indexed by FabricInfo link id. */
+    std::vector<std::vector<double>> busy;
+};
+
+/**
+ * Build a timeline from the LinkBusy events of @p events. Spans are
+ * clipped to bucket boundaries; a span crossing several buckets
+ * contributes to each proportionally. @p window must be positive.
+ */
+LinkTimeline buildLinkTimeline(const FabricInfo &fabric,
+                               const std::vector<TraceEvent> &events,
+                               Tick window);
+
+/**
+ * Render @p tl as a human-readable table: one row per link that was
+ * ever busy, one glyph per window (' ' idle through '#' saturated),
+ * with the link's overall busy percentage.
+ */
+void renderTimelineText(std::ostream &os, const FabricInfo &fabric,
+                        const LinkTimeline &tl);
+
+/** Render @p tl as CSV: channel,src,dst,window_start,busy. */
+void renderTimelineCsv(std::ostream &os, const FabricInfo &fabric,
+                       const LinkTimeline &tl);
+
+} // namespace multitree::obs
+
+#endif // MULTITREE_OBS_TIMELINE_HH

@@ -1,0 +1,88 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace multitree::obs {
+
+const char *
+kindName(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::MsgInject:
+        return "inject";
+      case EventKind::MsgQueue:
+        return "queue";
+      case EventKind::MsgDeliver:
+        return "deliver";
+      case EventKind::MsgDrop:
+        return "drop";
+      case EventKind::MsgCorrupt:
+        return "corrupt";
+      case EventKind::MsgRetransmit:
+        return "retransmit";
+      case EventKind::MsgAck:
+        return "ack";
+      case EventKind::LinkBusy:
+        return "busy";
+      case EventKind::StepAdvance:
+        return "step";
+      case EventKind::LockstepStall:
+        return "nop";
+      case EventKind::ReductionBusy:
+        return "reduce";
+      case EventKind::RunBegin:
+        return "run-begin";
+      case EventKind::RunEnd:
+        return "run";
+    }
+    return "?";
+}
+
+std::size_t
+Trace::countOf(EventKind kind) const
+{
+    return static_cast<std::size_t>(std::count_if(
+        events_.begin(), events_.end(),
+        [kind](const TraceEvent &ev) { return ev.kind == kind; }));
+}
+
+std::string
+jsonQuote(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out.push_back('"');
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+} // namespace multitree::obs

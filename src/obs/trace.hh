@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Structured observability: typed lifecycle events and trace sinks.
+ *
+ * Every layer of the stack — the network backends, the NIC engines
+ * and the runtime Machine — emits TraceEvents into one TraceSink.
+ * The taxonomy covers the quantities the paper's evaluation reasons
+ * about: message lifecycle (inject / queue / deliver / drop /
+ * corrupt / retransmit / ack), per-link occupancy spans (Table I
+ * contention), NI timestep advances and lockstep NOP stalls (§IV-A),
+ * and reduction-unit occupancy (Fig. 6 step 4).
+ *
+ * Overhead contract: a component holds a raw `TraceSink *` that is
+ * nullptr when observability is off, and every emission site is
+ * guarded by that single pointer test — no event is constructed, no
+ * virtual call is made. Sinks only observe; they never schedule
+ * events or touch simulation state, so enabling one cannot change a
+ * single tick of any run (asserted by tests/test_obs.cc).
+ */
+
+#ifndef MULTITREE_OBS_TRACE_HH
+#define MULTITREE_OBS_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace multitree::obs {
+
+/** What a TraceEvent describes. */
+enum class EventKind {
+    MsgInject,     ///< message handed to the transport
+    MsgQueue,      ///< time spent waiting for wire/injection capacity
+    MsgDeliver,    ///< tail arrival at the destination NI
+    MsgDrop,       ///< lost to an injected fault (never traverses)
+    MsgCorrupt,    ///< traverses with its integrity flag set
+    MsgRetransmit, ///< reliability timer re-injected a copy
+    MsgAck,        ///< receiver returned an acknowledgement
+    LinkBusy,      ///< a channel carried flits for [tick, tick+dur)
+    StepAdvance,   ///< NI timestep counter moved to `step`
+    LockstepStall, ///< NOP window: NI idle for [tick, tick+dur)
+    ReductionBusy, ///< reduction unit aggregating for [tick, tick+dur)
+    RunBegin,      ///< a collective started on the machine
+    RunEnd,        ///< a collective completed (duration = run time)
+};
+
+/** Stable lower-case name of @p kind (exporters, CSV columns). */
+const char *kindName(EventKind kind);
+
+/**
+ * One lifecycle event. Instant events carry duration 0; span events
+ * (LinkBusy, LockstepStall, ReductionBusy, MsgQueue) cover
+ * [tick, tick + duration). Unused fields keep their defaults; which
+ * fields are meaningful depends on the kind:
+ *  - Msg*:  node = source, peer = destination, plus flow/bytes/tag/
+ *           seq/attempt/corrupted copied from the net::Message.
+ *  - LinkBusy / MsgQueue: channel identifies the link.
+ *  - StepAdvance / LockstepStall: node + step.
+ *  - Run*: bytes = collective payload, duration (RunEnd) = run time.
+ */
+struct TraceEvent {
+    EventKind kind = EventKind::MsgInject;
+    Tick tick = 0;     ///< event time (span start for span kinds)
+    Tick duration = 0; ///< span length; 0 for instant events
+    int node = -1;     ///< owning node / NI (source for messages)
+    int peer = -1;     ///< destination node for message events
+    int channel = -1;  ///< link id for LinkBusy / MsgQueue
+    int flow = -1;     ///< tree/chunk id
+    int step = -1;     ///< schedule timestep (StepAdvance/Stall)
+    std::uint64_t bytes = 0;
+    std::uint64_t tag = 0; ///< NI wire tag (reduce/gather/ack)
+    std::uint64_t seq = 0; ///< reliability sequence number
+    std::uint32_t attempt = 0; ///< 0 = original transmission
+    bool corrupted = false;
+};
+
+/**
+ * Receiver of lifecycle events. Implementations must not mutate
+ * simulation state: the overhead contract promises a sink changes
+ * nothing about a run's timing.
+ */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** Observe one event. Called in simulation-event order per
+     *  component; ticks are monotone per emitting track. */
+    virtual void onEvent(const TraceEvent &ev) = 0;
+};
+
+/** In-memory recording sink: the substrate every exporter reads. */
+class Trace final : public TraceSink
+{
+  public:
+    void onEvent(const TraceEvent &ev) override
+    {
+        events_.push_back(ev);
+    }
+
+    /** Everything recorded so far, in emission order. */
+    const std::vector<TraceEvent> &events() const { return events_; }
+
+    /** Number of recorded events of @p kind. */
+    std::size_t countOf(EventKind kind) const;
+
+    /** Drop all recorded events. */
+    void clear() { events_.clear(); }
+
+  private:
+    std::vector<TraceEvent> events_;
+};
+
+/** Fan-out sink: forwards every event to two downstream sinks. */
+class TeeSink final : public TraceSink
+{
+  public:
+    TeeSink(TraceSink *a, TraceSink *b) : a_(a), b_(b) {}
+
+    void onEvent(const TraceEvent &ev) override
+    {
+        if (a_ != nullptr)
+            a_->onEvent(ev);
+        if (b_ != nullptr)
+            b_->onEvent(ev);
+    }
+
+  private:
+    TraceSink *a_;
+    TraceSink *b_;
+};
+
+/**
+ * Static description of the fabric a trace was recorded on — what
+ * the exporters need to label tracks without depending on the
+ * topology library. runtime::Machine::fabricInfo() fills one.
+ */
+struct FabricInfo {
+    /** One directed channel of the topology. */
+    struct Link {
+        int id = -1;
+        int src = -1;
+        int dst = -1;
+    };
+    std::string name;  ///< topology name, e.g. "torus-8x8"
+    int num_nodes = 0; ///< end nodes (NIC tracks)
+    std::vector<Link> links; ///< dense by id, [0, links.size())
+};
+
+/** JSON string literal of @p s: quoted, with escapes. */
+std::string jsonQuote(const std::string &s);
+
+} // namespace multitree::obs
+
+#endif // MULTITREE_OBS_TRACE_HH

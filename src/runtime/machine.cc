@@ -11,6 +11,41 @@
 
 namespace multitree::runtime {
 
+namespace {
+
+/**
+ * Adapter keeping the legacy RunOptions::trace vector alive on top
+ * of the structured sink: every accepted-on-the-wire delivery of a
+ * data message becomes one TraceRecord, now carrying the seq/attempt/
+ * corrupted provenance that analyses need to skip duplicates.
+ */
+class LegacyTraceSink final : public obs::TraceSink
+{
+  public:
+    explicit LegacyTraceSink(std::vector<TraceRecord> &out)
+        : out_(out)
+    {}
+
+    void
+    onEvent(const obs::TraceEvent &ev) override
+    {
+        if (ev.kind != obs::EventKind::MsgDeliver
+            || ev.tag == ni::kTagAck) {
+            return;
+        }
+        out_.push_back(TraceRecord{ev.flow, ev.node, ev.peer,
+                                   ev.bytes,
+                                   ev.tag == ni::kTagGather, ev.tick,
+                                   ev.seq, ev.attempt,
+                                   ev.corrupted});
+    }
+
+  private:
+    std::vector<TraceRecord> &out_;
+};
+
+} // namespace
+
 Machine::Machine(const topo::Topology &topo, const RunOptions &opts)
     : topo_(topo), opts_(opts)
 {
@@ -44,11 +79,28 @@ Machine::Machine(const topo::Topology &topo, const RunOptions &opts)
         network_->setFaultInterposer(plan_.get());
     }
 
+    // Resolve the effective trace sink: the structured sink, the
+    // legacy vector adapter, both (tee), or none.
+    sink_ = opts_.sink;
+    if (opts_.trace != nullptr) {
+        legacy_sink_ =
+            std::make_unique<LegacyTraceSink>(*opts_.trace);
+        if (sink_ != nullptr) {
+            tee_sink_ = std::make_unique<obs::TeeSink>(
+                legacy_sink_.get(), sink_);
+            sink_ = tee_sink_.get();
+        } else {
+            sink_ = legacy_sink_.get();
+        }
+    }
+    network_->setTraceSink(sink_);
+
     const int n = topo_.numNodes();
     engines_.reserve(static_cast<std::size_t>(n));
     for (int v = 0; v < n; ++v) {
         engines_.push_back(std::make_unique<ni::NicEngine>(
             v, *network_, opts_.ni_reduction_bw));
+        engines_.back()->setTraceSink(sink_);
         if (opts_.reliability.enabled) {
             engines_.back()->setReliability(
                 opts_.reliability, [this](int src, int dst) {
@@ -230,6 +282,13 @@ Machine::startNext()
         engines_[i]->loadTable(std::move(pr.tables[i]), pr.lockstep,
                                pr.estimates);
     }
+    if (sink_ != nullptr) {
+        obs::TraceEvent ev;
+        ev.kind = obs::EventKind::RunBegin;
+        ev.tick = eq_.now();
+        ev.bytes = active_bytes_;
+        sink_->onEvent(ev);
+    }
     for (auto &e : engines_)
         e->start();
     // Degenerate schedules (no flows) complete without a single
@@ -240,11 +299,8 @@ Machine::startNext()
 void
 Machine::onDelivery(const net::Message &msg)
 {
-    if (opts_.trace != nullptr && msg.tag != ni::kTagAck) {
-        opts_.trace->push_back(TraceRecord{
-            msg.flow_id, msg.src, msg.dst, msg.bytes,
-            msg.tag == ni::kTagGather, eq_.now()});
-    }
+    // Trace records are appended by the LegacyTraceSink adapter as
+    // the network emits MsgDeliver, before this callback runs.
     engines_[static_cast<std::size_t>(msg.dst)]->onMessage(msg);
     maybeComplete();
 }
@@ -283,6 +339,18 @@ Machine::completeActive()
     for (const auto &e : engines_)
         res.nop_windows += e->nopWindows();
 
+    if (sink_ != nullptr) {
+        // Close out any busy spans the backend still holds open,
+        // then mark the run's completion.
+        network_->flushTrace();
+        obs::TraceEvent ev;
+        ev.kind = obs::EventKind::RunEnd;
+        ev.tick = eq_.now();
+        ev.duration = res.time;
+        ev.bytes = active_bytes_;
+        sink_->onEvent(ev);
+    }
+
     ++runs_completed_;
     lifetime_.inc("runs");
     lifetime_.inc("time", static_cast<double>(res.time));
@@ -298,6 +366,19 @@ Machine::completeActive()
         done(res);
     if (!queue_.empty())
         startNext();
+}
+
+obs::FabricInfo
+Machine::fabricInfo() const
+{
+    obs::FabricInfo info;
+    info.name = topo_.name();
+    info.num_nodes = topo_.numNodes();
+    info.links.reserve(
+        static_cast<std::size_t>(topo_.numChannels()));
+    for (const auto &ch : topo_.channels())
+        info.links.push_back({ch.id, ch.src, ch.dst});
+    return info;
 }
 
 void

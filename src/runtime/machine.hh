@@ -61,6 +61,14 @@ struct TraceRecord {
     std::uint64_t bytes = 0;
     bool gather = false; ///< false = reduce-phase message
     Tick delivered = 0;
+    /** Reliability sequence number (0 when reliability is off). */
+    std::uint64_t seq = 0;
+    /** Retransmission attempt; > 0 marks a duplicate delivery whose
+     *  bytes must not be double-counted in trace analyses. */
+    std::uint32_t attempt = 0;
+    /** Delivered with its integrity flag set (never accepted by a
+     *  reliable receiver; excluded from goodput accounting). */
+    bool corrupted = false;
 };
 
 /** Knobs fixed for the lifetime of a Machine. */
@@ -76,8 +84,16 @@ struct RunOptions {
      * inter-step overlap.
      */
     bool buffer_adjusted_estimates = false;
-    /** When non-null, every delivery is appended here. */
+    /** When non-null, every delivery is appended here. Kept as a
+     *  thin adapter over the structured sink below. */
     std::vector<TraceRecord> *trace = nullptr;
+    /**
+     * Structured lifecycle sink (src/obs) threaded through the
+     * network backend, every NIC engine and the runtime. Not owned.
+     * nullptr keeps every emission site to a single pointer test,
+     * and sinks never perturb simulated time either way.
+     */
+    obs::TraceSink *sink = nullptr;
     /**
      * End-to-end reliability layer (acks, retransmission timers,
      * receiver dedup) armed on every NIC engine. Off by default; a
@@ -255,10 +271,17 @@ class Machine
      */
     std::string stallDiagnostic() const;
 
+    /**
+     * Static track-layout description of this fabric for the obs
+     * exporters (Perfetto tracks, timeline rows).
+     */
+    obs::FabricInfo fabricInfo() const;
+
     const topo::Topology &topology() const { return topo_; }
     const RunOptions &options() const { return opts_; }
     sim::EventQueue &eventQueue() { return eq_; }
     net::Network &network() { return *network_; }
+    const net::Network &network() const { return *network_; }
 
     /** Collectives completed over this machine's lifetime. */
     std::uint64_t runsCompleted() const { return runs_completed_; }
@@ -303,6 +326,13 @@ class Machine
     std::unique_ptr<net::Network> network_;
     std::vector<std::unique_ptr<ni::NicEngine>> engines_;
     std::unique_ptr<fault::FaultPlan> plan_;
+
+    /** Adapter feeding RunOptions::trace from MsgDeliver events. */
+    std::unique_ptr<obs::TraceSink> legacy_sink_;
+    /** Fan-out when both the legacy vector and a user sink exist. */
+    std::unique_ptr<obs::TeeSink> tee_sink_;
+    /** Effective sink all components share (nullptr = tracing off). */
+    obs::TraceSink *sink_ = nullptr;
 
     std::deque<PendingRun> queue_;
     bool active_ = false;

@@ -1,0 +1,87 @@
+#include "runtime/metrics.hh"
+
+#include <ostream>
+#include <sstream>
+
+#include "obs/trace.hh"
+#include "topo/topology.hh"
+
+namespace multitree::runtime {
+
+namespace {
+
+void
+writeRegistry(std::ostream &os, const StatRegistry &reg)
+{
+    os << "{";
+    const char *sep = "";
+    for (const auto &[name, value] : reg.all()) {
+        os << sep << obs::jsonQuote(name) << ": " << value;
+        sep = ", ";
+    }
+    os << "}";
+}
+
+} // namespace
+
+void
+writeMetricsJson(std::ostream &os, const Machine &machine,
+                 const RunResult &res, const RunReport *rep)
+{
+    const auto &topo = machine.topology();
+    os << "{\n";
+    os << "  \"topology\": " << obs::jsonQuote(topo.name()) << ",\n";
+    os << "  \"backend\": "
+       << (machine.options().backend == Backend::Flow ? "\"flow\""
+                                                      : "\"flit\"")
+       << ",\n";
+    os << "  \"nodes\": " << topo.numNodes() << ",\n";
+    os << "  \"channels\": " << topo.numChannels() << ",\n";
+    os << "  \"runs_completed\": " << machine.runsCompleted()
+       << ",\n";
+    os << "  \"result\": {\n";
+    os << "    \"time\": " << res.time << ",\n";
+    os << "    \"bandwidth_gbps\": " << res.bandwidth << ",\n";
+    os << "    \"messages\": " << res.messages << ",\n";
+    os << "    \"payload_flits\": " << res.payload_flits << ",\n";
+    os << "    \"head_flits\": " << res.head_flits << ",\n";
+    os << "    \"flit_hops\": " << res.flit_hops << ",\n";
+    os << "    \"head_hops\": " << res.head_hops << ",\n";
+    os << "    \"nop_windows\": " << res.nop_windows << "\n";
+    os << "  },\n";
+    os << "  \"network_stats\": ";
+    writeRegistry(os, machine.network().stats());
+    os << ",\n";
+    os << "  \"lifetime_stats\": ";
+    writeRegistry(os, machine.lifetimeStats());
+    if (rep != nullptr) {
+        os << ",\n  \"report\": {\n";
+        os << "    \"ok\": " << (rep->ok ? "true" : "false")
+           << ",\n";
+        os << "    \"dropped\": " << rep->dropped << ",\n";
+        os << "    \"corrupted\": " << rep->corrupted << ",\n";
+        os << "    \"degraded\": " << rep->degraded << ",\n";
+        os << "    \"retransmits\": " << rep->retransmits << ",\n";
+        os << "    \"timeouts\": " << rep->timeouts << ",\n";
+        os << "    \"acks\": " << rep->acks << ",\n";
+        os << "    \"duplicates\": " << rep->duplicates << ",\n";
+        os << "    \"corrupt_discarded\": " << rep->corrupt_discarded
+           << ",\n";
+        os << "    \"failed_transfers\": " << rep->failures.size()
+           << ",\n";
+        os << "    \"diagnostic\": " << obs::jsonQuote(rep->diagnostic)
+           << "\n  }";
+    }
+    os << "\n}\n";
+}
+
+std::string
+metricsJson(const Machine &machine, const RunResult &res,
+            const RunReport *rep)
+{
+    std::ostringstream oss;
+    writeMetricsJson(oss, machine, res, rep);
+    return oss.str();
+}
+
+} // namespace multitree::runtime

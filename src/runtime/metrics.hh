@@ -1,0 +1,35 @@
+/**
+ * @file
+ * JSON metrics snapshot of one collective run.
+ *
+ * Serializes a RunResult together with the machine's per-fabric
+ * context (topology, backend, channel count), the network backend's
+ * StatRegistry, the machine's lifetime aggregates and — when the run
+ * came through tryRun() — the RunReport's fault/reliability counters.
+ * One self-describing JSON object per run, for dashboards and
+ * regression diffing without parsing human-oriented tables.
+ */
+
+#ifndef MULTITREE_RUNTIME_METRICS_HH
+#define MULTITREE_RUNTIME_METRICS_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "runtime/machine.hh"
+
+namespace multitree::runtime {
+
+/** Write the metrics snapshot of @p res (from @p machine) as JSON;
+ *  @p rep adds the fault/reliability section when non-null. */
+void writeMetricsJson(std::ostream &os, const Machine &machine,
+                      const RunResult &res,
+                      const RunReport *rep = nullptr);
+
+/** Convenience: the same JSON as a string. */
+std::string metricsJson(const Machine &machine, const RunResult &res,
+                        const RunReport *rep = nullptr);
+
+} // namespace multitree::runtime
+
+#endif // MULTITREE_RUNTIME_METRICS_HH

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <set>
 
 #include "common/random.hh"
@@ -129,6 +131,28 @@ TEST(Histogram, ClampsOutOfRange)
     EXPECT_EQ(h.buckets()[1], 1u);
 }
 
+TEST(Histogram, NonFiniteSamplesAreSafe)
+{
+    Histogram h(0.0, 1.0, 2);
+    h.add(std::nan(""));
+    // NaN has no bucket: uncounted, but visible via nonfinite().
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.nonfinite(), 1u);
+    h.add(std::numeric_limits<double>::infinity());
+    h.add(-std::numeric_limits<double>::infinity());
+    // ±inf clamp into the boundary buckets and still count.
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_EQ(h.nonfinite(), 3u);
+    EXPECT_EQ(h.buckets()[0], 1u);
+    EXPECT_EQ(h.buckets()[1], 1u);
+    // Huge finite values (index overflows int64) clamp too.
+    h.add(1e300);
+    h.add(-1e300);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.buckets()[0], 2u);
+    EXPECT_EQ(h.buckets()[1], 2u);
+}
+
 TEST(StatRegistry, IncSetGet)
 {
     StatRegistry reg;
@@ -157,6 +181,19 @@ TEST(Strings, FormatBytes)
     EXPECT_EQ(formatBytes(32 * KiB), "32 KiB");
     EXPECT_EQ(formatBytes(64 * MiB), "64 MiB");
     EXPECT_EQ(formatBytes(1536), "1.5 KiB");
+}
+
+TEST(Strings, FormatBytesPromotesAtRoundingBoundary)
+{
+    // 1048570 B = 1023.99 KiB, which one-decimal rounding would
+    // print as the nonsensical "1024.0 KiB"; it must promote.
+    EXPECT_EQ(formatBytes(1048570), "1.0 MiB");
+    EXPECT_EQ(formatBytes(MiB - 1), "1.0 MiB");
+    EXPECT_EQ(formatBytes(1023), "1023 B");
+    // 1023.9 KiB rounds within its own suffix: no promotion.
+    EXPECT_EQ(formatBytes(1048477), "1023.9 KiB");
+    // The last suffix never promotes, however large the value.
+    EXPECT_EQ(formatBytes(2048ull * GiB * KiB), "2048 TiB");
 }
 
 TEST(Strings, TextTableAligns)

@@ -1,0 +1,537 @@
+/**
+ * @file
+ * Observability-layer tests: exporter validity, sink overhead
+ * contract, timelines and the metrics snapshot.
+ *
+ * The Perfetto golden test checks the three properties a trace
+ * viewer actually needs — the JSON parses, every event is a complete
+ * ("X") span with ts+dur or an instant/metadata record, and
+ * timestamps are monotone within each (pid, tid) track — using a
+ * minimal in-test JSON parser rather than an external dependency.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "coll/algorithm.hh"
+#include "obs/perfetto.hh"
+#include "obs/timeline.hh"
+#include "obs/trace.hh"
+#include "runtime/machine.hh"
+#include "runtime/metrics.hh"
+#include "topo/factory.hh"
+
+namespace multitree {
+namespace {
+
+using obs::EventKind;
+
+// ---------------------------------------------------------------
+// Minimal JSON parser (objects, arrays, strings, numbers, bools).
+// ---------------------------------------------------------------
+
+struct JsonValue {
+    enum Kind { Null, Bool, Num, Str, Arr, Obj };
+    Kind kind = Null;
+    bool b = false;
+    double num = 0;
+    std::string str;
+    std::vector<JsonValue> arr;
+    std::map<std::string, JsonValue> obj;
+
+    bool has(const std::string &key) const
+    {
+        return kind == Obj && obj.count(key) > 0;
+    }
+    const JsonValue &
+    at(const std::string &key) const
+    {
+        static const JsonValue none;
+        auto it = obj.find(key);
+        return it == obj.end() ? none : it->second;
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : s_(text) {}
+
+    bool
+    parse(JsonValue &out)
+    {
+        bool ok = value(out);
+        skipWs();
+        return ok && pos_ == s_.size();
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size()
+               && std::isspace(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        std::size_t n = std::string(word).size();
+        if (s_.compare(pos_, n, word) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    value(JsonValue &out)
+    {
+        skipWs();
+        if (pos_ >= s_.size())
+            return false;
+        char c = s_[pos_];
+        if (c == '{')
+            return object(out);
+        if (c == '[')
+            return array(out);
+        if (c == '"') {
+            out.kind = JsonValue::Str;
+            return string(out.str);
+        }
+        if (c == 't') {
+            out.kind = JsonValue::Bool;
+            out.b = true;
+            return literal("true");
+        }
+        if (c == 'f') {
+            out.kind = JsonValue::Bool;
+            out.b = false;
+            return literal("false");
+        }
+        if (c == 'n') {
+            out.kind = JsonValue::Null;
+            return literal("null");
+        }
+        return number(out);
+    }
+
+    bool
+    number(JsonValue &out)
+    {
+        char *end = nullptr;
+        out.num = std::strtod(s_.c_str() + pos_, &end);
+        if (end == s_.c_str() + pos_)
+            return false;
+        out.kind = JsonValue::Num;
+        pos_ = static_cast<std::size_t>(end - s_.c_str());
+        return true;
+    }
+
+    bool
+    string(std::string &out)
+    {
+        if (s_[pos_] != '"')
+            return false;
+        ++pos_;
+        out.clear();
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            char c = s_[pos_++];
+            if (c == '\\') {
+                if (pos_ >= s_.size())
+                    return false;
+                char esc = s_[pos_++];
+                switch (esc) {
+                  case 'n':
+                    out.push_back('\n');
+                    break;
+                  case 't':
+                    out.push_back('\t');
+                    break;
+                  case 'r':
+                    out.push_back('\r');
+                    break;
+                  case 'u':
+                    pos_ += 4; // tests never inspect the code point
+                    out.push_back('?');
+                    break;
+                  default:
+                    out.push_back(esc);
+                }
+            } else {
+                out.push_back(c);
+            }
+        }
+        if (pos_ >= s_.size())
+            return false;
+        ++pos_; // closing quote
+        return true;
+    }
+
+    bool
+    object(JsonValue &out)
+    {
+        out.kind = JsonValue::Obj;
+        ++pos_; // '{'
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            std::string key;
+            if (!string(key))
+                return false;
+            skipWs();
+            if (pos_ >= s_.size() || s_[pos_] != ':')
+                return false;
+            ++pos_;
+            JsonValue val;
+            if (!value(val))
+                return false;
+            out.obj.emplace(std::move(key), std::move(val));
+            skipWs();
+            if (pos_ >= s_.size())
+                return false;
+            if (s_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (s_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    array(JsonValue &out)
+    {
+        out.kind = JsonValue::Arr;
+        ++pos_; // '['
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            JsonValue val;
+            if (!value(val))
+                return false;
+            out.arr.push_back(std::move(val));
+            skipWs();
+            if (pos_ >= s_.size())
+                return false;
+            if (s_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (s_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    const std::string &s_;
+    std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------
+
+runtime::RunResult
+tracedRun(const std::string &topo_spec, runtime::Backend backend,
+          std::uint64_t bytes, obs::Trace &trace,
+          obs::FabricInfo *fabric = nullptr)
+{
+    auto topo = topo::makeTopology(topo_spec);
+    runtime::RunOptions opts;
+    opts.backend = backend;
+    opts.sink = &trace;
+    runtime::Machine m(*topo, opts);
+    if (fabric != nullptr)
+        *fabric = m.fabricInfo();
+    return m.run("multitree", bytes);
+}
+
+/** Validate one exported trace per the golden-test contract. */
+void
+validatePerfetto(const std::string &json, int expect_nodes)
+{
+    JsonValue root;
+    ASSERT_TRUE(JsonParser(json).parse(root)) << json.substr(0, 400);
+    ASSERT_EQ(root.kind, JsonValue::Obj);
+    const JsonValue &events = root.at("traceEvents");
+    ASSERT_EQ(events.kind, JsonValue::Arr);
+    ASSERT_FALSE(events.arr.empty());
+
+    std::map<std::pair<int, int>, double> last_ts;
+    std::set<int> node_tids;
+    bool saw_link_track = false;
+    for (const JsonValue &ev : events.arr) {
+        ASSERT_EQ(ev.kind, JsonValue::Obj);
+        ASSERT_TRUE(ev.has("ph"));
+        const std::string &ph = ev.at("ph").str;
+        ASSERT_TRUE(ev.has("pid"));
+        ASSERT_TRUE(ev.has("tid"));
+        const int pid = static_cast<int>(ev.at("pid").num);
+        const int tid = static_cast<int>(ev.at("tid").num);
+        if (ph == "M")
+            continue; // metadata carries no timestamp
+        // Complete spans need ts+dur; instants need ts. No other
+        // phases (B/E pairs would need balancing) are emitted.
+        ASSERT_TRUE(ph == "X" || ph == "i") << "phase " << ph;
+        ASSERT_TRUE(ev.has("ts"));
+        ASSERT_EQ(ev.at("ts").kind, JsonValue::Num);
+        if (ph == "X") {
+            ASSERT_TRUE(ev.has("dur"));
+            ASSERT_EQ(ev.at("dur").kind, JsonValue::Num);
+            ASSERT_GE(ev.at("dur").num, 0.0);
+        }
+        const double ts = ev.at("ts").num;
+        auto key = std::make_pair(pid, tid);
+        auto it = last_ts.find(key);
+        if (it != last_ts.end())
+            ASSERT_GE(ts, it->second)
+                << "track (" << pid << "," << tid
+                << ") timestamps not monotone";
+        last_ts[key] = ts;
+        if (pid == 2)
+            node_tids.insert(tid);
+        if (pid == 3)
+            saw_link_track = true;
+    }
+    // Every node produced NIC-track events, and some link carried
+    // traffic.
+    EXPECT_EQ(static_cast<int>(node_tids.size()), expect_nodes);
+    EXPECT_TRUE(saw_link_track);
+}
+
+// ---------------------------------------------------------------
+// Golden exporter tests (2x2 mesh MultiTree, both backends)
+// ---------------------------------------------------------------
+
+TEST(Perfetto, FlowBackendExportsValidTrace)
+{
+    obs::Trace trace;
+    obs::FabricInfo fabric;
+    tracedRun("mesh-2x2", runtime::Backend::Flow, 64 * KiB, trace,
+              &fabric);
+    validatePerfetto(obs::perfettoTraceJson(fabric, trace.events()),
+                     4);
+}
+
+TEST(Perfetto, FlitBackendExportsValidTrace)
+{
+    obs::Trace trace;
+    obs::FabricInfo fabric;
+    tracedRun("mesh-2x2", runtime::Backend::Flit, 64 * KiB, trace,
+              &fabric);
+    validatePerfetto(obs::perfettoTraceJson(fabric, trace.events()),
+                     4);
+}
+
+TEST(Perfetto, EmptyTraceStillParses)
+{
+    obs::FabricInfo fabric;
+    fabric.name = "empty";
+    fabric.num_nodes = 2;
+    fabric.links.push_back({0, 0, 1});
+    JsonValue root;
+    ASSERT_TRUE(
+        JsonParser(obs::perfettoTraceJson(fabric, {})).parse(root));
+    // Metadata only: process/thread names for runs, nodes, links.
+    ASSERT_EQ(root.at("traceEvents").kind, JsonValue::Arr);
+    EXPECT_FALSE(root.at("traceEvents").arr.empty());
+}
+
+// ---------------------------------------------------------------
+// Overhead contract: a sink never changes simulated timing
+// ---------------------------------------------------------------
+
+void
+expectSinkInvariance(runtime::Backend backend)
+{
+    auto topo = topo::makeTopology("mesh-2x2");
+
+    runtime::RunOptions plain;
+    plain.backend = backend;
+    runtime::Machine m_plain(*topo, plain);
+    const auto base = m_plain.run("multitree", 256 * KiB);
+
+    obs::Trace trace;
+    runtime::RunOptions traced = plain;
+    traced.sink = &trace;
+    runtime::Machine m_traced(*topo, traced);
+    const auto obs_res = m_traced.run("multitree", 256 * KiB);
+
+    EXPECT_EQ(base.time, obs_res.time);
+    EXPECT_EQ(base.messages, obs_res.messages);
+    EXPECT_EQ(base.payload_flits, obs_res.payload_flits);
+    EXPECT_EQ(base.head_flits, obs_res.head_flits);
+    EXPECT_EQ(base.flit_hops, obs_res.flit_hops);
+    EXPECT_EQ(base.nop_windows, obs_res.nop_windows);
+    EXPECT_FALSE(trace.events().empty());
+}
+
+TEST(TraceSink, FlowRunIsTickIdenticalWithAndWithoutSink)
+{
+    expectSinkInvariance(runtime::Backend::Flow);
+}
+
+TEST(TraceSink, FlitRunIsTickIdenticalWithAndWithoutSink)
+{
+    expectSinkInvariance(runtime::Backend::Flit);
+}
+
+// ---------------------------------------------------------------
+// Event accounting
+// ---------------------------------------------------------------
+
+TEST(TraceSink, LosslessRunBalancesInjectAndDeliver)
+{
+    obs::Trace trace;
+    const auto res = tracedRun("mesh-2x2", runtime::Backend::Flow,
+                               64 * KiB, trace);
+    EXPECT_EQ(trace.countOf(EventKind::MsgInject), res.messages);
+    EXPECT_EQ(trace.countOf(EventKind::MsgDeliver), res.messages);
+    EXPECT_EQ(trace.countOf(EventKind::MsgDrop), 0u);
+    EXPECT_EQ(trace.countOf(EventKind::MsgRetransmit), 0u);
+    EXPECT_EQ(trace.countOf(EventKind::RunBegin), 1u);
+    EXPECT_EQ(trace.countOf(EventKind::RunEnd), 1u);
+    // The RunEnd span carries the collective's duration.
+    for (const auto &ev : trace.events()) {
+        if (ev.kind == EventKind::RunEnd)
+            EXPECT_EQ(ev.duration, res.time);
+    }
+}
+
+TEST(TraceSink, TeesIntoLegacyTraceVector)
+{
+    auto topo = topo::makeTopology("mesh-2x2");
+    obs::Trace trace;
+    std::vector<runtime::TraceRecord> legacy;
+    runtime::RunOptions opts;
+    opts.sink = &trace;
+    opts.trace = &legacy;
+    runtime::Machine m(*topo, opts);
+    const auto res = m.run("multitree", 64 * KiB);
+    // Every delivered data message appears in both views.
+    EXPECT_EQ(legacy.size(), res.messages);
+    EXPECT_EQ(trace.countOf(EventKind::MsgDeliver), res.messages);
+    EXPECT_EQ(legacy.back().delivered, res.time);
+    for (const auto &rec : legacy) {
+        EXPECT_EQ(rec.attempt, 0u);
+        EXPECT_FALSE(rec.corrupted);
+    }
+}
+
+// ---------------------------------------------------------------
+// Link timelines
+// ---------------------------------------------------------------
+
+TEST(Timeline, BusyFractionsAreSane)
+{
+    obs::Trace trace;
+    obs::FabricInfo fabric;
+    const auto res = tracedRun("mesh-2x2", runtime::Backend::Flow,
+                               256 * KiB, trace, &fabric);
+    const Tick window = std::max<Tick>(1, res.time / 32);
+    const auto tl =
+        obs::buildLinkTimeline(fabric, trace.events(), window);
+    ASSERT_GT(tl.num_windows, 0);
+    ASSERT_EQ(tl.busy.size(), fabric.links.size());
+    double total = 0;
+    for (const auto &row : tl.busy) {
+        ASSERT_EQ(static_cast<int>(row.size()), tl.num_windows);
+        for (double b : row) {
+            EXPECT_GE(b, 0.0);
+            EXPECT_LE(b, 1.0);
+            total += b;
+        }
+    }
+    EXPECT_GT(total, 0.0); // some link carried traffic
+
+    std::ostringstream text;
+    obs::renderTimelineText(text, fabric, tl);
+    EXPECT_NE(text.str().find("link utilization"),
+              std::string::npos);
+    std::ostringstream csv;
+    obs::renderTimelineCsv(csv, fabric, tl);
+    EXPECT_EQ(csv.str().rfind("channel,src,dst,window_start,busy",
+                              0),
+              0u);
+}
+
+TEST(Timeline, SpansClipAcrossWindows)
+{
+    obs::FabricInfo fabric;
+    fabric.name = "synthetic";
+    fabric.num_nodes = 2;
+    fabric.links.push_back({0, 0, 1});
+    std::vector<obs::TraceEvent> events(1);
+    events[0].kind = EventKind::LinkBusy;
+    events[0].channel = 0;
+    events[0].tick = 5;
+    events[0].duration = 10; // covers [5, 15) over 10-tick windows
+    const auto tl = obs::buildLinkTimeline(fabric, events, 10);
+    ASSERT_EQ(tl.num_windows, 2);
+    EXPECT_DOUBLE_EQ(tl.busy[0][0], 0.5);
+    EXPECT_DOUBLE_EQ(tl.busy[0][1], 0.5);
+}
+
+// ---------------------------------------------------------------
+// Metrics snapshot
+// ---------------------------------------------------------------
+
+TEST(Metrics, SnapshotIsValidJson)
+{
+    auto topo = topo::makeTopology("mesh-2x2");
+    runtime::RunOptions opts;
+    runtime::Machine m(*topo, opts);
+    const auto res = m.run("multitree", 64 * KiB);
+    const std::string json = runtime::metricsJson(m, res);
+    JsonValue root;
+    ASSERT_TRUE(JsonParser(json).parse(root)) << json;
+    EXPECT_EQ(root.at("topology").str, topo->name());
+    EXPECT_EQ(root.at("backend").str, "flow");
+    EXPECT_EQ(static_cast<int>(root.at("nodes").num), 4);
+    EXPECT_EQ(root.at("result").at("time").num,
+              static_cast<double>(res.time));
+    EXPECT_TRUE(root.at("network_stats").has("messages"));
+    EXPECT_FALSE(root.has("report"));
+}
+
+TEST(Metrics, ReportSectionSerializes)
+{
+    auto topo = topo::makeTopology("mesh-2x2");
+    runtime::RunOptions opts;
+    opts.reliability.enabled = true;
+    runtime::Machine m(*topo, opts);
+    const auto rep = m.tryRun("multitree", 64 * KiB);
+    ASSERT_TRUE(rep.ok);
+    const std::string json =
+        runtime::metricsJson(m, rep.result, &rep);
+    JsonValue root;
+    ASSERT_TRUE(JsonParser(json).parse(root)) << json;
+    ASSERT_TRUE(root.has("report"));
+    EXPECT_TRUE(root.at("report").at("ok").b);
+    EXPECT_GT(root.at("report").at("acks").num, 0.0);
+}
+
+} // namespace
+} // namespace multitree
