@@ -22,6 +22,7 @@
 #include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "coll/algorithm.hh"
 #include "obs/perfetto.hh"
@@ -195,6 +196,99 @@ simulate(const std::string &topo_spec, const std::string &algo,
     return machineFor(topo_spec, backend).run(algo, bytes);
 }
 
+/** One registered benchmark point's simulated outcome. */
+struct BenchRow {
+    std::string name;
+    std::string topo;
+    std::string algo;
+    std::uint64_t bytes = 0;
+    Tick cycles = 0;
+    double bandwidth_gbps = 0;
+    std::uint64_t messages = 0;
+};
+
+/**
+ * Rows recorded by every executed all-reduce point, in execution
+ * order. Leaked for the same atexit-vs-static-destruction ordering
+ * reason as fabricCache().
+ */
+inline std::vector<BenchRow> &
+benchRows()
+{
+    static auto *rows = new std::vector<BenchRow>;
+    return *rows;
+}
+
+/**
+ * Write every recorded row as machine-readable JSON. The output path
+ * defaults to BENCH_results.json in the working directory; the
+ * MT_BENCH_RESULTS environment variable overrides it. Speedups are
+ * computed at write time against the ring row with the same
+ * (topology, bytes) — null when the sweep had no ring baseline.
+ */
+inline void
+writeBenchResults()
+{
+    auto &rows = benchRows();
+    if (rows.empty())
+        return;
+    const char *env = std::getenv("MT_BENCH_RESULTS");
+    const std::string path =
+        env != nullptr && *env != '\0' ? env : "BENCH_results.json";
+    std::ofstream out(path);
+    if (!out)
+        return;
+    // Ring baseline per (topology, bytes) for speedup columns.
+    std::map<std::pair<std::string, std::uint64_t>, Tick> ring;
+    for (const auto &r : rows) {
+        if (r.algo == "ring")
+            ring[{r.topo, r.bytes}] = r.cycles;
+    }
+    out << "{\n  \"results\": [\n";
+    const char *sep = "";
+    for (const auto &r : rows) {
+        out << sep << "    {\"name\": " << obs::jsonQuote(r.name)
+            << ", \"topology\": " << obs::jsonQuote(r.topo)
+            << ", \"algorithm\": " << obs::jsonQuote(r.algo)
+            << ", \"bytes\": " << r.bytes
+            << ", \"cycles\": " << r.cycles
+            << ", \"bandwidth_gbps\": " << r.bandwidth_gbps
+            << ", \"messages\": " << r.messages
+            << ", \"speedup_vs_ring\": ";
+        auto it = ring.find({r.topo, r.bytes});
+        if (it == ring.end() || r.cycles == 0) {
+            out << "null";
+        } else {
+            out << static_cast<double>(it->second)
+                       / static_cast<double>(r.cycles);
+        }
+        out << "}";
+        sep = ",\n";
+    }
+    out << "\n  ]\n}\n";
+}
+
+/** Record one executed point, arming the atexit writer on first use. */
+inline void
+recordBenchResult(const std::string &name,
+                  const std::string &topo_spec,
+                  const std::string &algo, std::uint64_t bytes,
+                  const runtime::RunResult &res)
+{
+    auto &rows = benchRows();
+    if (rows.empty())
+        std::atexit(&writeBenchResults);
+    BenchRow row;
+    row.name = name;
+    row.topo = topo_spec;
+    row.algo = algo;
+    row.bytes = bytes;
+    row.cycles = res.time;
+    row.bandwidth_gbps = res.bandwidth;
+    row.messages = res.messages;
+    rows.push_back(std::move(row));
+}
+
 /** Whether @p algo supports @p topo_spec. */
 inline bool
 supported(const std::string &topo_spec, const std::string &algo)
@@ -219,6 +313,7 @@ registerAllReducePoint(const std::string &name,
         [=](benchmark::State &state) {
             for (auto _ : state) {
                 auto res = simulate(topo_spec, algo, bytes);
+                recordBenchResult(name, topo_spec, algo, bytes, res);
                 state.SetIterationTime(
                     static_cast<double>(res.time) * 1e-9);
                 state.counters["GB/s"] = res.bandwidth;

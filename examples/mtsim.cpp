@@ -14,6 +14,8 @@
  *           [--reliable]
  *           [--trace-out FILE] [--metrics-out FILE]
  *           [--timeline] [--timeline-window TICKS]
+ *           [--profile-out FILE] [--heatmap] [--heatmap-csv FILE]
+ *           [--energy]
  *
  * The fault flags attach a deterministic fault plan (seeded by
  * --seed) to the fabric; --reliable arms the end-to-end
@@ -25,6 +27,13 @@
  * writes Chrome/Perfetto trace-event JSON (open in ui.perfetto.dev);
  * --metrics-out writes the JSON metrics snapshot; --timeline prints
  * per-link busy-fraction rows to stdout.
+ *
+ * Profiling: --profile-out attaches the latency-attribution profiler
+ * and writes the JSON profile (per-message breakdowns, router
+ * counters, the critical path) plus a human-readable critical-path
+ * report on stdout; --heatmap prints link and router congestion maps;
+ * --heatmap-csv writes the per-channel loads as CSV; --energy prints
+ * the first-order energy model's full breakdown.
  */
 
 #include <algorithm>
@@ -41,7 +50,9 @@
 #include "common/strings.hh"
 #include "core/multitree.hh"
 #include "net/energy.hh"
+#include "obs/heatmap.hh"
 #include "obs/perfetto.hh"
+#include "obs/profile.hh"
 #include "obs/timeline.hh"
 #include "obs/trace.hh"
 #include "runtime/machine.hh"
@@ -71,6 +82,10 @@ struct Args {
     std::string metrics_out;
     bool timeline = false;
     Tick timeline_window = 0; ///< 0 = auto (~64 buckets)
+    std::string profile_out;
+    bool heatmap = false;
+    std::string heatmap_csv;
+    bool energy_report = false;
 };
 
 void
@@ -87,6 +102,8 @@ usage()
         "             [--degrade CHANNEL:CYCLES] [--reliable]\n"
         "             [--trace-out FILE] [--metrics-out FILE]\n"
         "             [--timeline] [--timeline-window TICKS]\n"
+        "             [--profile-out FILE] [--heatmap]\n"
+        "             [--heatmap-csv FILE] [--energy]\n"
         "topologies: torus-WxH mesh-WxH fattree-{16,64,L:P:S} "
         "bigraph-UxL\n"
         "algorithms: ring dbtree ring2d hd hdrm multitree "
@@ -152,6 +169,14 @@ main(int argc, char **argv)
             args.timeline = true;
         else if (a == "--timeline-window")
             args.timeline_window = std::strtoull(next(), nullptr, 10);
+        else if (a == "--profile-out")
+            args.profile_out = next();
+        else if (a == "--heatmap")
+            args.heatmap = true;
+        else if (a == "--heatmap-csv")
+            args.heatmap_csv = next();
+        else if (a == "--energy")
+            args.energy_report = true;
         else {
             usage();
             return a == "--help" || a == "-h" ? 0 : 1;
@@ -236,6 +261,11 @@ main(int argc, char **argv)
     const bool observing = !args.trace_out.empty() || args.timeline;
     if (observing)
         opts.sink = &trace;
+    obs::Profiler prof;
+    const bool profiling = !args.profile_out.empty() || args.heatmap
+                           || !args.heatmap_csv.empty();
+    if (profiling)
+        opts.profiler = &prof;
 
     runtime::Machine machine(*topo, opts);
     runtime::RunOverrides ov;
@@ -279,6 +309,19 @@ main(int argc, char **argv)
     std::printf("  energy           %.2f uJ datapath + %.2f uJ "
                 "control\n",
                 energy.datapath_nj / 1e3, energy.control_nj / 1e3);
+    if (args.energy_report) {
+        const net::EnergyModel em;
+        std::printf("  energy model     %.1f pJ/flit link, %.1f "
+                    "pJ/flit buffer, %.1f pJ/head route+arb\n",
+                    em.pj_link_per_flit, em.pj_buffer_per_flit,
+                    em.pj_route_arb_per_head);
+        std::printf("  energy detail    %.0f flit-hops -> %.3f uJ "
+                    "datapath; %.0f head-hops -> %.3f uJ control; "
+                    "%.3f uJ total\n",
+                    res.flit_hops, energy.datapath_nj / 1e3,
+                    res.head_hops, energy.control_nj / 1e3,
+                    energy.total_nj() / 1e3);
+    }
     if (sched.lockstep)
         std::printf("  lockstep NOPs    %llu windows\n",
                     static_cast<unsigned long long>(res.nop_windows));
@@ -337,6 +380,46 @@ main(int argc, char **argv)
         std::ostringstream oss;
         obs::renderTimelineText(oss, fabric, tl);
         std::fputs(oss.str().c_str(), stdout);
+    }
+    if (profiling) {
+        const obs::CriticalPath cp = obs::extractCriticalPath(prof);
+        if (!args.profile_out.empty()) {
+            std::ofstream out(args.profile_out);
+            if (!out) {
+                std::fprintf(stderr, "cannot write %s\n",
+                             args.profile_out.c_str());
+                return 1;
+            }
+            obs::writeProfileJson(out, fabric, prof, cp);
+            std::printf("  profile          %s (%zu message "
+                        "records)\n",
+                        args.profile_out.c_str(),
+                        prof.records().size());
+            std::ostringstream oss;
+            obs::renderCriticalPath(oss, cp);
+            std::fputs(oss.str().c_str(), stdout);
+        }
+        if (args.heatmap || !args.heatmap_csv.empty()) {
+            const obs::CongestionMap map =
+                obs::buildCongestionMap(fabric, prof);
+            if (args.heatmap) {
+                std::ostringstream oss;
+                obs::renderLinkHeatmapAscii(oss, fabric, map);
+                obs::renderRouterHeatmapAscii(oss, fabric, map);
+                std::fputs(oss.str().c_str(), stdout);
+            }
+            if (!args.heatmap_csv.empty()) {
+                std::ofstream out(args.heatmap_csv);
+                if (!out) {
+                    std::fprintf(stderr, "cannot write %s\n",
+                                 args.heatmap_csv.c_str());
+                    return 1;
+                }
+                obs::writeHeatmapCsv(out, fabric, map);
+                std::printf("  heatmap csv      %s\n",
+                            args.heatmap_csv.c_str());
+            }
+        }
     }
     return 0;
 }

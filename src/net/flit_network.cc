@@ -16,6 +16,9 @@ FlitNetwork::FlitNetwork(sim::EventQueue &eq,
     : Network(eq, cfg), topo_(topo),
       wrap_channel_(static_cast<std::size_t>(topo.numChannels()), 0),
       channel_flits_(static_cast<std::size_t>(topo.numChannels()), 0),
+      prof_routers_(static_cast<std::size_t>(topo.numVertices())),
+      channel_msgs_(static_cast<std::size_t>(topo.numChannels()), 0),
+      channel_queue_(static_cast<std::size_t>(topo.numChannels()), 0),
       trace_span_(static_cast<std::size_t>(topo.numChannels())),
       pending_(static_cast<std::size_t>(topo.numVertices())),
       inj_pkt_(static_cast<std::size_t>(topo.numVertices()))
@@ -101,6 +104,10 @@ FlitNetwork::reset()
         }
     }
     std::fill(channel_flits_.begin(), channel_flits_.end(), 0);
+    std::fill(prof_routers_.begin(), prof_routers_.end(),
+              obs::RouterProfile{});
+    std::fill(channel_msgs_.begin(), channel_msgs_.end(), 0);
+    std::fill(channel_queue_.begin(), channel_queue_.end(), 0);
     std::fill(trace_span_.begin(), trace_span_.end(), BusySpan{});
     for (auto &q : pending_)
         q.clear();
@@ -130,6 +137,11 @@ FlitNetwork::injectImpl(Message msg)
     stats_.inc("head_hops", static_cast<double>(wb.head_flits)
                                 * static_cast<double>(
                                     pkt->msg.route.size()));
+
+    if (prof_ != nullptr) {
+        for (int cid : pkt->msg.route)
+            ++channel_msgs_[static_cast<std::size_t>(cid)];
+    }
 
     pkt->wrap_before.resize(pkt->msg.route.size(), 0);
     char crossed = 0;
@@ -189,6 +201,8 @@ FlitNetwork::refillInjection(int vertex)
         if (!vcClassAllowed(*pkt, 0, vc))
             continue;
         inj_pkt_[vi][slot] = pkt;
+        if (prof_ != nullptr)
+            prof_->onInjectStart(pkt->msg.track_id, eq_.now());
         if (sink_ != nullptr && eq_.now() > pkt->injected_at) {
             // The packet waited in the source's pending queue for a
             // free injection VC: injection-side queueing.
@@ -301,8 +315,18 @@ FlitNetwork::traverse(int vertex)
                              static_cast<std::uint64_t>(
                                  cfg_.vc_buffer_depth)}));
                 }
-                if (ovc.credits < need)
+                if (ovc.credits < need) {
+                    // Flit ready but blocked on downstream credits:
+                    // one stall cycle charged to this router/channel.
+                    if (prof_ != nullptr) {
+                        ++prof_routers_[static_cast<std::size_t>(
+                              vertex)]
+                              .credit_stalls;
+                        ++channel_queue_[static_cast<std::size_t>(
+                            ou.channel)];
+                    }
                     continue;
+                }
                 reqs.push_back(Req{static_cast<int>(ii),
                                    static_cast<int>(vc)});
             }
@@ -310,6 +334,13 @@ FlitNetwork::traverse(int vertex)
         if (reqs.empty())
             continue;
         // Round-robin grant.
+        if (prof_ != nullptr) {
+            obs::RouterProfile &rp =
+                prof_routers_[static_cast<std::size_t>(vertex)];
+            ++rp.sa_grants;
+            rp.sa_denied +=
+                static_cast<std::uint64_t>(reqs.size() - 1);
+        }
         std::size_t pick = ou.rr % reqs.size();
         ou.rr = (ou.rr + 1);
         Req g = reqs[pick];
@@ -367,6 +398,9 @@ FlitNetwork::eject(int vertex)
                     break; // through traffic, not ours to sink
                 Packet *pkt = f.pkt;
                 bool tail = f.tail;
+                if (prof_ != nullptr && f.head)
+                    prof_->onHeadArrival(pkt->msg.track_id,
+                                         eq_.now());
                 ivc.fifo.pop_front();
                 --in_flight_;
                 returnCredit(iu.channel, static_cast<int>(vc));
@@ -451,9 +485,47 @@ FlitNetwork::flushTrace()
 }
 
 void
+FlitNetwork::sampleOccupancy()
+{
+    for (std::size_t v = 0; v < routers_.size(); ++v) {
+        obs::RouterProfile &rp = prof_routers_[v];
+        for (const auto &iu : routers_[v].inputs) {
+            if (iu.channel < 0)
+                continue; // injection FIFOs are NI-side, not buffers
+            for (const auto &ivc : iu.vcs) {
+                std::size_t bucket = std::min<std::size_t>(
+                    ivc.fifo.size(), obs::kOccupancyBuckets - 1);
+                ++rp.occupancy[bucket];
+            }
+        }
+    }
+}
+
+void
+FlitNetwork::flushProfile()
+{
+    if (prof_ == nullptr)
+        return;
+    for (std::size_t cid = 0; cid < channel_flits_.size(); ++cid) {
+        obs::ChannelProfile cp;
+        cp.flits = channel_flits_[cid];
+        cp.messages = channel_msgs_[cid];
+        // One flit crosses per cycle, so flit count doubles as the
+        // busy-cycle count on this backend.
+        cp.busy = channel_flits_[cid];
+        cp.queue = channel_queue_[cid];
+        prof_->ingestChannel(static_cast<int>(cid), cp);
+    }
+    for (std::size_t v = 0; v < prof_routers_.size(); ++v)
+        prof_->ingestRouter(static_cast<int>(v), prof_routers_[v]);
+}
+
+void
 FlitNetwork::cycle()
 {
     ++active_cycles_;
+    if (prof_ != nullptr)
+        sampleOccupancy();
     for (int v = 0; v < topo_.numVertices(); ++v)
         eject(v);
     for (int v = 0; v < topo_.numVertices(); ++v)

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "net/network.hh"
+#include "obs/profile.hh"
 
 namespace multitree::topo {
 class Topology;
@@ -54,6 +55,8 @@ class FlitNetwork : public Network
     void reset() override;
 
     void flushTrace() override;
+
+    void flushProfile() override;
 
     /** Flits forwarded over channel @p cid so far (utilization). */
     std::uint64_t channelFlits(int cid) const
@@ -155,10 +158,23 @@ class FlitNetwork : public Network
      *  coalescing back-to-back cycles into one LinkBusy span. */
     void noteLinkFlit(int cid);
 
+    /** Sample channel-fed input-VC buffer depths into the per-router
+     *  occupancy histograms (profiler attached). */
+    void sampleOccupancy();
+
     const topo::Topology &topo_;
     std::vector<Router> routers_;
     std::vector<char> wrap_channel_; ///< torus dateline channels
     std::vector<std::uint64_t> channel_flits_;
+
+    // Profiling counters, maintained only while a profiler is
+    // attached (pure observation: nothing reads them back into the
+    // simulation). Ingested by flushProfile(), cleared by reset().
+    std::vector<obs::RouterProfile> prof_routers_;
+    /** Messages routed over each channel. */
+    std::vector<std::uint64_t> channel_msgs_;
+    /** Credit-stall cycles charged to each output channel. */
+    std::vector<std::uint64_t> channel_queue_;
 
     /** Open per-channel busy span for the trace sink; len == 0 means
      *  no span is open. Flushed by flushTrace(). */

@@ -42,6 +42,8 @@ class FlowNetwork : public Network
 
     void reset() override;
 
+    void flushProfile() override;
+
     /** Busy time accumulated on channel @p cid (for utilization). */
     Tick channelBusy(int cid) const
     {
@@ -61,6 +63,14 @@ class FlowNetwork : public Network
     /** Cumulative busy time per channel. */
     std::vector<Tick> busy_time_;
     Tick max_queueing_ = 0;
+
+    // Profiling counters, maintained only while a profiler is
+    // attached (pure observation). Ingested by flushProfile(),
+    // cleared by reset().
+    /** Cumulative reservation-wait cycles per channel. */
+    std::vector<Tick> queue_cycles_;
+    /** Messages routed over each channel. */
+    std::vector<std::uint64_t> channel_msgs_;
 };
 
 } // namespace multitree::net

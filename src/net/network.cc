@@ -4,7 +4,9 @@
 
 #include "common/logging.hh"
 #include "net/flit_network.hh"
+#include "net/flow_control.hh"
 #include "net/flow_network.hh"
+#include "obs/profile.hh"
 #include "sim/event_queue.hh"
 
 namespace multitree::net {
@@ -61,6 +63,13 @@ Network::inject(Message msg)
     msg.track_id = ++next_track_id_;
     in_flight_msgs_.emplace(msg.track_id,
                             InFlightRecord{msg, eq_.now()});
+    if (prof_ != nullptr) {
+        const auto wb = wireBreakdown(msg.bytes, cfg_.mode, cfg_);
+        prof_->onInject(msg.track_id, msg.src, msg.dst, msg.flow_id,
+                        msg.tag, msg.bytes,
+                        static_cast<int>(msg.route.size()),
+                        wb.total_flits, eq_.now());
+    }
     injectImpl(std::move(msg));
 }
 
@@ -97,6 +106,8 @@ Network::deliverMsg(const Message &msg)
     }
     ++delivered_;
     in_flight_msgs_.erase(msg.track_id);
+    if (prof_ != nullptr)
+        prof_->onDeliver(msg.track_id, eq_.now());
     if (sink_ != nullptr)
         emitMsgEvent(obs::EventKind::MsgDeliver, msg);
     deliver_(msg);

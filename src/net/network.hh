@@ -30,6 +30,10 @@ namespace multitree::topo {
 class Topology;
 } // namespace multitree::topo
 
+namespace multitree::obs {
+class Profiler;
+} // namespace multitree::obs
+
 namespace multitree::net {
 
 /** Flow-control flavor on the wire (§IV-B, Fig. 7). */
@@ -167,6 +171,26 @@ class Network
      */
     virtual void flushTrace() {}
 
+    /**
+     * Attach (or detach, with nullptr) the latency-attribution
+     * profiler. Same overhead contract as setTraceSink: every hook
+     * reduces to one pointer test when detached, and the profiler
+     * only records — it never schedules events — so attaching one
+     * cannot change a single tick of any run.
+     */
+    void setProfiler(obs::Profiler *prof) { prof_ = prof; }
+
+    /** The attached profiler, or nullptr. */
+    obs::Profiler *profiler() const { return prof_; }
+
+    /**
+     * Push backend-internal congestion counters (per-channel loads
+     * and, on the flit backend, per-router arbitration statistics)
+     * into the attached profiler. Called by the runtime when a run
+     * completes; a no-op by default or with no profiler attached.
+     */
+    virtual void flushProfile() {}
+
     /** The event queue driving this network. */
     sim::EventQueue &eventQueue() { return eq_; }
 
@@ -244,6 +268,7 @@ class Network
     DeliverFn deliver_;
     FaultInterposer *fault_ = nullptr;
     obs::TraceSink *sink_ = nullptr;
+    obs::Profiler *prof_ = nullptr;
     StatRegistry stats_;
     std::uint64_t injected_ = 0;
     std::uint64_t delivered_ = 0;

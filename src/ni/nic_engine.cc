@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "net/network.hh"
+#include "obs/profile.hh"
 #include "sim/event_queue.hh"
 
 namespace multitree::ni {
@@ -165,6 +166,14 @@ NicEngine::pump()
         if (!depsSatisfied(e))
             return; // head-of-table stall until a message arrives
         // Issue: DMA the chunk and inject one message per target.
+        // Injection below is same-tick synchronous, so the profiler
+        // bracket attributes every message to this table entry.
+        if (prof_ != nullptr) {
+            prof_->beginIssue(node_, static_cast<int>(next_), e.flow,
+                              e.step, e.op == Op::Gather, e.parent,
+                              e.dep_on_parent, e.deps,
+                              net_.eventQueue().now());
+        }
         for (std::size_t i = 0; i < e.children.size() || i == 0; ++i) {
             int dst;
             std::uint64_t tag;
@@ -188,6 +197,8 @@ NicEngine::pump()
             if (e.op == Op::Reduce)
                 break; // single parent target
         }
+        if (prof_ != nullptr)
+            prof_->endIssue();
         ++next_;
     }
 }
@@ -340,6 +351,10 @@ NicEngine::onMessage(const net::Message &msg)
             // The reduction logic aggregates the arrived partial at
             // a finite rate before the dependency bit clears.
             Tick delay = ceilDiv(msg.bytes, reduction_bw_);
+            if (prof_ != nullptr) {
+                prof_->onReduction(node_, msg.src, msg.flow_id,
+                                   net_.eventQueue().now(), delay);
+            }
             if (sink_ != nullptr) {
                 obs::TraceEvent ev;
                 ev.kind = obs::EventKind::ReductionBusy;

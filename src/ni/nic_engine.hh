@@ -145,6 +145,15 @@ class NicEngine
     void setTraceSink(obs::TraceSink *sink) { sink_ = sink; }
 
     /**
+     * Attach (or detach, with nullptr) the latency-attribution
+     * profiler. The engine brackets every schedule-table issue so the
+     * profiler can tie injected messages to their table entries, and
+     * reports finite-rate reductions. Same overhead contract as
+     * net::Network::setProfiler.
+     */
+    void setProfiler(obs::Profiler *prof) { prof_ = prof; }
+
+    /**
      * Program this node's schedule table for the next run and rewind
      * all per-run state (timestep counter, dependency scoreboard,
      * NOP statistics, reliability window). @pre the engine is idle:
@@ -241,6 +250,7 @@ class NicEngine
     net::Network &net_;
     std::uint32_t reduction_bw_;
     obs::TraceSink *sink_ = nullptr;
+    obs::Profiler *prof_ = nullptr;
     ScheduleTable table_;
     bool lockstep_ = false;
     std::vector<std::uint64_t> est_;

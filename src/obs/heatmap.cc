@@ -1,0 +1,283 @@
+#include "obs/heatmap.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace multitree::obs {
+
+namespace {
+
+/** Ten-level glyph ramp, blank = idle, '@' = peak. */
+constexpr char kRamp[] = " .:-=+*#%@";
+
+char
+glyphOf(double load)
+{
+    int level = static_cast<int>(std::lround(load * 9.0));
+    level = std::clamp(level, 0, 9);
+    return kRamp[level];
+}
+
+int
+percentOf(double load)
+{
+    return static_cast<int>(std::lround(load * 100.0));
+}
+
+/** Ten-character bar for the list renderers. */
+std::string
+barOf(double load)
+{
+    int fill = std::clamp(
+        static_cast<int>(std::lround(load * 10.0)), 0, 10);
+    std::string bar(static_cast<std::size_t>(fill), '#');
+    bar.resize(10, ' ');
+    return bar;
+}
+
+/** Whether @p fabric embeds as a full 2D grid we can draw. */
+bool
+isGrid(const FabricInfo &fabric)
+{
+    return fabric.grid_width > 0 && fabric.grid_height > 0
+           && fabric.grid_width * fabric.grid_height
+                  == fabric.num_nodes;
+}
+
+} // namespace
+
+CongestionMap
+buildCongestionMap(const FabricInfo &fabric, const Profiler &prof)
+{
+    CongestionMap map;
+    const auto &chans = prof.channels();
+    map.links.reserve(fabric.links.size());
+    int max_vertex = fabric.num_nodes - 1;
+    for (const auto &link : fabric.links)
+        max_vertex = std::max({max_vertex, link.src, link.dst});
+    map.routers.resize(static_cast<std::size_t>(max_vertex + 1));
+    for (std::size_t v = 0; v < map.routers.size(); ++v)
+        map.routers[v].vertex = static_cast<int>(v);
+
+    for (const auto &link : fabric.links) {
+        CongestionMap::LinkLoad ll;
+        ll.id = link.id;
+        ll.src = link.src;
+        ll.dst = link.dst;
+        auto idx = static_cast<std::size_t>(link.id);
+        if (idx < chans.size()) {
+            ll.flits = chans[idx].flits;
+            ll.messages = chans[idx].messages;
+            ll.busy = chans[idx].busy;
+            ll.queue = chans[idx].queue;
+        }
+        map.peak_link_flits =
+            std::max(map.peak_link_flits, ll.flits);
+        auto &router =
+            map.routers[static_cast<std::size_t>(link.dst)];
+        router.through_flits += ll.flits;
+        map.links.push_back(ll);
+    }
+    if (map.peak_link_flits > 0) {
+        for (auto &ll : map.links) {
+            ll.load = static_cast<double>(ll.flits)
+                      / static_cast<double>(map.peak_link_flits);
+        }
+    }
+    const auto &routers = prof.routers();
+    for (auto &rl : map.routers) {
+        auto idx = static_cast<std::size_t>(rl.vertex);
+        if (idx < routers.size()) {
+            rl.sa_denied = routers[idx].sa_denied;
+            rl.credit_stalls = routers[idx].credit_stalls;
+        }
+        map.peak_router_flits =
+            std::max(map.peak_router_flits, rl.through_flits);
+    }
+    if (map.peak_router_flits > 0) {
+        for (auto &rl : map.routers) {
+            rl.load =
+                static_cast<double>(rl.through_flits)
+                / static_cast<double>(map.peak_router_flits);
+        }
+    }
+    return map;
+}
+
+namespace {
+
+void
+renderLinkGrid(std::ostream &os, const FabricInfo &fabric,
+               const CongestionMap &map)
+{
+    const int w = fabric.grid_width;
+    const int h = fabric.grid_height;
+    // Max directed load per undirected node pair.
+    std::map<std::pair<int, int>, double> pair_load;
+    std::vector<const CongestionMap::LinkLoad *> wraps;
+    for (const auto &ll : map.links) {
+        const int a = std::min(ll.src, ll.dst);
+        const int b = std::max(ll.src, ll.dst);
+        const int dx = std::abs(a % w - b % w);
+        const int dy = std::abs(a / w - b / w);
+        if (dx + dy != 1) {
+            wraps.push_back(&ll);
+            continue;
+        }
+        auto &slot = pair_load[{a, b}];
+        slot = std::max(slot, ll.load);
+    }
+    auto edge = [&](int a, int b) {
+        auto it = pair_load.find({std::min(a, b), std::max(a, b)});
+        return it == pair_load.end() ? 0.0 : it->second;
+    };
+    os << "link heatmap (" << fabric.name << ", peak "
+       << map.peak_link_flits << " flits/link; ramp \"" << kRamp
+       << "\"):\n";
+    for (int y = 0; y < h; ++y) {
+        os << "  ";
+        for (int x = 0; x < w; ++x) {
+            os << "+";
+            if (x + 1 < w) {
+                const char g =
+                    glyphOf(edge(y * w + x, y * w + x + 1));
+                os << g << g << g;
+            }
+        }
+        os << "\n";
+        if (y + 1 >= h)
+            continue;
+        os << "  ";
+        for (int x = 0; x < w; ++x) {
+            os << glyphOf(edge(y * w + x, (y + 1) * w + x));
+            if (x + 1 < w)
+                os << "   ";
+        }
+        os << "\n";
+    }
+    if (!wraps.empty()) {
+        // One line per undirected wrap pair, busiest direction.
+        std::map<std::pair<int, int>, double> wrap_load;
+        for (const auto *ll : wraps) {
+            auto key = std::make_pair(std::min(ll->src, ll->dst),
+                                      std::max(ll->src, ll->dst));
+            auto &slot = wrap_load[key];
+            slot = std::max(slot, ll->load);
+        }
+        os << "  wrap links:";
+        for (const auto &[pair, load] : wrap_load) {
+            os << " " << pair.first << "<->" << pair.second << " "
+               << glyphOf(load);
+        }
+        os << "\n";
+    }
+}
+
+void
+renderLinkBars(std::ostream &os, const FabricInfo &fabric,
+               const CongestionMap &map)
+{
+    os << "link heatmap (" << fabric.name << ", peak "
+       << map.peak_link_flits << " flits/link, busiest first):\n";
+    std::vector<const CongestionMap::LinkLoad *> sorted;
+    sorted.reserve(map.links.size());
+    for (const auto &ll : map.links)
+        sorted.push_back(&ll);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto *a, const auto *b) {
+                  if (a->flits != b->flits)
+                      return a->flits > b->flits;
+                  return a->id < b->id;
+              });
+    const std::size_t shown =
+        std::min<std::size_t>(sorted.size(), 16);
+    for (std::size_t i = 0; i < shown; ++i) {
+        const auto &ll = *sorted[i];
+        os << "  link " << ll.id << " " << ll.src << "->" << ll.dst
+           << " [" << barOf(ll.load) << "] " << percentOf(ll.load)
+           << "% (" << ll.flits << " flits, queue " << ll.queue
+           << ")\n";
+    }
+    if (sorted.size() > shown)
+        os << "  ... " << sorted.size() - shown << " more\n";
+}
+
+} // namespace
+
+void
+renderLinkHeatmapAscii(std::ostream &os, const FabricInfo &fabric,
+                       const CongestionMap &map)
+{
+    if (isGrid(fabric))
+        renderLinkGrid(os, fabric, map);
+    else
+        renderLinkBars(os, fabric, map);
+}
+
+void
+renderRouterHeatmapAscii(std::ostream &os, const FabricInfo &fabric,
+                         const CongestionMap &map)
+{
+    if (isGrid(fabric)) {
+        const int w = fabric.grid_width;
+        const int h = fabric.grid_height;
+        os << "router heatmap (through-flit deciles, peak "
+           << map.peak_router_flits << "):\n";
+        for (int y = 0; y < h; ++y) {
+            os << "  ";
+            for (int x = 0; x < w; ++x) {
+                const auto &rl = map.routers[static_cast<std::size_t>(
+                    y * w + x)];
+                const int decile = std::clamp(
+                    static_cast<int>(std::lround(rl.load * 9.0)), 0,
+                    9);
+                os << (x > 0 ? " " : "") << decile;
+            }
+            os << "\n";
+        }
+        return;
+    }
+    os << "router heatmap (through flits, busiest first):\n";
+    std::vector<const CongestionMap::RouterLoad *> sorted;
+    sorted.reserve(map.routers.size());
+    for (const auto &rl : map.routers)
+        sorted.push_back(&rl);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto *a, const auto *b) {
+                  if (a->through_flits != b->through_flits)
+                      return a->through_flits > b->through_flits;
+                  return a->vertex < b->vertex;
+              });
+    const std::size_t shown =
+        std::min<std::size_t>(sorted.size(), 16);
+    for (std::size_t i = 0; i < shown; ++i) {
+        const auto &rl = *sorted[i];
+        os << "  router " << rl.vertex << " [" << barOf(rl.load)
+           << "] " << rl.through_flits << " flits";
+        if (rl.sa_denied > 0 || rl.credit_stalls > 0) {
+            os << " (sa_denied " << rl.sa_denied
+               << ", credit_stalls " << rl.credit_stalls << ")";
+        }
+        os << "\n";
+    }
+    if (sorted.size() > shown)
+        os << "  ... " << sorted.size() - shown << " more\n";
+}
+
+void
+writeHeatmapCsv(std::ostream &os, const FabricInfo &,
+                const CongestionMap &map)
+{
+    os << "channel,src,dst,flits,messages,busy,queue,load\n";
+    for (const auto &ll : map.links) {
+        os << ll.id << "," << ll.src << "," << ll.dst << ","
+           << ll.flits << "," << ll.messages << "," << ll.busy
+           << "," << ll.queue << "," << ll.load << "\n";
+    }
+}
+
+} // namespace multitree::obs

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Congestion heatmaps over the profiler's channel/router counters.
+ *
+ * The paper's Fig. 9 argument — MultiTree wins on torus because it
+ * spreads traffic where ring concentrates it — is a statement about
+ * *where* flits went. buildCongestionMap() turns the per-channel and
+ * per-router counters a Profiler ingested at run completion into
+ * normalized loads; the renderers draw them as an ASCII floor plan
+ * for 2D meshes/tori (FabricInfo::grid_width/height), a sorted bar
+ * list for any other topology, and CSV for offline plotting.
+ *
+ * Everything here is offline post-processing of recorded counters:
+ * nothing touches the simulation.
+ */
+
+#ifndef MULTITREE_OBS_HEATMAP_HH
+#define MULTITREE_OBS_HEATMAP_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "common/units.hh"
+#include "obs/profile.hh"
+#include "obs/trace.hh"
+
+namespace multitree::obs {
+
+/** Normalized per-link and per-router congestion of one run. */
+struct CongestionMap {
+    /** One directed channel's traffic, load normalized to the peak
+     *  channel (0..1; 0 everywhere when the fabric saw no flits). */
+    struct LinkLoad {
+        int id = -1;
+        int src = -1;
+        int dst = -1;
+        std::uint64_t flits = 0;
+        std::uint64_t messages = 0;
+        Tick busy = 0;
+        Tick queue = 0;
+        double load = 0;
+    };
+    /** One router's through-traffic (sum of its incoming channels)
+     *  plus flit-backend arbitration detail when available. */
+    struct RouterLoad {
+        int vertex = -1;
+        std::uint64_t through_flits = 0;
+        std::uint64_t sa_denied = 0;
+        std::uint64_t credit_stalls = 0;
+        double load = 0;
+    };
+    std::vector<LinkLoad> links;     ///< dense by channel id
+    std::vector<RouterLoad> routers; ///< dense by vertex
+    std::uint64_t peak_link_flits = 0;
+    std::uint64_t peak_router_flits = 0;
+};
+
+/** Fold @p prof's ingested counters over @p fabric's link list. */
+CongestionMap buildCongestionMap(const FabricInfo &fabric,
+                                 const Profiler &prof);
+
+/**
+ * Draw per-link loads. Grid fabrics get an ASCII floor plan (each
+ * in-grid edge rendered at the max of its two directions, wrap links
+ * listed below); other fabrics get the busiest links as bars.
+ */
+void renderLinkHeatmapAscii(std::ostream &os,
+                            const FabricInfo &fabric,
+                            const CongestionMap &map);
+
+/** Draw per-router loads: a decile grid, or a sorted bar list. */
+void renderRouterHeatmapAscii(std::ostream &os,
+                              const FabricInfo &fabric,
+                              const CongestionMap &map);
+
+/** Per-channel CSV (any topology): one row per directed channel. */
+void writeHeatmapCsv(std::ostream &os, const FabricInfo &fabric,
+                     const CongestionMap &map);
+
+} // namespace multitree::obs
+
+#endif // MULTITREE_OBS_HEATMAP_HH

@@ -1,0 +1,601 @@
+#include "obs/profile.hh"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <tuple>
+#include <utility>
+
+namespace multitree::obs {
+
+namespace {
+
+// NI wire tags, mirrored from ni::nic_engine.hh (the obs layer stays
+// independent of the NI library; the values are part of the wire
+// contract the trace taxonomy already relies on).
+constexpr std::uint64_t kReduceTag = 0;
+constexpr std::uint64_t kGatherTag = 1;
+constexpr std::uint64_t kFirstNonDataTag = 2; ///< acks and above
+
+bool
+isData(const LatencyRecord &r)
+{
+    return r.tag < kFirstNonDataTag;
+}
+
+} // namespace
+
+const char *
+categoryName(LatencyCategory c)
+{
+    switch (c) {
+      case LatencyCategory::NicWait:
+        return "nic_wait";
+      case LatencyCategory::InjQueue:
+        return "inj_queue";
+      case LatencyCategory::HeadRoute:
+        return "head_route";
+      case LatencyCategory::Serialization:
+        return "serialization";
+      case LatencyCategory::CreditStall:
+        return "credit_stall";
+      case LatencyCategory::Reduction:
+        return "reduction";
+    }
+    return "unknown";
+}
+
+void
+Profiler::onRunBegin(Tick now)
+{
+    records_.clear();
+    issues_.clear();
+    reductions_.clear();
+    channels_.clear();
+    routers_.clear();
+    by_track_.clear();
+    cur_issue_ = -1;
+    run_begin_ = now;
+    run_end_ = now;
+    run_complete_ = false;
+}
+
+void
+Profiler::onRunEnd(Tick now)
+{
+    run_end_ = now;
+    run_complete_ = true;
+}
+
+void
+Profiler::beginIssue(int node, int entry, int flow, int step,
+                     bool gather, int parent, bool dep_on_parent,
+                     const std::vector<int> &deps, Tick now)
+{
+    IssueRecord ir;
+    ir.node = node;
+    ir.entry = entry;
+    ir.flow = flow;
+    ir.step = step;
+    ir.gather = gather;
+    ir.parent = parent;
+    ir.dep_on_parent = dep_on_parent;
+    ir.deps = deps;
+    ir.tick = now;
+    cur_issue_ = static_cast<int>(issues_.size());
+    issues_.push_back(std::move(ir));
+}
+
+void
+Profiler::onReduction(int node, int src, int flow, Tick start,
+                      Tick duration)
+{
+    reductions_.push_back(
+        ReductionRecord{node, src, flow, start, duration});
+}
+
+void
+Profiler::onInject(std::uint64_t track_id, int src, int dst, int flow,
+                   std::uint64_t tag, std::uint64_t bytes, int hops,
+                   std::uint64_t wire_flits, Tick now)
+{
+    LatencyRecord r;
+    r.track_id = track_id;
+    r.src = src;
+    r.dst = dst;
+    r.flow = flow;
+    r.tag = tag;
+    r.bytes = bytes;
+    r.hops = hops;
+    r.wire_flits = wire_flits;
+    r.injected = now;
+    r.issue_index = cur_issue_;
+    by_track_[track_id] = records_.size();
+    records_.push_back(std::move(r));
+}
+
+LatencyRecord *
+Profiler::find(std::uint64_t track_id)
+{
+    auto it = by_track_.find(track_id);
+    if (it == by_track_.end())
+        return nullptr;
+    return &records_[it->second];
+}
+
+void
+Profiler::onInjectStart(std::uint64_t track_id, Tick now)
+{
+    if (LatencyRecord *r = find(track_id))
+        r->inj_start = now;
+}
+
+void
+Profiler::onHeadArrival(std::uint64_t track_id, Tick now)
+{
+    LatencyRecord *r = find(track_id);
+    // Only the first head matters (message-based mode has one; in
+    // packet-based mode subsequent per-packet heads ride mid-stream).
+    if (r != nullptr && r->head_arrival == 0)
+        r->head_arrival = now;
+}
+
+void
+Profiler::setAnalyticBreakdown(std::uint64_t track_id, Tick inj_queue,
+                               Tick head_route, Tick serialization)
+{
+    LatencyRecord *r = find(track_id);
+    if (r == nullptr)
+        return;
+    r->analytic = true;
+    r->inj_queue = inj_queue;
+    r->head_route = head_route;
+    r->serialization = serialization;
+}
+
+void
+Profiler::onDeliver(std::uint64_t track_id, Tick now)
+{
+    LatencyRecord *r = find(track_id);
+    if (r == nullptr)
+        return;
+    r->delivered = now;
+    r->done = true;
+    const Tick total = r->delivered - r->injected;
+    if (r->analytic) {
+        // The flow model fixed everything but downstream queueing at
+        // inject time; the residual (plus any fault-injected delivery
+        // delay) is backpressure along the route.
+        const Tick known =
+            r->inj_queue + r->head_route + r->serialization;
+        r->credit_stall = total > known ? total - known : 0;
+        return;
+    }
+    // Flit backend: derive the split from observed milestones,
+    // clamped into [injected, delivered] so the sum is exact even if
+    // a milestone was missed.
+    Tick start = std::max(r->inj_start, r->injected);
+    start = std::min(start, r->delivered);
+    Tick head = std::max(r->head_arrival, start);
+    head = std::min(head, r->delivered);
+    r->inj_queue = start - r->injected;
+    r->head_route = head - start;
+    const Tick drain = r->delivered - head;
+    const Tick ser =
+        r->wire_flits > 0
+            ? std::min<Tick>(drain, static_cast<Tick>(r->wire_flits)
+                                        - 1)
+            : 0;
+    r->serialization = ser;
+    r->credit_stall = drain - ser;
+}
+
+void
+Profiler::ingestChannel(int cid, const ChannelProfile &cp)
+{
+    auto idx = static_cast<std::size_t>(cid);
+    if (channels_.size() <= idx)
+        channels_.resize(idx + 1);
+    channels_[idx] = cp;
+}
+
+void
+Profiler::ingestRouter(int vertex, const RouterProfile &rp)
+{
+    auto idx = static_cast<std::size_t>(vertex);
+    if (routers_.size() <= idx)
+        routers_.resize(idx + 1);
+    routers_[idx] = rp;
+}
+
+ProfileSummary
+Profiler::summary() const
+{
+    ProfileSummary s;
+    for (const auto &r : records_) {
+        if (!r.done || !isData(r))
+            continue;
+        ++s.messages;
+        s.total_latency += r.total();
+        s.inj_queue += r.inj_queue;
+        s.head_route += r.head_route;
+        s.serialization += r.serialization;
+        s.credit_stall += r.credit_stall;
+        s.max_latency = std::max(s.max_latency, r.total());
+    }
+    return s;
+}
+
+namespace {
+
+Tick &
+cat(CategoryRollup &rollup, LatencyCategory c)
+{
+    return rollup[static_cast<std::size_t>(c)];
+}
+
+} // namespace
+
+CriticalPath
+extractCriticalPath(const Profiler &prof)
+{
+    CriticalPath cp;
+    if (!prof.runComplete()) {
+        cp.error = "no completed run recorded";
+        return cp;
+    }
+    cp.total = prof.runEnd() - prof.runBegin();
+
+    const auto &records = prof.records();
+    const auto &issues = prof.issues();
+    const auto &reductions = prof.reductions();
+
+    // Index deliveries by schedule edge. A lossless run delivers
+    // each (src, dst, flow, phase) edge exactly once; duplicates
+    // (retransmissions) make dependency resolution ambiguous and are
+    // reported instead of guessed at.
+    constexpr int kDuplicate = -2;
+    std::map<std::tuple<int, int, int, std::uint64_t>, int> by_edge;
+    int terminal = -1;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const LatencyRecord &r = records[i];
+        if (!isData(r) || !r.done)
+            continue;
+        auto key = std::make_tuple(r.src, r.dst, r.flow, r.tag);
+        auto [it, inserted] =
+            by_edge.emplace(key, static_cast<int>(i));
+        if (!inserted)
+            it->second = kDuplicate;
+        if (terminal < 0
+            || r.delivered
+                   > records[static_cast<std::size_t>(terminal)]
+                         .delivered) {
+            terminal = static_cast<int>(i);
+        }
+    }
+    if (terminal < 0) {
+        cp.error = "no data deliveries recorded";
+        return cp;
+    }
+
+    std::map<std::pair<int, int>, int> issue_at;
+    for (std::size_t i = 0; i < issues.size(); ++i)
+        issue_at[{issues[i].node, issues[i].entry}] =
+            static_cast<int>(i);
+    std::map<std::tuple<int, int, int>, int> reduction_at;
+    for (std::size_t i = 0; i < reductions.size(); ++i) {
+        const ReductionRecord &rr = reductions[i];
+        reduction_at[{rr.node, rr.src, rr.flow}] =
+            static_cast<int>(i);
+    }
+
+    cp.tail_wait =
+        prof.runEnd()
+        - records[static_cast<std::size_t>(terminal)].delivered;
+    cat(cp.by_category, LatencyCategory::NicWait) += cp.tail_wait;
+
+    // Backward greedy walk: at every message, find the latest of its
+    // issue's enablers (previous table entry, dependency clears, run
+    // begin); the gaps are NI waits, a gating reduction contributes
+    // its occupancy, and the walk recurses into the binding delivery.
+    // Every charged segment abuts the next, so the rollup tiles
+    // [runBegin, runEnd] exactly.
+    std::size_t guard = records.size() + issues.size() + 2;
+    int rec = terminal;
+    Tick pending_reduction = 0;
+    for (;;) {
+        if (guard-- == 0) {
+            cp.error = "critical-path walk did not terminate";
+            return cp;
+        }
+        const LatencyRecord &r =
+            records[static_cast<std::size_t>(rec)];
+        CriticalPath::Hop hop;
+        hop.src = r.src;
+        hop.dst = r.dst;
+        hop.flow = r.flow;
+        hop.gather = r.tag == kGatherTag;
+        hop.reduction_after = pending_reduction;
+        pending_reduction = 0;
+        hop.injected = r.injected;
+        hop.delivered = r.delivered;
+        hop.inj_queue = r.inj_queue;
+        hop.head_route = r.head_route;
+        hop.serialization = r.serialization;
+        hop.credit_stall = r.credit_stall;
+        cat(cp.by_category, LatencyCategory::InjQueue) += r.inj_queue;
+        cat(cp.by_category, LatencyCategory::HeadRoute) +=
+            r.head_route;
+        cat(cp.by_category, LatencyCategory::Serialization) +=
+            r.serialization;
+        cat(cp.by_category, LatencyCategory::CreditStall) +=
+            r.credit_stall;
+
+        if (r.issue_index < 0
+            || static_cast<std::size_t>(r.issue_index)
+                   >= issues.size()) {
+            cp.error = "delivery without an issue record (profiler "
+                       "attached mid-run?)";
+            return cp;
+        }
+        int is = r.issue_index;
+        bool at_begin = false;
+        int next_rec = -1;
+        Tick gating_reduction = 0;
+        for (;;) {
+            if (guard-- == 0) {
+                cp.error = "critical-path walk did not terminate";
+                return cp;
+            }
+            const IssueRecord &I =
+                issues[static_cast<std::size_t>(is)];
+            hop.step = std::max(hop.step, I.step);
+            Tick best = prof.runBegin();
+            enum { Begin, PrevIssue, Dep } kind = Begin;
+            int best_issue = -1;
+            int best_rec = -1;
+            Tick best_red = 0;
+            if (I.entry > 0) {
+                auto pit = issue_at.find({I.node, I.entry - 1});
+                if (pit == issue_at.end()) {
+                    cp.error = "missing issue record for table "
+                               "ordering dependency";
+                    return cp;
+                }
+                const Tick t =
+                    issues[static_cast<std::size_t>(pit->second)]
+                        .tick;
+                if (t >= best) {
+                    best = t;
+                    kind = PrevIssue;
+                    best_issue = pit->second;
+                }
+            }
+            std::vector<std::pair<int, std::uint64_t>> dep_edges;
+            if (I.dep_on_parent) {
+                dep_edges.emplace_back(I.parent, kGatherTag);
+            } else {
+                for (int child : I.deps)
+                    dep_edges.emplace_back(child, kReduceTag);
+            }
+            for (const auto &[peer, tag] : dep_edges) {
+                auto dit = by_edge.find(
+                    std::make_tuple(peer, I.node, I.flow, tag));
+                if (dit == by_edge.end()) {
+                    cp.error = "dependency delivery not recorded "
+                               "(lossy run?)";
+                    return cp;
+                }
+                if (dit->second == kDuplicate) {
+                    cp.error = "ambiguous dependency: duplicate "
+                               "deliveries on one schedule edge";
+                    return cp;
+                }
+                const LatencyRecord &d =
+                    records[static_cast<std::size_t>(dit->second)];
+                Tick clear = d.delivered;
+                Tick rdur = 0;
+                auto rit =
+                    reduction_at.find({I.node, peer, I.flow});
+                if (rit != reduction_at.end()) {
+                    const ReductionRecord &rr =
+                        reductions[static_cast<std::size_t>(
+                            rit->second)];
+                    clear = rr.start + rr.duration;
+                    rdur = rr.duration;
+                }
+                if (clear >= best) {
+                    best = clear;
+                    kind = Dep;
+                    best_rec = dit->second;
+                    best_red = rdur;
+                }
+            }
+            if (best > I.tick) {
+                cp.error = "non-causal enabler (dependency cleared "
+                           "after its dependent issued)";
+                return cp;
+            }
+            cat(cp.by_category, LatencyCategory::NicWait) +=
+                I.tick - best;
+            hop.wait += I.tick - best;
+            if (kind == PrevIssue) {
+                is = best_issue;
+                continue;
+            }
+            if (kind == Dep) {
+                next_rec = best_rec;
+                gating_reduction = best_red;
+            } else {
+                at_begin = true;
+            }
+            break;
+        }
+        cp.hops.push_back(std::move(hop));
+        if (at_begin)
+            break;
+        cat(cp.by_category, LatencyCategory::Reduction) +=
+            gating_reduction;
+        pending_reduction = gating_reduction;
+        rec = next_rec;
+    }
+    std::reverse(cp.hops.begin(), cp.hops.end());
+    cp.ok = true;
+    return cp;
+}
+
+namespace {
+
+void
+writeRollup(std::ostream &os, const CategoryRollup &rollup)
+{
+    os << "{";
+    for (std::size_t c = 0; c < kNumLatencyCategories; ++c) {
+        if (c > 0)
+            os << ", ";
+        os << jsonQuote(
+                  categoryName(static_cast<LatencyCategory>(c)))
+           << ": " << rollup[c];
+    }
+    os << "}";
+}
+
+} // namespace
+
+void
+writeProfileJson(std::ostream &os, const FabricInfo &fabric,
+                 const Profiler &prof, const CriticalPath &cp,
+                 std::size_t max_records)
+{
+    const ProfileSummary s = prof.summary();
+    os << "{\n";
+    os << "  \"fabric\": " << jsonQuote(fabric.name) << ",\n";
+    os << "  \"nodes\": " << fabric.num_nodes << ",\n";
+    os << "  \"channels\": " << fabric.links.size() << ",\n";
+    os << "  \"run\": {\"begin\": " << prof.runBegin()
+       << ", \"end\": " << prof.runEnd() << ", \"cycles\": "
+       << (prof.runEnd() - prof.runBegin()) << ", \"complete\": "
+       << (prof.runComplete() ? "true" : "false") << "},\n";
+    os << "  \"summary\": {\"messages\": " << s.messages
+       << ", \"total_latency\": " << s.total_latency
+       << ", \"inj_queue\": " << s.inj_queue << ", \"head_route\": "
+       << s.head_route << ", \"serialization\": " << s.serialization
+       << ", \"credit_stall\": " << s.credit_stall
+       << ", \"max_latency\": " << s.max_latency << "},\n";
+
+    os << "  \"critical_path\": {\n";
+    os << "    \"ok\": " << (cp.ok ? "true" : "false") << ",\n";
+    os << "    \"error\": " << jsonQuote(cp.error) << ",\n";
+    os << "    \"total\": " << cp.total << ",\n";
+    os << "    \"tail_wait\": " << cp.tail_wait << ",\n";
+    os << "    \"rollup\": ";
+    writeRollup(os, cp.by_category);
+    os << ",\n    \"hops\": [";
+    for (std::size_t i = 0; i < cp.hops.size(); ++i) {
+        const auto &h = cp.hops[i];
+        os << (i > 0 ? ",\n      " : "\n      ");
+        os << "{\"src\": " << h.src << ", \"dst\": " << h.dst
+           << ", \"flow\": " << h.flow << ", \"step\": " << h.step
+           << ", \"kind\": "
+           << (h.gather ? "\"gather\"" : "\"reduce\"")
+           << ", \"wait\": " << h.wait << ", \"reduction_after\": "
+           << h.reduction_after << ", \"injected\": " << h.injected
+           << ", \"delivered\": " << h.delivered
+           << ", \"inj_queue\": " << h.inj_queue
+           << ", \"head_route\": " << h.head_route
+           << ", \"serialization\": " << h.serialization
+           << ", \"credit_stall\": " << h.credit_stall << "}";
+    }
+    os << "\n    ]\n  },\n";
+
+    os << "  \"channel_profile\": [";
+    const auto &chans = prof.channels();
+    for (std::size_t i = 0; i < fabric.links.size(); ++i) {
+        const ChannelProfile cpch =
+            i < chans.size() ? chans[i] : ChannelProfile{};
+        const auto &link = fabric.links[i];
+        os << (i > 0 ? ",\n    " : "\n    ");
+        os << "{\"id\": " << link.id << ", \"src\": " << link.src
+           << ", \"dst\": " << link.dst << ", \"flits\": "
+           << cpch.flits << ", \"messages\": " << cpch.messages
+           << ", \"busy\": " << cpch.busy << ", \"queue\": "
+           << cpch.queue << "}";
+    }
+    os << "\n  ],\n";
+
+    os << "  \"router_profile\": [";
+    const auto &routers = prof.routers();
+    for (std::size_t i = 0; i < routers.size(); ++i) {
+        const RouterProfile &rp = routers[i];
+        os << (i > 0 ? ",\n    " : "\n    ");
+        os << "{\"vertex\": " << i << ", \"sa_grants\": "
+           << rp.sa_grants << ", \"sa_denied\": " << rp.sa_denied
+           << ", \"credit_stalls\": " << rp.credit_stalls
+           << ", \"occupancy\": [";
+        for (std::size_t b = 0; b < kOccupancyBuckets; ++b)
+            os << (b > 0 ? ", " : "") << rp.occupancy[b];
+        os << "]}";
+    }
+    os << "\n  ],\n";
+
+    os << "  \"records\": [";
+    std::size_t emitted = 0;
+    std::size_t finished = 0;
+    for (const auto &r : prof.records()) {
+        if (!r.done)
+            continue;
+        ++finished;
+        if (emitted >= max_records)
+            continue;
+        os << (emitted > 0 ? ",\n    " : "\n    ");
+        os << "{\"track\": " << r.track_id << ", \"src\": " << r.src
+           << ", \"dst\": " << r.dst << ", \"flow\": " << r.flow
+           << ", \"tag\": " << r.tag << ", \"bytes\": " << r.bytes
+           << ", \"hops\": " << r.hops << ", \"injected\": "
+           << r.injected << ", \"delivered\": " << r.delivered
+           << ", \"inj_queue\": " << r.inj_queue
+           << ", \"head_route\": " << r.head_route
+           << ", \"serialization\": " << r.serialization
+           << ", \"credit_stall\": " << r.credit_stall << "}";
+        ++emitted;
+    }
+    os << "\n  ],\n";
+    os << "  \"records_truncated\": "
+       << (finished > emitted ? "true" : "false") << "\n";
+    os << "}\n";
+}
+
+void
+renderCriticalPath(std::ostream &os, const CriticalPath &cp)
+{
+    if (!cp.ok) {
+        os << "critical path: unavailable (" << cp.error << ")\n";
+        return;
+    }
+    os << "critical path: " << cp.total << " cycles over "
+       << cp.hops.size() << " message hop(s)\n  ";
+    for (std::size_t c = 0; c < kNumLatencyCategories; ++c) {
+        if (c > 0)
+            os << " | ";
+        os << categoryName(static_cast<LatencyCategory>(c)) << " "
+           << cp.by_category[c];
+    }
+    os << "\n";
+    for (const auto &h : cp.hops) {
+        os << "  ";
+        if (h.wait > 0)
+            os << "wait " << h.wait << " -> ";
+        os << (h.gather ? "gather " : "reduce ") << h.src << "->"
+           << h.dst << " flow " << h.flow << " step " << h.step
+           << ": q" << h.inj_queue << " route" << h.head_route
+           << " ser" << h.serialization << " stall"
+           << h.credit_stall << " @" << h.delivered;
+        if (h.reduction_after > 0)
+            os << " -> reduce-unit " << h.reduction_after;
+        os << "\n";
+    }
+    if (cp.tail_wait > 0)
+        os << "  tail wait " << cp.tail_wait << " to run end\n";
+}
+
+} // namespace multitree::obs

@@ -1,0 +1,347 @@
+/**
+ * @file
+ * Latency-attribution profiler: where did the cycles go?
+ *
+ * The trace layer (obs/trace.hh) records *what happened*; this layer
+ * explains *what it cost*. Three pieces:
+ *
+ *  - LatencyRecord: every message's inject-to-deliver time split into
+ *    injection queueing, head-flit route time, serialization and
+ *    credit-stall (backpressure) cycles, fed by milestone hooks in
+ *    both network backends. The split is exact by construction:
+ *    the four categories always sum to delivered - injected.
+ *  - IssueRecord / ReductionRecord: the NIC engines report every
+ *    schedule-table issue (with its step and dependency fields) and
+ *    every finite-rate reduction, which is what lets the critical-path
+ *    extractor rebuild the run's dependency DAG offline.
+ *  - Per-router and per-channel counters (switch-allocation grants
+ *    and denials, per-output-VC credit stalls, VC buffer-occupancy
+ *    histograms in the flit backend; coarse queue/busy equivalents in
+ *    the flow backend), ingested at run completion and consumed by
+ *    the congestion heatmaps (obs/heatmap.hh).
+ *
+ * extractCriticalPath() walks the dependency DAG of a finished run
+ * backwards from the last delivery and reports the chain that bounds
+ * completion time, with a per-category rollup. On lossless
+ * deterministic runs the rollup sums *exactly* to the end-to-end
+ * completion cycles (asserted by tests/test_obs.cc): the walk's
+ * segments — NIC waits, reduction occupancy and per-message
+ * breakdowns — tile the interval [run begin, run end] with no gaps
+ * and no overlap.
+ *
+ * Overhead contract (same as TraceSink): components hold a raw
+ * `Profiler *` that is nullptr when profiling is off and guard every
+ * hook with that one pointer test; the profiler only records and
+ * never schedules events, so attaching one cannot change a single
+ * tick of any run.
+ */
+
+#ifndef MULTITREE_OBS_PROFILE_HH
+#define MULTITREE_OBS_PROFILE_HH
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.hh"
+#include "obs/trace.hh"
+
+namespace multitree::obs {
+
+/** Where a cycle on the critical path was spent. */
+enum class LatencyCategory {
+    NicWait = 0,   ///< NI-side wait: deps, lockstep windows, ordering
+    InjQueue,      ///< waiting for injection capacity at the source
+    HeadRoute,     ///< head flit traversing the route
+    Serialization, ///< payload flits streaming behind the head
+    CreditStall,   ///< backpressure: credits withheld downstream
+    Reduction,     ///< reduction-unit aggregation gating an issue
+};
+
+/** Number of LatencyCategory values (rollup array size). */
+inline constexpr std::size_t kNumLatencyCategories = 6;
+
+/** Stable lower-case name of @p c (JSON keys, report rows). */
+const char *categoryName(LatencyCategory c);
+
+/** Per-category cycle rollup. */
+using CategoryRollup = std::array<Tick, kNumLatencyCategories>;
+
+/**
+ * One message's latency breakdown. The wire-time categories are
+ * exact-sum by construction:
+ *   inj_queue + head_route + serialization + credit_stall
+ *     == delivered - injected.
+ * On the flit backend the split comes from observed milestones (VC
+ * win, head ejection, tail delivery); on the flow backend it is the
+ * model's own analytic decomposition, with downstream queueing (and
+ * any fault-injected delivery delay) accounted as credit_stall.
+ */
+struct LatencyRecord {
+    std::uint64_t track_id = 0; ///< correlation key (net::Message)
+    int src = -1;
+    int dst = -1;
+    int flow = -1;
+    std::uint64_t tag = 0; ///< NI wire tag (0 reduce, 1 gather, 2 ack)
+    std::uint64_t bytes = 0;
+    int hops = 0;                 ///< route length in channels
+    std::uint64_t wire_flits = 0; ///< payload + head flits on the wire
+
+    Tick injected = 0;  ///< handed to the transport
+    Tick delivered = 0; ///< tail arrival at the destination NI
+    bool done = false;  ///< delivered (records of dropped messages
+                        ///< never finalize)
+
+    // Attribution, valid once done:
+    Tick inj_queue = 0;
+    Tick head_route = 0;
+    Tick serialization = 0;
+    Tick credit_stall = 0;
+
+    /** Index into Profiler::issues() of the schedule-table issue that
+     *  injected this message, or -1 (acks, retransmissions). */
+    int issue_index = -1;
+
+    // Milestones feeding the attribution, filled by backend hooks:
+    Tick inj_start = 0;    ///< flit: injection-VC win tick
+    Tick head_arrival = 0; ///< flit: head ejection at the destination
+    bool analytic = false; ///< flow: split fixed at inject time
+
+    /** Total wire latency. */
+    Tick total() const { return delivered - injected; }
+};
+
+/** One schedule-table entry issue, as the NIC engine executed it. */
+struct IssueRecord {
+    int node = -1;
+    int entry = -1; ///< table ordinal (0-based); entry k cannot issue
+                    ///< before entry k-1 (head-of-table ordering)
+    int flow = -1;
+    int step = 0;
+    bool gather = false; ///< false = Reduce
+    int parent = -1;
+    bool dep_on_parent = false;
+    std::vector<int> deps; ///< reduce children (or parent for gather)
+    Tick tick = 0;         ///< issue time (== injection time: the DMA
+                           ///< hand-off is same-tick synchronous)
+};
+
+/** One finite-rate reduction occupying the NI's aggregation logic. */
+struct ReductionRecord {
+    int node = -1; ///< aggregating node
+    int src = -1;  ///< child whose partial is being folded in
+    int flow = -1;
+    Tick start = 0;    ///< arrival of the partial
+    Tick duration = 0; ///< cycles until the dependency bit clears
+};
+
+/** Per-channel transport counters (both backends). */
+struct ChannelProfile {
+    std::uint64_t flits = 0;    ///< flits forwarded (== busy cycles
+                                ///< at one flit per cycle)
+    std::uint64_t messages = 0; ///< messages routed over the channel
+    Tick busy = 0;              ///< cycles the channel carried traffic
+    Tick queue = 0;             ///< cycles traffic waited for it
+};
+
+/** VC buffer-occupancy histogram bucket count: 0..7 flits, then 8+. */
+inline constexpr std::size_t kOccupancyBuckets = 9;
+
+/** Per-router microarchitectural counters (flit backend only). */
+struct RouterProfile {
+    std::uint64_t sa_grants = 0; ///< switch-allocation winners
+    std::uint64_t sa_denied = 0; ///< requesters that lost an SA round
+    std::uint64_t credit_stalls = 0; ///< flit-moves blocked on credit
+    /** Per-cycle samples of channel-fed input-VC buffer depths. */
+    std::array<std::uint64_t, kOccupancyBuckets> occupancy{};
+};
+
+/** Aggregate over all finished data-message records. */
+struct ProfileSummary {
+    std::uint64_t messages = 0;
+    Tick total_latency = 0; ///< sum of per-message wire latencies
+    Tick inj_queue = 0;
+    Tick head_route = 0;
+    Tick serialization = 0;
+    Tick credit_stall = 0;
+    Tick max_latency = 0;
+};
+
+/**
+ * The recording half of the profiling layer. One Profiler is attached
+ * to a runtime::Machine (RunOptions::profiler) and threaded to the
+ * network backend and every NIC engine; onRunBegin() rewinds it, so
+ * the records always describe the machine's most recent run.
+ */
+class Profiler
+{
+  public:
+    // --- run lifecycle (runtime::Machine) ---
+
+    /** A collective started: clear all records, stamp the origin. */
+    void onRunBegin(Tick now);
+
+    /** The collective completed at @p now. */
+    void onRunEnd(Tick now);
+
+    // --- NIC issue context (ni::NicEngine) ---
+
+    /**
+     * A schedule-table entry is issuing: every message injected until
+     * the matching endIssue() belongs to this issue. Injection is
+     * synchronous in both backends, so the bracket never nests.
+     */
+    void beginIssue(int node, int entry, int flow, int step,
+                    bool gather, int parent, bool dep_on_parent,
+                    const std::vector<int> &deps, Tick now);
+
+    /** Close the bracket opened by beginIssue(). */
+    void endIssue() { cur_issue_ = -1; }
+
+    /** A finite-rate reduction holds flow @p flow's dependency bit
+     *  for [start, start + duration). */
+    void onReduction(int node, int src, int flow, Tick start,
+                     Tick duration);
+
+    // --- message milestones (net::Network and backends) ---
+
+    /** A message entered the transport (post fault ruling). */
+    void onInject(std::uint64_t track_id, int src, int dst, int flow,
+                  std::uint64_t tag, std::uint64_t bytes, int hops,
+                  std::uint64_t wire_flits, Tick now);
+
+    /** Flit backend: the packet won an injection VC at @p now. */
+    void onInjectStart(std::uint64_t track_id, Tick now);
+
+    /** Flit backend: the head flit ejected at the destination. */
+    void onHeadArrival(std::uint64_t track_id, Tick now);
+
+    /**
+     * Flow backend: the analytic split computed at inject time.
+     * The residual at delivery (downstream queueing, fault delay)
+     * lands in credit_stall.
+     */
+    void setAnalyticBreakdown(std::uint64_t track_id, Tick inj_queue,
+                              Tick head_route, Tick serialization);
+
+    /** The message was delivered at @p now; finalizes its record. */
+    void onDeliver(std::uint64_t track_id, Tick now);
+
+    // --- backend counter ingestion (Network::flushProfile) ---
+
+    /** Install channel @p cid's counters (replaces prior values). */
+    void ingestChannel(int cid, const ChannelProfile &cp);
+
+    /** Install router @p vertex's counters (replaces prior values). */
+    void ingestRouter(int vertex, const RouterProfile &rp);
+
+    // --- accessors ---
+
+    const std::vector<LatencyRecord> &records() const
+    {
+        return records_;
+    }
+    const std::vector<IssueRecord> &issues() const { return issues_; }
+    const std::vector<ReductionRecord> &reductions() const
+    {
+        return reductions_;
+    }
+    /** Dense by channel id; empty when no backend flushed. */
+    const std::vector<ChannelProfile> &channels() const
+    {
+        return channels_;
+    }
+    /** Dense by vertex; empty on the flow backend. */
+    const std::vector<RouterProfile> &routers() const
+    {
+        return routers_;
+    }
+
+    Tick runBegin() const { return run_begin_; }
+    Tick runEnd() const { return run_end_; }
+    /** Whether onRunEnd() was seen since the last onRunBegin(). */
+    bool runComplete() const { return run_complete_; }
+
+    /** Aggregate breakdown over all finished data messages. */
+    ProfileSummary summary() const;
+
+  private:
+    LatencyRecord *find(std::uint64_t track_id);
+
+    std::vector<LatencyRecord> records_;
+    std::vector<IssueRecord> issues_;
+    std::vector<ReductionRecord> reductions_;
+    std::vector<ChannelProfile> channels_;
+    std::vector<RouterProfile> routers_;
+    std::unordered_map<std::uint64_t, std::size_t> by_track_;
+    int cur_issue_ = -1;
+    Tick run_begin_ = 0;
+    Tick run_end_ = 0;
+    bool run_complete_ = false;
+};
+
+/**
+ * The chain of waits, reductions and messages bounding a run's
+ * completion time. When ok, the by_category rollup sums exactly to
+ * total == runEnd - runBegin: the extractor's segments tile the run
+ * interval.
+ */
+struct CriticalPath {
+    bool ok = false;
+    std::string error; ///< why extraction failed (when !ok)
+    Tick total = 0;    ///< run end - run begin
+    CategoryRollup by_category{};
+    /** Wait between the terminal delivery and run completion (e.g. a
+     *  trailing lockstep window with nothing left to send). */
+    Tick tail_wait = 0;
+
+    /** One message on the path, earliest first. */
+    struct Hop {
+        int src = -1;
+        int dst = -1;
+        int flow = -1;
+        int step = 0;
+        bool gather = false;
+        /** NicWait charged between this hop's enabler and its issue
+         *  (dependency / lockstep / head-of-table ordering). */
+        Tick wait = 0;
+        /** Reduction cycles charged after this hop's delivery, when
+         *  aggregation of its payload gated the next issue. */
+        Tick reduction_after = 0;
+        Tick injected = 0;
+        Tick delivered = 0;
+        Tick inj_queue = 0;
+        Tick head_route = 0;
+        Tick serialization = 0;
+        Tick credit_stall = 0;
+    };
+    std::vector<Hop> hops;
+};
+
+/**
+ * Walk @p prof's dependency DAG backwards from the last data delivery
+ * and return the binding chain. Requires a complete run
+ * (prof.runComplete()); lossy or ambiguous runs (duplicate deliveries
+ * from retransmissions) fail with a diagnostic instead of guessing.
+ */
+CriticalPath extractCriticalPath(const Profiler &prof);
+
+/**
+ * Self-describing JSON profile: run window, per-message aggregate
+ * breakdown, the critical path with per-hop detail, per-channel loads
+ * and per-router counters. @p max_records caps the per-message record
+ * array (0 = omit it).
+ */
+void writeProfileJson(std::ostream &os, const FabricInfo &fabric,
+                      const Profiler &prof, const CriticalPath &cp,
+                      std::size_t max_records = 4096);
+
+/** Human-oriented critical-path report (mtsim, debugging). */
+void renderCriticalPath(std::ostream &os, const CriticalPath &cp);
+
+} // namespace multitree::obs
+
+#endif // MULTITREE_OBS_PROFILE_HH

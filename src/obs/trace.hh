@@ -147,6 +147,15 @@ struct FabricInfo {
     std::string name;  ///< topology name, e.g. "torus-8x8"
     int num_nodes = 0; ///< end nodes (NIC tracks)
     std::vector<Link> links; ///< dense by id, [0, links.size())
+    /** Grid geometry when the fabric is a 2D mesh/torus (row-major
+     *  node ids); 0 when the topology has no grid embedding. Lets
+     *  the heatmap renderers draw an ASCII floor plan without a
+     *  dependency on the topology library. */
+    int grid_width = 0;
+    int grid_height = 0;
+    /** Whether the grid wraps (torus) — wrap links are drawn as
+     *  margins rather than in-grid connectors. */
+    bool grid_wraps = false;
 };
 
 /** JSON string literal of @p s: quoted, with escapes. */

@@ -7,6 +7,8 @@
 #include "coll/schedule.hh"
 #include "common/logging.hh"
 #include "ni/schedule_table.hh"
+#include "obs/profile.hh"
+#include "topo/grid.hh"
 #include "topo/topology.hh"
 
 namespace multitree::runtime {
@@ -94,6 +96,7 @@ Machine::Machine(const topo::Topology &topo, const RunOptions &opts)
         }
     }
     network_->setTraceSink(sink_);
+    network_->setProfiler(opts_.profiler);
 
     const int n = topo_.numNodes();
     engines_.reserve(static_cast<std::size_t>(n));
@@ -101,6 +104,7 @@ Machine::Machine(const topo::Topology &topo, const RunOptions &opts)
         engines_.push_back(std::make_unique<ni::NicEngine>(
             v, *network_, opts_.ni_reduction_bw));
         engines_.back()->setTraceSink(sink_);
+        engines_.back()->setProfiler(opts_.profiler);
         if (opts_.reliability.enabled) {
             engines_.back()->setReliability(
                 opts_.reliability, [this](int src, int dst) {
@@ -289,6 +293,9 @@ Machine::startNext()
         ev.bytes = active_bytes_;
         sink_->onEvent(ev);
     }
+    // Rewind the profiler so its records describe exactly this run.
+    if (opts_.profiler != nullptr)
+        opts_.profiler->onRunBegin(eq_.now());
     for (auto &e : engines_)
         e->start();
     // Degenerate schedules (no flows) complete without a single
@@ -350,6 +357,12 @@ Machine::completeActive()
         ev.bytes = active_bytes_;
         sink_->onEvent(ev);
     }
+    if (opts_.profiler != nullptr) {
+        // Pull the backend's congestion counters across, then stamp
+        // the run complete so the critical path can be extracted.
+        network_->flushProfile();
+        opts_.profiler->onRunEnd(eq_.now());
+    }
 
     ++runs_completed_;
     lifetime_.inc("runs");
@@ -374,6 +387,11 @@ Machine::fabricInfo() const
     obs::FabricInfo info;
     info.name = topo_.name();
     info.num_nodes = topo_.numNodes();
+    if (auto *grid = dynamic_cast<const topo::Grid2D *>(&topo_)) {
+        info.grid_width = grid->width();
+        info.grid_height = grid->height();
+        info.grid_wraps = grid->isTorus();
+    }
     info.links.reserve(
         static_cast<std::size_t>(topo_.numChannels()));
     for (const auto &ch : topo_.channels())

@@ -95,6 +95,16 @@ struct RunOptions {
      */
     obs::TraceSink *sink = nullptr;
     /**
+     * Latency-attribution profiler (src/obs/profile.hh) threaded to
+     * the network backend and every NIC engine. Not owned. It is
+     * rewound at each run's start and holds that run's per-message
+     * breakdowns, issue/reduction records and congestion counters
+     * when the run completes. Same zero-perturbation contract as the
+     * trace sink: nullptr costs one pointer test per hook and an
+     * attached profiler never changes a tick.
+     */
+    obs::Profiler *profiler = nullptr;
+    /**
      * End-to-end reliability layer (acks, retransmission timers,
      * receiver dedup) armed on every NIC engine. Off by default; a
      * lossless run with the knob off is bit-identical to a machine

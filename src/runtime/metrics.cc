@@ -3,6 +3,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "net/energy.hh"
 #include "obs/trace.hh"
 #include "topo/topology.hh"
 
@@ -48,6 +49,17 @@ writeMetricsJson(std::ostream &os, const Machine &machine,
     os << "    \"flit_hops\": " << res.flit_hops << ",\n";
     os << "    \"head_hops\": " << res.head_hops << ",\n";
     os << "    \"nop_windows\": " << res.nop_windows << "\n";
+    os << "  },\n";
+    // First-order interconnect energy (net/energy.hh), derived from
+    // the run's hop counters: datapath scales with every flit-hop,
+    // control with head-flit hops only — the term message-based flow
+    // control collapses.
+    const net::EnergyBreakdown energy =
+        net::computeEnergy(res.flit_hops, res.head_hops);
+    os << "  \"energy\": {\n";
+    os << "    \"datapath_nj\": " << energy.datapath_nj << ",\n";
+    os << "    \"control_nj\": " << energy.control_nj << ",\n";
+    os << "    \"total_nj\": " << energy.total_nj() << "\n";
     os << "  },\n";
     os << "  \"network_stats\": ";
     writeRegistry(os, machine.network().stats());

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Backend stat-parity suite.
+ *
+ * Both transport backends charge their StatRegistry counters from
+ * the same wireBreakdown() at injection time, so on a lossless run
+ * the transport accounting — messages, payload/head flits and their
+ * hop products — must agree exactly between the cycle-level
+ * FlitNetwork and the analytic FlowNetwork even though their timing
+ * differs. The scenarios mirror the bench_validation_flit_vs_flow
+ * sweep: every algorithm family on the topology classes it supports.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/units.hh"
+#include "runtime/machine.hh"
+#include "topo/factory.hh"
+
+namespace multitree {
+namespace {
+
+struct Scenario {
+    const char *algo;
+    const char *topo;
+};
+
+class BackendParity : public ::testing::TestWithParam<Scenario>
+{
+};
+
+TEST_P(BackendParity, TransportCountersAgree)
+{
+    const Scenario &sc = GetParam();
+    const std::uint64_t bytes = 128 * KiB;
+
+    runtime::RunResult results[2];
+    const runtime::Backend backends[2] = {runtime::Backend::Flow,
+                                          runtime::Backend::Flit};
+    for (int i = 0; i < 2; ++i) {
+        auto topo = topo::makeTopology(sc.topo);
+        runtime::RunOptions opts;
+        opts.backend = backends[i];
+        runtime::Machine m(*topo, opts);
+        results[i] = m.run(sc.algo, bytes);
+    }
+
+    const auto &flow = results[0];
+    const auto &flit = results[1];
+    EXPECT_EQ(flow.messages, flit.messages);
+    EXPECT_EQ(flow.payload_flits, flit.payload_flits);
+    EXPECT_EQ(flow.head_flits, flit.head_flits);
+    EXPECT_EQ(flow.flit_hops, flit.flit_hops);
+    EXPECT_EQ(flow.head_hops, flit.head_hops);
+    EXPECT_GT(flow.messages, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, BackendParity,
+    ::testing::Values(Scenario{"ring", "torus-4x4"},
+                      Scenario{"multitree", "torus-4x4"},
+                      Scenario{"ring2d", "torus-4x4"},
+                      Scenario{"dbtree", "torus-4x4"},
+                      Scenario{"multitree", "mesh-4x4"},
+                      Scenario{"ring", "fattree-16"},
+                      Scenario{"multitree", "fattree-16"},
+                      Scenario{"hdrm", "bigraph-4x8"},
+                      Scenario{"multitree", "bigraph-4x8"}),
+    [](const ::testing::TestParamInfo<Scenario> &info) {
+        std::string name = std::string(info.param.algo) + "_"
+                           + info.param.topo;
+        for (char &c : name) {
+            if (c == '-' || c == ':')
+                c = '_';
+        }
+        return name;
+    });
+
+} // namespace
+} // namespace multitree

@@ -23,7 +23,10 @@
 #include <vector>
 
 #include "coll/algorithm.hh"
+#include "net/energy.hh"
+#include "obs/heatmap.hh"
 #include "obs/perfetto.hh"
+#include "obs/profile.hh"
 #include "obs/timeline.hh"
 #include "obs/trace.hh"
 #include "runtime/machine.hh"
@@ -531,6 +534,208 @@ TEST(Metrics, ReportSectionSerializes)
     ASSERT_TRUE(root.has("report"));
     EXPECT_TRUE(root.at("report").at("ok").b);
     EXPECT_GT(root.at("report").at("acks").num, 0.0);
+}
+
+TEST(Metrics, EnergySectionMatchesHopCounters)
+{
+    auto topo = topo::makeTopology("mesh-2x2");
+    runtime::RunOptions opts;
+    runtime::Machine m(*topo, opts);
+    const auto res = m.run("multitree", 64 * KiB);
+    JsonValue root;
+    ASSERT_TRUE(JsonParser(runtime::metricsJson(m, res)).parse(root));
+    ASSERT_TRUE(root.has("energy"));
+    const auto expect =
+        net::computeEnergy(res.flit_hops, res.head_hops);
+    EXPECT_NEAR(root.at("energy").at("datapath_nj").num,
+                expect.datapath_nj, 1e-6);
+    EXPECT_NEAR(root.at("energy").at("control_nj").num,
+                expect.control_nj, 1e-6);
+    EXPECT_NEAR(root.at("energy").at("total_nj").num,
+                expect.total_nj(), 1e-6);
+}
+
+// ---------------------------------------------------------------
+// Latency-attribution profiler
+// ---------------------------------------------------------------
+
+/** Run @p algo with an attached profiler on a 4x4 torus. */
+runtime::RunResult
+profiledRun(const std::string &algo, runtime::Backend backend,
+            obs::Profiler &prof, std::uint32_t reduction_bw = 0,
+            obs::FabricInfo *fabric = nullptr)
+{
+    auto topo = topo::makeTopology("torus-4x4");
+    runtime::RunOptions opts;
+    opts.backend = backend;
+    opts.profiler = &prof;
+    opts.ni_reduction_bw = reduction_bw;
+    runtime::Machine m(*topo, opts);
+    if (fabric != nullptr)
+        *fabric = m.fabricInfo();
+    return m.run(algo, 64 * KiB);
+}
+
+void
+expectProfilerInvariance(runtime::Backend backend)
+{
+    auto topo = topo::makeTopology("torus-4x4");
+
+    runtime::RunOptions plain;
+    plain.backend = backend;
+    runtime::Machine m_plain(*topo, plain);
+    const auto base = m_plain.run("multitree", 256 * KiB);
+
+    obs::Profiler prof;
+    runtime::RunOptions profiled = plain;
+    profiled.profiler = &prof;
+    runtime::Machine m_prof(*topo, profiled);
+    const auto res = m_prof.run("multitree", 256 * KiB);
+
+    EXPECT_EQ(base.time, res.time);
+    EXPECT_EQ(base.messages, res.messages);
+    EXPECT_EQ(base.payload_flits, res.payload_flits);
+    EXPECT_EQ(base.head_flits, res.head_flits);
+    EXPECT_EQ(base.flit_hops, res.flit_hops);
+    EXPECT_EQ(base.nop_windows, res.nop_windows);
+    EXPECT_EQ(prof.records().size(), res.messages);
+}
+
+TEST(Profiler, FlowRunIsTickIdenticalWithAndWithoutProfiler)
+{
+    expectProfilerInvariance(runtime::Backend::Flow);
+}
+
+TEST(Profiler, FlitRunIsTickIdenticalWithAndWithoutProfiler)
+{
+    expectProfilerInvariance(runtime::Backend::Flit);
+}
+
+TEST(Profiler, PerMessageCategoriesSumExactly)
+{
+    for (auto backend :
+         {runtime::Backend::Flow, runtime::Backend::Flit}) {
+        obs::Profiler prof;
+        const auto res = profiledRun("multitree", backend, prof);
+        ASSERT_TRUE(prof.runComplete());
+        EXPECT_EQ(prof.runEnd() - prof.runBegin(), res.time);
+        for (const auto &r : prof.records()) {
+            ASSERT_TRUE(r.done);
+            EXPECT_EQ(r.inj_queue + r.head_route + r.serialization
+                          + r.credit_stall,
+                      r.total())
+                << "message " << r.src << "->" << r.dst;
+        }
+        const auto sum = prof.summary();
+        EXPECT_EQ(sum.messages, res.messages);
+        EXPECT_EQ(sum.inj_queue + sum.head_route + sum.serialization
+                      + sum.credit_stall,
+                  sum.total_latency);
+    }
+}
+
+TEST(Profiler, CriticalPathSumsToCompletionForEveryAlgorithm)
+{
+    // The acceptance bar: on deterministic lossless runs the
+    // extracted chain's category rollup equals the end-to-end
+    // completion cycles exactly, per algorithm, on both backends.
+    for (const char *algo : {"ring", "dbtree", "ring2d", "multitree",
+                             "multitree-msg"}) {
+        for (auto backend :
+             {runtime::Backend::Flow, runtime::Backend::Flit}) {
+            obs::Profiler prof;
+            const auto res = profiledRun(algo, backend, prof);
+            const auto cp = obs::extractCriticalPath(prof);
+            ASSERT_TRUE(cp.ok) << algo << ": " << cp.error;
+            EXPECT_EQ(cp.total, res.time) << algo;
+            Tick sum = 0;
+            for (Tick t : cp.by_category)
+                sum += t;
+            EXPECT_EQ(sum, res.time)
+                << algo << " on "
+                << (backend == runtime::Backend::Flow ? "flow"
+                                                      : "flit");
+            EXPECT_FALSE(cp.hops.empty()) << algo;
+        }
+    }
+}
+
+TEST(Profiler, CriticalPathChargesFiniteRateReductions)
+{
+    obs::Profiler prof;
+    const auto res = profiledRun("multitree", runtime::Backend::Flow,
+                                 prof, /*reduction_bw=*/64);
+    EXPECT_FALSE(prof.reductions().empty());
+    const auto cp = obs::extractCriticalPath(prof);
+    ASSERT_TRUE(cp.ok) << cp.error;
+    Tick sum = 0;
+    for (Tick t : cp.by_category)
+        sum += t;
+    EXPECT_EQ(sum, res.time);
+    EXPECT_GT(cp.by_category[static_cast<std::size_t>(
+                  obs::LatencyCategory::Reduction)],
+              0u);
+}
+
+TEST(Profiler, ProfileJsonParsesAndMatchesRun)
+{
+    obs::Profiler prof;
+    obs::FabricInfo fabric;
+    const auto res = profiledRun("multitree", runtime::Backend::Flit,
+                                 prof, 0, &fabric);
+    const auto cp = obs::extractCriticalPath(prof);
+    std::ostringstream oss;
+    obs::writeProfileJson(oss, fabric, prof, cp);
+    JsonValue root;
+    ASSERT_TRUE(JsonParser(oss.str()).parse(root))
+        << oss.str().substr(0, 400);
+    EXPECT_EQ(root.at("run").at("cycles").num,
+              static_cast<double>(res.time));
+    EXPECT_TRUE(root.at("critical_path").at("ok").b);
+    EXPECT_EQ(root.at("summary").at("messages").num,
+              static_cast<double>(res.messages));
+    ASSERT_EQ(root.at("channel_profile").kind, JsonValue::Arr);
+    EXPECT_EQ(root.at("channel_profile").arr.size(),
+              fabric.links.size());
+    // The flit backend contributes router counters too.
+    ASSERT_EQ(root.at("router_profile").kind, JsonValue::Arr);
+    EXPECT_FALSE(root.at("router_profile").arr.empty());
+}
+
+// ---------------------------------------------------------------
+// Congestion heatmaps
+// ---------------------------------------------------------------
+
+TEST(Heatmap, MapAndRenderersCoverTheFabric)
+{
+    obs::Profiler prof;
+    obs::FabricInfo fabric;
+    profiledRun("multitree", runtime::Backend::Flow, prof, 0,
+                &fabric);
+    const auto map = obs::buildCongestionMap(fabric, prof);
+    ASSERT_EQ(map.links.size(), fabric.links.size());
+    EXPECT_GT(map.peak_link_flits, 0u);
+    double max_load = 0;
+    for (const auto &l : map.links)
+        max_load = std::max(max_load, l.load);
+    EXPECT_DOUBLE_EQ(max_load, 1.0);
+
+    std::ostringstream ascii;
+    obs::renderLinkHeatmapAscii(ascii, fabric, map);
+    obs::renderRouterHeatmapAscii(ascii, fabric, map);
+    EXPECT_NE(ascii.str().find("link heatmap"), std::string::npos);
+    EXPECT_NE(ascii.str().find("router heatmap"), std::string::npos);
+
+    std::ostringstream csv;
+    obs::writeHeatmapCsv(csv, fabric, map);
+    std::istringstream lines(csv.str());
+    std::string line;
+    std::size_t rows = 0;
+    ASSERT_TRUE(std::getline(lines, line));
+    EXPECT_EQ(line, "channel,src,dst,flits,messages,busy,queue,load");
+    while (std::getline(lines, line))
+        ++rows;
+    EXPECT_EQ(rows, fabric.links.size());
 }
 
 } // namespace
