@@ -205,6 +205,13 @@ struct BenchRow {
     Tick cycles = 0;
     double bandwidth_gbps = 0;
     std::uint64_t messages = 0;
+    // Simulator-throughput fields (bench_simspeed): wall-clock spent
+    // simulating, millions of simulated cycles per wall second, and
+    // which scheduler ("active"/"dense" flit tick loop, "flow")
+    // produced the row.
+    double wall_ms = 0;
+    double msim_cps = 0;
+    std::string mode;
 };
 
 /**
@@ -254,6 +261,9 @@ writeBenchResults()
             << ", \"cycles\": " << r.cycles
             << ", \"bandwidth_gbps\": " << r.bandwidth_gbps
             << ", \"messages\": " << r.messages
+            << ", \"wall_ms\": " << r.wall_ms
+            << ", \"msim_cycles_per_s\": " << r.msim_cps
+            << ", \"mode\": " << obs::jsonQuote(r.mode)
             << ", \"speedup_vs_ring\": ";
         auto it = ring.find({r.topo, r.bytes});
         if (it == ring.end() || r.cycles == 0) {
@@ -266,6 +276,17 @@ writeBenchResults()
         sep = ",\n";
     }
     out << "\n  ]\n}\n";
+}
+
+/** Record one fully-populated row, arming the atexit writer on
+ *  first use (bench_simspeed path — wall-clock fields included). */
+inline void
+recordBenchRow(BenchRow row)
+{
+    auto &rows = benchRows();
+    if (rows.empty())
+        std::atexit(&writeBenchResults);
+    rows.push_back(std::move(row));
 }
 
 /** Record one executed point, arming the atexit writer on first use. */

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Simulator-throughput benchmark (the perf trajectory, not a paper
+ * figure): wall-clock time, simulated cycles and Msim-cycles/s for
+ * ring / halving-doubling / MultiTree on 4x4 and 8x8 tori plus a
+ * fat-tree, on both backends. Flit cases run twice — the active-set
+ * scheduler and the dense reference loop (NetworkConfig::dense_tick)
+ * — so BENCH_results.json records the speedup of the activation
+ * discipline itself alongside the absolute throughput numbers.
+ *
+ * Unlike the figure benches this reports *wall* time: the quantity
+ * of interest is how fast the simulator chews through fabric cycles,
+ * which gates every sweep in EXPERIMENTS.md. Each point is warmed
+ * once (pools and FIFOs sized) and then timed over the best of
+ * kTimedRuns back-to-back collectives on the persistent Machine.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+
+namespace {
+
+using namespace multitree;
+
+constexpr int kTimedRuns = 3;
+
+struct Point {
+    std::string topo;
+    std::string algo;
+    std::uint64_t bytes;
+    runtime::Backend backend;
+    bool dense = false; ///< flit only: force the dense reference loop
+};
+
+const char *
+modeName(const Point &p)
+{
+    if (p.backend == runtime::Backend::Flow)
+        return "flow";
+    return p.dense ? "dense" : "active";
+}
+
+/** Run one point: 1 warmup + kTimedRuns timed, best wall kept. */
+void
+runPoint(const Point &p)
+{
+    auto topo = topo::makeTopology(p.topo);
+    runtime::RunOptions opts;
+    opts.backend = p.backend;
+    opts.net.dense_tick = p.dense;
+    runtime::Machine machine(*topo, opts);
+
+    machine.run(p.algo, p.bytes); // warm pools, FIFOs, event heap
+
+    double best_s = 0;
+    runtime::RunResult res;
+    for (int i = 0; i < kTimedRuns; ++i) {
+        const auto t0 = std::chrono::steady_clock::now();
+        res = machine.run(p.algo, p.bytes);
+        const auto t1 = std::chrono::steady_clock::now();
+        const double s =
+            std::chrono::duration<double>(t1 - t0).count();
+        if (i == 0 || s < best_s)
+            best_s = s;
+    }
+
+    bench::BenchRow row;
+    row.name = "simspeed/" + p.topo + "/" + p.algo + "/"
+               + std::to_string(p.bytes) + "/" + modeName(p);
+    row.topo = p.topo;
+    row.algo = p.algo;
+    row.bytes = p.bytes;
+    row.cycles = res.time;
+    row.bandwidth_gbps = res.bandwidth;
+    row.messages = res.messages;
+    row.wall_ms = best_s * 1e3;
+    row.msim_cps = best_s > 0 ? static_cast<double>(res.time)
+                                    / best_s * 1e-6
+                              : 0;
+    row.mode = modeName(p);
+    bench::recordBenchRow(row);
+
+    std::printf("%-44s %10llu cyc  %9.2f ms  %9.2f Mcyc/s\n",
+                row.name.c_str(),
+                static_cast<unsigned long long>(res.time),
+                row.wall_ms, row.msim_cps);
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::vector<std::string> algos = {"ring", "hd", "multitree"};
+    // Throughput-bound flit payload; the flow backend is O(hops) per
+    // message, so it gets a figure-sized payload instead.
+    constexpr std::uint64_t kFlitBytes = 64 * KiB;
+    constexpr std::uint64_t kFlowBytes = 8 * MiB;
+    // Latency-bound payload: most wall-clock goes to cycles in which
+    // every flit is mid-wire, the idle-heavy case the active-set
+    // scheduler fast-forwards through.
+    constexpr std::uint64_t kIdleBytes = 4 * KiB;
+
+    std::vector<Point> points;
+    for (const std::string &topo :
+         {std::string("torus-4x4"), std::string("torus-8x8"),
+          std::string("fattree-16")}) {
+        for (const std::string &algo : algos) {
+            if (!bench::supported(topo, algo))
+                continue;
+            points.push_back(
+                {topo, algo, kFlowBytes, runtime::Backend::Flow});
+            points.push_back(
+                {topo, algo, kFlitBytes, runtime::Backend::Flit});
+            points.push_back({topo, algo, kFlitBytes,
+                              runtime::Backend::Flit, true});
+        }
+    }
+    // The idle-heavy showcase rows (torus-8x8, small payload).
+    for (const std::string &algo : algos) {
+        points.push_back(
+            {"torus-8x8", algo, kIdleBytes, runtime::Backend::Flit});
+        points.push_back({"torus-8x8", algo, kIdleBytes,
+                          runtime::Backend::Flit, true});
+    }
+
+    std::printf("%-44s %14s %12s %14s\n", "point", "sim cycles",
+                "wall", "throughput");
+    for (const Point &p : points)
+        runPoint(p);
+
+    // Headline ratios: active-set vs dense wall time per flit pair.
+    auto wallOf = [](const std::string &name) -> double {
+        for (const auto &r : bench::benchRows()) {
+            if (r.name == name)
+                return r.wall_ms;
+        }
+        return 0;
+    };
+    std::printf("\nactive-set speedup vs dense reference loop:\n");
+    for (const Point &p : points) {
+        if (p.backend != runtime::Backend::Flit || p.dense)
+            continue;
+        const std::string base = "simspeed/" + p.topo + "/" + p.algo
+                                 + "/" + std::to_string(p.bytes);
+        const double act = wallOf(base + "/active");
+        const double den = wallOf(base + "/dense");
+        if (act > 0 && den > 0) {
+            std::printf("  %-40s %6.2fx\n", base.c_str(), den / act);
+        }
+    }
+    return 0;
+}

@@ -86,6 +86,7 @@ struct Args {
     bool heatmap = false;
     std::string heatmap_csv;
     bool energy_report = false;
+    bool dense_tick = false;
 };
 
 void
@@ -95,7 +96,7 @@ usage()
         "usage: mtsim [--topo SPEC] [--algo NAME] [--bytes N]\n"
         "             [--collective allreduce|reducescatter|"
         "allgather|alltoall]\n"
-        "             [--backend flow|flit] [--msg]\n"
+        "             [--backend flow|flit] [--msg] [--dense-tick]\n"
         "             [--reduction-bw BYTES_PER_CYCLE] "
         "[--dump dot|csv]\n"
         "             [--seed N] [--drop PROB] [--corrupt PROB]\n"
@@ -177,6 +178,8 @@ main(int argc, char **argv)
             args.heatmap_csv = next();
         else if (a == "--energy")
             args.energy_report = true;
+        else if (a == "--dense-tick")
+            args.dense_tick = true;
         else {
             usage();
             return a == "--help" || a == "-h" ? 0 : 1;
@@ -238,6 +241,7 @@ main(int argc, char **argv)
         opts.backend = runtime::Backend::Flit;
     if (args.msg)
         opts.net.mode = net::FlowControlMode::MessageBased;
+    opts.net.dense_tick = args.dense_tick;
     opts.ni_reduction_bw = args.reduction_bw;
 
     const bool faulty = args.drop > 0 || args.corrupt > 0

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Flat FIFO ring buffer for simulator hot paths.
+ *
+ * std::deque allocates/frees map blocks as elements flow through,
+ * which shows up as the dominant allocator traffic in the cycle-level
+ * network simulator (one push/pop per flit per hop). RingBuffer keeps
+ * one contiguous power-of-two array that only ever grows, so a warmed
+ * buffer never touches the allocator again — the "reserve once, reuse
+ * forever" discipline the tick loop depends on.
+ *
+ * Restricted to trivially copyable element types on purpose: popped
+ * slots are simply abandoned (no destructor runs until the buffer
+ * itself dies), which keeps pop_front() to two integer ops.
+ */
+
+#ifndef MULTITREE_COMMON_RING_BUFFER_HH
+#define MULTITREE_COMMON_RING_BUFFER_HH
+
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace multitree {
+
+/** Growable FIFO over one flat array (power-of-two capacity). */
+template <typename T>
+class RingBuffer
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "RingBuffer abandons popped slots without running "
+                  "destructors; use it for trivially copyable types");
+
+  public:
+    bool empty() const { return count_ == 0; }
+    std::size_t size() const { return count_; }
+    std::size_t capacity() const { return buf_.size(); }
+
+    /** Grow the backing array to hold at least @p n elements. */
+    void
+    reserve(std::size_t n)
+    {
+        if (n > buf_.size())
+            regrow(n);
+    }
+
+    T &
+    front()
+    {
+        MT_ASSERT(count_ > 0, "front() on an empty ring");
+        return buf_[head_];
+    }
+
+    const T &
+    front() const
+    {
+        MT_ASSERT(count_ > 0, "front() on an empty ring");
+        return buf_[head_];
+    }
+
+    /** FIFO element @p i positions behind the front (0 = front). */
+    const T &
+    at(std::size_t i) const
+    {
+        MT_ASSERT(i < count_, "at(", i, ") on a ring of ", count_);
+        return buf_[(head_ + i) & (buf_.size() - 1)];
+    }
+
+    void
+    push_back(const T &v)
+    {
+        if (count_ == buf_.size())
+            regrow(count_ == 0 ? 8 : count_ * 2);
+        buf_[(head_ + count_) & (buf_.size() - 1)] = v;
+        ++count_;
+    }
+
+    void
+    pop_front()
+    {
+        MT_ASSERT(count_ > 0, "pop_front() on an empty ring");
+        head_ = (head_ + 1) & (buf_.size() - 1);
+        --count_;
+    }
+
+    /** Drop every element; capacity is retained. */
+    void
+    clear()
+    {
+        head_ = 0;
+        count_ = 0;
+    }
+
+  private:
+    void
+    regrow(std::size_t need)
+    {
+        std::size_t cap = buf_.empty() ? 8 : buf_.size();
+        while (cap < need)
+            cap *= 2;
+        std::vector<T> next(cap);
+        for (std::size_t i = 0; i < count_; ++i)
+            next[i] = buf_[(head_ + i) & (buf_.size() - 1)];
+        buf_ = std::move(next);
+        head_ = 0;
+    }
+
+    std::vector<T> buf_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+};
+
+} // namespace multitree
+
+#endif // MULTITREE_COMMON_RING_BUFFER_HH

@@ -11,17 +11,33 @@
 
 namespace multitree::net {
 
+namespace {
+
+/** Whether MT_DENSE_TICK forces the dense reference tick loop. */
+bool
+denseTickForced()
+{
+    const char *env = std::getenv("MT_DENSE_TICK");
+    return env != nullptr && env[0] != '\0'
+           && !(env[0] == '0' && env[1] == '\0');
+}
+
+} // namespace
+
 FlitNetwork::FlitNetwork(sim::EventQueue &eq,
                          const topo::Topology &topo, NetworkConfig cfg)
     : Network(eq, cfg), topo_(topo),
       wrap_channel_(static_cast<std::size_t>(topo.numChannels()), 0),
       channel_flits_(static_cast<std::size_t>(topo.numChannels()), 0),
+      chan_in_idx_(static_cast<std::size_t>(topo.numChannels()), -1),
+      chan_out_idx_(static_cast<std::size_t>(topo.numChannels()), -1),
       prof_routers_(static_cast<std::size_t>(topo.numVertices())),
       channel_msgs_(static_cast<std::size_t>(topo.numChannels()), 0),
       channel_queue_(static_cast<std::size_t>(topo.numChannels()), 0),
       trace_span_(static_cast<std::size_t>(topo.numChannels())),
       pending_(static_cast<std::size_t>(topo.numVertices())),
-      inj_pkt_(static_cast<std::size_t>(topo.numVertices()))
+      inj_pkt_(static_cast<std::size_t>(topo.numVertices())),
+      dense_(cfg.dense_tick || denseTickForced())
 {
     MT_ASSERT(cfg_.num_vcs >= 2, "need >= 2 VCs for dateline classes");
 
@@ -44,9 +60,12 @@ FlitNetwork::FlitNetwork(sim::EventQueue &eq,
             InputUnit iu;
             iu.channel = cid;
             iu.vcs.resize(cfg_.num_vcs);
-            r.in_of_channel[cid] = static_cast<int>(r.inputs.size());
+            chan_in_idx_[static_cast<std::size_t>(cid)] =
+                static_cast<int>(r.inputs.size());
             r.inputs.push_back(std::move(iu));
         }
+        r.n_channel_vcs =
+            static_cast<std::uint32_t>(r.inputs.size()) * cfg_.num_vcs;
         // Injection units: the paper assumes NI bandwidth matches the
         // router's aggregate link bandwidth on direct networks, so a
         // node gets one injection port per output channel (switches
@@ -71,10 +90,13 @@ FlitNetwork::FlitNetwork(sim::EventQueue &eq,
             ou.vcs.resize(cfg_.num_vcs);
             for (auto &ovc : ou.vcs)
                 ovc.credits = cfg_.vc_buffer_depth;
-            r.out_of_channel[cid] = static_cast<int>(r.outputs.size());
+            chan_out_idx_[static_cast<std::size_t>(cid)] =
+                static_cast<int>(r.outputs.size());
             r.outputs.push_back(std::move(ou));
         }
     }
+    active_.reserve(routers_.size());
+    req_scratch_.reserve(16);
 }
 
 FlitNetwork::~FlitNetwork() = default;
@@ -82,8 +104,8 @@ FlitNetwork::~FlitNetwork() = default;
 void
 FlitNetwork::reset()
 {
-    MT_ASSERT(live_.empty() && in_flight_ == 0 && !cycle_armed_,
-              "flit network reset mid-run: ", live_.size(),
+    MT_ASSERT(live_pkts_ == 0 && in_flight_ == 0 && !cycle_armed_,
+              "flit network reset mid-run: ", live_pkts_,
               " live packets, ", in_flight_, " flits in flight");
     Network::reset();
     for (Router &r : routers_) {
@@ -102,6 +124,10 @@ FlitNetwork::reset()
             }
             ou.rr = 0;
         }
+        r.buffered = 0;
+        r.inj_active = 0;
+        r.queued = false;
+        r.occ_sampled = 0;
     }
     std::fill(channel_flits_.begin(), channel_flits_.end(), 0);
     std::fill(prof_routers_.begin(), prof_routers_.end(),
@@ -113,10 +139,35 @@ FlitNetwork::reset()
         q.clear();
     for (auto &slots : inj_pkt_)
         std::fill(slots.begin(), slots.end(), nullptr);
+    wire_line_.clear();
+    credit_line_.clear();
+    active_.clear();
+    burst_open_ = false;
+    last_cycle_tick_ = 0;
+    armed_tick_ = 0;
     active_cycles_ = 0;
+    prof_cycles_ = 0;
     ejected_total_ = 0;
     last_progress_cycle_ = 0;
     pkt_latency_.reset();
+}
+
+FlitNetwork::Packet *
+FlitNetwork::allocPacket()
+{
+    if (pkt_free_.empty()) {
+        pkt_slab_.push_back(std::make_unique<Packet>());
+        return pkt_slab_.back().get();
+    }
+    Packet *pkt = pkt_free_.back();
+    pkt_free_.pop_back();
+    return pkt;
+}
+
+void
+FlitNetwork::freePacket(Packet *pkt)
+{
+    pkt_free_.push_back(pkt);
 }
 
 void
@@ -124,10 +175,12 @@ FlitNetwork::injectImpl(Message msg)
 {
     MT_ASSERT(!msg.route.empty(), "flit network needs a route for ",
               msg.src, "->", msg.dst);
-    auto pkt = std::make_unique<Packet>();
+    Packet *pkt = allocPacket();
     pkt->msg = std::move(msg);
     const auto wb = wireBreakdown(pkt->msg.bytes, cfg_.mode, cfg_);
     pkt->wire_flits = wb.total_flits;
+    pkt->emitted = 0;
+    pkt->ejected = 0;
     stats_.inc("messages");
     stats_.inc("payload_flits", static_cast<double>(wb.payload_flits));
     stats_.inc("head_flits", static_cast<double>(wb.head_flits));
@@ -143,7 +196,7 @@ FlitNetwork::injectImpl(Message msg)
             ++channel_msgs_[static_cast<std::size_t>(cid)];
     }
 
-    pkt->wrap_before.resize(pkt->msg.route.size(), 0);
+    pkt->wrap_before.assign(pkt->msg.route.size(), 0);
     char crossed = 0;
     for (std::size_t i = 0; i < pkt->msg.route.size(); ++i) {
         pkt->wrap_before[i] = crossed;
@@ -151,22 +204,83 @@ FlitNetwork::injectImpl(Message msg)
             crossed = 1;
     }
 
-    // Ownership stays in the source's pending queue until the packet
-    // wins an injection VC, then moves into live_.
+    // The packet stays in the source's pending queue until it wins an
+    // injection VC; it leaves the pool only when the tail ejects.
     pkt->injected_at = eq_.now();
-    pending_[static_cast<std::size_t>(pkt->msg.src)].push_back(
-        std::move(pkt));
-    ensureRunning();
+    pending_[static_cast<std::size_t>(pkt->msg.src)].push_back(pkt);
+    ++live_pkts_;
+    markActive(pkt->msg.src);
+    // Dense equivalence for the wakeup tick: while a burst is open
+    // the dense loop has a (Priority::Low) cycle event armed for the
+    // current tick, which runs after this injection and already sees
+    // the packet — so a mid-burst injection must pull a sleeping
+    // fast-forward back to *this* tick. Outside a burst, or when this
+    // tick's cycle has already executed, the first cycle to see the
+    // packet is the next tick's, exactly like the dense loop.
+    const bool cycle_due_now =
+        burst_open_ && last_cycle_tick_ != eq_.now();
+    requestCycleAt(cycle_due_now ? eq_.now() : eq_.now() + 1);
 }
 
 void
-FlitNetwork::ensureRunning()
+FlitNetwork::markActive(int vertex)
 {
-    if (cycle_armed_)
+    if (dense_)
         return;
+    Router &r = routers_[static_cast<std::size_t>(vertex)];
+    if (r.queued)
+        return;
+    r.queued = true;
+    active_.push_back(vertex);
+}
+
+void
+FlitNetwork::requestCycleAt(Tick when)
+{
+    if (cycle_armed_ && armed_tick_ <= when)
+        return;
+    // Either nothing is armed, or the armed wakeup is later than
+    // needed (an injection landed during a fast-forward sleep): arm
+    // the earlier tick and let the superseded event no-op on its
+    // stale generation.
     cycle_armed_ = true;
-    eq_.scheduleAfter(1, [this] { cycle(); },
-                      sim::Priority::Low);
+    armed_tick_ = when;
+    const std::uint64_t gen = ++arm_gen_;
+    eq_.scheduleAt(
+        when,
+        [this, gen] {
+            if (gen != arm_gen_)
+                return;
+            cycle();
+        },
+        sim::Priority::Low);
+}
+
+void
+FlitNetwork::drainDelayLines(Tick now)
+{
+    while (!credit_line_.empty() && credit_line_.front().due <= now) {
+        const CreditHop &ch = credit_line_.front();
+        Router &up = routers_[static_cast<std::size_t>(
+            topo_.channel(ch.cid).src)];
+        int oi = chan_out_idx_[static_cast<std::size_t>(ch.cid)];
+        ++up.outputs[static_cast<std::size_t>(oi)]
+              .vcs[static_cast<std::size_t>(ch.vc)]
+              .credits;
+        credit_line_.pop_front();
+    }
+    while (!wire_line_.empty() && wire_line_.front().due <= now) {
+        const WireHop &wh = wire_line_.front();
+        const int dst = topo_.channel(wh.cid).dst;
+        Router &down = routers_[static_cast<std::size_t>(dst)];
+        int ii = chan_in_idx_[static_cast<std::size_t>(wh.cid)];
+        down.inputs[static_cast<std::size_t>(ii)]
+            .vcs[static_cast<std::size_t>(wh.vc)]
+            .fifo.push_back(wh.flit);
+        ++down.buffered;
+        wire_line_.pop_front();
+        markActive(dst);
+    }
 }
 
 bool
@@ -197,10 +311,11 @@ FlitNetwork::refillInjection(int vertex)
         if (inj_pkt_[vi][slot] != nullptr)
             continue;
         int vc = static_cast<int>(slot % cfg_.num_vcs);
-        Packet *pkt = pending_[vi].front().get();
+        Packet *pkt = pending_[vi].front();
         if (!vcClassAllowed(*pkt, 0, vc))
             continue;
         inj_pkt_[vi][slot] = pkt;
+        ++r.inj_active;
         if (prof_ != nullptr)
             prof_->onInjectStart(pkt->msg.track_id, eq_.now());
         if (sink_ != nullptr && eq_.now() > pkt->injected_at) {
@@ -216,7 +331,6 @@ FlitNetwork::refillInjection(int vertex)
             qe.bytes = pkt->msg.bytes;
             sink_->onEvent(qe);
         }
-        live_.emplace(pkt, std::move(pending_[vi].front()));
         pending_[vi].pop_front();
     }
     // Synthesize flits lazily, keeping a small FIFO headroom.
@@ -226,8 +340,7 @@ FlitNetwork::refillInjection(int vertex)
             continue;
         auto unit = static_cast<std::size_t>(r.first_injection)
                     + slot / cfg_.num_vcs;
-        auto &fifo =
-            r.inputs[unit].vcs[slot % cfg_.num_vcs].fifo;
+        auto &fifo = r.inputs[unit].vcs[slot % cfg_.num_vcs].fifo;
         while (fifo.size() < 4 && pkt->emitted < pkt->wire_flits) {
             Flit f;
             f.pkt = pkt;
@@ -237,9 +350,12 @@ FlitNetwork::refillInjection(int vertex)
             fifo.push_back(f);
             ++pkt->emitted;
             ++in_flight_;
+            ++r.buffered;
         }
-        if (pkt->emitted == pkt->wire_flits && fifo.empty())
+        if (pkt->emitted == pkt->wire_flits && fifo.empty()) {
             inj_pkt_[vi][slot] = nullptr; // drained into the network
+            --r.inj_active;
+        }
     }
 }
 
@@ -255,12 +371,11 @@ FlitNetwork::allocateVCs(int vertex)
             if (!f.head)
                 continue; // mid-packet flits inherit the allocation
             int cid = f.pkt->msg.route[f.hop];
-            auto oit = r.out_of_channel.find(cid);
-            MT_ASSERT(oit != r.out_of_channel.end(),
+            MT_ASSERT(topo_.channel(cid).src == vertex,
                       "route uses channel ", cid,
                       " absent at vertex ", vertex);
             OutputUnit &ou = r.outputs[static_cast<std::size_t>(
-                oit->second)];
+                chan_out_idx_[static_cast<std::size_t>(cid)])];
             int input_idx = static_cast<int>(&iu - r.inputs.data());
             int vc_idx = static_cast<int>(&ivc - iu.vcs.data());
             for (std::uint32_t ovc = 0; ovc < cfg_.num_vcs; ++ovc) {
@@ -285,12 +400,9 @@ FlitNetwork::traverse(int vertex)
     Router &r = routers_[static_cast<std::size_t>(vertex)];
     for (auto &ou : r.outputs) {
         // Gather requesters: input VCs allocated to this output whose
-        // front flit can move under the credit rules.
-        struct Req {
-            int input;
-            int vc;
-        };
-        std::vector<Req> reqs;
+        // front flit can move under the credit rules. req_scratch_ is
+        // a member so a warmed fabric arbitrates without allocating.
+        req_scratch_.clear();
         for (std::size_t ii = 0; ii < r.inputs.size(); ++ii) {
             InputUnit &iu = r.inputs[ii];
             for (std::uint32_t vc = 0; vc < cfg_.num_vcs; ++vc) {
@@ -327,11 +439,11 @@ FlitNetwork::traverse(int vertex)
                     }
                     continue;
                 }
-                reqs.push_back(Req{static_cast<int>(ii),
-                                   static_cast<int>(vc)});
+                req_scratch_.push_back(Req{static_cast<int>(ii),
+                                           static_cast<int>(vc)});
             }
         }
-        if (reqs.empty())
+        if (req_scratch_.empty())
             continue;
         // Round-robin grant.
         if (prof_ != nullptr) {
@@ -339,15 +451,16 @@ FlitNetwork::traverse(int vertex)
                 prof_routers_[static_cast<std::size_t>(vertex)];
             ++rp.sa_grants;
             rp.sa_denied +=
-                static_cast<std::uint64_t>(reqs.size() - 1);
+                static_cast<std::uint64_t>(req_scratch_.size() - 1);
         }
-        std::size_t pick = ou.rr % reqs.size();
+        std::size_t pick = ou.rr % req_scratch_.size();
         ou.rr = (ou.rr + 1);
-        Req g = reqs[pick];
+        Req g = req_scratch_[pick];
         InputUnit &iu = r.inputs[static_cast<std::size_t>(g.input)];
         InputVC &ivc = iu.vcs[static_cast<std::size_t>(g.vc)];
         Flit f = ivc.fifo.front();
         ivc.fifo.pop_front();
+        --r.buffered;
         int out_vc = ivc.out_vc;
         OutputVC &ovc = ou.vcs[static_cast<std::size_t>(out_vc)];
         --ovc.credits;
@@ -364,22 +477,14 @@ FlitNetwork::traverse(int vertex)
             ovc.owner_vc = -1;
         }
 
-        // Ship across the wire.
+        // Ship across the wire: a fixed-delay hop on the delay line,
+        // applied at the head of the arrival cycle.
         Flit moved = f;
         moved.hop = f.hop + 1;
-        int cid = ou.channel;
-        int dvc = out_vc;
-        eq_.scheduleAfter(
-            cfg_.router_pipeline + cfg_.link_latency,
-            [this, cid, dvc, moved]() mutable {
-                Router &down = routers_[static_cast<std::size_t>(
-                    topo_.channel(cid).dst)];
-                int ii = down.in_of_channel.at(cid);
-                down.inputs[static_cast<std::size_t>(ii)]
-                    .vcs[static_cast<std::size_t>(dvc)]
-                    .fifo.push_back(moved);
-            },
-            sim::Priority::High);
+        wire_line_.push_back(
+            WireHop{eq_.now() + cfg_.router_pipeline
+                        + cfg_.link_latency,
+                    ou.channel, out_vc, moved});
     }
 }
 
@@ -402,6 +507,7 @@ FlitNetwork::eject(int vertex)
                     prof_->onHeadArrival(pkt->msg.track_id,
                                          eq_.now());
                 ivc.fifo.pop_front();
+                --r.buffered;
                 --in_flight_;
                 returnCredit(iu.channel, static_cast<int>(vc));
                 ++pkt->ejected;
@@ -413,8 +519,9 @@ FlitNetwork::eject(int vertex)
                               pkt->ejected, "/", pkt->wire_flits);
                     pkt_latency_.add(static_cast<double>(
                         eq_.now() - pkt->injected_at));
-                    Message msg = pkt->msg;
-                    live_.erase(pkt);
+                    Message msg = std::move(pkt->msg);
+                    freePacket(pkt);
+                    --live_pkts_;
                     eq_.scheduleAfter(0, [this, msg = std::move(msg)] {
                         deliverMsg(msg);
                     });
@@ -427,17 +534,8 @@ FlitNetwork::eject(int vertex)
 void
 FlitNetwork::returnCredit(int cid, int vc)
 {
-    eq_.scheduleAfter(
-        cfg_.link_latency,
-        [this, cid, vc] {
-            Router &up = routers_[static_cast<std::size_t>(
-                topo_.channel(cid).src)];
-            int oi = up.out_of_channel.at(cid);
-            ++up.outputs[static_cast<std::size_t>(oi)]
-                  .vcs[static_cast<std::size_t>(vc)]
-                  .credits;
-        },
-        sim::Priority::High);
+    credit_line_.push_back(
+        CreditHop{eq_.now() + cfg_.link_latency, cid, vc});
 }
 
 void
@@ -485,18 +583,19 @@ FlitNetwork::flushTrace()
 }
 
 void
-FlitNetwork::sampleOccupancy()
+FlitNetwork::sampleRouter(int vertex)
 {
-    for (std::size_t v = 0; v < routers_.size(); ++v) {
-        obs::RouterProfile &rp = prof_routers_[v];
-        for (const auto &iu : routers_[v].inputs) {
-            if (iu.channel < 0)
-                continue; // injection FIFOs are NI-side, not buffers
-            for (const auto &ivc : iu.vcs) {
-                std::size_t bucket = std::min<std::size_t>(
-                    ivc.fifo.size(), obs::kOccupancyBuckets - 1);
-                ++rp.occupancy[bucket];
-            }
+    Router &r = routers_[static_cast<std::size_t>(vertex)];
+    obs::RouterProfile &rp =
+        prof_routers_[static_cast<std::size_t>(vertex)];
+    ++r.occ_sampled;
+    for (const auto &iu : r.inputs) {
+        if (iu.channel < 0)
+            continue; // injection FIFOs are NI-side, not buffers
+        for (const auto &ivc : iu.vcs) {
+            std::size_t bucket = std::min<std::size_t>(
+                ivc.fifo.size(), obs::kOccupancyBuckets - 1);
+            ++rp.occupancy[bucket];
         }
     }
 }
@@ -516,42 +615,127 @@ FlitNetwork::flushProfile()
         cp.queue = channel_queue_[cid];
         prof_->ingestChannel(static_cast<int>(cid), cp);
     }
-    for (std::size_t v = 0; v < prof_routers_.size(); ++v)
-        prof_->ingestRouter(static_cast<int>(v), prof_routers_[v]);
+    for (std::size_t v = 0; v < prof_routers_.size(); ++v) {
+        // Cycles the active-set scheduler skipped a router (or fast-
+        // forwarded outright) are exactly the cycles its buffers were
+        // all empty; fold them back in as bucket-0 samples so the
+        // histogram matches a dense, every-cycle sampling run. Done
+        // on a copy: flushProfile can run several times per epoch and
+        // ingestRouter replaces, so the stored counters stay raw.
+        obs::RouterProfile rp = prof_routers_[v];
+        const Router &r = routers_[v];
+        MT_ASSERT(prof_cycles_ >= r.occ_sampled,
+                  "router sampled more often than cycles ran");
+        rp.occupancy[0] += (prof_cycles_ - r.occ_sampled)
+                           * static_cast<std::uint64_t>(
+                               r.n_channel_vcs);
+        prof_->ingestRouter(static_cast<int>(v), rp);
+    }
 }
 
 void
 FlitNetwork::cycle()
 {
-    ++active_cycles_;
-    if (prof_ != nullptr)
-        sampleOccupancy();
-    for (int v = 0; v < topo_.numVertices(); ++v)
-        eject(v);
-    for (int v = 0; v < topo_.numVertices(); ++v)
-        refillInjection(v);
-    for (int v = 0; v < topo_.numVertices(); ++v)
-        allocateVCs(v);
-    for (int v = 0; v < topo_.numVertices(); ++v)
-        traverse(v);
+    cycle_armed_ = false;
+    const Tick now = eq_.now();
+    drainDelayLines(now);
 
-    bool pending_work = !live_.empty() || in_flight_ > 0;
-    if (!pending_work) {
-        for (const auto &q : pending_)
-            pending_work |= !q.empty();
+    // Dense equivalence for the utilization denominator: every tick
+    // the dense loop would have executed between the previous cycle
+    // and this one counts as active (a burst), whether or not the
+    // active-set loop actually ran it.
+    if (burst_open_) {
+        active_cycles_ +=
+            static_cast<std::uint64_t>(now - last_cycle_tick_);
+        if (prof_ != nullptr)
+            prof_cycles_ +=
+                static_cast<std::uint64_t>(now - last_cycle_tick_);
+    } else {
+        ++active_cycles_;
+        if (prof_ != nullptr)
+            ++prof_cycles_;
+        burst_open_ = true;
     }
+    last_cycle_tick_ = now;
+
+    if (dense_) {
+        const int n = topo_.numVertices();
+        if (prof_ != nullptr) {
+            for (int v = 0; v < n; ++v)
+                sampleRouter(v);
+        }
+        for (int v = 0; v < n; ++v)
+            eject(v);
+        for (int v = 0; v < n; ++v)
+            refillInjection(v);
+        for (int v = 0; v < n; ++v)
+            allocateVCs(v);
+        for (int v = 0; v < n; ++v)
+            traverse(v);
+    } else {
+        // Ascending vertex order keeps every per-cycle effect (same-
+        // tick delivery scheduling above all) in dense-loop order.
+        std::sort(active_.begin(), active_.end());
+        if (prof_ != nullptr) {
+            for (int v : active_)
+                sampleRouter(v);
+        }
+        for (int v : active_)
+            eject(v);
+        for (int v : active_)
+            refillInjection(v);
+        for (int v : active_)
+            allocateVCs(v);
+        for (int v : active_)
+            traverse(v);
+        // Compact: retire routers whose work drained this cycle.
+        std::size_t keep = 0;
+        for (std::size_t i = 0; i < active_.size(); ++i) {
+            const int v = active_[i];
+            Router &r = routers_[static_cast<std::size_t>(v)];
+            if (hasWork(r, v))
+                active_[keep++] = v;
+            else
+                r.queued = false;
+        }
+        active_.resize(keep);
+    }
+
+    const bool pending_work = live_pkts_ > 0;
     // Watchdog: with traffic in flight, some flit must eject within
     // a generous bound or the network has deadlocked/livelocked —
     // that is a simulator or routing bug, never a user error.
     if (pending_work
         && active_cycles_ - last_progress_cycle_ > 4'000'000) {
         MT_PANIC("flit network made no ejection progress for 4M "
-                 "cycles with ", live_.size(), " live packets and ",
+                 "cycles with ", live_pkts_, " live packets and ",
                  in_flight_, " flits in flight — deadlock");
     }
-    cycle_armed_ = false;
-    if (pending_work)
-        ensureRunning();
+    if (!pending_work) {
+        burst_open_ = false;
+        // Trailing credit returns still sit on the delay line. Give
+        // the event queue one event at the final return's tick so a
+        // drained run ends at the same eq.now() as when every credit
+        // was its own event.
+        if (!credit_line_.empty()) {
+            const Tick last_due =
+                credit_line_.at(credit_line_.size() - 1).due;
+            eq_.scheduleAt(
+                last_due, [this] { drainDelayLines(eq_.now()); },
+                sim::Priority::High);
+        }
+        return;
+    }
+    if (dense_ || !active_.empty()) {
+        requestCycleAt(now + 1);
+        return;
+    }
+    // Every live flit is mid-wire and nothing is buffered or pending
+    // anywhere: the intervening ticks are provably no-ops, so sleep
+    // until the first arrival instead of ticking through them.
+    MT_ASSERT(!wire_line_.empty(),
+              "live packets with no local work and an empty wire");
+    requestCycleAt(wire_line_.front().due);
 }
 
 } // namespace multitree::net

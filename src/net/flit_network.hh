@@ -25,16 +25,29 @@
  *  - Ejection matches the paper's assumption that NI bandwidth equals
  *    router bandwidth: every input port can sink one flit per cycle
  *    at the destination.
+ *
+ * Scheduling (DESIGN.md §"Simulator performance"): the tick loop is
+ * active-set driven. Routers register into a worklist when they hold
+ * buffered flits, pending injections or a draining injection slot,
+ * and only listed routers are evaluated each cycle; when no router
+ * has work but flits are mid-wire, the loop fast-forwards straight
+ * to the next wire arrival instead of ticking empty cycles. Flit
+ * hops and credit returns ride fixed-delay FIFO delay lines owned by
+ * the network (not per-event closures on the EventQueue), and all
+ * per-flit state lives in pooled/pre-sized flat storage, so a warmed
+ * fabric simulates without allocating. The dense reference loop
+ * (NetworkConfig::dense_tick or MT_DENSE_TICK=1) evaluates every
+ * router every cycle; both schedulers are tick- and stat-identical,
+ * which tests/test_activeset.cc asserts.
  */
 
 #ifndef MULTITREE_NET_FLIT_NETWORK_HH
 #define MULTITREE_NET_FLIT_NETWORK_HH
 
-#include <deque>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
+#include "common/ring_buffer.hh"
 #include "net/network.hh"
 #include "obs/profile.hh"
 
@@ -81,6 +94,9 @@ class FlitNetwork : public Network
     /** Inject-to-tail-eject latency distribution over all packets. */
     const Summary &packetLatency() const { return pkt_latency_; }
 
+    /** Whether the dense reference tick loop is in force. */
+    bool denseTick() const { return dense_; }
+
   protected:
     void injectImpl(Message msg) override;
 
@@ -93,7 +109,7 @@ class FlitNetwork : public Network
         bool tail = false;
     };
     struct InputVC {
-        std::deque<Flit> fifo;
+        RingBuffer<Flit> fifo;
         int out_channel = -1; ///< allocated output, -1 = none
         int out_vc = -1;
     };
@@ -116,8 +132,21 @@ class FlitNetwork : public Network
         std::vector<InputUnit> inputs;
         int first_injection = 0;
         std::vector<OutputUnit> outputs;
-        std::unordered_map<int, int> in_of_channel;
-        std::unordered_map<int, int> out_of_channel;
+
+        // --- activation bookkeeping (active-set scheduler) ---
+        /** Flits currently buffered in any of this router's input
+         *  FIFOs (channel-fed and injection alike). */
+        std::uint64_t buffered = 0;
+        /** Injection slots currently owned by a draining packet. */
+        std::uint32_t inj_active = 0;
+        /** Whether the router sits in the active worklist. */
+        bool queued = false;
+        /** Channel-fed input VCs (occupancy-sample compensation). */
+        std::uint32_t n_channel_vcs = 0;
+        /** Cycles this router's buffers were explicitly sampled into
+         *  the occupancy histogram; the deficit vs active_cycles_ is
+         *  all-empty samples, reconstructed at flushProfile(). */
+        std::uint64_t occ_sampled = 0;
     };
     struct Packet {
         Message msg;
@@ -129,11 +158,39 @@ class FlitNetwork : public Network
         std::vector<char> wrap_before;
     };
 
+    /** One flit mid-wire: arrives into (channel, vc) at @p due. */
+    struct WireHop {
+        Tick due = 0;
+        int cid = -1;
+        int vc = -1;
+        Flit flit;
+    };
+    /** One credit mid-wire back to (channel, vc)'s output. */
+    struct CreditHop {
+        Tick due = 0;
+        int cid = -1;
+        int vc = -1;
+    };
+
     /** Run one router cycle; reschedules itself while active. */
     void cycle();
 
-    /** Arm the cycle event if it is not already pending. */
-    void ensureRunning();
+    /** Arm (or pull earlier) the cycle event for tick @p when. */
+    void requestCycleAt(Tick when);
+
+    /** Register @p vertex in the active worklist. */
+    void markActive(int vertex);
+
+    /** Whether @p vertex still has per-cycle work to evaluate. */
+    bool
+    hasWork(const Router &r, int vertex) const
+    {
+        return r.buffered > 0 || r.inj_active > 0
+               || !pending_[static_cast<std::size_t>(vertex)].empty();
+    }
+
+    /** Apply every wire/credit delay-line entry due by @p now. */
+    void drainDelayLines(Tick now);
 
     /** Whether @p pkt may use VC @p vc for the channel at @p hop. */
     bool vcClassAllowed(const Packet &pkt, std::uint32_t hop,
@@ -158,14 +215,25 @@ class FlitNetwork : public Network
      *  coalescing back-to-back cycles into one LinkBusy span. */
     void noteLinkFlit(int cid);
 
-    /** Sample channel-fed input-VC buffer depths into the per-router
-     *  occupancy histograms (profiler attached). */
-    void sampleOccupancy();
+    /** Sample @p vertex's channel-fed input-VC buffer depths into
+     *  its occupancy histogram (profiler attached). */
+    void sampleRouter(int vertex);
+
+    /** Take a packet from the free pool (or grow the slab). */
+    Packet *allocPacket();
+
+    /** Return a drained packet to the free pool. */
+    void freePacket(Packet *pkt);
 
     const topo::Topology &topo_;
     std::vector<Router> routers_;
     std::vector<char> wrap_channel_; ///< torus dateline channels
     std::vector<std::uint64_t> channel_flits_;
+
+    /** Input-unit index of each channel at its destination router. */
+    std::vector<int> chan_in_idx_;
+    /** Output-unit index of each channel at its source router. */
+    std::vector<int> chan_out_idx_;
 
     // Profiling counters, maintained only while a profiler is
     // attached (pure observation: nothing reads them back into the
@@ -185,15 +253,55 @@ class FlitNetwork : public Network
     std::vector<BusySpan> trace_span_;
 
     /** Pending packets per node awaiting a free injection VC. */
-    std::vector<std::deque<std::unique_ptr<Packet>>> pending_;
+    std::vector<RingBuffer<Packet *>> pending_;
     /** Packet currently owning each injection VC (or null). */
     std::vector<std::vector<Packet *>> inj_pkt_;
-    /** Live packets, owned. */
-    std::unordered_map<Packet *, std::unique_ptr<Packet>> live_;
 
+    /** Packet pool: the slab owns every Packet ever allocated, the
+     *  free list recycles drained ones, so steady-state injection
+     *  reuses warm Packets (wrap_before/route capacity included). */
+    std::vector<std::unique_ptr<Packet>> pkt_slab_;
+    std::vector<Packet *> pkt_free_;
+    /** Packets in the fabric (pending, injecting or in flight). */
+    std::uint64_t live_pkts_ = 0;
+
+    /** Fixed-delay FIFO delay lines: every flit hop is delayed by
+     *  router_pipeline + link_latency and every credit return by
+     *  link_latency, so each line is pushed in nondecreasing due
+     *  order and drained from the front — no heap, no closures. */
+    RingBuffer<WireHop> wire_line_;
+    RingBuffer<CreditHop> credit_line_;
+
+    /** Active worklist (routers with buffered/pending work) plus the
+     *  per-cycle scratch reused by the separable output allocator. */
+    std::vector<int> active_;
+    struct Req {
+        int input = -1;
+        int vc = -1;
+    };
+    std::vector<Req> req_scratch_;
+
+    /** Dense reference loop forced (config flag or MT_DENSE_TICK). */
+    bool dense_ = false;
+
+    // Cycle-event arming. armed_tick_/arm_gen_ let an injection pull
+    // a far-future fast-forward wakeup earlier: the superseded event
+    // carries a stale generation and fires as a no-op.
     bool cycle_armed_ = false;
+    Tick armed_tick_ = 0;
+    std::uint64_t arm_gen_ = 0;
+
+    /** Whether a burst is open (cycle() ran and work remains); the
+     *  next cycle() then credits the fast-forwarded gap since
+     *  last_cycle_tick_ to active_cycles_. */
+    bool burst_open_ = false;
+    Tick last_cycle_tick_ = 0;
+
     std::uint64_t in_flight_ = 0; ///< flits buffered or on links
     std::uint64_t active_cycles_ = 0;
+    /** active_cycles_ restricted to cycles a profiler was attached;
+     *  the baseline for the occupancy-sample deficit. */
+    std::uint64_t prof_cycles_ = 0;
     /** Deadlock watchdog: cycles since a flit last ejected. */
     std::uint64_t ejected_total_ = 0;
     std::uint64_t last_progress_cycle_ = 0;

@@ -111,6 +111,18 @@ struct NetworkConfig {
     std::uint32_t router_pipeline = 3;           ///< cycles per hop
     std::uint32_t num_vcs = kNumVCs;
     std::uint32_t vc_buffer_depth = kVCBufferDepth;
+    /**
+     * Escape hatch for the cycle-level backend's scheduler: force the
+     * reference dense tick loop (every router evaluated every cycle)
+     * instead of the default active-set loop with idle-cycle
+     * fast-forward. The two are tick- and stat-identical by contract;
+     * dense exists as the oracle for that contract and as a fallback
+     * while debugging activation bookkeeping. The MT_DENSE_TICK
+     * environment variable (any non-empty value other than "0")
+     * forces dense regardless of this flag. Ignored by the flow
+     * backend, which has no tick loop.
+     */
+    bool dense_tick = false;
 };
 
 /** Which transport model executes a schedule. */

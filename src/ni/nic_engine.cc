@@ -1,5 +1,6 @@
 #include "ni/nic_engine.hh"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/logging.hh"
@@ -60,8 +61,11 @@ NicEngine::loadTable(ScheduleTable table, bool lockstep,
     window_end_ = 0;
     started_ = false;
     nop_windows_ = 0;
-    got_reduce_.clear();
-    got_gather_.clear();
+    // Rewind the scoreboard in place: inner vectors keep their
+    // capacity, so repeat runs on a warmed engine do not allocate.
+    for (auto &children : got_reduce_)
+        children.clear();
+    std::fill(got_gather_.begin(), got_gather_.end(), 0);
     next_seq_ = 0;
     outstanding_.clear();
     seen_.clear();
@@ -93,16 +97,36 @@ NicEngine::start()
     pump();
 }
 
+void
+NicEngine::ensureFlow(int flow)
+{
+    const auto need = static_cast<std::size_t>(flow) + 1;
+    if (got_reduce_.size() < need)
+        got_reduce_.resize(need);
+    if (got_gather_.size() < need)
+        got_gather_.resize(need, 0);
+}
+
+bool
+NicEngine::gotReduce(int flow, int src) const
+{
+    const auto f = static_cast<std::size_t>(flow);
+    if (f >= got_reduce_.size())
+        return false;
+    const auto &children = got_reduce_[f];
+    return std::find(children.begin(), children.end(), src)
+           != children.end();
+}
+
 bool
 NicEngine::depsSatisfied(const TableEntry &e) const
 {
     if (e.dep_on_parent) {
-        auto it = got_gather_.find(e.flow);
-        return it != got_gather_.end() && it->second;
+        const auto f = static_cast<std::size_t>(e.flow);
+        return f < got_gather_.size() && got_gather_[f] != 0;
     }
-    auto it = got_reduce_.find(e.flow);
     for (int child : e.deps) {
-        if (it == got_reduce_.end() || !it->second.count(child))
+        if (!gotReduce(e.flow, child))
             return false;
     }
     return true;
@@ -372,14 +396,19 @@ NicEngine::onMessage(const net::Message &msg)
                 delay, [this, flow, src, g = gen_] {
                     if (g != gen_)
                         return; // reduction for a reprogrammed run
-                    got_reduce_[flow].insert(src);
+                    ensureFlow(flow);
+                    got_reduce_[static_cast<std::size_t>(flow)]
+                        .push_back(src);
                     pump();
                 });
             return;
         }
-        got_reduce_[msg.flow_id].insert(msg.src);
+        ensureFlow(msg.flow_id);
+        got_reduce_[static_cast<std::size_t>(msg.flow_id)].push_back(
+            msg.src);
     } else {
-        got_gather_[msg.flow_id] = true;
+        ensureFlow(msg.flow_id);
+        got_gather_[static_cast<std::size_t>(msg.flow_id)] = 1;
     }
     pump();
 }
@@ -398,15 +427,13 @@ NicEngine::describeStall() const
             << (e.op == Op::Reduce ? "Reduce" : "Gather") << " flow "
             << e.flow << " step " << e.step;
         if (e.dep_on_parent) {
-            auto it = got_gather_.find(e.flow);
-            if (it == got_gather_.end() || !it->second)
+            const auto f = static_cast<std::size_t>(e.flow);
+            if (f >= got_gather_.size() || got_gather_[f] == 0)
                 oss << " awaiting gather from parent " << e.parent;
         } else {
-            auto it = got_reduce_.find(e.flow);
             std::vector<int> missing;
             for (int child : e.deps) {
-                if (it == got_reduce_.end()
-                    || !it->second.count(child))
+                if (!gotReduce(e.flow, child))
                     missing.push_back(child);
             }
             if (!missing.empty()) {

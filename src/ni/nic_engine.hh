@@ -37,7 +37,6 @@
 #include <map>
 #include <set>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/units.hh"
@@ -265,10 +264,20 @@ class NicEngine
      *  finished run carry the old value and turn into no-ops. */
     std::uint64_t gen_ = 0;
 
-    /** flow → reduce children received so far. */
-    std::unordered_map<int, std::set<int>> got_reduce_;
+    /** Grow the dependency scoreboard to cover @p flow. */
+    void ensureFlow(int flow);
+
+    /** Whether a Reduce from @p src arrived for @p flow. */
+    bool gotReduce(int flow, int src) const;
+
+    // Dependency scoreboard, flat by flow id. Sized on demand (an
+    // arriving flow id can exceed this node's own table's flows, e.g.
+    // a leaf's final gather) and rewound without deallocating, so
+    // back-to-back runs replay on warm storage.
+    /** flow → reduce-sender children received so far. */
+    std::vector<std::vector<int>> got_reduce_;
     /** flow → gather received flag. */
-    std::unordered_map<int, bool> got_gather_;
+    std::vector<char> got_gather_;
 
     // --- reliability state ---
     ReliabilityOptions rel_;

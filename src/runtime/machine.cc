@@ -69,6 +69,11 @@ Machine::Machine(const topo::Topology &topo, const RunOptions &opts)
               "buffer_adjusted_estimates models NI buffering that "
               "only the Flit backend simulates; use Backend::Flit");
 
+    // Pre-size the event heap so steady-state scheduling never
+    // reallocates: one in-flight slot per node covers the NIC timers
+    // plus the network's self-rescheduled tick with headroom.
+    eq_.reserve(static_cast<std::size_t>(topo_.numNodes()) * 8 + 64);
+
     network_ = net::makeNetwork(opts_.backend, eq_, topo_, opts_.net);
     network_->onDeliver(
         [this](const net::Message &msg) { onDelivery(msg); });

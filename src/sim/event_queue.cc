@@ -1,5 +1,7 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace multitree::sim {
@@ -9,8 +11,9 @@ EventQueue::scheduleAt(Tick when, Callback cb, Priority prio)
 {
     MT_ASSERT(when >= now_, "scheduling into the past: when=", when,
               " now=", now_);
-    heap_.push(Entry{when, static_cast<int>(prio), next_seq_++,
-                     std::move(cb)});
+    heap_.push_back(Entry{when, static_cast<int>(prio), next_seq_++,
+                          std::move(cb)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 void
@@ -32,7 +35,7 @@ std::uint64_t
 EventQueue::runUntil(Tick until)
 {
     std::uint64_t ran = 0;
-    while (!heap_.empty() && heap_.top().when <= until) {
+    while (!heap_.empty() && heap_.front().when <= until) {
         step();
         ++ran;
     }
@@ -55,9 +58,11 @@ EventQueue::step()
 {
     if (heap_.empty())
         return false;
-    // Copy out before pop so the callback may schedule new events.
-    Entry e = heap_.top();
-    heap_.pop();
+    // Move out before pop so the callback may schedule new events
+    // (and so the closure is never copied — only moved).
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Entry e = std::move(heap_.back());
+    heap_.pop_back();
     now_ = e.when;
     ++executed_;
     e.cb();

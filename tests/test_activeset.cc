@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Active-set vs dense-tick equivalence for the flit backend.
+ *
+ * The active-set scheduler (worklist + quiescence fast-forward +
+ * pooled storage) is a pure performance transformation: DESIGN.md
+ * §"Simulator performance" promises it is tick- and stat-identical
+ * to the dense reference loop that evaluates every router every
+ * cycle. This suite holds it to that promise across algorithms and
+ * topologies by comparing, between a dense-tick Machine and an
+ * active-set Machine:
+ *  - the scoped RunResult of every run (time, bandwidth, counters),
+ *  - the network StatRegistry in full,
+ *  - FlitNetwork::activeCycles() (the utilization denominator),
+ *  - the complete lifecycle trace, event by event and field by field,
+ *  - the rendered latency-attribution profile JSON,
+ * over back-to-back runs on persistent machines (warm pools), and
+ * under faults + reliability (retransmission timing).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "coll/algorithm.hh"
+#include "net/flit_network.hh"
+#include "obs/profile.hh"
+#include "obs/trace.hh"
+#include "runtime/machine.hh"
+#include "topo/factory.hh"
+
+namespace multitree {
+namespace {
+
+void
+expectSameResult(const runtime::RunResult &a,
+                 const runtime::RunResult &b)
+{
+    EXPECT_EQ(a.time, b.time);
+    EXPECT_DOUBLE_EQ(a.bandwidth, b.bandwidth);
+    EXPECT_EQ(a.messages, b.messages);
+    EXPECT_DOUBLE_EQ(a.payload_flits, b.payload_flits);
+    EXPECT_DOUBLE_EQ(a.head_flits, b.head_flits);
+    EXPECT_DOUBLE_EQ(a.flit_hops, b.flit_hops);
+    EXPECT_DOUBLE_EQ(a.head_hops, b.head_hops);
+    EXPECT_EQ(a.nop_windows, b.nop_windows);
+}
+
+void
+expectSameStats(const runtime::Machine &active,
+                const runtime::Machine &dense)
+{
+    const auto &a = active.network().stats().all();
+    const auto &d = dense.network().stats().all();
+    ASSERT_EQ(a.size(), d.size());
+    auto ai = a.begin();
+    auto di = d.begin();
+    for (; ai != a.end(); ++ai, ++di) {
+        EXPECT_EQ(ai->first, di->first);
+        EXPECT_DOUBLE_EQ(ai->second, di->second)
+            << "stat " << ai->first;
+    }
+}
+
+void
+expectSameTrace(const obs::Trace &active, const obs::Trace &dense)
+{
+    const auto &a = active.events();
+    const auto &d = dense.events();
+    ASSERT_EQ(a.size(), d.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        SCOPED_TRACE("event " + std::to_string(i));
+        EXPECT_EQ(a[i].kind, d[i].kind);
+        EXPECT_EQ(a[i].tick, d[i].tick);
+        EXPECT_EQ(a[i].duration, d[i].duration);
+        EXPECT_EQ(a[i].node, d[i].node);
+        EXPECT_EQ(a[i].peer, d[i].peer);
+        EXPECT_EQ(a[i].channel, d[i].channel);
+        EXPECT_EQ(a[i].flow, d[i].flow);
+        EXPECT_EQ(a[i].step, d[i].step);
+        EXPECT_EQ(a[i].bytes, d[i].bytes);
+        EXPECT_EQ(a[i].tag, d[i].tag);
+        EXPECT_EQ(a[i].seq, d[i].seq);
+        EXPECT_EQ(a[i].attempt, d[i].attempt);
+        EXPECT_EQ(a[i].corrupted, d[i].corrupted);
+    }
+}
+
+std::uint64_t
+activeCyclesOf(const runtime::Machine &m)
+{
+    const auto *net =
+        dynamic_cast<const net::FlitNetwork *>(&m.network());
+    EXPECT_NE(net, nullptr);
+    return net != nullptr ? net->activeCycles() : 0;
+}
+
+std::string
+profileJson(const runtime::Machine &m, const obs::Profiler &prof)
+{
+    std::ostringstream oss;
+    obs::writeProfileJson(oss, m.fabricInfo(), prof,
+                          obs::extractCriticalPath(prof));
+    return oss.str();
+}
+
+/** One observed fabric: Machine + trace + profiler wired up. */
+struct Rig {
+    explicit Rig(const topo::Topology &topo, bool dense,
+                 std::uint32_t reduction_bw = 0)
+    {
+        runtime::RunOptions opts;
+        opts.backend = runtime::Backend::Flit;
+        opts.net.dense_tick = dense;
+        opts.sink = &trace;
+        opts.profiler = &prof;
+        opts.ni_reduction_bw = reduction_bw;
+        machine = std::make_unique<runtime::Machine>(topo, opts);
+    }
+
+    obs::Trace trace;
+    obs::Profiler prof;
+    std::unique_ptr<runtime::Machine> machine;
+};
+
+class ActiveSetParity
+    : public ::testing::TestWithParam<const char *>
+{};
+
+// The headline guarantee, swept over every registered algorithm
+// variant: two back-to-back runs on warm fabrics agree between the
+// schedulers in results, stats, active-cycle counts, full traces and
+// rendered profiles.
+TEST_P(ActiveSetParity, BitIdenticalToDenseForEveryVariant)
+{
+    auto topo = topo::makeTopology(GetParam());
+    Rig active(*topo, false);
+    Rig dense(*topo, true);
+    EXPECT_FALSE(dynamic_cast<const net::FlitNetwork &>(
+                     active.machine->network())
+                     .denseTick());
+    EXPECT_TRUE(dynamic_cast<const net::FlitNetwork &>(
+                    dense.machine->network())
+                    .denseTick());
+
+    for (const auto &v : coll::algorithmVariants()) {
+        if (!coll::makeAlgorithm(v.base)->supports(*topo))
+            continue;
+        SCOPED_TRACE(v.name);
+        for (int rep = 0; rep < 2; ++rep) {
+            SCOPED_TRACE("rep " + std::to_string(rep));
+            auto ra = active.machine->run(v.name, 16 * KiB);
+            auto rd = dense.machine->run(v.name, 16 * KiB);
+            expectSameResult(ra, rd);
+            expectSameStats(*active.machine, *dense.machine);
+            EXPECT_EQ(activeCyclesOf(*active.machine),
+                      activeCyclesOf(*dense.machine));
+            expectSameTrace(active.trace, dense.trace);
+            EXPECT_EQ(profileJson(*active.machine, active.prof),
+                      profileJson(*dense.machine, dense.prof));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ActiveSetParity,
+                         ::testing::Values("torus-4x4", "mesh-4x4",
+                                           "torus-8x8",
+                                           "fattree-16"),
+                         [](const auto &info) {
+                             std::string n = info.param;
+                             for (auto &c : n) {
+                                 if (c == '-' || c == ':')
+                                     c = '_';
+                             }
+                             return n;
+                         });
+
+// Finite-rate reductions reshape the issue timing (delayed dependency
+// clears); the schedulers must still agree.
+TEST(ActiveSetParityExtra, FiniteRateReductionMatches)
+{
+    auto topo = topo::makeTopology("torus-4x4");
+    Rig active(*topo, false, /*reduction_bw=*/8);
+    Rig dense(*topo, true, /*reduction_bw=*/8);
+    for (const char *algo : {"ring", "multitree"}) {
+        SCOPED_TRACE(algo);
+        expectSameResult(active.machine->run(algo, 16 * KiB),
+                         dense.machine->run(algo, 16 * KiB));
+        expectSameTrace(active.trace, dense.trace);
+    }
+}
+
+// Faults + reliability exercise retransmission timers, ack traffic
+// and the watchdog path on both schedulers.
+TEST(ActiveSetParityExtra, FaultedReliableRunMatches)
+{
+    auto topo = topo::makeTopology("torus-4x4");
+    fault::FaultConfig fc;
+    fc.seed = 11;
+    fc.drop_prob = 2e-3;
+
+    auto report = [&](bool dense_tick) {
+        runtime::RunOptions opts;
+        opts.backend = runtime::Backend::Flit;
+        opts.net.dense_tick = dense_tick;
+        opts.reliability.enabled = true;
+        opts.fault = fc;
+        runtime::Machine machine(*topo, opts);
+        return machine.tryRun("multitree", 16 * KiB);
+    };
+    auto ra = report(false);
+    auto rd = report(true);
+    ASSERT_TRUE(ra.ok) << ra.diagnostic;
+    ASSERT_TRUE(rd.ok) << rd.diagnostic;
+    expectSameResult(ra.result, rd.result);
+    EXPECT_EQ(ra.dropped, rd.dropped);
+    EXPECT_EQ(ra.retransmits, rd.retransmits);
+    EXPECT_EQ(ra.timeouts, rd.timeouts);
+    EXPECT_EQ(ra.acks, rd.acks);
+    EXPECT_EQ(ra.duplicates, rd.duplicates);
+}
+
+// The point of the exercise: the active-set scheduler must do
+// strictly less event-queue work than the dense loop on a fabric
+// with idle cycles to skip.
+TEST(ActiveSetParityExtra, ActiveModeExecutesFewerEvents)
+{
+    auto topo = topo::makeTopology("torus-8x8");
+    auto executed = [&](bool dense_tick) {
+        runtime::RunOptions opts;
+        opts.backend = runtime::Backend::Flit;
+        opts.net.dense_tick = dense_tick;
+        runtime::Machine machine(*topo, opts);
+        machine.run("ring", 4 * KiB);
+        return machine.eventQueue().executed();
+    };
+    EXPECT_LT(executed(false), executed(true));
+}
+
+} // namespace
+} // namespace multitree

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <functional>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -129,6 +131,94 @@ TEST(EventQueue, LifetimeCountersSurviveReset)
     EXPECT_EQ(eq.epoch(), 1u);
     eq.reset();
     EXPECT_EQ(eq.epoch(), 2u);
+}
+
+// --- churn coverage: locks in ordering/accounting behavior the
+// flat-heap storage tuning must preserve ---
+
+TEST(EventQueue, HeavyChurnSameTickKeepsPriorityThenFifoOrder)
+{
+    // Thousands of same-tick events across interleaved priorities:
+    // the (tick, priority, insertion) order must hold exactly even
+    // through the grow/rehash churn of the underlying storage.
+    EventQueue eq;
+    constexpr int kN = 10'000;
+    std::vector<int> seen;
+    seen.reserve(kN);
+    for (int i = 0; i < kN; ++i) {
+        const auto prio = static_cast<Priority>(i % 3);
+        // Expected position: all High first (by insertion), then
+        // Default, then Low.
+        const int rank = (i % 3) * (kN / 3) + i / 3;
+        eq.scheduleAt(7, [&seen, rank] { seen.push_back(rank); },
+                      prio);
+    }
+    eq.run();
+    ASSERT_EQ(seen.size(), static_cast<std::size_t>(kN));
+    EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+    EXPECT_EQ(eq.executed(), static_cast<std::uint64_t>(kN));
+}
+
+TEST(EventQueue, CascadedSchedulingDuringExecutionStaysOrdered)
+{
+    // Events that schedule bursts of further events mid-execution —
+    // the flit tick loop's pattern — never reorder already-queued
+    // work and never lose an event while the heap regrows.
+    EventQueue eq;
+    std::vector<Tick> fired_at;
+    std::function<void(int)> burst = [&](int depth) {
+        fired_at.push_back(eq.now());
+        if (depth == 0)
+            return;
+        for (int i = 0; i < 8; ++i) {
+            eq.scheduleAfter(static_cast<Tick>(i + 1),
+                             [&, depth] { burst(depth - 1); });
+        }
+    };
+    eq.scheduleAt(1, [&] { burst(3); });
+    eq.run();
+    // 1 + 8 + 64 + 512 firings, in nondecreasing tick order.
+    EXPECT_EQ(fired_at.size(), 585u);
+    EXPECT_TRUE(std::is_sorted(fired_at.begin(), fired_at.end()));
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
+TEST(EventQueue, EpochResetBetweenBurstsAccumulatesLifetime)
+{
+    // Epoch reset mid-churn: each burst drains, resets, and replays
+    // from tick zero; executed() accumulates monotonically and FIFO
+    // order within a tick is re-established from scratch per epoch.
+    EventQueue eq;
+    std::uint64_t total = 0;
+    for (int epoch = 0; epoch < 5; ++epoch) {
+        std::vector<int> seen;
+        for (int i = 0; i < 1'000; ++i)
+            eq.scheduleAt(3, [&seen, i] { seen.push_back(i); });
+        eq.run();
+        total += 1'000;
+        EXPECT_EQ(eq.now(), 3u);
+        EXPECT_EQ(eq.executed(), total);
+        EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+        eq.reset();
+        EXPECT_EQ(eq.now(), 0u);
+        EXPECT_EQ(eq.epoch(), static_cast<std::uint64_t>(epoch + 1));
+    }
+}
+
+TEST(EventQueue, ReservePreservesPendingWorkAndOrder)
+{
+    EventQueue eq;
+    std::vector<int> seen;
+    for (int i = 0; i < 100; ++i)
+        eq.scheduleAt(static_cast<Tick>(100 - i),
+                      [&seen, i] { seen.push_back(100 - i); });
+    eq.reserve(100'000); // regrow with events in flight
+    for (int i = 0; i < 100; ++i)
+        eq.scheduleAt(static_cast<Tick>(i + 200),
+                      [&seen, i] { seen.push_back(i + 200); });
+    eq.run();
+    ASSERT_EQ(seen.size(), 200u);
+    EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
 }
 
 TEST(EventQueueDeath, PastSchedulingPanics)
