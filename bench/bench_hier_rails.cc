@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Hierarchical multi-rail sweep: simulated all-reduce completion on a
+ * DGX-like fabric — torus-2x2 islands on a fat-tree spine — as the
+ * spine rail count grows 1 → 2 → 4 under both NIC steering policies.
+ * Rows cover the flat ring baseline over the composed graph and two
+ * composed hierarchical collectives, so BENCH_results.json records
+ * both the hierarchy win (composed vs flat on the same fabric) and
+ * the striping win (multi-rail vs single-rail spine).
+ *
+ * Like the figure benches this reports *simulated* time; each point
+ * is one deterministic run on a fresh Machine.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "ni/nic_engine.hh"
+
+namespace {
+
+using namespace multitree;
+
+struct Point {
+    std::string topo;
+    std::string algo;
+    int rails;
+    ni::RailPolicy policy;
+};
+
+const char *
+policyName(ni::RailPolicy policy)
+{
+    return policy == ni::RailPolicy::Backlog ? "backlog" : "rr";
+}
+
+void
+runPoint(const Point &p, std::uint64_t bytes)
+{
+    auto topo = topo::makeTopology(p.topo);
+    runtime::RunOptions opts;
+    opts.backend = runtime::Backend::Flow;
+    opts.rail_policy = p.policy;
+    runtime::Machine machine(*topo, opts);
+    auto res = machine.run(p.algo, bytes);
+
+    bench::BenchRow row;
+    row.name = "hier_rails/" + p.topo + "/" + p.algo + "/"
+               + std::to_string(bytes) + "/" + policyName(p.policy);
+    row.topo = p.topo;
+    row.algo = p.algo;
+    row.bytes = bytes;
+    row.cycles = res.time;
+    row.bandwidth_gbps = res.bandwidth;
+    row.messages = res.messages;
+    row.mode = "rails=" + std::to_string(p.rails) + ","
+               + policyName(p.policy);
+    bench::recordBenchRow(row);
+
+    std::printf("%-64s %10llu cyc  %6.2f GB/s\n", row.name.c_str(),
+                static_cast<unsigned long long>(res.time),
+                res.bandwidth);
+}
+
+} // namespace
+
+int
+main()
+{
+    constexpr std::uint64_t kBytes = 4 * MiB;
+    const std::string base = "hier:torus-2x2+fattree-2:2:2";
+    const std::vector<std::string> algos = {
+        "ring", "hier:ring+ring", "hier:multitree+ring"};
+
+    std::vector<Point> points;
+    for (int rails : {1, 2, 4}) {
+        const std::string spec =
+            rails == 1 ? base
+                       : base + ",rails=" + std::to_string(rails);
+        for (const std::string &algo : algos) {
+            points.push_back(
+                {spec, algo, rails, ni::RailPolicy::RoundRobin});
+            // Steering policy only matters with parallel rails.
+            if (rails > 1) {
+                points.push_back(
+                    {spec, algo, rails, ni::RailPolicy::Backlog});
+            }
+        }
+    }
+
+    for (const Point &p : points)
+        runPoint(p, kBytes);
+
+    // Headline: multi-rail speedup over the 1-rail spine per
+    // (algorithm, policy).
+    auto cyclesOf = [](const std::string &topo,
+                       const std::string &algo,
+                       ni::RailPolicy policy) -> Tick {
+        const std::string suffix =
+            "/" + std::to_string(kBytes) + "/" + policyName(policy);
+        for (const auto &r : bench::benchRows()) {
+            if (r.topo == topo && r.algo == algo
+                && r.name.size() >= suffix.size()
+                && r.name.compare(r.name.size() - suffix.size(),
+                                  suffix.size(), suffix)
+                       == 0)
+                return r.cycles;
+        }
+        return 0;
+    };
+    std::printf("\nmulti-rail speedup vs 1-rail spine:\n");
+    for (const std::string &algo : algos) {
+        const Tick one =
+            cyclesOf(base, algo, ni::RailPolicy::RoundRobin);
+        for (int rails : {2, 4}) {
+            const std::string spec =
+                base + ",rails=" + std::to_string(rails);
+            for (auto policy : {ni::RailPolicy::RoundRobin,
+                                ni::RailPolicy::Backlog}) {
+                const Tick multi = cyclesOf(spec, algo, policy);
+                if (one > 0 && multi > 0) {
+                    std::printf("  %-24s rails=%d %-8s %6.2fx\n",
+                                algo.c_str(), rails,
+                                policyName(policy),
+                                static_cast<double>(one)
+                                    / static_cast<double>(multi));
+                }
+            }
+        }
+    }
+    return 0;
+}

@@ -41,10 +41,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 
 #include "coll/export.hh"
+#include "coll/hierarchical.hh"
 #include "coll/primitives.hh"
 #include "coll/validate.hh"
 #include "common/strings.hh"
@@ -58,6 +60,7 @@
 #include "runtime/machine.hh"
 #include "runtime/metrics.hh"
 #include "topo/factory.hh"
+#include "topo/hierarchical.hh"
 
 namespace {
 
@@ -87,6 +90,7 @@ struct Args {
     std::string heatmap_csv;
     bool energy_report = false;
     bool dense_tick = false;
+    std::string rail_policy = "rr";
 };
 
 void
@@ -105,10 +109,54 @@ usage()
         "             [--timeline] [--timeline-window TICKS]\n"
         "             [--profile-out FILE] [--heatmap]\n"
         "             [--heatmap-csv FILE] [--energy]\n"
+        "             [--rail-policy rr|backlog]\n"
+        "             [--list-topologies] [--list-algorithms]\n"
         "topologies: torus-WxH mesh-WxH fattree-{16,64,L:P:S} "
         "bigraph-UxL\n"
+        "            hier:<island>+<spine>[,rails=N] "
+        "(--list-topologies for all)\n"
         "algorithms: ring dbtree ring2d hd hdrm multitree "
-        "multitree-nolockstep multitree-msg\n");
+        "multitree-nolockstep multitree-msg\n"
+        "            hier:<island>+<spine> "
+        "(--list-algorithms for all)\n");
+}
+
+void
+listTopologies()
+{
+    std::printf(
+        "topology specs (SPEC for --topo):\n"
+        "  torus-WxH         2D torus, e.g. torus-8x8\n"
+        "  mesh-WxH          2D mesh (no wraps)\n"
+        "  torus3d-XxYxZ     3D torus\n"
+        "  fattree-16        2-level fat tree, 4 leaves x 4 nodes\n"
+        "  fattree-64        2-level fat tree, 8 leaves x 8 nodes\n"
+        "  fattree-L:P:S     L leaf switches x P nodes, S spines\n"
+        "  bigraph-UxL       BiGraph, U upper x L lower switches\n"
+        "  dragonfly-G:P     dragonfly, G groups x P nodes each\n"
+        "  hier:<island>+<spine>[,rails=N]\n"
+        "                    hierarchical fabric: one <island> copy\n"
+        "                    per <spine> end node, every spine link\n"
+        "                    widened to N parallel rails; e.g.\n"
+        "                    hier:torus-2x2+fattree-2:2:2,rails=2\n");
+}
+
+void
+listAlgorithms()
+{
+    std::printf("registered algorithms (NAME for --algo):\n");
+    for (const auto &v : coll::algorithmVariants()) {
+        std::printf("  %-22s builds %s%s\n", v.name.c_str(),
+                    v.base.c_str(),
+                    v.flow_control
+                        ? " (message-based flow control)"
+                        : "");
+    }
+    std::printf(
+        "  hier:<island>+<spine>  composed hierarchical all-reduce\n"
+        "                         (island/spine = any name above;\n"
+        "                         needs a hier: topology), e.g.\n"
+        "                         hier:multitree+ring\n");
 }
 
 } // namespace
@@ -180,7 +228,15 @@ main(int argc, char **argv)
             args.energy_report = true;
         else if (a == "--dense-tick")
             args.dense_tick = true;
-        else {
+        else if (a == "--rail-policy")
+            args.rail_policy = next();
+        else if (a == "--list-topologies") {
+            listTopologies();
+            return 0;
+        } else if (a == "--list-algorithms") {
+            listAlgorithms();
+            return 0;
+        } else {
             usage();
             return a == "--help" || a == "-h" ? 0 : 1;
         }
@@ -192,33 +248,63 @@ main(int argc, char **argv)
         return 1;
     }
     auto topo = topo::makeTopology(args.topo);
-    // Variants like multitree-msg resolve to their schedule builder
-    // plus a flow-control override in one registry lookup.
-    const auto &variant = coll::findAlgorithmVariant(args.algo);
-    auto algo = coll::makeAlgorithm(variant.base);
-    if (!algo->supports(*topo)) {
-        std::fprintf(stderr, "%s does not support %s\n",
-                     args.algo.c_str(), topo->name().c_str());
-        return 1;
-    }
+
+    // Composed "hier:<island>+<spine>" algorithms bypass the variant
+    // registry: the components resolve there instead.
+    std::string hier_island, hier_spine;
+    const bool hier_algo = coll::parseHierarchicalAlgo(
+        args.algo, hier_island, hier_spine);
+    std::optional<net::FlowControlMode> fc_override;
 
     coll::Schedule sched;
-    if (args.collective == "allreduce") {
-        sched = algo->build(*topo, args.bytes);
-    } else if (args.collective == "reducescatter") {
-        sched = coll::buildReduceScatter(*algo, *topo, args.bytes);
-    } else if (args.collective == "allgather") {
-        sched = coll::buildAllGather(*algo, *topo, args.bytes);
-    } else if (args.collective == "alltoall") {
-        if (args.algo == "multitree") {
-            sched = coll::buildAllToAllFromTrees(
-                algo->build(*topo, 4096), args.bytes);
-        } else {
-            sched = coll::buildAllToAllShift(*topo, args.bytes);
+    if (hier_algo) {
+        auto *hier =
+            dynamic_cast<const topo::HierarchicalTopology *>(
+                topo.get());
+        if (hier == nullptr) {
+            std::fprintf(stderr,
+                         "%s needs a hier: topology, got %s\n",
+                         args.algo.c_str(), topo->name().c_str());
+            return 1;
         }
+        if (args.collective != "allreduce") {
+            std::fprintf(stderr, "composed hierarchical algorithms "
+                                 "support allreduce only\n");
+            return 1;
+        }
+        sched = coll::composeHierarchical(*hier, hier_island,
+                                          hier_spine, args.bytes);
     } else {
-        usage();
-        return 1;
+        // Variants like multitree-msg resolve to their schedule
+        // builder plus a flow-control override in one registry
+        // lookup.
+        const auto &variant = coll::findAlgorithmVariant(args.algo);
+        fc_override = variant.flow_control;
+        auto algo = coll::makeAlgorithm(variant.base);
+        if (!algo->supports(*topo)) {
+            std::fprintf(stderr, "%s does not support %s\n",
+                         args.algo.c_str(), topo->name().c_str());
+            return 1;
+        }
+
+        if (args.collective == "allreduce") {
+            sched = algo->build(*topo, args.bytes);
+        } else if (args.collective == "reducescatter") {
+            sched = coll::buildReduceScatter(*algo, *topo,
+                                             args.bytes);
+        } else if (args.collective == "allgather") {
+            sched = coll::buildAllGather(*algo, *topo, args.bytes);
+        } else if (args.collective == "alltoall") {
+            if (args.algo == "multitree") {
+                sched = coll::buildAllToAllFromTrees(
+                    algo->build(*topo, 4096), args.bytes);
+            } else {
+                sched = coll::buildAllToAllShift(*topo, args.bytes);
+            }
+        } else {
+            usage();
+            return 1;
+        }
     }
 
     auto valid = coll::validateSchedule(sched, *topo);
@@ -243,6 +329,13 @@ main(int argc, char **argv)
         opts.net.mode = net::FlowControlMode::MessageBased;
     opts.net.dense_tick = args.dense_tick;
     opts.ni_reduction_bw = args.reduction_bw;
+    if (args.rail_policy == "backlog") {
+        opts.rail_policy = ni::RailPolicy::Backlog;
+    } else if (args.rail_policy != "rr") {
+        std::fprintf(stderr,
+                     "--rail-policy must be rr or backlog\n");
+        return 1;
+    }
 
     const bool faulty = args.drop > 0 || args.corrupt > 0
                         || args.degrade_channel >= 0;
@@ -273,7 +366,7 @@ main(int argc, char **argv)
 
     runtime::Machine machine(*topo, opts);
     runtime::RunOverrides ov;
-    ov.flow_control = variant.flow_control;
+    ov.flow_control = fc_override;
 
     runtime::RunResult res;
     runtime::RunReport rep;
@@ -293,7 +386,7 @@ main(int argc, char **argv)
 
     bool msg_mode =
         args.msg
-        || variant.flow_control == net::FlowControlMode::MessageBased;
+        || fc_override == net::FlowControlMode::MessageBased;
     std::printf("%s of %s on %s (%d nodes), %s backend%s\n",
                 coll::kindName(sched.kind),
                 formatBytes(args.bytes).c_str(), topo->name().c_str(),

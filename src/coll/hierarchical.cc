@@ -1,0 +1,114 @@
+#include "coll/hierarchical.hh"
+
+#include "common/logging.hh"
+#include "topo/hierarchical.hh"
+
+namespace multitree::coll {
+
+bool
+parseHierarchicalAlgo(const std::string &name, std::string &island,
+                      std::string &spine)
+{
+    if (name.rfind("hier:", 0) != 0)
+        return false;
+    std::string body = name.substr(5);
+    auto plus = body.find('+');
+    if (plus == std::string::npos || plus == 0
+        || plus + 1 >= body.size())
+        return false;
+    island = body.substr(0, plus);
+    spine = body.substr(plus + 1);
+    return true;
+}
+
+Schedule
+composeHierarchical(const topo::HierarchicalTopology &topo,
+                    const Algorithm &island_algo,
+                    const Algorithm &spine_algo,
+                    std::uint64_t total_bytes)
+{
+    MT_ASSERT(island_algo.supports(topo.island()), "island algorithm ",
+              island_algo.name(), " does not support ",
+              topo.island().name());
+    MT_ASSERT(spine_algo.supports(topo.spine()), "spine algorithm ",
+              spine_algo.name(), " does not support ",
+              topo.spine().name());
+
+    const Schedule s_island =
+        island_algo.build(topo.island(), total_bytes);
+    const Schedule s_spine =
+        spine_algo.build(topo.spine(), total_bytes);
+    MT_ASSERT(s_island.kind == CollectiveKind::AllReduce
+                  && s_spine.kind == CollectiveKind::AllReduce,
+              "hierarchical composition needs all-reduce phases");
+
+    // Phase boundaries: spine steps start after the slowest island
+    // reduce; island gathers start after the whole spine exchange.
+    const int island_reduce_steps = s_island.reduceSteps();
+    const int spine_steps = s_spine.totalSteps();
+    const int k = topo.numIslands();
+
+    Schedule out;
+    out.algorithm =
+        "hier:" + island_algo.name() + "+" + spine_algo.name();
+    out.kind = CollectiveKind::AllReduce;
+    out.num_nodes = topo.numNodes();
+    // Composed edges cross island boundaries the component algorithms
+    // never saw, so their explicitly allocated routes do not transfer;
+    // deterministic routing (and with it rail striping) takes over,
+    // and lockstep pacing loses its contention-free premise.
+    out.lockstep = false;
+
+    for (const ChunkFlow &f : s_island.flows) {
+        for (const ChunkFlow &g : s_spine.flows) {
+            ChunkFlow cf;
+            cf.flow_id = static_cast<int>(out.flows.size());
+            cf.root = topo.globalNode(g.root, f.root);
+            cf.fraction = f.fraction * g.fraction;
+
+            // Phase 1: every island reduces its copy of this chunk
+            // toward its local leader (j, f.root).
+            for (int j = 0; j < k; ++j) {
+                for (const ScheduledEdge &e : f.reduce) {
+                    cf.reduce.push_back(
+                        {topo.globalNode(j, e.src),
+                         topo.globalNode(j, e.dst), e.step, {}});
+                }
+            }
+            // Phase 2: leaders all-reduce over the spine; spine node
+            // ids map to each island's leader.
+            for (const ScheduledEdge &e : g.reduce) {
+                cf.reduce.push_back(
+                    {topo.globalNode(e.src, f.root),
+                     topo.globalNode(e.dst, f.root),
+                     e.step + island_reduce_steps,
+                     {}});
+            }
+            for (const ScheduledEdge &e : g.gather) {
+                cf.gather.push_back(
+                    {topo.globalNode(e.src, f.root),
+                     topo.globalNode(e.dst, f.root),
+                     e.step + island_reduce_steps,
+                     {}});
+            }
+            // Phase 3: every leader broadcasts the fully reduced
+            // chunk back through its island.
+            for (int j = 0; j < k; ++j) {
+                for (const ScheduledEdge &e : f.gather) {
+                    cf.gather.push_back(
+                        {topo.globalNode(j, e.src),
+                         topo.globalNode(j, e.dst),
+                         e.step + island_reduce_steps + spine_steps,
+                         {}});
+                }
+            }
+            out.flows.push_back(std::move(cf));
+        }
+    }
+
+    out.assignBytes(total_bytes);
+    out.checkBasicShape();
+    return out;
+}
+
+} // namespace multitree::coll

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Hierarchical collective composition on the schedule IR.
+ *
+ * A hierarchical all-reduce over a topo::HierarchicalTopology runs in
+ * three phases: each island reduces internally toward a per-island
+ * leader, the leaders all-reduce across the spine, and each island
+ * broadcasts the result back out. composeHierarchical() builds this
+ * as a pure schedule-IR composition — any registered algorithm can
+ * serve as the island or spine phase, and the result is an ordinary
+ * Schedule that validators, oracles and both network backends consume
+ * unchanged (the TACCL-style hierarchy-aware construction the ISSUE
+ * motivates, expressed on the existing per-node schedule tables).
+ */
+
+#ifndef MULTITREE_COLL_HIERARCHICAL_HH
+#define MULTITREE_COLL_HIERARCHICAL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "coll/algorithm.hh"
+#include "coll/schedule.hh"
+
+namespace multitree::topo {
+class HierarchicalTopology;
+} // namespace multitree::topo
+
+namespace multitree::coll {
+
+/**
+ * Parse a composed algorithm name "hier:<island>+<spine>" into its
+ * component algorithm names. @return false when @p name is not a
+ * hierarchical spec (no "hier:" prefix or no '+').
+ */
+bool parseHierarchicalAlgo(const std::string &name,
+                           std::string &island, std::string &spine);
+
+/**
+ * Compose a hierarchical all-reduce schedule: @p island_algo reduces
+ * and broadcasts within every island copy, @p spine_algo all-reduces
+ * among the per-island leaders over the spine. Composition is flow ×
+ * flow — each (island flow f, spine flow g) pair becomes one composed
+ * flow owning fraction f·g of the payload, rooted at island g.root's
+ * copy of node f.root — with spine steps offset past the island
+ * reduce and island gather steps offset past the spine. All edges use
+ * deterministic routing (empty routes), so rail striping applies.
+ */
+Schedule composeHierarchical(const topo::HierarchicalTopology &topo,
+                             const Algorithm &island_algo,
+                             const Algorithm &spine_algo,
+                             std::uint64_t total_bytes);
+
+/**
+ * Name-resolving overload: looks the component algorithms up in the
+ * registry (variant names allowed; their flow-control tweaks are
+ * ignored — transport options belong to RunOptions). Defined with
+ * the registry in src/core so mt_coll stays independent of it.
+ */
+Schedule composeHierarchical(const topo::HierarchicalTopology &topo,
+                             const std::string &island_algo,
+                             const std::string &spine_algo,
+                             std::uint64_t total_bytes);
+
+} // namespace multitree::coll
+
+#endif // MULTITREE_COLL_HIERARCHICAL_HH

@@ -21,13 +21,23 @@ fail(Args &&...args)
     return ValidationResult{false, oss.str()};
 }
 
-/** Check an explicit route connects an edge's endpoints. */
+/**
+ * Check an edge is realizable on the topology: an explicit route must
+ * connect the edge's endpoints channel by channel, and an edge that
+ * relies on deterministic routing must at least have *some* path (a
+ * schedule naming transfers between disconnected vertices would hang
+ * or crash the simulated NI).
+ */
 ValidationResult
 checkRoute(const ChunkFlow &f, const ScheduledEdge &e,
            const topo::Topology &topo)
 {
-    if (e.route.empty())
+    if (e.route.empty()) {
+        if (!topo.tryBfsRoute(e.src, e.dst))
+            return fail("flow ", f.flow_id, ": edge ", e.src, "->",
+                        e.dst, " has no path in the topology");
         return {};
+    }
     int cur = e.src;
     for (int cid : e.route) {
         if (cid < 0 || cid >= topo.numChannels())

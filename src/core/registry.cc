@@ -3,10 +3,12 @@
 #include "coll/dbtree.hh"
 #include "coll/halving_doubling.hh"
 #include "coll/hdrm.hh"
+#include "coll/hierarchical.hh"
 #include "coll/ring.hh"
 #include "coll/ring2d.hh"
 #include "common/logging.hh"
 #include "core/multitree.hh"
+#include "topo/hierarchical.hh"
 
 namespace multitree::coll {
 
@@ -69,6 +71,20 @@ findAlgorithmVariant(const std::string &name)
             return v;
     }
     MT_FATAL("unknown all-reduce algorithm '", name, "'");
+}
+
+Schedule
+composeHierarchical(const topo::HierarchicalTopology &topo,
+                    const std::string &island_algo,
+                    const std::string &spine_algo,
+                    std::uint64_t total_bytes)
+{
+    // Variant names resolve to their base schedule builder; any
+    // flow-control tweak a variant carries is a transport option and
+    // has no meaning inside a schedule composition.
+    auto ia = makeAlgorithm(findAlgorithmVariant(island_algo).base);
+    auto sa = makeAlgorithm(findAlgorithmVariant(spine_algo).base);
+    return composeHierarchical(topo, *ia, *sa, total_bytes);
 }
 
 } // namespace multitree::coll

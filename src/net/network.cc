@@ -63,6 +63,12 @@ Network::inject(Message msg)
     msg.track_id = ++next_track_id_;
     in_flight_msgs_.emplace(msg.track_id,
                             InFlightRecord{msg, eq_.now()});
+    for (int cid : msg.route) {
+        const auto c = static_cast<std::size_t>(cid);
+        if (c >= backlog_.size())
+            backlog_.resize(c + 1, 0);
+        backlog_[c] += msg.bytes;
+    }
     if (prof_ != nullptr) {
         const auto wb = wireBreakdown(msg.bytes, cfg_.mode, cfg_);
         prof_->onInject(msg.track_id, msg.src, msg.dst, msg.flow_id,
@@ -86,6 +92,7 @@ Network::reset()
     drops_by_src_.clear();
     corruptions_by_src_.clear();
     in_flight_msgs_.clear();
+    backlog_.clear();
 }
 
 void
@@ -105,6 +112,18 @@ Network::deliverMsg(const Message &msg)
         return;
     }
     ++delivered_;
+    // Relieve the per-channel backlog along the route the message
+    // was actually injected with (the in-flight record is
+    // authoritative; backends may hand back trimmed copies).
+    if (auto it = in_flight_msgs_.find(msg.track_id);
+        it != in_flight_msgs_.end()) {
+        for (int cid : it->second.msg.route) {
+            auto &b = backlog_[static_cast<std::size_t>(cid)];
+            MT_ASSERT(b >= it->second.msg.bytes,
+                      "channel backlog underflow on channel ", cid);
+            b -= it->second.msg.bytes;
+        }
+    }
     in_flight_msgs_.erase(msg.track_id);
     if (prof_ != nullptr)
         prof_->onDeliver(msg.track_id, eq_.now());

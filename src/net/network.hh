@@ -250,6 +250,19 @@ class Network
     std::size_t inFlightCount() const { return in_flight_msgs_.size(); }
 
     /**
+     * Outstanding bytes charged against channel @p cid: the sum of
+     * payload bytes of every in-flight message whose route crosses
+     * it. Backend-agnostic (maintained at inject/deliver time), so
+     * the NI's backlog-based rail steering behaves identically on
+     * both transports. Channels never injected on read as 0.
+     */
+    std::uint64_t channelBacklog(int cid) const
+    {
+        const auto c = static_cast<std::size_t>(cid);
+        return c < backlog_.size() ? backlog_[c] : 0;
+    }
+
+    /**
      * Human-readable census of up to @p max_items in-flight messages,
      * oldest first — the watchdog's diagnostic dump of a wedged
      * fabric. Empty string when the fabric is quiescent.
@@ -296,6 +309,8 @@ class Network
     };
     std::uint64_t next_track_id_ = 0;
     std::map<std::uint64_t, InFlightRecord> in_flight_msgs_;
+    /** Per-channel in-flight bytes (see channelBacklog()). */
+    std::vector<std::uint64_t> backlog_;
 };
 
 /**

@@ -7,6 +7,7 @@
 #include "net/network.hh"
 #include "obs/profile.hh"
 #include "sim/event_queue.hh"
+#include "topo/topology.hh"
 
 namespace multitree::ni {
 
@@ -32,6 +33,54 @@ NicEngine::setReliability(const ReliabilityOptions &opts,
               "acks must occupy wire bytes");
     rel_ = opts;
     route_fn_ = std::move(route_fn);
+}
+
+void
+NicEngine::setRailSteering(const topo::RailGroups *groups,
+                           RailPolicy policy)
+{
+    MT_ASSERT(!started_, "arming rail steering on a running engine");
+    rails_ = (groups != nullptr && !groups->empty()) ? groups : nullptr;
+    rail_policy_ = policy;
+    rail_rr_.clear();
+    rail_sends_.clear();
+    if (rails_ != nullptr) {
+        rail_rr_.assign(rails_->groups.size(), 0);
+        rail_sends_.assign(
+            static_cast<std::size_t>(rails_->maxRails()), 0);
+    }
+}
+
+void
+NicEngine::steerRails(std::vector<int> &route)
+{
+    for (int &cid : route) {
+        const auto c = static_cast<std::size_t>(cid);
+        if (c >= rails_->group_of.size())
+            continue;
+        const int gid = rails_->group_of[c];
+        if (gid < 0)
+            continue;
+        const auto &group =
+            rails_->groups[static_cast<std::size_t>(gid)];
+        std::size_t pick = 0;
+        if (rail_policy_ == RailPolicy::RoundRobin) {
+            pick = rail_rr_[static_cast<std::size_t>(gid)]++
+                   % group.size();
+        } else {
+            std::uint64_t best = net_.channelBacklog(group[0]);
+            for (std::size_t r = 1; r < group.size(); ++r) {
+                const std::uint64_t b =
+                    net_.channelBacklog(group[r]);
+                if (b < best) {
+                    best = b;
+                    pick = r;
+                }
+            }
+        }
+        cid = group[pick];
+        ++rail_sends_[pick];
+    }
 }
 
 void
@@ -71,6 +120,8 @@ NicEngine::loadTable(ScheduleTable table, bool lockstep,
     seen_.clear();
     failures_.clear();
     rc_ = ReliabilityCounters{};
+    std::fill(rail_rr_.begin(), rail_rr_.end(), 0);
+    std::fill(rail_sends_.begin(), rail_sends_.end(), 0);
 }
 
 void
@@ -215,6 +266,10 @@ NicEngine::pump()
             msg.dst = dst;
             msg.bytes = e.bytes;
             msg.route = e.routes[i];
+            if (rails_ != nullptr && i < e.steer.size()
+                && e.steer[i] != 0) {
+                steerRails(msg.route);
+            }
             msg.flow_id = e.flow;
             msg.tag = tag;
             sendData(std::move(msg));
@@ -325,6 +380,8 @@ NicEngine::sendAck(const net::Message &msg)
     ack.dst = msg.src;
     ack.bytes = rel_.ack_bytes;
     ack.route = route_fn_(node_, msg.src);
+    if (rails_ != nullptr)
+        steerRails(ack.route);
     ack.flow_id = msg.flow_id;
     ack.tag = kTagAck;
     ack.seq = msg.seq;

@@ -47,6 +47,10 @@ namespace multitree::sim {
 class EventQueue;
 } // namespace multitree::sim
 
+namespace multitree::topo {
+struct RailGroups;
+} // namespace multitree::topo
+
 namespace multitree::ni {
 
 /** Message tag values distinguishing the phases on the wire. */
@@ -72,6 +76,16 @@ struct ReliabilityOptions {
     std::uint32_t max_attempts = 8;
     /** Ack wire size in bytes (one flit by default). */
     std::uint32_t ack_bytes = 16;
+};
+
+/**
+ * How the engine distributes traffic over parallel ("rail") links.
+ * Only hops whose route came from deterministic topology routing are
+ * re-steered; explicitly allocated source routes (§IV-B) are pinned.
+ */
+enum class RailPolicy {
+    RoundRobin, ///< stripe sends across rails per source engine
+    Backlog,    ///< pick the rail with the least outstanding bytes
 };
 
 /** One transfer whose retries were exhausted (watchdog evidence). */
@@ -131,6 +145,25 @@ class NicEngine
      */
     void setReliability(const ReliabilityOptions &opts,
                         RouteFn route_fn);
+
+    /**
+     * Arm rail-aware striping over @p groups (parallel-link structure
+     * of the fabric; must outlive the engine). A null or empty table
+     * disarms steering. Call at fabric bring-up, like
+     * setReliability().
+     */
+    void setRailSteering(const topo::RailGroups *groups,
+                         RailPolicy policy);
+
+    /**
+     * Sends this engine placed on each rail index this run (across
+     * all rail groups; ungrouped hops are not counted). Empty when
+     * steering is disarmed.
+     */
+    const std::vector<std::uint64_t> &railSends() const
+    {
+        return rail_sends_;
+    }
 
     /** Register the accepted-data sink (may be null). */
     void onAccept(AcceptFn fn) { accept_ = std::move(fn); }
@@ -245,6 +278,9 @@ class NicEngine
     /** Return an ack for an arrived data message. */
     void sendAck(const net::Message &msg);
 
+    /** Re-pick the rail of every grouped hop of @p route in place. */
+    void steerRails(std::vector<int> &route);
+
     int node_;
     net::Network &net_;
     std::uint32_t reduction_bw_;
@@ -278,6 +314,14 @@ class NicEngine
     std::vector<std::vector<int>> got_reduce_;
     /** flow → gather received flag. */
     std::vector<char> got_gather_;
+
+    // --- rail steering state ---
+    const topo::RailGroups *rails_ = nullptr;
+    RailPolicy rail_policy_ = RailPolicy::RoundRobin;
+    /** Per-group round-robin cursor (index = group id). */
+    std::vector<std::uint32_t> rail_rr_;
+    /** Per-rail-index send count for profiler/heatmap attribution. */
+    std::vector<std::uint64_t> rail_sends_;
 
     // --- reliability state ---
     ReliabilityOptions rel_;

@@ -49,6 +49,7 @@ buildScheduleTables(const coll::Schedule &sched,
             te.step = e.step;
             te.bytes = f.bytes;
             te.routes.push_back(resolved(e));
+            te.steer.push_back(e.route.empty() ? 1 : 0);
             tables[static_cast<std::size_t>(e.src)].entries.push_back(
                 std::move(te));
         }
@@ -82,6 +83,7 @@ buildScheduleTables(const coll::Schedule &sched,
             }
             te.children.push_back(e.dst);
             te.routes.push_back(resolved(e));
+            te.steer.push_back(e.route.empty() ? 1 : 0);
         }
         const std::size_t width = childrenFieldWidth(topo);
         for (auto &[key, te] : grouped) {
@@ -96,6 +98,7 @@ buildScheduleTables(const coll::Schedule &sched,
                 TableEntry head = te;
                 head.children.resize(width);
                 head.routes.resize(width);
+                head.steer.resize(width);
                 entries.push_back(std::move(head));
                 te.children.erase(te.children.begin(),
                                   te.children.begin()
@@ -105,6 +108,10 @@ buildScheduleTables(const coll::Schedule &sched,
                                 te.routes.begin()
                                     + static_cast<std::ptrdiff_t>(
                                         width));
+                te.steer.erase(te.steer.begin(),
+                               te.steer.begin()
+                                   + static_cast<std::ptrdiff_t>(
+                                       width));
             }
             entries.push_back(std::move(te));
         }

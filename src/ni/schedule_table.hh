@@ -63,6 +63,13 @@ struct TableEntry {
     /** Send routes: Reduce → one route to parent; Gather → one per
      *  child, aligned with `children`. */
     std::vector<std::vector<int>> routes;
+    /**
+     * Aligned with `routes`: 1 when the route came from deterministic
+     * topology routing (rail steering may re-pick parallel links on
+     * it), 0 when the schedule pinned it explicitly (source routing,
+     * §IV-B — the NI must not second-guess it).
+     */
+    std::vector<char> steer;
 };
 
 /** The full table of one node. */

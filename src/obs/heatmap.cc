@@ -68,6 +68,7 @@ buildCongestionMap(const FabricInfo &fabric, const Profiler &prof)
         ll.id = link.id;
         ll.src = link.src;
         ll.dst = link.dst;
+        ll.rail = link.rail;
         auto idx = static_cast<std::size_t>(link.id);
         if (idx < chans.size()) {
             ll.flits = chans[idx].flits;
@@ -197,13 +198,32 @@ renderLinkBars(std::ostream &os, const FabricInfo &fabric,
         std::min<std::size_t>(sorted.size(), 16);
     for (std::size_t i = 0; i < shown; ++i) {
         const auto &ll = *sorted[i];
-        os << "  link " << ll.id << " " << ll.src << "->" << ll.dst
-           << " [" << barOf(ll.load) << "] " << percentOf(ll.load)
+        os << "  link " << ll.id << " " << ll.src << "->" << ll.dst;
+        if (fabric.rails > 1)
+            os << " rail" << ll.rail;
+        os << " [" << barOf(ll.load) << "] " << percentOf(ll.load)
            << "% (" << ll.flits << " flits, queue " << ll.queue
            << ")\n";
     }
     if (sorted.size() > shown)
         os << "  ... " << sorted.size() - shown << " more\n";
+    if (fabric.rails > 1) {
+        // Multi-rail fabrics get a per-rail rollup so striping
+        // imbalance is visible at a glance.
+        std::vector<std::uint64_t> rail_flits(
+            static_cast<std::size_t>(fabric.rails), 0);
+        for (const auto &ll : map.links) {
+            if (ll.rail >= 0 && ll.rail < fabric.rails)
+                rail_flits[static_cast<std::size_t>(ll.rail)] +=
+                    ll.flits;
+        }
+        os << "  per-rail totals:";
+        for (int r = 0; r < fabric.rails; ++r) {
+            os << " rail" << r << "="
+               << rail_flits[static_cast<std::size_t>(r)];
+        }
+        os << "\n";
+    }
 }
 
 } // namespace
@@ -272,11 +292,11 @@ void
 writeHeatmapCsv(std::ostream &os, const FabricInfo &,
                 const CongestionMap &map)
 {
-    os << "channel,src,dst,flits,messages,busy,queue,load\n";
+    os << "channel,src,dst,rail,flits,messages,busy,queue,load\n";
     for (const auto &ll : map.links) {
         os << ll.id << "," << ll.src << "," << ll.dst << ","
-           << ll.flits << "," << ll.messages << "," << ll.busy
-           << "," << ll.queue << "," << ll.load << "\n";
+           << ll.rail << "," << ll.flits << "," << ll.messages << ","
+           << ll.busy << "," << ll.queue << "," << ll.load << "\n";
     }
 }
 

@@ -35,6 +35,8 @@ struct CongestionMap {
         int id = -1;
         int src = -1;
         int dst = -1;
+        /** Rail index among parallel links (FabricInfo::Link::rail). */
+        int rail = 0;
         std::uint64_t flits = 0;
         std::uint64_t messages = 0;
         Tick busy = 0;

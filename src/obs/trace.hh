@@ -143,10 +143,19 @@ struct FabricInfo {
         int id = -1;
         int src = -1;
         int dst = -1;
+        /** Rail index among parallel links sharing this link's
+         *  endpoints; 0 when the link has no parallel sibling. */
+        int rail = 0;
     };
     std::string name;  ///< topology name, e.g. "torus-8x8"
     int num_nodes = 0; ///< end nodes (NIC tracks)
     std::vector<Link> links; ///< dense by id, [0, links.size())
+    /** Widest parallel-link bundle in the fabric (1 = single-rail). */
+    int rails = 1;
+    /** Hierarchical (island+spine) composition metadata; 0 when the
+     *  fabric is flat. */
+    int num_islands = 0;
+    int island_size = 0;
     /** Grid geometry when the fabric is a 2D mesh/torus (row-major
      *  node ids); 0 when the topology has no grid embedding. Lets
      *  the heatmap renderers draw an ASCII floor plan without a

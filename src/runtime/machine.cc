@@ -4,11 +4,13 @@
 #include <utility>
 
 #include "coll/algorithm.hh"
+#include "coll/hierarchical.hh"
 #include "coll/schedule.hh"
 #include "common/logging.hh"
 #include "ni/schedule_table.hh"
 #include "obs/profile.hh"
 #include "topo/grid.hh"
+#include "topo/hierarchical.hh"
 #include "topo/topology.hh"
 
 namespace multitree::runtime {
@@ -103,6 +105,11 @@ Machine::Machine(const topo::Topology &topo, const RunOptions &opts)
     network_->setTraceSink(sink_);
     network_->setProfiler(opts_.profiler);
 
+    // Parallel-link (rail) striping arms itself whenever the fabric
+    // has multigraph edges; on single-rail fabrics the group table is
+    // empty and the engines skip steering entirely.
+    rail_groups_ = topo::buildRailGroups(topo_);
+
     const int n = topo_.numNodes();
     engines_.reserve(static_cast<std::size_t>(n));
     for (int v = 0; v < n; ++v) {
@@ -115,6 +122,10 @@ Machine::Machine(const topo::Topology &topo, const RunOptions &opts)
                 opts_.reliability, [this](int src, int dst) {
                     return topo_.route(src, dst);
                 });
+        }
+        if (!rail_groups_.empty()) {
+            engines_.back()->setRailSteering(&rail_groups_,
+                                             opts_.rail_policy);
         }
     }
 }
@@ -143,6 +154,17 @@ RunResult
 Machine::run(const std::string &algo, std::uint64_t bytes,
              RunOverrides ov)
 {
+    std::string island, spine;
+    if (coll::parseHierarchicalAlgo(algo, island, spine)) {
+        auto *hier =
+            dynamic_cast<const topo::HierarchicalTopology *>(&topo_);
+        MT_ASSERT(hier != nullptr, "composed algorithm '", algo,
+                  "' needs a hierarchical topology, got ",
+                  topo_.name());
+        return run(coll::composeHierarchical(*hier, island, spine,
+                                             bytes),
+                   ov);
+    }
     const auto &variant = coll::findAlgorithmVariant(algo);
     if (!ov.flow_control)
         ov.flow_control = variant.flow_control;
@@ -181,6 +203,17 @@ RunReport
 Machine::tryRun(const std::string &algo, std::uint64_t bytes,
                 RunOverrides ov)
 {
+    std::string island, spine;
+    if (coll::parseHierarchicalAlgo(algo, island, spine)) {
+        auto *hier =
+            dynamic_cast<const topo::HierarchicalTopology *>(&topo_);
+        MT_ASSERT(hier != nullptr, "composed algorithm '", algo,
+                  "' needs a hierarchical topology, got ",
+                  topo_.name());
+        return tryRun(coll::composeHierarchical(*hier, island, spine,
+                                                bytes),
+                      ov);
+    }
     const auto &variant = coll::findAlgorithmVariant(algo);
     if (!ov.flow_control)
         ov.flow_control = variant.flow_control;
@@ -397,10 +430,19 @@ Machine::fabricInfo() const
         info.grid_height = grid->height();
         info.grid_wraps = grid->isTorus();
     }
+    if (auto *hier =
+            dynamic_cast<const topo::HierarchicalTopology *>(
+                &topo_)) {
+        info.num_islands = hier->numIslands();
+        info.island_size = hier->islandSize();
+    }
+    info.rails = rail_groups_.maxRails();
     info.links.reserve(
         static_cast<std::size_t>(topo_.numChannels()));
-    for (const auto &ch : topo_.channels())
-        info.links.push_back({ch.id, ch.src, ch.dst});
+    for (const auto &ch : topo_.channels()) {
+        info.links.push_back(
+            {ch.id, ch.src, ch.dst, rail_groups_.railOf(ch.id)});
+    }
     return info;
 }
 

@@ -39,10 +39,7 @@
 #include "net/network.hh"
 #include "ni/nic_engine.hh"
 #include "sim/event_queue.hh"
-
-namespace multitree::topo {
-class Topology;
-} // namespace multitree::topo
+#include "topo/topology.hh"
 
 namespace multitree::coll {
 class Schedule;
@@ -77,6 +74,13 @@ struct RunOptions {
     net::NetworkConfig net; ///< includes the flow-control mode
     /** NI reduction throughput in bytes/cycle; 0 = unlimited. */
     std::uint32_t ni_reduction_bw = 0;
+    /**
+     * How NIC engines spread deterministically-routed traffic over
+     * parallel ("rail") links. Armed automatically whenever the
+     * topology has multigraph edges (e.g. a multi-rail hierarchical
+     * spine); a no-op on single-rail fabrics.
+     */
+    ni::RailPolicy rail_policy = ni::RailPolicy::RoundRobin;
     /**
      * Footnote-4 buffer-adjusted lockstep estimates: shrink each
      * step window by the NI buffer depth when the chunk exceeds it.
@@ -332,6 +336,9 @@ class Machine
 
     const topo::Topology &topo_;
     RunOptions opts_;
+    /** Parallel-link structure of topo_; empty on single-rail
+     *  fabrics, where steering stays disarmed. */
+    topo::RailGroups rail_groups_;
     sim::EventQueue eq_;
     std::unique_ptr<net::Network> network_;
     std::vector<std::unique_ptr<ni::NicEngine>> engines_;

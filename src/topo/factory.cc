@@ -8,6 +8,7 @@
 #include "topo/dragonfly.hh"
 #include "topo/fattree.hh"
 #include "topo/grid.hh"
+#include "topo/hierarchical.hh"
 #include "topo/torus3d.hh"
 
 namespace multitree::topo {
@@ -31,6 +32,28 @@ parsePair(const std::string &s, int &a, int &b)
 std::unique_ptr<Topology>
 makeTopology(const std::string &spec)
 {
+    // "hier:<island>+<spine>[,rails=N]" — parsed before the family
+    // split because the component specs contain dashes themselves.
+    if (spec.rfind("hier:", 0) == 0) {
+        std::string body = spec.substr(5);
+        int rails = 1;
+        auto rpos = body.rfind(",rails=");
+        if (rpos != std::string::npos) {
+            rails = std::atoi(body.c_str() + rpos + 7);
+            if (rails < 1)
+                MT_FATAL("bad rails count in '", spec, "'");
+            body = body.substr(0, rpos);
+        }
+        auto plus = body.find('+');
+        if (plus == std::string::npos || plus == 0
+            || plus + 1 >= body.size())
+            MT_FATAL("bad hierarchical spec '", spec,
+                     "' (want hier:<island>+<spine>[,rails=N])");
+        return std::make_unique<HierarchicalTopology>(
+            makeTopology(body.substr(0, plus)),
+            makeTopology(body.substr(plus + 1)), rails);
+    }
+
     auto dash = spec.find('-');
     if (dash == std::string::npos)
         MT_FATAL("malformed topology spec '", spec, "'");

@@ -1,0 +1,120 @@
+#include "topo/hierarchical.hh"
+
+#include <sstream>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace multitree::topo {
+
+HierarchicalTopology::HierarchicalTopology(
+    std::unique_ptr<Topology> island, std::unique_ptr<Topology> spine,
+    int rails)
+    : island_(std::move(island)), spine_(std::move(spine)),
+      rails_(rails)
+{
+    MT_ASSERT(island_ && spine_, "null component topology");
+    MT_ASSERT(island_->numNodes() >= 2,
+              "island must have >= 2 nodes, got ",
+              island_->numNodes());
+    MT_ASSERT(spine_->numNodes() >= 2,
+              "spine must have >= 2 nodes, got ", spine_->numNodes());
+    MT_ASSERT(rails_ >= 1, "rails must be >= 1, got ", rails_);
+
+    num_islands_ = spine_->numNodes();
+    island_size_ = island_->numNodes();
+    island_switches_ = island_->numVertices() - island_size_;
+
+    // Vertices: all end nodes first (island-major), then each
+    // island's switch copies, then the spine's switches.
+    for (int v = 0; v < num_islands_ * island_size_; ++v)
+        addVertex(VertexKind::Node);
+    for (int j = 0; j < num_islands_; ++j) {
+        for (int s = 0; s < island_switches_; ++s)
+            addVertex(VertexKind::Switch);
+    }
+    const int spine_switches =
+        spine_->numVertices() - spine_->numNodes();
+    for (int s = 0; s < spine_switches; ++s)
+        addVertex(VertexKind::Switch);
+    const int spine_switch_base =
+        num_islands_ * island_size_ + num_islands_ * island_switches_;
+
+    // Island channels, replicated per island in prototype order so
+    // the consecutive reverse-pair convention carries over.
+    for (int j = 0; j < num_islands_; ++j) {
+        for (const Channel &ch : island_->channels()) {
+            addChannel(mapIslandVertex(j, ch.src),
+                       mapIslandVertex(j, ch.dst));
+        }
+    }
+    first_spine_channel_ = numChannels();
+
+    // Spine links, each widened into `rails` parallel bidirectional
+    // links. Spine node j attaches at global node j*island_size_.
+    auto map_spine = [&](int v) {
+        return v < num_islands_
+                   ? v * island_size_
+                   : spine_switch_base + (v - spine_->numNodes());
+    };
+    for (int cid = 0; cid < spine_->numChannels(); cid += 2) {
+        MT_ASSERT(spine_->reverseChannel(cid) == cid + 1,
+                  "spine channels must come in reverse pairs");
+        const Channel &ch = spine_->channel(cid);
+        int u = map_spine(ch.src);
+        int v = map_spine(ch.dst);
+        for (int r = 0; r < rails_; ++r)
+            addLink(u, v);
+    }
+}
+
+std::string
+HierarchicalTopology::name() const
+{
+    std::ostringstream oss;
+    oss << "hier:" << island_->name() << "+" << spine_->name();
+    if (rails_ > 1)
+        oss << ",rails=" << rails_;
+    return oss.str();
+}
+
+std::vector<int>
+HierarchicalTopology::route(int src, int dst) const
+{
+    return bfsRoute(src, dst);
+}
+
+std::vector<int>
+HierarchicalTopology::ringOrder() const
+{
+    std::vector<int> order;
+    order.reserve(static_cast<std::size_t>(numNodes()));
+    for (int j : spine_->ringOrder()) {
+        for (int local : island_->ringOrder())
+            order.push_back(globalNode(j, local));
+    }
+    return order;
+}
+
+int
+HierarchicalTopology::islandOf(int v) const
+{
+    MT_ASSERT(v >= 0 && v < numVertices(), "bad vertex ", v);
+    if (v < numNodes())
+        return v / island_size_;
+    int s = v - numNodes();
+    if (s < num_islands_ * island_switches_)
+        return s / island_switches_;
+    return -1; // spine switch
+}
+
+int
+HierarchicalTopology::mapIslandVertex(int j, int proto) const
+{
+    if (proto < island_size_)
+        return globalNode(j, proto);
+    return numIslands() * island_size_ + j * island_switches_
+           + (proto - island_size_);
+}
+
+} // namespace multitree::topo

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Hierarchical (island + spine) fabric composition.
+ *
+ * Real training clusters are DGX-like: fast intra-server islands
+ * (NVLink meshes/tori) stitched together by a slower scale-out spine
+ * network, often with several parallel "rails". HierarchicalTopology
+ * composes two existing topologies under one node numbering: a copy
+ * of the island topology per spine endpoint, plus the spine graph
+ * whose every link is replicated `rails` times as multigraph edges
+ * (the §VII-B heterogeneous-link modeling). Collectives either treat
+ * the result as one flat fabric or are composed phase-wise with
+ * coll::composeHierarchical().
+ */
+
+#ifndef MULTITREE_TOPO_HIERARCHICAL_HH
+#define MULTITREE_TOPO_HIERARCHICAL_HH
+
+#include <memory>
+
+#include "topo/topology.hh"
+
+namespace multitree::topo {
+
+/**
+ * Composition of an island topology replicated per spine endpoint
+ * with a multi-rail spine graph.
+ *
+ * Node numbering: island j's local node i becomes global node
+ * j*islandSize() + i, so all end nodes stay in [0, numNodes()) and
+ * within-island ids are contiguous. Island switch copies follow the
+ * nodes, then the spine switches. Spine node vertex j attaches to
+ * global node j*islandSize() (local node 0 — the island's NIC-facing
+ * gateway), and every spine link is widened into `rails` parallel
+ * bidirectional links.
+ */
+class HierarchicalTopology : public Topology
+{
+  public:
+    /**
+     * @param island Per-server fabric; replicated spine->numNodes()
+     *               times. Must have >= 2 nodes.
+     * @param spine Inter-server fabric; its node j stands for island
+     *              j. Must have >= 2 nodes.
+     * @param rails Parallel links replacing each spine link, >= 1.
+     */
+    HierarchicalTopology(std::unique_ptr<Topology> island,
+                         std::unique_ptr<Topology> spine, int rails);
+
+    std::string name() const override;
+
+    /** Shortest-path routing over the composed graph. */
+    std::vector<int> route(int src, int dst) const override;
+
+    /** Spine ring order expanded island-by-island. */
+    std::vector<int> ringOrder() const override;
+
+    /** The island prototype. */
+    const Topology &island() const { return *island_; }
+
+    /** The spine prototype. */
+    const Topology &spine() const { return *spine_; }
+
+    /** Number of islands (spine end nodes). */
+    int numIslands() const { return num_islands_; }
+
+    /** End nodes per island. */
+    int islandSize() const { return island_size_; }
+
+    /** Parallel links per spine link. */
+    int rails() const { return rails_; }
+
+    /** Island of vertex @p v, or -1 for spine switches. */
+    int islandOf(int v) const;
+
+    /** Global node id of island @p j's local node @p local. */
+    int globalNode(int j, int local) const
+    {
+        return j * island_size_ + local;
+    }
+
+    /** Whether channel @p cid belongs to the spine (any rail). */
+    bool isSpineChannel(int cid) const
+    {
+        return cid >= first_spine_channel_;
+    }
+
+  private:
+    /** Global vertex of island @p j's prototype vertex @p proto. */
+    int mapIslandVertex(int j, int proto) const;
+
+    std::unique_ptr<Topology> island_;
+    std::unique_ptr<Topology> spine_;
+    int rails_;
+    int num_islands_;
+    int island_size_;
+    int island_switches_;
+    int first_spine_channel_;
+};
+
+} // namespace multitree::topo
+
+#endif // MULTITREE_TOPO_HIERARCHICAL_HH

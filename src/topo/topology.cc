@@ -74,10 +74,21 @@ Topology::ringOrder() const
 std::vector<int>
 Topology::bfsRoute(int src, int dst) const
 {
+    auto path = tryBfsRoute(src, dst);
+    if (!path) {
+        MT_PANIC("no path from vertex ", src, " to ", dst,
+                 " — topology is disconnected");
+    }
+    return std::move(*path);
+}
+
+std::optional<std::vector<int>>
+Topology::tryBfsRoute(int src, int dst) const
+{
     MT_ASSERT(src >= 0 && src < numVertices(), "bad src vertex ", src);
     MT_ASSERT(dst >= 0 && dst < numVertices(), "bad dst vertex ", dst);
     if (src == dst)
-        return {};
+        return std::vector<int>{};
     std::vector<int> via(numVertices(), -1); // channel used to reach v
     std::queue<int> frontier;
     frontier.push(src);
@@ -104,8 +115,7 @@ Topology::bfsRoute(int src, int dst) const
             frontier.push(v);
         }
     }
-    MT_PANIC("no path from vertex ", src, " to ", dst,
-             " — topology is disconnected");
+    return std::nullopt;
 }
 
 int
@@ -139,6 +149,61 @@ Topology::addLink(int u, int v)
 {
     addChannel(u, v);
     addChannel(v, u);
+}
+
+int
+RailGroups::railOf(int cid) const
+{
+    if (cid < 0 || cid >= static_cast<int>(group_of.size()))
+        return 0;
+    int gid = group_of[static_cast<std::size_t>(cid)];
+    if (gid < 0)
+        return 0;
+    const auto &g = groups[static_cast<std::size_t>(gid)];
+    auto it = std::find(g.begin(), g.end(), cid);
+    MT_ASSERT(it != g.end(), "rail group table corrupt");
+    return static_cast<int>(it - g.begin());
+}
+
+int
+RailGroups::maxRails() const
+{
+    std::size_t widest = 1;
+    for (const auto &g : groups)
+        widest = std::max(widest, g.size());
+    return static_cast<int>(widest);
+}
+
+RailGroups
+buildRailGroups(const Topology &topo)
+{
+    RailGroups rg;
+    rg.group_of.assign(
+        static_cast<std::size_t>(topo.numChannels()), -1);
+    // Bucket channels by endpoint pair. Channel ids within a vertex's
+    // out-list are ascending, so each bucket comes out ascending too
+    // and a channel's bucket position is a stable rail index.
+    for (int v = 0; v < topo.numVertices(); ++v) {
+        const auto &out = topo.outChannels(v);
+        for (std::size_t i = 0; i < out.size(); ++i) {
+            int cid = out[i];
+            if (rg.group_of[static_cast<std::size_t>(cid)] >= 0)
+                continue;
+            std::vector<int> bucket{cid};
+            int dst = topo.channel(cid).dst;
+            for (std::size_t j = i + 1; j < out.size(); ++j) {
+                if (topo.channel(out[j]).dst == dst)
+                    bucket.push_back(out[j]);
+            }
+            if (bucket.size() < 2)
+                continue;
+            int gid = static_cast<int>(rg.groups.size());
+            for (int member : bucket)
+                rg.group_of[static_cast<std::size_t>(member)] = gid;
+            rg.groups.push_back(std::move(bucket));
+        }
+    }
+    return rg;
 }
 
 } // namespace multitree::topo

@@ -17,6 +17,7 @@
 #ifndef MULTITREE_TOPO_TOPOLOGY_HH
 #define MULTITREE_TOPO_TOPOLOGY_HH
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -119,6 +120,15 @@ class Topology
      */
     std::vector<int> bfsRoute(int src, int dst) const;
 
+    /**
+     * Like bfsRoute(), but returns std::nullopt instead of panicking
+     * when @p dst is unreachable from @p src. Validators use this to
+     * report a disconnected schedule edge as a failure rather than
+     * aborting the process.
+     */
+    std::optional<std::vector<int>> tryBfsRoute(int src,
+                                                int dst) const;
+
   protected:
     /** Append a vertex of kind @p k. @return its id. */
     int addVertex(VertexKind k);
@@ -136,6 +146,35 @@ class Topology
     std::vector<std::vector<int>> in_;
     int num_nodes_ = 0;
 };
+
+/**
+ * Parallel-link ("rail") structure of a topology: every set of two or
+ * more channels sharing the same (src, dst) endpoints forms one rail
+ * group. Multigraph edges model wider physical links (§VII-B) and
+ * DGX-like multi-rail scale-out networks; the NIC engines use these
+ * groups to stripe deterministically-routed traffic across rails.
+ */
+struct RailGroups {
+    /** Member channel ids of each group, ascending; the position of
+     *  a channel in its group is its rail index. */
+    std::vector<std::vector<int>> groups;
+    /** Channel id → group index, or -1 for channels with no parallel
+     *  sibling. Dense over [0, numChannels()). */
+    std::vector<int> group_of;
+
+    /** Whether the topology has any multi-rail edge at all. */
+    bool empty() const { return groups.empty(); }
+
+    /** Rail index of @p cid within its group (0 when ungrouped). */
+    int railOf(int cid) const;
+
+    /** The widest group's rail count (1 when no group exists). */
+    int maxRails() const;
+};
+
+/** Derive the rail groups of @p topo (channels bucketed by their
+ *  (src, dst) endpoint pair; singleton buckets are not groups). */
+RailGroups buildRailGroups(const Topology &topo);
 
 } // namespace multitree::topo
 

@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <string>
 
 #include "common/units.hh"
@@ -67,12 +68,24 @@ INSTANTIATE_TEST_SUITE_P(
                       Scenario{"ring", "fattree-16"},
                       Scenario{"multitree", "fattree-16"},
                       Scenario{"hdrm", "bigraph-4x8"},
-                      Scenario{"multitree", "bigraph-4x8"}),
+                      Scenario{"multitree", "bigraph-4x8"},
+                      // Hierarchical fabrics: flat ring over the
+                      // composed graph, composed collectives, and a
+                      // 2-rail spine whose striping must not perturb
+                      // the transport accounting (parallel links
+                      // share endpoints, so hop counts agree however
+                      // each backend's rail picks fall).
+                      Scenario{"ring",
+                               "hier:mesh-2x2+mesh-2x2,rails=2"},
+                      Scenario{"hier:ring+ring",
+                               "hier:mesh-2x2+mesh-2x2,rails=2"},
+                      Scenario{"hier:multitree+dbtree",
+                               "hier:torus-2x2+torus-2x2"}),
     [](const ::testing::TestParamInfo<Scenario> &info) {
         std::string name = std::string(info.param.algo) + "_"
                            + info.param.topo;
         for (char &c : name) {
-            if (c == '-' || c == ':')
+            if (std::isalnum(static_cast<unsigned char>(c)) == 0)
                 c = '_';
         }
         return name;

@@ -732,7 +732,8 @@ TEST(Heatmap, MapAndRenderersCoverTheFabric)
     std::string line;
     std::size_t rows = 0;
     ASSERT_TRUE(std::getline(lines, line));
-    EXPECT_EQ(line, "channel,src,dst,flits,messages,busy,queue,load");
+    EXPECT_EQ(line,
+              "channel,src,dst,rail,flits,messages,busy,queue,load");
     while (std::getline(lines, line))
         ++rows;
     EXPECT_EQ(rows, fabric.links.size());
