@@ -12,12 +12,25 @@
  *
  * The fault plan is seeded (override with --seed=N) and deterministic
  * in event order, so every row is exactly reproducible.
+ *
+ * A second section quantifies the self-healing layer: a permanent
+ * mid-collective kill is run once with recovery armed (the run
+ * repairs and resumes to completion) and once with recovery off (the
+ * run burns the retransmit budget and aborts; the realistic restart
+ * cost is that detection time plus a fresh clean run). Both land in
+ * BENCH_results.json as recovered-vs-abort rows, so the JSON shows
+ * directly that resuming beats restarting from scratch.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "bench_common.hh"
+#include "coll/algorithm.hh"
 #include "fault/fault.hh"
+#include "fault/health.hh"
+#include "topo/hierarchical.hh"
 
 using namespace multitree;
 using namespace multitree::bench;
@@ -109,12 +122,165 @@ registerSweep()
     }
 }
 
+// --- Recovered vs abort-and-restart -------------------------------
+
+void
+recordRecoveryRow(const std::string &name,
+                  const std::string &topo_spec,
+                  const std::string &algo, std::uint64_t bytes,
+                  Tick cycles, double bandwidth,
+                  std::uint64_t messages, const std::string &mode)
+{
+    bench::BenchRow row;
+    row.name = name;
+    row.topo = topo_spec;
+    row.algo = algo;
+    row.bytes = bytes;
+    row.cycles = cycles;
+    row.bandwidth_gbps = bandwidth;
+    row.messages = messages;
+    row.mode = mode;
+    bench::recordBenchRow(row);
+    std::printf("%-68s %12llu cyc  %s\n", name.c_str(),
+                static_cast<unsigned long long>(cycles),
+                mode.c_str());
+}
+
+/**
+ * One permanent-kill scenario, measured three ways: the clean
+ * baseline, the self-healing run (completes), and the abort path
+ * (detection drain + a fresh clean run — restarting from scratch).
+ */
+void
+runRecoveryPoint(const std::string &topo_spec,
+                 const std::string &algo, std::uint64_t bytes,
+                 const std::vector<int> &kill, Tick kill_at,
+                 fault::RecoveryPolicy policy)
+{
+    auto topo = topo::makeTopology(topo_spec);
+    const std::string prefix = "fault_recovery/" + topo_spec + "/"
+                               + algo + "/"
+                               + std::to_string(bytes / KiB)
+                               + "KiB/";
+
+    runtime::RunOptions clean_opts;
+    clean_opts.backend = runtime::Backend::Flow;
+    clean_opts.reliability.enabled = true;
+    runtime::Machine clean(*topo, clean_opts);
+    auto clean_rep = clean.tryRun(algo, bytes);
+    if (!clean_rep.ok)
+        return;
+    recordRecoveryRow(prefix + "clean", topo_spec, algo, bytes,
+                      clean_rep.result.time,
+                      clean_rep.result.bandwidth,
+                      clean_rep.result.messages, "clean");
+
+    fault::FaultConfig fc;
+    fc.seed = g_seed;
+    for (int cid : kill) {
+        fault::LinkFault lf;
+        lf.channel = cid;
+        lf.from = kill_at;
+        lf.down = true;
+        fc.links.push_back(lf);
+    }
+
+    runtime::RunOptions heal_opts = clean_opts;
+    heal_opts.fault = fc;
+    heal_opts.recovery.policy = policy;
+    runtime::Machine healing(*topo, heal_opts);
+    auto heal_rep = healing.tryRun(algo, bytes);
+    if (heal_rep.ok) {
+        recordRecoveryRow(
+            prefix + "recovered", topo_spec, algo, bytes,
+            heal_rep.result.time, heal_rep.result.bandwidth,
+            heal_rep.result.messages,
+            std::string("recovered,policy=")
+                + fault::policyName(policy) + ",resumed="
+                + std::to_string(
+                    heal_rep.recovery.resumed_transfers));
+    } else {
+        recordRecoveryRow(prefix + "recovered", topo_spec, algo,
+                          bytes, 0, 0, 0, "recovery failed");
+    }
+
+    runtime::RunOptions abort_opts = clean_opts;
+    abort_opts.fault = fc;
+    runtime::Machine aborting(*topo, abort_opts);
+    auto abort_rep = aborting.tryRun(algo, bytes);
+    if (abort_rep.ok)
+        return; // the kill missed; no abort row to record
+    // Restart-from-scratch pays the full detection drain (the tick
+    // the watchdog declared the run dead) plus a clean rerun.
+    const Tick detect = aborting.eventQueue().now();
+    recordRecoveryRow(prefix + "abort_restart", topo_spec, algo,
+                      bytes, detect + clean_rep.result.time, 0,
+                      abort_rep.result.messages,
+                      "abort@" + std::to_string(detect)
+                          + "+restart");
+}
+
+void
+runRecoveredVsAbort()
+{
+    std::printf("--- recovered vs abort-and-restart ---\n");
+    // Flat torus: the MultiTree schedule pins its source routes, so
+    // healing means BFS route repair around the dead link.
+    {
+        auto topo = topo::makeTopology("torus-4x4");
+        auto sched = coll::makeAlgorithm("multitree")
+                         ->build(*topo, 256 * KiB);
+        const auto &edge = sched.flows[0].reduce[0];
+        auto route = edge.route.empty()
+                         ? topo->route(edge.src, edge.dst)
+                         : edge.route;
+        if (!route.empty()) {
+            for (std::uint64_t bytes :
+                 {256 * KiB, std::uint64_t{2 * MiB}}) {
+                runRecoveryPoint(
+                    "torus-4x4", "multitree", bytes, {route[0]},
+                    2000, fault::RecoveryPolicy::RepairResume);
+            }
+        }
+    }
+    // Two-rail hierarchical fabric: kill one spine rail at a
+    // gateway; healing means masking the rail and re-steering onto
+    // its live sibling.
+    {
+        const std::string spec =
+            "hier:torus-2x2+fattree-2:2:2,rails=2";
+        auto topo = topo::makeTopology(spec);
+        auto *hier =
+            dynamic_cast<const topo::HierarchicalTopology *>(
+                topo.get());
+        if (hier != nullptr) {
+            const topo::RailGroups rg =
+                topo::buildRailGroups(*topo);
+            const int gateway = hier->globalNode(1, 0);
+            std::vector<int> rail;
+            for (const auto &ch : topo->channels()) {
+                if (hier->isSpineChannel(ch.id)
+                    && (ch.src == gateway || ch.dst == gateway)
+                    && rg.railOf(ch.id) == 1)
+                    rail.push_back(ch.id);
+            }
+            for (std::uint64_t bytes :
+                 {64 * KiB, std::uint64_t{256 * KiB}}) {
+                runRecoveryPoint(spec, "hier:multitree+ring",
+                                 bytes, rail, 2000,
+                                 fault::RecoveryPolicy::Failover);
+            }
+        }
+    }
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     g_seed = extractSeedFlag(&argc, argv);
+    runRecoveredVsAbort();
     registerSweep();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

@@ -11,7 +11,9 @@
  *           [--backend flow|flit] [--msg] [--reduction-bw N]
  *           [--dump dot|csv]
  *           [--seed N] [--drop P] [--corrupt P] [--degrade CH:CYC]
- *           [--reliable]
+ *           [--kill-link CH@FROM[-UNTIL]]
+ *           [--kill-rail ISLAND:RAIL@TICK]
+ *           [--reliable] [--recovery off|failover|repair+resume]
  *           [--trace-out FILE] [--metrics-out FILE]
  *           [--timeline] [--timeline-window TICKS]
  *           [--profile-out FILE] [--heatmap] [--heatmap-csv FILE]
@@ -22,6 +24,14 @@
  * retransmission layer so lossy runs still complete with intact
  * data. Faulted runs print the fault/reliability accounting and, if
  * the collective wedges, the watchdog diagnostic.
+ *
+ * Permanent failures: --kill-link downs one channel for a tick
+ * interval (open-ended by default); --kill-rail downs every spine
+ * channel of one rail at an island's gateway on a hier: fabric, both
+ * directions, forever. --recovery arms the self-healing layer
+ * (implies --reliable): "failover" masks confirmed-dead rails and
+ * re-steers, "repair+resume" additionally recomputes routes around
+ * dead links and re-issues only the transfers still open.
  *
  * Observability: --trace-out records the run's lifecycle events and
  * writes Chrome/Perfetto trace-event JSON (open in ui.perfetto.dev);
@@ -44,6 +54,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "coll/export.hh"
 #include "coll/hierarchical.hh"
@@ -57,6 +68,7 @@
 #include "obs/profile.hh"
 #include "obs/timeline.hh"
 #include "obs/trace.hh"
+#include "fault/health.hh"
 #include "runtime/machine.hh"
 #include "runtime/metrics.hh"
 #include "topo/factory.hh"
@@ -65,6 +77,13 @@
 namespace {
 
 using namespace multitree;
+
+/** One --kill-rail request, resolved against the topology later. */
+struct RailKill {
+    int island = -1;
+    int rail = -1;
+    Tick from = 0;
+};
 
 struct Args {
     std::string topo = "torus-8x8";
@@ -80,7 +99,10 @@ struct Args {
     double corrupt = 0;
     int degrade_channel = -1;
     Tick degrade_cycles = 0;
+    std::vector<fault::LinkFault> kills;
+    std::vector<RailKill> rail_kills;
     bool reliable = false;
+    fault::RecoveryPolicy recovery = fault::RecoveryPolicy::Off;
     std::string trace_out;
     std::string metrics_out;
     bool timeline = false;
@@ -105,6 +127,9 @@ usage()
         "[--dump dot|csv]\n"
         "             [--seed N] [--drop PROB] [--corrupt PROB]\n"
         "             [--degrade CHANNEL:CYCLES] [--reliable]\n"
+        "             [--kill-link CH@FROM[-UNTIL]]\n"
+        "             [--kill-rail ISLAND:RAIL@TICK]\n"
+        "             [--recovery off|failover|repair+resume]\n"
         "             [--trace-out FILE] [--metrics-out FILE]\n"
         "             [--timeline] [--timeline-window TICKS]\n"
         "             [--profile-out FILE] [--heatmap]\n"
@@ -208,6 +233,53 @@ main(int argc, char **argv)
                 static_cast<int>(std::strtol(spec, nullptr, 10));
             args.degrade_cycles = std::strtoull(colon + 1, nullptr,
                                                 10);
+        } else if (a == "--kill-link") {
+            // CH@FROM[-UNTIL]: permanent (or windowed) link-down
+            // fault on channel CH starting at tick FROM.
+            const char *spec = next();
+            const char *at = std::strchr(spec, '@');
+            if (at == nullptr) {
+                usage();
+                return 1;
+            }
+            fault::LinkFault lf;
+            lf.channel =
+                static_cast<int>(std::strtol(spec, nullptr, 10));
+            char *end = nullptr;
+            lf.from = std::strtoull(at + 1, &end, 10);
+            if (end != nullptr && *end == '-')
+                lf.until = std::strtoull(end + 1, nullptr, 10);
+            lf.down = true;
+            args.kills.push_back(lf);
+        } else if (a == "--kill-rail") {
+            // ISLAND:RAIL@TICK: down every spine channel of rail
+            // RAIL at island ISLAND's gateway, forever from TICK.
+            const char *spec = next();
+            const char *colon = std::strchr(spec, ':');
+            const char *at = std::strchr(spec, '@');
+            if (colon == nullptr || at == nullptr || at < colon) {
+                usage();
+                return 1;
+            }
+            RailKill rk;
+            rk.island =
+                static_cast<int>(std::strtol(spec, nullptr, 10));
+            rk.rail = static_cast<int>(
+                std::strtol(colon + 1, nullptr, 10));
+            rk.from = std::strtoull(at + 1, nullptr, 10);
+            args.rail_kills.push_back(rk);
+        } else if (a == "--recovery") {
+            const std::string p = next();
+            if (p == "off") {
+                args.recovery = fault::RecoveryPolicy::Off;
+            } else if (p == "failover") {
+                args.recovery = fault::RecoveryPolicy::Failover;
+            } else if (p == "repair+resume") {
+                args.recovery = fault::RecoveryPolicy::RepairResume;
+            } else {
+                usage();
+                return 1;
+            }
         } else if (a == "--reliable")
             args.reliable = true;
         else if (a == "--trace-out")
@@ -337,8 +409,72 @@ main(int argc, char **argv)
         return 1;
     }
 
+    // Resolve --kill-rail requests: every spine channel of the named
+    // rail touching the island's gateway vertex, both directions.
+    for (const RailKill &rk : args.rail_kills) {
+        auto *hier =
+            dynamic_cast<const topo::HierarchicalTopology *>(
+                topo.get());
+        if (hier == nullptr) {
+            std::fprintf(stderr,
+                         "--kill-rail needs a hier: topology, "
+                         "got %s\n",
+                         topo->name().c_str());
+            return 1;
+        }
+        if (rk.island < 0 || rk.island >= hier->numIslands()
+            || rk.rail < 0 || rk.rail >= hier->rails()) {
+            std::fprintf(stderr,
+                         "--kill-rail %d:%d out of range "
+                         "(%d islands, %d rails)\n",
+                         rk.island, rk.rail, hier->numIslands(),
+                         hier->rails());
+            return 1;
+        }
+        const topo::RailGroups rg = topo::buildRailGroups(*topo);
+        const int gateway = hier->globalNode(rk.island, 0);
+        std::size_t found = 0;
+        for (const auto &ch : topo->channels()) {
+            if (!hier->isSpineChannel(ch.id))
+                continue;
+            if (ch.src != gateway && ch.dst != gateway)
+                continue;
+            if (rg.railOf(ch.id) != rk.rail)
+                continue;
+            fault::LinkFault lf;
+            lf.channel = ch.id;
+            lf.from = rk.from;
+            lf.down = true;
+            args.kills.push_back(lf);
+            ++found;
+        }
+        if (found == 0) {
+            std::fprintf(stderr,
+                         "--kill-rail %d:%d matched no spine "
+                         "channel\n",
+                         rk.island, rk.rail);
+            return 1;
+        }
+    }
+
+    for (const fault::LinkFault &lf : args.kills) {
+        if (lf.channel < 0 || lf.channel >= topo->numChannels()) {
+            std::fprintf(stderr,
+                         "--kill-link channel %d out of range "
+                         "(%d channels)\n",
+                         lf.channel, topo->numChannels());
+            return 1;
+        }
+    }
+
+    // An armed recovery policy needs the reliability layer: timeouts
+    // are the only evidence the health monitor consumes.
+    if (args.recovery != fault::RecoveryPolicy::Off)
+        args.reliable = true;
+
     const bool faulty = args.drop > 0 || args.corrupt > 0
-                        || args.degrade_channel >= 0;
+                        || args.degrade_channel >= 0
+                        || !args.kills.empty();
     if (faulty) {
         fault::FaultConfig fc;
         fc.seed = args.seed;
@@ -350,9 +486,12 @@ main(int argc, char **argv)
             lf.extra_latency = args.degrade_cycles;
             fc.links.push_back(lf);
         }
+        for (const fault::LinkFault &lf : args.kills)
+            fc.links.push_back(lf);
         opts.fault = fc;
     }
     opts.reliability.enabled = args.reliable;
+    opts.recovery.policy = args.recovery;
 
     obs::Trace trace;
     const bool observing = !args.trace_out.empty() || args.timeline;
@@ -440,6 +579,24 @@ main(int argc, char **argv)
                             rep.duplicates),
                         static_cast<unsigned long long>(
                             rep.corrupt_discarded));
+        if (args.recovery != fault::RecoveryPolicy::Off) {
+            const fault::RecoveryCounters &rc = rep.recovery;
+            std::printf(
+                "  recovery         %s: %llu links dead, %llu "
+                "rails failed over, %llu routes repaired "
+                "(%llu pinned), %llu transfers resumed in %llu "
+                "epochs\n",
+                fault::policyName(args.recovery),
+                static_cast<unsigned long long>(rc.links_dead),
+                static_cast<unsigned long long>(
+                    rc.rails_failed_over),
+                static_cast<unsigned long long>(
+                    rc.routes_repaired),
+                static_cast<unsigned long long>(rc.pinned_repairs),
+                static_cast<unsigned long long>(
+                    rc.resumed_transfers),
+                static_cast<unsigned long long>(rc.resume_epochs));
+        }
     }
 
     const obs::FabricInfo fabric = machine.fabricInfo();

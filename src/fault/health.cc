@@ -1,0 +1,104 @@
+#include "fault/health.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace multitree::fault {
+
+const char *
+policyName(RecoveryPolicy policy)
+{
+    switch (policy) {
+      case RecoveryPolicy::Off:
+        return "off";
+      case RecoveryPolicy::Failover:
+        return "failover";
+      case RecoveryPolicy::RepairResume:
+        return "repair+resume";
+    }
+    return "?";
+}
+
+HealthMonitor::HealthMonitor(const RecoveryOptions &opts,
+                             int num_channels)
+    : opts_(opts)
+{
+    MT_ASSERT(opts_.policy != RecoveryPolicy::Off,
+              "a health monitor with recovery off is dead weight; "
+              "leave it unconstructed instead");
+    MT_ASSERT(opts_.dead_after >= 1,
+              "dead_after = 0 would declare channels dead on no "
+              "evidence at all");
+    MT_ASSERT(num_channels > 0, "monitoring a fabric with no "
+              "channels");
+    dead_.assign(static_cast<std::size_t>(num_channels), 0);
+    reports_.assign(static_cast<std::size_t>(num_channels), 0);
+}
+
+void
+HealthMonitor::reportEvidence(int channel, std::uint32_t streak,
+                              Tick now)
+{
+    const auto c = static_cast<std::size_t>(channel);
+    MT_ASSERT(c < dead_.size(), "evidence for channel ", channel,
+              " outside [0, ", dead_.size(), ")");
+    ++reports_[c];
+    if (dead_[c] != 0 || streak < opts_.dead_after)
+        return;
+    dead_[c] = 1;
+    ++dead_count_;
+    if (verdict_)
+        verdict_(channel, now);
+}
+
+int
+HealthMonitor::firstDeadOn(const std::vector<int> &route) const
+{
+    if (dead_count_ == 0)
+        return -1;
+    for (int cid : route) {
+        if (confirmedDead(cid))
+            return cid;
+    }
+    return -1;
+}
+
+std::vector<int>
+HealthMonitor::deadChannels() const
+{
+    std::vector<int> out;
+    out.reserve(dead_count_);
+    for (std::size_t c = 0; c < dead_.size(); ++c) {
+        if (dead_[c] != 0)
+            out.push_back(static_cast<int>(c));
+    }
+    return out;
+}
+
+std::string
+HealthMonitor::describe() const
+{
+    std::ostringstream oss;
+    oss << "health monitor (policy " << policyName(opts_.policy)
+        << ", dead after " << opts_.dead_after
+        << " consecutive failures): " << dead_count_
+        << " channel(s) confirmed dead";
+    if (dead_count_ > 0) {
+        oss << ":";
+        for (int cid : deadChannels())
+            oss << " " << cid;
+    }
+    return oss.str();
+}
+
+void
+HealthMonitor::reset()
+{
+    std::fill(dead_.begin(), dead_.end(), 0);
+    std::fill(reports_.begin(), reports_.end(), 0);
+    dead_count_ = 0;
+}
+
+} // namespace multitree::fault

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Link-health monitoring and self-healing policy.
+ *
+ * The HealthMonitor is the detection half of the self-healing layer:
+ * it turns endpoint evidence — per-channel consecutive round-trip
+ * failure streaks maintained by the NIC engines, corroborated by the
+ * network's in-flight census — into a confirmed dead-channel verdict.
+ * Everything is deterministic: evidence arrives in simulation-event
+ * order, the threshold is a fixed count, and a verdict fires exactly
+ * once per channel, so a (seed, plan, schedule, policy) quadruple
+ * always produces the same repair sequence.
+ *
+ * The repair half lives in runtime::Machine, which subscribes to the
+ * verdict callback and — depending on the RecoveryPolicy — masks dead
+ * rails out of the rail-steering groups, recomputes affected schedule
+ * routes around the dead set, and re-issues the transfers still open
+ * in the NIC dependency scoreboards instead of aborting the run.
+ *
+ * Detection is endpoint-honest on purpose: no endpoint is ever told
+ * which hop killed a message. Evidence quality comes from four
+ * mechanisms layered on that constraint. (1) Leg attribution: faults
+ * drop messages only at injection, so the network's in-flight and
+ * delivered censuses prove which leg of a timed-out round trip was
+ * lost — senders blame their data route only for data that truly
+ * vanished, and a receiver that sees a duplicate blames the exact
+ * route of the ack it now knows was dropped. (2) Exoneration: any
+ * successful round trip resets the streak of every channel it
+ * crossed, and a verdict resets the streaks its storm inflated on
+ * route-mates. (3) Evidence-ranked reporting: the hops of a failed
+ * route are reported in descending order of fleet-wide blame, so the
+ * hop every failing route shares crosses the threshold before a
+ * route-mate whose streak rose in lockstep. (4) Explain-away: a
+ * failure over a route with a confirmed-dead hop charges only that
+ * hop. Residual over-blame is conservative — masking or routing
+ * around a healthy channel costs bandwidth, never correctness — and
+ * the chaos suite exercises exactly that.
+ */
+
+#ifndef MULTITREE_FAULT_HEALTH_HH
+#define MULTITREE_FAULT_HEALTH_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace multitree::fault {
+
+/** What the runtime does with a confirmed dead channel. */
+enum class RecoveryPolicy {
+    /** No monitor, no repair: a permanent fault burns the retransmit
+     *  budget and ends in a structured watchdog abort (the pre-
+     *  self-healing behavior, bit- and tick-identical to it). */
+    Off,
+    /** Mask dead rails out of the steering groups so re-steered
+     *  traffic moves to a live parallel rail; open transfers are
+     *  re-issued over their re-steered routes. Routes with a dead
+     *  hop that has no live sibling still abort. */
+    Failover,
+    /** Failover plus deterministic route repair: affected schedule-
+     *  table routes are recomputed via BFS avoiding the dead set
+     *  (pinned source routes fall back to a repaired BFS route with
+     *  a provenance flag), and the collective resumes. */
+    RepairResume,
+};
+
+/** Stable lower-case name of @p policy (reports, JSON). */
+const char *policyName(RecoveryPolicy policy);
+
+/** Self-healing knobs (runtime::RunOptions::recovery). */
+struct RecoveryOptions {
+    RecoveryPolicy policy = RecoveryPolicy::Off;
+    /** Consecutive round-trip failures over a channel before it is
+     *  declared dead. Exoneration resets the streak, so only a
+     *  channel that never carries a successful round trip while
+     *  under suspicion can reach the threshold. */
+    std::uint32_t dead_after = 3;
+    /** Bound on repair-and-resume rounds per run; exhausting it
+     *  stops repairing and lets the watchdog abort structurally. */
+    std::uint32_t max_resume_epochs = 8;
+};
+
+/** Repair-side activity of one run (RunReport::recovery). */
+struct RecoveryCounters {
+    std::uint64_t links_dead = 0;        ///< confirmed dead verdicts
+    std::uint64_t rails_failed_over = 0; ///< rails masked from groups
+    std::uint64_t routes_repaired = 0;   ///< routes rewritten via BFS
+    std::uint64_t pinned_repairs = 0;    ///< source routes repaired
+    std::uint64_t resumed_transfers = 0; ///< open transfers re-issued
+    std::uint64_t resume_epochs = 0;     ///< recovery rounds executed
+};
+
+/**
+ * The deterministic link-health monitor. One per Machine when the
+ * recovery policy is armed; every NIC engine reports its per-channel
+ * failure streaks here, and the runtime subscribes to the verdicts.
+ */
+class HealthMonitor
+{
+  public:
+    /** Invoked exactly once per channel, at confirmation time. */
+    using VerdictFn = std::function<void(int channel, Tick now)>;
+
+    /**
+     * @param opts The policy in effect; dead_after is the threshold.
+     * @param num_channels Channel-id space of the fabric.
+     */
+    HealthMonitor(const RecoveryOptions &opts, int num_channels);
+
+    /** Subscribe the repair side. Call once at bring-up. */
+    void onVerdict(VerdictFn fn) { verdict_ = std::move(fn); }
+
+    /**
+     * Feed one engine's updated failure streak for @p channel. The
+     * channel is confirmed dead — and the verdict callback fired —
+     * the first time a streak reaches the dead_after threshold.
+     */
+    void reportEvidence(int channel, std::uint32_t streak, Tick now);
+
+    /**
+     * Fleet-wide failure reports received for @p channel this epoch.
+     * Engines use this to rank the hops of a failed route before
+     * reporting: every hop is equally suspect to one engine, but the
+     * hop every failing route shares — the dead one — draws blame
+     * from the whole fleet and so ranks first. Reporting in that
+     * order lets the true culprit cross the threshold before a
+     * route-mate whose streak rose in lockstep with it.
+     */
+    std::uint64_t
+    totalEvidence(int channel) const
+    {
+        const auto c = static_cast<std::size_t>(channel);
+        return c < reports_.size() ? reports_[c] : 0;
+    }
+
+    /** Whether @p channel has a confirmed dead verdict. */
+    bool
+    confirmedDead(int channel) const
+    {
+        const auto c = static_cast<std::size_t>(channel);
+        return c < dead_.size() && dead_[c] != 0;
+    }
+
+    /** First confirmed-dead channel on @p route, or -1. */
+    int firstDeadOn(const std::vector<int> &route) const;
+
+    /** Dense channel-id → dead flag mask (route-repair input). */
+    const std::vector<char> &deadMask() const { return dead_; }
+
+    /** Channels with a confirmed dead verdict, ascending. */
+    std::vector<int> deadChannels() const;
+
+    /** Number of confirmed-dead channels. */
+    std::size_t deadCount() const { return dead_count_; }
+
+    /** The policy in effect. */
+    const RecoveryOptions &options() const { return opts_; }
+
+    /** One-line summary for diagnostic dumps. */
+    std::string describe() const;
+
+    /** Forget every verdict for a new epoch. */
+    void reset();
+
+  private:
+    RecoveryOptions opts_;
+    VerdictFn verdict_;
+    /** Channel id → confirmed-dead flag. */
+    std::vector<char> dead_;
+    std::size_t dead_count_ = 0;
+    /** Channel id → evidence reports received (see totalEvidence). */
+    std::vector<std::uint64_t> reports_;
+};
+
+} // namespace multitree::fault
+
+#endif // MULTITREE_FAULT_HEALTH_HH

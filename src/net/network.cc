@@ -92,6 +92,7 @@ Network::reset()
     drops_by_src_.clear();
     corruptions_by_src_.clear();
     in_flight_msgs_.clear();
+    delivered_ids_.clear();
     backlog_.clear();
 }
 
@@ -125,11 +126,25 @@ Network::deliverMsg(const Message &msg)
         }
     }
     in_flight_msgs_.erase(msg.track_id);
+    delivered_ids_.insert({msg.src, msg.seq, msg.tag});
     if (prof_ != nullptr)
         prof_->onDeliver(msg.track_id, eq_.now());
     if (sink_ != nullptr)
         emitMsgEvent(obs::EventKind::MsgDeliver, msg);
     deliver_(msg);
+}
+
+bool
+Network::dataInFlight(int src, std::uint64_t seq,
+                      std::uint64_t tag) const
+{
+    for (const auto &[id, rec] : in_flight_msgs_) {
+        if (rec.msg.src == src && rec.msg.seq == seq
+            && rec.msg.tag == tag) {
+            return true;
+        }
+    }
+    return false;
 }
 
 std::string

@@ -15,7 +15,9 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "common/stats.hh"
@@ -249,6 +251,47 @@ class Network
     /** Messages currently in flight (injected, not yet delivered). */
     std::size_t inFlightCount() const { return in_flight_msgs_.size(); }
 
+    /** In-flight census record: the message plus its injection tick.
+     *  Ordered by track id, so begin() is the oldest. */
+    struct InFlightRecord {
+        Message msg;
+        Tick injected_at = 0;
+    };
+
+    /** The in-flight census (diagnostics, suspect ranking). */
+    const std::map<std::uint64_t, InFlightRecord> &inFlight() const
+    {
+        return in_flight_msgs_;
+    }
+
+    /**
+     * Whether any copy of the transfer (@p src, @p seq, @p tag) is
+     * still in the in-flight census. The reliability layer's timeout
+     * handler uses this to corroborate loss evidence: a timed-out
+     * send whose copies all left the census was dropped, while one
+     * still in flight is merely congested and exonerates its route.
+     * The tag disambiguates data from the acks this node returns for
+     * other senders' traffic, which reuse the sequence-number space.
+     */
+    bool dataInFlight(int src, std::uint64_t seq,
+                      std::uint64_t tag) const;
+
+    /**
+     * Whether any copy of the transfer (@p src, @p seq, @p tag) has
+     * ever been delivered this run. Faults drop messages only at
+     * injection, so a timed-out transfer that is neither in flight
+     * nor in this census was genuinely lost on its route — while one
+     * recorded here completed its leg, and the loss (if any) is on
+     * the other leg of the round trip. The health monitor's evidence
+     * quality rests on this distinction: without it, ack-leg losses
+     * condemn healthy data routes.
+     */
+    bool everDelivered(int src, std::uint64_t seq,
+                       std::uint64_t tag) const
+    {
+        return delivered_ids_.count({src, seq, tag}) != 0;
+    }
+
     /**
      * Outstanding bytes charged against channel @p cid: the sum of
      * payload bytes of every in-flight message whose route crosses
@@ -301,14 +344,12 @@ class Network
     std::map<int, std::uint64_t> drops_by_src_;
     std::map<int, std::uint64_t> corruptions_by_src_;
 
-    /** In-flight census for the watchdog: track_id → (msg, tick).
-     *  Ordered by id, so begin() is the oldest in-flight message. */
-    struct InFlightRecord {
-        Message msg;
-        Tick injected_at = 0;
-    };
+    /** In-flight census for the watchdog: track_id → record. */
     std::uint64_t next_track_id_ = 0;
     std::map<std::uint64_t, InFlightRecord> in_flight_msgs_;
+    /** Delivered-transfer census (see everDelivered()). */
+    std::set<std::tuple<int, std::uint64_t, std::uint64_t>>
+        delivered_ids_;
     /** Per-channel in-flight bytes (see channelBacklog()). */
     std::vector<std::uint64_t> backlog_;
 };

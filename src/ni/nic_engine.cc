@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "fault/health.hh"
 #include "net/network.hh"
 #include "obs/profile.hh"
 #include "sim/event_queue.hh"
@@ -52,6 +53,17 @@ NicEngine::setRailSteering(const topo::RailGroups *groups,
 }
 
 void
+NicEngine::setHealthMonitor(fault::HealthMonitor *monitor)
+{
+    MT_ASSERT(!started_, "arming health monitoring on a running "
+              "engine");
+    MT_ASSERT(monitor == nullptr || rel_.enabled,
+              "health monitoring consumes reliability-layer evidence; "
+              "arm setReliability() first");
+    health_ = monitor;
+}
+
+void
 NicEngine::steerRails(std::vector<int> &route)
 {
     for (int &cid : route) {
@@ -63,6 +75,8 @@ NicEngine::steerRails(std::vector<int> &route)
             continue;
         const auto &group =
             rails_->groups[static_cast<std::size_t>(gid)];
+        if (group.empty())
+            continue; // every rail failed over; leave the hop as is
         std::size_t pick = 0;
         if (rail_policy_ == RailPolicy::RoundRobin) {
             pick = rail_rr_[static_cast<std::size_t>(gid)]++
@@ -122,6 +136,8 @@ NicEngine::loadTable(ScheduleTable table, bool lockstep,
     rc_ = ReliabilityCounters{};
     std::fill(rail_rr_.begin(), rail_rr_.end(), 0);
     std::fill(rail_sends_.begin(), rail_sends_.end(), 0);
+    std::fill(chan_streak_.begin(), chan_streak_.end(), 0);
+    std::fill(chan_evidence_.begin(), chan_evidence_.end(), 0);
 }
 
 void
@@ -272,7 +288,8 @@ NicEngine::pump()
             }
             msg.flow_id = e.flow;
             msg.tag = tag;
-            sendData(std::move(msg));
+            sendData(std::move(msg),
+                     i < e.steer.size() && e.steer[i] != 0);
             if (e.op == Op::Reduce)
                 break; // single parent target
         }
@@ -299,7 +316,7 @@ NicEngine::rtoFor(const net::Message &msg) const
 }
 
 void
-NicEngine::sendData(net::Message msg)
+NicEngine::sendData(net::Message msg, bool steerable)
 {
     if (!rel_.enabled) {
         net_.inject(std::move(msg));
@@ -308,29 +325,62 @@ NicEngine::sendData(net::Message msg)
     msg.seq = ++next_seq_;
     const std::uint64_t seq = msg.seq;
     const Tick rto = rtoFor(msg);
-    outstanding_.emplace(seq, Outstanding{msg, 1});
+    outstanding_.emplace(seq,
+                         Outstanding{msg, 1, 0, false, steerable});
     net_.inject(std::move(msg));
-    armTimer(seq, rto);
+    armTimer(seq, rto, 0);
 }
 
 void
-NicEngine::armTimer(std::uint64_t seq, Tick rto)
+NicEngine::armTimer(std::uint64_t seq, Tick rto, std::uint32_t epoch)
 {
-    net_.eventQueue().scheduleAfter(rto, [this, seq, rto, g = gen_] {
-        if (g != gen_)
-            return; // timer from a reprogrammed run
-        onTimeout(seq, rto);
-    });
+    net_.eventQueue().scheduleAfter(
+        rto, [this, seq, rto, epoch, g = gen_] {
+            if (g != gen_)
+                return; // timer from a reprogrammed run
+            onTimeout(seq, rto, epoch);
+        });
 }
 
 void
-NicEngine::onTimeout(std::uint64_t seq, Tick prev_rto)
+NicEngine::onTimeout(std::uint64_t seq, Tick prev_rto,
+                     std::uint32_t epoch)
 {
     auto it = outstanding_.find(seq);
     if (it == outstanding_.end())
         return; // acked before the timer fired
-    ++rc_.timeouts;
     Outstanding &o = it->second;
+    if (o.epoch != epoch || o.parked)
+        return; // superseded by a repair pass (or already parked)
+    ++rc_.timeouts;
+    // Census-corroborated loss evidence: faults drop messages only
+    // at injection, so a copy that is neither still in flight nor in
+    // the delivered census was genuinely lost on the data route. A
+    // delivered copy whose ack went missing is blamed by the
+    // receiver (the only witness of the ack route it picked);
+    // charging the data route here would condemn healthy links for
+    // every ack-leg loss. Still-moving copies are congestion, which
+    // exonerates nothing and accuses nothing.
+    if (!net_.dataInFlight(node_, seq, o.msg.tag)
+        && !net_.everDelivered(node_, seq, o.msg.tag))
+        noteRoundTripFailure(o.msg.route);
+    // Steerable transfers re-pick their rails per retry: a retry
+    // over a parallel rail dodges a dead one before any verdict
+    // exists, and its success exonerates the shared hops of the
+    // failed route — the evidence that isolates the dead rail.
+    if (o.steerable && rails_ != nullptr)
+        steerRails(o.msg.route);
+    if (health_ != nullptr
+        && health_->firstDeadOn(o.msg.route) >= 0) {
+        // Fast-fail: this retransmit would cross a channel already
+        // confirmed dead. Park instead of burning backoff budget —
+        // the repair pass re-issues it over a live route, or the run
+        // aborts structurally with the transfer still open.
+        ++rc_.retx_into_dead_link;
+        o.parked = true;
+        ++o.epoch;
+        return;
+    }
     if (o.attempts >= rel_.max_attempts) {
         // Retries exhausted: record the failure and stop. done()
         // stays false, which the runtime watchdog turns into a
@@ -369,7 +419,7 @@ NicEngine::onTimeout(std::uint64_t seq, Tick prev_rto)
     const auto backed =
         static_cast<Tick>(static_cast<double>(prev_rto)
                           * rel_.rto_backoff);
-    armTimer(seq, std::max<Tick>(backed, prev_rto + 1));
+    armTimer(seq, std::max<Tick>(backed, prev_rto + 1), o.epoch);
 }
 
 void
@@ -382,6 +432,9 @@ NicEngine::sendAck(const net::Message &msg)
     ack.route = route_fn_(node_, msg.src);
     if (rails_ != nullptr)
         steerRails(ack.route);
+    // Remember the route so a later duplicate of this transfer can
+    // blame exactly where the ack was lost (see onMessage).
+    seen_[{msg.src, msg.seq}] = ack.route;
     ack.flow_id = msg.flow_id;
     ack.tag = kTagAck;
     ack.seq = msg.seq;
@@ -408,7 +461,14 @@ NicEngine::onMessage(const net::Message &msg)
         if (msg.tag == kTagAck) {
             if (msg.corrupted)
                 return; // bad checksum: sender will retransmit
-            outstanding_.erase(msg.seq);
+            auto it = outstanding_.find(msg.seq);
+            if (it != outstanding_.end()) {
+                // A completed round trip exonerates every channel it
+                // crossed: the data route out, the ack route back.
+                noteRoundTripSuccess(it->second.msg.route);
+                noteRoundTripSuccess(msg.route);
+                outstanding_.erase(it);
+            }
             return;
         }
         if (msg.corrupted) {
@@ -417,10 +477,23 @@ NicEngine::onMessage(const net::Message &msg)
             ++rc_.corrupt_discarded;
             return;
         }
+        // A duplicate proves the ack already returned for this
+        // transfer failed to stop the sender's timer. Drops happen
+        // only at injection, so when that ack is neither still in
+        // flight nor in the delivered census it died on the route
+        // this engine chose for it — and this engine is the only
+        // witness of that route, so it charges the blame exactly.
+        // (Senders cannot tell the two legs apart and stay silent
+        // on delivered data; see onTimeout.)
+        auto seen = seen_.find({msg.src, msg.seq});
+        const bool duplicate = seen != seen_.end();
+        if (duplicate && !net_.dataInFlight(node_, msg.seq, kTagAck)
+            && !net_.everDelivered(node_, msg.seq, kTagAck))
+            noteRoundTripFailure(seen->second);
         // Ack first (even duplicates — the original ack may have
         // been lost), then dedup retransmitted copies.
         sendAck(msg);
-        if (!seen_.emplace(msg.src, msg.seq).second) {
+        if (duplicate) {
             ++rc_.duplicates;
             return;
         }
@@ -470,6 +543,207 @@ NicEngine::onMessage(const net::Message &msg)
     pump();
 }
 
+void
+NicEngine::noteRoundTripFailure(const std::vector<int> &route)
+{
+    const Tick now = net_.eventQueue().now();
+    // Explain-away attribution: once any hop of the failed route
+    // carries a confirmed dead verdict, that verdict fully explains
+    // the failure — charge the evidence to the dead hop(s) and leave
+    // the healthy channels' streaks untouched. Without this, a storm
+    // of doomed transfers sharing one dead hop walks every channel
+    // of their routes over the threshold.
+    if (health_ != nullptr && health_->firstDeadOn(route) >= 0) {
+        // The failure is already explained: charge the cumulative
+        // evidence to the confirmed-dead hop(s) alone and leave the
+        // healthy channels' streaks untouched, or the storm of
+        // doomed transfers sharing one dead hop walks every channel
+        // of their routes over the threshold.
+        for (int cid : route) {
+            const auto c = static_cast<std::size_t>(cid);
+            if (c >= chan_evidence_.size())
+                chan_evidence_.resize(c + 1, 0);
+            if (health_->confirmedDead(cid))
+                ++chan_evidence_[c];
+        }
+        return;
+    }
+    for (int cid : route) {
+        const auto c = static_cast<std::size_t>(cid);
+        if (c >= chan_streak_.size()) {
+            chan_streak_.resize(c + 1, 0);
+            chan_evidence_.resize(c + 1, 0);
+        }
+        ++chan_streak_[c];
+        ++chan_evidence_[c];
+    }
+    if (health_ == nullptr)
+        return;
+    // Report the hops ranked by the fleet-wide blame already massed
+    // against them. One engine cannot tell the hops of its failed
+    // route apart — their streaks rise in lockstep — but the dead
+    // hop is the one every failing route shares, so it out-ranks its
+    // route-mates and crosses the threshold first. Its verdict then
+    // explains the failure: the remaining hops go unreported, and
+    // the verdict handler resets their streaks.
+    std::vector<int> ranked(route);
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [this](int a, int b) {
+                         return health_->totalEvidence(a)
+                                > health_->totalEvidence(b);
+                     });
+    for (int cid : ranked) {
+        health_->reportEvidence(
+            cid, chan_streak_[static_cast<std::size_t>(cid)], now);
+        if (health_->confirmedDead(cid))
+            return;
+    }
+}
+
+void
+NicEngine::resetStreaksExcept(int channel)
+{
+    for (std::size_t c = 0; c < chan_streak_.size(); ++c) {
+        if (static_cast<int>(c) != channel)
+            chan_streak_[c] = 0;
+    }
+}
+
+void
+NicEngine::noteRoundTripSuccess(const std::vector<int> &route)
+{
+    if (chan_streak_.empty())
+        return;
+    for (int cid : route) {
+        const auto c = static_cast<std::size_t>(cid);
+        if (c < chan_streak_.size())
+            chan_streak_[c] = 0;
+    }
+}
+
+bool
+NicEngine::railsCanDodge(const std::vector<int> &route) const
+{
+    if (rails_ == nullptr)
+        return false;
+    for (int cid : route) {
+        if (!health_->confirmedDead(cid))
+            continue;
+        const auto c = static_cast<std::size_t>(cid);
+        if (c >= rails_->group_of.size())
+            return false;
+        const int gid = rails_->group_of[c];
+        if (gid < 0)
+            return false;
+        bool live = false;
+        for (int sib :
+             rails_->groups[static_cast<std::size_t>(gid)]) {
+            if (!health_->confirmedDead(sib)) {
+                live = true;
+                break;
+            }
+        }
+        if (!live)
+            return false;
+    }
+    return true;
+}
+
+std::size_t
+NicEngine::parkedCount() const
+{
+    std::size_t n = 0;
+    for (const auto &[seq, o] : outstanding_) {
+        if (o.parked)
+            ++n;
+    }
+    return n;
+}
+
+RepairStats
+NicEngine::repairAndResume(const RerouteFn &reroute)
+{
+    MT_ASSERT(health_ != nullptr,
+              "repairAndResume without a health monitor");
+    RepairStats st;
+    // Pending table entries: rewrite routes that cross the dead set.
+    // Rail-steerable routes whose dead hops all have live parallel
+    // siblings are left alone — issue-time steering dodges for free.
+    for (std::size_t idx = next_; idx < table_.entries.size();
+         ++idx) {
+        TableEntry &e = table_.entries[idx];
+        for (std::size_t i = 0; i < e.routes.size(); ++i) {
+            std::vector<int> &r = e.routes[i];
+            if (health_->firstDeadOn(r) < 0)
+                continue;
+            const bool steerable =
+                i < e.steer.size() && e.steer[i] != 0;
+            if (steerable && railsCanDodge(r))
+                continue;
+            if (!reroute)
+                continue; // failover-only: no route repair
+            const int dst =
+                e.op == Op::Reduce ? e.parent : e.children[i];
+            auto fixed = reroute(node_, dst);
+            if (!fixed)
+                continue; // disconnected: the issue parks later
+            r = std::move(*fixed);
+            ++st.routes_repaired;
+            if (e.repaired.size() < e.routes.size())
+                e.repaired.resize(e.routes.size(), 0);
+            e.repaired[i] = 1;
+            if (!steerable) {
+                // A repaired source route is pinned no more: the BFS
+                // replacement is ordinary deterministic routing, so
+                // flag it steerable (provenance stays in `repaired`).
+                ++st.pinned_repairs;
+                if (e.steer.size() < e.routes.size())
+                    e.steer.resize(e.routes.size(), 0);
+                e.steer[i] = 1;
+            }
+        }
+    }
+    // Open transfers: re-issue everything whose last-attempted route
+    // crosses the dead set, over a re-steered (the groups are already
+    // masked) or repaired route, with a fresh attempt budget. The
+    // epoch bump turns any timer armed before the repair into a
+    // no-op.
+    for (auto &[seq, o] : outstanding_) {
+        if (health_->firstDeadOn(o.msg.route) < 0)
+            continue;
+        std::vector<int> route = o.msg.route;
+        if (o.steerable && rails_ != nullptr)
+            steerRails(route);
+        if (health_->firstDeadOn(route) >= 0 && reroute) {
+            auto fixed = reroute(node_, o.msg.dst);
+            if (fixed) {
+                route = std::move(*fixed);
+                ++st.routes_repaired;
+                if (!o.steerable)
+                    ++st.pinned_repairs;
+            }
+        }
+        ++o.epoch;
+        if (health_->firstDeadOn(route) >= 0) {
+            // No live path: park (or stay parked). The transfer
+            // stays open, so done() is false and the watchdog names
+            // it when the run aborts.
+            o.parked = true;
+            continue;
+        }
+        o.msg.route = std::move(route);
+        o.attempts = 1;
+        o.parked = false;
+        ++st.resumed;
+        net::Message copy = o.msg;
+        copy.attempt = 1; // on the wire: not the original; dedup by seq
+        const Tick rto = rtoFor(copy);
+        net_.inject(std::move(copy));
+        armTimer(seq, rto, o.epoch);
+    }
+    return st;
+}
+
 std::string
 NicEngine::describeStall() const
 {
@@ -502,9 +776,13 @@ NicEngine::describeStall() const
     }
     if (!outstanding_.empty()) {
         oss << ", " << outstanding_.size() << " send(s) unacked";
+        const std::size_t parked = parkedCount();
+        if (parked > 0)
+            oss << " (" << parked << " parked over dead channels)";
         const auto &[seq, o] = *outstanding_.begin();
         oss << " (oldest: seq " << seq << " to node " << o.msg.dst
-            << ", attempt " << o.attempts << ")";
+            << ", attempt " << o.attempts
+            << (o.parked ? ", parked" : "") << ")";
     }
     for (const auto &f : failures_) {
         oss << ", FAILED seq " << f.seq << " " << f.src << "->"

@@ -35,8 +35,9 @@
 
 #include <functional>
 #include <map>
-#include <set>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/units.hh"
@@ -50,6 +51,10 @@ class EventQueue;
 namespace multitree::topo {
 struct RailGroups;
 } // namespace multitree::topo
+
+namespace multitree::fault {
+class HealthMonitor;
+} // namespace multitree::fault
 
 namespace multitree::ni {
 
@@ -107,6 +112,17 @@ struct ReliabilityCounters {
     std::uint64_t acks_sent = 0;         ///< data arrivals acked
     std::uint64_t duplicates = 0;        ///< retransmit copies deduped
     std::uint64_t corrupt_discarded = 0; ///< checksum failures dropped
+    /** Retransmits that would have crossed a confirmed-dead channel;
+     *  the fast-fail path parks these instead of burning backoff
+     *  budget on a link the health monitor already gave up on. */
+    std::uint64_t retx_into_dead_link = 0;
+};
+
+/** Outcome of one repairAndResume() pass over an engine. */
+struct RepairStats {
+    std::uint64_t routes_repaired = 0; ///< routes rewritten via BFS
+    std::uint64_t pinned_repairs = 0;  ///< pinned source routes among them
+    std::uint64_t resumed = 0;         ///< open transfers re-issued
 };
 
 /**
@@ -123,6 +139,11 @@ class NicEngine
   public:
     /** Deterministic route provider for ack return paths. */
     using RouteFn = std::function<std::vector<int>(int src, int dst)>;
+    /** Dead-set-avoiding route provider used by route repair; may
+     *  return std::nullopt when the dead set disconnects the pair. */
+    using RerouteFn =
+        std::function<std::optional<std::vector<int>>(int src,
+                                                      int dst)>;
     /** Invoked once per accepted data message (post dedup/checksum);
      *  the runtime's data plane and trace hang off this. */
     using AcceptFn = std::function<void(const net::Message &)>;
@@ -154,6 +175,18 @@ class NicEngine
      */
     void setRailSteering(const topo::RailGroups *groups,
                          RailPolicy policy);
+
+    /**
+     * Attach (or detach, with nullptr) the link-health monitor. With
+     * one attached the engine reports its per-channel failure
+     * streaks (census-corroborated timeout evidence) and fast-fails
+     * retransmits into confirmed-dead channels: the transfer parks —
+     * stays open, timer disarmed — until the runtime's repair pass
+     * re-issues it or the run aborts structurally. Detached (the
+     * recovery-off default) the engine is tick-identical to the
+     * monitor-less design. Call at bring-up, like setReliability().
+     */
+    void setHealthMonitor(fault::HealthMonitor *monitor);
 
     /**
      * Sends this engine placed on each rail index this run (across
@@ -246,6 +279,53 @@ class NicEngine
     /** Data messages awaiting acks (reliability only). */
     std::size_t outstandingCount() const { return outstanding_.size(); }
 
+    /** Open transfers parked by the fast-fail path, awaiting repair. */
+    std::size_t parkedCount() const;
+
+    /**
+     * One repair-and-resume pass, driven by the runtime after a dead
+     * verdict (the steering groups are already masked): rewrite
+     * pending table routes that cross the confirmed-dead set — rail-
+     * steerable routes whose dead hops all have live siblings are
+     * left to issue-time steering; others go through @p reroute when
+     * provided (nullptr under the failover-only policy) — then
+     * re-issue every open transfer whose route crosses the dead set
+     * over a re-steered/repaired route with a fresh attempt budget.
+     * Transfers with no live path left stay parked, keeping done()
+     * false so the watchdog reports them. @pre a health monitor is
+     * attached.
+     */
+    RepairStats repairAndResume(const RerouteFn &reroute);
+
+    /**
+     * Cumulative census-corroborated round-trip failures charged to
+     * each channel this run (index = channel id; short vectors read
+     * as zero past the end). Maintained whenever reliability is on —
+     * monitor or not — and feeds the watchdog's suspect ranking.
+     */
+    const std::vector<std::uint64_t> &channelEvidence() const
+    {
+        return chan_evidence_;
+    }
+
+    /** Current consecutive-failure streak per channel (evidence the
+     *  health monitor thresholds; reset by any successful round trip
+     *  over the channel). */
+    const std::vector<std::uint32_t> &channelStreaks() const
+    {
+        return chan_streak_;
+    }
+
+    /**
+     * Zero every channel's failure streak except @p channel's. The
+     * runtime calls this on all engines when a verdict confirms
+     * @p channel dead: the blame other channels accumulated from
+     * routes sharing the dead hop is now explained, and keeping it
+     * would let the storm condemn healthy links (cumulative evidence
+     * is kept for the diagnostics).
+     */
+    void resetStreaksExcept(int channel);
+
     /**
      * Human-readable account of why this engine is not done —
      * the blocked head-of-table entry with its missing dependencies,
@@ -264,16 +344,28 @@ class NicEngine
     bool stepGateOpen(const TableEntry &e);
 
     /** Ship one data message, tracking it when reliability is on. */
-    void sendData(net::Message msg);
+    void sendData(net::Message msg, bool steerable);
 
     /** Per-message retransmission timeout (2 x RTT estimate). */
     Tick rtoFor(const net::Message &msg) const;
 
     /** Arm the retransmission timer for sequence @p seq. */
-    void armTimer(std::uint64_t seq, Tick rto);
+    void armTimer(std::uint64_t seq, Tick rto, std::uint32_t epoch);
 
     /** Timer expiry: retransmit with backoff or record failure. */
-    void onTimeout(std::uint64_t seq, Tick prev_rto);
+    void onTimeout(std::uint64_t seq, Tick prev_rto,
+                   std::uint32_t epoch);
+
+    /** Charge one failed round trip to every channel of @p route,
+     *  reporting the updated streaks to the health monitor. */
+    void noteRoundTripFailure(const std::vector<int> &route);
+
+    /** A completed round trip exonerates @p route's channels. */
+    void noteRoundTripSuccess(const std::vector<int> &route);
+
+    /** Whether issue-time rail steering can dodge every confirmed-
+     *  dead hop of @p route (each has a live parallel sibling). */
+    bool railsCanDodge(const std::vector<int> &route) const;
 
     /** Return an ack for an arrived data message. */
     void sendAck(const net::Message &msg);
@@ -331,13 +423,31 @@ class NicEngine
     struct Outstanding {
         net::Message msg;        ///< pristine copy for retransmission
         std::uint32_t attempts = 0;
+        /** Timer epoch: a resume bumps it, so the timer armed before
+         *  the repair fires as a no-op instead of double-sending. */
+        std::uint32_t epoch = 0;
+        /** Fast-failed over a dead channel; no timer armed. Cleared
+         *  when a repair pass re-issues the transfer. */
+        bool parked = false;
+        /** Route came from deterministic routing (re-steerable). */
+        bool steerable = false;
     };
     /** seq → unacked send; ordered so begin() is the oldest. */
     std::map<std::uint64_t, Outstanding> outstanding_;
-    /** (src, seq) pairs already accepted (receiver-side dedup). */
-    std::set<std::pair<int, std::uint64_t>> seen_;
+    /** (src, seq) transfers already acked, mapped to the route the
+     *  latest ack took — receiver-side dedup plus the evidence base
+     *  for blaming ack-leg losses when a duplicate arrives. */
+    std::map<std::pair<int, std::uint64_t>, std::vector<int>> seen_;
     std::vector<FailedTransfer> failures_;
     ReliabilityCounters rc_;
+
+    // --- link-health evidence (reliability on; cheap bookkeeping,
+    // --- never schedules events, so ticks are unaffected) ---
+    fault::HealthMonitor *health_ = nullptr;
+    /** Channel id → current consecutive round-trip failure streak. */
+    std::vector<std::uint32_t> chan_streak_;
+    /** Channel id → cumulative failures charged this run. */
+    std::vector<std::uint64_t> chan_evidence_;
 };
 
 } // namespace multitree::ni

@@ -70,6 +70,15 @@ struct TableEntry {
      * §IV-B — the NI must not second-guess it).
      */
     std::vector<char> steer;
+    /**
+     * Repair provenance, aligned with `routes` (empty = no repair):
+     * 1 when the self-healing layer rewrote the route around a
+     * confirmed-dead channel. A repaired pinned route also flips its
+     * steer flag: once the schedule's explicit allocation is gone,
+     * the BFS replacement is ordinary deterministic routing and rail
+     * steering may manage it.
+     */
+    std::vector<char> repaired;
 };
 
 /** The full table of one node. */

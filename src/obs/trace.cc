@@ -35,6 +35,12 @@ kindName(EventKind kind)
         return "run-begin";
       case EventKind::RunEnd:
         return "run";
+      case EventKind::LinkDead:
+        return "link-dead";
+      case EventKind::RailFailover:
+        return "rail-failover";
+      case EventKind::ResumeEpoch:
+        return "resume-epoch";
     }
     return "?";
 }

@@ -44,6 +44,9 @@ enum class EventKind {
     ReductionBusy, ///< reduction unit aggregating for [tick, tick+dur)
     RunBegin,      ///< a collective started on the machine
     RunEnd,        ///< a collective completed (duration = run time)
+    LinkDead,      ///< health monitor confirmed `channel` dead
+    RailFailover,  ///< dead rail `channel` masked from its group
+    ResumeEpoch,   ///< repair pass `step` re-issued open transfers
 };
 
 /** Stable lower-case name of @p kind (exporters, CSV columns). */
@@ -59,6 +62,9 @@ const char *kindName(EventKind kind);
  *  - LinkBusy / MsgQueue: channel identifies the link.
  *  - StepAdvance / LockstepStall: node + step.
  *  - Run*: bytes = collective payload, duration (RunEnd) = run time.
+ *  - LinkDead / RailFailover: channel = the affected link.
+ *  - ResumeEpoch: step = recovery round, bytes = transfers
+ *    re-issued by it.
  */
 struct TraceEvent {
     EventKind kind = EventKind::MsgInject;

@@ -1,5 +1,7 @@
 #include "runtime/machine.hh"
 
+#include <algorithm>
+#include <map>
 #include <sstream>
 #include <utility>
 
@@ -70,6 +72,11 @@ Machine::Machine(const topo::Topology &topo, const RunOptions &opts)
                 && opts_.backend == Backend::Flow),
               "buffer_adjusted_estimates models NI buffering that "
               "only the Flit backend simulates; use Backend::Flit");
+    MT_ASSERT(opts_.recovery.policy == fault::RecoveryPolicy::Off
+                  || opts_.reliability.enabled,
+              "self-healing consumes the reliability layer's timeout "
+              "evidence and resume rides its outstanding-transfer "
+              "scoreboard; arm RunOptions::reliability too");
 
     // Pre-size the event heap so steady-state scheduling never
     // reallocates: one in-flight slot per node covers the NIC timers
@@ -110,6 +117,13 @@ Machine::Machine(const topo::Topology &topo, const RunOptions &opts)
     // empty and the engines skip steering entirely.
     rail_groups_ = topo::buildRailGroups(topo_);
 
+    if (opts_.recovery.policy != fault::RecoveryPolicy::Off) {
+        health_ = std::make_unique<fault::HealthMonitor>(
+            opts_.recovery, topo_.numChannels());
+        health_->onVerdict(
+            [this](int cid, Tick now) { onLinkDead(cid, now); });
+    }
+
     const int n = topo_.numNodes();
     engines_.reserve(static_cast<std::size_t>(n));
     for (int v = 0; v < n; ++v) {
@@ -118,11 +132,23 @@ Machine::Machine(const topo::Topology &topo, const RunOptions &opts)
         engines_.back()->setTraceSink(sink_);
         engines_.back()->setProfiler(opts_.profiler);
         if (opts_.reliability.enabled) {
+            // Ack return routes turn dead-aware once the monitor has
+            // verdicts; with none (or recovery off) this is exactly
+            // the topology's deterministic route.
             engines_.back()->setReliability(
                 opts_.reliability, [this](int src, int dst) {
+                    if (health_ != nullptr
+                        && health_->deadCount() > 0) {
+                        auto r = topo_.tryBfsRouteAvoiding(
+                            src, dst, health_->deadMask());
+                        if (r)
+                            return std::move(*r);
+                    }
                     return topo_.route(src, dst);
                 });
         }
+        if (health_ != nullptr)
+            engines_.back()->setHealthMonitor(health_.get());
         if (!rail_groups_.empty()) {
             engines_.back()->setRailSteering(&rail_groups_,
                                              opts_.rail_policy);
@@ -237,6 +263,15 @@ Machine::beginEpoch()
     // reproducible and comparable.
     if (plan_)
         plan_->reset();
+    if (health_ != nullptr) {
+        // Forget every verdict and restore the full rail bundles the
+        // failover masking trimmed; the engines keep their pointer
+        // into rail_groups_, whose address is stable.
+        health_->reset();
+        rail_groups_ = topo::buildRailGroups(topo_);
+        recovery_ctr_ = fault::RecoveryCounters{};
+        recovery_scheduled_ = false;
+    }
     eq_.reset();
 }
 
@@ -480,10 +515,13 @@ Machine::fillReportCounters(RunReport &rep) const
         rep.acks += nr.reliability.acks_sent;
         rep.duplicates += nr.reliability.duplicates;
         rep.corrupt_discarded += nr.reliability.corrupt_discarded;
+        rep.retx_into_dead_link +=
+            nr.reliability.retx_into_dead_link;
         rep.nodes.push_back(std::move(nr));
         for (const auto &f : e->failures())
             rep.failures.push_back(f);
     }
+    rep.recovery = recovery_ctr_;
 }
 
 std::string
@@ -507,6 +545,51 @@ Machine::stallDiagnostic() const
     const std::string in_flight = network_->describeInFlight();
     if (!in_flight.empty())
         oss << in_flight;
+    // Suspect-channel ranking: cumulative census-corroborated
+    // round-trip failures from every engine, the routes of exhausted
+    // transfers (hard evidence, weighted), and the routes of
+    // messages still stuck in flight. An un-recovered abort names
+    // the downed link, not just the stalled messages.
+    std::map<int, std::uint64_t> suspicion;
+    for (const auto &e : engines_) {
+        const auto &evidence = e->channelEvidence();
+        for (std::size_t c = 0; c < evidence.size(); ++c) {
+            if (evidence[c] > 0)
+                suspicion[static_cast<int>(c)] += evidence[c];
+        }
+        for (const auto &f : e->failures()) {
+            for (int cid : f.route)
+                suspicion[cid] += 4;
+        }
+    }
+    for (const auto &[id, rec] : network_->inFlight()) {
+        for (int cid : rec.msg.route)
+            suspicion[cid] += 1;
+    }
+    if (!suspicion.empty()) {
+        std::vector<std::pair<int, std::uint64_t>> ranked(
+            suspicion.begin(), suspicion.end());
+        std::stable_sort(ranked.begin(), ranked.end(),
+                         [](const auto &a, const auto &b) {
+                             return a.second > b.second;
+                         });
+        oss << "  suspect channel(s), most evidence first:\n";
+        std::size_t shown = 0;
+        for (const auto &[cid, score] : ranked) {
+            if (shown++ == 5) {
+                oss << "    ... " << ranked.size() - 5 << " more\n";
+                break;
+            }
+            const auto &ch = topo_.channel(cid);
+            oss << "    channel " << cid << " (" << ch.src << "->"
+                << ch.dst << "): evidence " << score;
+            if (health_ != nullptr && health_->confirmedDead(cid))
+                oss << " [confirmed dead]";
+            oss << "\n";
+        }
+    }
+    if (health_ != nullptr)
+        oss << "  " << health_->describe() << "\n";
     if (plan_) {
         oss << "  " << plan_->describe() << "\n";
         auto down = plan_->downedChannels(eq_.now());
@@ -518,6 +601,110 @@ Machine::stallDiagnostic() const
         }
     }
     return oss.str();
+}
+
+void
+Machine::onLinkDead(int channel, Tick now)
+{
+    ++recovery_ctr_.links_dead;
+    if (sink_ != nullptr) {
+        obs::TraceEvent ev;
+        ev.kind = obs::EventKind::LinkDead;
+        ev.tick = now;
+        ev.channel = channel;
+        sink_->onEvent(ev);
+    }
+    // Verdict-time exoneration: the streaks other channels built up
+    // came from failed routes sharing this dead hop. Resetting them
+    // (pure bookkeeping — safe mid-callback) stops the failure storm
+    // from condemning healthy links; a genuinely dead second channel
+    // re-accumulates from its own subsequent failures.
+    for (auto &e : engines_)
+        e->resetStreaksExcept(channel);
+    // The verdict fires inside an engine's timeout handler; mutating
+    // engines or steering groups mid-callback would be re-entrant.
+    // Schedule the repair pass at the current tick instead, which
+    // also coalesces a burst of same-tick verdicts into one pass.
+    if (!recovery_scheduled_) {
+        recovery_scheduled_ = true;
+        eq_.scheduleAt(now, [this] { performRecovery(); });
+    }
+}
+
+void
+Machine::performRecovery()
+{
+    recovery_scheduled_ = false;
+    if (!active_ || health_ == nullptr)
+        return; // verdict raced a completed or aborted run
+    if (recovery_ctr_.resume_epochs
+        >= opts_.recovery.max_resume_epochs) {
+        // Out of repair budget: stop resuming; parked transfers keep
+        // the engines un-done and the watchdog aborts structurally.
+        return;
+    }
+    ++recovery_ctr_.resume_epochs;
+    // Rail failover first, so the repair/resume pass below re-steers
+    // into live siblings only. Masking is idempotent per channel.
+    for (int cid : health_->deadChannels()) {
+        if (!maskDeadRail(cid))
+            continue;
+        ++recovery_ctr_.rails_failed_over;
+        if (sink_ != nullptr) {
+            obs::TraceEvent ev;
+            ev.kind = obs::EventKind::RailFailover;
+            ev.tick = eq_.now();
+            ev.channel = cid;
+            sink_->onEvent(ev);
+        }
+    }
+    // Deterministic route repair only under RepairResume; the
+    // failover-only policy relies on issue-time steering alone.
+    ni::NicEngine::RerouteFn reroute;
+    if (opts_.recovery.policy == fault::RecoveryPolicy::RepairResume) {
+        reroute = [this](int src, int dst) {
+            return topo_.tryBfsRouteAvoiding(src, dst,
+                                             health_->deadMask());
+        };
+    }
+    std::uint64_t resumed = 0;
+    for (auto &e : engines_) {
+        const ni::RepairStats st = e->repairAndResume(reroute);
+        recovery_ctr_.routes_repaired += st.routes_repaired;
+        recovery_ctr_.pinned_repairs += st.pinned_repairs;
+        recovery_ctr_.resumed_transfers += st.resumed;
+        resumed += st.resumed;
+    }
+    if (sink_ != nullptr) {
+        obs::TraceEvent ev;
+        ev.kind = obs::EventKind::ResumeEpoch;
+        ev.tick = eq_.now();
+        ev.step =
+            static_cast<int>(recovery_ctr_.resume_epochs);
+        ev.bytes = resumed;
+        sink_->onEvent(ev);
+    }
+}
+
+bool
+Machine::maskDeadRail(int channel)
+{
+    const auto c = static_cast<std::size_t>(channel);
+    if (c >= rail_groups_.group_of.size())
+        return false;
+    const int gid = rail_groups_.group_of[c];
+    if (gid < 0)
+        return false;
+    auto &group = rail_groups_.groups[static_cast<std::size_t>(gid)];
+    if (group.size() <= 1)
+        return false; // no live sibling left to fail over to
+    auto it = std::find(group.begin(), group.end(), channel);
+    if (it == group.end())
+        return false; // already masked by an earlier pass
+    group.erase(it);
+    // group_of keeps mapping the dead channel to its group, so a
+    // route still naming it re-steers into a live sibling.
+    return true;
 }
 
 void

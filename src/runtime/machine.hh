@@ -36,6 +36,7 @@
 #include "common/stats.hh"
 #include "common/units.hh"
 #include "fault/fault.hh"
+#include "fault/health.hh"
 #include "net/network.hh"
 #include "ni/nic_engine.hh"
 #include "sim/event_queue.hh"
@@ -120,6 +121,15 @@ struct RunOptions {
      * unset no interposer is attached and the fabric is pristine.
      */
     std::optional<fault::FaultConfig> fault;
+    /**
+     * Self-healing policy (fault/health.hh). Off keeps runs
+     * tick-identical to a machine built without it — the same
+     * nullptr/flag-guard discipline as the obs sinks. Armed policies
+     * require reliability.enabled: the health monitor consumes the
+     * reliability layer's timeout evidence, and resume rides its
+     * outstanding-transfer scoreboard.
+     */
+    fault::RecoveryOptions recovery;
 };
 
 /** Per-collective tweaks layered over the Machine's RunOptions. */
@@ -179,6 +189,11 @@ struct RunReport {
     std::uint64_t acks = 0;
     std::uint64_t duplicates = 0;
     std::uint64_t corrupt_discarded = 0;
+    /** Retransmits fast-failed against a confirmed-dead channel. */
+    std::uint64_t retx_into_dead_link = 0;
+
+    /** Self-healing activity (all zero when recovery is off). */
+    fault::RecoveryCounters recovery;
 
     std::vector<NodeReport> nodes; ///< per-node breakdown
     /** Transfers whose retries were exhausted (wedge evidence). */
@@ -277,6 +292,15 @@ class Machine
     /** The machine's fault plan, or nullptr when none configured. */
     fault::FaultPlan *faultPlan() { return plan_.get(); }
 
+    /** The link-health monitor, or nullptr when recovery is off. */
+    fault::HealthMonitor *healthMonitor() { return health_.get(); }
+
+    /** Self-healing activity of the current/last run. */
+    const fault::RecoveryCounters &recoveryCounters() const
+    {
+        return recovery_ctr_;
+    }
+
     /**
      * Watchdog diagnostic of the current (wedged) state: stalled
      * engines with their missing dependencies, injected/delivered/
@@ -334,6 +358,28 @@ class Machine
      *  next beginEpoch() finds an idle machine. */
     void abortActive();
 
+    /**
+     * Health-monitor verdict subscriber. Fires inside an engine's
+     * timeout handler, so it only records the death and schedules
+     * the repair pass at the current tick — same-tick verdicts
+     * coalesce into one performRecovery().
+     */
+    void onLinkDead(int channel, Tick now);
+
+    /**
+     * One repair pass: mask confirmed-dead rails out of the steering
+     * groups, recompute affected routes around the dead set (policy
+     * RepairResume), and re-issue the transfers still open in the
+     * NIC scoreboards. Bounded by RecoveryOptions::max_resume_epochs;
+     * past the budget it does nothing and the watchdog aborts.
+     */
+    void performRecovery();
+
+    /** Mask @p channel out of its rail group (keeping the group_of
+     *  mapping, so routes naming it re-steer into a live sibling).
+     *  False when it has no live sibling or is already masked. */
+    bool maskDeadRail(int channel);
+
     const topo::Topology &topo_;
     RunOptions opts_;
     /** Parallel-link structure of topo_; empty on single-rail
@@ -343,6 +389,11 @@ class Machine
     std::unique_ptr<net::Network> network_;
     std::vector<std::unique_ptr<ni::NicEngine>> engines_;
     std::unique_ptr<fault::FaultPlan> plan_;
+    /** Link-health monitor; nullptr when recovery is off. */
+    std::unique_ptr<fault::HealthMonitor> health_;
+    fault::RecoveryCounters recovery_ctr_;
+    /** A repair pass is scheduled but has not run yet. */
+    bool recovery_scheduled_ = false;
 
     /** Adapter feeding RunOptions::trace from MsgDeliver events. */
     std::unique_ptr<obs::TraceSink> legacy_sink_;

@@ -3,6 +3,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "fault/health.hh"
 #include "net/energy.hh"
 #include "obs/trace.hh"
 #include "topo/topology.hh"
@@ -79,6 +80,25 @@ writeMetricsJson(std::ostream &os, const Machine &machine,
         os << "    \"duplicates\": " << rep->duplicates << ",\n";
         os << "    \"corrupt_discarded\": " << rep->corrupt_discarded
            << ",\n";
+        os << "    \"retx_into_dead_link\": "
+           << rep->retx_into_dead_link << ",\n";
+        const fault::RecoveryCounters &rc = rep->recovery;
+        os << "    \"recovery\": {\n";
+        os << "      \"policy\": "
+           << obs::jsonQuote(fault::policyName(
+                  machine.options().recovery.policy))
+           << ",\n";
+        os << "      \"links_dead\": " << rc.links_dead << ",\n";
+        os << "      \"rails_failed_over\": " << rc.rails_failed_over
+           << ",\n";
+        os << "      \"routes_repaired\": " << rc.routes_repaired
+           << ",\n";
+        os << "      \"pinned_repairs\": " << rc.pinned_repairs
+           << ",\n";
+        os << "      \"resumed_transfers\": " << rc.resumed_transfers
+           << ",\n";
+        os << "      \"resume_epochs\": " << rc.resume_epochs
+           << "\n    },\n";
         os << "    \"failed_transfers\": " << rep->failures.size()
            << ",\n";
         os << "    \"diagnostic\": " << obs::jsonQuote(rep->diagnostic)

@@ -85,6 +85,13 @@ Topology::bfsRoute(int src, int dst) const
 std::optional<std::vector<int>>
 Topology::tryBfsRoute(int src, int dst) const
 {
+    return tryBfsRouteAvoiding(src, dst, {});
+}
+
+std::optional<std::vector<int>>
+Topology::tryBfsRouteAvoiding(int src, int dst,
+                              const std::vector<char> &blocked) const
+{
     MT_ASSERT(src >= 0 && src < numVertices(), "bad src vertex ", src);
     MT_ASSERT(dst >= 0 && dst < numVertices(), "bad dst vertex ", dst);
     if (src == dst)
@@ -98,6 +105,9 @@ Topology::tryBfsRoute(int src, int dst) const
         int u = frontier.front();
         frontier.pop();
         for (int cid : out_[u]) {
+            const auto c = static_cast<std::size_t>(cid);
+            if (c < blocked.size() && blocked[c] != 0)
+                continue;
             int v = channels_[cid].dst;
             if (seen[v])
                 continue;
@@ -160,8 +170,10 @@ RailGroups::railOf(int cid) const
     if (gid < 0)
         return 0;
     const auto &g = groups[static_cast<std::size_t>(gid)];
-    auto it = std::find(g.begin(), g.end(), cid);
-    MT_ASSERT(it != g.end(), "rail group table corrupt");
+    // Members are ascending, so the insertion point is the rail
+    // index. A channel masked out of its group (dead-rail failover)
+    // still maps here and reports the rank it held among survivors.
+    auto it = std::lower_bound(g.begin(), g.end(), cid);
     return static_cast<int>(it - g.begin());
 }
 

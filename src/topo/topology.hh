@@ -129,6 +129,18 @@ class Topology
     std::optional<std::vector<int>> tryBfsRoute(int src,
                                                 int dst) const;
 
+    /**
+     * Like tryBfsRoute(), but never traverses a channel whose id is
+     * flagged in @p blocked (dense channel-id → flag mask; ids past
+     * the mask's end count as allowed). The self-healing layer's
+     * deterministic route repair: recompute a path around the
+     * confirmed-dead channel set. std::nullopt when the dead set
+     * disconnects @p dst from @p src.
+     */
+    std::optional<std::vector<int>>
+    tryBfsRouteAvoiding(int src, int dst,
+                        const std::vector<char> &blocked) const;
+
   protected:
     /** Append a vertex of kind @p k. @return its id. */
     int addVertex(VertexKind k);

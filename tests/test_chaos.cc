@@ -1,0 +1,455 @@
+/**
+ * @file
+ * Self-healing fabric tests: failure detection, rail failover, route
+ * repair, resumable collectives — and a seeded chaos sweep.
+ *
+ * Headline property: a permanent link or rail kill either ends in a
+ * recovered run whose reduced data the exact-arithmetic DataPlane
+ * oracle certifies bit-identical, or in a clean structured RunReport
+ * abort — never a hang, never a crash. The acceptance scenario kills
+ * one spine rail of a 2-rail hierarchical fabric mid-collective and
+ * requires completion via failover on both network backends.
+ *
+ * The chaos sweep honors MT_FAULT_SEED (default 1) so the CI
+ * chaos-smoke job can replay it under several fixed seeds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "coll/algorithm.hh"
+#include "coll/data_plane.hh"
+#include "coll/hierarchical.hh"
+#include "common/random.hh"
+#include "fault/fault.hh"
+#include "fault/health.hh"
+#include "ni/nic_engine.hh"
+#include "runtime/machine.hh"
+#include "topo/factory.hh"
+#include "topo/hierarchical.hh"
+
+namespace multitree {
+namespace {
+
+/** Seed for the chaos sweep; CI replays several values. */
+std::uint64_t
+faultSeed()
+{
+    const char *env = std::getenv("MT_FAULT_SEED");
+    return env != nullptr ? std::strtoull(env, nullptr, 10) : 1;
+}
+
+void
+expectSameResult(const runtime::RunResult &a,
+                 const runtime::RunResult &b)
+{
+    EXPECT_EQ(a.time, b.time);
+    EXPECT_DOUBLE_EQ(a.bandwidth, b.bandwidth);
+    EXPECT_EQ(a.messages, b.messages);
+    EXPECT_DOUBLE_EQ(a.payload_flits, b.payload_flits);
+    EXPECT_DOUBLE_EQ(a.head_flits, b.head_flits);
+    EXPECT_DOUBLE_EQ(a.flit_hops, b.flit_hops);
+    EXPECT_DOUBLE_EQ(a.head_hops, b.head_hops);
+    EXPECT_EQ(a.nop_windows, b.nop_windows);
+}
+
+/** Wire a DataPlane oracle into @p machine's accept stream. */
+void
+attachOracle(runtime::Machine &machine, coll::DataPlane &plane)
+{
+    machine.setAcceptSink([&plane](const net::Message &msg) {
+        if (msg.tag == ni::kTagAck)
+            return;
+        plane.onAccept(msg.src, msg.dst, msg.flow_id,
+                       msg.tag == ni::kTagGather, msg.corrupted);
+    });
+}
+
+/**
+ * Spine channels of rail @p rail at island @p island's gateway,
+ * both directions — the physical extent of one --kill-rail.
+ */
+std::vector<int>
+railChannels(const topo::HierarchicalTopology &hier, int island,
+             int rail)
+{
+    const topo::RailGroups rg = topo::buildRailGroups(hier);
+    const int gateway = hier.globalNode(island, 0);
+    std::vector<int> out;
+    for (const auto &ch : hier.channels()) {
+        if (!hier.isSpineChannel(ch.id))
+            continue;
+        if (ch.src != gateway && ch.dst != gateway)
+            continue;
+        if (rg.railOf(ch.id) == rail)
+            out.push_back(ch.id);
+    }
+    return out;
+}
+
+// --- HealthMonitor unit behaviour ---------------------------------
+
+TEST(HealthMonitor, ThresholdConfirmsAndFiresVerdictOnce)
+{
+    fault::RecoveryOptions opts;
+    opts.policy = fault::RecoveryPolicy::Failover;
+    opts.dead_after = 3;
+    fault::HealthMonitor mon(opts, 8);
+    int verdicts = 0;
+    int dead_channel = -1;
+    Tick dead_tick = 0;
+    mon.onVerdict([&](int channel, Tick now) {
+        ++verdicts;
+        dead_channel = channel;
+        dead_tick = now;
+    });
+
+    mon.reportEvidence(5, 1, 100);
+    mon.reportEvidence(5, 2, 200);
+    EXPECT_FALSE(mon.confirmedDead(5));
+    EXPECT_EQ(verdicts, 0);
+    mon.reportEvidence(5, 3, 300);
+    EXPECT_TRUE(mon.confirmedDead(5));
+    EXPECT_EQ(verdicts, 1);
+    EXPECT_EQ(dead_channel, 5);
+    EXPECT_EQ(dead_tick, 300u);
+    // Further evidence for a confirmed channel is a no-op.
+    mon.reportEvidence(5, 4, 400);
+    EXPECT_EQ(verdicts, 1);
+    EXPECT_EQ(mon.deadCount(), 1u);
+    EXPECT_EQ(mon.deadChannels(), std::vector<int>{5});
+
+    // Verdicts name only the channel that crossed the threshold.
+    EXPECT_FALSE(mon.confirmedDead(4));
+    EXPECT_EQ(mon.firstDeadOn({1, 4, 5, 6}), 5);
+    EXPECT_EQ(mon.firstDeadOn({1, 4, 6}), -1);
+
+    mon.reset();
+    EXPECT_FALSE(mon.confirmedDead(5));
+    EXPECT_EQ(mon.deadCount(), 0u);
+}
+
+// --- The acceptance scenario: spine-rail failover -----------------
+
+class RailFailover
+    : public ::testing::TestWithParam<runtime::Backend>
+{};
+
+// Kill one spine rail of a 2-rail hierarchical fabric permanently
+// mid-collective. The health monitor must confirm the dead rail, the
+// runtime must mask it from its steering group and resume the open
+// transfers over the surviving rail, and the collective must finish
+// with bit-identical reduced data — on both backends.
+TEST_P(RailFailover, SpineRailKillCompletesViaFailover)
+{
+    auto topo =
+        topo::makeTopology("hier:torus-2x2+fattree-2:2:2,rails=2");
+    auto *hier = dynamic_cast<const topo::HierarchicalTopology *>(
+        topo.get());
+    ASSERT_NE(hier, nullptr);
+    ASSERT_EQ(hier->rails(), 2);
+    const std::vector<int> rail = railChannels(*hier, 1, 1);
+    ASSERT_FALSE(rail.empty());
+
+    runtime::RunOptions opts;
+    opts.backend = GetParam();
+    opts.reliability.enabled = true;
+    opts.recovery.policy = fault::RecoveryPolicy::Failover;
+    fault::FaultConfig fc;
+    fc.seed = faultSeed();
+    for (int cid : rail) {
+        fault::LinkFault lf;
+        lf.channel = cid;
+        lf.from = 2000;
+        lf.down = true;
+        fc.links.push_back(lf);
+    }
+    opts.fault = fc;
+    runtime::Machine machine(*topo, opts);
+
+    auto sched = coll::composeHierarchical(*hier, "multitree",
+                                           "ring", 64 * KiB);
+    coll::DataPlane plane(sched);
+    attachOracle(machine, plane);
+    auto rep = machine.tryRun(sched);
+    ASSERT_TRUE(rep.ok) << rep.diagnostic;
+    EXPECT_TRUE(plane.consistent()) << plane.describeMismatch();
+
+    // The repair actually happened: dead verdicts, at least one rail
+    // masked, open transfers re-issued, all within the epoch bound.
+    const fault::RecoveryCounters &rc = rep.recovery;
+    EXPECT_GT(rc.links_dead, 0u);
+    EXPECT_GT(rc.rails_failed_over, 0u);
+    EXPECT_GT(rc.resumed_transfers, 0u);
+    EXPECT_GT(rc.resume_epochs, 0u);
+    EXPECT_LE(rc.resume_epochs,
+              opts.recovery.max_resume_epochs);
+    EXPECT_EQ(rc.routes_repaired, 0u); // failover never rewrites
+    EXPECT_GT(rep.dropped, 0u);        // the kill was real
+    EXPECT_TRUE(machine.idle());
+    machine.setAcceptSink(nullptr);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, RailFailover,
+    ::testing::Values(runtime::Backend::Flow,
+                      runtime::Backend::Flit),
+    [](const ::testing::TestParamInfo<runtime::Backend> &info) {
+        return info.param == runtime::Backend::Flow ? "Flow"
+                                                    : "Flit";
+    });
+
+// --- Route repair + resume on pinned source routes ----------------
+
+class RepairResume
+    : public ::testing::TestWithParam<runtime::Backend>
+{};
+
+// Kill a channel the MultiTree schedule provably crosses on a flat
+// torus (no parallel rail to fail over to). Under RepairResume the
+// runtime must rewrite the affected steer-pinned source routes via
+// BFS around the dead link — flagging them as repaired — and resume
+// to oracle-certified completion.
+TEST_P(RepairResume, PinnedRouteRepairCompletesAroundDeadLink)
+{
+    auto topo = topo::makeTopology("torus-4x4");
+    auto sched =
+        coll::makeAlgorithm("multitree")->build(*topo, 64 * KiB);
+    const auto &edge = sched.flows[0].reduce[0];
+    auto route = edge.route.empty()
+                     ? topo->route(edge.src, edge.dst)
+                     : edge.route;
+    ASSERT_FALSE(route.empty());
+    const int downed = route[0];
+
+    runtime::RunOptions opts;
+    opts.backend = GetParam();
+    opts.reliability.enabled = true;
+    opts.recovery.policy = fault::RecoveryPolicy::RepairResume;
+    fault::FaultConfig fc;
+    fc.seed = faultSeed();
+    fault::LinkFault lf;
+    lf.channel = downed;
+    lf.from = 1000;
+    lf.down = true;
+    fc.links.push_back(lf);
+    opts.fault = fc;
+    runtime::Machine machine(*topo, opts);
+
+    coll::DataPlane plane(sched);
+    attachOracle(machine, plane);
+    auto rep = machine.tryRun(sched);
+    ASSERT_TRUE(rep.ok) << rep.diagnostic;
+    EXPECT_TRUE(plane.consistent()) << plane.describeMismatch();
+
+    const fault::RecoveryCounters &rc = rep.recovery;
+    EXPECT_GT(rc.links_dead, 0u);
+    EXPECT_GT(rc.routes_repaired, 0u);
+    EXPECT_GT(rc.pinned_repairs, 0u);
+    EXPECT_GT(rc.resumed_transfers, 0u);
+    EXPECT_GT(rep.dropped, 0u);
+    // The report accessor and the machine agree.
+    EXPECT_EQ(rc.links_dead,
+              machine.recoveryCounters().links_dead);
+    EXPECT_TRUE(machine.idle());
+    machine.setAcceptSink(nullptr);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, RepairResume,
+    ::testing::Values(runtime::Backend::Flow,
+                      runtime::Backend::Flit),
+    [](const ::testing::TestParamInfo<runtime::Backend> &info) {
+        return info.param == runtime::Backend::Flow ? "Flow"
+                                                    : "Flit";
+    });
+
+// --- Inertness of the armed-but-idle layer ------------------------
+
+class RecoveryInert
+    : public ::testing::TestWithParam<runtime::Backend>
+{};
+
+// An armed recovery policy on a fault-free fabric never triggers and
+// must be tick-identical to the same machine with recovery off: the
+// monitor's evidence bookkeeping is pure accounting, and the
+// dead-aware routing paths only diverge once a verdict exists.
+TEST_P(RecoveryInert, ArmedButIdleIsTickIdentical)
+{
+    auto topo = topo::makeTopology("torus-4x4");
+    runtime::RunOptions off;
+    off.backend = GetParam();
+    off.reliability.enabled = true;
+    runtime::Machine base(*topo, off);
+
+    runtime::RunOptions armed = off;
+    armed.recovery.policy = fault::RecoveryPolicy::RepairResume;
+    runtime::Machine healing(*topo, armed);
+
+    for (const std::string algo : {"ring", "multitree"}) {
+        SCOPED_TRACE(algo);
+        auto a = base.tryRun(algo, 64 * KiB);
+        auto b = healing.tryRun(algo, 64 * KiB);
+        ASSERT_TRUE(a.ok) << a.diagnostic;
+        ASSERT_TRUE(b.ok) << b.diagnostic;
+        expectSameResult(a.result, b.result);
+        const fault::RecoveryCounters &rc = b.recovery;
+        EXPECT_EQ(rc.links_dead, 0u);
+        EXPECT_EQ(rc.resume_epochs, 0u);
+        EXPECT_EQ(b.retx_into_dead_link, 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, RecoveryInert,
+    ::testing::Values(runtime::Backend::Flow,
+                      runtime::Backend::Flit),
+    [](const ::testing::TestParamInfo<runtime::Backend> &info) {
+        return info.param == runtime::Backend::Flow ? "Flow"
+                                                    : "Flit";
+    });
+
+// --- Recovery off: the sharpened structured abort -----------------
+
+// With recovery off a permanent kill must still end in the watchdog's
+// structured abort — now ranking the downed channel first among the
+// suspects from the failure-evidence counters.
+TEST(StallDiagnostic, RanksTheDownedChannelAsTopSuspect)
+{
+    auto topo = topo::makeTopology("torus-4x4");
+    auto sched =
+        coll::makeAlgorithm("ring")->build(*topo, 16 * KiB);
+    const auto &edge = sched.flows[0].reduce[0];
+    auto route = edge.route.empty()
+                     ? topo->route(edge.src, edge.dst)
+                     : edge.route;
+    const int downed = route[0];
+
+    runtime::RunOptions opts;
+    opts.reliability.enabled = true;
+    opts.reliability.max_attempts = 3;
+    fault::FaultConfig fc;
+    fault::LinkFault lf;
+    lf.channel = downed;
+    lf.down = true;
+    fc.links.push_back(lf);
+    opts.fault = fc;
+    runtime::Machine machine(*topo, opts);
+
+    auto rep = machine.tryRun(sched);
+    EXPECT_FALSE(rep.ok);
+    EXPECT_TRUE(machine.idle());
+    ASSERT_NE(rep.diagnostic.find("suspect channel"),
+              std::string::npos)
+        << rep.diagnostic;
+    // The downed channel leads the ranking: it appears on the first
+    // suspect line after the header.
+    const auto header = rep.diagnostic.find("suspect channel");
+    const auto line = rep.diagnostic.find('\n', header);
+    ASSERT_NE(line, std::string::npos);
+    const auto end = rep.diagnostic.find('\n', line + 1);
+    const std::string first =
+        rep.diagnostic.substr(line + 1, end - line - 1);
+    EXPECT_NE(first.find("channel " + std::to_string(downed)),
+              std::string::npos)
+        << rep.diagnostic;
+}
+
+// --- The chaos sweep ----------------------------------------------
+
+class Chaos : public ::testing::TestWithParam<runtime::Backend>
+{};
+
+// Seeded random kill schedules across algorithms, topologies and
+// backends. Every run must terminate inside the ctest watchdog bound
+// in one of exactly two ways: a recovered success whose data the
+// oracle certifies, or a clean structured abort that leaves the
+// machine idle. Crashes and hangs are the bugs this sweep exists to
+// catch; which of the two legal outcomes a given draw lands on is
+// the fabric's call (a killed terminal link is unroutable-around).
+TEST_P(Chaos, RandomKillsRecoverOrAbortCleanly)
+{
+    struct Config {
+        const char *topo;
+        const char *algo;
+    };
+    const Config configs[] = {
+        {"torus-4x4", "multitree"},
+        {"fattree-16", "ring"},
+        {"hier:torus-2x2+fattree-2:2:2,rails=2", "ring"},
+    };
+    const std::uint64_t bytes =
+        GetParam() == runtime::Backend::Flit ? 8 * KiB : 32 * KiB;
+    Rng rng(faultSeed() * 7919 + 17);
+
+    int recovered = 0;
+    int aborted = 0;
+    for (const auto &cfg : configs) {
+        auto topo = topo::makeTopology(cfg.topo);
+        auto algo = coll::makeAlgorithm(cfg.algo);
+        ASSERT_TRUE(algo->supports(*topo)) << cfg.topo;
+        auto sched = algo->build(*topo, bytes);
+        for (int draw = 0; draw < 3; ++draw) {
+            SCOPED_TRACE(std::string(cfg.topo) + "/" + cfg.algo
+                         + " draw " + std::to_string(draw));
+            runtime::RunOptions opts;
+            opts.backend = GetParam();
+            opts.reliability.enabled = true;
+            opts.recovery.policy =
+                fault::RecoveryPolicy::RepairResume;
+            fault::FaultConfig fc;
+            fc.seed = faultSeed() + 31 * draw;
+            // One or two random permanent kills at a random tick.
+            const int kills =
+                1 + static_cast<int>(rng.nextBounded(2));
+            for (int k = 0; k < kills; ++k) {
+                fault::LinkFault lf;
+                lf.channel = static_cast<int>(rng.nextBounded(
+                    static_cast<std::uint64_t>(
+                        topo->numChannels())));
+                lf.from = rng.nextBounded(20000);
+                lf.down = true;
+                fc.links.push_back(lf);
+            }
+            opts.fault = fc;
+            runtime::Machine machine(*topo, opts);
+            coll::DataPlane plane(sched);
+            attachOracle(machine, plane);
+            auto rep = machine.tryRun(sched);
+            if (rep.ok) {
+                EXPECT_TRUE(plane.consistent())
+                    << plane.describeMismatch();
+                ++recovered;
+            } else {
+                // Structured abort: a diagnostic, a drained fabric.
+                EXPECT_FALSE(rep.diagnostic.empty());
+                ++aborted;
+            }
+            EXPECT_LE(rep.recovery.resume_epochs,
+                      opts.recovery.max_resume_epochs);
+            EXPECT_TRUE(machine.idle());
+            machine.setAcceptSink(nullptr);
+        }
+    }
+    // Every draw landed on one of the two legal outcomes.
+    EXPECT_EQ(recovered + aborted, 9);
+    // A sweep where nothing ever recovers would mean the healing
+    // layer is inert; random single-link kills on these fabrics are
+    // overwhelmingly routable-around.
+    EXPECT_GT(recovered, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, Chaos,
+    ::testing::Values(runtime::Backend::Flow,
+                      runtime::Backend::Flit),
+    [](const ::testing::TestParamInfo<runtime::Backend> &info) {
+        return info.param == runtime::Backend::Flow ? "Flow"
+                                                    : "Flit";
+    });
+
+} // namespace
+} // namespace multitree
