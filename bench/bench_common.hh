@@ -15,6 +15,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -26,33 +27,56 @@
 
 #include "coll/algorithm.hh"
 #include "obs/perfetto.hh"
+#include "obs/results.hh"
 #include "obs/trace.hh"
 #include "runtime/machine.hh"
 #include "topo/factory.hh"
 
 namespace multitree::bench {
 
+/** Abort flag extraction with a clear one-line diagnosis. A malformed
+ *  flag must die here: left in argv it falls through to
+ *  google-benchmark, which fatals with its own unrelated message. */
+[[noreturn]] inline void
+flagError(const char *msg, const char *arg)
+{
+    std::fprintf(stderr, "error: %s: '%s'\n", msg, arg);
+    std::exit(2);
+}
+
 /**
  * Extract a `--seed=N` (or `--seed N`) flag from argv before
  * google-benchmark parses it (unknown flags are fatal there), and
  * compact argv in place. Seeds feed deterministic fault plans so a
- * faulted sweep is reproducible: same seed, same drops.
+ * faulted sweep is reproducible: same seed, same drops. A trailing
+ * `--seed` with no value or a non-numeric value is a hard error.
  * @return the parsed seed, or @p fallback when the flag is absent.
  */
 inline std::uint64_t
 extractSeedFlag(int *argc, char **argv,
                 std::uint64_t fallback = 1)
 {
+    auto parse = [](const char *flag, const char *value) {
+        char *end = nullptr;
+        std::uint64_t v = std::strtoull(value, &end, 10);
+        if (end == value || *end != '\0')
+            flagError("--seed needs an unsigned integer, got",
+                      flag);
+        return v;
+    };
     std::uint64_t seed = fallback;
     int out = 1;
     for (int i = 1; i < *argc; ++i) {
         const char *a = argv[i];
         if (std::strncmp(a, "--seed=", 7) == 0) {
-            seed = std::strtoull(a + 7, nullptr, 10);
+            seed = parse(a, a + 7);
             continue;
         }
-        if (std::strcmp(a, "--seed") == 0 && i + 1 < *argc) {
-            seed = std::strtoull(argv[++i], nullptr, 10);
+        if (std::strcmp(a, "--seed") == 0) {
+            if (i + 1 >= *argc)
+                flagError("missing value after", a);
+            seed = parse(argv[i + 1], argv[i + 1]);
+            ++i;
             continue;
         }
         argv[out++] = argv[i];
@@ -133,7 +157,8 @@ writeFabricTraces()
 /**
  * Extract `--trace-out=BASE` (or `--trace-out BASE`) from argv the
  * same way extractSeedFlag does, arming per-fabric lifecycle tracing
- * for the whole benchmark process. Traces are flushed at exit.
+ * for the whole benchmark process. Traces are flushed at exit. A
+ * trailing `--trace-out` with no value is a hard error.
  * @return whether tracing was armed.
  */
 inline bool
@@ -143,10 +168,14 @@ extractTraceOutFlag(int *argc, char **argv)
     for (int i = 1; i < *argc; ++i) {
         const char *a = argv[i];
         if (std::strncmp(a, "--trace-out=", 12) == 0) {
+            if (a[12] == '\0')
+                flagError("empty path in", a);
             traceOutBase() = a + 12;
             continue;
         }
-        if (std::strcmp(a, "--trace-out") == 0 && i + 1 < *argc) {
+        if (std::strcmp(a, "--trace-out") == 0) {
+            if (i + 1 >= *argc)
+                flagError("missing value after", a);
             traceOutBase() = argv[++i];
             continue;
         }
@@ -229,9 +258,12 @@ benchRows()
 /**
  * Write every recorded row as machine-readable JSON. The output path
  * defaults to BENCH_results.json in the working directory; the
- * MT_BENCH_RESULTS environment variable overrides it. Speedups are
- * computed at write time against the ring row with the same
- * (topology, bytes) — null when the sweep had no ring baseline.
+ * MT_BENCH_RESULTS environment variable overrides it. The write is a
+ * merge: rows already in the file survive unless a new row shares
+ * their name, so a suite of bench binaries run back to back
+ * accumulates one results file instead of each clobbering the last.
+ * Serialization (atomic tmp+rename, speedup_vs_ring derivation keyed
+ * by topology/bytes/mode) lives in obs/results.hh.
  */
 inline void
 writeBenchResults()
@@ -242,40 +274,23 @@ writeBenchResults()
     const char *env = std::getenv("MT_BENCH_RESULTS");
     const std::string path =
         env != nullptr && *env != '\0' ? env : "BENCH_results.json";
-    std::ofstream out(path);
-    if (!out)
-        return;
-    // Ring baseline per (topology, bytes) for speedup columns.
-    std::map<std::pair<std::string, std::uint64_t>, Tick> ring;
+    std::vector<obs::ResultRow> out;
+    out.reserve(rows.size());
     for (const auto &r : rows) {
-        if (r.algo == "ring")
-            ring[{r.topo, r.bytes}] = r.cycles;
+        obs::ResultRow row;
+        row.name = r.name;
+        row.topology = r.topo;
+        row.algorithm = r.algo;
+        row.bytes = r.bytes;
+        row.cycles = r.cycles;
+        row.bandwidth_gbps = r.bandwidth_gbps;
+        row.messages = r.messages;
+        row.wall_ms = r.wall_ms;
+        row.msim_cps = r.msim_cps;
+        row.mode = r.mode;
+        out.push_back(std::move(row));
     }
-    out << "{\n  \"results\": [\n";
-    const char *sep = "";
-    for (const auto &r : rows) {
-        out << sep << "    {\"name\": " << obs::jsonQuote(r.name)
-            << ", \"topology\": " << obs::jsonQuote(r.topo)
-            << ", \"algorithm\": " << obs::jsonQuote(r.algo)
-            << ", \"bytes\": " << r.bytes
-            << ", \"cycles\": " << r.cycles
-            << ", \"bandwidth_gbps\": " << r.bandwidth_gbps
-            << ", \"messages\": " << r.messages
-            << ", \"wall_ms\": " << r.wall_ms
-            << ", \"msim_cycles_per_s\": " << r.msim_cps
-            << ", \"mode\": " << obs::jsonQuote(r.mode)
-            << ", \"speedup_vs_ring\": ";
-        auto it = ring.find({r.topo, r.bytes});
-        if (it == ring.end() || r.cycles == 0) {
-            out << "null";
-        } else {
-            out << static_cast<double>(it->second)
-                       / static_cast<double>(r.cycles);
-        }
-        out << "}";
-        sep = ",\n";
-    }
-    out << "\n  ]\n}\n";
+    obs::mergeResultsFile(path, out);
 }
 
 /** Record one fully-populated row, arming the atexit writer on

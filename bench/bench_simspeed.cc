@@ -18,6 +18,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -35,17 +36,25 @@ struct Point {
     std::uint64_t bytes;
     runtime::Backend backend;
     bool dense = false; ///< flit only: force the dense reference loop
+    std::uint32_t threads = 1; ///< parallel-engine worker count
+    int runs = kTimedRuns;     ///< 1 for the paper-scale fabrics
 };
 
-const char *
+std::string
 modeName(const Point &p)
 {
     if (p.backend == runtime::Backend::Flow)
         return "flow";
-    return p.dense ? "dense" : "active";
+    std::string mode = p.dense ? "dense" : "active";
+    if (p.threads > 1)
+        mode += "-t" + std::to_string(p.threads);
+    return mode;
 }
 
-/** Run one point: 1 warmup + kTimedRuns timed, best wall kept. */
+/** Run one point: 1 warmup + p.runs timed, best wall kept. The
+ *  paper-scale fabrics (runs == 1) skip the warmup: a cold first run
+ *  is an honest number there, and a second multi-minute collective
+ *  is not worth the pool-sizing noise it removes. */
 void
 runPoint(const Point &p)
 {
@@ -53,13 +62,15 @@ runPoint(const Point &p)
     runtime::RunOptions opts;
     opts.backend = p.backend;
     opts.net.dense_tick = p.dense;
+    opts.net.threads = p.threads;
     runtime::Machine machine(*topo, opts);
 
-    machine.run(p.algo, p.bytes); // warm pools, FIFOs, event heap
+    if (p.runs > 1)
+        machine.run(p.algo, p.bytes); // warm pools, FIFOs, event heap
 
     double best_s = 0;
     runtime::RunResult res;
-    for (int i = 0; i < kTimedRuns; ++i) {
+    for (int i = 0; i < p.runs; ++i) {
         const auto t0 = std::chrono::steady_clock::now();
         res = machine.run(p.algo, p.bytes);
         const auto t1 = std::chrono::steady_clock::now();
@@ -70,8 +81,9 @@ runPoint(const Point &p)
     }
 
     bench::BenchRow row;
+    const std::string mode = modeName(p);
     row.name = "simspeed/" + p.topo + "/" + p.algo + "/"
-               + std::to_string(p.bytes) + "/" + modeName(p);
+               + std::to_string(p.bytes) + "/" + mode;
     row.topo = p.topo;
     row.algo = p.algo;
     row.bytes = p.bytes;
@@ -82,7 +94,7 @@ runPoint(const Point &p)
     row.msim_cps = best_s > 0 ? static_cast<double>(res.time)
                                     / best_s * 1e-6
                               : 0;
-    row.mode = modeName(p);
+    row.mode = mode;
     bench::recordBenchRow(row);
 
     std::printf("%-44s %10llu cyc  %9.2f ms  %9.2f Mcyc/s\n",
@@ -128,6 +140,33 @@ main()
         points.push_back({"torus-8x8", algo, kIdleBytes,
                           runtime::Backend::Flit, true});
     }
+    // Parallel-engine rows: a saturated 16x16 torus at 1, 2 and 4
+    // workers plus the dense oracle. The *-t4 / active wall-clock
+    // ratio is the headline number; on a single-core host it is an
+    // honest slowdown (barrier overhead with nothing to overlap), so
+    // consumers must read it next to the recording host's core count.
+    constexpr std::uint64_t kSatBytes = 256 * KiB;
+    for (std::uint32_t threads : {1u, 2u, 4u}) {
+        points.push_back({"torus-16x16", "multitree", kSatBytes,
+                          runtime::Backend::Flit, false, threads});
+    }
+    points.push_back({"torus-16x16", "multitree", kSatBytes,
+                      runtime::Backend::Flit, true});
+    // Paper-scale firsts — a 1024-node torus and a 1024-node fat-tree
+    // — cost minutes per collective, so they run once (no warmup,
+    // no best-of) and only when asked for: MT_SIMSPEED_LARGE=1.
+    if (std::getenv("MT_SIMSPEED_LARGE") != nullptr) {
+        for (const std::string &topo :
+             {std::string("torus-32x32"),
+              std::string("fattree-32:32:16")}) {
+            points.push_back({topo, "multitree", 16 * KiB,
+                              runtime::Backend::Flit, false, 1,
+                              /*runs=*/1});
+            points.push_back({topo, "multitree", 16 * KiB,
+                              runtime::Backend::Flit, false, 4,
+                              /*runs=*/1});
+        }
+    }
 
     std::printf("%-44s %14s %12s %14s\n", "point", "sim cycles",
                 "wall", "throughput");
@@ -144,7 +183,8 @@ main()
     };
     std::printf("\nactive-set speedup vs dense reference loop:\n");
     for (const Point &p : points) {
-        if (p.backend != runtime::Backend::Flit || p.dense)
+        if (p.backend != runtime::Backend::Flit || p.dense
+            || p.threads > 1)
             continue;
         const std::string base = "simspeed/" + p.topo + "/" + p.algo
                                  + "/" + std::to_string(p.bytes);
@@ -152,6 +192,21 @@ main()
         const double den = wallOf(base + "/dense");
         if (act > 0 && den > 0) {
             std::printf("  %-40s %6.2fx\n", base.c_str(), den / act);
+        }
+    }
+
+    std::printf("\nparallel-engine speedup vs 1-thread active:\n");
+    for (const Point &p : points) {
+        if (p.backend != runtime::Backend::Flit || p.dense
+            || p.threads <= 1)
+            continue;
+        const std::string base = "simspeed/" + p.topo + "/" + p.algo
+                                 + "/" + std::to_string(p.bytes);
+        const double serial = wallOf(base + "/active");
+        const double par = wallOf(base + "/" + modeName(p));
+        if (serial > 0 && par > 0) {
+            std::printf("  %-40s t%u: %6.2fx\n", base.c_str(),
+                        p.threads, serial / par);
         }
     }
     return 0;

@@ -112,6 +112,7 @@ struct Args {
     std::string heatmap_csv;
     bool energy_report = false;
     bool dense_tick = false;
+    std::uint32_t threads = 1;
     std::string rail_policy = "rr";
 };
 
@@ -123,6 +124,7 @@ usage()
         "             [--collective allreduce|reducescatter|"
         "allgather|alltoall]\n"
         "             [--backend flow|flit] [--msg] [--dense-tick]\n"
+        "             [--threads N]\n"
         "             [--reduction-bw BYTES_PER_CYCLE] "
         "[--dump dot|csv]\n"
         "             [--seed N] [--drop PROB] [--corrupt PROB]\n"
@@ -300,6 +302,19 @@ main(int argc, char **argv)
             args.energy_report = true;
         else if (a == "--dense-tick")
             args.dense_tick = true;
+        else if (a == "--threads") {
+            char *end = nullptr;
+            const char *v = next();
+            unsigned long t = std::strtoul(v, &end, 10);
+            if (end == v || *end != '\0' || t < 1 || t > 1024) {
+                std::fprintf(stderr,
+                             "error: --threads needs an integer in "
+                             "[1, 1024], got '%s'\n",
+                             v);
+                return 1;
+            }
+            args.threads = static_cast<std::uint32_t>(t);
+        }
         else if (a == "--rail-policy")
             args.rail_policy = next();
         else if (a == "--list-topologies") {
@@ -400,6 +415,7 @@ main(int argc, char **argv)
     if (args.msg)
         opts.net.mode = net::FlowControlMode::MessageBased;
     opts.net.dense_tick = args.dense_tick;
+    opts.net.threads = args.threads;
     opts.ni_reduction_bw = args.reduction_bw;
     if (args.rail_policy == "backlog") {
         opts.rail_policy = ni::RailPolicy::Backlog;

@@ -1,0 +1,384 @@
+/**
+ * @file
+ * mtsweep — multi-process sweep farm for paper-scale campaigns.
+ *
+ * Expands an algorithm × topology × size × seed cross product,
+ * shards the points that still need simulating across forked worker
+ * processes, and merges everything into one BENCH_results.json-format
+ * file through obs/results.hh (atomic tmp+rename, merge by row
+ * name). Every point's result is cached under a content hash of its
+ * configuration: a re-run whose hashes are unchanged performs zero
+ * re-simulation and reproduces the merged file byte for byte, so
+ * growing a campaign (more sizes, one more topology) only pays for
+ * the new points.
+ *
+ * The hash deliberately excludes --threads and --workers: the
+ * parallel flit engine is bit-identical at any thread count
+ * (tests/test_activeset.cc), so a cached row is valid whatever
+ * parallelism produced it.
+ *
+ * Workers are forked before any simulation begins, so no worker-pool
+ * threads exist in the parent at fork time; each child builds its
+ * fabrics (and, with --threads N, its per-simulation worker pool)
+ * from scratch.
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+
+#include "coll/algorithm.hh"
+#include "fault/fault.hh"
+#include "obs/results.hh"
+#include "runtime/machine.hh"
+#include "topo/factory.hh"
+
+namespace {
+
+using namespace multitree;
+
+struct Options {
+    std::vector<std::string> topos{"torus-8x8"};
+    std::vector<std::string> algos; ///< empty = every registered one
+    std::vector<std::uint64_t> bytes{1u << 20};
+    std::vector<std::uint64_t> seeds{1};
+    std::string backend = "flit";
+    double drop = 0;       ///< > 0 arms a seeded fault plan
+    bool reliable = false; ///< retransmission layer (faulted sweeps)
+    bool dense = false;
+    std::uint32_t threads = 1; ///< flit-engine domains per simulation
+    int workers = 0;           ///< 0 = one per processor
+    bool force = false;        ///< ignore the cache, re-simulate all
+    std::string out = "BENCH_results.json";
+    std::string cache_dir = ".mtsweep-cache";
+};
+
+/** One point of the campaign cross product. */
+struct Point {
+    std::string topo;
+    std::string algo;
+    std::uint64_t bytes = 0;
+    std::uint64_t seed = 0;
+    std::string name;  ///< results-row key
+    std::string cache; ///< cache file path
+};
+
+void
+usage()
+{
+    std::printf(
+        "usage: mtsweep [--topos A,B,..] [--algos A,B,..]\n"
+        "               [--bytes N,N,..] [--seeds N,N,..]\n"
+        "               [--backend flow|flit] [--dense-tick]\n"
+        "               [--threads N] [--workers N] [--force]\n"
+        "               [--drop PROB] [--reliable]\n"
+        "               [--out FILE] [--cache-dir DIR]\n"
+        "Shards the cross product over forked workers; each point's\n"
+        "row is cached by config hash in --cache-dir, so re-runs\n"
+        "with unchanged configs re-simulate nothing.\n");
+}
+
+[[noreturn]] void
+die(const std::string &msg)
+{
+    std::fprintf(stderr, "error: %s\n", msg.c_str());
+    std::exit(2);
+}
+
+std::vector<std::string>
+splitList(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= s.size()) {
+        std::size_t comma = s.find(',', start);
+        if (comma == std::string::npos)
+            comma = s.size();
+        if (comma > start)
+            out.push_back(s.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+std::vector<std::uint64_t>
+splitNumbers(const std::string &s, const char *flag)
+{
+    std::vector<std::uint64_t> out;
+    for (const std::string &tok : splitList(s)) {
+        char *end = nullptr;
+        std::uint64_t v = std::strtoull(tok.c_str(), &end, 10);
+        if (end == tok.c_str() || *end != '\0')
+            die(std::string(flag) + " needs integers, got '" + tok
+                + "'");
+        out.push_back(v);
+    }
+    return out;
+}
+
+/** FNV-1a over the fields that determine a point's result. */
+std::uint64_t
+configHash(const Options &opt, const Point &pt)
+{
+    std::string key = "mtsweep-v1|" + pt.topo + "|" + pt.algo + "|"
+                      + std::to_string(pt.bytes) + "|"
+                      + std::to_string(pt.seed) + "|" + opt.backend
+                      + "|" + std::to_string(opt.drop) + "|"
+                      + (opt.reliable ? "rel" : "norel") + "|"
+                      + (opt.dense ? "dense" : "active");
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned char c : key) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+std::string
+hex64(std::uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/** The scheduler tag recorded as the row's mode column. */
+std::string
+modeOf(const Options &opt)
+{
+    if (opt.backend == "flow")
+        return "flow";
+    return opt.dense ? "dense" : "active";
+}
+
+/** Simulate one point and serialize its row to its cache file. */
+int
+runPoint(const Options &opt, const Point &pt)
+{
+    auto topo = topo::makeTopology(pt.topo);
+    runtime::RunOptions ro;
+    ro.backend = opt.backend == "flow" ? runtime::Backend::Flow
+                                       : runtime::Backend::Flit;
+    ro.net.dense_tick = opt.dense;
+    ro.net.threads = opt.threads;
+    if (opt.drop > 0) {
+        fault::FaultConfig fc;
+        fc.seed = pt.seed;
+        fc.drop_prob = opt.drop;
+        ro.fault = fc;
+    }
+    ro.reliability.enabled = opt.reliable;
+    runtime::Machine machine(*topo, ro);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const runtime::RunResult res = machine.run(pt.algo, pt.bytes);
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+
+    obs::ResultRow row;
+    row.name = pt.name;
+    row.topology = pt.topo;
+    row.algorithm = pt.algo;
+    row.bytes = pt.bytes;
+    row.cycles = res.time;
+    row.bandwidth_gbps = res.bandwidth;
+    row.messages = res.messages;
+    row.wall_ms = wall_ms;
+    row.msim_cps = wall_ms > 0 ? static_cast<double>(res.time)
+                                     / (wall_ms * 1e3)
+                               : 0;
+    row.mode = modeOf(opt);
+    if (!obs::writeResultRows(pt.cache, {row})) {
+        std::fprintf(stderr, "mtsweep: cannot write %s\n",
+                     pt.cache.c_str());
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                die("missing value after " + a);
+            return argv[++i];
+        };
+        if (a == "--help" || a == "-h") {
+            usage();
+            return 0;
+        } else if (a == "--topos") {
+            opt.topos = splitList(next());
+        } else if (a == "--algos") {
+            opt.algos = splitList(next());
+        } else if (a == "--bytes") {
+            opt.bytes = splitNumbers(next(), "--bytes");
+        } else if (a == "--seeds") {
+            opt.seeds = splitNumbers(next(), "--seeds");
+        } else if (a == "--backend") {
+            opt.backend = next();
+            if (opt.backend != "flow" && opt.backend != "flit")
+                die("--backend must be flow or flit");
+        } else if (a == "--dense-tick") {
+            opt.dense = true;
+        } else if (a == "--threads") {
+            opt.threads = static_cast<std::uint32_t>(
+                splitNumbers(next(), "--threads").at(0));
+        } else if (a == "--workers") {
+            opt.workers = static_cast<int>(
+                splitNumbers(next(), "--workers").at(0));
+        } else if (a == "--drop") {
+            opt.drop = std::strtod(next(), nullptr);
+        } else if (a == "--reliable") {
+            opt.reliable = true;
+        } else if (a == "--force") {
+            opt.force = true;
+        } else if (a == "--out") {
+            opt.out = next();
+        } else if (a == "--cache-dir") {
+            opt.cache_dir = next();
+        } else {
+            usage();
+            die("unknown flag " + a);
+        }
+    }
+    if (opt.algos.empty()) {
+        for (const auto &v : coll::algorithmVariants())
+            opt.algos.push_back(v.name);
+    }
+    if (opt.workers <= 0) {
+        long n = sysconf(_SC_NPROCESSORS_ONLN);
+        opt.workers = n > 0 ? static_cast<int>(n) : 1;
+    }
+    ::mkdir(opt.cache_dir.c_str(), 0755);
+
+    // Expand the cross product, dropping unsupported pairs (a fat
+    // tree cannot run ring2d, and so on) with a note rather than
+    // silently — a sweep that quietly shrank reads as complete.
+    std::vector<Point> points;
+    int unsupported = 0;
+    for (const std::string &topo_spec : opt.topos) {
+        auto topo = topo::makeTopology(topo_spec);
+        for (const std::string &algo : opt.algos) {
+            auto alg = coll::makeAlgorithm(
+                coll::findAlgorithmVariant(algo).base);
+            if (!alg->supports(*topo)) {
+                ++unsupported;
+                continue;
+            }
+            for (std::uint64_t bytes : opt.bytes) {
+                for (std::uint64_t seed : opt.seeds) {
+                    Point pt;
+                    pt.topo = topo_spec;
+                    pt.algo = algo;
+                    pt.bytes = bytes;
+                    pt.seed = seed;
+                    pt.name = "sweep/" + topo_spec + "/" + algo + "/"
+                              + std::to_string(bytes) + "/s"
+                              + std::to_string(seed) + "/"
+                              + modeOf(opt);
+                    pt.cache = opt.cache_dir + "/"
+                               + hex64(configHash(opt, pt))
+                               + ".json";
+                    points.push_back(std::move(pt));
+                }
+            }
+        }
+    }
+    if (unsupported > 0)
+        std::printf("mtsweep: skipped %d unsupported "
+                    "topology/algorithm pairs\n",
+                    unsupported);
+    if (points.empty())
+        die("campaign is empty");
+
+    // Cache partition: a point whose config-hash file already parses
+    // back to its row needs no simulation at all.
+    std::vector<const Point *> todo;
+    int cached = 0;
+    for (const Point &pt : points) {
+        bool hit = false;
+        if (!opt.force) {
+            auto rows = obs::readResultRows(pt.cache);
+            hit = rows.size() == 1 && rows[0].name == pt.name;
+        }
+        if (hit)
+            ++cached;
+        else
+            todo.push_back(&pt);
+    }
+
+    // Shard the remaining points round-robin over forked workers.
+    // Forking happens before any Machine exists in this process, so
+    // no simulator threads are alive to duplicate.
+    const int workers = std::max(
+        1, std::min<int>(opt.workers,
+                         static_cast<int>(todo.size())));
+    if (!todo.empty()) {
+        std::vector<pid_t> kids;
+        for (int w = 0; w < workers; ++w) {
+            pid_t pid = ::fork();
+            if (pid < 0)
+                die("fork failed");
+            if (pid == 0) {
+                int rc = 0;
+                for (std::size_t i = static_cast<std::size_t>(w);
+                     i < todo.size();
+                     i += static_cast<std::size_t>(workers))
+                    rc |= runPoint(opt, *todo[i]);
+                std::_Exit(rc);
+            }
+            kids.push_back(pid);
+        }
+        int failures = 0;
+        for (pid_t pid : kids) {
+            int status = 0;
+            ::waitpid(pid, &status, 0);
+            if (!WIFEXITED(status) || WEXITSTATUS(status) != 0)
+                ++failures;
+        }
+        if (failures > 0)
+            die(std::to_string(failures) + " worker(s) failed");
+    }
+
+    // Collect every point's row from its cache file — in campaign
+    // order, so the merged file is reproducible — and fold them into
+    // the results file.
+    std::vector<obs::ResultRow> rows;
+    rows.reserve(points.size());
+    for (const Point &pt : points) {
+        auto r = obs::readResultRows(pt.cache);
+        if (r.size() != 1)
+            die("cache file " + pt.cache + " is invalid for "
+                + pt.name);
+        rows.push_back(std::move(r[0]));
+    }
+    if (!obs::mergeResultsFile(opt.out, rows))
+        die("cannot write " + opt.out);
+
+    std::printf("mtsweep: %zu points (%d cached, %zu simulated, "
+                "%d workers) -> %s\n",
+                points.size(), cached, todo.size(),
+                todo.empty() ? 0 : workers, opt.out.c_str());
+    return 0;
+}

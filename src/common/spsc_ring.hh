@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Lock-free single-producer/single-consumer FIFO ring.
+ *
+ * The parallel flit engine hands flits and credits between spatial
+ * domains through these rings: the producing domain's worker pushes
+ * during its traverse phase while the consuming domain's worker
+ * drains arrivals due this cycle — concurrently, with no locks. The
+ * storage discipline mirrors common/ring_buffer.hh (one flat
+ * power-of-two array, trivially copyable elements, popped slots
+ * abandoned); the difference is the atomic head/tail pair that makes
+ * one concurrent producer and one concurrent consumer safe.
+ *
+ * Capacity is fixed while threads run: tryPush() refuses instead of
+ * regrowing, because regrowth would move the array under the
+ * consumer. Callers stage refused elements and call growTo() at a
+ * barrier (no concurrent access), which is also the only time size()
+ * and back() may be used. Entries must be pushed in nondecreasing
+ * due order — consumers rely on front() being the earliest.
+ */
+
+#ifndef MULTITREE_COMMON_SPSC_RING_HH
+#define MULTITREE_COMMON_SPSC_RING_HH
+
+#include <atomic>
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace multitree {
+
+/** Bounded lock-free SPSC FIFO over one flat power-of-two array. */
+template <typename T>
+class SpscRing
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "SpscRing abandons popped slots without running "
+                  "destructors; use it for trivially copyable types");
+
+  public:
+    explicit SpscRing(std::size_t capacity = 1024)
+    {
+        std::size_t cap = 8;
+        while (cap < capacity)
+            cap *= 2;
+        buf_.resize(cap);
+    }
+
+    // Rings are owned by the network and addressed by index; moves
+    // only happen at fabric construction, before any thread runs
+    // (std::atomic itself is immovable, hence the manual transfer).
+    SpscRing(const SpscRing &) = delete;
+    SpscRing &operator=(const SpscRing &) = delete;
+    SpscRing(SpscRing &&other) noexcept
+        : buf_(std::move(other.buf_)),
+          head_(other.head_.load(std::memory_order_relaxed)),
+          tail_(other.tail_.load(std::memory_order_relaxed))
+    {}
+    SpscRing &
+    operator=(SpscRing &&other) noexcept
+    {
+        buf_ = std::move(other.buf_);
+        head_.store(other.head_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+        tail_.store(other.tail_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+        return *this;
+    }
+
+    /** Producer: append @p v. False when full (stage + growTo()). */
+    bool
+    tryPush(const T &v)
+    {
+        const std::size_t t = tail_.load(std::memory_order_relaxed);
+        const std::size_t h = head_.load(std::memory_order_acquire);
+        if (t - h == buf_.size())
+            return false;
+        buf_[t & (buf_.size() - 1)] = v;
+        tail_.store(t + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Consumer: whether no element is visible. */
+    bool
+    empty() const
+    {
+        return head_.load(std::memory_order_relaxed)
+               == tail_.load(std::memory_order_acquire);
+    }
+
+    /** Consumer: the oldest element. @pre !empty(). */
+    const T &
+    front() const
+    {
+        MT_ASSERT(!empty(), "front() on an empty SPSC ring");
+        return buf_[head_.load(std::memory_order_relaxed)
+                    & (buf_.size() - 1)];
+    }
+
+    /** Consumer: discard the oldest element. @pre !empty(). */
+    void
+    pop_front()
+    {
+        MT_ASSERT(!empty(), "pop_front() on an empty SPSC ring");
+        head_.fetch_add(1, std::memory_order_release);
+    }
+
+    // --- barrier-only accessors (no concurrent producer/consumer) ---
+
+    /** Elements currently queued. Barrier-only. */
+    std::size_t
+    size() const
+    {
+        return tail_.load(std::memory_order_relaxed)
+               - head_.load(std::memory_order_relaxed);
+    }
+
+    std::size_t capacity() const { return buf_.size(); }
+
+    /** The most recently pushed element. Barrier-only. @pre size(). */
+    const T &
+    back() const
+    {
+        MT_ASSERT(size() > 0, "back() on an empty SPSC ring");
+        return buf_[(tail_.load(std::memory_order_relaxed) - 1)
+                    & (buf_.size() - 1)];
+    }
+
+    /** FIFO element @p i behind the front. Barrier-only. */
+    const T &
+    at(std::size_t i) const
+    {
+        MT_ASSERT(i < size(), "at(", i, ") on a ring of ", size());
+        return buf_[(head_.load(std::memory_order_relaxed) + i)
+                    & (buf_.size() - 1)];
+    }
+
+    /**
+     * Grow the backing array to hold at least @p n elements,
+     * preserving FIFO contents. Barrier-only: the producer and
+     * consumer must both be parked.
+     */
+    void
+    growTo(std::size_t n)
+    {
+        if (n <= buf_.size())
+            return;
+        std::size_t cap = buf_.size();
+        while (cap < n)
+            cap *= 2;
+        const std::size_t h = head_.load(std::memory_order_relaxed);
+        const std::size_t count =
+            tail_.load(std::memory_order_relaxed) - h;
+        std::vector<T> next(cap);
+        for (std::size_t i = 0; i < count; ++i)
+            next[i] = buf_[(h + i) & (buf_.size() - 1)];
+        buf_ = std::move(next);
+        head_.store(0, std::memory_order_relaxed);
+        tail_.store(count, std::memory_order_relaxed);
+    }
+
+    /** Drop every element; capacity retained. Barrier-only. */
+    void
+    clear()
+    {
+        head_.store(0, std::memory_order_relaxed);
+        tail_.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    std::vector<T> buf_;
+    std::atomic<std::size_t> head_{0}; ///< consumer cursor
+    std::atomic<std::size_t> tail_{0}; ///< producer cursor
+};
+
+} // namespace multitree
+
+#endif // MULTITREE_COMMON_SPSC_RING_HH

@@ -6,6 +6,7 @@
 #include "common/logging.hh"
 #include "net/flow_control.hh"
 #include "sim/event_queue.hh"
+#include "sim/worker_pool.hh"
 #include "topo/grid.hh"
 #include "topo/topology.hh"
 
@@ -20,6 +21,21 @@ denseTickForced()
     const char *env = std::getenv("MT_DENSE_TICK");
     return env != nullptr && env[0] != '\0'
            && !(env[0] == '0' && env[1] == '\0');
+}
+
+/** NetworkConfig::threads, unless MT_THREADS overrides it. */
+std::uint32_t
+threadsRequested(std::uint32_t cfg_threads)
+{
+    const char *env = std::getenv("MT_THREADS");
+    if (env == nullptr || env[0] == '\0')
+        return cfg_threads;
+    char *end = nullptr;
+    unsigned long v = std::strtoul(env, &end, 10);
+    MT_ASSERT(end != env && *end == '\0' && v >= 1 && v <= 1024,
+              "MT_THREADS must be an integer in [1, 1024], got '",
+              env, "'");
+    return static_cast<std::uint32_t>(v);
 }
 
 } // namespace
@@ -97,9 +113,69 @@ FlitNetwork::FlitNetwork(sim::EventQueue &eq,
     }
     active_.reserve(routers_.size());
     req_scratch_.reserve(16);
+
+    const std::uint32_t threads = threadsRequested(cfg_.threads);
+    if (threads > 1)
+        buildParallelState(threads);
 }
 
 FlitNetwork::~FlitNetwork() = default;
+
+int
+FlitNetwork::threads() const
+{
+    return par_ == nullptr ? 1
+                           : static_cast<int>(par_->domains.size());
+}
+
+void
+FlitNetwork::buildParallelState(std::uint32_t threads)
+{
+    const int n = topo_.numVertices();
+    const int d =
+        std::min<int>(static_cast<int>(threads), std::max(n, 1));
+    if (d <= 1)
+        return; // one domain degrades to the serial engine
+
+    par_ = std::make_unique<ParallelState>();
+    par_->domains.resize(static_cast<std::size_t>(d));
+    par_->domain_of.resize(static_cast<std::size_t>(n), 0);
+    // Contiguous blocks: domain order therefore equals ascending-
+    // router order, which is what makes the barrier merge replay
+    // every global effect in dense-loop order.
+    const int base = n / d;
+    const int rem = n % d;
+    int lo = 0;
+    for (int i = 0; i < d; ++i) {
+        Domain &dom = par_->domains[static_cast<std::size_t>(i)];
+        dom.id = i;
+        dom.lo = lo;
+        dom.hi = lo + base + (i < rem ? 1 : 0);
+        lo = dom.hi;
+        for (int v = dom.lo; v < dom.hi; ++v)
+            par_->domain_of[static_cast<std::size_t>(v)] = i;
+        dom.active.reserve(
+            static_cast<std::size_t>(dom.hi - dom.lo));
+        dom.scratch.reserve(16);
+    }
+    par_->lanes.resize(static_cast<std::size_t>(d)
+                       * static_cast<std::size_t>(d));
+    par_->wire_dom_.resize(
+        static_cast<std::size_t>(topo_.numChannels()), 0);
+    par_->credit_dom_.resize(
+        static_cast<std::size_t>(topo_.numChannels()), 0);
+    for (const auto &ch : topo_.channels()) {
+        par_->wire_dom_[static_cast<std::size_t>(ch.id)] =
+            par_->domain_of[static_cast<std::size_t>(ch.dst)];
+        par_->credit_dom_[static_cast<std::size_t>(ch.id)] =
+            par_->domain_of[static_cast<std::size_t>(ch.src)];
+    }
+    par_->task = [this](int w) {
+        domainCycle(par_->domains[static_cast<std::size_t>(w)],
+                    par_->now);
+    };
+    par_->pool = std::make_unique<sim::WorkerPool>(d);
+}
 
 void
 FlitNetwork::reset()
@@ -142,6 +218,22 @@ FlitNetwork::reset()
     wire_line_.clear();
     credit_line_.clear();
     active_.clear();
+    if (par_ != nullptr) {
+        for (auto &dom : par_->domains) {
+            for (int v : dom.active)
+                routers_[static_cast<std::size_t>(v)].queued = false;
+            dom.active.clear();
+            dom.fx = DomainEffects{};
+        }
+        for (auto &ln : par_->lanes) {
+            ln.wire.clear();
+            ln.credit.clear();
+            ln.wire_overflow.clear();
+            ln.credit_overflow.clear();
+            ln.wire_overflowed = false;
+            ln.credit_overflowed = false;
+        }
+    }
     burst_open_ = false;
     last_cycle_tick_ = 0;
     armed_tick_ = 0;
@@ -231,6 +323,16 @@ FlitNetwork::markActive(int vertex)
     if (r.queued)
         return;
     r.queued = true;
+    // In parallel mode the worklist is per domain, and only the
+    // owning domain's worker (or the serial thread, between
+    // dispatches) ever reaches a given router — so no lock.
+    if (par_ != nullptr) {
+        par_->domains[static_cast<std::size_t>(
+                          par_->domain_of[static_cast<std::size_t>(
+                              vertex)])]
+            .active.push_back(vertex);
+        return;
+    }
     active_.push_back(vertex);
 }
 
@@ -299,7 +401,7 @@ FlitNetwork::vcClassAllowed(const Packet &pkt, std::uint32_t hop,
 }
 
 void
-FlitNetwork::refillInjection(int vertex)
+FlitNetwork::refillInjection(int vertex, Domain *dom)
 {
     auto vi = static_cast<std::size_t>(vertex);
     Router &r = routers_[vi];
@@ -316,8 +418,12 @@ FlitNetwork::refillInjection(int vertex)
             continue;
         inj_pkt_[vi][slot] = pkt;
         ++r.inj_active;
-        if (prof_ != nullptr)
-            prof_->onInjectStart(pkt->msg.track_id, eq_.now());
+        if (prof_ != nullptr) {
+            if (dom != nullptr)
+                dom->fx.inj_starts.push_back(pkt->msg.track_id);
+            else
+                prof_->onInjectStart(pkt->msg.track_id, eq_.now());
+        }
         if (sink_ != nullptr && eq_.now() > pkt->injected_at) {
             // The packet waited in the source's pending queue for a
             // free injection VC: injection-side queueing.
@@ -329,7 +435,10 @@ FlitNetwork::refillInjection(int vertex)
             qe.peer = pkt->msg.dst;
             qe.flow = pkt->msg.flow_id;
             qe.bytes = pkt->msg.bytes;
-            sink_->onEvent(qe);
+            if (dom != nullptr)
+                dom->fx.refill_events.push_back(qe);
+            else
+                sink_->onEvent(qe);
         }
         pending_[vi].pop_front();
     }
@@ -349,7 +458,10 @@ FlitNetwork::refillInjection(int vertex)
             f.tail = pkt->emitted + 1 == pkt->wire_flits;
             fifo.push_back(f);
             ++pkt->emitted;
-            ++in_flight_;
+            if (dom != nullptr)
+                ++dom->fx.in_flight_delta;
+            else
+                ++in_flight_;
             ++r.buffered;
         }
         if (pkt->emitted == pkt->wire_flits && fifo.empty()) {
@@ -395,14 +507,17 @@ FlitNetwork::allocateVCs(int vertex)
 }
 
 void
-FlitNetwork::traverse(int vertex)
+FlitNetwork::traverse(int vertex, Domain *dom)
 {
     Router &r = routers_[static_cast<std::size_t>(vertex)];
+    // The request scratch is a member (or per-domain) so a warmed
+    // fabric arbitrates without allocating.
+    std::vector<Req> &reqs =
+        dom != nullptr ? dom->scratch : req_scratch_;
     for (auto &ou : r.outputs) {
         // Gather requesters: input VCs allocated to this output whose
-        // front flit can move under the credit rules. req_scratch_ is
-        // a member so a warmed fabric arbitrates without allocating.
-        req_scratch_.clear();
+        // front flit can move under the credit rules.
+        reqs.clear();
         for (std::size_t ii = 0; ii < r.inputs.size(); ++ii) {
             InputUnit &iu = r.inputs[ii];
             for (std::uint32_t vc = 0; vc < cfg_.num_vcs; ++vc) {
@@ -439,11 +554,11 @@ FlitNetwork::traverse(int vertex)
                     }
                     continue;
                 }
-                req_scratch_.push_back(Req{static_cast<int>(ii),
-                                           static_cast<int>(vc)});
+                reqs.push_back(Req{static_cast<int>(ii),
+                                   static_cast<int>(vc)});
             }
         }
-        if (req_scratch_.empty())
+        if (reqs.empty())
             continue;
         // Round-robin grant.
         if (prof_ != nullptr) {
@@ -451,11 +566,11 @@ FlitNetwork::traverse(int vertex)
                 prof_routers_[static_cast<std::size_t>(vertex)];
             ++rp.sa_grants;
             rp.sa_denied +=
-                static_cast<std::uint64_t>(req_scratch_.size() - 1);
+                static_cast<std::uint64_t>(reqs.size() - 1);
         }
-        std::size_t pick = ou.rr % req_scratch_.size();
+        std::size_t pick = ou.rr % reqs.size();
         ou.rr = (ou.rr + 1);
-        Req g = req_scratch_[pick];
+        Req g = reqs[pick];
         InputUnit &iu = r.inputs[static_cast<std::size_t>(g.input)];
         InputVC &ivc = iu.vcs[static_cast<std::size_t>(g.vc)];
         Flit f = ivc.fifo.front();
@@ -466,10 +581,10 @@ FlitNetwork::traverse(int vertex)
         --ovc.credits;
         ++channel_flits_[static_cast<std::size_t>(ou.channel)];
         if (sink_ != nullptr)
-            noteLinkFlit(ou.channel);
+            noteLinkFlit(ou.channel, dom);
 
         if (iu.channel >= 0)
-            returnCredit(iu.channel, g.vc);
+            returnCredit(iu.channel, g.vc, dom);
         if (f.tail) {
             ivc.out_channel = -1;
             ivc.out_vc = -1;
@@ -477,19 +592,19 @@ FlitNetwork::traverse(int vertex)
             ovc.owner_vc = -1;
         }
 
-        // Ship across the wire: a fixed-delay hop on the delay line,
-        // applied at the head of the arrival cycle.
+        // Ship across the wire: a fixed-delay hop on the delay line
+        // (or handoff lane), applied at the head of the arrival
+        // cycle.
         Flit moved = f;
         moved.hop = f.hop + 1;
-        wire_line_.push_back(
-            WireHop{eq_.now() + cfg_.router_pipeline
-                        + cfg_.link_latency,
-                    ou.channel, out_vc, moved});
+        pushWire(dom, WireHop{eq_.now() + cfg_.router_pipeline
+                                  + cfg_.link_latency,
+                              ou.channel, out_vc, moved});
     }
 }
 
 void
-FlitNetwork::eject(int vertex)
+FlitNetwork::eject(int vertex, Domain *dom)
 {
     Router &r = routers_[static_cast<std::size_t>(vertex)];
     for (auto &iu : r.inputs) {
@@ -503,28 +618,51 @@ FlitNetwork::eject(int vertex)
                     break; // through traffic, not ours to sink
                 Packet *pkt = f.pkt;
                 bool tail = f.tail;
-                if (prof_ != nullptr && f.head)
-                    prof_->onHeadArrival(pkt->msg.track_id,
-                                         eq_.now());
+                if (prof_ != nullptr && f.head) {
+                    if (dom != nullptr)
+                        dom->fx.head_arrivals.push_back(
+                            pkt->msg.track_id);
+                    else
+                        prof_->onHeadArrival(pkt->msg.track_id,
+                                             eq_.now());
+                }
                 ivc.fifo.pop_front();
                 --r.buffered;
-                --in_flight_;
-                returnCredit(iu.channel, static_cast<int>(vc));
+                returnCredit(iu.channel, static_cast<int>(vc), dom);
                 ++pkt->ejected;
-                ++ejected_total_;
-                last_progress_cycle_ = active_cycles_;
+                if (dom != nullptr) {
+                    --dom->fx.in_flight_delta;
+                    ++dom->fx.ejected;
+                } else {
+                    --in_flight_;
+                    ++ejected_total_;
+                    last_progress_cycle_ = active_cycles_;
+                }
                 if (tail) {
                     MT_ASSERT(pkt->ejected == pkt->wire_flits,
                               "tail ejected before body: ",
                               pkt->ejected, "/", pkt->wire_flits);
-                    pkt_latency_.add(static_cast<double>(
-                        eq_.now() - pkt->injected_at));
-                    Message msg = std::move(pkt->msg);
-                    freePacket(pkt);
-                    --live_pkts_;
-                    eq_.scheduleAfter(0, [this, msg = std::move(msg)] {
-                        deliverMsg(msg);
-                    });
+                    if (dom != nullptr) {
+                        // Latency sample, pool return and same-tick
+                        // delivery are all order-sensitive: stash
+                        // them (index-aligned) for the barrier merge.
+                        dom->fx.latencies.push_back(
+                            static_cast<double>(eq_.now()
+                                                - pkt->injected_at));
+                        dom->fx.deliveries.push_back(
+                            std::move(pkt->msg));
+                        dom->fx.freed.push_back(pkt);
+                    } else {
+                        pkt_latency_.add(static_cast<double>(
+                            eq_.now() - pkt->injected_at));
+                        Message msg = std::move(pkt->msg);
+                        freePacket(pkt);
+                        --live_pkts_;
+                        eq_.scheduleAfter(
+                            0, [this, msg = std::move(msg)] {
+                                deliverMsg(msg);
+                            });
+                    }
                 }
             }
         }
@@ -532,14 +670,43 @@ FlitNetwork::eject(int vertex)
 }
 
 void
-FlitNetwork::returnCredit(int cid, int vc)
+FlitNetwork::returnCredit(int cid, int vc, Domain *dom)
 {
-    credit_line_.push_back(
-        CreditHop{eq_.now() + cfg_.link_latency, cid, vc});
+    const CreditHop hop{eq_.now() + cfg_.link_latency, cid, vc};
+    if (dom == nullptr) {
+        credit_line_.push_back(hop);
+        return;
+    }
+    Handoff &ln =
+        lane(dom->id,
+             par_->credit_dom_[static_cast<std::size_t>(cid)]);
+    // Once one push overflows, stage everything after it too so the
+    // lane's FIFO order survives; the coordinator folds the staging
+    // area back in (growing the ring) at the barrier.
+    if (ln.credit_overflowed || !ln.credit.tryPush(hop)) {
+        ln.credit_overflowed = true;
+        ln.credit_overflow.push_back(hop);
+    }
 }
 
 void
-FlitNetwork::noteLinkFlit(int cid)
+FlitNetwork::pushWire(Domain *dom, const WireHop &wh)
+{
+    if (dom == nullptr) {
+        wire_line_.push_back(wh);
+        return;
+    }
+    Handoff &ln =
+        lane(dom->id,
+             par_->wire_dom_[static_cast<std::size_t>(wh.cid)]);
+    if (ln.wire_overflowed || !ln.wire.tryPush(wh)) {
+        ln.wire_overflowed = true;
+        ln.wire_overflow.push_back(wh);
+    }
+}
+
+void
+FlitNetwork::noteLinkFlit(int cid, Domain *dom)
 {
     BusySpan &span = trace_span_[static_cast<std::size_t>(cid)];
     const Tick now = eq_.now();
@@ -555,7 +722,10 @@ FlitNetwork::noteLinkFlit(int cid)
         ev.channel = cid;
         ev.node = topo_.channel(cid).src;
         ev.peer = topo_.channel(cid).dst;
-        sink_->onEvent(ev);
+        if (dom != nullptr)
+            dom->fx.traverse_events.push_back(ev);
+        else
+            sink_->onEvent(ev);
     }
     span.start = now;
     span.len = 1;
@@ -634,10 +804,282 @@ FlitNetwork::flushProfile()
 }
 
 void
+FlitNetwork::applyWireArrival(const WireHop &wh)
+{
+    const int dst = topo_.channel(wh.cid).dst;
+    Router &down = routers_[static_cast<std::size_t>(dst)];
+    int ii = chan_in_idx_[static_cast<std::size_t>(wh.cid)];
+    down.inputs[static_cast<std::size_t>(ii)]
+        .vcs[static_cast<std::size_t>(wh.vc)]
+        .fifo.push_back(wh.flit);
+    ++down.buffered;
+    markActive(dst);
+}
+
+void
+FlitNetwork::applyCreditArrival(const CreditHop &ch)
+{
+    Router &up =
+        routers_[static_cast<std::size_t>(topo_.channel(ch.cid).src)];
+    int oi = chan_out_idx_[static_cast<std::size_t>(ch.cid)];
+    ++up.outputs[static_cast<std::size_t>(oi)]
+          .vcs[static_cast<std::size_t>(ch.vc)]
+          .credits;
+}
+
+void
+FlitNetwork::domainCycle(Domain &dom, Tick now)
+{
+    // Drain this domain's inbound lanes: credits first, then flits,
+    // matching drainDelayLines(). Entries still in flight this cycle
+    // have due > now, so the scan never races a producer's push.
+    const std::size_t d = par_->domains.size();
+    for (std::size_t p = 0; p < d; ++p) {
+        auto &ring = lane(static_cast<int>(p), dom.id).credit;
+        while (!ring.empty() && ring.front().due <= now) {
+            applyCreditArrival(ring.front());
+            ring.pop_front();
+        }
+    }
+    for (std::size_t p = 0; p < d; ++p) {
+        auto &ring = lane(static_cast<int>(p), dom.id).wire;
+        while (!ring.empty() && ring.front().due <= now) {
+            applyWireArrival(ring.front());
+            ring.pop_front();
+        }
+    }
+
+    if (dense_) {
+        if (prof_ != nullptr) {
+            for (int v = dom.lo; v < dom.hi; ++v)
+                sampleRouter(v);
+        }
+        for (int v = dom.lo; v < dom.hi; ++v)
+            eject(v, &dom);
+        for (int v = dom.lo; v < dom.hi; ++v)
+            refillInjection(v, &dom);
+        for (int v = dom.lo; v < dom.hi; ++v)
+            allocateVCs(v);
+        for (int v = dom.lo; v < dom.hi; ++v)
+            traverse(v, &dom);
+        return;
+    }
+    std::sort(dom.active.begin(), dom.active.end());
+    if (prof_ != nullptr) {
+        for (int v : dom.active)
+            sampleRouter(v);
+    }
+    for (int v : dom.active)
+        eject(v, &dom);
+    for (int v : dom.active)
+        refillInjection(v, &dom);
+    for (int v : dom.active)
+        allocateVCs(v);
+    for (int v : dom.active)
+        traverse(v, &dom);
+    // Compact: retire routers whose work drained this cycle.
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < dom.active.size(); ++i) {
+        const int v = dom.active[i];
+        Router &r = routers_[static_cast<std::size_t>(v)];
+        if (hasWork(r, v))
+            dom.active[keep++] = v;
+        else
+            r.queued = false;
+    }
+    dom.active.resize(keep);
+}
+
+void
+FlitNetwork::mergeCycleEffects(Tick now)
+{
+    // Fold overflow staging back into the lanes; with both endpoints
+    // parked, regrowing a ring is safe.
+    for (Handoff &ln : par_->lanes) {
+        if (ln.wire_overflowed) {
+            ln.wire.growTo(ln.wire.size() + ln.wire_overflow.size());
+            for (const WireHop &wh : ln.wire_overflow) {
+                bool ok = ln.wire.tryPush(wh);
+                MT_ASSERT(ok, "wire lane still full after growTo");
+            }
+            ln.wire_overflow.clear();
+            ln.wire_overflowed = false;
+        }
+        if (ln.credit_overflowed) {
+            ln.credit.growTo(ln.credit.size()
+                             + ln.credit_overflow.size());
+            for (const CreditHop &ch : ln.credit_overflow) {
+                bool ok = ln.credit.tryPush(ch);
+                MT_ASSERT(ok, "credit lane still full after growTo");
+            }
+            ln.credit_overflow.clear();
+            ln.credit_overflowed = false;
+        }
+    }
+
+    // Replay every buffered global effect phase-major in ascending-
+    // domain order: domains are contiguous ascending-router blocks,
+    // so this is exactly the dense loop's emission order.
+    bool progressed = false;
+    for (Domain &dom : par_->domains) {
+        DomainEffects &fx = dom.fx;
+        if (prof_ != nullptr) {
+            for (std::uint64_t tid : fx.head_arrivals)
+                prof_->onHeadArrival(tid, now);
+        }
+        for (std::size_t i = 0; i < fx.deliveries.size(); ++i) {
+            pkt_latency_.add(fx.latencies[i]);
+            freePacket(fx.freed[i]);
+            --live_pkts_;
+            eq_.scheduleAfter(
+                0, [this, msg = std::move(fx.deliveries[i])] {
+                    deliverMsg(msg);
+                });
+        }
+        in_flight_ = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(in_flight_)
+            + fx.in_flight_delta);
+        ejected_total_ += fx.ejected;
+        if (fx.ejected > 0)
+            progressed = true;
+        fx.deliveries.clear();
+        fx.latencies.clear();
+        fx.freed.clear();
+        fx.head_arrivals.clear();
+        fx.in_flight_delta = 0;
+        fx.ejected = 0;
+    }
+    if (progressed)
+        last_progress_cycle_ = active_cycles_;
+    for (Domain &dom : par_->domains) {
+        DomainEffects &fx = dom.fx;
+        if (prof_ != nullptr) {
+            for (std::uint64_t tid : fx.inj_starts)
+                prof_->onInjectStart(tid, now);
+        }
+        if (sink_ != nullptr) {
+            for (const obs::TraceEvent &ev : fx.refill_events)
+                sink_->onEvent(ev);
+        }
+        fx.inj_starts.clear();
+        fx.refill_events.clear();
+    }
+    for (Domain &dom : par_->domains) {
+        DomainEffects &fx = dom.fx;
+        if (sink_ != nullptr) {
+            for (const obs::TraceEvent &ev : fx.traverse_events)
+                sink_->onEvent(ev);
+        }
+        fx.traverse_events.clear();
+    }
+}
+
+void
+FlitNetwork::drainAllLanes(Tick now)
+{
+    // Serial thread, no dispatch in flight: act as every lane's
+    // consumer. Credits before flits, as in drainDelayLines().
+    for (Handoff &ln : par_->lanes) {
+        while (!ln.credit.empty() && ln.credit.front().due <= now) {
+            applyCreditArrival(ln.credit.front());
+            ln.credit.pop_front();
+        }
+    }
+    for (Handoff &ln : par_->lanes) {
+        while (!ln.wire.empty() && ln.wire.front().due <= now) {
+            applyWireArrival(ln.wire.front());
+            ln.wire.pop_front();
+        }
+    }
+}
+
+void
+FlitNetwork::parallelCycle(Tick now)
+{
+    // Same burst accounting as the serial path (cycle() comments).
+    if (burst_open_) {
+        active_cycles_ +=
+            static_cast<std::uint64_t>(now - last_cycle_tick_);
+        if (prof_ != nullptr)
+            prof_cycles_ +=
+                static_cast<std::uint64_t>(now - last_cycle_tick_);
+    } else {
+        ++active_cycles_;
+        if (prof_ != nullptr)
+            ++prof_cycles_;
+        burst_open_ = true;
+    }
+    last_cycle_tick_ = now;
+
+    par_->now = now;
+    par_->pool->dispatch(par_->task);
+    mergeCycleEffects(now);
+
+    const bool pending_work = live_pkts_ > 0;
+    if (pending_work
+        && active_cycles_ - last_progress_cycle_ > 4'000'000) {
+        MT_PANIC("flit network made no ejection progress for 4M "
+                 "cycles with ", live_pkts_, " live packets and ",
+                 in_flight_, " flits in flight — deadlock");
+    }
+    if (!pending_work) {
+        burst_open_ = false;
+        // Trailing credit returns still sit in the lanes; drain them
+        // at the final return's tick so a drained run ends at the
+        // same eq.now() as the serial engine.
+        Tick last_due = 0;
+        bool have = false;
+        for (const Handoff &ln : par_->lanes) {
+            if (ln.credit.size() > 0) {
+                last_due = std::max(last_due, ln.credit.back().due);
+                have = true;
+            }
+        }
+        if (have) {
+            eq_.scheduleAt(
+                last_due, [this] { drainAllLanes(eq_.now()); },
+                sim::Priority::High);
+        }
+        return;
+    }
+    bool any_active = dense_;
+    if (!any_active) {
+        for (const Domain &dom : par_->domains) {
+            if (!dom.active.empty()) {
+                any_active = true;
+                break;
+            }
+        }
+    }
+    if (any_active) {
+        requestCycleAt(now + 1);
+        return;
+    }
+    // Every live flit is mid-wire: sleep until the first arrival.
+    Tick next = 0;
+    bool found = false;
+    for (const Handoff &ln : par_->lanes) {
+        if (ln.wire.size() > 0) {
+            const Tick due = ln.wire.front().due;
+            if (!found || due < next)
+                next = due;
+            found = true;
+        }
+    }
+    MT_ASSERT(found,
+              "live packets with no local work and an empty wire");
+    requestCycleAt(next);
+}
+
+void
 FlitNetwork::cycle()
 {
     cycle_armed_ = false;
     const Tick now = eq_.now();
+    if (par_ != nullptr) {
+        parallelCycle(now);
+        return;
+    }
     drainDelayLines(now);
 
     // Dense equivalence for the utilization denominator: every tick
@@ -665,13 +1107,13 @@ FlitNetwork::cycle()
                 sampleRouter(v);
         }
         for (int v = 0; v < n; ++v)
-            eject(v);
+            eject(v, nullptr);
         for (int v = 0; v < n; ++v)
-            refillInjection(v);
+            refillInjection(v, nullptr);
         for (int v = 0; v < n; ++v)
             allocateVCs(v);
         for (int v = 0; v < n; ++v)
-            traverse(v);
+            traverse(v, nullptr);
     } else {
         // Ascending vertex order keeps every per-cycle effect (same-
         // tick delivery scheduling above all) in dense-loop order.
@@ -681,13 +1123,13 @@ FlitNetwork::cycle()
                 sampleRouter(v);
         }
         for (int v : active_)
-            eject(v);
+            eject(v, nullptr);
         for (int v : active_)
-            refillInjection(v);
+            refillInjection(v, nullptr);
         for (int v : active_)
             allocateVCs(v);
         for (int v : active_)
-            traverse(v);
+            traverse(v, nullptr);
         // Compact: retire routers whose work drained this cycle.
         std::size_t keep = 0;
         for (std::size_t i = 0; i < active_.size(); ++i) {

@@ -39,17 +39,41 @@
  * (NetworkConfig::dense_tick or MT_DENSE_TICK=1) evaluates every
  * router every cycle; both schedulers are tick- and stat-identical,
  * which tests/test_activeset.cc asserts.
+ *
+ * Parallel engine (NetworkConfig::threads > 1, DESIGN.md §"Parallel
+ * simulation engine"): routers are partitioned into contiguous
+ * spatial domains, one per worker of a persistent sim::WorkerPool,
+ * and each cycle every domain drains its inbound handoff rings and
+ * runs the phase pipeline over its own routers between two barrier
+ * crossings. Correctness rests on the wire model: every cross-router
+ * effect is delayed by at least the link latency, so routers never
+ * interact within a cycle — flits and credits crossing a domain
+ * boundary ride lock-free SPSC rings (common/spsc_ring.hh) from the
+ * producing to the consuming domain, and per-channel FIFO order is
+ * preserved because a channel's hops have a single producer. Global
+ * ordered side effects (same-tick delivery events, latency summary
+ * samples, packet-pool frees, trace/profiler emissions) are buffered
+ * per domain and replayed by the coordinator in ascending-domain —
+ * hence ascending-router, hence dense-loop — order at the barrier,
+ * which makes any thread count bit-identical to the dense oracle.
  */
 
 #ifndef MULTITREE_NET_FLIT_NETWORK_HH
 #define MULTITREE_NET_FLIT_NETWORK_HH
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
 #include "common/ring_buffer.hh"
+#include "common/spsc_ring.hh"
 #include "net/network.hh"
 #include "obs/profile.hh"
+
+namespace multitree::sim {
+class WorkerPool;
+} // namespace multitree::sim
 
 namespace multitree::topo {
 class Topology;
@@ -96,6 +120,9 @@ class FlitNetwork : public Network
 
     /** Whether the dense reference tick loop is in force. */
     bool denseTick() const { return dense_; }
+
+    /** Spatial domains the tick loop executes on (1 = serial). */
+    int threads() const;
 
   protected:
     void injectImpl(Message msg) override;
@@ -172,6 +199,126 @@ class FlitNetwork : public Network
         int vc = -1;
     };
 
+    struct Req {
+        int input = -1;
+        int vc = -1;
+    };
+
+    // --- parallel engine (NetworkConfig::threads > 1) ---
+
+    /**
+     * Ordered global side effects one domain accumulates during a
+     * cycle, replayed by the coordinator in ascending-domain order
+     * at the barrier so the merged sequence matches the dense loop's
+     * ascending-router order exactly. Vectors are cleared (capacity
+     * retained) every cycle — zero-allocation once warm.
+     */
+    struct DomainEffects {
+        /** Tail-ejected messages awaiting same-tick delivery
+         *  events, in eject order. */
+        std::vector<Message> deliveries;
+        /** Drained packets to return to the shared pool. */
+        std::vector<Packet *> freed;
+        /** Packet latency samples, in eject order (the Summary's
+         *  Welford accumulation is order-sensitive). */
+        std::vector<double> latencies;
+        /** Profiler head-arrival track ids (eject phase). */
+        std::vector<std::uint64_t> head_arrivals;
+        /** Profiler injection-start track ids (refill phase). */
+        std::vector<std::uint64_t> inj_starts;
+        /** Trace events emitted by the refill phase (MsgQueue). */
+        std::vector<obs::TraceEvent> refill_events;
+        /** Trace events emitted by the traverse phase (LinkBusy). */
+        std::vector<obs::TraceEvent> traverse_events;
+        /** Net change to the global in-flight flit counter. */
+        std::int64_t in_flight_delta = 0;
+        /** Flits ejected this cycle (watchdog progress). */
+        std::uint64_t ejected = 0;
+    };
+
+    /**
+     * Handoff lane from one producing to one consuming domain. The
+     * rings are the lock-free SPSC path; the overflow vectors are
+     * the staging area when a ring is full mid-cycle (the producer
+     * keeps staging for the rest of the cycle to preserve FIFO
+     * order) and are folded back in by the coordinator at the
+     * barrier, where growing the ring is safe.
+     */
+    struct Handoff {
+        SpscRing<WireHop> wire;
+        SpscRing<CreditHop> credit;
+        std::vector<WireHop> wire_overflow;
+        std::vector<CreditHop> credit_overflow;
+        bool wire_overflowed = false;
+        bool credit_overflowed = false;
+    };
+
+    /** One spatial domain: a contiguous router range plus its
+     *  private worklist and effect buffers. */
+    struct Domain {
+        int id = 0;
+        int lo = 0; ///< first owned vertex
+        int hi = 0; ///< one past the last owned vertex
+        std::vector<int> active; ///< own routers with work
+        std::vector<Req> scratch; ///< switch-allocation requests
+        DomainEffects fx;
+    };
+
+    struct ParallelState {
+        std::vector<Domain> domains;
+        /** domains.size()² lanes, [producer * D + consumer]. */
+        std::vector<Handoff> lanes;
+        std::vector<int> domain_of; ///< vertex → owning domain
+        /** Consuming domain of each channel's flit hops (the domain
+         *  owning the channel's dst router). */
+        std::vector<int> wire_dom_;
+        /** Consuming domain of each channel's credit returns (the
+         *  domain owning the channel's src router). */
+        std::vector<int> credit_dom_;
+        std::unique_ptr<sim::WorkerPool> pool;
+        /** Tick published to the workers for the current cycle. */
+        Tick now = 0;
+        /** Reusable dispatch closure (no per-cycle allocation). */
+        std::function<void(int)> task;
+    };
+
+    /** Build domains, lanes and the worker pool for @p threads. */
+    void buildParallelState(std::uint32_t threads);
+
+    /** The handoff lane from @p producer to @p consumer. */
+    Handoff &
+    lane(int producer, int consumer)
+    {
+        return par_->lanes[static_cast<std::size_t>(producer)
+                               * par_->domains.size()
+                           + static_cast<std::size_t>(consumer)];
+    }
+
+    /** Apply one wire arrival (buffer the flit, wake the router). */
+    void applyWireArrival(const WireHop &wh);
+
+    /** Apply one credit arrival (upstream output VC refill). */
+    void applyCreditArrival(const CreditHop &ch);
+
+    /** Ship one flit hop toward its consuming domain (or the serial
+     *  delay line when @p dom is null). */
+    void pushWire(Domain *dom, const WireHop &wh);
+
+    /** One domain's full cycle: drain inbound lanes, run the phase
+     *  pipeline over its routers, buffer global effects. */
+    void domainCycle(Domain &dom, Tick now);
+
+    /** Coordinator: fold overflow into lanes and replay every
+     *  buffered effect in ascending-domain order. */
+    void mergeCycleEffects(Tick now);
+
+    /** Serial drain of every lane (end-of-run trailing credits);
+     *  only legal with no workers in flight. */
+    void drainAllLanes(Tick now);
+
+    /** The parallel path of cycle(), after the shared accounting. */
+    void parallelCycle(Tick now);
+
     /** Run one router cycle; reschedules itself while active. */
     void cycle();
 
@@ -196,24 +343,30 @@ class FlitNetwork : public Network
     bool vcClassAllowed(const Packet &pkt, std::uint32_t hop,
                         int vc) const;
 
+    // The phase functions take the executing domain (null on the
+    // serial path): with a domain, cross-router hops ride the handoff
+    // lanes instead of the delay lines and every ordered global side
+    // effect lands in the domain's effect buffers for the barrier
+    // merge instead of being applied in place.
+
     /** Refill injection FIFOs and start pending packets on free VCs. */
-    void refillInjection(int vertex);
+    void refillInjection(int vertex, Domain *dom);
 
     /** Per-router VC allocation for head flits. */
     void allocateVCs(int vertex);
 
     /** Per-router switch allocation and link traversal. */
-    void traverse(int vertex);
+    void traverse(int vertex, Domain *dom);
 
     /** Eject flits that reached their destination at @p vertex. */
-    void eject(int vertex);
+    void eject(int vertex, Domain *dom);
 
     /** Return one credit for (channel, vc) after the wire delay. */
-    void returnCredit(int cid, int vc);
+    void returnCredit(int cid, int vc, Domain *dom);
 
     /** Record one traversal cycle on @p cid for the trace sink,
      *  coalescing back-to-back cycles into one LinkBusy span. */
-    void noteLinkFlit(int cid);
+    void noteLinkFlit(int cid, Domain *dom);
 
     /** Sample @p vertex's channel-fed input-VC buffer depths into
      *  its occupancy histogram (profiler attached). */
@@ -275,14 +428,13 @@ class FlitNetwork : public Network
     /** Active worklist (routers with buffered/pending work) plus the
      *  per-cycle scratch reused by the separable output allocator. */
     std::vector<int> active_;
-    struct Req {
-        int input = -1;
-        int vc = -1;
-    };
     std::vector<Req> req_scratch_;
 
     /** Dense reference loop forced (config flag or MT_DENSE_TICK). */
     bool dense_ = false;
+
+    /** Parallel-engine state; null when running serially. */
+    std::unique_ptr<ParallelState> par_;
 
     // Cycle-event arming. armed_tick_/arm_gen_ let an injection pull
     // a far-future fast-forward wakeup earlier: the superseded event

@@ -125,6 +125,19 @@ struct NetworkConfig {
      * backend, which has no tick loop.
      */
     bool dense_tick = false;
+    /**
+     * Worker threads for the cycle-level backend's tick loop. With
+     * N > 1 the FlitNetwork partitions its routers into N contiguous
+     * spatial domains executed by a persistent worker pool with a
+     * per-cycle barrier; inter-domain flits and credits ride
+     * lock-free SPSC handoff rings and every ordered global side
+     * effect is merged in ascending-router order, so any thread
+     * count is bit-identical to the single-threaded loop and to the
+     * dense oracle (tests/test_activeset.cc holds it to that). The
+     * MT_THREADS environment variable overrides this knob. Ignored
+     * by the flow backend, which has no tick loop.
+     */
+    std::uint32_t threads = 1;
 };
 
 /** Which transport model executes a schedule. */

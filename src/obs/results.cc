@@ -1,0 +1,292 @@
+#include "obs/results.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <tuple>
+#include <utility>
+
+#include <unistd.h>
+
+#include "obs/trace.hh"
+
+namespace multitree::obs {
+
+namespace {
+
+/**
+ * Minimal scanner for the results format this module itself writes:
+ * one "results" array of flat objects with string and number values.
+ * It tolerates any whitespace and unknown keys, and bails to an
+ * empty result on anything structurally unexpected — the caller
+ * treats that the same as a missing file.
+ */
+class Scanner
+{
+  public:
+    explicit Scanner(const std::string &text) : s_(text) {}
+
+    void
+    skipWs()
+    {
+        while (i_ < s_.size()
+               && (s_[i_] == ' ' || s_[i_] == '\t' || s_[i_] == '\n'
+                   || s_[i_] == '\r'))
+            ++i_;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (i_ >= s_.size() || s_[i_] != c)
+            return false;
+        ++i_;
+        return true;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        return i_ < s_.size() ? s_[i_] : '\0';
+    }
+
+    /** Parse a JSON string literal (after jsonQuote's escaping). */
+    bool
+    string(std::string &out)
+    {
+        if (!consume('"'))
+            return false;
+        out.clear();
+        while (i_ < s_.size()) {
+            char c = s_[i_++];
+            if (c == '"')
+                return true;
+            if (c == '\\' && i_ < s_.size()) {
+                char e = s_[i_++];
+                switch (e) {
+                case 'n': out += '\n'; break;
+                case 't': out += '\t'; break;
+                case 'r': out += '\r'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'u':
+                    // jsonQuote only emits \u00XX for control bytes.
+                    if (i_ + 4 <= s_.size()) {
+                        out += static_cast<char>(std::stoi(
+                            s_.substr(i_, 4), nullptr, 16));
+                        i_ += 4;
+                    }
+                    break;
+                default: out += e; break;
+                }
+                continue;
+            }
+            out += c;
+        }
+        return false; // unterminated
+    }
+
+    /** Parse a number, null, true or false into a double. */
+    bool
+    number(double &out)
+    {
+        skipWs();
+        if (s_.compare(i_, 4, "null") == 0) {
+            i_ += 4;
+            out = 0;
+            return true;
+        }
+        if (s_.compare(i_, 4, "true") == 0) {
+            i_ += 4;
+            out = 1;
+            return true;
+        }
+        if (s_.compare(i_, 5, "false") == 0) {
+            i_ += 5;
+            out = 0;
+            return true;
+        }
+        std::size_t start = i_;
+        while (i_ < s_.size()
+               && (std::isdigit(static_cast<unsigned char>(s_[i_]))
+                   || s_[i_] == '-' || s_[i_] == '+' || s_[i_] == '.'
+                   || s_[i_] == 'e' || s_[i_] == 'E'))
+            ++i_;
+        if (i_ == start)
+            return false;
+        try {
+            out = std::stod(s_.substr(start, i_ - start));
+        } catch (...) {
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    const std::string &s_;
+    std::size_t i_ = 0;
+};
+
+} // namespace
+
+std::vector<ResultRow>
+readResultRows(const std::string &path)
+{
+    std::vector<ResultRow> rows;
+    std::ifstream in(path);
+    if (!in)
+        return rows;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+
+    // Locate the "results" array; everything outside it is ignored.
+    const std::size_t key = text.find("\"results\"");
+    if (key == std::string::npos)
+        return rows;
+    const std::size_t open = text.find('[', key);
+    if (open == std::string::npos)
+        return rows;
+    const std::string tail = text.substr(open);
+    Scanner sc(tail);
+    if (!sc.consume('['))
+        return rows;
+    while (sc.peek() == '{') {
+        sc.consume('{');
+        ResultRow row;
+        while (sc.peek() == '"') {
+            std::string k;
+            if (!sc.string(k) || !sc.consume(':'))
+                return {};
+            if (k == "name" || k == "topology" || k == "algorithm"
+                || k == "mode") {
+                std::string v;
+                if (!sc.string(v))
+                    return {};
+                if (k == "name")
+                    row.name = std::move(v);
+                else if (k == "topology")
+                    row.topology = std::move(v);
+                else if (k == "algorithm")
+                    row.algorithm = std::move(v);
+                else
+                    row.mode = std::move(v);
+            } else {
+                double v = 0;
+                if (!sc.number(v))
+                    return {};
+                if (k == "bytes")
+                    row.bytes = static_cast<std::uint64_t>(v);
+                else if (k == "cycles")
+                    row.cycles = static_cast<std::uint64_t>(v);
+                else if (k == "bandwidth_gbps")
+                    row.bandwidth_gbps = v;
+                else if (k == "messages")
+                    row.messages = static_cast<std::uint64_t>(v);
+                else if (k == "wall_ms")
+                    row.wall_ms = v;
+                else if (k == "msim_cycles_per_s")
+                    row.msim_cps = v;
+                // speedup_vs_ring (and anything unknown): derived,
+                // recomputed at write time — dropped here.
+            }
+            if (!sc.consume(','))
+                break;
+        }
+        if (!sc.consume('}'))
+            return {};
+        rows.push_back(std::move(row));
+        if (!sc.consume(','))
+            break;
+    }
+    return rows;
+}
+
+void
+mergeResultRows(std::vector<ResultRow> &base,
+                const std::vector<ResultRow> &incoming)
+{
+    std::map<std::string, std::size_t> index;
+    for (std::size_t i = 0; i < base.size(); ++i)
+        index[base[i].name] = i;
+    for (const ResultRow &row : incoming) {
+        auto it = index.find(row.name);
+        if (it != index.end()) {
+            base[it->second] = row;
+        } else {
+            index[row.name] = base.size();
+            base.push_back(row);
+        }
+    }
+}
+
+bool
+writeResultRows(const std::string &path,
+                const std::vector<ResultRow> &rows)
+{
+    // Ring baseline per (topology, bytes, mode) for the derived
+    // speedup column: comparing across schedulers/backends would
+    // pair a row with a baseline measured under different modeling.
+    std::map<std::tuple<std::string, std::uint64_t, std::string>,
+             std::uint64_t>
+        ring;
+    for (const auto &r : rows) {
+        if (r.algorithm == "ring")
+            ring[{r.topology, r.bytes, r.mode}] = r.cycles;
+    }
+
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    {
+        std::ofstream out(tmp);
+        if (!out)
+            return false;
+        out << "{\n  \"results\": [\n";
+        const char *sep = "";
+        for (const auto &r : rows) {
+            out << sep << "    {\"name\": " << jsonQuote(r.name)
+                << ", \"topology\": " << jsonQuote(r.topology)
+                << ", \"algorithm\": " << jsonQuote(r.algorithm)
+                << ", \"bytes\": " << r.bytes
+                << ", \"cycles\": " << r.cycles
+                << ", \"bandwidth_gbps\": " << r.bandwidth_gbps
+                << ", \"messages\": " << r.messages
+                << ", \"wall_ms\": " << r.wall_ms
+                << ", \"msim_cycles_per_s\": " << r.msim_cps
+                << ", \"mode\": " << jsonQuote(r.mode)
+                << ", \"speedup_vs_ring\": ";
+            auto it = ring.find({r.topology, r.bytes, r.mode});
+            if (it == ring.end() || r.cycles == 0) {
+                out << "null";
+            } else {
+                out << static_cast<double>(it->second)
+                           / static_cast<double>(r.cycles);
+            }
+            out << "}";
+            sep = ",\n";
+        }
+        out << "\n  ]\n}\n";
+        if (!out)
+            return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+mergeResultsFile(const std::string &path,
+                 const std::vector<ResultRow> &rows)
+{
+    std::vector<ResultRow> merged = readResultRows(path);
+    mergeResultRows(merged, rows);
+    return writeResultRows(path, merged);
+}
+
+} // namespace multitree::obs

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Benchmark-results JSON: the one reader/writer for
+ * BENCH_results.json.
+ *
+ * Several producers append rows to the same results file — every
+ * bench binary's atexit hook, and each worker of an examples/mtsweep
+ * campaign. Writing therefore always goes through the merge-then-
+ * rename discipline here: read whatever rows the file already holds,
+ * upsert the new rows by name, write to a sibling temp file and
+ * rename it over the target. A crash mid-write leaves the previous
+ * file intact, and two binaries run back to back both keep their
+ * rows instead of the second truncating the first's.
+ *
+ * Speedup columns are derived, not stored: writeResultRows() computes
+ * speedup_vs_ring at write time against the ring row with the same
+ * (topology, bytes, mode) — mode matters because a dense-scheduler
+ * row must not be scored against an active-scheduler ring baseline.
+ */
+
+#ifndef MULTITREE_OBS_RESULTS_HH
+#define MULTITREE_OBS_RESULTS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace multitree::obs {
+
+/** One benchmark point, as serialized in BENCH_results.json. */
+struct ResultRow {
+    std::string name;     ///< unique row key, e.g. "fig9/torus-8x8/..."
+    std::string topology;
+    std::string algorithm;
+    std::uint64_t bytes = 0;
+    std::uint64_t cycles = 0;
+    double bandwidth_gbps = 0;
+    std::uint64_t messages = 0;
+    double wall_ms = 0;    ///< wall-clock spent simulating (simspeed)
+    double msim_cps = 0;   ///< millions of simulated cycles per second
+    std::string mode;      ///< "flow" / "active" / "dense" / ...
+};
+
+/**
+ * Parse the rows of a BENCH_results.json-format file. Returns an
+ * empty vector when the file is absent or unparseable (a results
+ * file is a cache, never an input that may fail the run); unknown
+ * keys are skipped, the derived speedup column is ignored.
+ */
+std::vector<ResultRow> readResultRows(const std::string &path);
+
+/**
+ * Upsert @p incoming into @p base by row name: a matching name
+ * replaces that row in place (a re-run refreshes its old result),
+ * anything else appends in order.
+ */
+void mergeResultRows(std::vector<ResultRow> &base,
+                     const std::vector<ResultRow> &incoming);
+
+/**
+ * Serialize @p rows to @p path atomically: write "<path>.tmp.<pid>",
+ * then rename over @p path. @return false when the file could not be
+ * written (the previous contents are left untouched).
+ */
+bool writeResultRows(const std::string &path,
+                     const std::vector<ResultRow> &rows);
+
+/**
+ * The standard read-merge-write cycle every producer uses: merge
+ * @p rows over the rows already in @p path and write back atomically.
+ */
+bool mergeResultsFile(const std::string &path,
+                      const std::vector<ResultRow> &rows);
+
+} // namespace multitree::obs
+
+#endif // MULTITREE_OBS_RESULTS_HH

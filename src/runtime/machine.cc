@@ -77,6 +77,10 @@ Machine::Machine(const topo::Topology &topo, const RunOptions &opts)
               "self-healing consumes the reliability layer's timeout "
               "evidence and resume rides its outstanding-transfer "
               "scoreboard; arm RunOptions::reliability too");
+    MT_ASSERT(opts_.net.threads >= 1 && opts_.net.threads <= 1024,
+              "net.threads must be in [1, 1024], got ",
+              opts_.net.threads,
+              " (it is a worker count, not a parallelism hint)");
 
     // Pre-size the event heap so steady-state scheduling never
     // reallocates: one in-flight slot per node covers the NIC timers

@@ -1,0 +1,101 @@
+#include "sim/worker_pool.hh"
+
+#include "common/logging.hh"
+
+namespace multitree::sim {
+
+WorkerPool::WorkerPool(int workers)
+    : workers_(workers),
+      spin_(static_cast<unsigned>(workers)
+                    <= std::thread::hardware_concurrency()
+                ? 2048
+                : 0)
+{
+    MT_ASSERT(workers_ >= 1, "worker pool needs >= 1 workers, got ",
+              workers_);
+    threads_.reserve(static_cast<std::size_t>(workers_ - 1));
+    for (int w = 1; w < workers_; ++w)
+        threads_.emplace_back([this, w] { workerLoop(w); });
+}
+
+WorkerPool::~WorkerPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        shutdown_ = true;
+        epoch_.fetch_add(1, std::memory_order_release);
+    }
+    work_cv_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+}
+
+void
+WorkerPool::dispatch(const Task &task)
+{
+    if (workers_ == 1) {
+        task(0);
+        return;
+    }
+    outstanding_.store(workers_ - 1, std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        task_ = &task;
+        epoch_.fetch_add(1, std::memory_order_release);
+    }
+    work_cv_.notify_all();
+
+    task(0); // the coordinator is worker 0
+
+    // Wait for the others: spin a little (they are typically one
+    // cache miss behind), then park.
+    for (int i = 0; i < spin_; ++i) {
+        if (outstanding_.load(std::memory_order_acquire) == 0)
+            return;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] {
+        return outstanding_.load(std::memory_order_acquire) == 0;
+    });
+}
+
+void
+WorkerPool::workerLoop(int worker)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        // Spot the next epoch: spin briefly, then park on the cv.
+        bool ready = false;
+        for (int i = 0; i < spin_; ++i) {
+            if (epoch_.load(std::memory_order_acquire) != seen) {
+                ready = true;
+                break;
+            }
+        }
+        const Task *task = nullptr;
+        bool quit = false;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            if (!ready) {
+                work_cv_.wait(lock, [&] {
+                    return epoch_.load(std::memory_order_acquire)
+                           != seen;
+                });
+            }
+            seen = epoch_.load(std::memory_order_acquire);
+            task = task_;
+            quit = shutdown_;
+        }
+        if (quit)
+            return;
+        (*task)(worker);
+        if (outstanding_.fetch_sub(1, std::memory_order_release)
+            == 1) {
+            // Last one out wakes the coordinator if it parked.
+            std::lock_guard<std::mutex> lock(mu_);
+            done_cv_.notify_one();
+        }
+    }
+}
+
+} // namespace multitree::sim

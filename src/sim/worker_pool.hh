@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Persistent worker pool with a per-dispatch barrier.
+ *
+ * The parallel flit engine executes one task per spatial domain every
+ * simulated cycle, so dispatch latency — not throughput — is what
+ * matters: the pool keeps its threads alive across the whole run and
+ * synchronizes each dispatch with an epoch counter. Workers spin
+ * briefly on the epoch before parking on a condition variable; when
+ * the pool is oversubscribed (more workers than hardware threads,
+ * e.g. determinism tests on a small CI box) the spin is skipped so
+ * workers yield the core to each other instead of burning it.
+ *
+ * The caller's thread acts as worker 0, so a pool of N workers
+ * spawns N-1 threads and a pool of 1 spawns none (dispatch degrades
+ * to a plain loop).
+ */
+
+#ifndef MULTITREE_SIM_WORKER_POOL_HH
+#define MULTITREE_SIM_WORKER_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace multitree::sim {
+
+/**
+ * Fixed-size pool executing one closure per worker per dispatch.
+ * Not reentrant: one dispatch at a time, from one coordinating
+ * thread.
+ */
+class WorkerPool
+{
+  public:
+    /** Task body: invoked once per dispatch with the worker index
+     *  (0 .. workers()-1). */
+    using Task = std::function<void(int worker)>;
+
+    /** Bring up @p workers workers (>= 1); spawns workers-1
+     *  threads. */
+    explicit WorkerPool(int workers);
+
+    /** Joins every thread; @pre no dispatch in flight. */
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    int workers() const { return workers_; }
+
+    /**
+     * Run @p task(w) for every worker w and return once all have
+     * finished. Worker 0 executes on the calling thread. Memory
+     * effects of every task are visible to the caller afterwards
+     * (release/acquire on the completion counter).
+     */
+    void dispatch(const Task &task);
+
+  private:
+    void workerLoop(int worker);
+
+    const int workers_;
+    /** Spin iterations before parking; 0 when oversubscribed. */
+    const int spin_;
+
+    std::vector<std::thread> threads_;
+
+    std::mutex mu_;
+    std::condition_variable work_cv_;
+    std::condition_variable done_cv_;
+    /** Bumped (under mu_) to publish a new dispatch. */
+    std::atomic<std::uint64_t> epoch_{0};
+    /** Workers still running the current dispatch. */
+    std::atomic<int> outstanding_{0};
+    const Task *task_ = nullptr;
+    bool shutdown_ = false;
+};
+
+} // namespace multitree::sim
+
+#endif // MULTITREE_SIM_WORKER_POOL_HH

@@ -109,11 +109,13 @@ profileJson(const runtime::Machine &m, const obs::Profiler &prof)
 /** One observed fabric: Machine + trace + profiler wired up. */
 struct Rig {
     explicit Rig(const topo::Topology &topo, bool dense,
-                 std::uint32_t reduction_bw = 0)
+                 std::uint32_t reduction_bw = 0,
+                 std::uint32_t threads = 1)
     {
         runtime::RunOptions opts;
         opts.backend = runtime::Backend::Flit;
         opts.net.dense_tick = dense;
+        opts.net.threads = threads;
         opts.sink = &trace;
         opts.profiler = &prof;
         opts.ni_reduction_bw = reduction_bw;
@@ -124,6 +126,21 @@ struct Rig {
     obs::Profiler prof;
     std::unique_ptr<runtime::Machine> machine;
 };
+
+/** Every cross-scheduler observable at once: result, stats, active
+ *  cycles, full trace, rendered profile. */
+void
+expectSameEverything(Rig &a, const runtime::RunResult &ra, Rig &b,
+                     const runtime::RunResult &rb)
+{
+    expectSameResult(ra, rb);
+    expectSameStats(*a.machine, *b.machine);
+    EXPECT_EQ(activeCyclesOf(*a.machine),
+              activeCyclesOf(*b.machine));
+    expectSameTrace(a.trace, b.trace);
+    EXPECT_EQ(profileJson(*a.machine, a.prof),
+              profileJson(*b.machine, b.prof));
+}
 
 class ActiveSetParity
     : public ::testing::TestWithParam<const char *>
@@ -176,6 +193,107 @@ INSTANTIATE_TEST_SUITE_P(Sweep, ActiveSetParity,
                              }
                              return n;
                          });
+
+class ThreadedParity : public ::testing::TestWithParam<const char *>
+{};
+
+// The parallel engine's guarantee: partitioning the routers across a
+// worker pool is invisible. For every algorithm variant, an active-set
+// machine at 2 and at 4 threads and a dense-tick machine at 4 threads
+// all reproduce the serial dense oracle bit for bit — results, stats,
+// active-cycle counts, traces and profiles — across back-to-back runs
+// on warm fabrics.
+TEST_P(ThreadedParity, BitIdenticalToDenseOracle)
+{
+    auto topo = topo::makeTopology(GetParam());
+    Rig oracle(*topo, /*dense=*/true);
+    Rig active2(*topo, false, 0, /*threads=*/2);
+    Rig active4(*topo, false, 0, /*threads=*/4);
+    Rig dense4(*topo, true, 0, /*threads=*/4);
+    EXPECT_EQ(dynamic_cast<const net::FlitNetwork &>(
+                  active4.machine->network())
+                  .threads(),
+              4);
+
+    for (const auto &v : coll::algorithmVariants()) {
+        if (!coll::makeAlgorithm(v.base)->supports(*topo))
+            continue;
+        SCOPED_TRACE(v.name);
+        for (int rep = 0; rep < 2; ++rep) {
+            SCOPED_TRACE("rep " + std::to_string(rep));
+            auto ro = oracle.machine->run(v.name, 16 * KiB);
+            auto r2 = active2.machine->run(v.name, 16 * KiB);
+            auto r4 = active4.machine->run(v.name, 16 * KiB);
+            auto rd = dense4.machine->run(v.name, 16 * KiB);
+            expectSameEverything(active2, r2, oracle, ro);
+            expectSameEverything(active4, r4, oracle, ro);
+            expectSameEverything(dense4, rd, oracle, ro);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ThreadedParity,
+                         ::testing::Values("torus-4x4", "mesh-4x4",
+                                           "torus-8x8",
+                                           "fattree-16"),
+                         [](const auto &info) {
+                             std::string n = info.param;
+                             for (auto &c : n) {
+                                 if (c == '-' || c == ':')
+                                     c = '_';
+                             }
+                             return n;
+                         });
+
+// Faults + reliability under the parallel engine: retransmission
+// timers, ack traffic and drop decisions must land on the same cycles
+// regardless of the worker count.
+TEST(ThreadedParityExtra, FaultedReliableThreadedRunMatches)
+{
+    auto topo = topo::makeTopology("torus-4x4");
+    fault::FaultConfig fc;
+    fc.seed = 11;
+    fc.drop_prob = 2e-3;
+
+    auto report = [&](bool dense_tick, std::uint32_t threads) {
+        runtime::RunOptions opts;
+        opts.backend = runtime::Backend::Flit;
+        opts.net.dense_tick = dense_tick;
+        opts.net.threads = threads;
+        opts.reliability.enabled = true;
+        opts.fault = fc;
+        runtime::Machine machine(*topo, opts);
+        return machine.tryRun("multitree", 16 * KiB);
+    };
+    auto oracle = report(true, 1);
+    ASSERT_TRUE(oracle.ok) << oracle.diagnostic;
+    for (std::uint32_t threads : {2u, 4u}) {
+        SCOPED_TRACE("threads " + std::to_string(threads));
+        auto rt = report(false, threads);
+        ASSERT_TRUE(rt.ok) << rt.diagnostic;
+        expectSameResult(rt.result, oracle.result);
+        EXPECT_EQ(rt.dropped, oracle.dropped);
+        EXPECT_EQ(rt.retransmits, oracle.retransmits);
+        EXPECT_EQ(rt.timeouts, oracle.timeouts);
+        EXPECT_EQ(rt.acks, oracle.acks);
+        EXPECT_EQ(rt.duplicates, oracle.duplicates);
+    }
+}
+
+// Finite-rate reductions with the pool engaged: delayed dependency
+// clears ride the ordered merge, not the worker schedule.
+TEST(ThreadedParityExtra, FiniteRateReductionThreadedMatches)
+{
+    auto topo = topo::makeTopology("torus-4x4");
+    Rig oracle(*topo, true, /*reduction_bw=*/8);
+    Rig threaded(*topo, false, /*reduction_bw=*/8, /*threads=*/4);
+    for (const char *algo : {"ring", "multitree"}) {
+        SCOPED_TRACE(algo);
+        expectSameResult(threaded.machine->run(algo, 16 * KiB),
+                         oracle.machine->run(algo, 16 * KiB));
+        expectSameTrace(threaded.trace, oracle.trace);
+    }
+}
 
 // Finite-rate reductions reshape the issue timing (delayed dependency
 // clears); the schedulers must still agree.

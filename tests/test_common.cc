@@ -8,8 +8,12 @@
 #include <cmath>
 #include <limits>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "common/random.hh"
+#include "common/ring_buffer.hh"
+#include "common/spsc_ring.hh"
 #include "common/stats.hh"
 #include "common/strings.hh"
 #include "common/units.hh"
@@ -194,6 +198,113 @@ TEST(Strings, FormatBytesPromotesAtRoundingBoundary)
     EXPECT_EQ(formatBytes(1048477), "1023.9 KiB");
     // The last suffix never promotes, however large the value.
     EXPECT_EQ(formatBytes(2048ull * GiB * KiB), "2048 TiB");
+}
+
+TEST(RingBuffer, RegrowAcrossWrappedHeadPreservesFifo)
+{
+    RingBuffer<int> rb;
+    // Fill to the initial capacity (8), then pop a few so the head
+    // sits mid-array and the live window wraps after more pushes.
+    for (int i = 0; i < 8; ++i)
+        rb.push_back(i);
+    EXPECT_EQ(rb.capacity(), 8u);
+    for (int i = 0; i < 5; ++i)
+        rb.pop_front();
+    for (int i = 8; i < 13; ++i)
+        rb.push_back(i); // wraps: head=5, window crosses the seam
+    EXPECT_EQ(rb.size(), 8u);
+    // The next push forces a regrow while the window is wrapped; the
+    // copy-out must linearize in FIFO order, not array order.
+    rb.push_back(13);
+    EXPECT_GT(rb.capacity(), 8u);
+    for (int want = 5; want <= 13; ++want) {
+        EXPECT_EQ(rb.front(), want);
+        rb.pop_front();
+    }
+    EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBuffer, AtIndexesAcrossTheWrapSeam)
+{
+    RingBuffer<int> rb;
+    for (int i = 0; i < 8; ++i)
+        rb.push_back(i);
+    for (int i = 0; i < 6; ++i)
+        rb.pop_front();
+    for (int i = 8; i < 12; ++i)
+        rb.push_back(i);
+    // Window is 6..11 with the physical seam between 7 and 8.
+    ASSERT_EQ(rb.size(), 6u);
+    for (std::size_t i = 0; i < rb.size(); ++i)
+        EXPECT_EQ(rb.at(i), static_cast<int>(6 + i));
+}
+
+TEST(RingBuffer, ClearRetainsCapacityForReuse)
+{
+    RingBuffer<int> rb;
+    rb.reserve(64);
+    const std::size_t warm = rb.capacity();
+    EXPECT_GE(warm, 64u);
+    for (int i = 0; i < 50; ++i)
+        rb.push_back(i);
+    rb.clear();
+    EXPECT_TRUE(rb.empty());
+    EXPECT_EQ(rb.capacity(), warm);
+    // Reuse after clear starts a fresh FIFO in the same storage.
+    for (int i = 100; i < 110; ++i)
+        rb.push_back(i);
+    EXPECT_EQ(rb.capacity(), warm);
+    for (int i = 100; i < 110; ++i) {
+        EXPECT_EQ(rb.front(), i);
+        rb.pop_front();
+    }
+}
+
+TEST(SpscRing, RefusesWhenFullAndGrowToPreservesFifo)
+{
+    SpscRing<int> ring(8);
+    EXPECT_EQ(ring.capacity(), 8u);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_TRUE(ring.tryPush(i));
+    EXPECT_FALSE(ring.tryPush(99)); // full: refuse, never regrow
+    ring.pop_front();
+    ring.pop_front();
+    EXPECT_TRUE(ring.tryPush(8)); // wrapped window: 2..8
+    ring.growTo(32);
+    EXPECT_EQ(ring.capacity(), 32u);
+    EXPECT_EQ(ring.size(), 7u);
+    for (std::size_t i = 0; i < ring.size(); ++i)
+        EXPECT_EQ(ring.at(i), static_cast<int>(2 + i));
+    for (int want = 2; want <= 8; ++want) {
+        EXPECT_EQ(ring.front(), want);
+        ring.pop_front();
+    }
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, ConcurrentProducerConsumerKeepsOrder)
+{
+    // One producer thread, one consumer thread, every element
+    // accounted for in order — the contract the parallel flit
+    // engine's handoff lanes rely on every cycle.
+    SpscRing<int> ring(64);
+    constexpr int kCount = 20000;
+    std::thread producer([&] {
+        for (int i = 0; i < kCount;) {
+            if (ring.tryPush(i))
+                ++i;
+        }
+    });
+    int expect = 0;
+    while (expect < kCount) {
+        if (!ring.empty()) {
+            ASSERT_EQ(ring.front(), expect);
+            ring.pop_front();
+            ++expect;
+        }
+    }
+    producer.join();
+    EXPECT_TRUE(ring.empty());
 }
 
 TEST(Strings, TextTableAligns)
