@@ -288,6 +288,7 @@ writeBenchResults()
         row.wall_ms = r.wall_ms;
         row.msim_cps = r.msim_cps;
         row.mode = r.mode;
+        row.commit = obs::buildCommit();
         out.push_back(std::move(row));
     }
     obs::mergeResultsFile(path, out);

@@ -1,0 +1,622 @@
+/**
+ * @file
+ * mtdiff — the cross-run regression observatory.
+ *
+ * Loads two JSON artifacts this project writes — metrics snapshots
+ * (mtsim --metrics-out), latency profiles (mtsim --profile-out) or
+ * benchmark results files (BENCH_results.json / mtsweep --out) —
+ * aligns them, and attributes every difference as finely as the
+ * artifact allows:
+ *
+ *   metrics  A-vs-B on result/report/stat totals, with the
+ *            "timeseries" section (when both runs sampled) pinning a
+ *            delta to the schedule phase, rail and first divergent
+ *            sample window;
+ *   profile  A-vs-B on end-to-end cycles, decomposed by the
+ *            critical-path category rollup (nic_wait, inj_queue,
+ *            head_route, serialization, credit_stall, reduction) and
+ *            per-phase summaries — when both critical paths tile,
+ *            the rollup deltas sum exactly to the cycles delta and
+ *            any residual is flagged as unattributed;
+ *   results  rows aligned by name, per-row cycle/bandwidth deltas,
+ *            each side's git commit stamp named in the verdict.
+ *
+ *   ./mtdiff A.json B.json [--tolerance FRAC] [--out FILE]
+ *            [--report FILE]
+ *
+ * Emits a machine-readable verdict JSON (stdout or --out) and
+ * optionally a markdown report (--report). Exit status: 0 when no
+ * delta exceeds --tolerance (default 0: bit-identical runs of one
+ * configuration must match exactly), 1 on a regression or any
+ * unattributed delta, 2 on unreadable/mismatched inputs. Inputs with
+ * a schema_version stamp from an incompatible writer are refused
+ * (exit 2) rather than misread.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hh"
+#include "obs/profile.hh"
+#include "obs/results.hh"
+#include "obs/trace.hh"
+#include "runtime/metrics.hh"
+
+namespace {
+
+using multitree::obs::json::Value;
+using multitree::obs::json::parseFile;
+
+/** One observed difference between the two runs. */
+struct Delta {
+    std::string key;  ///< dotted path or row name, e.g. "result.time"
+    double a = 0;
+    double b = 0;
+    std::string note;    ///< attribution, empty when none found
+    bool gating = false; ///< counts toward the verdict (vs context)
+};
+
+struct Diff {
+    std::string kind; ///< "metrics" / "profile" / "results"
+    std::vector<Delta> deltas;
+    std::vector<std::string> unattributed;
+    std::string commit_a = "unknown";
+    std::string commit_b = "unknown";
+};
+
+double
+relDelta(double a, double b)
+{
+    const double base = std::max(std::fabs(a), std::fabs(b));
+    return base == 0 ? 0 : std::fabs(b - a) / base;
+}
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: mtdiff A.json B.json [--tolerance FRAC]\n"
+        "              [--out FILE] [--report FILE]\n"
+        "inputs: two metrics snapshots, two profiles, or two\n"
+        "        BENCH_results.json files (auto-detected)\n"
+        "exit:   0 no regression, 1 regression/unattributed delta,\n"
+        "        2 bad input\n");
+}
+
+std::string
+detectKind(const Value &doc)
+{
+    if (!doc.isObject())
+        return {};
+    const Value *results = doc.find("results");
+    if (results != nullptr && results->isArray())
+        return "results";
+    if (doc.find("critical_path") != nullptr)
+        return "profile";
+    if (doc.find("result") != nullptr)
+        return "metrics";
+    return {};
+}
+
+int
+expectedSchema(const std::string &kind)
+{
+    if (kind == "metrics")
+        return multitree::runtime::kMetricsSchemaVersion;
+    if (kind == "profile")
+        return multitree::obs::kProfileSchemaVersion;
+    return multitree::obs::kResultsSchemaVersion;
+}
+
+/** Diff every number member of object @p key in both docs. */
+void
+diffNumericObject(const Value &a, const Value &b,
+                  const std::string &key, bool gating, Diff &out)
+{
+    const Value *oa = a.find(key);
+    const Value *ob = b.find(key);
+    if (oa == nullptr || ob == nullptr || !oa->isObject()
+        || !ob->isObject())
+        return;
+    for (const auto &[k, va] : oa->obj) {
+        if (!va.isNumber())
+            continue;
+        const double vb = ob->num(k, va.number);
+        if (va.number == vb)
+            continue;
+        Delta d;
+        d.key = key + "." + k;
+        d.a = va.number;
+        d.b = vb;
+        d.gating = gating;
+        out.deltas.push_back(std::move(d));
+    }
+}
+
+/**
+ * Pin the metrics delta to phase/rail/first-divergent-window using
+ * the timeseries sections. Returns the attribution note ("" when the
+ * series are absent or identical).
+ */
+std::string
+attributeFromTimeseries(const Value &a, const Value &b, Diff &out)
+{
+    const Value *tsa = a.find("timeseries");
+    const Value *tsb = b.find("timeseries");
+    if (tsa == nullptr || tsb == nullptr)
+        return {};
+    const Value *fa = tsa->find("frames");
+    const Value *fb = tsb->find("frames");
+    if (fa == nullptr || fb == nullptr || !fa->isArray()
+        || !fb->isArray())
+        return {};
+
+    std::ostringstream note;
+
+    // Final-frame per-phase delivered bytes: which phase moved?
+    const Value *la = fa->arr.empty() ? nullptr : &fa->arr.back();
+    const Value *lb = fb->arr.empty() ? nullptr : &fb->arr.back();
+    const Value *phases = tsa->find("phases");
+    if (la != nullptr && lb != nullptr) {
+        const Value *pa = la->find("phase_bytes");
+        const Value *pb = lb->find("phase_bytes");
+        if (pa != nullptr && pb != nullptr && pa->isArray()
+            && pb->isArray()) {
+            const std::size_t n =
+                std::max(pa->arr.size(), pb->arr.size());
+            for (std::size_t p = 0; p < n; ++p) {
+                const double va =
+                    p < pa->arr.size() ? pa->arr[p].number : 0;
+                const double vb =
+                    p < pb->arr.size() ? pb->arr[p].number : 0;
+                if (va == vb)
+                    continue;
+                std::string name = "phase-" + std::to_string(p);
+                if (phases != nullptr && phases->isArray()
+                    && p < phases->arr.size())
+                    name = phases->arr[p].str;
+                Delta d;
+                d.key = "timeseries.phase_bytes." + name;
+                d.a = va;
+                d.b = vb;
+                d.note = "delivered bytes moved in phase " + name;
+                out.deltas.push_back(std::move(d));
+                note << "phase " << name << " bytes "
+                     << static_cast<long long>(vb - va) << "; ";
+            }
+        }
+        const Value *ra = la->find("rail_flits");
+        const Value *rb = lb->find("rail_flits");
+        if (ra != nullptr && rb != nullptr && ra->isArray()
+            && rb->isArray()) {
+            const std::size_t n =
+                std::max(ra->arr.size(), rb->arr.size());
+            for (std::size_t r = 0; r < n; ++r) {
+                const double va =
+                    r < ra->arr.size() ? ra->arr[r].number : 0;
+                const double vb =
+                    r < rb->arr.size() ? rb->arr[r].number : 0;
+                if (va == vb)
+                    continue;
+                Delta d;
+                d.key = "timeseries.rail_flits.rail"
+                        + std::to_string(r);
+                d.a = va;
+                d.b = vb;
+                d.note = "traffic moved on rail " + std::to_string(r);
+                out.deltas.push_back(std::move(d));
+                note << "rail " << r << " flits "
+                     << static_cast<long long>(vb - va) << "; ";
+            }
+        }
+    }
+
+    // First sample window where the series disagree at all.
+    const std::size_t frames =
+        std::min(fa->arr.size(), fb->arr.size());
+    for (std::size_t i = 0; i < frames; ++i) {
+        // Frames are flat objects of numbers and number arrays;
+        // member-order is writer-fixed, so a direct compare works.
+        const Value &va = fa->arr[i];
+        const Value &vb = fb->arr[i];
+        bool same = va.obj.size() == vb.obj.size();
+        for (std::size_t m = 0; same && m < va.obj.size(); ++m) {
+            const auto &[ka, ma] = va.obj[m];
+            const auto &[kb, mb] = vb.obj[m];
+            same = ka == kb && ma.number == mb.number
+                   && ma.arr.size() == mb.arr.size();
+            for (std::size_t e = 0; same && e < ma.arr.size(); ++e)
+                same = ma.arr[e].number == mb.arr[e].number;
+        }
+        if (!same) {
+            note << "series first diverge at tick "
+                 << static_cast<long long>(va.num("tick")) << " (frame "
+                 << i << " of " << frames << ")";
+            return note.str();
+        }
+    }
+    if (fa->arr.size() != fb->arr.size())
+        note << "series lengths differ (" << fa->arr.size() << " vs "
+             << fb->arr.size() << " frames)";
+    return note.str();
+}
+
+void
+diffMetrics(const Value &a, const Value &b, Diff &out)
+{
+    out.commit_a = a.text("commit", out.commit_a);
+    out.commit_b = b.text("commit", out.commit_b);
+    // Totals that define the run's outcome gate the verdict; energy
+    // is derived from the hop counters, so it is context only.
+    diffNumericObject(a, b, "result", true, out);
+    diffNumericObject(a, b, "network_stats", true, out);
+    diffNumericObject(a, b, "lifetime_stats", true, out);
+    diffNumericObject(a, b, "report", true, out);
+    diffNumericObject(a, b, "energy", false, out);
+
+    const std::string note = attributeFromTimeseries(a, b, out);
+    bool any_gating = false;
+    for (Delta &d : out.deltas) {
+        if (!d.gating)
+            continue;
+        any_gating = true;
+        if (d.note.empty())
+            d.note = note;
+        if (d.note.empty())
+            out.unattributed.push_back(d.key);
+    }
+    // Identical totals but diverging series: still a behavior change.
+    if (!any_gating && !note.empty())
+        out.unattributed.push_back("timeseries (" + note + ")");
+}
+
+void
+diffProfile(const Value &a, const Value &b, Diff &out)
+{
+    out.commit_a = a.text("commit", out.commit_a);
+    out.commit_b = b.text("commit", out.commit_b);
+    const Value *ra = a.find("run");
+    const Value *rb = b.find("run");
+    const double cyc_a = ra != nullptr ? ra->num("cycles") : 0;
+    const double cyc_b = rb != nullptr ? rb->num("cycles") : 0;
+
+    // Critical-path attribution: when both paths tile their run
+    // (ok == true), category deltas + tail_wait delta sum exactly to
+    // the cycles delta; anything left over is unattributed.
+    const Value *ca = a.find("critical_path");
+    const Value *cb = b.find("critical_path");
+    double explained = 0;
+    bool tiled = false;
+    std::ostringstream note;
+    if (ca != nullptr && cb != nullptr) {
+        const Value *boolv = ca->find("ok");
+        const Value *boolvb = cb->find("ok");
+        tiled = boolv != nullptr && boolv->boolean
+                && boolvb != nullptr && boolvb->boolean;
+        const Value *rolla = ca->find("rollup");
+        const Value *rollb = cb->find("rollup");
+        if (rolla != nullptr && rollb != nullptr
+            && rolla->isObject()) {
+            for (const auto &[cat, va] : rolla->obj) {
+                const double vb = rollb->num(cat, 0);
+                explained += vb - va.number;
+                if (va.number == vb)
+                    continue;
+                Delta d;
+                d.key = "critical_path.rollup." + cat;
+                d.a = va.number;
+                d.b = vb;
+                d.note = "critical-path " + cat + " cycles";
+                out.deltas.push_back(std::move(d));
+                note << cat << " "
+                     << static_cast<long long>(vb - va.number)
+                     << "; ";
+            }
+        }
+        const double tail_a = ca->num("tail_wait");
+        const double tail_b = cb->num("tail_wait");
+        explained += tail_b - tail_a;
+        if (tail_a != tail_b) {
+            Delta d;
+            d.key = "critical_path.tail_wait";
+            d.a = tail_a;
+            d.b = tail_b;
+            d.note = "tail wait after last delivery";
+            out.deltas.push_back(std::move(d));
+            note << "tail_wait "
+                 << static_cast<long long>(tail_b - tail_a) << "; ";
+        }
+    }
+
+    if (cyc_a != cyc_b) {
+        Delta d;
+        d.key = "run.cycles";
+        d.a = cyc_a;
+        d.b = cyc_b;
+        d.gating = true;
+        d.note = note.str();
+        if (d.note.empty())
+            out.unattributed.push_back(d.key);
+        out.deltas.push_back(std::move(d));
+    }
+    if (tiled && explained != cyc_b - cyc_a) {
+        std::ostringstream oss;
+        oss << "run.cycles residual "
+            << static_cast<long long>((cyc_b - cyc_a) - explained)
+            << " cycles beyond the critical-path rollup";
+        out.unattributed.push_back(oss.str());
+    }
+
+    // Per-phase summaries: context for where latency moved.
+    const Value *pa = a.find("phases");
+    const Value *pb = b.find("phases");
+    if (pa != nullptr && pb != nullptr && pa->isArray()
+        && pb->isArray()) {
+        const std::size_t n = std::min(pa->arr.size(), pb->arr.size());
+        for (std::size_t p = 0; p < n; ++p) {
+            const double la = pa->arr[p].num("total_latency");
+            const double lb = pb->arr[p].num("total_latency");
+            if (la == lb)
+                continue;
+            Delta d;
+            d.key = "phases." + pa->arr[p].text("name", "phase")
+                    + ".total_latency";
+            d.a = la;
+            d.b = lb;
+            d.note = "aggregate message latency in this phase";
+            out.deltas.push_back(std::move(d));
+        }
+    }
+    diffNumericObject(a, b, "summary", false, out);
+}
+
+void
+diffResults(const Value &a, const Value &b, Diff &out)
+{
+    const Value *ra = a.find("results");
+    const Value *rb = b.find("results");
+    std::map<std::string, const Value *> rows_b;
+    for (const Value &row : rb->arr)
+        rows_b[row.text("name")] = &row;
+
+    for (const Value &row : ra->arr) {
+        const std::string name = row.text("name");
+        out.commit_a = row.text("commit", out.commit_a);
+        auto it = rows_b.find(name);
+        if (it == rows_b.end()) {
+            Delta d;
+            d.key = name;
+            d.a = row.num("cycles");
+            d.note = "row only in A";
+            out.deltas.push_back(std::move(d));
+            continue;
+        }
+        const Value &other = *it->second;
+        out.commit_b = other.text("commit", out.commit_b);
+        const double ca = row.num("cycles");
+        const double cb = other.num("cycles");
+        if (ca != cb) {
+            Delta d;
+            d.key = name + ".cycles";
+            d.a = ca;
+            d.b = cb;
+            d.gating = true;
+            d.note = "simulated cycles for this config";
+            out.deltas.push_back(std::move(d));
+        }
+        const double ba = row.num("bandwidth_gbps");
+        const double bb = other.num("bandwidth_gbps");
+        if (ba != bb) {
+            Delta d;
+            d.key = name + ".bandwidth_gbps";
+            d.a = ba;
+            d.b = bb;
+            d.note = "derived from cycles";
+            out.deltas.push_back(std::move(d));
+        }
+        rows_b.erase(it);
+    }
+    for (const auto &[name, row] : rows_b) {
+        Delta d;
+        d.key = name;
+        d.b = row->num("cycles");
+        d.note = "row only in B";
+        out.deltas.push_back(std::move(d));
+    }
+}
+
+void
+writeVerdictJson(std::ostream &os, const Diff &diff,
+                 const std::string &path_a, const std::string &path_b,
+                 double tolerance, bool regression)
+{
+    using multitree::obs::jsonQuote;
+    os << "{\n";
+    os << "  \"schema_version\": 1,\n";
+    os << "  \"kind\": " << jsonQuote(diff.kind) << ",\n";
+    os << "  \"a\": {\"path\": " << jsonQuote(path_a)
+       << ", \"commit\": " << jsonQuote(diff.commit_a) << "},\n";
+    os << "  \"b\": {\"path\": " << jsonQuote(path_b)
+       << ", \"commit\": " << jsonQuote(diff.commit_b) << "},\n";
+    os << "  \"tolerance\": " << tolerance << ",\n";
+    os << "  \"regression\": " << (regression ? "true" : "false")
+       << ",\n";
+    os << "  \"deltas\": [";
+    const char *sep = "\n";
+    for (const Delta &d : diff.deltas) {
+        os << sep << "    {\"key\": " << jsonQuote(d.key)
+           << ", \"a\": " << d.a << ", \"b\": " << d.b
+           << ", \"rel\": " << relDelta(d.a, d.b) << ", \"gating\": "
+           << (d.gating ? "true" : "false")
+           << ", \"attribution\": " << jsonQuote(d.note) << "}";
+        sep = ",\n";
+    }
+    os << (diff.deltas.empty() ? "]" : "\n  ]") << ",\n";
+    os << "  \"unattributed\": [";
+    sep = "";
+    for (const std::string &u : diff.unattributed) {
+        os << sep << jsonQuote(u);
+        sep = ", ";
+    }
+    os << "]\n}\n";
+}
+
+void
+writeMarkdownReport(std::ostream &os, const Diff &diff,
+                    const std::string &path_a,
+                    const std::string &path_b, double tolerance,
+                    bool regression)
+{
+    os << "# mtdiff: " << diff.kind << " comparison\n\n";
+    os << "| side | file | commit |\n|---|---|---|\n";
+    os << "| A | `" << path_a << "` | `" << diff.commit_a << "` |\n";
+    os << "| B | `" << path_b << "` | `" << diff.commit_b << "` |\n\n";
+    os << "**Verdict:** "
+       << (regression ? "REGRESSION" : "no regression")
+       << " (tolerance " << tolerance << ")\n\n";
+    if (diff.deltas.empty()) {
+        os << "The runs are identical on every compared field.\n";
+        return;
+    }
+    os << "## Deltas\n\n";
+    os << "| key | A | B | rel | gating | attribution |\n";
+    os << "|---|---|---|---|---|---|\n";
+    for (const Delta &d : diff.deltas) {
+        char rel[32];
+        std::snprintf(rel, sizeof rel, "%.3g", relDelta(d.a, d.b));
+        os << "| `" << d.key << "` | " << d.a << " | " << d.b << " | "
+           << rel << " | " << (d.gating ? "yes" : "no") << " | "
+           << (d.note.empty() ? "-" : d.note) << " |\n";
+    }
+    if (!diff.unattributed.empty()) {
+        os << "\n## Unattributed\n\n";
+        for (const std::string &u : diff.unattributed)
+            os << "- " << u << "\n";
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string path_a, path_b, out_path, report_path;
+    double tolerance = 0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--tolerance")
+            tolerance = std::strtod(next(), nullptr);
+        else if (a == "--out")
+            out_path = next();
+        else if (a == "--report")
+            report_path = next();
+        else if (a == "--help" || a == "-h") {
+            usage();
+            return 0;
+        } else if (!a.empty() && a[0] == '-') {
+            usage();
+            return 2;
+        } else if (path_a.empty())
+            path_a = a;
+        else if (path_b.empty())
+            path_b = a;
+        else {
+            usage();
+            return 2;
+        }
+    }
+    if (path_a.empty() || path_b.empty()) {
+        usage();
+        return 2;
+    }
+
+    auto doc_a = parseFile(path_a);
+    auto doc_b = parseFile(path_b);
+    if (!doc_a || !doc_b) {
+        std::fprintf(stderr, "mtdiff: cannot read/parse %s\n",
+                     !doc_a ? path_a.c_str() : path_b.c_str());
+        return 2;
+    }
+
+    const std::string kind_a = detectKind(*doc_a);
+    const std::string kind_b = detectKind(*doc_b);
+    if (kind_a.empty() || kind_b.empty() || kind_a != kind_b) {
+        std::fprintf(stderr,
+                     "mtdiff: inputs are %s vs %s — need two "
+                     "metrics, two profiles or two results files\n",
+                     kind_a.empty() ? "unrecognized" : kind_a.c_str(),
+                     kind_b.empty() ? "unrecognized"
+                                    : kind_b.c_str());
+        return 2;
+    }
+
+    // Absent stamps (pre-versioning files) read as version 1.
+    const int want = expectedSchema(kind_a);
+    const int sv_a =
+        static_cast<int>(doc_a->num("schema_version", 1));
+    const int sv_b =
+        static_cast<int>(doc_b->num("schema_version", 1));
+    if (sv_a != want || sv_b != want) {
+        std::fprintf(stderr,
+                     "mtdiff: %s schema_version mismatch (A=%d, "
+                     "B=%d, this build reads %d)\n",
+                     kind_a.c_str(), sv_a, sv_b, want);
+        return 2;
+    }
+
+    Diff diff;
+    diff.kind = kind_a;
+    if (kind_a == "metrics")
+        diffMetrics(*doc_a, *doc_b, diff);
+    else if (kind_a == "profile")
+        diffProfile(*doc_a, *doc_b, diff);
+    else
+        diffResults(*doc_a, *doc_b, diff);
+
+    bool regression = !diff.unattributed.empty();
+    for (const Delta &d : diff.deltas) {
+        if (d.gating && relDelta(d.a, d.b) > tolerance)
+            regression = true;
+    }
+
+    if (out_path.empty()) {
+        writeVerdictJson(std::cout, diff, path_a, path_b, tolerance,
+                         regression);
+    } else {
+        std::ofstream out(out_path);
+        if (!out) {
+            std::fprintf(stderr, "mtdiff: cannot write %s\n",
+                         out_path.c_str());
+            return 2;
+        }
+        writeVerdictJson(out, diff, path_a, path_b, tolerance,
+                         regression);
+    }
+    if (!report_path.empty()) {
+        std::ofstream out(report_path);
+        if (!out) {
+            std::fprintf(stderr, "mtdiff: cannot write %s\n",
+                         report_path.c_str());
+            return 2;
+        }
+        writeMarkdownReport(out, diff, path_a, path_b, tolerance,
+                            regression);
+    }
+    return regression ? 1 : 0;
+}

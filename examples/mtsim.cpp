@@ -16,6 +16,8 @@
  *           [--reliable] [--recovery off|failover|repair+resume]
  *           [--trace-out FILE] [--metrics-out FILE]
  *           [--timeline] [--timeline-window TICKS]
+ *           [--timeseries] [--timeseries-every TICKS]
+ *           [--timeseries-csv FILE]
  *           [--profile-out FILE] [--heatmap] [--heatmap-csv FILE]
  *           [--energy]
  *
@@ -37,6 +39,12 @@
  * writes Chrome/Perfetto trace-event JSON (open in ui.perfetto.dev);
  * --metrics-out writes the JSON metrics snapshot; --timeline prints
  * per-link busy-fraction rows to stdout.
+ *
+ * Time series: --timeseries attaches the fixed-cadence sampler
+ * (cadence set by --timeseries-every, default 256 cycles). The
+ * series lands as a "timeseries" section in --metrics-out, as
+ * counter tracks in --trace-out, and as wide CSV via
+ * --timeseries-csv (either flag implies --timeseries).
  *
  * Profiling: --profile-out attaches the latency-attribution profiler
  * and writes the JSON profile (per-message breakdowns, router
@@ -66,6 +74,7 @@
 #include "obs/heatmap.hh"
 #include "obs/perfetto.hh"
 #include "obs/profile.hh"
+#include "obs/sampler.hh"
 #include "obs/timeline.hh"
 #include "obs/trace.hh"
 #include "fault/health.hh"
@@ -107,6 +116,9 @@ struct Args {
     std::string metrics_out;
     bool timeline = false;
     Tick timeline_window = 0; ///< 0 = auto (~64 buckets)
+    bool timeseries = false;
+    Tick timeseries_every = 256;
+    std::string timeseries_csv;
     std::string profile_out;
     bool heatmap = false;
     std::string heatmap_csv;
@@ -134,6 +146,8 @@ usage()
         "             [--recovery off|failover|repair+resume]\n"
         "             [--trace-out FILE] [--metrics-out FILE]\n"
         "             [--timeline] [--timeline-window TICKS]\n"
+        "             [--timeseries] [--timeseries-every TICKS]\n"
+        "             [--timeseries-csv FILE]\n"
         "             [--profile-out FILE] [--heatmap]\n"
         "             [--heatmap-csv FILE] [--energy]\n"
         "             [--rail-policy rr|backlog]\n"
@@ -292,6 +306,21 @@ main(int argc, char **argv)
             args.timeline = true;
         else if (a == "--timeline-window")
             args.timeline_window = std::strtoull(next(), nullptr, 10);
+        else if (a == "--timeseries")
+            args.timeseries = true;
+        else if (a == "--timeseries-every") {
+            args.timeseries = true;
+            args.timeseries_every =
+                std::strtoull(next(), nullptr, 10);
+            if (args.timeseries_every == 0) {
+                std::fprintf(stderr, "--timeseries-every needs a "
+                                     "positive tick count\n");
+                return 1;
+            }
+        } else if (a == "--timeseries-csv") {
+            args.timeseries = true;
+            args.timeseries_csv = next();
+        }
         else if (a == "--profile-out")
             args.profile_out = next();
         else if (a == "--heatmap")
@@ -518,6 +547,11 @@ main(int argc, char **argv)
                            || !args.heatmap_csv.empty();
     if (profiling)
         opts.profiler = &prof;
+    obs::Sampler sampler;
+    if (args.timeseries) {
+        opts.sampler = &sampler;
+        opts.sample_every = args.timeseries_every;
+    }
 
     runtime::Machine machine(*topo, opts);
     runtime::RunOverrides ov;
@@ -623,7 +657,8 @@ main(int argc, char **argv)
                          args.trace_out.c_str());
             return 1;
         }
-        obs::writePerfettoTrace(out, fabric, trace.events());
+        obs::writePerfettoTrace(out, fabric, trace.events(),
+                                args.timeseries ? &sampler : nullptr);
         std::printf("  trace            %s (%zu events; open in "
                     "ui.perfetto.dev)\n",
                     args.trace_out.c_str(), trace.events().size());
@@ -640,6 +675,26 @@ main(int argc, char **argv)
             faulty || args.reliable ? &rep : nullptr);
         std::printf("  metrics          %s\n",
                     args.metrics_out.c_str());
+    }
+    if (args.timeseries) {
+        std::printf("  timeseries       %zu frames every %llu "
+                    "cycles, %d phase%s\n",
+                    sampler.frames().size(),
+                    static_cast<unsigned long long>(
+                        sampler.cadence()),
+                    static_cast<int>(sampler.phaseNames().size()),
+                    sampler.phaseNames().size() == 1 ? "" : "s");
+        if (!args.timeseries_csv.empty()) {
+            std::ofstream out(args.timeseries_csv);
+            if (!out) {
+                std::fprintf(stderr, "cannot write %s\n",
+                             args.timeseries_csv.c_str());
+                return 1;
+            }
+            sampler.writeCsv(out);
+            std::printf("  timeseries csv   %s\n",
+                        args.timeseries_csv.c_str());
+        }
     }
     if (args.timeline) {
         Tick window = args.timeline_window;

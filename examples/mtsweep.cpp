@@ -7,7 +7,9 @@
  * processes, and merges everything into one BENCH_results.json-format
  * file through obs/results.hh (atomic tmp+rename, merge by row
  * name). Every point's result is cached under a content hash of its
- * configuration: a re-run whose hashes are unchanged performs zero
+ * configuration (obs::sweepConfigHash, covering every axis that can
+ * change a result: fault probabilities, rail policy, recovery policy
+ * and all): a re-run whose hashes are unchanged performs zero
  * re-simulation and reproduces the merged file byte for byte, so
  * growing a campaign (more sizes, one more topology) only pays for
  * the new points.
@@ -15,7 +17,9 @@
  * The hash deliberately excludes --threads and --workers: the
  * parallel flit engine is bit-identical at any thread count
  * (tests/test_activeset.cc), so a cached row is valid whatever
- * parallelism produced it.
+ * parallelism produced it. Rows carry the git commit of the build
+ * that simulated them (obs::buildCommit), so a cross-run diff
+ * (examples/mtdiff) can name the build behind each side.
  *
  * Workers are forked before any simulation begins, so no worker-pool
  * threads exist in the parent at fork time; each child builds its
@@ -41,6 +45,7 @@
 
 #include "coll/algorithm.hh"
 #include "fault/fault.hh"
+#include "fault/health.hh"
 #include "obs/results.hh"
 #include "runtime/machine.hh"
 #include "topo/factory.hh"
@@ -56,8 +61,11 @@ struct Options {
     std::vector<std::uint64_t> seeds{1};
     std::string backend = "flit";
     double drop = 0;       ///< > 0 arms a seeded fault plan
+    double corrupt = 0;    ///< > 0 arms seeded payload corruption
     bool reliable = false; ///< retransmission layer (faulted sweeps)
     bool dense = false;
+    std::string rail_policy = "roundrobin";
+    std::string recovery = "off"; ///< off | failover | repair+resume
     std::uint32_t threads = 1; ///< flit-engine domains per simulation
     int workers = 0;           ///< 0 = one per processor
     bool force = false;        ///< ignore the cache, re-simulate all
@@ -83,7 +91,9 @@ usage()
         "               [--bytes N,N,..] [--seeds N,N,..]\n"
         "               [--backend flow|flit] [--dense-tick]\n"
         "               [--threads N] [--workers N] [--force]\n"
-        "               [--drop PROB] [--reliable]\n"
+        "               [--drop PROB] [--corrupt PROB] [--reliable]\n"
+        "               [--rail-policy roundrobin|backlog]\n"
+        "               [--recovery off|failover|repair+resume]\n"
         "               [--out FILE] [--cache-dir DIR]\n"
         "Shards the cross product over forked workers; each point's\n"
         "row is cached by config hash in --cache-dir, so re-runs\n"
@@ -128,22 +138,23 @@ splitNumbers(const std::string &s, const char *flag)
     return out;
 }
 
-/** FNV-1a over the fields that determine a point's result. */
-std::uint64_t
-configHash(const Options &opt, const Point &pt)
+/** Every result-determining axis of one point, for the cache key. */
+obs::SweepPointConfig
+sweepConfig(const Options &opt, const Point &pt)
 {
-    std::string key = "mtsweep-v1|" + pt.topo + "|" + pt.algo + "|"
-                      + std::to_string(pt.bytes) + "|"
-                      + std::to_string(pt.seed) + "|" + opt.backend
-                      + "|" + std::to_string(opt.drop) + "|"
-                      + (opt.reliable ? "rel" : "norel") + "|"
-                      + (opt.dense ? "dense" : "active");
-    std::uint64_t h = 0xcbf29ce484222325ull;
-    for (unsigned char c : key) {
-        h ^= c;
-        h *= 0x100000001b3ull;
-    }
-    return h;
+    obs::SweepPointConfig cfg;
+    cfg.topo = pt.topo;
+    cfg.algo = pt.algo;
+    cfg.bytes = pt.bytes;
+    cfg.seed = pt.seed;
+    cfg.backend = opt.backend;
+    cfg.drop = opt.drop;
+    cfg.corrupt = opt.corrupt;
+    cfg.reliable = opt.reliable;
+    cfg.dense = opt.dense;
+    cfg.rail_policy = opt.rail_policy;
+    cfg.recovery = opt.recovery;
+    return cfg;
 }
 
 std::string
@@ -174,13 +185,20 @@ runPoint(const Options &opt, const Point &pt)
                                        : runtime::Backend::Flit;
     ro.net.dense_tick = opt.dense;
     ro.net.threads = opt.threads;
-    if (opt.drop > 0) {
+    if (opt.rail_policy == "backlog")
+        ro.rail_policy = ni::RailPolicy::Backlog;
+    if (opt.drop > 0 || opt.corrupt > 0) {
         fault::FaultConfig fc;
         fc.seed = pt.seed;
         fc.drop_prob = opt.drop;
+        fc.corrupt_prob = opt.corrupt;
         ro.fault = fc;
     }
     ro.reliability.enabled = opt.reliable;
+    if (opt.recovery == "failover")
+        ro.recovery.policy = fault::RecoveryPolicy::Failover;
+    else if (opt.recovery == "repair+resume")
+        ro.recovery.policy = fault::RecoveryPolicy::RepairResume;
     runtime::Machine machine(*topo, ro);
 
     const auto t0 = std::chrono::steady_clock::now();
@@ -203,6 +221,7 @@ runPoint(const Options &opt, const Point &pt)
                                      / (wall_ms * 1e3)
                                : 0;
     row.mode = modeOf(opt);
+    row.commit = obs::buildCommit();
     if (!obs::writeResultRows(pt.cache, {row})) {
         std::fprintf(stderr, "mtsweep: cannot write %s\n",
                      pt.cache.c_str());
@@ -249,8 +268,21 @@ main(int argc, char **argv)
                 splitNumbers(next(), "--workers").at(0));
         } else if (a == "--drop") {
             opt.drop = std::strtod(next(), nullptr);
+        } else if (a == "--corrupt") {
+            opt.corrupt = std::strtod(next(), nullptr);
         } else if (a == "--reliable") {
             opt.reliable = true;
+        } else if (a == "--rail-policy") {
+            opt.rail_policy = next();
+            if (opt.rail_policy != "roundrobin"
+                && opt.rail_policy != "backlog")
+                die("--rail-policy must be roundrobin or backlog");
+        } else if (a == "--recovery") {
+            opt.recovery = next();
+            if (opt.recovery != "off" && opt.recovery != "failover"
+                && opt.recovery != "repair+resume")
+                die("--recovery must be off, failover or "
+                    "repair+resume");
         } else if (a == "--force") {
             opt.force = true;
         } else if (a == "--out") {
@@ -266,6 +298,12 @@ main(int argc, char **argv)
         for (const auto &v : coll::algorithmVariants())
             opt.algos.push_back(v.name);
     }
+    // Recovery consumes retransmission timeouts as its failure
+    // evidence, so an armed policy implies the reliability layer
+    // (mirrors mtsim) — folded in before hashing so the cache key
+    // sees the effective configuration.
+    if (opt.recovery != "off")
+        opt.reliable = true;
     if (opt.workers <= 0) {
         long n = sysconf(_SC_NPROCESSORS_ONLN);
         opt.workers = n > 0 ? static_cast<int>(n) : 1;
@@ -297,9 +335,23 @@ main(int argc, char **argv)
                               + std::to_string(bytes) + "/s"
                               + std::to_string(seed) + "/"
                               + modeOf(opt);
-                    pt.cache = opt.cache_dir + "/"
-                               + hex64(configHash(opt, pt))
-                               + ".json";
+                    // Non-default fault/rail/recovery axes join the
+                    // row name so their rows never collide with the
+                    // clean campaign's in the merged file.
+                    if (opt.drop > 0)
+                        pt.name += "/d" + std::to_string(opt.drop);
+                    if (opt.corrupt > 0)
+                        pt.name +=
+                            "/c" + std::to_string(opt.corrupt);
+                    if (opt.rail_policy != "roundrobin")
+                        pt.name += "/" + opt.rail_policy;
+                    if (opt.recovery != "off")
+                        pt.name += "/" + opt.recovery;
+                    pt.cache =
+                        opt.cache_dir + "/"
+                        + hex64(obs::sweepConfigHash(
+                            sweepConfig(opt, pt)))
+                        + ".json";
                     points.push_back(std::move(pt));
                 }
             }

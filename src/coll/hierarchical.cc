@@ -58,6 +58,8 @@ composeHierarchical(const topo::HierarchicalTopology &topo,
     // deterministic routing (and with it rail striping) takes over,
     // and lockstep pacing loses its contention-free premise.
     out.lockstep = false;
+    out.phase_names = {"island-reduce", "spine-allreduce",
+                       "island-gather"};
 
     for (const ChunkFlow &f : s_island.flows) {
         for (const ChunkFlow &g : s_spine.flows) {
@@ -72,7 +74,7 @@ composeHierarchical(const topo::HierarchicalTopology &topo,
                 for (const ScheduledEdge &e : f.reduce) {
                     cf.reduce.push_back(
                         {topo.globalNode(j, e.src),
-                         topo.globalNode(j, e.dst), e.step, {}});
+                         topo.globalNode(j, e.dst), e.step, {}, 0});
                 }
             }
             // Phase 2: leaders all-reduce over the spine; spine node
@@ -82,14 +84,16 @@ composeHierarchical(const topo::HierarchicalTopology &topo,
                     {topo.globalNode(e.src, f.root),
                      topo.globalNode(e.dst, f.root),
                      e.step + island_reduce_steps,
-                     {}});
+                     {},
+                     1});
             }
             for (const ScheduledEdge &e : g.gather) {
                 cf.gather.push_back(
                     {topo.globalNode(e.src, f.root),
                      topo.globalNode(e.dst, f.root),
                      e.step + island_reduce_steps,
-                     {}});
+                     {},
+                     1});
             }
             // Phase 3: every leader broadcasts the fully reduced
             // chunk back through its island.
@@ -99,7 +103,8 @@ composeHierarchical(const topo::HierarchicalTopology &topo,
                         {topo.globalNode(j, e.src),
                          topo.globalNode(j, e.dst),
                          e.step + island_reduce_steps + spine_steps,
-                         {}});
+                         {},
+                         2});
                 }
             }
             out.flows.push_back(std::move(cf));

@@ -59,6 +59,9 @@ struct ScheduledEdge {
     int dst = -1;           ///< receiving node
     int step = 0;           ///< 1-based logical time step
     std::vector<int> route; ///< explicit channel path (may be empty)
+    /** Schedule phase this edge belongs to (index into the owning
+     *  Schedule's phase_names; 0 for single-phase schedules). */
+    int phase = 0;
 };
 
 /**
@@ -121,6 +124,21 @@ class Schedule
 
     /** All flows. */
     std::vector<ChunkFlow> flows;
+
+    /**
+     * Names of the schedule's phases, indexed by ScheduledEdge::phase.
+     * Empty for single-phase schedules (everything is phase 0);
+     * coll::composeHierarchical labels its three stages.
+     */
+    std::vector<std::string> phase_names;
+
+    /** Number of attribution phases (at least 1). */
+    int numPhases() const
+    {
+        return phase_names.empty()
+                   ? 1
+                   : static_cast<int>(phase_names.size());
+    }
 
     /**
      * Distribute @p total over the flows proportionally to their

@@ -385,6 +385,29 @@ FlitNetwork::drainDelayLines(Tick now)
     }
 }
 
+void
+FlitNetwork::sampleChannels(std::vector<std::uint64_t> &flits_cum,
+                            std::vector<std::uint64_t> &queue_now) const
+{
+    flits_cum = channel_flits_;
+    queue_now.assign(channel_flits_.size(), 0);
+    // Instantaneous queueing: flits buffered in the channel's input
+    // VCs at its destination router. Flits still mid-wire belong to
+    // no buffer yet and are covered by the in-flight census.
+    for (std::size_t cid = 0; cid < queue_now.size(); ++cid) {
+        const int ii = chan_in_idx_[cid];
+        if (ii < 0)
+            continue;
+        const Router &down = routers_[static_cast<std::size_t>(
+            topo_.channel(static_cast<int>(cid)).dst)];
+        std::uint64_t depth = 0;
+        for (const InputVC &vc :
+             down.inputs[static_cast<std::size_t>(ii)].vcs)
+            depth += vc.fifo.size();
+        queue_now[cid] = depth;
+    }
+}
+
 bool
 FlitNetwork::vcClassAllowed(const Packet &pkt, std::uint32_t hop,
                             int vc) const

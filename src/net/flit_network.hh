@@ -121,6 +121,10 @@ class FlitNetwork : public Network
     /** Whether the dense reference tick loop is in force. */
     bool denseTick() const { return dense_; }
 
+    void sampleChannels(std::vector<std::uint64_t> &flits_cum,
+                        std::vector<std::uint64_t> &queue_now)
+        const override;
+
     /** Spatial domains the tick loop executes on (1 = serial). */
     int threads() const;
 

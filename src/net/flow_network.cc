@@ -51,6 +51,27 @@ FlowNetwork::flushProfile()
 }
 
 void
+FlowNetwork::sampleChannels(std::vector<std::uint64_t> &flits_cum,
+                            std::vector<std::uint64_t> &queue_now) const
+{
+    const std::size_t n = busy_time_.size();
+    flits_cum.assign(n, 0);
+    queue_now.assign(n, 0);
+    const Tick now = eq_.now();
+    for (std::size_t cid = 0; cid < n; ++cid) {
+        // Busy time doubles as the flit count on this backend (one
+        // flit reserves one cycle).
+        flits_cum[cid] = static_cast<std::uint64_t>(busy_time_[cid]);
+        // Instantaneous queueing: how far the channel's reservation
+        // horizon extends past the sample tick.
+        if (free_at_[cid] > now) {
+            queue_now[cid] =
+                static_cast<std::uint64_t>(free_at_[cid] - now);
+        }
+    }
+}
+
+void
 FlowNetwork::injectImpl(Message msg)
 {
     MT_ASSERT(!msg.route.empty(), "flow network needs an explicit "

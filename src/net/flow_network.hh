@@ -53,6 +53,10 @@ class FlowNetwork : public Network
     /** Peak queueing delay any message saw waiting for a channel. */
     Tick maxQueueing() const { return max_queueing_; }
 
+    void sampleChannels(std::vector<std::uint64_t> &flits_cum,
+                        std::vector<std::uint64_t> &queue_now)
+        const override;
+
   protected:
     void injectImpl(Message msg) override;
 

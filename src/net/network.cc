@@ -27,6 +27,7 @@ Network::emitMsgEvent(obs::EventKind kind, const Message &msg,
     ev.seq = msg.seq;
     ev.attempt = msg.attempt;
     ev.corrupted = msg.corrupted;
+    ev.phase = msg.phase;
     sink_->onEvent(ev);
 }
 
@@ -74,7 +75,7 @@ Network::inject(Message msg)
         prof_->onInject(msg.track_id, msg.src, msg.dst, msg.flow_id,
                         msg.tag, msg.bytes,
                         static_cast<int>(msg.route.size()),
-                        wb.total_flits, eq_.now());
+                        wb.total_flits, msg.phase, eq_.now());
     }
     injectImpl(std::move(msg));
 }

@@ -71,6 +71,9 @@ struct Message {
     Tick fault_delay = 0;
     /** Network-assigned in-flight tracking id (watchdog census). */
     std::uint64_t track_id = 0;
+    /** Schedule phase the message belongs to (attribution; acks and
+     *  retransmissions inherit their data message's phase). */
+    int phase = 0;
 };
 
 /**
@@ -317,6 +320,30 @@ class Network
         const auto c = static_cast<std::size_t>(cid);
         return c < backlog_.size() ? backlog_[c] : 0;
     }
+
+    /** Sum of payload bytes over the in-flight census. */
+    std::uint64_t inFlightBytes() const
+    {
+        std::uint64_t total = 0;
+        for (const auto &[id, rec] : in_flight_msgs_)
+            total += rec.msg.bytes;
+        return total;
+    }
+
+    /**
+     * Snapshot per-channel telemetry for the time-series sampler:
+     * @p flits_cum receives a monotone cumulative per-channel
+     * traffic count (wire flits on the flit backend, busy cycles on
+     * the flow backend — both proportional to carried traffic), and
+     * @p queue_now the instantaneous queueing at the sample tick
+     * (buffered input flits on the flit backend, the remaining
+     * reservation backlog in cycles on the flow backend). Both are
+     * resized to the channel count. Read-only: sampling must not
+     * perturb the run.
+     */
+    virtual void sampleChannels(std::vector<std::uint64_t> &flits_cum,
+                                std::vector<std::uint64_t> &queue_now)
+        const = 0;
 
     /**
      * Human-readable census of up to @p max_items in-flight messages,

@@ -112,6 +112,7 @@ NicEngine::loadTable(ScheduleTable table, bool lockstep,
     // the previous run; they fire as no-ops.
     ++gen_;
     timer_armed_ = false;
+    active_reductions_ = 0;
     table_ = std::move(table);
     lockstep_ = lockstep;
     est_ = std::move(step_estimates);
@@ -262,7 +263,7 @@ NicEngine::pump()
         if (prof_ != nullptr) {
             prof_->beginIssue(node_, static_cast<int>(next_), e.flow,
                               e.step, e.op == Op::Gather, e.parent,
-                              e.dep_on_parent, e.deps,
+                              e.dep_on_parent, e.deps, e.phase,
                               net_.eventQueue().now());
         }
         for (std::size_t i = 0; i < e.children.size() || i == 0; ++i) {
@@ -288,6 +289,7 @@ NicEngine::pump()
             }
             msg.flow_id = e.flow;
             msg.tag = tag;
+            msg.phase = e.phase;
             sendData(std::move(msg),
                      i < e.steer.size() && e.steer[i] != 0);
             if (e.op == Op::Reduce)
@@ -413,6 +415,7 @@ NicEngine::onTimeout(std::uint64_t seq, Tick prev_rto,
         ev.tag = copy.tag;
         ev.seq = copy.seq;
         ev.attempt = copy.attempt;
+        ev.phase = copy.phase;
         sink_->onEvent(ev);
     }
     net_.inject(std::move(copy));
@@ -438,6 +441,7 @@ NicEngine::sendAck(const net::Message &msg)
     ack.flow_id = msg.flow_id;
     ack.tag = kTagAck;
     ack.seq = msg.seq;
+    ack.phase = msg.phase;
     ++rc_.acks_sent;
     if (sink_ != nullptr) {
         obs::TraceEvent ev;
@@ -449,6 +453,7 @@ NicEngine::sendAck(const net::Message &msg)
         ev.bytes = rel_.ack_bytes;
         ev.tag = kTagAck;
         ev.seq = msg.seq;
+        ev.phase = msg.phase;
         sink_->onEvent(ev);
     }
     net_.inject(std::move(ack));
@@ -522,10 +527,12 @@ NicEngine::onMessage(const net::Message &msg)
             }
             int flow = msg.flow_id;
             int src = msg.src;
+            ++active_reductions_;
             net_.eventQueue().scheduleAfter(
                 delay, [this, flow, src, g = gen_] {
                     if (g != gen_)
                         return; // reduction for a reprogrammed run
+                    --active_reductions_;
                     ensureFlow(flow);
                     got_reduce_[static_cast<std::size_t>(flow)]
                         .push_back(src);

@@ -279,6 +279,10 @@ class NicEngine
     /** Data messages awaiting acks (reliability only). */
     std::size_t outstandingCount() const { return outstanding_.size(); }
 
+    /** Partials currently being aggregated by the reduction unit
+     *  (finite-rate reductions only; 0 when reduction_bw is 0). */
+    std::uint64_t activeReductions() const { return active_reductions_; }
+
     /** Open transfers parked by the fast-fail path, awaiting repair. */
     std::size_t parkedCount() const;
 
@@ -391,6 +395,8 @@ class NicEngine
     /** Run generation; pending timer/reduction events from a
      *  finished run carry the old value and turn into no-ops. */
     std::uint64_t gen_ = 0;
+    /** Partials inside the finite-rate reduction unit right now. */
+    std::uint64_t active_reductions_ = 0;
 
     /** Grow the dependency scoreboard to cover @p flow. */
     void ensureFlow(int flow);

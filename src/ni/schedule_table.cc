@@ -47,6 +47,7 @@ buildScheduleTables(const coll::Schedule &sched,
             te.children = kids[static_cast<std::size_t>(e.src)];
             te.deps = te.children;
             te.step = e.step;
+            te.phase = e.phase;
             te.bytes = f.bytes;
             te.routes.push_back(resolved(e));
             te.steer.push_back(e.route.empty() ? 1 : 0);
@@ -69,6 +70,7 @@ buildScheduleTables(const coll::Schedule &sched,
                 te.op = Op::Gather;
                 te.flow = f.flow_id;
                 te.step = e.step;
+                te.phase = e.phase;
                 te.bytes = f.bytes;
                 if (e.src == f.root) {
                     te.parent = -1;

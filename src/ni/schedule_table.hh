@@ -59,6 +59,9 @@ struct TableEntry {
     std::vector<int> deps;
     bool dep_on_parent = false; ///< deps refer to a gather receive
     int step = 0;               ///< issue step (lockstep gate)
+    /** Attribution phase inherited from the schedule edge; rides
+     *  into every message this entry issues. */
+    int phase = 0;
     std::uint64_t bytes = 0;    ///< Size field
     /** Send routes: Reduce → one route to parent; Gather → one per
      *  child, aligned with `children`. */

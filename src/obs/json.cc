@@ -1,0 +1,253 @@
+#include "obs/json.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace multitree::obs::json {
+
+const Value *
+Value::find(const std::string &key) const
+{
+    for (const auto &[k, v] : obj) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+double
+Value::num(const std::string &key, double fallback) const
+{
+    const Value *v = find(key);
+    return v != nullptr && v->isNumber() ? v->number : fallback;
+}
+
+std::string
+Value::text(const std::string &key, const std::string &fallback) const
+{
+    const Value *v = find(key);
+    return v != nullptr && v->isString() ? v->str : fallback;
+}
+
+namespace {
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : s_(text) {}
+
+    bool
+    parseDocument(Value &out)
+    {
+        if (!parseValue(out))
+            return false;
+        skipWs();
+        return i_ == s_.size(); // trailing garbage is an error
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (i_ < s_.size()
+               && (s_[i_] == ' ' || s_[i_] == '\t' || s_[i_] == '\n'
+                   || s_[i_] == '\r'))
+            ++i_;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t n = std::char_traits<char>::length(word);
+        if (s_.compare(i_, n, word) != 0)
+            return false;
+        i_ += n;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (i_ >= s_.size() || s_[i_] != '"')
+            return false;
+        ++i_;
+        out.clear();
+        while (i_ < s_.size()) {
+            char c = s_[i_++];
+            if (c == '"')
+                return true;
+            if (c == '\\' && i_ < s_.size()) {
+                char e = s_[i_++];
+                switch (e) {
+                case 'n': out += '\n'; break;
+                case 't': out += '\t'; break;
+                case 'r': out += '\r'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'u':
+                    // The writers only emit \u00XX (control bytes).
+                    if (i_ + 4 > s_.size())
+                        return false;
+                    out += static_cast<char>(std::strtol(
+                        s_.substr(i_, 4).c_str(), nullptr, 16));
+                    i_ += 4;
+                    break;
+                default: out += e; break;
+                }
+                continue;
+            }
+            out += c;
+        }
+        return false; // unterminated
+    }
+
+    bool
+    parseValue(Value &out)
+    {
+        skipWs();
+        if (i_ >= s_.size())
+            return false;
+        const char c = s_[i_];
+        if (c == '{')
+            return parseObject(out);
+        if (c == '[')
+            return parseArray(out);
+        if (c == '"') {
+            out.kind = Value::Kind::String;
+            return parseString(out.str);
+        }
+        if (literal("null")) {
+            out.kind = Value::Kind::Null;
+            return true;
+        }
+        if (literal("true")) {
+            out.kind = Value::Kind::Bool;
+            out.boolean = true;
+            return true;
+        }
+        if (literal("false")) {
+            out.kind = Value::Kind::Bool;
+            out.boolean = false;
+            return true;
+        }
+        return parseNumber(out);
+    }
+
+    bool
+    parseNumber(Value &out)
+    {
+        const std::size_t start = i_;
+        while (i_ < s_.size()
+               && (std::isdigit(static_cast<unsigned char>(s_[i_]))
+                   || s_[i_] == '-' || s_[i_] == '+' || s_[i_] == '.'
+                   || s_[i_] == 'e' || s_[i_] == 'E'))
+            ++i_;
+        if (i_ == start)
+            return false;
+        try {
+            out.number = std::stod(s_.substr(start, i_ - start));
+        } catch (...) {
+            return false;
+        }
+        out.kind = Value::Kind::Number;
+        return true;
+    }
+
+    bool
+    parseArray(Value &out)
+    {
+        ++i_; // consume '['
+        out.kind = Value::Kind::Array;
+        skipWs();
+        if (i_ < s_.size() && s_[i_] == ']') {
+            ++i_;
+            return true;
+        }
+        for (;;) {
+            Value item;
+            if (!parseValue(item))
+                return false;
+            out.arr.push_back(std::move(item));
+            skipWs();
+            if (i_ >= s_.size())
+                return false;
+            if (s_[i_] == ',') {
+                ++i_;
+                continue;
+            }
+            if (s_[i_] == ']') {
+                ++i_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    parseObject(Value &out)
+    {
+        ++i_; // consume '{'
+        out.kind = Value::Kind::Object;
+        skipWs();
+        if (i_ < s_.size() && s_[i_] == '}') {
+            ++i_;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (i_ >= s_.size() || s_[i_] != ':')
+                return false;
+            ++i_;
+            Value item;
+            if (!parseValue(item))
+                return false;
+            out.obj.emplace_back(std::move(key), std::move(item));
+            skipWs();
+            if (i_ >= s_.size())
+                return false;
+            if (s_[i_] == ',') {
+                ++i_;
+                continue;
+            }
+            if (s_[i_] == '}') {
+                ++i_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    const std::string &s_;
+    std::size_t i_ = 0;
+};
+
+} // namespace
+
+std::optional<Value>
+parse(const std::string &text)
+{
+    Parser p(text);
+    Value v;
+    if (!p.parseDocument(v))
+        return std::nullopt;
+    return v;
+}
+
+std::optional<Value>
+parseFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return std::nullopt;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return parse(buf.str());
+}
+
+} // namespace multitree::obs::json

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Minimal JSON document model and recursive-descent parser.
+ *
+ * Just enough JSON to read back the files this project itself writes
+ * — metrics snapshots, profile dumps, BENCH_results.json — in tools
+ * like examples/mtdiff that must load two runs and attribute their
+ * differences. Numbers are doubles (the writers emit nothing that
+ * needs 64-bit-exact integers beyond 2^53 — ticks and byte counts in
+ * practice stay far below), object keys keep insertion order, and
+ * parsing failures return std::nullopt rather than throwing: a
+ * malformed input is an input problem to report, not a crash.
+ */
+
+#ifndef MULTITREE_OBS_JSON_HH
+#define MULTITREE_OBS_JSON_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace multitree::obs::json {
+
+/** One JSON value; which member is meaningful depends on kind. */
+struct Value {
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0;
+    std::string str;
+    std::vector<Value> arr;
+    /** Key/value pairs in document order. */
+    std::vector<std::pair<std::string, Value>> obj;
+
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+
+    /** Member @p key of an object, or nullptr. */
+    const Value *find(const std::string &key) const;
+
+    /** Number member @p key, or @p fallback when absent/not one. */
+    double num(const std::string &key, double fallback = 0) const;
+
+    /** String member @p key, or @p fallback when absent/not one. */
+    std::string text(const std::string &key,
+                     const std::string &fallback = {}) const;
+};
+
+/** Parse @p text; std::nullopt on any syntax error. */
+std::optional<Value> parse(const std::string &text);
+
+/** Read and parse @p path; std::nullopt when unreadable/invalid. */
+std::optional<Value> parseFile(const std::string &path);
+
+} // namespace multitree::obs::json
+
+#endif // MULTITREE_OBS_JSON_HH

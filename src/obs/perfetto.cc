@@ -4,16 +4,20 @@
 #include <cstdio>
 #include <ostream>
 #include <sstream>
+#include <utility>
+
+#include "obs/sampler.hh"
 
 namespace multitree::obs {
 
 namespace {
 
-/** Process ids of the three track groups. */
+/** Process ids of the track groups. */
 enum : int {
     kRunPid = 1,
     kNodePid = 2,
     kLinkPid = 3,
+    kCounterPid = 4,
 };
 
 /** Whether @p kind renders as a complete ("X") span. */
@@ -123,8 +127,66 @@ writeArgs(std::ostream &os, const TraceEvent &ev)
         field("attempt", ev.attempt);
     if (ev.corrupted)
         field("corrupted", "true");
+    if (ev.phase > 0)
+        field("phase", ev.phase);
     field("kind", std::string("\"") + kindName(ev.kind) + "\"");
     os << "}";
+}
+
+/** One counter sample: {"ph":"C",...,"args":{series...}}. */
+void
+writeCounter(RecordList &out, const char *name, Tick tick,
+             const std::vector<std::pair<std::string,
+                                         std::uint64_t>> &series)
+{
+    std::ostream &ro = out.next();
+    ro << "{\"ph\":\"C\",\"pid\":" << kCounterPid
+       << ",\"name\":\"" << name << "\",\"ts\":" << usTs(tick)
+       << ",\"args\":{";
+    const char *sep = "";
+    for (const auto &[key, value] : series) {
+        ro << sep << jsonQuote(key) << ":" << value;
+        sep = ",";
+    }
+    ro << "}}";
+}
+
+/** Render @p sampler's frames as counter tracks. */
+void
+writeCounterTracks(RecordList &out, const Sampler &sampler)
+{
+    writeMeta(out, kCounterPid, 0, "process_name", "telemetry");
+    const int rails = sampler.numRails();
+    std::vector<std::uint64_t> prev_rail(
+        static_cast<std::size_t>(rails), 0);
+    std::uint64_t prev_retx = 0;
+    for (const SampleFrame &f : sampler.frames()) {
+        writeCounter(out, "in-flight messages", f.tick,
+                     {{"msgs", f.in_flight_msgs}});
+        writeCounter(out, "in-flight bytes", f.tick,
+                     {{"bytes", f.in_flight_bytes}});
+        writeCounter(out, "nic outstanding", f.tick,
+                     {{"sends", f.nic_outstanding}});
+        writeCounter(out, "active reductions", f.tick,
+                     {{"units", f.active_reductions}});
+        writeCounter(out, "retransmits/window", f.tick,
+                     {{"retx", f.retransmits - prev_retx}});
+        prev_retx = f.retransmits;
+        const auto rail_flits = sampler.railTotals(f.link_flits);
+        const auto rail_queue = sampler.railTotals(f.link_queue);
+        std::vector<std::pair<std::string, std::uint64_t>> flits;
+        std::vector<std::pair<std::string, std::uint64_t>> queue;
+        for (int r = 0; r < rails; ++r) {
+            const auto ri = static_cast<std::size_t>(r);
+            flits.emplace_back("rail " + std::to_string(r),
+                               rail_flits[ri] - prev_rail[ri]);
+            queue.emplace_back("rail " + std::to_string(r),
+                               rail_queue[ri]);
+            prev_rail[ri] = rail_flits[ri];
+        }
+        writeCounter(out, "rail flits/window", f.tick, flits);
+        writeCounter(out, "rail queue", f.tick, queue);
+    }
 }
 
 } // namespace
@@ -132,6 +194,14 @@ writeArgs(std::ostream &os, const TraceEvent &ev)
 void
 writePerfettoTrace(std::ostream &os, const FabricInfo &fabric,
                    const std::vector<TraceEvent> &events)
+{
+    writePerfettoTrace(os, fabric, events, nullptr);
+}
+
+void
+writePerfettoTrace(std::ostream &os, const FabricInfo &fabric,
+                   const std::vector<TraceEvent> &events,
+                   const Sampler *sampler)
 {
     os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
     RecordList out(os);
@@ -182,6 +252,8 @@ writePerfettoTrace(std::ostream &os, const FabricInfo &fabric,
         writeArgs(ro, ev);
         ro << "}";
     }
+    if (sampler != nullptr && !sampler->frames().empty())
+        writeCounterTracks(out, *sampler);
     os << "\n]}\n";
 }
 

@@ -23,9 +23,20 @@
 
 namespace multitree::obs {
 
+class Sampler;
+
 /** Write @p events as trace-event JSON for the @p fabric layout. */
 void writePerfettoTrace(std::ostream &os, const FabricInfo &fabric,
                         const std::vector<TraceEvent> &events);
+
+/**
+ * Same, plus counter tracks ("ph":"C") rendered from @p sampler's
+ * time series: fabric occupancy, reliability activity per window and
+ * per-rail traffic/queueing. @p sampler may be null.
+ */
+void writePerfettoTrace(std::ostream &os, const FabricInfo &fabric,
+                        const std::vector<TraceEvent> &events,
+                        const Sampler *sampler);
 
 /** Convenience: the same JSON as a string. */
 std::string perfettoTraceJson(const FabricInfo &fabric,

@@ -6,6 +6,8 @@
 #include <tuple>
 #include <utility>
 
+#include "obs/results.hh"
+
 namespace multitree::obs {
 
 namespace {
@@ -54,6 +56,7 @@ Profiler::onRunBegin(Tick now)
     channels_.clear();
     routers_.clear();
     by_track_.clear();
+    phase_names_.clear();
     cur_issue_ = -1;
     run_begin_ = now;
     run_end_ = now;
@@ -70,7 +73,8 @@ Profiler::onRunEnd(Tick now)
 void
 Profiler::beginIssue(int node, int entry, int flow, int step,
                      bool gather, int parent, bool dep_on_parent,
-                     const std::vector<int> &deps, Tick now)
+                     const std::vector<int> &deps, int phase,
+                     Tick now)
 {
     IssueRecord ir;
     ir.node = node;
@@ -81,6 +85,7 @@ Profiler::beginIssue(int node, int entry, int flow, int step,
     ir.parent = parent;
     ir.dep_on_parent = dep_on_parent;
     ir.deps = deps;
+    ir.phase = phase;
     ir.tick = now;
     cur_issue_ = static_cast<int>(issues_.size());
     issues_.push_back(std::move(ir));
@@ -97,7 +102,7 @@ Profiler::onReduction(int node, int src, int flow, Tick start,
 void
 Profiler::onInject(std::uint64_t track_id, int src, int dst, int flow,
                    std::uint64_t tag, std::uint64_t bytes, int hops,
-                   std::uint64_t wire_flits, Tick now)
+                   std::uint64_t wire_flits, int phase, Tick now)
 {
     LatencyRecord r;
     r.track_id = track_id;
@@ -110,6 +115,7 @@ Profiler::onInject(std::uint64_t track_id, int src, int dst, int flow,
     r.wire_flits = wire_flits;
     r.injected = now;
     r.issue_index = cur_issue_;
+    r.phase = phase;
     by_track_[track_id] = records_.size();
     records_.push_back(std::move(r));
 }
@@ -224,6 +230,32 @@ Profiler::summary() const
         s.max_latency = std::max(s.max_latency, r.total());
     }
     return s;
+}
+
+std::vector<ProfileSummary>
+Profiler::summaryByPhase() const
+{
+    std::size_t num_phases = std::max<std::size_t>(
+        phase_names_.empty() ? 1 : phase_names_.size(), 1);
+    for (const auto &r : records_) {
+        if (r.phase >= 0)
+            num_phases = std::max(
+                num_phases, static_cast<std::size_t>(r.phase) + 1);
+    }
+    std::vector<ProfileSummary> out(num_phases);
+    for (const auto &r : records_) {
+        if (!r.done || !isData(r) || r.phase < 0)
+            continue;
+        ProfileSummary &s = out[static_cast<std::size_t>(r.phase)];
+        ++s.messages;
+        s.total_latency += r.total();
+        s.inj_queue += r.inj_queue;
+        s.head_route += r.head_route;
+        s.serialization += r.serialization;
+        s.credit_stall += r.credit_stall;
+        s.max_latency = std::max(s.max_latency, r.total());
+    }
+    return out;
 }
 
 namespace {
@@ -469,6 +501,8 @@ writeProfileJson(std::ostream &os, const FabricInfo &fabric,
 {
     const ProfileSummary s = prof.summary();
     os << "{\n";
+    os << "  \"schema_version\": " << kProfileSchemaVersion << ",\n";
+    os << "  \"commit\": " << jsonQuote(buildCommit()) << ",\n";
     os << "  \"fabric\": " << jsonQuote(fabric.name) << ",\n";
     os << "  \"nodes\": " << fabric.num_nodes << ",\n";
     os << "  \"channels\": " << fabric.links.size() << ",\n";
@@ -482,6 +516,26 @@ writeProfileJson(std::ostream &os, const FabricInfo &fabric,
        << s.head_route << ", \"serialization\": " << s.serialization
        << ", \"credit_stall\": " << s.credit_stall
        << ", \"max_latency\": " << s.max_latency << "},\n";
+
+    const auto by_phase = prof.summaryByPhase();
+    const auto &phase_names = prof.phaseNames();
+    os << "  \"phases\": [";
+    for (std::size_t p = 0; p < by_phase.size(); ++p) {
+        const ProfileSummary &ps = by_phase[p];
+        const std::string name =
+            p < phase_names.size() ? phase_names[p] : "phase-"
+                                         + std::to_string(p);
+        os << (p > 0 ? ",\n    " : "\n    ");
+        os << "{\"phase\": " << p << ", \"name\": " << jsonQuote(name)
+           << ", \"messages\": " << ps.messages
+           << ", \"total_latency\": " << ps.total_latency
+           << ", \"inj_queue\": " << ps.inj_queue
+           << ", \"head_route\": " << ps.head_route
+           << ", \"serialization\": " << ps.serialization
+           << ", \"credit_stall\": " << ps.credit_stall
+           << ", \"max_latency\": " << ps.max_latency << "}";
+    }
+    os << "\n  ],\n";
 
     os << "  \"critical_path\": {\n";
     os << "    \"ok\": " << (cp.ok ? "true" : "false") << ",\n";
@@ -550,7 +604,8 @@ writeProfileJson(std::ostream &os, const FabricInfo &fabric,
         os << (emitted > 0 ? ",\n    " : "\n    ");
         os << "{\"track\": " << r.track_id << ", \"src\": " << r.src
            << ", \"dst\": " << r.dst << ", \"flow\": " << r.flow
-           << ", \"tag\": " << r.tag << ", \"bytes\": " << r.bytes
+           << ", \"phase\": " << r.phase << ", \"tag\": " << r.tag
+           << ", \"bytes\": " << r.bytes
            << ", \"hops\": " << r.hops << ", \"injected\": "
            << r.injected << ", \"delivered\": " << r.delivered
            << ", \"inj_queue\": " << r.inj_queue

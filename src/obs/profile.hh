@@ -64,6 +64,13 @@ enum class LatencyCategory {
 /** Number of LatencyCategory values (rollup array size). */
 inline constexpr std::size_t kNumLatencyCategories = 6;
 
+/**
+ * Version stamp of the profile JSON layout (writeProfileJson).
+ * Bumped on any change a cross-run reader (mtdiff) could
+ * misattribute; readers reject mismatches loudly.
+ */
+inline constexpr int kProfileSchemaVersion = 1;
+
 /** Stable lower-case name of @p c (JSON keys, report rows). */
 const char *categoryName(LatencyCategory c);
 
@@ -105,6 +112,9 @@ struct LatencyRecord {
      *  injected this message, or -1 (acks, retransmissions). */
     int issue_index = -1;
 
+    /** Schedule phase of the message (0 when single-phase). */
+    int phase = 0;
+
     // Milestones feeding the attribution, filled by backend hooks:
     Tick inj_start = 0;    ///< flit: injection-VC win tick
     Tick head_arrival = 0; ///< flit: head ejection at the destination
@@ -125,6 +135,7 @@ struct IssueRecord {
     int parent = -1;
     bool dep_on_parent = false;
     std::vector<int> deps; ///< reduce children (or parent for gather)
+    int phase = 0;         ///< schedule phase of the issuing entry
     Tick tick = 0;         ///< issue time (== injection time: the DMA
                            ///< hand-off is same-tick synchronous)
 };
@@ -184,6 +195,16 @@ class Profiler
     /** A collective started: clear all records, stamp the origin. */
     void onRunBegin(Tick now);
 
+    /**
+     * Phase labels of the schedule about to run, indexed by the
+     * phase tags arriving with issues and injections. Set by the
+     * runtime after onRunBegin(); empty = single unnamed phase.
+     */
+    void setPhaseNames(std::vector<std::string> names)
+    {
+        phase_names_ = std::move(names);
+    }
+
     /** The collective completed at @p now. */
     void onRunEnd(Tick now);
 
@@ -196,7 +217,8 @@ class Profiler
      */
     void beginIssue(int node, int entry, int flow, int step,
                     bool gather, int parent, bool dep_on_parent,
-                    const std::vector<int> &deps, Tick now);
+                    const std::vector<int> &deps, int phase,
+                    Tick now);
 
     /** Close the bracket opened by beginIssue(). */
     void endIssue() { cur_issue_ = -1; }
@@ -211,7 +233,7 @@ class Profiler
     /** A message entered the transport (post fault ruling). */
     void onInject(std::uint64_t track_id, int src, int dst, int flow,
                   std::uint64_t tag, std::uint64_t bytes, int hops,
-                  std::uint64_t wire_flits, Tick now);
+                  std::uint64_t wire_flits, int phase, Tick now);
 
     /** Flit backend: the packet won an injection VC at @p now. */
     void onInjectStart(std::uint64_t track_id, Tick now);
@@ -268,6 +290,19 @@ class Profiler
     /** Aggregate breakdown over all finished data messages. */
     ProfileSummary summary() const;
 
+    /** Phase labels in effect (empty = single unnamed phase). */
+    const std::vector<std::string> &phaseNames() const
+    {
+        return phase_names_;
+    }
+
+    /**
+     * Per-phase aggregate breakdowns over finished data messages,
+     * indexed by phase tag. Always at least one entry; grows to
+     * cover the largest phase tag observed.
+     */
+    std::vector<ProfileSummary> summaryByPhase() const;
+
   private:
     LatencyRecord *find(std::uint64_t track_id);
 
@@ -277,6 +312,7 @@ class Profiler
     std::vector<ChannelProfile> channels_;
     std::vector<RouterProfile> routers_;
     std::unordered_map<std::uint64_t, std::size_t> by_track_;
+    std::vector<std::string> phase_names_;
     int cur_issue_ = -1;
     Tick run_begin_ = 0;
     Tick run_end_ = 0;

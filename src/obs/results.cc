@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -144,6 +145,20 @@ readResultRows(const std::string &path)
     buf << in.rdbuf();
     const std::string text = buf.str();
 
+    // A present-but-mismatched schema stamp means the file was
+    // written by an incompatible build: treat it like a missing file
+    // (it is a cache, it regenerates). Files predating the stamp are
+    // accepted as version 1.
+    const std::size_t sv = text.find("\"schema_version\"");
+    if (sv != std::string::npos) {
+        const std::size_t colon = text.find(':', sv);
+        if (colon != std::string::npos) {
+            const int v = std::atoi(text.c_str() + colon + 1);
+            if (v != kResultsSchemaVersion)
+                return rows;
+        }
+    }
+
     // Locate the "results" array; everything outside it is ignored.
     const std::size_t key = text.find("\"results\"");
     if (key == std::string::npos)
@@ -163,7 +178,7 @@ readResultRows(const std::string &path)
             if (!sc.string(k) || !sc.consume(':'))
                 return {};
             if (k == "name" || k == "topology" || k == "algorithm"
-                || k == "mode") {
+                || k == "mode" || k == "commit") {
                 std::string v;
                 if (!sc.string(v))
                     return {};
@@ -173,6 +188,8 @@ readResultRows(const std::string &path)
                     row.topology = std::move(v);
                 else if (k == "algorithm")
                     row.algorithm = std::move(v);
+                else if (k == "commit")
+                    row.commit = std::move(v);
                 else
                     row.mode = std::move(v);
             } else {
@@ -245,7 +262,8 @@ writeResultRows(const std::string &path,
         std::ofstream out(tmp);
         if (!out)
             return false;
-        out << "{\n  \"results\": [\n";
+        out << "{\n  \"schema_version\": " << kResultsSchemaVersion
+            << ",\n  \"results\": [\n";
         const char *sep = "";
         for (const auto &r : rows) {
             out << sep << "    {\"name\": " << jsonQuote(r.name)
@@ -258,6 +276,7 @@ writeResultRows(const std::string &path,
                 << ", \"wall_ms\": " << r.wall_ms
                 << ", \"msim_cycles_per_s\": " << r.msim_cps
                 << ", \"mode\": " << jsonQuote(r.mode)
+                << ", \"commit\": " << jsonQuote(r.commit)
                 << ", \"speedup_vs_ring\": ";
             auto it = ring.find({r.topology, r.bytes, r.mode});
             if (it == ring.end() || r.cycles == 0) {
@@ -287,6 +306,50 @@ mergeResultsFile(const std::string &path,
     std::vector<ResultRow> merged = readResultRows(path);
     mergeResultRows(merged, rows);
     return writeResultRows(path, merged);
+}
+
+std::string
+buildCommit()
+{
+#ifdef MT_GIT_SHA
+    return MT_GIT_SHA;
+#else
+    return "unknown";
+#endif
+}
+
+std::uint64_t
+fnv1a(const std::string &key)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned char c : key) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+std::string
+sweepConfigKey(const SweepPointConfig &cfg)
+{
+    // v2: the v1 key missed the corruption, rail-policy and recovery
+    // axes, aliasing differently-configured points onto one cache
+    // entry. Any axis added to SweepPointConfig must be appended here
+    // (and covered by the distinctness test in tests/test_obs.cc).
+    return "mtsweep-v2|" + cfg.topo + "|" + cfg.algo + "|"
+           + std::to_string(cfg.bytes) + "|"
+           + std::to_string(cfg.seed) + "|" + cfg.backend + "|"
+           + std::to_string(cfg.drop) + "|"
+           + std::to_string(cfg.corrupt) + "|"
+           + (cfg.reliable ? "rel" : "norel") + "|"
+           + (cfg.dense ? "dense" : "active") + "|" + cfg.rail_policy
+           + "|" + cfg.recovery;
+}
+
+std::uint64_t
+sweepConfigHash(const SweepPointConfig &cfg)
+{
+    return fnv1a(sweepConfigKey(cfg));
 }
 
 } // namespace multitree::obs

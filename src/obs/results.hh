@@ -27,6 +27,14 @@
 
 namespace multitree::obs {
 
+/**
+ * Version stamp of the results JSON layout, bumped on breaking
+ * changes. The reader treats a file stamped with a different version
+ * like a missing file (caches regenerate); mtdiff refuses to compare
+ * across versions.
+ */
+inline constexpr int kResultsSchemaVersion = 1;
+
 /** One benchmark point, as serialized in BENCH_results.json. */
 struct ResultRow {
     std::string name;     ///< unique row key, e.g. "fig9/torus-8x8/..."
@@ -39,6 +47,7 @@ struct ResultRow {
     double wall_ms = 0;    ///< wall-clock spent simulating (simspeed)
     double msim_cps = 0;   ///< millions of simulated cycles per second
     std::string mode;      ///< "flow" / "active" / "dense" / ...
+    std::string commit;    ///< git short SHA of the producing build
 };
 
 /**
@@ -71,6 +80,46 @@ bool writeResultRows(const std::string &path,
  */
 bool mergeResultsFile(const std::string &path,
                       const std::vector<ResultRow> &rows);
+
+/**
+ * Git short SHA the binary was built from (the MT_GIT_SHA compile
+ * definition, stamped by CMake), or "unknown" outside a git checkout.
+ * Row producers stamp ResultRow::commit with it so a regression diff
+ * can name the build behind each side.
+ */
+std::string buildCommit();
+
+/** FNV-1a 64-bit hash of @p key (sweep cache names, config hashes). */
+std::uint64_t fnv1a(const std::string &key);
+
+/**
+ * Every axis that determines one sweep point's simulation result.
+ * The cache key MUST cover each of these: an axis missing from the
+ * key aliases two different configurations onto one cache entry and
+ * silently serves stale rows (tests/test_obs.cc proves each axis
+ * produces a distinct key). Deliberately excludes thread/worker
+ * counts — the parallel flit engine is bit-identical at any thread
+ * count.
+ */
+struct SweepPointConfig {
+    std::string topo;
+    std::string algo;
+    std::uint64_t bytes = 0;
+    std::uint64_t seed = 0;
+    std::string backend = "flit";
+    double drop = 0;
+    double corrupt = 0;
+    bool reliable = false;
+    bool dense = false;
+    std::string rail_policy = "roundrobin";
+    std::string recovery = "off";
+};
+
+/** Canonical cache-key string of @p cfg ("mtsweep-v2|..."). */
+std::string sweepConfigKey(const SweepPointConfig &cfg);
+
+/** fnv1a(sweepConfigKey(cfg)): the cache-file content hash. */
+std::uint64_t sweepConfigHash(const SweepPointConfig &cfg);
 
 } // namespace multitree::obs
 

@@ -1,0 +1,181 @@
+#include "obs/sampler.hh"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace multitree::obs {
+
+void
+Sampler::onRunBegin(FabricInfo fabric,
+                    std::vector<std::string> phase_names,
+                    Tick cadence, Tick now)
+{
+    fabric_ = std::move(fabric);
+    phase_names_ = std::move(phase_names);
+    if (phase_names_.empty())
+        phase_names_.push_back("run");
+    cadence_ = cadence;
+    run_begin_ = now;
+    run_end_ = now;
+    frames_.clear();
+}
+
+void
+Sampler::addFrame(SampleFrame frame)
+{
+    MT_ASSERT(frames_.empty() || frame.tick >= frames_.back().tick,
+              "sample ticks must be nondecreasing: ", frame.tick,
+              " after ", frames_.back().tick);
+    frames_.push_back(std::move(frame));
+}
+
+void
+Sampler::onRunEnd(Tick now)
+{
+    run_end_ = now;
+}
+
+int
+Sampler::numRails() const
+{
+    return std::max(fabric_.rails, 1);
+}
+
+std::vector<std::uint64_t>
+Sampler::railTotals(const std::vector<std::uint64_t> &per_link) const
+{
+    std::vector<std::uint64_t> out(
+        static_cast<std::size_t>(numRails()), 0);
+    for (const auto &link : fabric_.links) {
+        const auto c = static_cast<std::size_t>(link.id);
+        if (c < per_link.size())
+            out[static_cast<std::size_t>(link.rail)] += per_link[c];
+    }
+    return out;
+}
+
+void
+Sampler::writeCsv(std::ostream &os) const
+{
+    os << "tick,in_flight_msgs,in_flight_bytes,nic_outstanding,"
+          "active_reductions,retransmits_cum,timeouts_cum,"
+          "injected_cum,delivered_cum,dropped_cum";
+    for (std::size_t p = 0; p < phase_names_.size(); ++p)
+        os << ",phase" << p << "_bytes_cum";
+    const int rails = numRails();
+    for (int r = 0; r < rails; ++r)
+        os << ",rail" << r << "_flits_cum,rail" << r << "_queue";
+    for (const auto &link : fabric_.links)
+        os << ",link" << link.id << "_flits_cum,link" << link.id
+           << "_queue";
+    os << "\n";
+    for (const SampleFrame &f : frames_) {
+        os << f.tick << "," << f.in_flight_msgs << ","
+           << f.in_flight_bytes << "," << f.nic_outstanding << ","
+           << f.active_reductions << "," << f.retransmits << ","
+           << f.timeouts << "," << f.injected << "," << f.delivered
+           << "," << f.dropped;
+        for (std::size_t p = 0; p < phase_names_.size(); ++p) {
+            os << ","
+               << (p < f.phase_bytes.size() ? f.phase_bytes[p] : 0);
+        }
+        const auto rf = railTotals(f.link_flits);
+        const auto rq = railTotals(f.link_queue);
+        for (int r = 0; r < rails; ++r) {
+            const auto ri = static_cast<std::size_t>(r);
+            os << "," << rf[ri] << "," << rq[ri];
+        }
+        for (const auto &link : fabric_.links) {
+            const auto c = static_cast<std::size_t>(link.id);
+            os << ","
+               << (c < f.link_flits.size() ? f.link_flits[c] : 0)
+               << ","
+               << (c < f.link_queue.size() ? f.link_queue[c] : 0);
+        }
+        os << "\n";
+    }
+}
+
+namespace {
+
+void
+writeU64Array(std::ostream &os, const std::vector<std::uint64_t> &v)
+{
+    os << "[";
+    const char *sep = "";
+    for (std::uint64_t x : v) {
+        os << sep << x;
+        sep = ", ";
+    }
+    os << "]";
+}
+
+} // namespace
+
+void
+Sampler::writeJson(std::ostream &os, const std::string &indent) const
+{
+    os << "{\n";
+    os << indent << "  \"cadence\": " << cadence_ << ",\n";
+    os << indent << "  \"run_begin\": " << run_begin_ << ",\n";
+    os << indent << "  \"run_end\": " << run_end_ << ",\n";
+    os << indent << "  \"rails\": " << numRails() << ",\n";
+    os << indent << "  \"phases\": [";
+    const char *sep = "";
+    for (const auto &name : phase_names_) {
+        os << sep << jsonQuote(name);
+        sep = ", ";
+    }
+    os << "],\n";
+    os << indent << "  \"frames\": [";
+    sep = "\n";
+    for (const SampleFrame &f : frames_) {
+        os << sep << indent << "    {\"tick\": " << f.tick
+           << ", \"in_flight_msgs\": " << f.in_flight_msgs
+           << ", \"in_flight_bytes\": " << f.in_flight_bytes
+           << ", \"nic_outstanding\": " << f.nic_outstanding
+           << ", \"active_reductions\": " << f.active_reductions
+           << ", \"retransmits\": " << f.retransmits
+           << ", \"timeouts\": " << f.timeouts
+           << ", \"injected\": " << f.injected
+           << ", \"delivered\": " << f.delivered
+           << ", \"dropped\": " << f.dropped << ", \"phase_bytes\": ";
+        writeU64Array(os, f.phase_bytes);
+        os << ", \"rail_flits\": ";
+        writeU64Array(os, railTotals(f.link_flits));
+        os << ", \"rail_queue\": ";
+        writeU64Array(os, railTotals(f.link_queue));
+        os << ", \"link_flits\": ";
+        writeU64Array(os, f.link_flits);
+        os << ", \"link_queue\": ";
+        writeU64Array(os, f.link_queue);
+        os << "}";
+        sep = ",\n";
+    }
+    if (!frames_.empty())
+        os << "\n" << indent << "  ";
+    os << "],\n";
+    os << indent << "  \"num_frames\": " << frames_.size() << "\n";
+    os << indent << "}";
+}
+
+std::string
+Sampler::csv() const
+{
+    std::ostringstream oss;
+    writeCsv(oss);
+    return oss.str();
+}
+
+std::string
+Sampler::json() const
+{
+    std::ostringstream oss;
+    writeJson(oss);
+    return oss.str();
+}
+
+} // namespace multitree::obs

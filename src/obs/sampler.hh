@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Fixed-cadence time-series telemetry for one collective run.
+ *
+ * Per-run totals answer "how much"; the sampler answers "when". The
+ * runtime Machine arms a self-re-arming High-priority sample event
+ * every RunOptions::sample_every cycles and snapshots the fabric into
+ * one SampleFrame: in-flight census, NIC scoreboard occupancy,
+ * reduction-unit occupancy, reliability counters and per-channel
+ * traffic/queueing from the backend (net::Network::sampleChannels).
+ * Transients a whole-run aggregate averages away — a rail imbalance
+ * that only exists while a fault window is open, a retransmit storm
+ * confined to one phase — show up as windows in the series.
+ *
+ * Overhead contract (same as TraceSink/Profiler): components hold a
+ * raw `Sampler *` that is nullptr when sampling is off, and the
+ * sample events are pure observers — they read state, never mutate
+ * it — so an attached sampler cannot change a single tick of any run
+ * (asserted by tests/test_obs.cc). Sampling happens on the event
+ * queue's coordinator thread between cycle events, so the series is
+ * bit-identical across `threads` counts and across the active-set /
+ * dense schedulers (asserted by tests/test_activeset.cc).
+ */
+
+#ifndef MULTITREE_OBS_SAMPLER_HH
+#define MULTITREE_OBS_SAMPLER_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+#include "obs/trace.hh"
+
+namespace multitree::obs {
+
+/** One snapshot of the fabric at a sample tick. Counter fields are
+ *  cumulative since run begin (consumers difference adjacent frames
+ *  for rates); occupancy fields are instantaneous. */
+struct SampleFrame {
+    Tick tick = 0;
+    // --- instantaneous occupancy ---
+    std::uint64_t in_flight_msgs = 0;  ///< transport census size
+    std::uint64_t in_flight_bytes = 0; ///< payload bytes in flight
+    std::uint64_t nic_outstanding = 0; ///< unacked sends, all NICs
+    std::uint64_t active_reductions = 0; ///< busy reduction units
+    // --- cumulative counters ---
+    std::uint64_t retransmits = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t injected = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped = 0;
+    /** Per-channel cumulative traffic (wire flits on the flit
+     *  backend, busy cycles on the flow backend). */
+    std::vector<std::uint64_t> link_flits;
+    /** Per-channel instantaneous queueing at the sample tick. */
+    std::vector<std::uint64_t> link_queue;
+    /** Cumulative delivered payload bytes per schedule phase. */
+    std::vector<std::uint64_t> phase_bytes;
+};
+
+/**
+ * Passive frame store plus the CSV/JSON exporters. The Machine owns
+ * the sampling cadence and fills frames; the sampler never touches
+ * simulation state.
+ */
+class Sampler
+{
+  public:
+    /** Start a new series: forget previous frames, remember the
+     *  fabric layout, phase names and cadence for export. */
+    void onRunBegin(FabricInfo fabric,
+                    std::vector<std::string> phase_names,
+                    Tick cadence, Tick now);
+
+    /** Append one snapshot (ticks must be nondecreasing). */
+    void addFrame(SampleFrame frame);
+
+    /** Close the series at the run's completion tick. */
+    void onRunEnd(Tick now);
+
+    const std::vector<SampleFrame> &frames() const { return frames_; }
+    const FabricInfo &fabric() const { return fabric_; }
+    const std::vector<std::string> &phaseNames() const
+    {
+        return phase_names_;
+    }
+    Tick cadence() const { return cadence_; }
+    Tick runBegin() const { return run_begin_; }
+    Tick runEnd() const { return run_end_; }
+
+    /** Parallel-rail count of the sampled fabric (>= 1). */
+    int numRails() const;
+
+    /** Roll @p frame's per-channel values up by rail index. */
+    std::vector<std::uint64_t>
+    railTotals(const std::vector<std::uint64_t> &per_link) const;
+
+    /**
+     * Wide CSV of the whole series: one row per frame; totals
+     * columns, then per-phase delivered bytes, per-rail rollups and
+     * per-channel columns. Counters stay cumulative (column names
+     * carry a _cum suffix); consumers difference adjacent rows.
+     */
+    void writeCsv(std::ostream &os) const;
+
+    /** The same series as one JSON object (the "timeseries" section
+     *  of the metrics snapshot). @p indent prefixes every line. */
+    void writeJson(std::ostream &os,
+                   const std::string &indent = {}) const;
+
+    /** The CSV as a string (tests, tools). */
+    std::string csv() const;
+
+    /** The JSON object as a string (tests, tools). */
+    std::string json() const;
+
+  private:
+    FabricInfo fabric_;
+    std::vector<std::string> phase_names_;
+    Tick cadence_ = 0;
+    Tick run_begin_ = 0;
+    Tick run_end_ = 0;
+    std::vector<SampleFrame> frames_;
+};
+
+} // namespace multitree::obs
+
+#endif // MULTITREE_OBS_SAMPLER_HH

@@ -80,6 +80,9 @@ struct TraceEvent {
     std::uint64_t seq = 0; ///< reliability sequence number
     std::uint32_t attempt = 0; ///< 0 = original transmission
     bool corrupted = false;
+    /** Schedule phase of the message (hierarchical attribution;
+     *  0 for single-phase schedules and non-message events). */
+    int phase = 0;
 };
 
 /**

@@ -11,6 +11,7 @@
 #include "common/logging.hh"
 #include "ni/schedule_table.hh"
 #include "obs/profile.hh"
+#include "obs/sampler.hh"
 #include "topo/grid.hh"
 #include "topo/hierarchical.hh"
 #include "topo/topology.hh"
@@ -301,6 +302,8 @@ Machine::post(const coll::Schedule &sched, CompletionFn on_complete,
     }
     pr.lockstep = sched.lockstep;
     pr.total_bytes = sched.total_bytes;
+    pr.phase_names = sched.phase_names;
+    pr.num_phases = sched.numPhases();
     pr.mode = ov.flow_control.value_or(opts_.net.mode);
     pr.inject_faults = ov.inject_faults.value_or(true);
     pr.done = std::move(on_complete);
@@ -370,19 +373,88 @@ Machine::startNext()
         ev.bytes = active_bytes_;
         sink_->onEvent(ev);
     }
+    active_phase_names_ = std::move(pr.phase_names);
     // Rewind the profiler so its records describe exactly this run.
-    if (opts_.profiler != nullptr)
+    if (opts_.profiler != nullptr) {
         opts_.profiler->onRunBegin(eq_.now());
+        opts_.profiler->setPhaseNames(active_phase_names_);
+    }
+    if (opts_.sampler != nullptr) {
+        phase_bytes_.assign(
+            static_cast<std::size_t>(std::max(pr.num_phases, 1)), 0);
+        opts_.sampler->onRunBegin(fabricInfo(), active_phase_names_,
+                                  opts_.sample_every, eq_.now());
+    }
     for (auto &e : engines_)
         e->start();
+    if (opts_.sampler != nullptr) {
+        // Baseline frame at the run's start (start() injections are
+        // same-tick synchronous, so they are already in the census),
+        // then the periodic cadence.
+        takeSample();
+        armSampler();
+    }
     // Degenerate schedules (no flows) complete without a single
     // delivery; everything else finishes inside onDelivery().
     maybeComplete();
 }
 
 void
+Machine::takeSample()
+{
+    obs::SampleFrame f;
+    f.tick = eq_.now();
+    f.in_flight_msgs = network_->inFlightCount();
+    f.in_flight_bytes = network_->inFlightBytes();
+    for (const auto &e : engines_) {
+        f.nic_outstanding += e->outstandingCount();
+        f.active_reductions += e->activeReductions();
+        f.retransmits += e->reliability().retransmits;
+        f.timeouts += e->reliability().timeouts;
+    }
+    f.injected = network_->injected();
+    f.delivered = network_->delivered();
+    f.dropped = network_->dropped();
+    network_->sampleChannels(f.link_flits, f.link_queue);
+    f.phase_bytes = phase_bytes_;
+    opts_.sampler->addFrame(std::move(f));
+}
+
+void
+Machine::armSampler()
+{
+    // High priority places the sample before the tick's Default-
+    // priority simulation events: the frame observes the state after
+    // every event below its tick, identically on both backends, both
+    // flit schedulers and any thread count (parallel execution lives
+    // inside the network's cycle event, which has not run yet).
+    const Tick every = std::max<Tick>(opts_.sample_every, 1);
+    eq_.scheduleAfter(
+        every,
+        [this, gen = sample_gen_] {
+            if (gen != sample_gen_)
+                return; // stale: run completed or was aborted
+            takeSample();
+            // Re-arm only while other work is pending: a wedged
+            // fabric with no future events must let the queue drain
+            // so the watchdog can rule, and a completed run bumps
+            // the generation before this event would re-arm.
+            if (!eq_.empty())
+                armSampler();
+        },
+        sim::Priority::High);
+}
+
+void
 Machine::onDelivery(const net::Message &msg)
 {
+    if (opts_.sampler != nullptr && msg.tag != ni::kTagAck
+        && msg.phase >= 0
+        && static_cast<std::size_t>(msg.phase)
+               < phase_bytes_.size()) {
+        phase_bytes_[static_cast<std::size_t>(msg.phase)] +=
+            msg.bytes;
+    }
     // Trace records are appended by the LegacyTraceSink adapter as
     // the network emits MsgDeliver, before this callback runs.
     engines_[static_cast<std::size_t>(msg.dst)]->onMessage(msg);
@@ -439,6 +511,13 @@ Machine::completeActive()
         // the run complete so the critical path can be extracted.
         network_->flushProfile();
         opts_.profiler->onRunEnd(eq_.now());
+    }
+    if (opts_.sampler != nullptr) {
+        // Final frame at the completion tick, then invalidate the
+        // pending gen-guarded sample event so the queue drains.
+        takeSample();
+        ++sample_gen_;
+        opts_.sampler->onRunEnd(eq_.now());
     }
 
     ++runs_completed_;
@@ -718,6 +797,12 @@ Machine::abortActive()
     active_done_ = nullptr;
     queue_.clear();
     lifetime_.inc("aborted_runs");
+    if (opts_.sampler != nullptr) {
+        // The series ends where the watchdog ruled; frames up to the
+        // wedge remain available for triage.
+        ++sample_gen_;
+        opts_.sampler->onRunEnd(eq_.now());
+    }
     // Engines may be wedged mid-table and the event queue is empty;
     // the next beginEpoch()'s unconditional resets recover both, so
     // the machine stays usable after a watchdog abort.

@@ -46,6 +46,10 @@ namespace multitree::coll {
 class Schedule;
 } // namespace multitree::coll
 
+namespace multitree::obs {
+class Sampler;
+} // namespace multitree::obs
+
 namespace multitree::runtime {
 
 /** Which transport model executes the schedule. */
@@ -109,6 +113,21 @@ struct RunOptions {
      * attached profiler never changes a tick.
      */
     obs::Profiler *profiler = nullptr;
+    /**
+     * Fixed-cadence time-series sampler (src/obs/sampler.hh). Not
+     * owned. When non-null the machine arms a self-re-arming
+     * High-priority sample event every sample_every cycles and
+     * snapshots the fabric (in-flight census, NIC scoreboards,
+     * reduction units, per-channel traffic/queueing, per-phase
+     * delivered bytes) into the sampler. Same zero-perturbation
+     * contract as the sink/profiler: sample events only read state,
+     * so attaching a sampler never changes a tick, and sampling on
+     * the coordinator thread keeps the series bit-identical across
+     * net.threads counts and the dense/active schedulers.
+     */
+    obs::Sampler *sampler = nullptr;
+    /** Sampling cadence in cycles (sampler attached). */
+    Tick sample_every = 256;
     /**
      * End-to-end reliability layer (acks, retransmission timers,
      * receiver dedup) armed on every NIC engine. Off by default; a
@@ -335,6 +354,9 @@ class Machine
         std::uint64_t total_bytes = 0;
         net::FlowControlMode mode = net::FlowControlMode::PacketBased;
         bool inject_faults = true;
+        /** Schedule phase labels (empty = single unnamed phase). */
+        std::vector<std::string> phase_names;
+        int num_phases = 1;
         CompletionFn done;
     };
 
@@ -342,6 +364,12 @@ class Machine
     void startNext();
     void maybeComplete();
     void completeActive();
+
+    /** Snapshot the fabric into the attached sampler. */
+    void takeSample();
+
+    /** Schedule the next sample event (High priority, gen-guarded). */
+    void armSampler();
 
     /**
      * Run the event queue dry, sweeping completion after every
@@ -407,6 +435,14 @@ class Machine
     Tick active_start_ = 0;
     std::uint64_t active_bytes_ = 0;
     CompletionFn active_done_;
+    /** Phase labels of the active run (sampler/profiler context). */
+    std::vector<std::string> active_phase_names_;
+    /** Cumulative delivered payload bytes per phase, maintained only
+     *  while a sampler is attached (pure observation). */
+    std::vector<std::uint64_t> phase_bytes_;
+    /** Sampling generation; a bump turns the pending gen-guarded
+     *  sample event into a non-re-arming no-op so the queue drains. */
+    std::uint64_t sample_gen_ = 0;
     /** Network stats at the active run's start (per-run scoping). */
     std::map<std::string, double> stat_base_;
 

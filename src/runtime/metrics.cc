@@ -5,6 +5,8 @@
 
 #include "fault/health.hh"
 #include "net/energy.hh"
+#include "obs/results.hh"
+#include "obs/sampler.hh"
 #include "obs/trace.hh"
 #include "topo/topology.hh"
 
@@ -32,6 +34,9 @@ writeMetricsJson(std::ostream &os, const Machine &machine,
 {
     const auto &topo = machine.topology();
     os << "{\n";
+    os << "  \"schema_version\": " << kMetricsSchemaVersion << ",\n";
+    os << "  \"commit\": " << obs::jsonQuote(obs::buildCommit())
+       << ",\n";
     os << "  \"topology\": " << obs::jsonQuote(topo.name()) << ",\n";
     os << "  \"backend\": "
        << (machine.options().backend == Backend::Flow ? "\"flow\""
@@ -103,6 +108,10 @@ writeMetricsJson(std::ostream &os, const Machine &machine,
            << ",\n";
         os << "    \"diagnostic\": " << obs::jsonQuote(rep->diagnostic)
            << "\n  }";
+    }
+    if (machine.options().sampler != nullptr) {
+        os << ",\n  \"timeseries\": ";
+        machine.options().sampler->writeJson(os, "  ");
     }
     os << "\n}\n";
 }

@@ -20,8 +20,17 @@
 
 namespace multitree::runtime {
 
+/**
+ * Version stamp of the metrics JSON layout, bumped on breaking
+ * changes. Readers (obs::results, examples/mtdiff) reject snapshots
+ * from a different version instead of misinterpreting them.
+ */
+inline constexpr int kMetricsSchemaVersion = 1;
+
 /** Write the metrics snapshot of @p res (from @p machine) as JSON;
- *  @p rep adds the fault/reliability section when non-null. */
+ *  @p rep adds the fault/reliability section when non-null. When the
+ *  machine has a sampler attached its series is embedded as a
+ *  "timeseries" section. */
 void writeMetricsJson(std::ostream &os, const Machine &machine,
                       const RunResult &res,
                       const RunReport *rep = nullptr);

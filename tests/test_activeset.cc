@@ -14,6 +14,8 @@
  *  - FlitNetwork::activeCycles() (the utilization denominator),
  *  - the complete lifecycle trace, event by event and field by field,
  *  - the rendered latency-attribution profile JSON,
+ *  - the fixed-cadence telemetry time-series, byte for byte in both
+ *    the CSV and JSON serializations,
  * over back-to-back runs on persistent machines (warm pools), and
  * under faults + reliability (retransmission timing).
  */
@@ -27,6 +29,7 @@
 #include "coll/algorithm.hh"
 #include "net/flit_network.hh"
 #include "obs/profile.hh"
+#include "obs/sampler.hh"
 #include "obs/trace.hh"
 #include "runtime/machine.hh"
 #include "topo/factory.hh"
@@ -106,7 +109,8 @@ profileJson(const runtime::Machine &m, const obs::Profiler &prof)
     return oss.str();
 }
 
-/** One observed fabric: Machine + trace + profiler wired up. */
+/** One observed fabric: Machine + trace + profiler + time-series
+ *  sampler wired up. */
 struct Rig {
     explicit Rig(const topo::Topology &topo, bool dense,
                  std::uint32_t reduction_bw = 0,
@@ -118,17 +122,21 @@ struct Rig {
         opts.net.threads = threads;
         opts.sink = &trace;
         opts.profiler = &prof;
+        opts.sampler = &sampler;
+        opts.sample_every = 64;
         opts.ni_reduction_bw = reduction_bw;
         machine = std::make_unique<runtime::Machine>(topo, opts);
     }
 
     obs::Trace trace;
     obs::Profiler prof;
+    obs::Sampler sampler;
     std::unique_ptr<runtime::Machine> machine;
 };
 
 /** Every cross-scheduler observable at once: result, stats, active
- *  cycles, full trace, rendered profile. */
+ *  cycles, full trace, rendered profile, and the fixed-cadence
+ *  time-series (byte-for-byte in both serializations). */
 void
 expectSameEverything(Rig &a, const runtime::RunResult &ra, Rig &b,
                      const runtime::RunResult &rb)
@@ -140,6 +148,8 @@ expectSameEverything(Rig &a, const runtime::RunResult &ra, Rig &b,
     expectSameTrace(a.trace, b.trace);
     EXPECT_EQ(profileJson(*a.machine, a.prof),
               profileJson(*b.machine, b.prof));
+    EXPECT_EQ(a.sampler.csv(), b.sampler.csv());
+    EXPECT_EQ(a.sampler.json(), b.sampler.json());
 }
 
 class ActiveSetParity
@@ -170,13 +180,7 @@ TEST_P(ActiveSetParity, BitIdenticalToDenseForEveryVariant)
             SCOPED_TRACE("rep " + std::to_string(rep));
             auto ra = active.machine->run(v.name, 16 * KiB);
             auto rd = dense.machine->run(v.name, 16 * KiB);
-            expectSameResult(ra, rd);
-            expectSameStats(*active.machine, *dense.machine);
-            EXPECT_EQ(activeCyclesOf(*active.machine),
-                      activeCyclesOf(*dense.machine));
-            expectSameTrace(active.trace, dense.trace);
-            EXPECT_EQ(profileJson(*active.machine, active.prof),
-                      profileJson(*dense.machine, dense.prof));
+            expectSameEverything(active, ra, dense, rd);
         }
     }
 }
@@ -201,8 +205,8 @@ class ThreadedParity : public ::testing::TestWithParam<const char *>
 // worker pool is invisible. For every algorithm variant, an active-set
 // machine at 2 and at 4 threads and a dense-tick machine at 4 threads
 // all reproduce the serial dense oracle bit for bit — results, stats,
-// active-cycle counts, traces and profiles — across back-to-back runs
-// on warm fabrics.
+// active-cycle counts, traces, profiles and telemetry time-series —
+// across back-to-back runs on warm fabrics.
 TEST_P(ThreadedParity, BitIdenticalToDenseOracle)
 {
     auto topo = topo::makeTopology(GetParam());

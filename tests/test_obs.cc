@@ -14,7 +14,10 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <map>
 #include <set>
 #include <sstream>
@@ -23,15 +26,21 @@
 #include <vector>
 
 #include "coll/algorithm.hh"
+#include "coll/hierarchical.hh"
+#include "fault/fault.hh"
 #include "net/energy.hh"
+#include "ni/nic_engine.hh"
 #include "obs/heatmap.hh"
 #include "obs/perfetto.hh"
 #include "obs/profile.hh"
+#include "obs/results.hh"
+#include "obs/sampler.hh"
 #include "obs/timeline.hh"
 #include "obs/trace.hh"
 #include "runtime/machine.hh"
 #include "runtime/metrics.hh"
 #include "topo/factory.hh"
+#include "topo/hierarchical.hh"
 
 namespace multitree {
 namespace {
@@ -737,6 +746,381 @@ TEST(Heatmap, MapAndRenderersCoverTheFabric)
     while (std::getline(lines, line))
         ++rows;
     EXPECT_EQ(rows, fabric.links.size());
+}
+
+// ---------------------------------------------------------------
+// Time-series sampler
+// ---------------------------------------------------------------
+
+/** Overhead contract: sampling never changes a tick, on either
+ *  backend, and the series it leaves behind is self-consistent. */
+void
+expectSamplerInvariance(runtime::Backend backend)
+{
+    auto topo = topo::makeTopology("torus-4x4");
+
+    runtime::RunOptions plain;
+    plain.backend = backend;
+    runtime::Machine m_plain(*topo, plain);
+    const auto base = m_plain.run("multitree", 256 * KiB);
+
+    obs::Sampler sampler;
+    runtime::RunOptions sampled = plain;
+    sampled.sampler = &sampler;
+    sampled.sample_every = 64;
+    runtime::Machine m_sampled(*topo, sampled);
+    const auto res = m_sampled.run("multitree", 256 * KiB);
+
+    EXPECT_EQ(base.time, res.time);
+    EXPECT_EQ(base.messages, res.messages);
+    EXPECT_EQ(base.payload_flits, res.payload_flits);
+    EXPECT_EQ(base.head_flits, res.head_flits);
+    EXPECT_EQ(base.flit_hops, res.flit_hops);
+    EXPECT_EQ(base.nop_windows, res.nop_windows);
+
+    const auto &frames = sampler.frames();
+    ASSERT_GT(frames.size(), 2u);
+    EXPECT_EQ(sampler.runEnd() - sampler.runBegin(), res.time);
+    // Cumulative counters never decrease, and the final frame (taken
+    // at completion) accounts for every message.
+    for (std::size_t i = 1; i < frames.size(); ++i) {
+        EXPECT_GE(frames[i].tick, frames[i - 1].tick);
+        EXPECT_GE(frames[i].injected, frames[i - 1].injected);
+        EXPECT_GE(frames[i].delivered, frames[i - 1].delivered);
+    }
+    EXPECT_EQ(frames.back().delivered, res.messages);
+    EXPECT_EQ(frames.back().in_flight_msgs, 0u);
+    EXPECT_EQ(frames.back().link_flits.size(),
+              static_cast<std::size_t>(topo->numChannels()));
+}
+
+TEST(Sampler, FlowRunIsTickIdenticalWithAndWithoutSampler)
+{
+    expectSamplerInvariance(runtime::Backend::Flow);
+}
+
+TEST(Sampler, FlitRunIsTickIdenticalWithAndWithoutSampler)
+{
+    expectSamplerInvariance(runtime::Backend::Flit);
+}
+
+TEST(Sampler, MetricsJsonEmbedsTimeseriesAndSchemaVersion)
+{
+    auto topo = topo::makeTopology("mesh-2x2");
+    obs::Sampler sampler;
+    runtime::RunOptions opts;
+    opts.sampler = &sampler;
+    opts.sample_every = 32;
+    runtime::Machine m(*topo, opts);
+    const auto res = m.run("multitree", 64 * KiB);
+
+    const std::string json = runtime::metricsJson(m, res);
+    JsonValue root;
+    ASSERT_TRUE(JsonParser(json).parse(root)) << json.substr(0, 400);
+    EXPECT_EQ(static_cast<int>(root.at("schema_version").num),
+              runtime::kMetricsSchemaVersion);
+    ASSERT_TRUE(root.has("timeseries"));
+    const JsonValue &ts = root.at("timeseries");
+    EXPECT_EQ(static_cast<std::size_t>(ts.at("num_frames").num),
+              sampler.frames().size());
+    ASSERT_EQ(ts.at("frames").kind, JsonValue::Arr);
+    ASSERT_FALSE(ts.at("frames").arr.empty());
+    EXPECT_EQ(ts.at("frames").arr.back().at("delivered").num,
+              static_cast<double>(res.messages));
+
+    // Without a sampler the section is absent entirely.
+    runtime::Machine m_plain(*topo, {});
+    const auto res_plain = m_plain.run("multitree", 64 * KiB);
+    JsonValue plain_root;
+    ASSERT_TRUE(JsonParser(runtime::metricsJson(m_plain, res_plain))
+                    .parse(plain_root));
+    EXPECT_FALSE(plain_root.has("timeseries"));
+}
+
+TEST(Sampler, CsvIsRectangularAndCoversEveryFrame)
+{
+    auto topo = topo::makeTopology("mesh-2x2");
+    obs::Sampler sampler;
+    runtime::RunOptions opts;
+    opts.sampler = &sampler;
+    opts.sample_every = 32;
+    runtime::Machine m(*topo, opts);
+    m.run("multitree", 64 * KiB);
+
+    std::istringstream lines(sampler.csv());
+    std::string header;
+    ASSERT_TRUE(std::getline(lines, header));
+    EXPECT_EQ(header.rfind("tick,in_flight_msgs", 0), 0u);
+    const auto cols =
+        1 + std::count(header.begin(), header.end(), ',');
+    std::string line;
+    std::size_t rows = 0;
+    while (std::getline(lines, line)) {
+        EXPECT_EQ(1 + std::count(line.begin(), line.end(), ','),
+                  cols);
+        ++rows;
+    }
+    EXPECT_EQ(rows, sampler.frames().size());
+}
+
+TEST(Sampler, PerfettoCounterTracksRenderFromTheSeries)
+{
+    auto topo = topo::makeTopology("mesh-2x2");
+    obs::Trace trace;
+    obs::Sampler sampler;
+    runtime::RunOptions opts;
+    opts.backend = runtime::Backend::Flit;
+    opts.sink = &trace;
+    opts.sampler = &sampler;
+    opts.sample_every = 32;
+    runtime::Machine m(*topo, opts);
+    m.run("multitree", 64 * KiB);
+
+    std::ostringstream oss;
+    obs::writePerfettoTrace(oss, m.fabricInfo(), trace.events(),
+                            &sampler);
+    JsonValue root;
+    ASSERT_TRUE(JsonParser(oss.str()).parse(root))
+        << oss.str().substr(0, 400);
+    std::size_t counters = 0;
+    for (const JsonValue &ev : root.at("traceEvents").arr) {
+        if (ev.at("ph").str == "C")
+            ++counters;
+    }
+    EXPECT_GT(counters, 0u);
+}
+
+// ---------------------------------------------------------------
+// Phase attribution (composed hierarchical schedules)
+// ---------------------------------------------------------------
+
+TEST(Phases, HierarchicalRunSplitsByPhaseInProfilerAndSampler)
+{
+    auto topo =
+        topo::makeTopology("hier:torus-2x2+fattree-2:2:2,rails=2");
+    auto *hier = dynamic_cast<const topo::HierarchicalTopology *>(
+        topo.get());
+    ASSERT_NE(hier, nullptr);
+    const auto sched = coll::composeHierarchical(*hier, "multitree",
+                                                 "ring", 256 * KiB);
+    ASSERT_EQ(sched.phase_names.size(), 3u);
+
+    obs::Profiler prof;
+    obs::Sampler sampler;
+    runtime::RunOptions opts;
+    opts.backend = runtime::Backend::Flit;
+    opts.profiler = &prof;
+    opts.sampler = &sampler;
+    opts.sample_every = 128;
+    runtime::Machine m(*topo, opts);
+    m.run(sched);
+
+    ASSERT_EQ(sampler.phaseNames().size(), 3u);
+    EXPECT_EQ(sampler.phaseNames()[0], "island-reduce");
+    EXPECT_EQ(sampler.phaseNames()[1], "spine-allreduce");
+    EXPECT_EQ(sampler.phaseNames()[2], "island-gather");
+
+    // Every phase delivered payload, and the per-phase profiler
+    // rollup covers every finished data message.
+    const auto &last = sampler.frames().back();
+    ASSERT_EQ(last.phase_bytes.size(), 3u);
+    for (std::uint64_t b : last.phase_bytes)
+        EXPECT_GT(b, 0u);
+    const auto by_phase = prof.summaryByPhase();
+    ASSERT_EQ(by_phase.size(), 3u);
+    std::uint64_t covered = 0;
+    for (const auto &ps : by_phase) {
+        EXPECT_GT(ps.messages, 0u);
+        covered += ps.messages;
+    }
+    EXPECT_EQ(covered, prof.summary().messages);
+
+    // Phases do not overlap in time: the spine phase's messages all
+    // inject after every island-reduce delivery it depends on at the
+    // same node would allow — cheap sanity: phase tags appear in the
+    // profile JSON.
+    const auto cp = obs::extractCriticalPath(prof);
+    std::ostringstream oss;
+    obs::writeProfileJson(oss, m.fabricInfo(), prof, cp);
+    JsonValue root;
+    ASSERT_TRUE(JsonParser(oss.str()).parse(root));
+    EXPECT_EQ(static_cast<int>(root.at("schema_version").num),
+              obs::kProfileSchemaVersion);
+    ASSERT_EQ(root.at("phases").kind, JsonValue::Arr);
+    ASSERT_EQ(root.at("phases").arr.size(), 3u);
+    EXPECT_EQ(root.at("phases").arr[1].at("name").str,
+              "spine-allreduce");
+}
+
+// ---------------------------------------------------------------
+// Acceptance: windowed rail imbalance that totals do not reveal
+// ---------------------------------------------------------------
+
+TEST(Sampler, WindowedRailImbalanceVisibleOnlyInTimeseries)
+{
+    auto topo =
+        topo::makeTopology("hier:torus-2x2+fattree-2:2:2,rails=2");
+    auto *hier = dynamic_cast<const topo::HierarchicalTopology *>(
+        topo.get());
+    ASSERT_NE(hier, nullptr);
+    const auto sched = coll::composeHierarchical(*hier, "multitree",
+                                                 "ring", 256 * KiB);
+
+    // Baseline run fixes the fault window relative to completion.
+    runtime::RunOptions base;
+    base.backend = runtime::Backend::Flit;
+    base.rail_policy = ni::RailPolicy::Backlog;
+    runtime::Machine m0(*topo, base);
+    const auto res0 = m0.run(sched);
+
+    // Degrade every rail-1 spine channel for the middle half of the
+    // run: backlog-steered NICs shift spine traffic onto rail 0
+    // while the window is open, and back afterwards.
+    const topo::RailGroups rg = topo::buildRailGroups(*topo);
+    fault::FaultConfig fc;
+    fc.seed = 1;
+    for (const auto &ch : topo->channels()) {
+        if (!hier->isSpineChannel(ch.id) || rg.railOf(ch.id) != 1)
+            continue;
+        fault::LinkFault lf;
+        lf.channel = ch.id;
+        lf.from = res0.time / 4;
+        lf.until = res0.time / 2;
+        lf.extra_latency = 2000;
+        fc.links.push_back(lf);
+    }
+    ASSERT_FALSE(fc.links.empty());
+
+    obs::Sampler sampler;
+    runtime::RunOptions opts = base;
+    opts.fault = fc;
+    opts.sampler = &sampler;
+    opts.sample_every = std::max<Tick>(res0.time / 64, 1);
+    runtime::Machine m(*topo, opts);
+    const auto rep = m.tryRun(sched);
+    ASSERT_TRUE(rep.ok) << rep.diagnostic;
+
+    // Spine-only per-rail traffic from the frame series.
+    const auto spineRail =
+        [&](const std::vector<std::uint64_t> &link_flits, int rail) {
+            std::uint64_t sum = 0;
+            for (const auto &ch : topo->channels()) {
+                if (!hier->isSpineChannel(ch.id)
+                    || rg.railOf(ch.id) != rail)
+                    continue;
+                const auto c = static_cast<std::size_t>(ch.id);
+                if (c < link_flits.size())
+                    sum += link_flits[c];
+            }
+            return sum;
+        };
+    const auto skew = [](std::uint64_t a, std::uint64_t b) {
+        return a + b == 0
+                   ? 0.0
+                   : std::abs(static_cast<double>(a)
+                              - static_cast<double>(b))
+                         / static_cast<double>(a + b);
+    };
+
+    const auto &frames = sampler.frames();
+    ASSERT_GT(frames.size(), 8u);
+    const double whole_run_skew =
+        skew(spineRail(frames.back().link_flits, 0),
+             spineRail(frames.back().link_flits, 1));
+
+    double worst_window_skew = 0;
+    for (std::size_t i = 1; i < frames.size(); ++i) {
+        const std::uint64_t d0 =
+            spineRail(frames[i].link_flits, 0)
+            - spineRail(frames[i - 1].link_flits, 0);
+        const std::uint64_t d1 =
+            spineRail(frames[i].link_flits, 1)
+            - spineRail(frames[i - 1].link_flits, 1);
+        if (d0 + d1 < 64)
+            continue; // idle window: no utilization to compare
+        worst_window_skew =
+            std::max(worst_window_skew, skew(d0, d1));
+    }
+
+    // The transient is invisible in the whole-run totals but
+    // unmistakable in the windows: this is the sampler's reason to
+    // exist.
+    EXPECT_GT(worst_window_skew, whole_run_skew + 0.2)
+        << "worst window " << worst_window_skew << " vs whole run "
+        << whole_run_skew;
+    EXPECT_GT(worst_window_skew, 0.5);
+}
+
+// ---------------------------------------------------------------
+// Results schema stamp and sweep cache-key coverage
+// ---------------------------------------------------------------
+
+TEST(Results, SchemaVersionGatesTheReader)
+{
+    const std::string path =
+        ::testing::TempDir() + "/mt_results_schema.json";
+    obs::ResultRow row;
+    row.name = "schema/test";
+    row.topology = "mesh-2x2";
+    row.algorithm = "ring";
+    row.bytes = 1024;
+    row.cycles = 99;
+    row.mode = "active";
+    row.commit = "abc1234";
+    ASSERT_TRUE(obs::writeResultRows(path, {row}));
+
+    auto rows = obs::readResultRows(path);
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].name, "schema/test");
+    EXPECT_EQ(rows[0].commit, "abc1234");
+
+    // A foreign version reads as an empty (regenerable) cache.
+    std::ifstream in(path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string text = buf.str();
+    const std::string stamp =
+        "\"schema_version\": "
+        + std::to_string(obs::kResultsSchemaVersion);
+    const std::size_t at = text.find(stamp);
+    ASSERT_NE(at, std::string::npos);
+    text.replace(at, stamp.size(), "\"schema_version\": 9999");
+    {
+        std::ofstream out(path);
+        out << text;
+    }
+    EXPECT_TRUE(obs::readResultRows(path).empty());
+    std::remove(path.c_str());
+}
+
+TEST(Results, SweepConfigKeyCoversEveryAxis)
+{
+    const obs::SweepPointConfig base;
+    std::set<std::string> keys;
+    keys.insert(obs::sweepConfigKey(base));
+
+    // Vary one axis at a time; every variation must land on its own
+    // cache key, or two different campaigns would alias one entry.
+    std::vector<obs::SweepPointConfig> variants(11, base);
+    variants[0].topo = "torus-8x8";
+    variants[1].algo = "ring";
+    variants[2].bytes = 4096;
+    variants[3].seed = 7;
+    variants[4].backend = "flow";
+    variants[5].drop = 0.001;
+    variants[6].corrupt = 0.001;
+    variants[7].reliable = true;
+    variants[8].dense = true;
+    variants[9].rail_policy = "backlog";
+    variants[10].recovery = "failover";
+    for (const auto &v : variants)
+        keys.insert(obs::sweepConfigKey(v));
+    EXPECT_EQ(keys.size(), variants.size() + 1)
+        << "two sweep axes alias onto one cache key";
+
+    for (const auto &v : variants)
+        EXPECT_NE(obs::sweepConfigHash(v),
+                  obs::sweepConfigHash(base));
 }
 
 } // namespace
