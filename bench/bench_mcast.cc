@@ -1,0 +1,149 @@
+/**
+ * @file
+ * In-network multicast / switch-resident reduction bench: the
+ * broadcast-heavy phase win of one injection serving N children.
+ *
+ * A symmetric all-reduce is receive-bandwidth-bound — every node
+ * drains N-1 chunks through its own link no matter how the senders
+ * inject — so in-network replication cannot shorten it. The phase it
+ * does shorten is the one the profiler blames on fan-out
+ * serialization: a single root pushing the same chunk down a gather
+ * tree (unicast pays one full serialization per child, multicast pays
+ * one per tree level), and its mirror image, a single root draining
+ * every contribution through its one link (switch-resident combining
+ * collapses the converging flows to one). This bench carves exactly
+ * those phases out of the MultiTree schedule — flow 0's gather tree
+ * and reduce tree, re-scaled to the full payload — and runs each
+ * unicast vs fused on the cycle-level backend.
+ *
+ * Rows land in BENCH_results.json ("mcast/..."); the process exits
+ * nonzero unless multicast beats unicast by >= 1.3x on the broadcast
+ * phase of both fattree-16 and torus-8x8, which is what CI gates.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "coll/schedule.hh"
+#include "net/network.hh"
+
+namespace {
+
+using namespace multitree;
+
+/**
+ * Flow 0 of @p full as a standalone single-root schedule carrying the
+ * whole payload: gather edges only (keep_gather) for the broadcast
+ * phase, reduce edges only for the reduction phase. Lockstep is
+ * dropped — a single tree has no peer flows to pace against.
+ */
+coll::Schedule
+singleRootPhase(const coll::Schedule &full, std::uint64_t bytes,
+                bool keep_gather)
+{
+    coll::Schedule phase;
+    phase.algorithm = full.algorithm
+                      + (keep_gather ? "-bcast" : "-reduce");
+    phase.kind = keep_gather ? coll::CollectiveKind::AllGather
+                             : coll::CollectiveKind::ReduceScatter;
+    phase.num_nodes = full.num_nodes;
+    phase.lockstep = false;
+    coll::ChunkFlow f = full.flows.front();
+    f.flow_id = 0;
+    f.fraction = 1.0;
+    if (keep_gather)
+        f.reduce.clear();
+    else
+        f.gather.clear();
+    phase.flows.push_back(std::move(f));
+    phase.assignBytes(bytes);
+    return phase;
+}
+
+Tick
+runPoint(const std::string &topo_spec, const coll::Schedule &sched,
+         std::uint64_t bytes, net::InNetworkMode mode)
+{
+    auto topo = topo::makeTopology(topo_spec);
+    runtime::RunOptions opts;
+    opts.backend = runtime::Backend::Flit;
+    opts.net.in_network = mode;
+    runtime::Machine machine(*topo, opts);
+    auto res = machine.run(sched);
+
+    bench::BenchRow row;
+    row.name = "mcast/" + topo_spec + "/" + sched.algorithm + "/"
+               + net::inNetworkModeName(mode);
+    row.topo = topo_spec;
+    row.algo = sched.algorithm;
+    row.bytes = bytes;
+    row.cycles = res.time;
+    row.bandwidth_gbps = res.bandwidth;
+    row.messages = res.messages;
+    row.mode = std::string("in_network=")
+               + net::inNetworkModeName(mode);
+    bench::recordBenchRow(row);
+
+    std::printf("%-56s %10llu cyc  %8llu msgs  %6llu mcast  "
+                "%4llu combined\n",
+                row.name.c_str(),
+                static_cast<unsigned long long>(res.time),
+                static_cast<unsigned long long>(res.messages),
+                static_cast<unsigned long long>(res.mcast_injections),
+                static_cast<unsigned long long>(res.combined_groups));
+    return res.time;
+}
+
+} // namespace
+
+int
+main()
+{
+    constexpr std::uint64_t kBytes = 1 * MiB;
+    constexpr double kGate = 1.3;
+    bool ok = true;
+
+    for (const std::string &topo_spec :
+         {std::string("fattree-16"), std::string("torus-8x8")}) {
+        auto topo = topo::makeTopology(topo_spec);
+        auto algo = coll::makeAlgorithm("multitree");
+        const coll::Schedule full = algo->build(*topo, kBytes);
+
+        const coll::Schedule bcast =
+            singleRootPhase(full, kBytes, true);
+        const Tick uni =
+            runPoint(topo_spec, bcast, kBytes,
+                     net::InNetworkMode::Off);
+        const Tick mc = runPoint(topo_spec, bcast, kBytes,
+                                 net::InNetworkMode::Multicast);
+        const double speedup = static_cast<double>(uni)
+                               / static_cast<double>(mc);
+        std::printf("  broadcast speedup on %-12s %.2fx "
+                    "(gate %.1fx)\n",
+                    topo_spec.c_str(), speedup, kGate);
+        if (speedup < kGate)
+            ok = false;
+
+        const coll::Schedule red =
+            singleRootPhase(full, kBytes, false);
+        const Tick runi = runPoint(topo_spec, red, kBytes,
+                                   net::InNetworkMode::Off);
+        const Tick rcmb =
+            runPoint(topo_spec, red, kBytes,
+                     net::InNetworkMode::MulticastReduce);
+        std::printf("  reduction speedup on %-12s %.2fx\n",
+                    topo_spec.c_str(),
+                    static_cast<double>(runi)
+                        / static_cast<double>(rcmb));
+    }
+
+    if (!ok) {
+        std::fprintf(stderr, "multicast speedup below the %.1fx "
+                             "gate\n",
+                     kGate);
+        return 1;
+    }
+    return 0;
+}

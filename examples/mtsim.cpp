@@ -126,6 +126,8 @@ struct Args {
     bool dense_tick = false;
     std::uint32_t threads = 1;
     std::string rail_policy = "rr";
+    net::InNetworkMode in_network = net::InNetworkMode::Off;
+    std::uint32_t combiner_entries = 0; ///< 0 = backend default
 };
 
 void
@@ -137,6 +139,8 @@ usage()
         "allgather|alltoall]\n"
         "             [--backend flow|flit] [--msg] [--dense-tick]\n"
         "             [--threads N]\n"
+        "             [--in-network off|mcast|mcast+reduce]\n"
+        "             [--combiner-entries N]\n"
         "             [--reduction-bw BYTES_PER_CYCLE] "
         "[--dump dot|csv]\n"
         "             [--seed N] [--drop PROB] [--corrupt PROB]\n"
@@ -187,11 +191,16 @@ listAlgorithms()
 {
     std::printf("registered algorithms (NAME for --algo):\n");
     for (const auto &v : coll::algorithmVariants()) {
-        std::printf("  %-22s builds %s%s\n", v.name.c_str(),
+        // Tree-shaped schedules carry fan-out >= 2 gather edges, the
+        // shape --in-network fuses into single multicast injections.
+        const bool fuses =
+            v.base == "multitree" || v.base == "dbtree";
+        std::printf("  %-22s builds %s%s%s\n", v.name.c_str(),
                     v.base.c_str(),
                     v.flow_control
                         ? " (message-based flow control)"
-                        : "");
+                        : "",
+                    fuses ? " [benefits from --in-network]" : "");
     }
     std::printf(
         "  hier:<island>+<spine>  composed hierarchical all-reduce\n"
@@ -344,6 +353,35 @@ main(int argc, char **argv)
             }
             args.threads = static_cast<std::uint32_t>(t);
         }
+        else if (a == "--in-network") {
+            const std::string m = next();
+            if (m == "off") {
+                args.in_network = net::InNetworkMode::Off;
+            } else if (m == "mcast") {
+                args.in_network = net::InNetworkMode::Multicast;
+            } else if (m == "mcast+reduce") {
+                args.in_network =
+                    net::InNetworkMode::MulticastReduce;
+            } else {
+                std::fprintf(stderr,
+                             "error: --in-network must be off, "
+                             "mcast, or mcast+reduce, got '%s'\n",
+                             m.c_str());
+                return 1;
+            }
+        } else if (a == "--combiner-entries") {
+            char *end = nullptr;
+            const char *v = next();
+            unsigned long n = std::strtoul(v, &end, 10);
+            if (end == v || *end != '\0' || n < 1 || n > 65536) {
+                std::fprintf(stderr,
+                             "error: --combiner-entries needs an "
+                             "integer in [1, 65536], got '%s'\n",
+                             v);
+                return 1;
+            }
+            args.combiner_entries = static_cast<std::uint32_t>(n);
+        }
         else if (a == "--rail-policy")
             args.rail_policy = next();
         else if (a == "--list-topologies") {
@@ -445,6 +483,9 @@ main(int argc, char **argv)
         opts.net.mode = net::FlowControlMode::MessageBased;
     opts.net.dense_tick = args.dense_tick;
     opts.net.threads = args.threads;
+    opts.net.in_network = args.in_network;
+    if (args.combiner_entries > 0)
+        opts.net.combiner_entries = args.combiner_entries;
     opts.ni_reduction_bw = args.reduction_bw;
     if (args.rail_policy == "backlog") {
         opts.rail_policy = ni::RailPolicy::Backlog;
@@ -570,7 +611,8 @@ main(int argc, char **argv)
     } else {
         res = machine.run(sched, ov);
     }
-    auto energy = net::computeEnergy(res.flit_hops, res.head_hops);
+    auto energy = net::computeEnergy(res.flit_hops, res.head_hops,
+                                     res.combiner_alu_flits);
     auto stats = sched.stats(*topo);
 
     bool msg_mode =
@@ -592,6 +634,15 @@ main(int argc, char **argv)
                 "flits)\n",
                 static_cast<unsigned long long>(res.messages),
                 res.payload_flits, res.head_flits);
+    if (args.in_network != net::InNetworkMode::Off) {
+        std::printf("  in-network       %s: %llu multicast "
+                    "injections, %llu combined groups\n",
+                    net::inNetworkModeName(args.in_network),
+                    static_cast<unsigned long long>(
+                        res.mcast_injections),
+                    static_cast<unsigned long long>(
+                        res.combined_groups));
+    }
     std::printf("  energy           %.2f uJ datapath + %.2f uJ "
                 "control\n",
                 energy.datapath_nj / 1e3, energy.control_nj / 1e3);
@@ -603,9 +654,12 @@ main(int argc, char **argv)
                     em.pj_route_arb_per_head);
         std::printf("  energy detail    %.0f flit-hops -> %.3f uJ "
                     "datapath; %.0f head-hops -> %.3f uJ control; "
+                    "%.0f ALU flits -> %.3f uJ switch ALU; "
                     "%.3f uJ total\n",
                     res.flit_hops, energy.datapath_nj / 1e3,
                     res.head_hops, energy.control_nj / 1e3,
+                    res.combiner_alu_flits,
+                    energy.switch_alu_nj / 1e3,
                     energy.total_nj() / 1e3);
     }
     if (sched.lockstep)

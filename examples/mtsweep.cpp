@@ -66,6 +66,8 @@ struct Options {
     bool dense = false;
     std::string rail_policy = "roundrobin";
     std::string recovery = "off"; ///< off | failover | repair+resume
+    std::string in_network = "off"; ///< off | mcast | mcast+reduce
+    std::uint32_t combiner_entries = 0; ///< 0 = backend default
     std::uint32_t threads = 1; ///< flit-engine domains per simulation
     int workers = 0;           ///< 0 = one per processor
     bool force = false;        ///< ignore the cache, re-simulate all
@@ -94,6 +96,8 @@ usage()
         "               [--drop PROB] [--corrupt PROB] [--reliable]\n"
         "               [--rail-policy roundrobin|backlog]\n"
         "               [--recovery off|failover|repair+resume]\n"
+        "               [--in-network off|mcast|mcast+reduce]\n"
+        "               [--combiner-entries N]\n"
         "               [--out FILE] [--cache-dir DIR]\n"
         "Shards the cross product over forked workers; each point's\n"
         "row is cached by config hash in --cache-dir, so re-runs\n"
@@ -154,6 +158,8 @@ sweepConfig(const Options &opt, const Point &pt)
     cfg.dense = opt.dense;
     cfg.rail_policy = opt.rail_policy;
     cfg.recovery = opt.recovery;
+    cfg.in_network = opt.in_network;
+    cfg.combiner_entries = opt.combiner_entries;
     return cfg;
 }
 
@@ -199,6 +205,12 @@ runPoint(const Options &opt, const Point &pt)
         ro.recovery.policy = fault::RecoveryPolicy::Failover;
     else if (opt.recovery == "repair+resume")
         ro.recovery.policy = fault::RecoveryPolicy::RepairResume;
+    if (opt.in_network == "mcast")
+        ro.net.in_network = net::InNetworkMode::Multicast;
+    else if (opt.in_network == "mcast+reduce")
+        ro.net.in_network = net::InNetworkMode::MulticastReduce;
+    if (opt.combiner_entries > 0)
+        ro.net.combiner_entries = opt.combiner_entries;
     runtime::Machine machine(*topo, ro);
 
     const auto t0 = std::chrono::steady_clock::now();
@@ -283,6 +295,18 @@ main(int argc, char **argv)
                 && opt.recovery != "repair+resume")
                 die("--recovery must be off, failover or "
                     "repair+resume");
+        } else if (a == "--in-network") {
+            opt.in_network = next();
+            if (opt.in_network != "off" && opt.in_network != "mcast"
+                && opt.in_network != "mcast+reduce")
+                die("--in-network must be off, mcast or "
+                    "mcast+reduce");
+        } else if (a == "--combiner-entries") {
+            opt.combiner_entries = static_cast<std::uint32_t>(
+                splitNumbers(next(), "--combiner-entries").at(0));
+            if (opt.combiner_entries < 1
+                || opt.combiner_entries > 65536)
+                die("--combiner-entries must be in [1, 65536]");
         } else if (a == "--force") {
             opt.force = true;
         } else if (a == "--out") {
@@ -347,6 +371,12 @@ main(int argc, char **argv)
                         pt.name += "/" + opt.rail_policy;
                     if (opt.recovery != "off")
                         pt.name += "/" + opt.recovery;
+                    if (opt.in_network != "off")
+                        pt.name += "/" + opt.in_network;
+                    if (opt.combiner_entries > 0)
+                        pt.name += "/cb"
+                                   + std::to_string(
+                                       opt.combiner_entries);
                     pt.cache =
                         opt.cache_dir + "/"
                         + hex64(obs::sweepConfigHash(

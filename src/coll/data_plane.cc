@@ -86,10 +86,14 @@ DataPlane::DataPlane(const Schedule &sched)
             expect_reduce_[Key{e.dst, f.flow_id}] += subtreeOf(e.src);
         // Gather phase: every edge carries the reduced chunk (one
         // fixed token per flow); relays and terminals alike receive
-        // exactly one copy per inbound edge.
-        for (const auto &e : f.gather)
-            expect_gather_[Key{e.dst, f.flow_id}] += gatherToken(
-                f.flow_id);
+        // exactly one copy per inbound edge — a multicast edge is
+        // one copy per branch destination.
+        for (const auto &e : f.gather) {
+            for (std::size_t b = 0; b < e.branchCount(); ++b) {
+                expect_gather_[Key{e.branchDst(b), f.flow_id}] +=
+                    gatherToken(f.flow_id);
+            }
+        }
     }
 }
 

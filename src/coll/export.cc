@@ -28,13 +28,18 @@ toDot(const Schedule &sched, int max_flows)
         };
         std::set<int> nodes;
         auto emit = [&](const ScheduledEdge &e, bool dashed) {
-            oss << "    " << node_id(e.src) << " -> "
-                << node_id(e.dst) << " [label=\"" << e.step << "\"";
-            if (dashed)
-                oss << ", style=dashed";
-            oss << "];\n";
-            nodes.insert(e.src);
-            nodes.insert(e.dst);
+            for (std::size_t b = 0; b < e.branchCount(); ++b) {
+                oss << "    " << node_id(e.src) << " -> "
+                    << node_id(e.branchDst(b)) << " [label=\""
+                    << e.step << "\"";
+                if (dashed)
+                    oss << ", style=dashed";
+                if (e.isMulticast())
+                    oss << ", color=blue";
+                oss << "];\n";
+                nodes.insert(e.src);
+                nodes.insert(e.branchDst(b));
+            }
         };
         for (const auto &e : f.gather)
             emit(e, false);
@@ -59,20 +64,26 @@ toCsv(const Schedule &sched, const topo::Topology &topo)
 {
     std::ostringstream oss;
     oss << "phase,flow,src,dst,step,bytes,hops\n";
-    auto hops = [&](const ScheduledEdge &e) {
-        return e.route.empty() ? topo.route(e.src, e.dst).size()
-                               : e.route.size();
+    auto hops = [&](const ScheduledEdge &e, std::size_t b) {
+        const auto &br = e.branchRoute(b);
+        return br.empty() ? topo.route(e.src, e.branchDst(b)).size()
+                          : br.size();
     };
     for (const auto &f : sched.flows) {
         for (const auto &e : f.reduce) {
             oss << "reduce," << f.flow_id << "," << e.src << ","
                 << e.dst << "," << e.step << "," << f.bytes << ","
-                << hops(e) << "\n";
+                << hops(e, 0) << "\n";
         }
         for (const auto &e : f.gather) {
-            oss << "gather," << f.flow_id << "," << e.src << ","
-                << e.dst << "," << e.step << "," << f.bytes << ","
-                << hops(e) << "\n";
+            // One row per delivery branch so multicast fan-out stays
+            // visible in the flat projection.
+            for (std::size_t b = 0; b < e.branchCount(); ++b) {
+                oss << (e.isMulticast() ? "mcast," : "gather,")
+                    << f.flow_id << "," << e.src << ","
+                    << e.branchDst(b) << "," << e.step << ","
+                    << f.bytes << "," << hops(e, b) << "\n";
+            }
         }
     }
     return oss.str();

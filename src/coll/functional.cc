@@ -120,13 +120,17 @@ runFunctional(const Schedule &sched,
                     continue; // nothing to forward yet: schedule bug
                 // All-to-all relays forward the chunk but do not own
                 // the destination's output range; only the terminal
-                // node's buffer is written.
-                if (sched.kind != CollectiveKind::AllToAll
-                    || e.dst == flow.dst) {
-                    std::copy(result.begin(), result.end(),
-                              out[e.dst].begin() + off);
+                // node's buffer is written. A multicast edge lands
+                // the chunk on every branch destination.
+                for (std::size_t b = 0; b < e.branchCount(); ++b) {
+                    const int dst = e.branchDst(b);
+                    if (sched.kind != CollectiveKind::AllToAll
+                        || dst == flow.dst) {
+                        std::copy(result.begin(), result.end(),
+                                  out[dst].begin() + off);
+                    }
+                    has[static_cast<std::size_t>(dst)] = 1;
                 }
-                has[static_cast<std::size_t>(e.dst)] = 1;
             }
             g = j;
         }

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Schedule rewriter collapsing gather-tree fan-out into multicast.
+ *
+ * A MultiTree parent broadcasting a reduced chunk to N children emits
+ * N gather edges; issued as unicasts, the parent's NIC pays N full
+ * serializations back to back, and every interior tree node pays a
+ * full store-and-forward relay — receive the chunk, re-inject it —
+ * per level. Both are exactly the cost classes the profiler blames
+ * for the broadcast-heavy phases. Since a flow carries one chunk,
+ * every gather edge of a (flow, phase) tree moves identical data, so
+ * fuseMulticast() rewrites each whole tree into one edge from its
+ * root with a destination set covering every tree node: the root
+ * injects once and the fabric replicates flits where the per-branch
+ * routes diverge (the in-network multicast of RunOptions::in_network).
+ * Branch routes are the concatenated tree paths, so on a direct
+ * network the replication points are precisely the routers of the
+ * interior tree nodes the relays used to run on.
+ *
+ * All-to-all schedules are personalized — an interior relay must NOT
+ * become a destination — so there only each node's same-(flow, phase)
+ * fan-out is fused, never paths.
+ */
+
+#include <algorithm>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "coll/schedule.hh"
+#include "common/logging.hh"
+#include "topo/topology.hh"
+
+namespace multitree::coll {
+
+namespace {
+
+/** Append @p e's resolved route (explicit, or @p topo's) to @p out. */
+void
+appendRoute(const ScheduledEdge &e, const topo::Topology &topo,
+            std::vector<int> &out)
+{
+    const std::vector<int> resolved =
+        e.route.empty() ? topo.route(e.src, e.dst) : e.route;
+    MT_ASSERT(!resolved.empty(), "no route ", e.src, "->", e.dst,
+              " for multicast branch");
+    out.insert(out.end(), resolved.begin(), resolved.end());
+}
+
+/**
+ * Fuse the members (indices into @p edges) of one tree component
+ * into the first member whose src is the component root. Returns the
+ * lead index; every other member lands in @p drop.
+ */
+std::size_t
+fuseComponent(std::vector<ScheduledEdge> &edges,
+              const std::vector<std::size_t> &members, int root,
+              const std::map<int, std::size_t> &parent_edge,
+              const topo::Topology &topo, std::vector<char> &drop)
+{
+    std::size_t lead_idx = edges.size();
+    for (std::size_t i : members) {
+        if (edges[i].src == root) {
+            lead_idx = i;
+            break;
+        }
+    }
+    MT_ASSERT(lead_idx < edges.size(),
+              "gather tree component without a root edge");
+
+    // Root-to-destination route of each member: the member's own
+    // route appended to its parent chain's, memoized by destination.
+    std::map<int, std::vector<int>> to_dst;
+    auto routeTo = [&](auto &&self, int dst) -> const std::vector<int> & {
+        auto it = to_dst.find(dst);
+        if (it != to_dst.end())
+            return it->second;
+        const ScheduledEdge &e = edges[parent_edge.at(dst)];
+        std::vector<int> full;
+        if (e.src != root)
+            full = self(self, e.src);
+        appendRoute(e, topo, full);
+        return to_dst.emplace(dst, std::move(full)).first->second;
+    };
+
+    ScheduledEdge &lead = edges[lead_idx];
+    // Invariant: dsts[0] == dst, so the lead's own destination leads.
+    lead.dsts.push_back(lead.dst);
+    lead.dst_routes.push_back(routeTo(routeTo, lead.dst));
+    for (std::size_t i : members) {
+        const ScheduledEdge &e = edges[i];
+        lead.step = std::min(lead.step, e.step);
+        if (i == lead_idx)
+            continue;
+        lead.dsts.push_back(e.dst);
+        lead.dst_routes.push_back(routeTo(routeTo, e.dst));
+        drop[i] = 1;
+    }
+    return lead_idx;
+}
+
+} // namespace
+
+int
+fuseMulticast(Schedule &sched, const topo::Topology &topo)
+{
+    // Personalized exchanges fuse fan-out only; chunk-replicating
+    // collectives fuse whole trees (relays become branch stops).
+    const bool whole_tree =
+        sched.kind != CollectiveKind::AllToAll;
+    int fused = 0;
+    for (auto &f : sched.flows) {
+        // Partition this flow's gather edges into per-phase trees.
+        std::map<int, std::vector<std::size_t>> by_phase;
+        for (std::size_t i = 0; i < f.gather.size(); ++i) {
+            MT_ASSERT(!f.gather[i].isMulticast(),
+                      "fuseMulticast applied twice to flow ",
+                      f.flow_id);
+            by_phase[f.gather[i].phase].push_back(i);
+        }
+
+        std::vector<char> drop(f.gather.size(), 0);
+        bool any = false;
+        for (const auto &[phase, idx] : by_phase) {
+            // Child pointers of this phase's forest: a destination's
+            // unique incoming edge. A dst seen twice is not a tree —
+            // leave such a phase alone rather than guess.
+            std::map<int, std::size_t> parent_edge;
+            bool is_forest = true;
+            for (std::size_t i : idx) {
+                if (!parent_edge.emplace(f.gather[i].dst, i).second)
+                    is_forest = false;
+            }
+            // Component root of each edge: walk src up the forest.
+            // Personalized (or non-tree) phases fall back to fusing
+            // each node's immediate fan-out.
+            std::map<std::pair<int, int>, std::vector<std::size_t>>
+                groups;
+            for (std::size_t i : idx) {
+                int root = f.gather[i].src;
+                if (whole_tree && is_forest) {
+                    std::size_t hops = 0;
+                    for (auto it = parent_edge.find(root);
+                         it != parent_edge.end();
+                         it = parent_edge.find(root)) {
+                        root = f.gather[it->second].src;
+                        MT_ASSERT(++hops <= idx.size(),
+                                  "gather edges of flow ", f.flow_id,
+                                  " form a cycle");
+                    }
+                }
+                groups[{root, phase}].push_back(i);
+            }
+            for (const auto &[key, members] : groups) {
+                if (members.size() < 2)
+                    continue;
+                if (whole_tree && is_forest) {
+                    fuseComponent(f.gather, members, key.first,
+                                  parent_edge, topo, drop);
+                } else {
+                    // Immediate fan-out only: every member shares
+                    // the same src (== key.first) by construction.
+                    ScheduledEdge &lead = f.gather[members.front()];
+                    for (std::size_t i : members) {
+                        const ScheduledEdge &e = f.gather[i];
+                        lead.step = std::min(lead.step, e.step);
+                        lead.dsts.push_back(e.dst);
+                        lead.dst_routes.emplace_back();
+                        appendRoute(e, topo,
+                                    lead.dst_routes.back());
+                        if (i != members.front())
+                            drop[i] = 1;
+                    }
+                }
+                any = true;
+                ++fused;
+            }
+        }
+        if (!any)
+            continue;
+        // Compact: keep unicast edges and fused leads, drop the
+        // members absorbed into a lead, preserving original order.
+        std::vector<ScheduledEdge> kept;
+        kept.reserve(f.gather.size());
+        for (std::size_t i = 0; i < f.gather.size(); ++i) {
+            if (!drop[i])
+                kept.push_back(std::move(f.gather[i]));
+        }
+        f.gather = std::move(kept);
+    }
+    return fused;
+}
+
+} // namespace multitree::coll

@@ -87,20 +87,26 @@ Schedule::stats(const topo::Topology &topo) const
     auto account = [&](const ChunkFlow &f, const ScheduledEdge &e) {
         ++s.edge_count;
         auto bytes = static_cast<double>(f.bytes);
-        s.bytes_transferred += bytes;
-        std::size_t hops = e.route.empty()
-                               ? topo.route(e.src, e.dst).size()
-                               : e.route.size();
-        s.byte_hops += bytes * static_cast<double>(hops);
-        const std::vector<int> &route =
-            e.route.empty() ? topo.route(e.src, e.dst) : e.route;
-        for (int cid : route) {
-            auto key = std::make_pair(
-                cid, static_cast<std::uint64_t>(e.step));
-            int n = ++channel_step_flows[key];
-            s.max_channel_flows = std::max(s.max_channel_flows, n);
-            channel_bytes[static_cast<std::size_t>(cid)] += bytes;
+        // Multicast edges count each delivery branch: the payload
+        // still reaches every destination, the saving is in channel
+        // sharing (accounted below) and injection serialization.
+        for (std::size_t b = 0; b < e.branchCount(); ++b) {
+            if (b > 0)
+                s.bytes_transferred += bytes;
+            const std::vector<int> &br = e.branchRoute(b);
+            const std::vector<int> &route =
+                br.empty() ? topo.route(e.src, e.branchDst(b)) : br;
+            s.byte_hops += bytes * static_cast<double>(route.size());
+            for (int cid : route) {
+                auto key = std::make_pair(
+                    cid, static_cast<std::uint64_t>(e.step));
+                int n = ++channel_step_flows[key];
+                s.max_channel_flows =
+                    std::max(s.max_channel_flows, n);
+                channel_bytes[static_cast<std::size_t>(cid)] += bytes;
+            }
         }
+        s.bytes_transferred += bytes;
     };
     for (const auto &f : flows) {
         for (const auto &e : f.reduce)

@@ -53,15 +53,50 @@ const char *kindName(CollectiveKind kind);
  * When @ref route is empty the transfer follows the topology's
  * deterministic routing; MultiTree fills it with the explicitly
  * allocated channel path (source routing, §IV-B).
+ *
+ * A *multicast* edge (produced by fuseMulticast()) carries the same
+ * chunk to several destinations with one injection: @ref dsts lists
+ * every receiver (with @ref dst == dsts[0] kept as the primary so
+ * single-destination consumers stay correct) and @ref dst_routes
+ * holds one explicit route per destination, index-aligned with
+ * dsts. The fabric replicates flits where those routes diverge.
  */
 struct ScheduledEdge {
     int src = -1;           ///< sending node
-    int dst = -1;           ///< receiving node
+    int dst = -1;           ///< receiving node (primary for multicast)
     int step = 0;           ///< 1-based logical time step
     std::vector<int> route; ///< explicit channel path (may be empty)
     /** Schedule phase this edge belongs to (index into the owning
      *  Schedule's phase_names; 0 for single-phase schedules). */
     int phase = 0;
+
+    /** Multicast fan-out set; empty for plain unicast edges. When
+     *  non-empty, dsts[0] == dst and dst_routes is aligned with it. */
+    std::vector<int> dsts;
+    /** Per-destination explicit routes (never empty entries) for a
+     *  multicast edge; aligned with @ref dsts. */
+    std::vector<std::vector<int>> dst_routes;
+
+    /** Whether this edge fans out to more than one destination. */
+    bool isMulticast() const { return dsts.size() > 1; }
+
+    /** Number of delivery branches (1 for unicast). */
+    std::size_t branchCount() const
+    {
+        return isMulticast() ? dsts.size() : 1;
+    }
+
+    /** Destination of branch @p i (unicast: only branch 0). */
+    int branchDst(std::size_t i) const
+    {
+        return isMulticast() ? dsts[i] : dst;
+    }
+
+    /** Route of branch @p i (may be empty only for unicast). */
+    const std::vector<int> &branchRoute(std::size_t i) const
+    {
+        return isMulticast() ? dst_routes[i] : route;
+    }
 };
 
 /**
@@ -169,6 +204,21 @@ class Schedule
     /** Sanity-check flow ids are dense and fractions sum to ~1. */
     void checkBasicShape() const;
 };
+
+/**
+ * Collapse each (flow, phase) gather tree into one multicast edge
+ * from its root, issued at the tree's earliest step: one injection
+ * serves every tree node, with the fabric replicating flits where
+ * the concatenated per-branch routes diverge (the in-network
+ * multicast of RunOptions::in_network) — interior relays become
+ * branch stops instead of store-and-forward NIC hops. All-to-all
+ * schedules are personalized, so there only each node's immediate
+ * same-(flow, phase) fan-out is fused. Edges whose routes were
+ * implicit are resolved against @p topo so every branch carries an
+ * explicit path. Returns the number of fused edges; a phase whose
+ * component has a single edge is returned unchanged.
+ */
+int fuseMulticast(Schedule &sched, const topo::Topology &topo);
 
 } // namespace multitree::coll
 

@@ -29,17 +29,18 @@ fail(Args &&...args)
  * or crash the simulated NI).
  */
 ValidationResult
-checkRoute(const ChunkFlow &f, const ScheduledEdge &e,
-           const topo::Topology &topo)
+checkOneRoute(const ChunkFlow &f, int src, int dst,
+              const std::vector<int> &route,
+              const topo::Topology &topo)
 {
-    if (e.route.empty()) {
-        if (!topo.tryBfsRoute(e.src, e.dst))
-            return fail("flow ", f.flow_id, ": edge ", e.src, "->",
-                        e.dst, " has no path in the topology");
+    if (route.empty()) {
+        if (!topo.tryBfsRoute(src, dst))
+            return fail("flow ", f.flow_id, ": edge ", src, "->",
+                        dst, " has no path in the topology");
         return {};
     }
-    int cur = e.src;
-    for (int cid : e.route) {
+    int cur = src;
+    for (int cid : route) {
         if (cid < 0 || cid >= topo.numChannels())
             return fail("flow ", f.flow_id, ": bad channel id ", cid);
         const auto &ch = topo.channel(cid);
@@ -48,9 +49,48 @@ checkRoute(const ChunkFlow &f, const ScheduledEdge &e,
                         ": route discontinuity at vertex ", cur);
         cur = ch.dst;
     }
-    if (cur != e.dst)
+    if (cur != dst)
         return fail("flow ", f.flow_id, ": route ends at vertex ",
-                    cur, " not ", e.dst);
+                    cur, " not ", dst);
+    return {};
+}
+
+/**
+ * Check an edge is realizable on the topology: an explicit route must
+ * connect the edge's endpoints channel by channel, and an edge that
+ * relies on deterministic routing must at least have *some* path (a
+ * schedule naming transfers between disconnected vertices would hang
+ * or crash the simulated NI). Multicast edges are checked branch by
+ * branch, plus their structural alignment invariants.
+ */
+ValidationResult
+checkRoute(const ChunkFlow &f, const ScheduledEdge &e,
+           const topo::Topology &topo)
+{
+    if (!e.isMulticast())
+        return checkOneRoute(f, e.src, e.dst, e.route, topo);
+    if (e.dsts.size() != e.dst_routes.size())
+        return fail("flow ", f.flow_id, ": multicast edge from ",
+                    e.src, " has ", e.dsts.size(), " dsts but ",
+                    e.dst_routes.size(), " routes");
+    if (e.dsts.front() != e.dst)
+        return fail("flow ", f.flow_id, ": multicast primary dst ",
+                    e.dst, " is not dsts[0]=", e.dsts.front());
+    std::set<int> seen;
+    for (std::size_t b = 0; b < e.dsts.size(); ++b) {
+        if (!seen.insert(e.dsts[b]).second)
+            return fail("flow ", f.flow_id,
+                        ": multicast edge from ", e.src,
+                        " names dst ", e.dsts[b], " twice");
+        if (e.dst_routes[b].empty())
+            return fail("flow ", f.flow_id,
+                        ": multicast branch to ", e.dsts[b],
+                        " lacks an explicit route");
+        if (auto r = checkOneRoute(f, e.src, e.dsts[b],
+                                   e.dst_routes[b], topo);
+            !r.ok)
+            return r;
+    }
     return {};
 }
 
@@ -165,13 +205,19 @@ validateFlow(const ChunkFlow &f, int n, const topo::Topology &topo,
     // --- invariant 2: gather out-tree ---
     std::vector<int> recv_step(static_cast<std::size_t>(n), -1);
     for (const auto &e : f.gather) {
-        if (e.src < 0 || e.src >= n || e.dst < 0 || e.dst >= n)
+        if (e.src < 0 || e.src >= n)
             return fail("flow ", f.flow_id,
                         ": gather edge outside node range");
-        if (recv_step[e.dst] != -1)
-            return fail("flow ", f.flow_id, ": node ", e.dst,
-                        " receives gather twice");
-        recv_step[e.dst] = e.step;
+        for (std::size_t b = 0; b < e.branchCount(); ++b) {
+            const int dst = e.branchDst(b);
+            if (dst < 0 || dst >= n)
+                return fail("flow ", f.flow_id,
+                            ": gather edge outside node range");
+            if (recv_step[dst] != -1)
+                return fail("flow ", f.flow_id, ": node ", dst,
+                            " receives gather twice");
+            recv_step[dst] = e.step;
+        }
     }
     if (recv_step[f.root] != -1)
         return fail("flow ", f.flow_id, ": root receives own gather");
@@ -255,22 +301,30 @@ validateContentionFree(const Schedule &sched, const topo::Topology &topo)
         claims;
     auto visit = [&](const ChunkFlow &f,
                      const ScheduledEdge &e) -> ValidationResult {
-        const std::vector<int> route =
-            e.route.empty() ? topo.route(e.src, e.dst) : e.route;
-        for (int cid : route) {
-            auto key = std::make_pair(cid, e.step);
-            auto val = std::make_pair(f.flow_id,
-                                      std::make_pair(e.src, e.dst));
-            auto [it, inserted] = claims.emplace(key, val);
-            // A second claim is contention whenever the transfers
-            // have different endpoints — same-flow edges included
-            // (two edges of one flow colliding on a channel is just
-            // as physical). Identical endpoints aggregate safely.
-            if (!inserted && it->second.second != val.second) {
-                return fail("channel ", cid, " claimed at step ",
-                            e.step, " by flows ", it->second.first,
-                            " and ", f.flow_id,
-                            " with different endpoints");
+        // Multicast branches claim with the edge's *primary*
+        // endpoints: sibling branches share their route prefix by
+        // construction (one flit stream until the replication point),
+        // so a shared channel is one physical transfer, not a clash.
+        auto val = std::make_pair(f.flow_id,
+                                  std::make_pair(e.src, e.dst));
+        for (std::size_t b = 0; b < e.branchCount(); ++b) {
+            const std::vector<int> &br = e.branchRoute(b);
+            const std::vector<int> route =
+                br.empty() ? topo.route(e.src, e.branchDst(b)) : br;
+            for (int cid : route) {
+                auto key = std::make_pair(cid, e.step);
+                auto [it, inserted] = claims.emplace(key, val);
+                // A second claim is contention whenever the
+                // transfers have different endpoints — same-flow
+                // edges included (two edges of one flow colliding on
+                // a channel is just as physical). Identical
+                // endpoints aggregate safely.
+                if (!inserted && it->second.second != val.second) {
+                    return fail("channel ", cid, " claimed at step ",
+                                e.step, " by flows ",
+                                it->second.first, " and ", f.flow_id,
+                                " with different endpoints");
+                }
             }
         }
         return {};

@@ -29,23 +29,33 @@ struct EnergyModel {
     double pj_buffer_per_flit = 1.2; ///< write+read of a VC buffer
     double pj_route_arb_per_head = 1.6; ///< route compute + VC/SW
                                         ///< arbitration per head hop
+    /** Switch-resident combining: one ALU pass over one flit of a
+     *  held contribution (in-network reduction; DESIGN.md §12). */
+    double pj_switch_alu_per_flit = 0.8;
 };
 
 /** Energy of one simulated run, from transport hop counters. */
 struct EnergyBreakdown {
     double datapath_nj = 0; ///< link + buffer energy (nJ)
     double control_nj = 0;  ///< head routing/arbitration energy (nJ)
+    double switch_alu_nj = 0; ///< in-network combining ALU energy (nJ)
 
-    double total_nj() const { return datapath_nj + control_nj; }
+    double total_nj() const
+    {
+        return datapath_nj + control_nj + switch_alu_nj;
+    }
 };
 
 /**
- * Charge @p flit_hops total flit-hops (payload + heads) and
- * @p head_hops head-flit hops under @p model.
+ * Charge @p flit_hops total flit-hops (payload + heads), @p head_hops
+ * head-flit hops, and @p alu_flits switch-ALU combining passes (the
+ * transport's "combiner_alu_flits" counter; 0 when in-network
+ * reduction is off, preserving every legacy call site) under
+ * @p model.
  */
 inline EnergyBreakdown
 computeEnergy(double flit_hops, double head_hops,
-              const EnergyModel &model = {})
+              double alu_flits = 0, const EnergyModel &model = {})
 {
     EnergyBreakdown e;
     e.datapath_nj = flit_hops
@@ -53,6 +63,7 @@ computeEnergy(double flit_hops, double head_hops,
                        + model.pj_buffer_per_flit)
                     * 1e-3;
     e.control_nj = head_hops * model.pj_route_arb_per_head * 1e-3;
+    e.switch_alu_nj = alu_flits * model.pj_switch_alu_per_flit * 1e-3;
     return e;
 }
 

@@ -42,7 +42,7 @@ threadsRequested(std::uint32_t cfg_threads)
 
 FlitNetwork::FlitNetwork(sim::EventQueue &eq,
                          const topo::Topology &topo, NetworkConfig cfg)
-    : Network(eq, cfg), topo_(topo),
+    : Network(eq, topo, cfg),
       wrap_channel_(static_cast<std::size_t>(topo.numChannels()), 0),
       channel_flits_(static_cast<std::size_t>(topo.numChannels()), 0),
       chan_in_idx_(static_cast<std::size_t>(topo.numChannels()), -1),
@@ -85,11 +85,17 @@ FlitNetwork::FlitNetwork(sim::EventQueue &eq,
         // Injection units: the paper assumes NI bandwidth matches the
         // router's aggregate link bandwidth on direct networks, so a
         // node gets one injection port per output channel (switches
-        // get one idle unit for uniformity).
-        int n_inj = topo.isNode(v)
-                        ? std::max<std::size_t>(
-                              1, topo.outChannels(v).size())
-                        : 1;
+        // get one idle unit for uniformity). With in-network support
+        // on, switches replicate by re-injecting segments toward
+        // several outputs at once, so they get per-output units too;
+        // with it off, the extra units must not exist so arbitration
+        // stays structurally identical to a build without them.
+        const bool wide_inj =
+            topo.isNode(v)
+            || cfg_.in_network != InNetworkMode::Off;
+        int n_inj = wide_inj ? std::max<std::size_t>(
+                        1, topo.outChannels(v).size())
+                             : 1;
         r.first_injection = static_cast<int>(r.inputs.size());
         for (int k = 0; k < n_inj; ++k) {
             InputUnit inj;
@@ -824,6 +830,7 @@ FlitNetwork::flushProfile()
                                r.n_channel_vcs);
         prof_->ingestRouter(static_cast<int>(v), rp);
     }
+    flushCombinerProfile();
 }
 
 void

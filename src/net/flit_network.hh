@@ -382,7 +382,6 @@ class FlitNetwork : public Network
     /** Return a drained packet to the free pool. */
     void freePacket(Packet *pkt);
 
-    const topo::Topology &topo_;
     std::vector<Router> routers_;
     std::vector<char> wrap_channel_; ///< torus dateline channels
     std::vector<std::uint64_t> channel_flits_;

@@ -12,7 +12,7 @@ namespace multitree::net {
 
 FlowNetwork::FlowNetwork(sim::EventQueue &eq,
                          const topo::Topology &topo, NetworkConfig cfg)
-    : Network(eq, cfg), topo_(topo),
+    : Network(eq, topo, cfg),
       free_at_(static_cast<std::size_t>(topo.numChannels()), 0),
       busy_time_(static_cast<std::size_t>(topo.numChannels()), 0),
       queue_cycles_(static_cast<std::size_t>(topo.numChannels()), 0),
@@ -48,6 +48,7 @@ FlowNetwork::flushProfile()
     }
     // No per-router arbitration exists at flow level; router
     // congestion in the heatmap derives from the channel loads.
+    flushCombinerProfile();
 }
 
 void

@@ -61,7 +61,6 @@ class FlowNetwork : public Network
     void injectImpl(Message msg) override;
 
   private:
-    const topo::Topology &topo_;
     /** Tick at which each channel becomes free. */
     std::vector<Tick> free_at_;
     /** Cumulative busy time per channel. */

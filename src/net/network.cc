@@ -8,6 +8,7 @@
 #include "net/flow_network.hh"
 #include "obs/profile.hh"
 #include "sim/event_queue.hh"
+#include "topo/topology.hh"
 
 namespace multitree::net {
 
@@ -31,9 +32,26 @@ Network::emitMsgEvent(obs::EventKind kind, const Message &msg,
     sink_->onEvent(ev);
 }
 
+const char *
+inNetworkModeName(InNetworkMode mode)
+{
+    switch (mode) {
+      case InNetworkMode::Off:             return "off";
+      case InNetworkMode::Multicast:       return "mcast";
+      case InNetworkMode::MulticastReduce: return "mcast+reduce";
+    }
+    return "?";
+}
+
 void
 Network::inject(Message msg)
 {
+    if (!msg.mcast_dsts.empty()) {
+        MT_ASSERT(cfg_.in_network != InNetworkMode::Off,
+                  "multicast injection with in-network support off");
+        injectMulticast(std::move(msg));
+        return;
+    }
     ++injected_;
     if (sink_ != nullptr)
         emitMsgEvent(obs::EventKind::MsgInject, msg);
@@ -77,6 +95,20 @@ Network::inject(Message msg)
                         static_cast<int>(msg.route.size()),
                         wb.total_flits, msg.phase, eq_.now());
     }
+    // Switch-resident reduction: an annotated, healthy contribution
+    // detours through the combining buffer at its combine vertex. A
+    // corrupted copy skips the combiner — it must reach the parent
+    // NIC individually so checksum discard and retransmission keep
+    // their exact unicast semantics. A route whose final hop no
+    // longer leaves the annotated vertex (self-healing repair) has
+    // left its siblings' convergence point and degrades to unicast.
+    if (msg.combine_at >= 0
+        && cfg_.in_network == InNetworkMode::MulticastReduce
+        && !msg.corrupted && msg.route.size() >= 2
+        && topo_.channel(msg.route.back()).src == msg.combine_at) {
+        injectCombining(std::move(msg));
+        return;
+    }
     injectImpl(std::move(msg));
 }
 
@@ -95,11 +127,34 @@ Network::reset()
     in_flight_msgs_.clear();
     delivered_ids_.clear();
     backlog_.clear();
+    MT_ASSERT(mcast_groups_.empty() && mcast_segments_.empty()
+                  && combine_legs_.empty() && combined_out_.empty()
+                  && combine_groups_.empty(),
+              "network reset with in-network state still live");
+    combine_open_.clear();
+    combine_done_.clear();
+    combine_fallback_.clear();
+    combiner_.clear();
+    next_internal_id_ = 0;
 }
 
 void
 Network::deliverMsg(const Message &msg)
 {
+    // Internal transport legs never reach the sink directly: a
+    // replication-tree segment re-injects (or finishes) its branches
+    // and a combining leg feeds the switch ALU model.
+    if (msg.mcast_segment != 0) {
+        onSegmentArrival(msg);
+        return;
+    }
+    if (msg.combine_token != 0) {
+        if (combine_legs_.count(msg.combine_token) != 0)
+            onCombineArrival(msg);
+        else
+            onCombinedArrival(msg);
+        return;
+    }
     MT_ASSERT(deliver_, "no delivery sink registered");
     if (msg.fault_delay > 0) {
         // Degraded links charge their extra latency end to end: the
@@ -133,6 +188,400 @@ Network::deliverMsg(const Message &msg)
     if (sink_ != nullptr)
         emitMsgEvent(obs::EventKind::MsgDeliver, msg);
     deliver_(msg);
+}
+
+void
+Network::injectMulticast(Message msg)
+{
+    MT_ASSERT(msg.mcast_dsts.size() >= 2
+                  && msg.mcast_dsts.size() == msg.mcast_routes.size(),
+              "malformed multicast injection from node ", msg.src);
+    MT_ASSERT(msg.dst == msg.mcast_dsts.front(),
+              "multicast primary dst mismatch");
+    const std::uint64_t gid = ++next_internal_id_;
+    McastGroup group;
+    group.branches.reserve(msg.mcast_dsts.size());
+    // Every branch is accounted exactly like the unicast it replaces
+    // — its own injection count, fault ruling, census record, backlog
+    // charge and profiler record — so quiescence, suspect ranking and
+    // the reliability layer's census evidence are unchanged. Only the
+    // wire work is shared.
+    for (std::size_t b = 0; b < msg.mcast_dsts.size(); ++b) {
+        Message br = msg;
+        br.mcast_dsts.clear();
+        br.mcast_routes.clear();
+        br.combine_at = -1;
+        br.combine_peers = 0;
+        br.dst = msg.mcast_dsts[b];
+        br.route = msg.mcast_routes[b];
+        MT_ASSERT(!br.route.empty(),
+                  "multicast branch without an explicit route");
+        ++injected_;
+        if (sink_ != nullptr)
+            emitMsgEvent(obs::EventKind::MsgInject, br);
+        if (fault_ != nullptr) {
+            const FaultFate fate = fault_->onInject(br, eq_.now());
+            if (fate.drop) {
+                ++dropped_;
+                ++drops_by_src_[br.src];
+                stats_.inc("dropped_messages");
+                if (sink_ != nullptr)
+                    emitMsgEvent(obs::EventKind::MsgDrop, br);
+                continue;
+            }
+            if (fate.corrupt) {
+                br.corrupted = true;
+                ++corruptions_by_src_[br.src];
+                stats_.inc("corrupted_messages");
+                if (sink_ != nullptr)
+                    emitMsgEvent(obs::EventKind::MsgCorrupt, br);
+            }
+            br.fault_delay = fate.extra_latency;
+            if (fate.extra_latency > 0)
+                stats_.inc("degraded_messages");
+        }
+        br.track_id = ++next_track_id_;
+        in_flight_msgs_.emplace(br.track_id,
+                                InFlightRecord{br, eq_.now()});
+        for (int cid : br.route) {
+            const auto c = static_cast<std::size_t>(cid);
+            if (c >= backlog_.size())
+                backlog_.resize(c + 1, 0);
+            backlog_[c] += br.bytes;
+        }
+        if (prof_ != nullptr) {
+            const auto wb =
+                wireBreakdown(br.bytes, cfg_.mode, cfg_);
+            prof_->onInject(br.track_id, br.src, br.dst, br.flow_id,
+                            br.tag, br.bytes,
+                            static_cast<int>(br.route.size()),
+                            wb.total_flits, br.phase, eq_.now());
+            prof_->onMcastRole(br.track_id, obs::McastRole::Branch);
+        }
+        group.branches.push_back(McastBranch{std::move(br), 0});
+    }
+    if (group.branches.empty())
+        return; // every branch dropped at injection
+    group.remaining = group.branches.size();
+    stats_.inc("mcast_injections");
+    auto [it, inserted] = mcast_groups_.emplace(gid, std::move(group));
+    std::vector<std::size_t> all(it->second.branches.size());
+    for (std::size_t i = 0; i < all.size(); ++i)
+        all[i] = i;
+    launchSegments(gid, all, 0);
+}
+
+void
+Network::launchSegments(std::uint64_t gid,
+                        const std::vector<std::size_t> &idx,
+                        Tick offset)
+{
+    auto &g = mcast_groups_.at(gid);
+    // Partition the branches standing at this vertex by their next
+    // channel: each partition shares one copy of the flit stream
+    // until its routes diverge again.
+    std::map<int, std::vector<std::size_t>> by_next;
+    for (std::size_t i : idx) {
+        const auto &br = g.branches[i];
+        by_next[br.msg.route[br.hops_done]].push_back(i);
+    }
+    for (const auto &[next_cid, members] : by_next) {
+        const auto &first = g.branches[members.front()];
+        std::size_t prefix =
+            first.msg.route.size() - first.hops_done;
+        for (std::size_t i : members) {
+            const auto &br = g.branches[i];
+            const std::size_t len =
+                br.msg.route.size() - br.hops_done;
+            std::size_t common = 0;
+            while (common < prefix && common < len
+                   && br.msg.route[br.hops_done + common]
+                          == first.msg.route[first.hops_done
+                                             + common]) {
+                ++common;
+            }
+            prefix = common;
+        }
+        MT_ASSERT(prefix >= 1, "empty multicast segment");
+
+        const std::uint64_t sid = ++next_internal_id_;
+        Message seg;
+        seg.bytes = first.msg.bytes;
+        seg.flow_id = first.msg.flow_id;
+        seg.tag = first.msg.tag;
+        seg.phase = first.msg.phase;
+        seg.seq = first.msg.seq;
+        seg.attempt = first.msg.attempt;
+        seg.src = first.hops_done == 0
+                      ? first.msg.src
+                      : topo_.channel(first.msg.route[first.hops_done
+                                                      - 1])
+                            .dst;
+        seg.route.assign(first.msg.route.begin()
+                             + static_cast<std::ptrdiff_t>(
+                                 first.hops_done),
+                         first.msg.route.begin()
+                             + static_cast<std::ptrdiff_t>(
+                                 first.hops_done + prefix));
+        seg.dst = topo_.channel(seg.route.back()).dst;
+        seg.mcast_segment = sid;
+        // A single-branch segment is the branch's terminal wire leg:
+        // it carries the branch's registered track id so the
+        // profiler's flit milestones (injection start at the last
+        // replication point, head arrival at the destination) land on
+        // the branch record. Shared segments use fresh ids the
+        // profiler never registered, so their milestones no-op.
+        seg.track_id = members.size() == 1
+                           ? g.branches[members.front()].msg.track_id
+                           : ++next_track_id_;
+        stats_.inc("mcast_segments");
+
+        // Advance every member past this segment; the ones whose
+        // route ends at its tail are delivered by its arrival, the
+        // rest continue in the deeper segments pre-launched below.
+        std::vector<std::size_t> terminal;
+        std::vector<std::size_t> cont;
+        for (std::size_t i : members) {
+            auto &br = g.branches[i];
+            br.hops_done += prefix;
+            MT_ASSERT(br.hops_done <= br.msg.route.size(),
+                      "multicast branch overshot its route");
+            if (br.hops_done == br.msg.route.size())
+                terminal.push_back(i);
+            else
+                cont.push_back(i);
+        }
+        ++g.segments_open;
+        mcast_segments_.emplace(sid,
+                                McastSegment{gid, terminal});
+        if (offset == 0) {
+            injectImpl(std::move(seg));
+        } else {
+            eq_.scheduleAfter(offset,
+                              [this, seg = std::move(seg)]() mutable {
+                                  injectImpl(std::move(seg));
+                              });
+        }
+        // Cut-through replication: the downstream segment starts one
+        // upstream head latency later, overlapping serialization.
+        if (!cont.empty()) {
+            const Tick head =
+                static_cast<Tick>(prefix)
+                * (cfg_.link_latency + cfg_.router_pipeline);
+            launchSegments(gid, cont, offset + head);
+        }
+    }
+}
+
+void
+Network::onSegmentArrival(const Message &msg)
+{
+    auto it = mcast_segments_.find(msg.mcast_segment);
+    MT_ASSERT(it != mcast_segments_.end(),
+              "unknown multicast segment ", msg.mcast_segment);
+    const McastSegment seg = std::move(it->second);
+    mcast_segments_.erase(it);
+    auto git = mcast_groups_.find(seg.group);
+    MT_ASSERT(git != mcast_groups_.end(), "orphan multicast segment");
+    auto &g = git->second;
+    MT_ASSERT(g.segments_open > 0, "segment count underflow");
+    --g.segments_open;
+    for (std::size_t i : seg.branch_idx) {
+        Message fin = std::move(g.branches[i].msg);
+        --g.remaining;
+        deliverMsg(fin);
+    }
+    if (g.remaining == 0 && g.segments_open == 0)
+        mcast_groups_.erase(git);
+}
+
+void
+Network::injectCombining(Message msg)
+{
+    MT_ASSERT(topo_.channel(msg.route.back()).src == msg.combine_at,
+              "combine vertex ", msg.combine_at,
+              " is not the source of the route's final channel");
+    MT_ASSERT(msg.combine_peers >= 2,
+              "combining annotation without siblings");
+    if (prof_ != nullptr)
+        prof_->onMcastRole(msg.track_id, obs::McastRole::Combine);
+    const std::uint64_t token = ++next_internal_id_;
+    Message leg = msg;
+    leg.route.assign(msg.route.begin(), msg.route.end() - 1);
+    leg.dst = msg.combine_at;
+    leg.combine_token = token;
+    leg.fault_delay = 0; // charged at the constituent's delivery
+    combine_legs_.emplace(token, std::move(msg));
+    injectImpl(std::move(leg));
+}
+
+void
+Network::onCombineArrival(const Message &msg)
+{
+    auto it = combine_legs_.find(msg.combine_token);
+    MT_ASSERT(it != combine_legs_.end(), "unknown combining leg");
+    Message orig = std::move(it->second);
+    combine_legs_.erase(it);
+
+    const int v = orig.combine_at;
+    const CombineKey key{v, orig.dst, orig.flow_id};
+    auto &cs = combiner_[v];
+    // Completed or fallen-back keys forward individually forever:
+    // stragglers and retransmits must reach the parent NIC, whose
+    // duplicate filter re-acks them.
+    if (combine_done_.count(key) != 0
+        || combine_fallback_.count(key) != 0) {
+        forwardIndividually(std::move(orig));
+        return;
+    }
+    auto git = combine_groups_.find(key);
+    if (git == combine_groups_.end()) {
+        auto &open = combine_open_[v];
+        if (open >= cfg_.combiner_entries) {
+            // Capacity exhausted: the fallback is latched at the
+            // group-creation attempt, so the choice is a pure
+            // function of arrival order — deterministic across
+            // schedulers and thread counts.
+            combine_fallback_.insert(key);
+            ++cs.fallbacks;
+            stats_.inc("combiner_fallbacks");
+            forwardIndividually(std::move(orig));
+            return;
+        }
+        ++open;
+        cs.open_now = open;
+        cs.peak_open = std::max(cs.peak_open, open);
+        ++cs.groups_opened;
+        git = combine_groups_.emplace(key, CombineGroup{}).first;
+        git->second.peers = orig.combine_peers;
+        git->second.last_channel = orig.route.back();
+    }
+    auto &grp = git->second;
+    if (!grp.srcs.insert(orig.src).second) {
+        // A retransmitted copy of an already-absorbed contribution:
+        // its sibling may be lost for good, so holding the group any
+        // longer risks wedging the fabric. Dissolve — forward every
+        // absorbed contribution (and this copy) individually and
+        // latch the key to unicast.
+        ++cs.dissolved;
+        stats_.inc("combiner_dissolved");
+        combine_fallback_.insert(key);
+        std::vector<Message> held = std::move(grp.held);
+        combine_groups_.erase(git);
+        auto &open = combine_open_[v];
+        MT_ASSERT(open > 0, "combiner occupancy underflow");
+        --open;
+        cs.open_now = open;
+        for (auto &h : held)
+            forwardIndividually(std::move(h));
+        forwardIndividually(std::move(orig));
+        return;
+    }
+    ++cs.absorbed;
+    stats_.inc("combiner_absorbed");
+    grp.held.push_back(std::move(orig));
+    if (grp.srcs.size() < grp.peers)
+        return; // keep holding for the remaining siblings
+    // Group complete: one ALU pass, then a single combined stream
+    // over the final hop carries every constituent to the parent.
+    CombineGroup done = std::move(grp);
+    combine_groups_.erase(git);
+    auto &open = combine_open_[v];
+    MT_ASSERT(open > 0, "combiner occupancy underflow");
+    --open;
+    cs.open_now = open;
+    ++cs.combined;
+    combine_done_.insert(key);
+    stats_.inc("combiner_groups");
+    stats_.inc("combiner_alu_flits",
+               static_cast<double>(
+                   static_cast<std::uint64_t>(done.held.size())
+                   * bytesToFlits(done.held.front().bytes)));
+    const std::uint64_t token = ++next_internal_id_;
+    Message out;
+    out.src = v;
+    out.dst = done.held.front().dst;
+    out.bytes = done.held.front().bytes;
+    out.route.assign(1, done.last_channel);
+    out.flow_id = done.held.front().flow_id;
+    out.tag = done.held.front().tag;
+    out.phase = done.held.front().phase;
+    out.combine_token = token;
+    out.track_id = ++next_track_id_; // unregistered: internal leg
+    combined_out_.emplace(token, std::move(done.held));
+    eq_.scheduleAfter(cfg_.combiner_latency,
+                      [this, out = std::move(out)]() mutable {
+                          injectImpl(std::move(out));
+                      });
+}
+
+void
+Network::forwardIndividually(Message msg)
+{
+    const std::uint64_t token = ++next_internal_id_;
+    Message leg;
+    leg.src = msg.combine_at;
+    leg.dst = msg.dst;
+    leg.bytes = msg.bytes;
+    leg.route.assign(1, msg.route.back());
+    leg.flow_id = msg.flow_id;
+    leg.tag = msg.tag;
+    leg.phase = msg.phase;
+    leg.seq = msg.seq;
+    leg.attempt = msg.attempt;
+    leg.combine_token = token;
+    leg.track_id = ++next_track_id_; // unregistered: internal leg
+    combined_out_.emplace(token,
+                          std::vector<Message>{std::move(msg)});
+    injectImpl(std::move(leg));
+}
+
+void
+Network::onCombinedArrival(const Message &msg)
+{
+    auto it = combined_out_.find(msg.combine_token);
+    MT_ASSERT(it != combined_out_.end(), "unknown combined leg");
+    std::vector<Message> held = std::move(it->second);
+    combined_out_.erase(it);
+    // One wire arrival fans out into a full per-constituent delivery
+    // — same tick, original message fields — so the NI engine, the
+    // reliability layer and the data-plane oracle see exactly the
+    // unicast receive contract.
+    for (auto &orig : held) {
+        orig.combine_at = -1;
+        orig.combine_peers = 0;
+        deliverMsg(orig);
+    }
+}
+
+std::uint64_t
+Network::combinerOpenCount() const
+{
+    std::uint64_t total = 0;
+    for (const auto &[v, n] : combine_open_)
+        total += n;
+    return total;
+}
+
+std::uint64_t
+Network::combinerFallbacks() const
+{
+    std::uint64_t total = 0;
+    for (const auto &[v, cs] : combiner_)
+        total += cs.fallbacks;
+    return total;
+}
+
+void
+Network::flushCombinerProfile()
+{
+    if (prof_ == nullptr)
+        return;
+    for (const auto &[v, cs] : combiner_) {
+        prof_->noteCombiner(v, cs.groups_opened, cs.combined,
+                            cs.absorbed, cs.fallbacks, cs.dissolved,
+                            cs.peak_open);
+    }
 }
 
 bool

@@ -74,6 +74,35 @@ struct Message {
     /** Schedule phase the message belongs to (attribution; acks and
      *  retransmissions inherit their data message's phase). */
     int phase = 0;
+
+    /**
+     * In-network multicast fan-out: every destination of a fused
+     * gather edge (dst == mcast_dsts[0]); empty for unicast. One
+     * injection serves all of them, the fabric replicating where the
+     * per-branch routes (mcast_routes, aligned with mcast_dsts)
+     * diverge. Only meaningful with NetworkConfig::in_network on.
+     */
+    std::vector<int> mcast_dsts;
+    /** Per-destination explicit routes for a multicast injection. */
+    std::vector<std::vector<int>> mcast_routes;
+
+    /**
+     * Switch-resident reduction: vertex at which this reduce-tree
+     * contribution may combine with its siblings before the last hop
+     * into the parent (-1 = no combining). Annotated by the NI from
+     * the schedule tables under InNetworkMode::MulticastReduce.
+     */
+    int combine_at = -1;
+    /** Sibling contributions meeting at combine_at (incl. this). */
+    std::uint32_t combine_peers = 0;
+
+    /**
+     * Internal transport bookkeeping for in-network replication and
+     * combining (segment / pending-combine ids). Always 0 on the NI
+     * interface; never set by callers.
+     */
+    std::uint64_t mcast_segment = 0;
+    std::uint64_t combine_token = 0;
 };
 
 /**
@@ -105,6 +134,22 @@ class FaultInterposer
 
 /** Delivery callback: invoked at the arrival tick of the tail flit. */
 using DeliverFn = std::function<void(const Message &)>;
+
+/**
+ * In-network collective support level (DESIGN.md §12). Off keeps the
+ * fabric tick-identical to a build without the feature; Multicast
+ * replicates fused gather edges at route-divergence switches;
+ * MulticastReduce additionally combines reduce-tree contributions in
+ * switch-resident combining buffers.
+ */
+enum class InNetworkMode {
+    Off,
+    Multicast,
+    MulticastReduce,
+};
+
+/** Human-readable in-network mode name (mtsim flag spelling). */
+const char *inNetworkModeName(InNetworkMode mode);
 
 /** Parameters shared by both backends (Table III defaults). */
 struct NetworkConfig {
@@ -141,6 +186,17 @@ struct NetworkConfig {
      * by the flow backend, which has no tick loop.
      */
     std::uint32_t threads = 1;
+    /** In-network multicast / switch-resident reduction support. */
+    InNetworkMode in_network = InNetworkMode::Off;
+    /**
+     * Combining-buffer capacity per switch: open reduction groups a
+     * router can hold concurrently. A group that cannot allocate an
+     * entry falls back to unicast forwarding, deterministically and
+     * permanently for that (switch, parent, flow) key.
+     */
+    std::uint32_t combiner_entries = 8;
+    /** Switch-ALU latency charged per completed combine (cycles). */
+    std::uint32_t combiner_latency = 2;
 };
 
 /** Which transport model executes a schedule. */
@@ -159,8 +215,9 @@ enum class BackendKind {
 class Network
 {
   public:
-    explicit Network(sim::EventQueue &eq, NetworkConfig cfg)
-        : eq_(eq), cfg_(cfg)
+    Network(sim::EventQueue &eq, const topo::Topology &topo,
+            NetworkConfig cfg)
+        : eq_(eq), topo_(topo), cfg_(cfg)
     {}
     virtual ~Network() = default;
 
@@ -352,6 +409,30 @@ class Network
      */
     std::string describeInFlight(std::size_t max_items = 8) const;
 
+    /** Per-switch combining-buffer telemetry (MulticastReduce). */
+    struct CombinerStats {
+        std::uint64_t groups_opened = 0;  ///< entries allocated
+        std::uint64_t combined = 0;       ///< groups completed at ALU
+        std::uint64_t absorbed = 0;       ///< contributions held
+        std::uint64_t fallbacks = 0;      ///< capacity-denied groups
+        std::uint64_t dissolved = 0;      ///< groups broken up by a
+                                          ///< duplicate (retransmit)
+        std::uint32_t open_now = 0;       ///< instantaneous occupancy
+        std::uint32_t peak_open = 0;      ///< occupancy high-water
+    };
+
+    /** Combiner telemetry per switch vertex (empty when unused). */
+    const std::map<int, CombinerStats> &combinerStats() const
+    {
+        return combiner_;
+    }
+
+    /** Reduction groups currently open across every switch. */
+    std::uint64_t combinerOpenCount() const;
+
+    /** Cumulative capacity-fallback count across every switch. */
+    std::uint64_t combinerFallbacks() const;
+
     /**
      * Return the fabric to its just-constructed state: clear all
      * statistics and transient transport state. @pre quiescent() and
@@ -367,11 +448,87 @@ class Network
     /** Deliver @p msg to the registered sink, counting it. */
     void deliverMsg(const Message &msg);
 
+    /**
+     * Fold the per-switch combiner telemetry into the attached
+     * profiler; backends call this from their flushProfile().
+     */
+    void flushCombinerProfile();
+
+  private:
+    /** One delivery branch of an in-flight multicast group. */
+    struct McastBranch {
+        Message msg;               ///< full per-branch message
+        std::size_t hops_done = 0; ///< channels already traversed
+    };
+    /** All live branches of one multicast injection. */
+    struct McastGroup {
+        std::vector<McastBranch> branches;
+        std::size_t remaining = 0;     ///< branches not yet delivered
+        std::size_t segments_open = 0; ///< segments not yet arrived
+    };
+    /** One wire segment of the replication tree (shared prefix).
+     *  branch_idx lists only the branches whose route ENDS at this
+     *  segment's tail — the ones its arrival delivers. */
+    struct McastSegment {
+        std::uint64_t group = 0;
+        std::vector<std::size_t> branch_idx;
+    };
+    /** An open switch-resident reduction group. */
+    struct CombineGroup {
+        std::vector<Message> held;   ///< absorbed contributions
+        std::set<int> srcs;          ///< distinct contributors seen
+        std::uint32_t peers = 0;     ///< group completes at this many
+        int last_channel = -1;       ///< final hop into the parent
+    };
+    /** Combining-buffer key: (switch vertex, parent, flow). */
+    using CombineKey = std::tuple<int, int, int>;
+
+    /** Split a multicast injection into per-branch accounting and
+     *  launch the whole replication-tree segment forest. */
+    void injectMulticast(Message msg);
+
+    /**
+     * Launch segments for @p idx branches of @p group, all standing
+     * at a common vertex, partitioned by next channel, then recurse
+     * past each divergence point. Replication is cut-through: a
+     * downstream segment starts streaming @p offset ticks after the
+     * group's injection — the cumulative head latency of its upstream
+     * segments — so its serialization overlaps theirs, the way a
+     * wormhole router duplicates flits port-to-port as they arrive.
+     * Upstream backpressure is not propagated across replication
+     * points (first-order model; each segment still contends for its
+     * own channels in the backend).
+     */
+    void launchSegments(std::uint64_t group,
+                        const std::vector<std::size_t> &idx,
+                        Tick offset);
+
+    /** A replication-tree segment finished its wire traversal. */
+    void onSegmentArrival(const Message &msg);
+
+    /** Route a reduce contribution through the combining buffer at
+     *  its annotated switch (MulticastReduce inject path). */
+    void injectCombining(Message msg);
+
+    /** A contribution's child→switch leg arrived at the combiner. */
+    void onCombineArrival(const Message &msg);
+
+    /** Forward one absorbed contribution individually over its final
+     *  hop (fallback, dissolve, straggler paths). */
+    void forwardIndividually(Message msg);
+
+    /** A combined (or individually forwarded) switch→parent leg
+     *  arrived: run full per-constituent delivery. */
+    void onCombinedArrival(const Message &msg);
+
+  protected:
+
     /** Emit a message-lifecycle event for @p msg (sink attached). */
     void emitMsgEvent(obs::EventKind kind, const Message &msg,
                       Tick duration = 0);
 
     sim::EventQueue &eq_;
+    const topo::Topology &topo_;
     NetworkConfig cfg_;
     DeliverFn deliver_;
     FaultInterposer *fault_ = nullptr;
@@ -392,6 +549,29 @@ class Network
         delivered_ids_;
     /** Per-channel in-flight bytes (see channelBacklog()). */
     std::vector<std::uint64_t> backlog_;
+
+  private:
+    /** Live multicast groups / segments (internal id → state). */
+    std::map<std::uint64_t, McastGroup> mcast_groups_;
+    std::map<std::uint64_t, McastSegment> mcast_segments_;
+    /** Contributions riding their child→switch combining leg, and
+     *  completed switch→parent legs carrying their constituents. */
+    std::map<std::uint64_t, Message> combine_legs_;
+    std::map<std::uint64_t, std::vector<Message>> combined_out_;
+    /** Open reduction groups per (switch, parent, flow). */
+    std::map<CombineKey, CombineGroup> combine_groups_;
+    /** Open-group count per switch (capacity accounting). */
+    std::map<int, std::uint32_t> combine_open_;
+    /** Keys that completed once (stragglers forward individually). */
+    std::set<CombineKey> combine_done_;
+    /** Keys denied an entry (or dissolved): permanent unicast. */
+    std::set<CombineKey> combine_fallback_;
+    /** Internal id source for segments and combine legs. */
+    std::uint64_t next_internal_id_ = 0;
+
+  protected:
+    /** Per-switch combiner telemetry (see combinerStats()). */
+    std::map<int, CombinerStats> combiner_;
 };
 
 /**

@@ -266,6 +266,24 @@ NicEngine::pump()
                               e.dep_on_parent, e.deps, e.phase,
                               net_.eventQueue().now());
         }
+        if (e.op == Op::Gather && e.fused
+            && net_.config().in_network != net::InNetworkMode::Off) {
+            // Fused multicast entry: ONE injection serves every
+            // child, the fabric replicating where the per-branch
+            // routes diverge. Routes are pinned by the fuser, so
+            // rail steering never touches them.
+            net::Message msg;
+            msg.src = table_.node;
+            msg.dst = e.children.front();
+            msg.bytes = e.bytes;
+            msg.route = e.routes.front();
+            msg.mcast_dsts = e.children;
+            msg.mcast_routes = e.routes;
+            msg.flow_id = e.flow;
+            msg.tag = kTagGather;
+            msg.phase = e.phase;
+            sendData(std::move(msg), false);
+        } else {
         for (std::size_t i = 0; i < e.children.size() || i == 0; ++i) {
             int dst;
             std::uint64_t tag;
@@ -290,10 +308,21 @@ NicEngine::pump()
             msg.flow_id = e.flow;
             msg.tag = tag;
             msg.phase = e.phase;
+            if (e.op == Op::Reduce && e.combine_at >= 0
+                && net_.config().in_network
+                       == net::InNetworkMode::MulticastReduce) {
+                // Rail steering re-picks among channels sharing
+                // endpoints, so the annotated vertex still sources
+                // the final hop; repaired routes are checked (and
+                // demoted to unicast) by the transport.
+                msg.combine_at = e.combine_at;
+                msg.combine_peers = e.combine_peers;
+            }
             sendData(std::move(msg),
                      i < e.steer.size() && e.steer[i] != 0);
             if (e.op == Op::Reduce)
                 break; // single parent target
+        }
         }
         if (prof_ != nullptr)
             prof_->endIssue();
@@ -310,7 +339,10 @@ NicEngine::rtoFor(const net::Message &msg) const
     // (receiver dedup) and the backoff converges.
     const auto &cfg = net_.config();
     const Tick hop = cfg.link_latency + cfg.router_pipeline;
-    const Tick hops = static_cast<Tick>(msg.route.size());
+    std::size_t longest = msg.route.size();
+    for (const auto &r : msg.mcast_routes)
+        longest = std::max(longest, r.size());
+    const Tick hops = static_cast<Tick>(longest);
     const Tick ser_data = ceilDiv(msg.bytes, cfg.flit_bytes) + 1;
     const Tick ser_ack = ceilDiv(rel_.ack_bytes, cfg.flit_bytes) + 1;
     const Tick rtt = ser_data + ser_ack + 2 * hops * hop;
@@ -327,8 +359,12 @@ NicEngine::sendData(net::Message msg, bool steerable)
     msg.seq = ++next_seq_;
     const std::uint64_t seq = msg.seq;
     const Tick rto = rtoFor(msg);
-    outstanding_.emplace(seq,
-                         Outstanding{msg, 1, 0, false, steerable});
+    auto [it, inserted] = outstanding_.emplace(
+        seq, Outstanding{msg, 1, 0, false, steerable, {}});
+    MT_ASSERT(inserted, "sequence number reused");
+    // A multicast send completes per branch: every destination must
+    // ack the shared sequence number before the window entry clears.
+    it->second.unacked = msg.mcast_dsts;
     net_.inject(std::move(msg));
     armTimer(seq, rto, 0);
 }
@@ -355,6 +391,75 @@ NicEngine::onTimeout(std::uint64_t seq, Tick prev_rto,
     if (o.epoch != epoch || o.parked)
         return; // superseded by a repair pass (or already parked)
     ++rc_.timeouts;
+    if (!o.unacked.empty()) {
+        // Multicast send: retransmit plain unicast copies to exactly
+        // the destinations still missing an ack (receivers dedup on
+        // the shared sequence number). Channel loss evidence is not
+        // charged — every branch shares one (src, seq, tag) census
+        // key, so no single branch route can be blamed precisely.
+        if (o.attempts >= rel_.max_attempts) {
+            for (std::size_t b = 0; b < o.msg.mcast_dsts.size();
+                 ++b) {
+                const int dst = o.msg.mcast_dsts[b];
+                if (std::find(o.unacked.begin(), o.unacked.end(),
+                              dst)
+                    == o.unacked.end()) {
+                    continue;
+                }
+                FailedTransfer ft;
+                ft.src = o.msg.src;
+                ft.dst = dst;
+                ft.flow = o.msg.flow_id;
+                ft.tag = o.msg.tag;
+                ft.seq = o.msg.seq;
+                ft.bytes = o.msg.bytes;
+                ft.attempts = o.attempts;
+                ft.route = o.msg.mcast_routes[b];
+                failures_.push_back(std::move(ft));
+            }
+            outstanding_.erase(it);
+            return;
+        }
+        ++o.attempts;
+        for (std::size_t b = 0; b < o.msg.mcast_dsts.size(); ++b) {
+            const int dst = o.msg.mcast_dsts[b];
+            if (std::find(o.unacked.begin(), o.unacked.end(), dst)
+                == o.unacked.end()) {
+                continue;
+            }
+            ++rc_.retransmits;
+            net::Message copy;
+            copy.src = o.msg.src;
+            copy.dst = dst;
+            copy.bytes = o.msg.bytes;
+            copy.route = o.msg.mcast_routes[b];
+            copy.flow_id = o.msg.flow_id;
+            copy.tag = o.msg.tag;
+            copy.seq = o.msg.seq;
+            copy.attempt = o.attempts - 1;
+            copy.phase = o.msg.phase;
+            if (sink_ != nullptr) {
+                obs::TraceEvent ev;
+                ev.kind = obs::EventKind::MsgRetransmit;
+                ev.tick = net_.eventQueue().now();
+                ev.node = copy.src;
+                ev.peer = copy.dst;
+                ev.flow = copy.flow_id;
+                ev.bytes = copy.bytes;
+                ev.tag = copy.tag;
+                ev.seq = copy.seq;
+                ev.attempt = copy.attempt;
+                ev.phase = copy.phase;
+                sink_->onEvent(ev);
+            }
+            net_.inject(std::move(copy));
+        }
+        const auto backed =
+            static_cast<Tick>(static_cast<double>(prev_rto)
+                              * rel_.rto_backoff);
+        armTimer(seq, std::max<Tick>(backed, prev_rto + 1), o.epoch);
+        return;
+    }
     // Census-corroborated loss evidence: faults drop messages only
     // at injection, so a copy that is neither still in flight nor in
     // the delivered census was genuinely lost on the data route. A
@@ -468,9 +573,31 @@ NicEngine::onMessage(const net::Message &msg)
                 return; // bad checksum: sender will retransmit
             auto it = outstanding_.find(msg.seq);
             if (it != outstanding_.end()) {
+                Outstanding &o = it->second;
+                if (!o.unacked.empty()) {
+                    // One branch of a multicast send completed its
+                    // round trip; the window entry clears only when
+                    // the last branch acks.
+                    auto u = std::find(o.unacked.begin(),
+                                       o.unacked.end(), msg.src);
+                    if (u != o.unacked.end()) {
+                        for (std::size_t b = 0;
+                             b < o.msg.mcast_dsts.size(); ++b) {
+                            if (o.msg.mcast_dsts[b] == msg.src) {
+                                noteRoundTripSuccess(
+                                    o.msg.mcast_routes[b]);
+                            }
+                        }
+                        noteRoundTripSuccess(msg.route);
+                        o.unacked.erase(u);
+                    }
+                    if (o.unacked.empty())
+                        outstanding_.erase(it);
+                    return;
+                }
                 // A completed round trip exonerates every channel it
                 // crossed: the data route out, the ack route back.
-                noteRoundTripSuccess(it->second.msg.route);
+                noteRoundTripSuccess(o.msg.route);
                 noteRoundTripSuccess(msg.route);
                 outstanding_.erase(it);
             }

@@ -437,6 +437,14 @@ class NicEngine
         bool parked = false;
         /** Route came from deterministic routing (re-steerable). */
         bool steerable = false;
+        /**
+         * Multicast sends only: branch destinations still awaiting
+         * their ack. All branches share one sequence number; the
+         * window entry clears when the last branch acks, and a
+         * timeout retransmits plain unicast copies to exactly the
+         * unacked destinations. Empty for unicast sends.
+         */
+        std::vector<int> unacked;
     };
     /** seq → unacked send; ordered so begin() is the oldest. */
     std::map<std::uint64_t, Outstanding> outstanding_;

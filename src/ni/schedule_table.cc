@@ -38,8 +38,26 @@ buildScheduleTables(const coll::Schedule &sched,
         for (const auto &e : f.reduce)
             kids[static_cast<std::size_t>(e.dst)].push_back(e.src);
 
+        // Switch-resident reduction analysis: count, per (parent,
+        // final-hop switch), the sibling contributions converging
+        // there. Routes of one hop have no intermediate vertex and
+        // never combine. The annotation is pure schedule analysis —
+        // it rides the table always and reaches the wire only under
+        // InNetworkMode::MulticastReduce (see NicEngine::pump).
+        std::map<std::pair<int, int>, std::uint32_t> converge;
+        std::vector<std::vector<int>> reduce_routes(f.reduce.size());
+        for (std::size_t i = 0; i < f.reduce.size(); ++i) {
+            reduce_routes[i] = resolved(f.reduce[i]);
+            if (reduce_routes[i].size() >= 2) {
+                const int v =
+                    topo.channel(reduce_routes[i].back()).src;
+                ++converge[{f.reduce[i].dst, v}];
+            }
+        }
+
         // One Reduce entry per non-root node.
-        for (const auto &e : f.reduce) {
+        for (std::size_t i = 0; i < f.reduce.size(); ++i) {
+            const auto &e = f.reduce[i];
             TableEntry te;
             te.op = Op::Reduce;
             te.flow = f.flow_id;
@@ -49,7 +67,17 @@ buildScheduleTables(const coll::Schedule &sched,
             te.step = e.step;
             te.phase = e.phase;
             te.bytes = f.bytes;
-            te.routes.push_back(resolved(e));
+            if (reduce_routes[i].size() >= 2) {
+                const int v =
+                    topo.channel(reduce_routes[i].back()).src;
+                const std::uint32_t peers =
+                    converge[{e.dst, v}];
+                if (peers >= 2) {
+                    te.combine_at = v;
+                    te.combine_peers = peers;
+                }
+            }
+            te.routes.push_back(std::move(reduce_routes[i]));
             te.steer.push_back(e.route.empty() ? 1 : 0);
             tables[static_cast<std::size_t>(e.src)].entries.push_back(
                 std::move(te));
@@ -60,29 +88,57 @@ buildScheduleTables(const coll::Schedule &sched,
         // per entry).
         std::vector<int> gather_parent(static_cast<std::size_t>(n),
                                        -1);
-        for (const auto &e : f.gather)
-            gather_parent[static_cast<std::size_t>(e.dst)] = e.src;
+        for (const auto &e : f.gather) {
+            for (std::size_t b = 0; b < e.branchCount(); ++b) {
+                gather_parent[static_cast<std::size_t>(
+                    e.branchDst(b))] = e.src;
+            }
+        }
+        auto fillHeader = [&](TableEntry &te,
+                              const coll::ScheduledEdge &e) {
+            te.op = Op::Gather;
+            te.flow = f.flow_id;
+            te.step = e.step;
+            te.phase = e.phase;
+            te.bytes = f.bytes;
+            if (e.src == f.root) {
+                te.parent = -1;
+                te.deps = kids[static_cast<std::size_t>(f.root)];
+                te.dep_on_parent = false;
+            } else {
+                te.parent =
+                    gather_parent[static_cast<std::size_t>(e.src)];
+                te.deps = {te.parent};
+                te.dep_on_parent = true;
+            }
+        };
         std::map<std::pair<int, int>, TableEntry> grouped;
         for (const auto &e : f.gather) {
+            if (e.isMulticast()) {
+                // A fused multicast edge compiles to its own entry:
+                // one injection serves every branch, so it neither
+                // merges with unicast same-step sends nor splits at
+                // the hardware Children width (the replication tree,
+                // not the NI, fans it out).
+                TableEntry te;
+                fillHeader(te, e);
+                te.fused = true;
+                for (std::size_t b = 0; b < e.branchCount(); ++b) {
+                    te.children.push_back(e.branchDst(b));
+                    MT_ASSERT(!e.branchRoute(b).empty(),
+                              "fused multicast branch without an "
+                              "explicit route");
+                    te.routes.push_back(e.branchRoute(b));
+                    te.steer.push_back(0); // pinned by the fuser
+                }
+                tables[static_cast<std::size_t>(e.src)]
+                    .entries.push_back(std::move(te));
+                continue;
+            }
             auto key = std::make_pair(e.src, e.step);
             auto &te = grouped[key];
-            if (te.children.empty()) {
-                te.op = Op::Gather;
-                te.flow = f.flow_id;
-                te.step = e.step;
-                te.phase = e.phase;
-                te.bytes = f.bytes;
-                if (e.src == f.root) {
-                    te.parent = -1;
-                    te.deps = kids[static_cast<std::size_t>(f.root)];
-                    te.dep_on_parent = false;
-                } else {
-                    te.parent =
-                        gather_parent[static_cast<std::size_t>(e.src)];
-                    te.deps = {te.parent};
-                    te.dep_on_parent = true;
-                }
-            }
+            if (te.children.empty())
+                fillHeader(te, e);
             te.children.push_back(e.dst);
             te.routes.push_back(resolved(e));
             te.steer.push_back(e.route.empty() ? 1 : 0);

@@ -82,6 +82,27 @@ struct TableEntry {
      * steering may manage it.
      */
     std::vector<char> repaired;
+    /**
+     * Gather entry compiled from one fused multicast edge
+     * (coll::fuseMulticast): under an in-network mode the NI issues a
+     * SINGLE injection whose fan-out set is `children` with one
+     * explicit route per branch — the fabric replicates where the
+     * routes diverge. With in-network support off the entry degrades
+     * to the ordinary one-send-per-child loop. Never set by schedules
+     * that were not fused.
+     */
+    bool fused = false;
+    /**
+     * Switch-resident reduction annotation (Reduce entries only):
+     * the vertex sourcing this route's final channel when two or
+     * more sibling contributions of the same flow converge there
+     * (-1 = no convergence). Copied onto the wire message only under
+     * InNetworkMode::MulticastReduce, so every other mode is
+     * bit-identical to an unannotated table.
+     */
+    int combine_at = -1;
+    /** Sibling contributions meeting at combine_at (incl. this). */
+    std::uint32_t combine_peers = 0;
 };
 
 /** The full table of one node. */

@@ -95,6 +95,9 @@ buildCongestionMap(const FabricInfo &fabric, const Profiler &prof)
         if (idx < routers.size()) {
             rl.sa_denied = routers[idx].sa_denied;
             rl.credit_stalls = routers[idx].credit_stalls;
+            rl.combiner_groups = routers[idx].combiner_groups;
+            rl.combiner_fallbacks = routers[idx].combiner_fallbacks;
+            rl.combiner_peak_open = routers[idx].combiner_peak_open;
         }
         map.peak_router_flits =
             std::max(map.peak_router_flits, rl.through_flits);
@@ -281,6 +284,11 @@ renderRouterHeatmapAscii(std::ostream &os, const FabricInfo &fabric,
         if (rl.sa_denied > 0 || rl.credit_stalls > 0) {
             os << " (sa_denied " << rl.sa_denied
                << ", credit_stalls " << rl.credit_stalls << ")";
+        }
+        if (rl.combiner_groups > 0 || rl.combiner_fallbacks > 0) {
+            os << " (combiner: " << rl.combiner_groups
+               << " groups, peak open " << rl.combiner_peak_open
+               << ", fallbacks " << rl.combiner_fallbacks << ")";
         }
         os << "\n";
     }

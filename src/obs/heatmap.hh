@@ -50,6 +50,11 @@ struct CongestionMap {
         std::uint64_t through_flits = 0;
         std::uint64_t sa_denied = 0;
         std::uint64_t credit_stalls = 0;
+        // Switch-resident combining activity (zero unless the run
+        // used InNetworkMode::MulticastReduce).
+        std::uint64_t combiner_groups = 0;
+        std::uint64_t combiner_fallbacks = 0;
+        std::uint32_t combiner_peak_open = 0;
         double load = 0;
     };
     std::vector<LinkLoad> links;     ///< dense by channel id

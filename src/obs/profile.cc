@@ -43,6 +43,8 @@ categoryName(LatencyCategory c)
         return "credit_stall";
       case LatencyCategory::Reduction:
         return "reduction";
+      case LatencyCategory::McastBranch:
+        return "mcast_branch";
     }
     return "unknown";
 }
@@ -160,6 +162,13 @@ Profiler::setAnalyticBreakdown(std::uint64_t track_id, Tick inj_queue,
 }
 
 void
+Profiler::onMcastRole(std::uint64_t track_id, McastRole role)
+{
+    if (LatencyRecord *r = find(track_id))
+        r->mcast_role = role;
+}
+
+void
 Profiler::onDeliver(std::uint64_t track_id, Tick now)
 {
     LatencyRecord *r = find(track_id);
@@ -171,10 +180,17 @@ Profiler::onDeliver(std::uint64_t track_id, Tick now)
     if (r->analytic) {
         // The flow model fixed everything but downstream queueing at
         // inject time; the residual (plus any fault-injected delivery
-        // delay) is backpressure along the route.
+        // delay) is backpressure along the route. For an in-network
+        // leg the analytic split describes only the final wire
+        // segment, so the residual is replication-tree / combining
+        // time and is relabeled mcast_branch.
         const Tick known =
             r->inj_queue + r->head_route + r->serialization;
-        r->credit_stall = total > known ? total - known : 0;
+        const Tick residual = total > known ? total - known : 0;
+        if (r->mcast_role != McastRole::None)
+            r->mcast_branch = residual;
+        else
+            r->credit_stall = residual;
         return;
     }
     // Flit backend: derive the split from observed milestones,
@@ -194,6 +210,20 @@ Profiler::onDeliver(std::uint64_t track_id, Tick now)
             : 0;
     r->serialization = ser;
     r->credit_stall = drain - ser;
+    // In-network relabeling, sum-preserving by construction. A
+    // multicast branch's inj_start milestone is its *terminal*
+    // segment's injection at the last replication point, so the span
+    // recorded as inj_queue is the upstream replication tree. A
+    // combining contribution's head milestone is its arrival at the
+    // combiner, so the post-serialization drain is sibling wait plus
+    // the combined final hop.
+    if (r->mcast_role == McastRole::Branch) {
+        r->mcast_branch = r->inj_queue;
+        r->inj_queue = 0;
+    } else if (r->mcast_role == McastRole::Combine) {
+        r->mcast_branch = r->credit_stall;
+        r->credit_stall = 0;
+    }
 }
 
 void
@@ -211,7 +241,36 @@ Profiler::ingestRouter(int vertex, const RouterProfile &rp)
     auto idx = static_cast<std::size_t>(vertex);
     if (routers_.size() <= idx)
         routers_.resize(idx + 1);
-    routers_[idx] = rp;
+    // Preserve combiner counters a prior noteCombiner() installed:
+    // backends flush arbitration counters and combiner telemetry
+    // through separate paths.
+    RouterProfile merged = rp;
+    merged.combiner_groups = routers_[idx].combiner_groups;
+    merged.combiner_combined = routers_[idx].combiner_combined;
+    merged.combiner_absorbed = routers_[idx].combiner_absorbed;
+    merged.combiner_fallbacks = routers_[idx].combiner_fallbacks;
+    merged.combiner_dissolved = routers_[idx].combiner_dissolved;
+    merged.combiner_peak_open = routers_[idx].combiner_peak_open;
+    routers_[idx] = merged;
+}
+
+void
+Profiler::noteCombiner(int vertex, std::uint64_t groups,
+                       std::uint64_t combined, std::uint64_t absorbed,
+                       std::uint64_t fallbacks,
+                       std::uint64_t dissolved,
+                       std::uint32_t peak_open)
+{
+    auto idx = static_cast<std::size_t>(vertex);
+    if (routers_.size() <= idx)
+        routers_.resize(idx + 1);
+    RouterProfile &rp = routers_[idx];
+    rp.combiner_groups = groups;
+    rp.combiner_combined = combined;
+    rp.combiner_absorbed = absorbed;
+    rp.combiner_fallbacks = fallbacks;
+    rp.combiner_dissolved = dissolved;
+    rp.combiner_peak_open = peak_open;
 }
 
 ProfileSummary
@@ -227,6 +286,7 @@ Profiler::summary() const
         s.head_route += r.head_route;
         s.serialization += r.serialization;
         s.credit_stall += r.credit_stall;
+        s.mcast_branch += r.mcast_branch;
         s.max_latency = std::max(s.max_latency, r.total());
     }
     return s;
@@ -253,6 +313,7 @@ Profiler::summaryByPhase() const
         s.head_route += r.head_route;
         s.serialization += r.serialization;
         s.credit_stall += r.credit_stall;
+        s.mcast_branch += r.mcast_branch;
         s.max_latency = std::max(s.max_latency, r.total());
     }
     return out;
@@ -355,6 +416,7 @@ extractCriticalPath(const Profiler &prof)
         hop.head_route = r.head_route;
         hop.serialization = r.serialization;
         hop.credit_stall = r.credit_stall;
+        hop.mcast_branch = r.mcast_branch;
         cat(cp.by_category, LatencyCategory::InjQueue) += r.inj_queue;
         cat(cp.by_category, LatencyCategory::HeadRoute) +=
             r.head_route;
@@ -362,6 +424,8 @@ extractCriticalPath(const Profiler &prof)
             r.serialization;
         cat(cp.by_category, LatencyCategory::CreditStall) +=
             r.credit_stall;
+        cat(cp.by_category, LatencyCategory::McastBranch) +=
+            r.mcast_branch;
 
         if (r.issue_index < 0
             || static_cast<std::size_t>(r.issue_index)
@@ -533,6 +597,7 @@ writeProfileJson(std::ostream &os, const FabricInfo &fabric,
            << ", \"head_route\": " << ps.head_route
            << ", \"serialization\": " << ps.serialization
            << ", \"credit_stall\": " << ps.credit_stall
+           << ", \"mcast_branch\": " << ps.mcast_branch
            << ", \"max_latency\": " << ps.max_latency << "}";
     }
     os << "\n  ],\n";
@@ -558,7 +623,8 @@ writeProfileJson(std::ostream &os, const FabricInfo &fabric,
            << ", \"inj_queue\": " << h.inj_queue
            << ", \"head_route\": " << h.head_route
            << ", \"serialization\": " << h.serialization
-           << ", \"credit_stall\": " << h.credit_stall << "}";
+           << ", \"credit_stall\": " << h.credit_stall
+           << ", \"mcast_branch\": " << h.mcast_branch << "}";
     }
     os << "\n    ]\n  },\n";
 
@@ -585,6 +651,12 @@ writeProfileJson(std::ostream &os, const FabricInfo &fabric,
         os << "{\"vertex\": " << i << ", \"sa_grants\": "
            << rp.sa_grants << ", \"sa_denied\": " << rp.sa_denied
            << ", \"credit_stalls\": " << rp.credit_stalls
+           << ", \"combiner_groups\": " << rp.combiner_groups
+           << ", \"combiner_combined\": " << rp.combiner_combined
+           << ", \"combiner_absorbed\": " << rp.combiner_absorbed
+           << ", \"combiner_fallbacks\": " << rp.combiner_fallbacks
+           << ", \"combiner_dissolved\": " << rp.combiner_dissolved
+           << ", \"combiner_peak_open\": " << rp.combiner_peak_open
            << ", \"occupancy\": [";
         for (std::size_t b = 0; b < kOccupancyBuckets; ++b)
             os << (b > 0 ? ", " : "") << rp.occupancy[b];
@@ -611,7 +683,8 @@ writeProfileJson(std::ostream &os, const FabricInfo &fabric,
            << ", \"inj_queue\": " << r.inj_queue
            << ", \"head_route\": " << r.head_route
            << ", \"serialization\": " << r.serialization
-           << ", \"credit_stall\": " << r.credit_stall << "}";
+           << ", \"credit_stall\": " << r.credit_stall
+           << ", \"mcast_branch\": " << r.mcast_branch << "}";
         ++emitted;
     }
     os << "\n  ],\n";
@@ -645,6 +718,8 @@ renderCriticalPath(std::ostream &os, const CriticalPath &cp)
            << ": q" << h.inj_queue << " route" << h.head_route
            << " ser" << h.serialization << " stall"
            << h.credit_stall << " @" << h.delivered;
+        if (h.mcast_branch > 0)
+            os << " mcast" << h.mcast_branch;
         if (h.reduction_after > 0)
             os << " -> reduce-unit " << h.reduction_after;
         os << "\n";

@@ -59,17 +59,33 @@ enum class LatencyCategory {
     Serialization, ///< payload flits streaming behind the head
     CreditStall,   ///< backpressure: credits withheld downstream
     Reduction,     ///< reduction-unit aggregation gating an issue
+    McastBranch,   ///< in-network fan-out: replication-tree traversal
+                   ///< upstream of a branch's terminal segment, or
+                   ///< waiting for siblings in a combining buffer
 };
 
 /** Number of LatencyCategory values (rollup array size). */
-inline constexpr std::size_t kNumLatencyCategories = 6;
+inline constexpr std::size_t kNumLatencyCategories = 7;
 
 /**
  * Version stamp of the profile JSON layout (writeProfileJson).
  * Bumped on any change a cross-run reader (mtdiff) could
  * misattribute; readers reject mismatches loudly.
  */
-inline constexpr int kProfileSchemaVersion = 1;
+inline constexpr int kProfileSchemaVersion = 2;
+
+/**
+ * How a message relates to the in-network collective machinery: a
+ * multicast delivery branch, a combining-buffer contribution, or
+ * plain unicast. Set by the transport at injection; finalize() uses
+ * it to relabel the span the fabric spent replicating or combining
+ * as LatencyCategory::McastBranch.
+ */
+enum class McastRole {
+    None = 0,
+    Branch,  ///< one destination of a multicast injection
+    Combine, ///< a contribution routed through a switch combiner
+};
 
 /** Stable lower-case name of @p c (JSON keys, report rows). */
 const char *categoryName(LatencyCategory c);
@@ -107,6 +123,7 @@ struct LatencyRecord {
     Tick head_route = 0;
     Tick serialization = 0;
     Tick credit_stall = 0;
+    Tick mcast_branch = 0; ///< in-network replication / combining
 
     /** Index into Profiler::issues() of the schedule-table issue that
      *  injected this message, or -1 (acks, retransmissions). */
@@ -119,6 +136,7 @@ struct LatencyRecord {
     Tick inj_start = 0;    ///< flit: injection-VC win tick
     Tick head_arrival = 0; ///< flit: head ejection at the destination
     bool analytic = false; ///< flow: split fixed at inject time
+    McastRole mcast_role = McastRole::None; ///< in-network role
 
     /** Total wire latency. */
     Tick total() const { return delivered - injected; }
@@ -168,6 +186,13 @@ struct RouterProfile {
     std::uint64_t credit_stalls = 0; ///< flit-moves blocked on credit
     /** Per-cycle samples of channel-fed input-VC buffer depths. */
     std::array<std::uint64_t, kOccupancyBuckets> occupancy{};
+    // Switch-resident combining buffer (MulticastReduce runs only):
+    std::uint64_t combiner_groups = 0;    ///< entries allocated
+    std::uint64_t combiner_combined = 0;  ///< groups closed at the ALU
+    std::uint64_t combiner_absorbed = 0;  ///< contributions held
+    std::uint64_t combiner_fallbacks = 0; ///< capacity-denied groups
+    std::uint64_t combiner_dissolved = 0; ///< duplicate-broken groups
+    std::uint32_t combiner_peak_open = 0; ///< occupancy high-water
 };
 
 /** Aggregate over all finished data-message records. */
@@ -178,6 +203,7 @@ struct ProfileSummary {
     Tick head_route = 0;
     Tick serialization = 0;
     Tick credit_stall = 0;
+    Tick mcast_branch = 0;
     Tick max_latency = 0;
 };
 
@@ -249,6 +275,12 @@ class Profiler
     void setAnalyticBreakdown(std::uint64_t track_id, Tick inj_queue,
                               Tick head_route, Tick serialization);
 
+    /**
+     * The message is one leg of an in-network collective: @p role
+     * selects how finalize() attributes its fabric-resident time.
+     */
+    void onMcastRole(std::uint64_t track_id, McastRole role);
+
     /** The message was delivered at @p now; finalizes its record. */
     void onDeliver(std::uint64_t track_id, Tick now);
 
@@ -259,6 +291,13 @@ class Profiler
 
     /** Install router @p vertex's counters (replaces prior values). */
     void ingestRouter(int vertex, const RouterProfile &rp);
+
+    /** Merge switch @p vertex's combining-buffer counters into its
+     *  RouterProfile (called by Network::flushCombinerProfile). */
+    void noteCombiner(int vertex, std::uint64_t groups,
+                      std::uint64_t combined, std::uint64_t absorbed,
+                      std::uint64_t fallbacks, std::uint64_t dissolved,
+                      std::uint32_t peak_open);
 
     // --- accessors ---
 
@@ -353,6 +392,7 @@ struct CriticalPath {
         Tick head_route = 0;
         Tick serialization = 0;
         Tick credit_stall = 0;
+        Tick mcast_branch = 0;
     };
     std::vector<Hop> hops;
 };

@@ -334,16 +334,19 @@ sweepConfigKey(const SweepPointConfig &cfg)
 {
     // v2: the v1 key missed the corruption, rail-policy and recovery
     // axes, aliasing differently-configured points onto one cache
-    // entry. Any axis added to SweepPointConfig must be appended here
-    // (and covered by the distinctness test in tests/test_obs.cc).
-    return "mtsweep-v2|" + cfg.topo + "|" + cfg.algo + "|"
+    // entry. v3 adds the in-network collective axes (fusion mode and
+    // combiner capacity both change completion times). Any axis added
+    // to SweepPointConfig must be appended here (and covered by the
+    // distinctness test in tests/test_obs.cc).
+    return "mtsweep-v3|" + cfg.topo + "|" + cfg.algo + "|"
            + std::to_string(cfg.bytes) + "|"
            + std::to_string(cfg.seed) + "|" + cfg.backend + "|"
            + std::to_string(cfg.drop) + "|"
            + std::to_string(cfg.corrupt) + "|"
            + (cfg.reliable ? "rel" : "norel") + "|"
            + (cfg.dense ? "dense" : "active") + "|" + cfg.rail_policy
-           + "|" + cfg.recovery;
+           + "|" + cfg.recovery + "|" + cfg.in_network + "|"
+           + std::to_string(cfg.combiner_entries);
 }
 
 std::uint64_t

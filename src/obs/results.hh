@@ -113,6 +113,9 @@ struct SweepPointConfig {
     bool dense = false;
     std::string rail_policy = "roundrobin";
     std::string recovery = "off";
+    std::string in_network = "off"; ///< off | mcast | mcast+reduce
+    /** Switch combining-buffer entries per router (0 = default). */
+    std::uint32_t combiner_entries = 0;
 };
 
 /** Canonical cache-key string of @p cfg ("mtsweep-v2|..."). */

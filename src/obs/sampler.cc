@@ -61,7 +61,8 @@ void
 Sampler::writeCsv(std::ostream &os) const
 {
     os << "tick,in_flight_msgs,in_flight_bytes,nic_outstanding,"
-          "active_reductions,retransmits_cum,timeouts_cum,"
+          "active_reductions,combiner_open,retransmits_cum,"
+          "timeouts_cum,combiner_fallbacks_cum,"
           "injected_cum,delivered_cum,dropped_cum";
     for (std::size_t p = 0; p < phase_names_.size(); ++p)
         os << ",phase" << p << "_bytes_cum";
@@ -75,9 +76,10 @@ Sampler::writeCsv(std::ostream &os) const
     for (const SampleFrame &f : frames_) {
         os << f.tick << "," << f.in_flight_msgs << ","
            << f.in_flight_bytes << "," << f.nic_outstanding << ","
-           << f.active_reductions << "," << f.retransmits << ","
-           << f.timeouts << "," << f.injected << "," << f.delivered
-           << "," << f.dropped;
+           << f.active_reductions << "," << f.combiner_open << ","
+           << f.retransmits << "," << f.timeouts << ","
+           << f.combiner_fallbacks << "," << f.injected << ","
+           << f.delivered << "," << f.dropped;
         for (std::size_t p = 0; p < phase_names_.size(); ++p) {
             os << ","
                << (p < f.phase_bytes.size() ? f.phase_bytes[p] : 0);
@@ -138,8 +140,10 @@ Sampler::writeJson(std::ostream &os, const std::string &indent) const
            << ", \"in_flight_bytes\": " << f.in_flight_bytes
            << ", \"nic_outstanding\": " << f.nic_outstanding
            << ", \"active_reductions\": " << f.active_reductions
+           << ", \"combiner_open\": " << f.combiner_open
            << ", \"retransmits\": " << f.retransmits
            << ", \"timeouts\": " << f.timeouts
+           << ", \"combiner_fallbacks\": " << f.combiner_fallbacks
            << ", \"injected\": " << f.injected
            << ", \"delivered\": " << f.delivered
            << ", \"dropped\": " << f.dropped << ", \"phase_bytes\": ";

@@ -45,9 +45,14 @@ struct SampleFrame {
     std::uint64_t in_flight_bytes = 0; ///< payload bytes in flight
     std::uint64_t nic_outstanding = 0; ///< unacked sends, all NICs
     std::uint64_t active_reductions = 0; ///< busy reduction units
+    /** Open switch-resident reduction groups across every switch
+     *  (in-network MulticastReduce; 0 otherwise). */
+    std::uint64_t combiner_open = 0;
     // --- cumulative counters ---
     std::uint64_t retransmits = 0;
     std::uint64_t timeouts = 0;
+    /** Combining groups denied a buffer entry (forced unicast). */
+    std::uint64_t combiner_fallbacks = 0;
     std::uint64_t injected = 0;
     std::uint64_t delivered = 0;
     std::uint64_t dropped = 0;

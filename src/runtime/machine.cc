@@ -82,6 +82,15 @@ Machine::Machine(const topo::Topology &topo, const RunOptions &opts)
               "net.threads must be in [1, 1024], got ",
               opts_.net.threads,
               " (it is a worker count, not a parallelism hint)");
+    MT_ASSERT(opts_.net.in_network == net::InNetworkMode::Off
+                  || opts_.net.combiner_entries <= 65536,
+              "combiner_entries (", opts_.net.combiner_entries,
+              ") is not a plausible per-switch buffer capacity");
+    MT_ASSERT(opts_.net.in_network
+                      != net::InNetworkMode::MulticastReduce
+                  || opts_.net.combiner_latency <= 4096,
+              "combiner_latency (", opts_.net.combiner_latency,
+              ") exceeds any plausible switch-ALU pass");
 
     // Pre-size the event heap so steady-state scheduling never
     // reallocates: one in-flight slot per node covers the NIC timers
@@ -287,7 +296,19 @@ Machine::post(const coll::Schedule &sched, CompletionFn on_complete,
     MT_ASSERT(sched.num_nodes == topo_.numNodes(),
               "schedule/topology node mismatch");
     PendingRun pr;
-    pr.tables = ni::buildScheduleTables(sched, topo_);
+    if (opts_.net.in_network != net::InNetworkMode::Off) {
+        // In-network modes compile against the fused schedule: a
+        // node's same-chunk same-step broadcast edges collapse into
+        // one multicast edge, so one injection serves N children.
+        // The fabric must support the replication the tables assume,
+        // which is why fusion is keyed off the machine's own mode
+        // rather than a per-run override.
+        coll::Schedule fused = sched;
+        coll::fuseMulticast(fused, topo_);
+        pr.tables = ni::buildScheduleTables(fused, topo_);
+    } else {
+        pr.tables = ni::buildScheduleTables(sched, topo_);
+    }
     // Footnote 4: the lockstep window is the chunk's serialization
     // latency. The buffer-adjusted variant (est -= NI buffer depth
     // when the chunk does not fit) lets consecutive steps overlap by
@@ -412,6 +433,8 @@ Machine::takeSample()
         f.retransmits += e->reliability().retransmits;
         f.timeouts += e->reliability().timeouts;
     }
+    f.combiner_open = network_->combinerOpenCount();
+    f.combiner_fallbacks = network_->combinerFallbacks();
     f.injected = network_->injected();
     f.delivered = network_->delivered();
     f.dropped = network_->dropped();
@@ -492,6 +515,11 @@ Machine::completeActive()
     res.head_flits = delta("head_flits");
     res.flit_hops = delta("flit_hops");
     res.head_hops = delta("head_hops");
+    res.mcast_injections =
+        static_cast<std::uint64_t>(delta("mcast_injections"));
+    res.combined_groups =
+        static_cast<std::uint64_t>(delta("combiner_groups"));
+    res.combiner_alu_flits = delta("combiner_alu_flits");
     for (const auto &e : engines_)
         res.nop_windows += e->nopWindows();
 

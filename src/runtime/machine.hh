@@ -171,6 +171,13 @@ struct RunResult {
     double flit_hops = 0;    ///< total flit-hops (energy datapath)
     double head_hops = 0;    ///< head-flit hops (energy control)
     std::uint64_t nop_windows = 0; ///< lockstep NOP stalls across NIs
+    /** Fused multicast injections served by in-network replication
+     *  (0 whenever InNetworkMode::Off). */
+    std::uint64_t mcast_injections = 0;
+    /** Switch-resident reduction groups completed at a combiner. */
+    std::uint64_t combined_groups = 0;
+    /** Switch-ALU combining passes in flits (energy model input). */
+    double combiner_alu_flits = 0;
 };
 
 /** One node's reliability/fault activity during a run. */

@@ -54,17 +54,22 @@ writeMetricsJson(std::ostream &os, const Machine &machine,
     os << "    \"head_flits\": " << res.head_flits << ",\n";
     os << "    \"flit_hops\": " << res.flit_hops << ",\n";
     os << "    \"head_hops\": " << res.head_hops << ",\n";
-    os << "    \"nop_windows\": " << res.nop_windows << "\n";
+    os << "    \"nop_windows\": " << res.nop_windows << ",\n";
+    os << "    \"mcast_injections\": " << res.mcast_injections
+       << ",\n";
+    os << "    \"combined_groups\": " << res.combined_groups << "\n";
     os << "  },\n";
     // First-order interconnect energy (net/energy.hh), derived from
     // the run's hop counters: datapath scales with every flit-hop,
     // control with head-flit hops only — the term message-based flow
-    // control collapses.
-    const net::EnergyBreakdown energy =
-        net::computeEnergy(res.flit_hops, res.head_hops);
+    // control collapses — plus the switch-ALU passes in-network
+    // reduction spends to shrink both hop terms.
+    const net::EnergyBreakdown energy = net::computeEnergy(
+        res.flit_hops, res.head_hops, res.combiner_alu_flits);
     os << "  \"energy\": {\n";
     os << "    \"datapath_nj\": " << energy.datapath_nj << ",\n";
     os << "    \"control_nj\": " << energy.control_nj << ",\n";
+    os << "    \"switch_alu_nj\": " << energy.switch_alu_nj << ",\n";
     os << "    \"total_nj\": " << energy.total_nj() << "\n";
     os << "  },\n";
     os << "  \"network_stats\": ";

@@ -25,7 +25,7 @@ namespace multitree::runtime {
  * changes. Readers (obs::results, examples/mtdiff) reject snapshots
  * from a different version instead of misinterpreting them.
  */
-inline constexpr int kMetricsSchemaVersion = 1;
+inline constexpr int kMetricsSchemaVersion = 2;
 
 /** Write the metrics snapshot of @p res (from @p machine) as JSON;
  *  @p rep adds the fault/reliability section when non-null. When the

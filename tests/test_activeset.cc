@@ -49,6 +49,9 @@ expectSameResult(const runtime::RunResult &a,
     EXPECT_DOUBLE_EQ(a.flit_hops, b.flit_hops);
     EXPECT_DOUBLE_EQ(a.head_hops, b.head_hops);
     EXPECT_EQ(a.nop_windows, b.nop_windows);
+    EXPECT_EQ(a.mcast_injections, b.mcast_injections);
+    EXPECT_EQ(a.combined_groups, b.combined_groups);
+    EXPECT_DOUBLE_EQ(a.combiner_alu_flits, b.combiner_alu_flits);
 }
 
 void
@@ -114,12 +117,15 @@ profileJson(const runtime::Machine &m, const obs::Profiler &prof)
 struct Rig {
     explicit Rig(const topo::Topology &topo, bool dense,
                  std::uint32_t reduction_bw = 0,
-                 std::uint32_t threads = 1)
+                 std::uint32_t threads = 1,
+                 net::InNetworkMode in_network =
+                     net::InNetworkMode::Off)
     {
         runtime::RunOptions opts;
         opts.backend = runtime::Backend::Flit;
         opts.net.dense_tick = dense;
         opts.net.threads = threads;
+        opts.net.in_network = in_network;
         opts.sink = &trace;
         opts.profiler = &prof;
         opts.sampler = &sampler;
@@ -282,6 +288,71 @@ TEST(ThreadedParityExtra, FaultedReliableThreadedRunMatches)
         EXPECT_EQ(rt.acks, oracle.acks);
         EXPECT_EQ(rt.duplicates, oracle.duplicates);
     }
+}
+
+class McastParity : public ::testing::TestWithParam<const char *>
+{};
+
+// In-network replication and switch-resident combining are transport
+// features, not scheduler features: with fusion on, an active-set
+// machine at 1, 2 and 4 threads must still reproduce the serial
+// dense oracle bit for bit across every observable — and the runs
+// must actually exercise the fused path (nonzero multicast
+// injections), or the parity claim is vacuous.
+TEST_P(McastParity, FusedRunsMatchDenseOracleAtEveryThreadCount)
+{
+    auto topo = topo::makeTopology(GetParam());
+    const auto mode = net::InNetworkMode::MulticastReduce;
+    Rig oracle(*topo, /*dense=*/true, 0, 1, mode);
+    Rig active1(*topo, false, 0, /*threads=*/1, mode);
+    Rig active2(*topo, false, 0, /*threads=*/2, mode);
+    Rig active4(*topo, false, 0, /*threads=*/4, mode);
+
+    for (const char *algo : {"multitree", "dbtree", "ring"}) {
+        if (!coll::makeAlgorithm(algo)->supports(*topo))
+            continue;
+        SCOPED_TRACE(algo);
+        for (int rep = 0; rep < 2; ++rep) {
+            SCOPED_TRACE("rep " + std::to_string(rep));
+            auto ro = oracle.machine->run(algo, 16 * KiB);
+            auto r1 = active1.machine->run(algo, 16 * KiB);
+            auto r2 = active2.machine->run(algo, 16 * KiB);
+            auto r4 = active4.machine->run(algo, 16 * KiB);
+            expectSameEverything(active1, r1, oracle, ro);
+            expectSameEverything(active2, r2, oracle, ro);
+            expectSameEverything(active4, r4, oracle, ro);
+            if (std::string(algo) != "ring")
+                EXPECT_GT(ro.mcast_injections, 0u);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, McastParity,
+                         ::testing::Values("torus-8x8",
+                                           "fattree-16"),
+                         [](const auto &info) {
+                             std::string n = info.param;
+                             for (auto &c : n) {
+                                 if (c == '-' || c == ':')
+                                     c = '_';
+                             }
+                             return n;
+                         });
+
+// InNetworkMode::Off is the default: a machine constructed with it
+// spelled out is the same machine, and no multicast or combiner
+// counter may move — the off path is the pre-fusion transport.
+TEST(McastParityExtra, OffModeIsDefaultAndLeavesCountersZero)
+{
+    auto topo = topo::makeTopology("torus-4x4");
+    Rig dflt(*topo, false);
+    Rig off(*topo, false, 0, 1, net::InNetworkMode::Off);
+    auto rd = dflt.machine->run("multitree", 16 * KiB);
+    auto ro = off.machine->run("multitree", 16 * KiB);
+    expectSameEverything(off, ro, dflt, rd);
+    EXPECT_EQ(rd.mcast_injections, 0u);
+    EXPECT_EQ(rd.combined_groups, 0u);
+    EXPECT_DOUBLE_EQ(rd.combiner_alu_flits, 0.0);
 }
 
 // Finite-rate reductions with the pool engaged: delayed dependency

@@ -1101,7 +1101,7 @@ TEST(Results, SweepConfigKeyCoversEveryAxis)
 
     // Vary one axis at a time; every variation must land on its own
     // cache key, or two different campaigns would alias one entry.
-    std::vector<obs::SweepPointConfig> variants(11, base);
+    std::vector<obs::SweepPointConfig> variants(13, base);
     variants[0].topo = "torus-8x8";
     variants[1].algo = "ring";
     variants[2].bytes = 4096;
@@ -1113,6 +1113,8 @@ TEST(Results, SweepConfigKeyCoversEveryAxis)
     variants[8].dense = true;
     variants[9].rail_policy = "backlog";
     variants[10].recovery = "failover";
+    variants[11].in_network = "mcast+reduce";
+    variants[12].combiner_entries = 2;
     for (const auto &v : variants)
         keys.insert(obs::sweepConfigKey(v));
     EXPECT_EQ(keys.size(), variants.size() + 1)
